@@ -1,0 +1,95 @@
+//! Criterion benchmarks of the simulator itself: simulated cycles per
+//! second for each figure configuration. A regression here makes the
+//! figure regenerators slower, so each paper workload gets a bench group.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use wormsim::presets;
+use wormsim::{ArrivalProcess, MessageLength, NetworkBuilder, Switching};
+
+fn bench_figure(c: &mut Criterion, id: &str, spec: &presets::FigureSpec) {
+    let mut group = c.benchmark_group(format!("engine/{id}"));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for algorithm in &spec.algorithms {
+        let topo = presets::paper_topology();
+        // Mid-load point of the sweep: representative steady-state work.
+        let pattern = spec.traffic.build(&topo).expect("pattern builds");
+        let rate = wormsim::stats::throughput::rate_for_utilization(
+            0.4,
+            16.0,
+            pattern.mean_distance(&topo),
+            topo.num_dims(),
+        );
+        group.bench_function(algorithm.name(), |b| {
+            b.iter_batched(
+                || {
+                    let mut net = NetworkBuilder::new(topo.clone(), *algorithm)
+                        .traffic(spec.traffic.clone())
+                        .switching(spec.switching)
+                        .arrival(ArrivalProcess::geometric(rate).expect("valid rate"))
+                        .message_length(MessageLength::fixed(16).expect("valid length"))
+                        .seed(7)
+                        .build()
+                        .expect("network builds");
+                    net.run(2_000); // reach steady state outside the timing
+                    net
+                },
+                |mut net| {
+                    net.run(1_000);
+                    net
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn engine_benches(c: &mut Criterion) {
+    bench_figure(c, "fig3_uniform", &presets::fig3());
+    bench_figure(c, "fig4_hotspot", &presets::fig4());
+    bench_figure(c, "fig5_local", &presets::fig5());
+    bench_figure(c, "vct34_cut_through", &presets::vct_section_3_4());
+}
+
+fn switching_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/switching");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, switching) in [
+        ("wormhole", Switching::wormhole()),
+        ("cut_through", Switching::VirtualCutThrough),
+        ("store_and_forward", Switching::StoreAndForward),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let topo = presets::paper_topology();
+                    let mut net = NetworkBuilder::new(
+                        topo,
+                        wormsim::AlgorithmKind::NegativeHopBonusCards,
+                    )
+                    .switching(switching)
+                    .arrival(ArrivalProcess::geometric(0.01).expect("valid rate"))
+                    .message_length(MessageLength::fixed(16).expect("valid length"))
+                    .seed(7)
+                    .build()
+                    .expect("network builds");
+                    net.run(2_000);
+                    net
+                },
+                |mut net| {
+                    net.run(1_000);
+                    net
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_benches, switching_benches);
+criterion_main!(benches);

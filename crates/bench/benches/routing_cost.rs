@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the routing functions in isolation: candidate
+//! generation cost per hop, the paper's "routing logic complexity" axis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wormsim::routing::{AlgorithmKind, MessageRouteState};
+use wormsim::topology::{NodeId, Topology};
+
+fn routing_candidates(c: &mut Criterion) {
+    let topo = Topology::torus(&[16, 16]);
+    let mut group = c.benchmark_group("routing/candidates");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for kind in AlgorithmKind::all() {
+        let algo = kind.build(&topo).expect("algorithm builds");
+        // A representative set of (state, position) pairs.
+        let mut cases = Vec::new();
+        for (s, d) in [([0u16, 0u16], [5u16, 9u16]), ([15, 15], [2, 2]), ([7, 3], [8, 3])] {
+            let src = topo.node_at(&s);
+            let dest = topo.node_at(&d);
+            let mut state = MessageRouteState::new(src, dest);
+            algo.init_message(&topo, &mut state);
+            cases.push((state, src));
+        }
+        group.bench_function(kind.name(), |b| {
+            let mut out = Vec::with_capacity(64);
+            b.iter(|| {
+                for (state, here) in &cases {
+                    out.clear();
+                    algo.candidates(&topo, black_box(state), *here, &mut out);
+                    black_box(&out);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn dependency_graph_analysis(c: &mut Criterion) {
+    let topo = Topology::torus(&[4, 4]);
+    let mut group = c.benchmark_group("routing/cdg_analysis_4x4");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in [AlgorithmKind::Ecube, AlgorithmKind::NegativeHop] {
+        let algo = kind.build(&topo).expect("algorithm builds");
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let report = wormsim::routing::deadlock::analyze(&topo, algo.as_ref());
+                black_box(report.is_acyclic())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn distance_queries(c: &mut Criterion) {
+    let topo = Topology::torus(&[16, 16]);
+    c.bench_function("topology/distance_all_pairs", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for s in 0..256u32 {
+                for d in 0..256u32 {
+                    total += topo.distance(NodeId::new(s), NodeId::new(d)) as u64;
+                }
+            }
+            black_box(total)
+        });
+    });
+}
+
+criterion_group!(benches, routing_candidates, dependency_graph_analysis, distance_queries);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation: the input-buffer-limit congestion control (Lam & Reiser).
+//!
+//! The paper notes the e-cube curve stays near peak after saturation
+//! thanks to congestion control, while nlast's plateau shows the control
+//! being "less effective for certain traffic loads". This sweeps the limit.
+
+use wormsim::{AlgorithmKind, Experiment, Topology, TrafficConfig};
+use wormsim_bench::HarnessOptions;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let limits: [(&str, Option<u32>); 4] =
+        [("1", Some(1)), ("2", Some(2)), ("8", Some(8)), ("none", None)];
+    println!("Achieved utilization at offered 0.8 (uniform, 16x16 torus):");
+    print!("{:>8}", "algo");
+    for (name, _) in limits {
+        print!("{name:>9}");
+    }
+    println!("   (and saturation latency in cycles)");
+    for algo in [
+        AlgorithmKind::Ecube,
+        AlgorithmKind::NorthLast,
+        AlgorithmKind::PositiveHop,
+        AlgorithmKind::NegativeHopBonusCards,
+    ] {
+        print!("{:>8}", algo.name());
+        let mut latencies = Vec::new();
+        for (_, limit) in limits {
+            let r = Experiment::new(Topology::torus(&[16, 16]), algo)
+                .traffic(TrafficConfig::Uniform)
+                .congestion_limit(limit)
+                .offered_load(0.8)
+                .schedule(options.schedule)
+                .seed(options.seed)
+                .run()
+                .expect("experiment runs");
+            print!("{:>9.3}", r.achieved_utilization);
+            latencies.push(r.latency.mean());
+        }
+        print!("   lat:");
+        for l in latencies {
+            print!(" {l:>8.0}");
+        }
+        println!();
+    }
+    println!("\n(Unlimited injection lets source queues grow without bound, so its");
+    println!("latency column is dominated by queueing and keeps growing with run length.)");
+}

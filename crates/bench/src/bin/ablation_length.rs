@@ -1,0 +1,50 @@
+//! Ablation: message length. The paper fixes 16-flit messages but cites
+//! studies with 20- and 24-flit messages and Berman et al.'s 15/31-flit
+//! mix; this sweeps those choices.
+
+use wormsim::{AlgorithmKind, Experiment, MessageLength, Topology, TrafficConfig};
+use wormsim_bench::HarnessOptions;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let topo = Topology::torus(&[16, 16]);
+    let lengths: Vec<(&str, MessageLength)> = vec![
+        ("16", MessageLength::fixed(16).expect("valid")),
+        ("20", MessageLength::fixed(20).expect("valid")),
+        ("24", MessageLength::fixed(24).expect("valid")),
+        ("15/31 mix", MessageLength::bimodal(15, 31, 0.5).expect("valid")),
+    ];
+    let algorithms = [AlgorithmKind::PositiveHop, AlgorithmKind::Ecube];
+    println!("Effect of message length (uniform traffic, 16x16 torus):\n");
+    println!(
+        "{:>10} {:>7} {:>14} {:>11}",
+        "length", "algo", "latency @0.2", "peak util"
+    );
+    for (name, length) in &lengths {
+        for algorithm in algorithms {
+            let base = Experiment::new(topo.clone(), algorithm)
+                .traffic(TrafficConfig::Uniform)
+                .message_length(*length)
+                .schedule(options.schedule)
+                .seed(options.seed);
+            let low = base.clone().offered_load(0.2).run().expect("low point");
+            let mut peak = 0.0f64;
+            for load in [0.3, 0.5, 0.7, 0.9] {
+                let r = base.clone().offered_load(load).run().expect("sweep point");
+                peak = peak.max(r.achieved_utilization);
+            }
+            println!(
+                "{:>10} {:>7} {:>11.1} cy {:>11.3}",
+                name,
+                algorithm.name(),
+                low.latency.mean(),
+                peak
+            );
+        }
+    }
+    println!(
+        "\nLonger worms raise zero-load latency linearly (Eq. 2) and hold\n\
+         channels longer when blocked; normalized peak throughput moves only\n\
+         mildly because Eq. 4 already normalizes by message length."
+    );
+}

@@ -1,0 +1,46 @@
+//! Ablation: how the adaptive candidate-selection policy (least-congested
+//! vs first-free vs random) moves the fully adaptive algorithms.
+//!
+//! The paper assumes nbc "is likely to choose the least congested" first-hop
+//! channel; this quantifies how much that choice matters.
+
+use wormsim::{
+    AlgorithmKind, Experiment, SelectionPolicy, Topology, TrafficConfig,
+};
+use wormsim_bench::HarnessOptions;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let loads = [0.3, 0.5, 0.7, 0.9];
+    let algorithms = [
+        AlgorithmKind::NegativeHopBonusCards,
+        AlgorithmKind::PositiveHop,
+        AlgorithmKind::TwoPowerN,
+    ];
+    let policies = [
+        SelectionPolicy::MostCredits,
+        SelectionPolicy::FirstFree,
+        SelectionPolicy::Random,
+    ];
+    println!("Peak achieved utilization by selection policy (uniform, 16x16 torus):");
+    println!("{:>8} {:>13} {:>13} {:>13}", "algo", "MostCredits", "FirstFree", "Random");
+    for algo in algorithms {
+        print!("{:>8}", algo.name());
+        for policy in policies {
+            let mut peak = 0.0f64;
+            for &load in &loads {
+                let r = Experiment::new(Topology::torus(&[16, 16]), algo)
+                    .traffic(TrafficConfig::Uniform)
+                    .selection(policy)
+                    .offered_load(load)
+                    .schedule(options.schedule)
+                    .seed(options.seed)
+                    .run()
+                    .expect("experiment runs");
+                peak = peak.max(r.achieved_utilization);
+            }
+            print!("{peak:>13.3}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,35 @@
+//! Ablation: virtual-channel flow control (Dally 1992) — adding physical
+//! VCs per routing class to e-cube and north-last.
+//!
+//! The paper's conclusion cites Dally's observation that "additional
+//! virtual channels improve the performance of e-cube for uniform traffic";
+//! this regenerates that effect inside our simulator.
+
+use wormsim::{AlgorithmKind, Experiment, Topology, TrafficConfig};
+use wormsim_bench::HarnessOptions;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let loads = [0.2, 0.3, 0.4, 0.5, 0.6];
+    println!("Peak achieved utilization vs VCs per class (uniform, 16x16 torus):");
+    println!("{:>8} {:>8} {:>8} {:>8}", "algo", "x1", "x2", "x4");
+    for algo in [AlgorithmKind::Ecube, AlgorithmKind::NorthLast, AlgorithmKind::TwoPowerN] {
+        print!("{:>8}", algo.name());
+        for replicas in [1u32, 2, 4] {
+            let mut peak = 0.0f64;
+            for &load in &loads {
+                let r = Experiment::new(Topology::torus(&[16, 16]), algo)
+                    .traffic(TrafficConfig::Uniform)
+                    .vc_replicas(replicas)
+                    .offered_load(load)
+                    .schedule(options.schedule)
+                    .seed(options.seed)
+                    .run()
+                    .expect("experiment runs");
+                peak = peak.max(r.achieved_utilization);
+            }
+            print!("{peak:>8.3}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,77 @@
+//! Extension: quantify the two load-balance claims of the Discussion —
+//! (a) "the main problem with the nlast algorithm is that it skews even
+//! uniform traffic" (physical-channel imbalance), and (b) nbc balances
+//! load over *virtual-channel classes* where nhop does not.
+
+use wormsim::{
+    AlgorithmKind, ArrivalProcess, MessageLength, NetworkBuilder, Topology, TrafficConfig,
+};
+use wormsim_bench::HarnessOptions;
+
+/// Coefficient of variation (stddev / mean) of a count vector.
+fn cov(counts: &[u64]) -> f64 {
+    let n = counts.len() as f64;
+    let mean = counts.iter().sum::<u64>() as f64 / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = counts
+        .iter()
+        .map(|&c| (c as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    var.sqrt() / mean
+}
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let topo = Topology::torus(&[16, 16]);
+    // Drive at a moderate 30% load so nothing is saturated; imbalance is a
+    // property of the algorithm, not of congestion.
+    let rate = wormsim::stats::throughput::rate_for_utilization(0.3, 16.0, 8.031, 2);
+
+    println!(
+        "Channel- and class-load balance under uniform traffic at offered 0.3\n\
+         (coefficient of variation; 0 = perfectly even):\n"
+    );
+    println!(
+        "{:>7} {:>16} {:>16} {:>18} {:>14}",
+        "algo", "channel CoV", "class CoV", "busiest/median ch", "c0/cTop"
+    );
+    for kind in AlgorithmKind::all() {
+        let mut net = NetworkBuilder::new(topo.clone(), kind)
+            .traffic(TrafficConfig::Uniform)
+            .arrival(ArrivalProcess::geometric(rate).expect("valid rate"))
+            .message_length(MessageLength::fixed(16).expect("valid length"))
+            .track_channel_load(true)
+            .seed(options.seed)
+            .build()
+            .expect("network builds");
+        net.run(30_000);
+        let m = net.metrics();
+        let channels = m.channel_flits.as_ref().expect("tracking enabled");
+        let mut sorted: Vec<u64> = channels.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2].max(1);
+        let busiest = *sorted.last().expect("non-empty");
+        let first = m.class_flits[0].max(1) as f64;
+        let last = m.class_flits[m.class_flits.len() - 1].max(1) as f64;
+        println!(
+            "{:>7} {:>16.3} {:>16.3} {:>18.2} {:>14.1}",
+            kind.name(),
+            cov(channels),
+            cov(&m.class_flits),
+            busiest as f64 / median as f64,
+            first / last
+        );
+    }
+    println!(
+        "\nExpected shape: nlast's channel CoV and busiest/median ratio stand\n\
+         out (its turn restriction concentrates traffic even though demand\n\
+         is uniform), and its lowest class carries almost everything\n\
+         (c0/cTop). Among the hop schemes, nbc's bottom-to-top class ratio\n\
+         is far flatter than nhop's — the bonus cards at work; the contrast\n\
+         sharpens further at saturation loads (see the engine behavior\n\
+         test nhop_class_load_is_skewed_and_nbc_flatter)."
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 4: 4% hotspot traffic, hotspot node (15,15).
+
+use wormsim_bench::{print_figure, print_paper_comparison, run_figure, write_csv, HarnessOptions};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let spec = wormsim::presets::fig4();
+    eprintln!("running {} ({} points)...", spec.id, spec.algorithms.len() * spec.loads.len());
+    let results = run_figure(&spec, &options);
+    print_figure(&spec, &results);
+    print_paper_comparison(&spec.id, &results);
+    match write_csv(&spec.id, &results, &options.out_dir) {
+        Ok(path) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,32 @@
+//! Runs every experiment family of the paper (Figures 3–5 and the
+//! Section 3.4 virtual-cut-through study) and prints the headline
+//! paper-vs-measured table that EXPERIMENTS.md records.
+
+use wormsim_bench::{print_paper_comparison, run_figure, write_csv, HarnessOptions};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    for spec in wormsim::presets::all_figures() {
+        eprintln!(
+            "running {} ({} points)...",
+            spec.id,
+            spec.algorithms.len() * spec.loads.len()
+        );
+        let results = run_figure(&spec, &options);
+        println!("== {} ({}) ==", spec.title, spec.id);
+        println!("Peak achieved utilization:");
+        for algo in &spec.algorithms {
+            println!(
+                "  {:>6}: {:.3}",
+                algo.name(),
+                wormsim_bench::peak_utilization(&results, algo.name())
+            );
+        }
+        println!();
+        print_paper_comparison(&spec.id, &results);
+        match write_csv(&spec.id, &results, &options.out_dir) {
+            Ok(path) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write CSV: {e}"),
+        }
+    }
+}

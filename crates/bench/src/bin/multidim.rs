@@ -1,0 +1,47 @@
+//! Extension: the paper's future work — "We are conducting further
+//! simulations of these routing algorithms for multidimensional tori and
+//! meshes." Compares all six algorithms on an 8×8×8 torus and an
+//! 8×8 mesh under uniform traffic.
+
+use wormsim::{AlgorithmKind, Experiment, Topology, TrafficConfig};
+use wormsim_bench::HarnessOptions;
+
+fn sweep(topo: &Topology, options: &HarnessOptions) {
+    let loads = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
+    println!("\n== {topo} ==");
+    println!("{:>7} {:>9} {:>11} {:>14}", "algo", "vcs", "peak util", "latency @0.2");
+    for kind in AlgorithmKind::all() {
+        let Ok(algo) = kind.build(topo) else {
+            println!("{:>7} {:>9}", kind.name(), "n/a");
+            continue;
+        };
+        let base = Experiment::new(topo.clone(), kind)
+            .traffic(TrafficConfig::Uniform)
+            .schedule(options.schedule)
+            .seed(options.seed);
+        let low = base.clone().offered_load(0.2).run().expect("low point runs");
+        let mut peak = 0.0f64;
+        for &load in &loads {
+            let r = base.clone().offered_load(load).run().expect("sweep point runs");
+            if r.deadlock.is_some() {
+                println!("{:>7}: DEADLOCK at load {load}", kind.name());
+            }
+            peak = peak.max(r.achieved_utilization);
+        }
+        println!(
+            "{:>7} {:>9} {:>11.3} {:>11.1} cy",
+            kind.name(),
+            algo.num_vc_classes(),
+            peak,
+            low.latency.mean()
+        );
+    }
+}
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    // 3-D torus: phop needs 13 classes (diameter 12), nhop/nbc 7.
+    sweep(&Topology::torus(&[8, 8, 8]), &options);
+    // 2-D mesh (the Glass & Ni setting): single-class e-cube, 2-class 2pn.
+    sweep(&Topology::mesh(&[16, 16]), &options);
+}

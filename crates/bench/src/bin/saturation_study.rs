@@ -1,0 +1,42 @@
+//! Regenerates the paper's in-text saturation readings: "phop and nbc
+//! begin to saturate after 0.6, and nhop shows signs of saturation at
+//! about 0.55"; e-cube/2pn/nlast "saturate much earlier". Uses bisection
+//! over offered load with a throughput-tracking criterion (saturated when
+//! achieved utilization falls below 90% of offered load).
+
+use wormsim::{AlgorithmKind, Experiment, Topology, TrafficConfig};
+use wormsim_bench::HarnessOptions;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let topo = Topology::torus(&[16, 16]);
+    println!("Saturation offered load (achieved < 90% of offered), uniform traffic:\n");
+    println!("{:>7} {:>12} {:>14} {:>16}", "algo", "saturates", "paper", "util at point");
+    let paper_notes = [
+        ("nbc", "after 0.6"),
+        ("phop", "after 0.6"),
+        ("nhop", "about 0.55"),
+        ("2pn", "early"),
+        ("ecube", "early (~0.4)"),
+        ("nlast", "early"),
+    ];
+    for kind in AlgorithmKind::all() {
+        let point = Experiment::new(topo.clone(), kind)
+            .traffic(TrafficConfig::Uniform)
+            .schedule(options.schedule)
+            .seed(options.seed)
+            .find_saturation(0.9, 4)
+            .expect("search runs");
+        let note = paper_notes
+            .iter()
+            .find(|(n, _)| *n == kind.name())
+            .map_or("", |(_, p)| *p);
+        println!(
+            "{:>7} {:>12.2} {:>14} {:>16.3}",
+            kind.name(),
+            point.estimate(),
+            note,
+            point.at_below.achieved_utilization
+        );
+    }
+}

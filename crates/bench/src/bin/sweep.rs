@@ -1,0 +1,115 @@
+//! General-purpose sweep CLI: compare any set of algorithms on any
+//! topology/traffic/switching combination, with the same reporting
+//! pipeline the figure regenerators use.
+//!
+//! ```text
+//! sweep [--topo torus:16x16] [--algos all|phop,ecube,...]
+//!       [--traffic uniform|hotspot:15,15@0.04|local:3|transpose|bitrev|complement]
+//!       [--loads 0.1:1.0:0.1 | 0.1,0.5,0.9] [--switching wh|wh:4|vct|saf]
+//!       [--quick|--saturation] [--seed N] [--threads N] [--out DIR]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! sweep --topo mesh:16x16 --algos ecube,2pn --loads 0.1:0.6:0.1 --quick
+//! sweep --traffic hotspot:8,8@0.1 --algos extended --switching vct
+//! ```
+
+use wormsim::presets::FigureSpec;
+use wormsim::MeasurementSchedule;
+use wormsim_bench::{cli, print_figure, run_figure, write_csv, HarnessOptions};
+
+fn main() {
+    let mut spec = FigureSpec {
+        id: "sweep".to_owned(),
+        title: "Custom sweep".to_owned(),
+        topology: wormsim::presets::paper_topology(),
+        traffic: wormsim::TrafficConfig::Uniform,
+        switching: wormsim::Switching::wormhole(),
+        loads: wormsim::presets::paper_loads(),
+        algorithms: wormsim::presets::paper_algorithms().to_vec(),
+    };
+    let mut options = HarnessOptions::default();
+
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: sweep [--topo T] [--algos A] [--traffic W] [--loads L] \
+                 [--switching S] [--quick|--saturation] [--seed N] [--threads N] [--out DIR]";
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value\n{usage}"))
+        };
+        match arg.as_str() {
+            "--topo" => {
+                spec.topology = cli::parse_topology(&value("--topo"))
+                    .unwrap_or_else(|e| panic!("{e}\n{usage}"));
+            }
+            "--algos" => {
+                spec.algorithms = cli::parse_algorithms(&value("--algos"))
+                    .unwrap_or_else(|e| panic!("{e}\n{usage}"));
+            }
+            "--traffic" => {
+                spec.traffic = cli::parse_traffic(&value("--traffic"))
+                    .unwrap_or_else(|e| panic!("{e}\n{usage}"));
+            }
+            "--loads" => {
+                spec.loads = cli::parse_loads(&value("--loads"))
+                    .unwrap_or_else(|e| panic!("{e}\n{usage}"));
+            }
+            "--switching" => {
+                spec.switching = cli::parse_switching(&value("--switching"))
+                    .unwrap_or_else(|e| panic!("{e}\n{usage}"));
+            }
+            "--quick" => options.schedule = MeasurementSchedule::quick(),
+            "--saturation" => options.schedule = MeasurementSchedule::saturation(),
+            "--seed" => {
+                options.seed = value("--seed").parse().expect("--seed needs an integer");
+            }
+            "--threads" => {
+                options.threads = value("--threads").parse().expect("--threads needs an integer");
+            }
+            "--out" => options.out_dir = value("--out"),
+            "--help" | "-h" => {
+                println!("{usage}");
+                return;
+            }
+            other => panic!("unknown argument '{other}'\n{usage}"),
+        }
+    }
+
+    // Drop algorithms the chosen topology rejects (e.g. nhop on odd tori),
+    // reporting what was skipped rather than dying.
+    spec.algorithms.retain(|kind| match kind.build(&spec.topology) {
+        Ok(_) => true,
+        Err(e) => {
+            eprintln!("skipping {kind}: {e}");
+            false
+        }
+    });
+    assert!(!spec.algorithms.is_empty(), "no runnable algorithms selected");
+
+    spec.title = format!(
+        "{} on {} under {} ({:?})",
+        spec.algorithms
+            .iter()
+            .map(|a| a.name())
+            .collect::<Vec<_>>()
+            .join("/"),
+        spec.topology,
+        spec.traffic,
+        spec.switching,
+    );
+
+    eprintln!(
+        "running {} points on {} threads...",
+        spec.algorithms.len() * spec.loads.len(),
+        options.threads
+    );
+    let results = run_figure(&spec, &options);
+    print_figure(&spec, &results);
+    match write_csv(&spec.id, &results, &options.out_dir) {
+        Ok(path) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,53 @@
+//! Extension: the same algorithms under all three switching techniques
+//! the paper discusses — wormhole, virtual cut-through (Section 3.4), and
+//! the store-and-forward ancestry of the hop schemes (Gopal 1985).
+
+use wormsim::{AlgorithmKind, Experiment, Switching, Topology, TrafficConfig};
+use wormsim_bench::HarnessOptions;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let topo = Topology::torus(&[16, 16]);
+    let modes = [
+        ("wormhole", Switching::wormhole()),
+        ("cut-through", Switching::VirtualCutThrough),
+        ("store&fwd", Switching::StoreAndForward),
+    ];
+    let algorithms = [
+        AlgorithmKind::NegativeHopBonusCards,
+        AlgorithmKind::PositiveHop,
+        AlgorithmKind::TwoPowerN,
+        AlgorithmKind::Ecube,
+    ];
+    println!("Peak achieved utilization / latency@0.2 by switching technique:\n");
+    print!("{:>7}", "algo");
+    for (name, _) in modes {
+        print!("{name:>22}");
+    }
+    println!();
+    for algorithm in algorithms {
+        print!("{:>7}", algorithm.name());
+        for (_, switching) in modes {
+            let base = Experiment::new(topo.clone(), algorithm)
+                .traffic(TrafficConfig::Uniform)
+                .switching(switching)
+                .schedule(options.schedule)
+                .seed(options.seed);
+            let low = base.clone().offered_load(0.2).run().expect("low point");
+            let mut peak = 0.0f64;
+            for load in [0.4, 0.6, 0.8, 1.0] {
+                let r = base.clone().offered_load(load).run().expect("sweep point");
+                peak = peak.max(r.achieved_utilization);
+            }
+            print!("{:>11.3} {:>7.0} cy", peak, low.latency.mean());
+        }
+        println!();
+    }
+    println!(
+        "\nThe paper's Section 3.4 story in one table: adaptivity-without-\n\
+         priority (2pn) is only penalized under wormhole switching, where\n\
+         channels are held while blocked; with message buffering (VCT/SAF)\n\
+         it pulls close to the hop schemes. Store-and-forward pays ~d x m_l\n\
+         latency at low load."
+    );
+}

@@ -1,0 +1,58 @@
+//! Sensitivity probe: how buffer depth, congestion limit, and selection
+//! policy move each algorithm's peak throughput under uniform traffic.
+//!
+//! Used to pick the repository's defaults (the paper leaves these
+//! parameters unspecified); results are discussed in EXPERIMENTS.md.
+
+use wormsim::{
+    AlgorithmKind, Experiment, MeasurementSchedule, SelectionPolicy, Switching, Topology,
+    TrafficConfig,
+};
+
+fn main() {
+    let loads = [0.4, 0.6, 0.8, 1.0];
+    let algorithms = [
+        AlgorithmKind::Ecube,
+        AlgorithmKind::TwoPowerN,
+        AlgorithmKind::PositiveHop,
+        AlgorithmKind::NegativeHopBonusCards,
+    ];
+    println!(
+        "{:>6} {:>6} {:>12} | {:>7} {:>7} {:>7} {:>7}",
+        "depth", "limit", "selection", "ecube", "2pn", "phop", "nbc"
+    );
+    for depth in [1u32, 2, 4] {
+        for limit in [1u32, 4, 8] {
+            for selection in [SelectionPolicy::MostCredits, SelectionPolicy::FirstFree] {
+                let mut peaks = Vec::new();
+                for algo in algorithms {
+                    let mut peak = 0.0f64;
+                    for &load in &loads {
+                        let r = Experiment::new(Topology::torus(&[16, 16]), algo)
+                            .traffic(TrafficConfig::Uniform)
+                            .switching(Switching::Wormhole { buffer_depth: depth })
+                            .congestion_limit(Some(limit))
+                            .selection(selection)
+                            .offered_load(load)
+                            .schedule(MeasurementSchedule::quick())
+                            .seed(42)
+                            .run()
+                            .expect("experiment runs");
+                        peak = peak.max(r.achieved_utilization);
+                    }
+                    peaks.push(peak);
+                }
+                println!(
+                    "{:>6} {:>6} {:>12} | {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+                    depth,
+                    limit,
+                    format!("{selection:?}"),
+                    peaks[0],
+                    peaks[1],
+                    peaks[2],
+                    peaks[3]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Parsers for the `sweep` binary's compact command-line syntax.
+//!
+//! * Topologies: `torus:16x16`, `mesh:8x8x8`, or bare `16x16` (torus).
+//! * Traffic: `uniform`, `hotspot:15,15@0.04` (several nodes separated by
+//!   `+`), `local:3`, `transpose`, `bitrev`, `complement`.
+//! * Loads: a comma list `0.1,0.2,0.5` or a range `0.1:1.0:0.1`.
+//! * Switching: `wh` (2-flit buffers), `wh:4` (explicit depth), `vct`,
+//!   `saf`.
+
+use std::str::FromStr;
+use wormsim::routing::AlgorithmKind;
+use wormsim::topology::Topology;
+use wormsim::{Switching, TrafficConfig};
+
+/// Parses `torus:16x16`, `mesh:4x4x4`, or `16x16`.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed input.
+pub fn parse_topology(s: &str) -> Result<Topology, String> {
+    let (kind, dims_str) = match s.split_once(':') {
+        Some((kind, rest)) => (kind, rest),
+        None => ("torus", s),
+    };
+    let dims: Vec<u16> = dims_str
+        .split('x')
+        .map(|d| u16::from_str(d).map_err(|_| format!("bad dimension '{d}' in '{s}'")))
+        .collect::<Result<_, _>>()?;
+    match kind {
+        "torus" => Topology::try_torus(&dims).map_err(|e| e.to_string()),
+        "mesh" => Topology::try_mesh(&dims).map_err(|e| e.to_string()),
+        other => Err(format!("unknown topology kind '{other}' (torus|mesh)")),
+    }
+}
+
+/// Parses a comma-separated algorithm list (`phop,ecube,...`); `all` and
+/// `paper` expand to the paper's six, `extended` adds wfirst and naive.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown names.
+pub fn parse_algorithms(s: &str) -> Result<Vec<AlgorithmKind>, String> {
+    match s {
+        "all" | "paper" => Ok(AlgorithmKind::all().to_vec()),
+        "extended" => Ok(AlgorithmKind::extended().to_vec()),
+        list => list
+            .split(',')
+            .map(|name| name.parse::<AlgorithmKind>().map_err(|e| e.to_string()))
+            .collect(),
+    }
+}
+
+/// Parses the traffic mini-language described in the module docs.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed input.
+pub fn parse_traffic(s: &str) -> Result<TrafficConfig, String> {
+    let (kind, rest) = match s.split_once(':') {
+        Some((kind, rest)) => (kind, Some(rest)),
+        None => (s, None),
+    };
+    match (kind, rest) {
+        ("uniform", None) => Ok(TrafficConfig::Uniform),
+        ("transpose", None) => Ok(TrafficConfig::Transpose),
+        ("bitrev" | "bit-reversal", None) => Ok(TrafficConfig::BitReversal),
+        ("complement", None) => Ok(TrafficConfig::Complement),
+        ("local", Some(r)) => Ok(TrafficConfig::Local {
+            radius: u16::from_str(r).map_err(|_| format!("bad radius '{r}'"))?,
+        }),
+        ("hotspot", Some(spec)) => {
+            let (nodes_str, frac_str) = spec
+                .split_once('@')
+                .ok_or_else(|| format!("hotspot needs '@fraction' in '{s}'"))?;
+            let nodes: Vec<Vec<u16>> = nodes_str
+                .split('+')
+                .map(|node| {
+                    node.split(',')
+                        .map(|c| u16::from_str(c).map_err(|_| format!("bad coordinate '{c}'")))
+                        .collect()
+                })
+                .collect::<Result<_, _>>()?;
+            let fraction =
+                f64::from_str(frac_str).map_err(|_| format!("bad fraction '{frac_str}'"))?;
+            Ok(TrafficConfig::Hotspot { nodes, fraction })
+        }
+        _ => Err(format!(
+            "unknown traffic '{s}' (uniform|hotspot:x,y@f|local:r|transpose|bitrev|complement)"
+        )),
+    }
+}
+
+/// Parses `0.1,0.3,0.5` or `start:end:step` (inclusive of `end` within a
+/// half-step tolerance).
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed or empty input.
+pub fn parse_loads(s: &str) -> Result<Vec<f64>, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let loads = match parts.as_slice() {
+        [_] => s
+            .split(',')
+            .map(|l| f64::from_str(l).map_err(|_| format!("bad load '{l}'")))
+            .collect::<Result<Vec<f64>, _>>()?,
+        [start, end, step] => {
+            let start = f64::from_str(start).map_err(|_| format!("bad start '{start}'"))?;
+            let end = f64::from_str(end).map_err(|_| format!("bad end '{end}'"))?;
+            let step = f64::from_str(step).map_err(|_| format!("bad step '{step}'"))?;
+            if step <= 0.0 || end < start {
+                return Err(format!("empty range '{s}'"));
+            }
+            let mut loads = Vec::new();
+            let mut x = start;
+            while x <= end + step / 2.0 {
+                loads.push((x * 1e9).round() / 1e9);
+                x += step;
+            }
+            loads
+        }
+        _ => return Err(format!("bad loads '{s}' (list or start:end:step)")),
+    };
+    if loads.is_empty() || loads.iter().any(|&l| !(0.0..=1.5).contains(&l) || l == 0.0) {
+        return Err(format!("loads out of (0, 1.5] in '{s}'"));
+    }
+    Ok(loads)
+}
+
+/// Parses `wh`, `wh:<depth>`, `vct`, or `saf`.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed input.
+pub fn parse_switching(s: &str) -> Result<Switching, String> {
+    match s.split_once(':') {
+        None => match s {
+            "wh" | "wormhole" => Ok(Switching::wormhole()),
+            "vct" | "cut-through" => Ok(Switching::VirtualCutThrough),
+            "saf" | "store-and-forward" => Ok(Switching::StoreAndForward),
+            other => Err(format!("unknown switching '{other}' (wh|wh:N|vct|saf)")),
+        },
+        Some(("wh", depth)) => {
+            let buffer_depth =
+                u32::from_str(depth).map_err(|_| format!("bad buffer depth '{depth}'"))?;
+            if buffer_depth == 0 {
+                return Err("buffer depth must be at least 1".to_owned());
+            }
+            Ok(Switching::Wormhole { buffer_depth })
+        }
+        Some(_) => Err(format!("unknown switching '{s}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topologies() {
+        assert_eq!(parse_topology("16x16").unwrap(), Topology::torus(&[16, 16]));
+        assert_eq!(parse_topology("torus:8x4").unwrap(), Topology::torus(&[8, 4]));
+        assert_eq!(parse_topology("mesh:4x4x4").unwrap(), Topology::mesh(&[4, 4, 4]));
+        assert!(parse_topology("ring:9").is_err());
+        assert!(parse_topology("torus:1x4").is_err());
+        assert!(parse_topology("16xsixteen").is_err());
+    }
+
+    #[test]
+    fn algorithms() {
+        assert_eq!(parse_algorithms("all").unwrap().len(), 6);
+        assert_eq!(parse_algorithms("extended").unwrap().len(), 8);
+        assert_eq!(
+            parse_algorithms("phop,ecube").unwrap(),
+            vec![AlgorithmKind::PositiveHop, AlgorithmKind::Ecube]
+        );
+        assert!(parse_algorithms("phop,warp").is_err());
+    }
+
+    #[test]
+    fn traffic() {
+        assert_eq!(parse_traffic("uniform").unwrap(), TrafficConfig::Uniform);
+        assert_eq!(
+            parse_traffic("local:3").unwrap(),
+            TrafficConfig::Local { radius: 3 }
+        );
+        assert_eq!(
+            parse_traffic("hotspot:15,15@0.04").unwrap(),
+            TrafficConfig::Hotspot { nodes: vec![vec![15, 15]], fraction: 0.04 }
+        );
+        assert_eq!(
+            parse_traffic("hotspot:3,3+11,11@0.08").unwrap(),
+            TrafficConfig::Hotspot {
+                nodes: vec![vec![3, 3], vec![11, 11]],
+                fraction: 0.08
+            }
+        );
+        assert!(parse_traffic("hotspot:15,15").is_err());
+        assert!(parse_traffic("lavaflow").is_err());
+    }
+
+    #[test]
+    fn loads() {
+        assert_eq!(parse_loads("0.1,0.5").unwrap(), vec![0.1, 0.5]);
+        let range = parse_loads("0.2:0.6:0.2").unwrap();
+        assert_eq!(range.len(), 3);
+        assert!((range[2] - 0.6).abs() < 1e-9);
+        assert!(parse_loads("0:1:0.1").is_err(), "zero load rejected");
+        assert!(parse_loads("0.5:0.1:0.1").is_err());
+        assert!(parse_loads("a,b").is_err());
+    }
+
+    #[test]
+    fn switching() {
+        assert_eq!(parse_switching("wh").unwrap(), Switching::wormhole());
+        assert_eq!(
+            parse_switching("wh:4").unwrap(),
+            Switching::Wormhole { buffer_depth: 4 }
+        );
+        assert_eq!(parse_switching("vct").unwrap(), Switching::VirtualCutThrough);
+        assert_eq!(parse_switching("saf").unwrap(), Switching::StoreAndForward);
+        assert!(parse_switching("wh:0").is_err());
+        assert!(parse_switching("teleport").is_err());
+    }
+}

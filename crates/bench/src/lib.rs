@@ -1,0 +1,289 @@
+//! Shared harness for regenerating the paper's figures.
+//!
+//! Runs [`FigureSpec`] sweeps in parallel across worker threads, prints
+//! paper-style latency/throughput series, and records CSV files that
+//! EXPERIMENTS.md references.
+
+use std::io::Write as _;
+use std::path::Path;
+use std::str::FromStr;
+use wormsim::presets::FigureSpec;
+use wormsim::{format_results_table, format_sweep_csv, MeasurementSchedule, RunResult};
+
+pub mod plot;
+pub mod cli;
+mod reference;
+pub use reference::{paper_reference, PaperClaim};
+
+/// Command-line options shared by the figure binaries.
+#[derive(Clone, Debug)]
+pub struct HarnessOptions {
+    /// Measurement schedule (`--quick` selects the short one).
+    pub schedule: MeasurementSchedule,
+    /// Base RNG seed (`--seed N`).
+    pub seed: u64,
+    /// Output directory for CSV files (`--out DIR`, default `results`).
+    pub out_dir: String,
+    /// Worker threads (`--threads N`, default: all cores).
+    pub threads: usize,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            schedule: MeasurementSchedule::default(),
+            seed: 1993,
+            out_dir: "results".to_owned(),
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Parses `--quick`, `--saturation`, `--seed N`, `--out DIR`,
+    /// `--threads N` from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        let mut options = HarnessOptions::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => options.schedule = MeasurementSchedule::quick(),
+                "--saturation" => options.schedule = MeasurementSchedule::saturation(),
+                "--seed" => {
+                    let v = args.next().expect("--seed needs a value");
+                    options.seed = u64::from_str(&v).expect("--seed needs an integer");
+                }
+                "--out" => {
+                    options.out_dir = args.next().expect("--out needs a directory");
+                }
+                "--threads" => {
+                    let v = args.next().expect("--threads needs a value");
+                    options.threads = usize::from_str(&v).expect("--threads needs an integer");
+                }
+                other => panic!(
+                    "unknown argument '{other}' (expected --quick, --saturation, --seed N, --out DIR, --threads N)"
+                ),
+            }
+        }
+        options
+    }
+}
+
+/// Runs every `(algorithm, load)` experiment of a figure in parallel and
+/// returns results in deterministic order (algorithm-major, load-minor).
+pub fn run_figure(spec: &FigureSpec, options: &HarnessOptions) -> Vec<RunResult> {
+    let experiments = wormsim::presets::experiments_for(spec, options.schedule, options.seed);
+    let total = experiments.len();
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<Option<RunResult>>> =
+        (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..options.threads.max(1) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let result = experiments[i]
+                    .run()
+                    .unwrap_or_else(|e| panic!("experiment {i} failed: {e}"));
+                *slots[i].lock() = Some(result);
+                let completed = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                eprint!("\r  {completed}/{total} points");
+                let _ = std::io::stderr().flush();
+            });
+        }
+    })
+    .expect("worker threads never panic");
+    eprintln!();
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("all slots filled"))
+        .collect()
+}
+
+/// Prints the figure in the paper's two-panel form (latency vs offered
+/// load, achieved vs offered throughput), one series per algorithm.
+pub fn print_figure(spec: &FigureSpec, results: &[RunResult]) {
+    println!("== {} ({}) ==", spec.title, spec.id);
+    let loads = &spec.loads;
+    println!("\nAverage latency (cycles) vs offered channel utilization:");
+    print!("{:>8}", "offered");
+    for algo in &spec.algorithms {
+        print!("{:>10}", algo.name());
+    }
+    println!();
+    for (li, load) in loads.iter().enumerate() {
+        print!("{load:>8.2}");
+        for (ai, _) in spec.algorithms.iter().enumerate() {
+            let r = &results[ai * loads.len() + li];
+            print!("{:>10.1}", r.latency.mean());
+        }
+        println!();
+    }
+    println!("\nAchieved channel utilization vs offered channel utilization:");
+    print!("{:>8}", "offered");
+    for algo in &spec.algorithms {
+        print!("{:>10}", algo.name());
+    }
+    println!();
+    for (li, load) in loads.iter().enumerate() {
+        print!("{load:>8.2}");
+        for (ai, _) in spec.algorithms.iter().enumerate() {
+            let r = &results[ai * loads.len() + li];
+            print!("{:>10.4}", r.achieved_utilization);
+        }
+        println!();
+    }
+    println!("\nPeak achieved utilization per algorithm:");
+    for (ai, algo) in spec.algorithms.iter().enumerate() {
+        let series = &results[ai * loads.len()..(ai + 1) * loads.len()];
+        let best = series
+            .iter()
+            .max_by(|a, b| {
+                a.achieved_utilization
+                    .partial_cmp(&b.achieved_utilization)
+                    .expect("finite")
+            })
+            .expect("non-empty series");
+        println!(
+            "  {:>6}: {:.3} (at offered {:.2})",
+            algo.name(),
+            best.achieved_utilization,
+            best.offered_load
+        );
+    }
+    // ASCII renditions of the two panels, in the paper's style.
+    let latency_series: Vec<plot::Series> = spec
+        .algorithms
+        .iter()
+        .enumerate()
+        .map(|(ai, algo)| plot::Series {
+            label: algo.name().to_owned(),
+            marker: plot::MARKERS[ai % plot::MARKERS.len()],
+            points: loads
+                .iter()
+                .enumerate()
+                .map(|(li, &load)| (load, results[ai * loads.len() + li].latency.mean()))
+                .collect(),
+        })
+        .collect();
+    println!(
+        "{}",
+        plot::render("Average latency (cycles)", &latency_series, 64, 18)
+    );
+    let util_series: Vec<plot::Series> = latency_series
+        .iter()
+        .enumerate()
+        .map(|(ai, s)| plot::Series {
+            label: s.label.clone(),
+            marker: s.marker,
+            points: loads
+                .iter()
+                .enumerate()
+                .map(|(li, &load)| {
+                    (load, results[ai * loads.len() + li].achieved_utilization)
+                })
+                .collect(),
+        })
+        .collect();
+    println!(
+        "{}",
+        plot::render("Achieved channel utilization", &util_series, 64, 18)
+    );
+    println!("{}", format_results_table(results));
+}
+
+/// Prints the paper's quoted numbers next to ours for the figure.
+pub fn print_paper_comparison(spec_id: &str, results: &[RunResult]) {
+    let claims = paper_reference(spec_id);
+    if claims.is_empty() {
+        return;
+    }
+    println!("Paper vs measured:");
+    for claim in claims {
+        let measured = (claim.measure)(results);
+        println!(
+            "  {:<62} paper {:>6}  measured {:>7.3}",
+            claim.what, claim.paper_value, measured
+        );
+    }
+    println!();
+}
+
+/// Writes the sweep CSV under the output directory, returning the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(spec_id: &str, results: &[RunResult], out_dir: &str) -> std::io::Result<String> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = Path::new(out_dir).join(format!("{spec_id}.csv"));
+    std::fs::write(&path, format_sweep_csv(results))?;
+    Ok(path.display().to_string())
+}
+
+/// Peak achieved utilization of one algorithm's series.
+pub fn peak_utilization(results: &[RunResult], algorithm: &str) -> f64 {
+    results
+        .iter()
+        .filter(|r| r.algorithm == algorithm)
+        .map(|r| r.achieved_utilization)
+        .fold(0.0, f64::max)
+}
+
+/// Latency of one algorithm at the offered load closest to `load`.
+pub fn latency_at(results: &[RunResult], algorithm: &str, load: f64) -> f64 {
+    results
+        .iter()
+        .filter(|r| r.algorithm == algorithm)
+        .min_by(|a, b| {
+            (a.offered_load - load)
+                .abs()
+                .partial_cmp(&(b.offered_load - load).abs())
+                .expect("finite")
+        })
+        .map_or(f64::NAN, |r| r.latency.mean())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormsim::presets;
+
+    #[test]
+    fn harness_runs_a_tiny_figure() {
+        // A reduced fig3: two algorithms, two loads, quick schedule.
+        let mut spec = presets::fig3();
+        spec.loads = vec![0.1, 0.3];
+        spec.algorithms = vec![
+            wormsim::AlgorithmKind::Ecube,
+            wormsim::AlgorithmKind::PositiveHop,
+        ];
+        let options = HarnessOptions {
+            schedule: MeasurementSchedule::quick(),
+            seed: 5,
+            out_dir: std::env::temp_dir().join("wormsim-test").display().to_string(),
+            threads: 4,
+        };
+        let results = run_figure(&spec, &options);
+        assert_eq!(results.len(), 4);
+        // Ordering: algorithm-major, load-minor.
+        assert_eq!(results[0].algorithm, "ecube");
+        assert!((results[0].offered_load - 0.1).abs() < 1e-12);
+        assert_eq!(results[3].algorithm, "phop");
+        assert!((results[3].offered_load - 0.3).abs() < 1e-12);
+        let path = write_csv("test", &results, &options.out_dir).unwrap();
+        let csv = std::fs::read_to_string(path).unwrap();
+        assert_eq!(csv.lines().count(), 5);
+        assert!(peak_utilization(&results, "phop") > 0.2);
+        assert!(latency_at(&results, "ecube", 0.1) > 15.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Terminal rendering of figure panels: a small ASCII scatter plot so the
+//! regenerated figures can be eyeballed against the paper without leaving
+//! the terminal.
+
+/// One named series of `(x, y)` points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label (e.g. the algorithm name).
+    pub label: String,
+    /// The marker character used for this series.
+    pub marker: char,
+    /// The data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders series into a fixed-size ASCII plot with axes and a legend.
+///
+/// Points from later series overwrite earlier ones on collisions (matching
+/// how the paper's overlaid markers read). Returns a ready-to-print block.
+///
+/// # Example
+///
+/// ```
+/// use wormsim_bench::plot::{render, Series};
+///
+/// let s = Series {
+///     label: "ecube".into(),
+///     marker: 'o',
+///     points: vec![(0.1, 25.0), (0.3, 60.0), (0.5, 180.0)],
+/// };
+/// let chart = render("latency vs offered load", &[s], 40, 12);
+/// assert!(chart.contains('o'));
+/// assert!(chart.contains("ecube"));
+/// ```
+pub fn render(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(6);
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if x_max == x_min {
+        x_max = x_min + 1.0;
+    }
+    if y_max == y_min {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            let col = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let row = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - row][col.min(width - 1)] = s.marker;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let y_label = if i == 0 {
+            format!("{y_max:>8.1}")
+        } else if i == height - 1 {
+            format!("{y_min:>8.1}")
+        } else {
+            " ".repeat(8)
+        };
+        out.push_str(&y_label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(8));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>9}{:.2}{:>width$}{:.2}\n",
+        "",
+        x_min,
+        "",
+        x_max,
+        width = width.saturating_sub(8)
+    ));
+    out.push_str("legend: ");
+    for s in series {
+        out.push_str(&format!("{}={} ", s.marker, s.label));
+    }
+    out.push('\n');
+    out
+}
+
+/// The marker cycle used for figure series, matching the paper's o/+/x/*.
+pub const MARKERS: [char; 6] = ['o', '+', 'x', '*', '#', '@'];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(points: Vec<(f64, f64)>) -> Series {
+        Series { label: "s".into(), marker: 'o', points }
+    }
+
+    #[test]
+    fn renders_corners() {
+        let chart = render("t", &[series(vec![(0.0, 0.0), (1.0, 1.0)])], 20, 8);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Max-y row holds the top-right point, min-y row the bottom-left.
+        assert!(lines[1].ends_with('o'));
+        assert!(lines[8].contains('o'));
+        assert!(chart.contains("legend"));
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        let chart = render("t", &[series(vec![])], 20, 8);
+        assert!(chart.contains("no data"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let chart = render("t", &[series(vec![(0.5, 2.0), (0.5, 2.0)])], 20, 8);
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn later_series_overwrite() {
+        let a = Series { label: "a".into(), marker: 'a', points: vec![(0.0, 0.0)] };
+        let b = Series { label: "b".into(), marker: 'b', points: vec![(0.0, 0.0)] };
+        let chart = render("t", &[a, b], 20, 8);
+        assert!(chart.contains('b'));
+    }
+}

@@ -1,0 +1,121 @@
+//! The paper's quoted numbers, encoded for side-by-side comparison.
+
+use wormsim::RunResult;
+
+/// One quantitative claim from the paper, with a function extracting the
+/// corresponding measurement from a figure's results.
+pub struct PaperClaim {
+    /// What the paper claims (quote or paraphrase).
+    pub what: &'static str,
+    /// The paper's number, as printed.
+    pub paper_value: &'static str,
+    /// Extracts our measurement of the same quantity.
+    pub measure: fn(&[RunResult]) -> f64,
+}
+
+fn peak(results: &[RunResult], algorithm: &str) -> f64 {
+    crate::peak_utilization(results, algorithm)
+}
+
+/// The claims attached to each figure id (`fig3`, `fig4`, `fig5`, `vct34`).
+pub fn paper_reference(spec_id: &str) -> Vec<PaperClaim> {
+    match spec_id {
+        "fig3" => vec![
+            PaperClaim {
+                what: "phop peak normalized throughput (uniform)",
+                paper_value: "0.72",
+                measure: |r| peak(r, "phop"),
+            },
+            PaperClaim {
+                what: "nbc peak normalized throughput (uniform)",
+                paper_value: "0.63",
+                measure: |r| peak(r, "nbc"),
+            },
+            PaperClaim {
+                what: "nhop saturates around offered 0.55 (peak util near that)",
+                paper_value: "~0.55",
+                measure: |r| peak(r, "nhop"),
+            },
+            PaperClaim {
+                what: "e-cube peak throughput",
+                paper_value: "0.34",
+                measure: |r| peak(r, "ecube"),
+            },
+            PaperClaim {
+                what: "nlast peak throughput (below e-cube)",
+                paper_value: "0.25",
+                measure: |r| peak(r, "nlast"),
+            },
+            PaperClaim {
+                what: "2pn peak throughput (below e-cube, uniform)",
+                paper_value: "<0.34",
+                measure: |r| peak(r, "2pn"),
+            },
+        ],
+        "fig4" => vec![
+            PaperClaim {
+                what: "e-cube peak normalized throughput (hotspot)",
+                paper_value: "0.25",
+                measure: |r| peak(r, "ecube"),
+            },
+            PaperClaim {
+                what: "phop peak normalized throughput (hotspot)",
+                paper_value: ">0.5",
+                measure: |r| peak(r, "phop"),
+            },
+            PaperClaim {
+                what: "nbc peak normalized throughput (hotspot)",
+                paper_value: ">0.5",
+                measure: |r| peak(r, "nbc"),
+            },
+            PaperClaim {
+                what: "nhop peak normalized throughput (hotspot)",
+                paper_value: "~0.45",
+                measure: |r| peak(r, "nhop"),
+            },
+        ],
+        "fig5" => vec![
+            PaperClaim {
+                what: "2pn peak throughput (local; beats e-cube here)",
+                paper_value: "0.37",
+                measure: |r| peak(r, "2pn"),
+            },
+            PaperClaim {
+                what: "e-cube peak throughput (local; below 2pn)",
+                paper_value: "<0.37",
+                measure: |r| peak(r, "ecube"),
+            },
+            PaperClaim {
+                what: "nlast peak throughput (local; the worst)",
+                paper_value: "least",
+                measure: |r| peak(r, "nlast"),
+            },
+        ],
+        "vct34" => vec![
+            PaperClaim {
+                what: "2pn ~ nbc under virtual cut-through (peak util ratio)",
+                paper_value: "~1.0",
+                measure: |r| peak(r, "2pn") / peak(r, "nbc").max(1e-9),
+            },
+            PaperClaim {
+                what: "2pn beats e-cube under virtual cut-through (ratio > 1)",
+                paper_value: ">1.0",
+                measure: |r| peak(r, "2pn") / peak(r, "ecube").max(1e-9),
+            },
+        ],
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure_has_claims() {
+        for id in ["fig3", "fig4", "fig5", "vct34"] {
+            assert!(!paper_reference(id).is_empty(), "{id}");
+        }
+        assert!(paper_reference("nope").is_empty());
+    }
+}

@@ -1,0 +1,458 @@
+//! The [`Experiment`] runner: one configuration, one offered load, one
+//! converged measurement.
+
+use crate::{MeasurementSchedule, RunResult};
+use std::fmt;
+use wormsim_engine::{
+    EjectionModel, EngineError, NetworkBuilder, SelectionPolicy, Switching,
+};
+use wormsim_routing::AlgorithmKind;
+use wormsim_stats::{throughput, ConvergenceController, Histogram, SampleAccumulator};
+use wormsim_topology::Topology;
+use wormsim_traffic::{ArrivalProcess, MessageLength, TrafficConfig};
+
+/// Errors from configuring or running an experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExperimentError {
+    /// The underlying simulator rejected the configuration.
+    Engine(EngineError),
+    /// The offered load must be in `(0, ~1.5]` (beyond ≈1 the network is
+    /// overloaded by construction, which is allowed for saturation studies,
+    /// but nonsensical values are rejected).
+    InvalidLoad {
+        /// The rejected value.
+        value: f64,
+    },
+    /// The computed injection rate left `(0, 1]` — the topology/message
+    /// combination cannot offer this load.
+    RateOutOfRange {
+        /// The offending per-node per-cycle rate.
+        rate: f64,
+    },
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Engine(e) => write!(f, "engine: {e}"),
+            ExperimentError::InvalidLoad { value } => {
+                write!(f, "offered load {value} out of range")
+            }
+            ExperimentError::RateOutOfRange { rate } => {
+                write!(f, "computed injection rate {rate} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ExperimentError {
+    fn from(e: EngineError) -> Self {
+        ExperimentError::Engine(e)
+    }
+}
+
+/// A self-contained simulation experiment: network configuration, offered
+/// load, and measurement schedule.
+///
+/// Offered load is specified as *normalized channel utilization* (the
+/// paper's Equation 4); [`run`](Self::run) converts it to a per-node
+/// injection rate using the traffic pattern's exact mean distance, then
+/// drives the simulator through warm-up and re-seeded sampling periods
+/// until the paper's two convergence criteria hold.
+///
+/// # Example
+///
+/// ```
+/// use wormsim::{Experiment, AlgorithmKind, TrafficConfig};
+/// use wormsim::topology::Topology;
+///
+/// let result = Experiment::new(Topology::torus(&[8, 8]), AlgorithmKind::Ecube)
+///     .traffic(TrafficConfig::Uniform)
+///     .offered_load(0.2)
+///     .quick()
+///     .seed(7)
+///     .run()?;
+/// assert!(result.latency.mean() >= 19.0); // >= zero-load latency
+/// # Ok::<(), wormsim::ExperimentError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    topology: Topology,
+    algorithm: AlgorithmKind,
+    traffic: TrafficConfig,
+    length: MessageLength,
+    switching: Switching,
+    selection: SelectionPolicy,
+    ejection: EjectionModel,
+    vc_replicas: u32,
+    congestion_limit: Option<u32>,
+    injection_bandwidth: u32,
+    offered_load: f64,
+    schedule: MeasurementSchedule,
+    seed: u64,
+}
+
+impl Experiment {
+    /// Starts an experiment on `topology` with `algorithm`, using the
+    /// paper's defaults: uniform traffic, 16-flit messages, wormhole
+    /// switching, congestion limit 1, offered load 0.2.
+    pub fn new(topology: Topology, algorithm: AlgorithmKind) -> Self {
+        Experiment {
+            topology,
+            algorithm,
+            traffic: TrafficConfig::Uniform,
+            length: MessageLength::Fixed { flits: 16 },
+            switching: Switching::wormhole(),
+            selection: SelectionPolicy::MostCredits,
+            ejection: EjectionModel::PerVc,
+            vc_replicas: 1,
+            congestion_limit: Some(1),
+            injection_bandwidth: 1,
+            offered_load: 0.2,
+            schedule: MeasurementSchedule::default(),
+            seed: 0,
+        }
+    }
+
+    /// Sets the traffic pattern.
+    pub fn traffic(mut self, traffic: TrafficConfig) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Sets the message length distribution.
+    pub fn message_length(mut self, length: MessageLength) -> Self {
+        self.length = length;
+        self
+    }
+
+    /// Sets the switching discipline.
+    pub fn switching(mut self, switching: Switching) -> Self {
+        self.switching = switching;
+        self
+    }
+
+    /// Sets the VC selection policy.
+    pub fn selection(mut self, selection: SelectionPolicy) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Sets the ejection model.
+    pub fn ejection(mut self, ejection: EjectionModel) -> Self {
+        self.ejection = ejection;
+        self
+    }
+
+    /// Sets the number of physical VCs per routing class.
+    pub fn vc_replicas(mut self, replicas: u32) -> Self {
+        self.vc_replicas = replicas;
+        self
+    }
+
+    /// Sets (or disables) the congestion-control limit.
+    pub fn congestion_limit(mut self, limit: Option<u32>) -> Self {
+        self.congestion_limit = limit;
+        self
+    }
+
+    /// Sets the injection bandwidth in flits per cycle.
+    pub fn injection_bandwidth(mut self, flits: u32) -> Self {
+        self.injection_bandwidth = flits;
+        self
+    }
+
+    /// Sets the offered load as a fraction of channel capacity.
+    pub fn offered_load(mut self, load: f64) -> Self {
+        self.offered_load = load;
+        self
+    }
+
+    /// Sets the measurement schedule.
+    pub fn schedule(mut self, schedule: MeasurementSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Shorthand for the quick test schedule.
+    pub fn quick(self) -> Self {
+        let quick = MeasurementSchedule::quick();
+        self.schedule(quick)
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The topology under test.
+    pub fn topology_ref(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The configured traffic pattern.
+    pub fn traffic_config(&self) -> &TrafficConfig {
+        &self.traffic
+    }
+
+    /// The configured message-length distribution.
+    pub fn length_config(&self) -> MessageLength {
+        self.length
+    }
+
+    /// The configured offered load.
+    pub fn offered_load_value(&self) -> f64 {
+        self.offered_load
+    }
+
+    /// The per-node injection rate this experiment will use (Equation 4
+    /// inverted, with the pattern's exact mean distance).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same validation errors as [`run`](Self::run).
+    pub fn injection_rate(&self) -> Result<f64, ExperimentError> {
+        if !self.offered_load.is_finite()
+            || self.offered_load <= 0.0
+            || self.offered_load > 1.5
+        {
+            return Err(ExperimentError::InvalidLoad { value: self.offered_load });
+        }
+        let pattern = self
+            .traffic
+            .build(&self.topology)
+            .map_err(EngineError::from)?;
+        let mean_distance = pattern.mean_distance(&self.topology);
+        let rate = throughput::rate_for_utilization(
+            self.offered_load,
+            self.length.mean(),
+            mean_distance,
+            self.topology.num_dims(),
+        );
+        if !(0.0..=1.0).contains(&rate) || rate == 0.0 {
+            return Err(ExperimentError::RateOutOfRange { rate });
+        }
+        Ok(rate)
+    }
+
+    /// Runs the experiment to convergence (or its sample cap).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid configurations. A *deadlock* during
+    /// simulation is not an `Err`: it is reported in
+    /// [`RunResult::deadlock`] so sweeps can record partial data.
+    pub fn run(&self) -> Result<RunResult, ExperimentError> {
+        let rate = self.injection_rate()?;
+        let pattern = self
+            .traffic
+            .build(&self.topology)
+            .map_err(EngineError::from)?;
+        let weights = pattern.hop_class_weights(&self.topology);
+
+        let mut net = NetworkBuilder::new(self.topology.clone(), self.algorithm)
+            .traffic(self.traffic.clone())
+            .arrival(ArrivalProcess::geometric(rate).map_err(EngineError::from)?)
+            .message_length(self.length)
+            .switching(self.switching)
+            .selection(self.selection)
+            .ejection(self.ejection)
+            .vc_replicas(self.vc_replicas)
+            .congestion_limit(self.congestion_limit)
+            .injection_bandwidth(self.injection_bandwidth)
+            .seed(self.seed)
+            .build()?;
+
+        let mut controller =
+            ConvergenceController::new(self.schedule.policy, weights.clone());
+
+        // Warm up to steady state; discard everything measured so far.
+        net.run(self.schedule.warmup_cycles);
+        net.drain_delivered();
+        net.reset_metrics();
+
+        let channels = net.num_network_channels();
+        let nodes = self.topology.num_nodes() as u64;
+        let mut util_sum = 0.0;
+        let mut delivery_sum = 0.0;
+        let mut accept_sum = 0.0;
+        let mut refused = 0u64;
+        let mut offered_count = 0u64;
+        let mut messages_measured = 0u64;
+
+        let mut histogram = Histogram::new();
+        let mut phase = 0u64;
+        loop {
+            net.run(self.schedule.sample_cycles);
+            let mut acc = SampleAccumulator::new(weights.len());
+            for msg in net.drain_delivered() {
+                acc.record(msg.hop_class as usize, msg.latency as f64);
+                histogram.record(msg.latency);
+            }
+            messages_measured += acc.count();
+            let m = net.metrics();
+            util_sum += m.channel_utilization(channels);
+            delivery_sum += m.delivery_rate(nodes);
+            accept_sum += m.acceptance_rate(nodes);
+            refused += m.refused;
+            offered_count += m.generated + m.refused;
+            controller.push_sample(acc.summarize());
+            net.reset_metrics();
+
+            if net.deadlock_report().is_some() || controller.status().is_done() {
+                break;
+            }
+
+            // Inter-sample gap: fresh RNG streams, no statistics gathered.
+            phase += 1;
+            net.reseed_streams(phase);
+            net.run(self.schedule.gap_cycles);
+            net.drain_delivered();
+            net.reset_metrics();
+        }
+
+        let samples = controller.num_samples();
+        let latency = controller
+            .estimate()
+            .unwrap_or(wormsim_stats::ConfidenceInterval::new(0.0, f64::INFINITY));
+        let class_latencies: Vec<crate::ClassLatency> = controller
+            .pooled_strata()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.count() > 0)
+            .map(|(hops, s)| crate::ClassLatency {
+                hops: hops as u16,
+                count: s.count(),
+                mean: s.mean(),
+            })
+            .collect();
+        Ok(RunResult {
+            algorithm: self.algorithm.name().to_owned(),
+            traffic: pattern.name(),
+            offered_load: self.offered_load,
+            injection_rate: rate,
+            latency,
+            latency_percentiles: [
+                histogram.percentile(0.50),
+                histogram.percentile(0.95),
+                histogram.percentile(0.99),
+            ],
+            latency_max: histogram.max(),
+            class_latencies,
+            achieved_utilization: util_sum / samples as f64,
+            delivery_rate: delivery_sum / samples as f64,
+            acceptance_rate: accept_sum / samples as f64,
+            refused_fraction: if offered_count == 0 {
+                0.0
+            } else {
+                refused as f64 / offered_count as f64
+            },
+            messages_measured,
+            convergence: controller.status(),
+            samples,
+            cycles_simulated: net.cycle(),
+            deadlock: net.deadlock_report(),
+        })
+    }
+
+    /// Runs this experiment at each offered load in `loads`, reusing every
+    /// other setting.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on the first configuration error.
+    pub fn sweep(&self, loads: &[f64]) -> Result<Vec<RunResult>, ExperimentError> {
+        loads
+            .iter()
+            .map(|&load| self.clone().offered_load(load).run())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Experiment {
+        Experiment::new(Topology::torus(&[8, 8]), AlgorithmKind::PositiveHop)
+            .quick()
+            .seed(5)
+    }
+
+    #[test]
+    fn injection_rate_matches_equation_four() {
+        // 8x8 torus uniform: d̄ = 4 * 64/63; rate = rho * 4 / (16 * d̄).
+        let e = base().offered_load(0.4);
+        let d_bar = 4.0 * 64.0 / 63.0;
+        let expected = 0.4 * 4.0 / (16.0 * d_bar);
+        assert!((e.injection_rate().unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_loads() {
+        assert!(matches!(
+            base().offered_load(0.0).run(),
+            Err(ExperimentError::InvalidLoad { .. })
+        ));
+        assert!(matches!(
+            base().offered_load(-1.0).injection_rate(),
+            Err(ExperimentError::InvalidLoad { .. })
+        ));
+        assert!(matches!(
+            base().offered_load(7.0).injection_rate(),
+            Err(ExperimentError::InvalidLoad { .. })
+        ));
+    }
+
+    #[test]
+    fn low_load_latency_is_near_zero_load() {
+        let result = base().offered_load(0.05).run().unwrap();
+        assert!(result.is_converged(), "{result:?}");
+        // Zero-load latency on 8^2 uniform: 16 + d̄ - 1 ≈ 19.06 cycles.
+        assert!(result.latency.mean() > 18.0);
+        assert!(
+            result.latency.mean() < 25.0,
+            "latency {} too high for 5% load",
+            result.latency.mean()
+        );
+        assert!(result.messages_measured > 100);
+        assert!((result.achieved_utilization - 0.05).abs() < 0.02);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_utilization_below_saturation() {
+        let results = base().sweep(&[0.1, 0.3, 0.5]).unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(results[0].achieved_utilization < results[1].achieved_utilization);
+        assert!(results[1].achieved_utilization < results[2].achieved_utilization);
+        for r in &results {
+            assert!(r.deadlock.is_none());
+        }
+    }
+
+    #[test]
+    fn deadlock_is_reported_not_propagated() {
+        let result = Experiment::new(Topology::torus(&[6, 6]), AlgorithmKind::NaiveMinimal)
+            .offered_load(0.9)
+            .quick()
+            .seed(3)
+            .run()
+            .unwrap();
+        // The naive algorithm may or may not deadlock within the quick
+        // schedule, but the field must be plumbed through when it does.
+        if let Some(report) = result.deadlock {
+            assert!(report.flits_in_flight > 0);
+            assert!(!result.is_converged());
+        }
+    }
+}

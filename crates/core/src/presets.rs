@@ -1,0 +1,180 @@
+//! Ready-made configurations for every experiment in the paper.
+//!
+//! Each figure of the evaluation section maps to a [`FigureSpec`]; pass it
+//! to [`experiments_for`] to get one [`Experiment`] per
+//! `(algorithm, offered load)` point.
+
+use crate::{Experiment, MeasurementSchedule, Switching};
+use wormsim_routing::AlgorithmKind;
+use wormsim_topology::Topology;
+use wormsim_traffic::TrafficConfig;
+
+/// The network every figure uses: the 16×16 torus.
+pub fn paper_topology() -> Topology {
+    Topology::torus(&[16, 16])
+}
+
+/// The six algorithms in the paper's legend order
+/// (nbc, phop, nhop, 2pn, e-cube, nlast).
+pub fn paper_algorithms() -> [AlgorithmKind; 6] {
+    AlgorithmKind::all()
+}
+
+/// The offered-load sweep shared by the figures (fractions of capacity).
+pub fn paper_loads() -> Vec<f64> {
+    vec![0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+}
+
+/// One reproducible experiment family: a figure or in-text study.
+#[derive(Clone, Debug)]
+pub struct FigureSpec {
+    /// Identifier used in EXPERIMENTS.md and CSV filenames (e.g. `"fig3"`).
+    pub id: String,
+    /// Human-readable description.
+    pub title: String,
+    /// The network under test.
+    pub topology: Topology,
+    /// The workload.
+    pub traffic: TrafficConfig,
+    /// The switching discipline.
+    pub switching: Switching,
+    /// Offered loads to sweep.
+    pub loads: Vec<f64>,
+    /// Algorithms to compare.
+    pub algorithms: Vec<AlgorithmKind>,
+}
+
+/// Figure 3: uniform traffic of 16-flit worms on the 16×16 torus.
+pub fn fig3() -> FigureSpec {
+    FigureSpec {
+        id: "fig3".to_owned(),
+        title: "Uniform traffic of 16-flit worms".to_owned(),
+        topology: paper_topology(),
+        traffic: TrafficConfig::Uniform,
+        switching: Switching::wormhole(),
+        loads: paper_loads(),
+        algorithms: paper_algorithms().to_vec(),
+    }
+}
+
+/// Figure 4: 4% hotspot traffic, hotspot node (15, 15).
+pub fn fig4() -> FigureSpec {
+    FigureSpec {
+        id: "fig4".to_owned(),
+        title: "Hotspot traffic of 16-flit worms with 4% hotspot traffic".to_owned(),
+        topology: paper_topology(),
+        traffic: TrafficConfig::Hotspot {
+            nodes: vec![vec![15, 15]],
+            fraction: 0.04,
+        },
+        switching: Switching::wormhole(),
+        loads: paper_loads(),
+        algorithms: paper_algorithms().to_vec(),
+    }
+}
+
+/// Figure 5: local traffic with 0.4 locality (7×7 neighborhoods, r = 3).
+pub fn fig5() -> FigureSpec {
+    FigureSpec {
+        id: "fig5".to_owned(),
+        title: "Local traffic of 16-flit worms with 0.4 locality fraction".to_owned(),
+        topology: paper_topology(),
+        traffic: TrafficConfig::Local { radius: 3 },
+        switching: Switching::wormhole(),
+        loads: paper_loads(),
+        algorithms: paper_algorithms().to_vec(),
+    }
+}
+
+/// The Section 3.4 in-text experiment: 2pn, nbc, and e-cube under
+/// *virtual cut-through* switching, uniform traffic — the study that led
+/// the authors to credit priority information for the hop schemes' edge.
+pub fn vct_section_3_4() -> FigureSpec {
+    FigureSpec {
+        id: "vct34".to_owned(),
+        title: "Virtual cut-through of 16-flit packets, uniform traffic".to_owned(),
+        topology: paper_topology(),
+        traffic: TrafficConfig::Uniform,
+        switching: Switching::VirtualCutThrough,
+        loads: paper_loads(),
+        algorithms: vec![
+            AlgorithmKind::NegativeHopBonusCards,
+            AlgorithmKind::TwoPowerN,
+            AlgorithmKind::Ecube,
+        ],
+    }
+}
+
+/// All of the paper's experiment families.
+pub fn all_figures() -> Vec<FigureSpec> {
+    vec![fig3(), fig4(), fig5(), vct_section_3_4()]
+}
+
+/// Expands a [`FigureSpec`] into concrete experiments, one per
+/// `(algorithm, load)` pair, with the given schedule and seed.
+pub fn experiments_for(
+    spec: &FigureSpec,
+    schedule: MeasurementSchedule,
+    seed: u64,
+) -> Vec<Experiment> {
+    let topo = spec.topology.clone();
+    let mut experiments = Vec::new();
+    for &algorithm in &spec.algorithms {
+        for &load in &spec.loads {
+            experiments.push(
+                Experiment::new(topo.clone(), algorithm)
+                    .traffic(spec.traffic.clone())
+                    .switching(spec.switching)
+                    .offered_load(load)
+                    .schedule(schedule)
+                    .seed(seed),
+            );
+        }
+    }
+    experiments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_setup_matches_section_three() {
+        let topo = paper_topology();
+        assert_eq!(topo.num_nodes(), 256);
+        assert_eq!(paper_algorithms().len(), 6);
+        // The Figure 4 hotspot is node (15,15) at 4%.
+        match fig4().traffic {
+            TrafficConfig::Hotspot { nodes, fraction } => {
+                assert_eq!(nodes, vec![vec![15, 15]]);
+                assert_eq!(fraction, 0.04);
+            }
+            other => panic!("unexpected traffic {other:?}"),
+        }
+        // Figure 5 is the 7x7 neighborhood.
+        assert_eq!(fig5().traffic, TrafficConfig::Local { radius: 3 });
+    }
+
+    #[test]
+    fn experiments_expand_fully() {
+        let spec = fig3();
+        let experiments = experiments_for(&spec, MeasurementSchedule::quick(), 1);
+        assert_eq!(experiments.len(), 6 * spec.loads.len());
+    }
+
+    #[test]
+    fn vct_uses_cut_through() {
+        let spec = vct_section_3_4();
+        assert_eq!(spec.switching, Switching::VirtualCutThrough);
+        assert_eq!(spec.algorithms.len(), 3);
+    }
+
+    #[test]
+    fn all_figures_have_unique_ids() {
+        let figs = all_figures();
+        let mut ids: Vec<_> = figs.iter().map(|f| f.id.clone()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), figs.len());
+    }
+}

@@ -1,0 +1,134 @@
+//! Plain-text and CSV rendering of measurement results.
+
+use crate::RunResult;
+use std::fmt::Write as _;
+
+/// Formats a slice of results as an aligned text table, one row per run.
+///
+/// # Example
+///
+/// ```
+/// use wormsim::{Experiment, AlgorithmKind, format_results_table};
+/// use wormsim::topology::Topology;
+///
+/// let r = Experiment::new(Topology::torus(&[4, 4]), AlgorithmKind::Ecube)
+///     .offered_load(0.1).quick().seed(1).run()?;
+/// let table = format_results_table(&[r]);
+/// assert!(table.contains("ecube"));
+/// assert!(table.lines().count() >= 3); // header, rule, one row
+/// # Ok::<(), wormsim::ExperimentError>(())
+/// ```
+pub fn format_results_table(results: &[RunResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<7} {:<14} {:>8} {:>10} {:>12} {:>9} {:>8} {:>8} {:>6}",
+        "algo", "traffic", "offered", "achieved", "latency", "±95%", "refused", "msgs", "conv"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(92));
+    for r in results {
+        let conv = if r.deadlock.is_some() {
+            "DEAD"
+        } else if r.convergence.is_converged() {
+            "yes"
+        } else {
+            "cap"
+        };
+        let _ = writeln!(
+            out,
+            "{:<7} {:<14} {:>8.3} {:>10.4} {:>12.2} {:>9.2} {:>7.1}% {:>8} {:>6}",
+            r.algorithm,
+            r.traffic,
+            r.offered_load,
+            r.achieved_utilization,
+            r.latency.mean(),
+            r.latency.half_width(),
+            r.refused_fraction * 100.0,
+            r.messages_measured,
+            conv
+        );
+    }
+    out
+}
+
+/// Formats a sweep as CSV with a header row, suitable for plotting.
+pub fn format_sweep_csv(results: &[RunResult]) -> String {
+    let mut out = String::from(
+        "algorithm,traffic,offered_load,injection_rate,achieved_utilization,\
+         latency_mean,latency_half_width,latency_p50,latency_p95,latency_p99,\
+         delivery_rate,acceptance_rate,\
+         refused_fraction,messages,samples,converged,deadlocked\n",
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.algorithm,
+            r.traffic,
+            r.offered_load,
+            r.injection_rate,
+            r.achieved_utilization,
+            r.latency.mean(),
+            r.latency.half_width(),
+            r.latency_percentiles[0],
+            r.latency_percentiles[1],
+            r.latency_percentiles[2],
+            r.delivery_rate,
+            r.acceptance_rate,
+            r.refused_fraction,
+            r.messages_measured,
+            r.samples,
+            r.convergence.is_converged(),
+            r.deadlock.is_some()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormsim_stats::{ConfidenceInterval, ConvergenceStatus};
+
+    fn sample() -> RunResult {
+        RunResult {
+            algorithm: "nbc".into(),
+            traffic: "uniform".into(),
+            offered_load: 0.6,
+            injection_rate: 0.0187,
+            latency: ConfidenceInterval::new(45.2, 1.8),
+            latency_percentiles: [44, 60, 75],
+            latency_max: 120,
+            class_latencies: Vec::new(),
+            achieved_utilization: 0.58,
+            delivery_rate: 0.018,
+            acceptance_rate: 0.0185,
+            refused_fraction: 0.01,
+            messages_measured: 12_345,
+            convergence: ConvergenceStatus::Converged,
+            samples: 4,
+            cycles_simulated: 40_000,
+            deadlock: None,
+        }
+    }
+
+    #[test]
+    fn table_contains_key_fields() {
+        let t = format_results_table(&[sample()]);
+        assert!(t.contains("nbc"));
+        assert!(t.contains("uniform"));
+        assert!(t.contains("45.20"));
+        assert!(t.contains("yes"));
+    }
+
+    #[test]
+    fn csv_round_trips_fields() {
+        let csv = format_sweep_csv(&[sample()]);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let row = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), row.split(',').count());
+        assert!(row.starts_with("nbc,uniform,0.6,"));
+        assert!(row.ends_with("true,false"));
+    }
+}

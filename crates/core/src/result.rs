@@ -1,0 +1,147 @@
+//! Results of measurement runs.
+
+use serde::{Deserialize, Serialize};
+use wormsim_engine::DeadlockReport;
+use wormsim_stats::{ConfidenceInterval, ConvergenceStatus};
+
+/// Latency summary of one hop class (messages travelling a given number of
+/// hops) — the strata of the paper's estimator, reported individually.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClassLatency {
+    /// The hop count of this class.
+    pub hops: u16,
+    /// Messages measured in this class.
+    pub count: u64,
+    /// Mean latency of the class, in cycles.
+    pub mean: f64,
+}
+
+/// The converged measurement of one `(configuration, offered load)` point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The routing algorithm's short name.
+    pub algorithm: String,
+    /// The traffic pattern's name.
+    pub traffic: String,
+    /// Offered load as a fraction of channel capacity (the paper's x-axis).
+    pub offered_load: f64,
+    /// The per-node, per-cycle injection rate that produced it (Eq. 4).
+    pub injection_rate: f64,
+    /// Stratified average message latency in cycles, with its 95% bound.
+    pub latency: ConfidenceInterval,
+    /// Latency percentiles over all measured messages (p50, p95, p99), in
+    /// cycles.
+    pub latency_percentiles: [u64; 3],
+    /// The slowest measured message, in cycles.
+    pub latency_max: u64,
+    /// Per-hop-class latency breakdown (classes with measurements only).
+    pub class_latencies: Vec<ClassLatency>,
+    /// Measured channel utilization: flit-hops over channel capacity —
+    /// the paper's "achieved channel utilization" / normalized throughput.
+    pub achieved_utilization: f64,
+    /// Messages delivered per node per cycle.
+    pub delivery_rate: f64,
+    /// Messages accepted (past congestion control) per node per cycle.
+    pub acceptance_rate: f64,
+    /// Fraction of generated messages refused by congestion control.
+    pub refused_fraction: f64,
+    /// Messages measured across all sampling periods.
+    pub messages_measured: u64,
+    /// How the run ended.
+    pub convergence: ConvergenceStatus,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Total cycles simulated (warmup + samples + gaps).
+    pub cycles_simulated: u64,
+    /// Set if the deadlock watchdog fired during the run.
+    #[serde(skip)]
+    pub deadlock: Option<DeadlockReport>,
+}
+
+impl RunResult {
+    /// Whether the run produced a trustworthy steady-state estimate.
+    pub fn is_converged(&self) -> bool {
+        self.convergence.is_converged() && self.deadlock.is_none()
+    }
+}
+
+/// One point of a load sweep: the result plus its position in the sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Index within the sweep.
+    pub index: usize,
+    /// The measurement at this load.
+    pub result: RunResult,
+}
+
+/// Summary statistics over a sweep (peak throughput and where it occurs).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepSummary {
+    /// The highest achieved utilization across the sweep.
+    pub peak_utilization: f64,
+    /// The offered load at which the peak occurred.
+    pub peak_at_offered: f64,
+}
+
+impl SweepSummary {
+    /// Computes the summary of a sweep.
+    ///
+    /// Returns `None` for an empty sweep.
+    pub fn of(results: &[RunResult]) -> Option<SweepSummary> {
+        results
+            .iter()
+            .max_by(|a, b| {
+                a.achieved_utilization
+                    .partial_cmp(&b.achieved_utilization)
+                    .expect("utilizations are finite")
+            })
+            .map(|best| SweepSummary {
+                peak_utilization: best.achieved_utilization,
+                peak_at_offered: best.offered_load,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(offered: f64, util: f64) -> RunResult {
+        RunResult {
+            algorithm: "phop".into(),
+            traffic: "uniform".into(),
+            offered_load: offered,
+            injection_rate: 0.01,
+            latency: ConfidenceInterval::new(30.0, 1.0),
+            latency_percentiles: [28, 40, 55],
+            latency_max: 90,
+            class_latencies: Vec::new(),
+            achieved_utilization: util,
+            delivery_rate: 0.01,
+            acceptance_rate: 0.01,
+            refused_fraction: 0.0,
+            messages_measured: 1000,
+            convergence: ConvergenceStatus::Converged,
+            samples: 3,
+            cycles_simulated: 30_000,
+            deadlock: None,
+        }
+    }
+
+    #[test]
+    fn summary_finds_peak() {
+        let sweep = vec![result(0.2, 0.2), result(0.6, 0.55), result(0.8, 0.50)];
+        let s = SweepSummary::of(&sweep).unwrap();
+        assert_eq!(s.peak_utilization, 0.55);
+        assert_eq!(s.peak_at_offered, 0.6);
+        assert_eq!(SweepSummary::of(&[]), None);
+    }
+
+    #[test]
+    fn convergence_gate() {
+        let mut r = result(0.2, 0.2);
+        assert!(r.is_converged());
+        r.convergence = ConvergenceStatus::MaxSamplesReached;
+        assert!(!r.is_converged());
+    }
+}

@@ -1,0 +1,75 @@
+//! Engine configuration errors.
+
+use std::fmt;
+use wormsim_routing::RoutingError;
+use wormsim_traffic::TrafficError;
+
+/// Errors produced when assembling a [`Network`](crate::Network).
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// The routing algorithm rejected the topology.
+    Routing(RoutingError),
+    /// The traffic configuration rejected the topology or its parameters.
+    Traffic(TrafficError),
+    /// Wormhole buffer depth must be at least 1.
+    ZeroBufferDepth,
+    /// At least one physical VC per routing class is required.
+    ZeroReplicas,
+    /// Injection bandwidth must be at least 1 flit per cycle.
+    ZeroInjectionBandwidth,
+    /// The congestion-control limit must be at least 1 when present.
+    ZeroCongestionLimit,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Routing(e) => write!(f, "routing: {e}"),
+            EngineError::Traffic(e) => write!(f, "traffic: {e}"),
+            EngineError::ZeroBufferDepth => write!(f, "buffer depth must be at least 1"),
+            EngineError::ZeroReplicas => write!(f, "vc replicas must be at least 1"),
+            EngineError::ZeroInjectionBandwidth => {
+                write!(f, "injection bandwidth must be at least 1")
+            }
+            EngineError::ZeroCongestionLimit => {
+                write!(f, "congestion limit must be at least 1 when enabled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Routing(e) => Some(e),
+            EngineError::Traffic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RoutingError> for EngineError {
+    fn from(e: RoutingError) -> Self {
+        EngineError::Routing(e)
+    }
+}
+
+impl From<TrafficError> for EngineError {
+    fn from(e: TrafficError) -> Self {
+        EngineError::Traffic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = EngineError::from(RoutingError::UnknownAlgorithm { name: "x".into() });
+        assert!(e.to_string().contains("routing"));
+        assert!(e.source().is_some());
+        assert!(EngineError::ZeroBufferDepth.source().is_none());
+    }
+}

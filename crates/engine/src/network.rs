@@ -1,0 +1,1009 @@
+//! The [`Network`]: a synchronous flit-level simulator.
+
+use crate::config::{EjectionModel, SelectionPolicy, SimConfig, Switching};
+use crate::flit::{Flit, MessageId};
+use crate::message::{MessageRec, MessageSlab};
+use crate::metrics::{DeliveredMessage, Metrics};
+use crate::vc::{InputVc, OutputVc, RouteTarget};
+use crate::{EngineError, TraceEvent};
+use std::collections::{HashMap, VecDeque};
+use wormsim_routing::{Candidate, MessageRouteState, RoutingAlgorithm};
+use wormsim_topology::{Direction, NodeId, Topology};
+use wormsim_traffic::{SimRng, TrafficPattern};
+
+/// Reported when the watchdog observes no flit movement for the configured
+/// number of cycles while flits are in flight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// The cycle at which the watchdog fired.
+    pub detected_at: u64,
+    /// The last cycle with any flit movement.
+    pub last_progress: u64,
+    /// Flits stuck in the network (including source-queued flits).
+    pub flits_in_flight: u64,
+    /// Messages alive at detection time.
+    pub live_messages: usize,
+}
+
+/// Per-node simulation state.
+#[derive(Debug, Default)]
+struct NodeState {
+    /// Messages accepted but not yet assigned to an injection VC.
+    queue: VecDeque<MessageId>,
+    /// Congestion-control occupancy per message class.
+    class_counts: HashMap<u32, u32>,
+    /// Cycle of the next traffic arrival.
+    next_arrival: Option<u64>,
+    /// Injection VCs currently streaming a message (VC indices).
+    streaming_inj: Vec<u16>,
+    /// Round-robin pointer over `streaming_inj` for the injection budget.
+    inj_rr: usize,
+    /// Round-robin pointer for single-channel ejection.
+    ej_rr: usize,
+}
+
+/// A decided link transfer: input VC `ivc` sends one flit over the output
+/// channel of `node` in packed direction `dir`, on physical VC `vc`.
+#[derive(Clone, Copy, Debug)]
+struct LinkMove {
+    ivc: u32,
+    node: u32,
+    dir: u8,
+    vc: u16,
+}
+
+/// The assembled network simulator.
+///
+/// See the [crate docs](crate) for the cycle structure and an example.
+pub struct Network {
+    cfg: SimConfig,
+    topo: Topology,
+    algo: Box<dyn RoutingAlgorithm>,
+    pattern: Box<dyn TrafficPattern>,
+    /// Routing VC classes per physical channel.
+    classes: usize,
+    /// Physical VCs per class.
+    replicas: usize,
+    /// Physical VCs per channel (`classes * replicas`).
+    vcs: usize,
+    /// Outgoing directions per node (`2n`).
+    dirs: usize,
+    /// Input ports per node (`2n` links + 1 injection).
+    ports: usize,
+    /// Per-VC input buffer capacity in flits.
+    capacity: u32,
+
+    input_vcs: Vec<InputVc>,
+    output_vcs: Vec<OutputVc>,
+    /// Input VCs currently routed to each output channel.
+    requests: Vec<Vec<u32>>,
+    /// Round-robin pointer per output channel.
+    out_rr: Vec<usize>,
+    /// Input VCs whose front head still needs a route.
+    pending_route: Vec<u32>,
+    /// Input VCs currently delivering to the local node.
+    ejecting: Vec<u32>,
+    nodes: Vec<NodeState>,
+    slab: MessageSlab,
+
+    metrics: Metrics,
+    delivered: Vec<DeliveredMessage>,
+    cycle: u64,
+    flits_in_flight: u64,
+    last_progress: u64,
+    deadlock: Option<DeadlockReport>,
+
+    arrivals_rng: SimRng,
+    dest_rng: SimRng,
+    length_rng: SimRng,
+    arb_rng: SimRng,
+
+    scratch_candidates: Vec<Candidate>,
+    scratch_moves: Vec<LinkMove>,
+    marked_inj: Vec<bool>,
+    marked_list: Vec<u32>,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("topology", &self.topo.to_string())
+            .field("algorithm", &self.algo.name())
+            .field("cycle", &self.cycle)
+            .field("flits_in_flight", &self.flits_in_flight)
+            .field("live_messages", &self.slab.live())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Network {
+    /// Assembles a network from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] for invalid parameters, or if the routing
+    /// algorithm / traffic pattern rejects the topology.
+    pub fn new(cfg: SimConfig) -> Result<Self, EngineError> {
+        let topo = cfg.topology.clone();
+        let algo = cfg.algorithm.build(&topo)?;
+        let pattern = cfg.traffic.build(&topo)?;
+        Self::with_parts(cfg, algo, pattern)
+    }
+
+    /// Assembles a network with a *custom* routing algorithm and/or traffic
+    /// pattern, bypassing the built-in registries. The `algorithm` and
+    /// `traffic` fields of `cfg` are ignored in favor of the given parts.
+    ///
+    /// This is the extension point for experimenting with routing
+    /// algorithms beyond the paper's six: implement
+    /// [`RoutingAlgorithm`](wormsim_routing::RoutingAlgorithm) and hand it
+    /// in (see the repository's `custom_algorithm` example).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] for invalid parameters.
+    pub fn with_parts(
+        cfg: SimConfig,
+        algo: Box<dyn RoutingAlgorithm>,
+        pattern: Box<dyn TrafficPattern>,
+    ) -> Result<Self, EngineError> {
+        cfg.validate()?;
+        let topo = cfg.topology.clone();
+        let classes = algo.num_vc_classes();
+        let replicas = cfg.vc_replicas as usize;
+        let vcs = classes * replicas;
+        let dirs = topo.num_dims() * 2;
+        let ports = dirs + 1;
+        let n = topo.num_nodes() as usize;
+        let capacity = cfg.buffer_capacity();
+
+        let mut net = Network {
+            input_vcs: (0..n * ports * vcs).map(|_| InputVc::default()).collect(),
+            output_vcs: vec![OutputVc::new(capacity); n * dirs * vcs],
+            requests: vec![Vec::new(); n * dirs],
+            out_rr: vec![0; n * dirs],
+            pending_route: Vec::new(),
+            ejecting: Vec::new(),
+            nodes: (0..n).map(|_| NodeState::default()).collect(),
+            slab: MessageSlab::default(),
+            metrics: Metrics::new(classes, cfg.track_channel_load, n * dirs),
+            delivered: Vec::new(),
+            cycle: 0,
+            flits_in_flight: 0,
+            last_progress: 0,
+            deadlock: None,
+            arrivals_rng: SimRng::stream(cfg.seed, 0),
+            dest_rng: SimRng::stream(cfg.seed, 1),
+            length_rng: SimRng::stream(cfg.seed, 2),
+            arb_rng: SimRng::stream(cfg.seed, 3),
+            scratch_candidates: Vec::with_capacity(64),
+            scratch_moves: Vec::with_capacity(n * dirs),
+            marked_inj: vec![false; n * ports * vcs],
+            marked_list: Vec::new(),
+            trace: None,
+            classes,
+            replicas,
+            vcs,
+            dirs,
+            ports,
+            capacity,
+            topo,
+            algo,
+            pattern,
+            cfg,
+        };
+        net.schedule_initial_arrivals();
+        Ok(net)
+    }
+
+    // ------------------------------------------------------------------
+    // Indexing helpers.
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn ivc_index(&self, node: u32, port: usize, vc: usize) -> u32 {
+        ((node as usize * self.ports + port) * self.vcs + vc) as u32
+    }
+
+    #[inline]
+    fn ivc_parts(&self, ivc: u32) -> (u32, usize, usize) {
+        let vc = ivc as usize % self.vcs;
+        let rest = ivc as usize / self.vcs;
+        let port = rest % self.ports;
+        let node = rest / self.ports;
+        (node as u32, port, vc)
+    }
+
+    #[inline]
+    fn ovc_index(&self, node: u32, dir: usize, vc: usize) -> usize {
+        (node as usize * self.dirs + dir) * self.vcs + vc
+    }
+
+    #[inline]
+    fn channel_index(&self, node: u32, dir: usize) -> usize {
+        node as usize * self.dirs + dir
+    }
+
+    #[inline]
+    fn injection_port(&self) -> usize {
+        self.dirs
+    }
+
+    // ------------------------------------------------------------------
+    // Public accessors.
+    // ------------------------------------------------------------------
+
+    /// The current cycle (completed steps).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Virtual-channel classes per physical channel (set by the algorithm).
+    pub fn num_vc_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Physical virtual channels per channel
+    /// (`num_vc_classes × vc_replicas`).
+    pub fn num_physical_vcs(&self) -> usize {
+        self.vcs
+    }
+
+    /// The configuration this network was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The topology under simulation.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The routing algorithm in use.
+    pub fn algorithm(&self) -> &dyn RoutingAlgorithm {
+        self.algo.as_ref()
+    }
+
+    /// The traffic pattern in use.
+    pub fn traffic_pattern(&self) -> &dyn TrafficPattern {
+        self.pattern.as_ref()
+    }
+
+    /// Aggregate counters since the last [`reset_metrics`](Self::reset_metrics).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Zeroes the aggregate counters (network state is untouched). Used at
+    /// sampling-period boundaries.
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// Takes the per-message delivery records accumulated so far.
+    pub fn drain_delivered(&mut self) -> Vec<DeliveredMessage> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Flits currently inside the network or its source queues.
+    pub fn flits_in_flight(&self) -> u64 {
+        self.flits_in_flight
+    }
+
+    /// Messages currently alive (queued, streaming, or in transit).
+    pub fn live_messages(&self) -> usize {
+        self.slab.live()
+    }
+
+    /// Number of physical network channels (the denominator of channel
+    /// utilization); mesh boundary slots are excluded.
+    pub fn num_network_channels(&self) -> u64 {
+        self.topo.num_physical_links() as u64
+    }
+
+    /// The watchdog's verdict, if it has fired.
+    pub fn deadlock_report(&self) -> Option<DeadlockReport> {
+        self.deadlock
+    }
+
+    /// Turns message-lifecycle tracing on: subsequent milestones are
+    /// recorded until [`drain_trace`](Self::drain_trace) or
+    /// [`disable_tracing`](Self::disable_tracing). See
+    /// [`TraceEvent`] for the event vocabulary and the memory caveat.
+    pub fn enable_tracing(&mut self) {
+        self.trace.get_or_insert_with(Vec::new);
+    }
+
+    /// Turns tracing off and discards any buffered events.
+    pub fn disable_tracing(&mut self) {
+        self.trace = None;
+    }
+
+    /// Takes the buffered trace events (empty if tracing is off).
+    pub fn drain_trace(&mut self) -> Vec<TraceEvent> {
+        match self.trace.as_mut() {
+            Some(buffer) => std::mem::take(buffer),
+            None => Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn trace(&mut self, event: TraceEvent) {
+        if let Some(buffer) = self.trace.as_mut() {
+            buffer.push(event);
+        }
+    }
+
+    /// Re-seeds the arrival/destination/length/arbitration streams for a
+    /// new sampling phase, as the paper does between samples.
+    pub fn reseed_streams(&mut self, phase: u64) {
+        let base = 4 * (phase + 1);
+        self.arrivals_rng = SimRng::stream(self.cfg.seed, base);
+        self.dest_rng = SimRng::stream(self.cfg.seed, base + 1);
+        self.length_rng = SimRng::stream(self.cfg.seed, base + 2);
+        self.arb_rng = SimRng::stream(self.cfg.seed, base + 3);
+    }
+
+    // ------------------------------------------------------------------
+    // Driving the simulation.
+    // ------------------------------------------------------------------
+
+    /// Runs `cycles` simulation steps.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs until no flits remain in flight, or `max_cycles` steps elapse.
+    /// Returns `true` if the network drained.
+    pub fn run_until_empty(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.flits_in_flight == 0 {
+                return true;
+            }
+            self.step();
+        }
+        self.flits_in_flight == 0
+    }
+
+    /// Queues a message directly, bypassing the arrival process (but still
+    /// occupying a congestion-control slot until its tail leaves the
+    /// source). Intended for tests and custom drivers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dest`, if `length` is zero, or if `length` exceeds
+    /// the per-VC buffer capacity under cut-through or store-and-forward
+    /// switching (those modes size buffers for the configured maximum
+    /// message length, and an oversized message could never be stored).
+    pub fn inject(&mut self, src: NodeId, dest: NodeId, length: u32) -> MessageId {
+        assert!(src != dest, "messages must leave their source");
+        assert!(length > 0, "messages have at least one flit");
+        if !matches!(self.cfg.switching, Switching::Wormhole { .. }) {
+            assert!(
+                length <= self.capacity,
+                "message of {length} flits exceeds the {}-flit buffers this \
+                 cut-through/store-and-forward network was configured for",
+                self.capacity
+            );
+        }
+        self.admit(src, dest, length)
+    }
+
+    /// Executes one simulation cycle.
+    pub fn step(&mut self) {
+        self.phase_arrivals();
+        self.phase_assign_injection();
+        self.phase_route();
+        self.phase_switch_allocation();
+        let progressed = self.phase_execute();
+        if progressed {
+            self.last_progress = self.cycle;
+        } else if self.flits_in_flight > 0
+            && self.deadlock.is_none()
+            && self.cycle - self.last_progress >= self.cfg.watchdog_cycles
+        {
+            self.deadlock = Some(DeadlockReport {
+                detected_at: self.cycle,
+                last_progress: self.last_progress,
+                flits_in_flight: self.flits_in_flight,
+                live_messages: self.slab.live(),
+            });
+        }
+        self.metrics.cycles += 1;
+        self.cycle += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: traffic arrivals.
+    // ------------------------------------------------------------------
+
+    fn schedule_initial_arrivals(&mut self) {
+        for node in 0..self.nodes.len() {
+            self.nodes[node].next_arrival =
+                self.cfg.arrival.next_gap(&mut self.arrivals_rng).map(|gap| gap - 1);
+        }
+    }
+
+    fn phase_arrivals(&mut self) {
+        for node in 0..self.nodes.len() as u32 {
+            if self.nodes[node as usize].next_arrival != Some(self.cycle) {
+                continue;
+            }
+            self.nodes[node as usize].next_arrival = self
+                .cfg
+                .arrival
+                .next_gap(&mut self.arrivals_rng)
+                .map(|gap| self.cycle + gap);
+            let src = NodeId::new(node);
+            let dest = self.pattern.sample_dest(src, &mut self.dest_rng);
+            let length = self.cfg.length.sample(&mut self.length_rng);
+            // Congestion control: refuse if the class is at its limit.
+            if let Some(limit) = self.cfg.congestion_limit {
+                let mut route = MessageRouteState::new(src, dest);
+                self.algo.init_message(&self.topo, &mut route);
+                let class = self.algo.injection_class(&self.topo, &route);
+                let count = self.nodes[node as usize]
+                    .class_counts
+                    .get(&class)
+                    .copied()
+                    .unwrap_or(0);
+                if count >= limit {
+                    self.metrics.refused += 1;
+                    self.trace(TraceEvent::Refused { cycle: self.cycle, src, class });
+                    continue;
+                }
+            }
+            self.admit(src, dest, length);
+        }
+    }
+
+    fn admit(&mut self, src: NodeId, dest: NodeId, length: u32) -> MessageId {
+        let mut route = MessageRouteState::new(src, dest);
+        self.algo.init_message(&self.topo, &mut route);
+        let injection_class = self.algo.injection_class(&self.topo, &route);
+        let id = self.slab.insert(MessageRec {
+            route,
+            length,
+            generated: self.cycle,
+            injected: None,
+            injection_class,
+            src,
+        });
+        let node = &mut self.nodes[src.as_usize()];
+        *node.class_counts.entry(injection_class).or_insert(0) += 1;
+        node.queue.push_back(id);
+        self.metrics.generated += 1;
+        self.flits_in_flight += length as u64;
+        self.trace(TraceEvent::Generated {
+            cycle: self.cycle,
+            msg: id,
+            src,
+            dest,
+            length,
+        });
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: move queued messages into free injection VCs.
+    // ------------------------------------------------------------------
+
+    fn phase_assign_injection(&mut self) {
+        let inj_port = self.injection_port();
+        for node in 0..self.nodes.len() as u32 {
+            while !self.nodes[node as usize].queue.is_empty() {
+                // Find a free injection VC (empty buffer, no route).
+                let Some(vc) = (0..self.vcs).find(|&vc| {
+                    let ivc = self.ivc_index(node, inj_port, vc);
+                    let slot = &self.input_vcs[ivc as usize];
+                    slot.buffer.is_empty() && slot.route.is_none()
+                }) else {
+                    break;
+                };
+                let id = self.nodes[node as usize].queue.pop_front().expect("non-empty");
+                let length = self.slab.get(id).length;
+                let ivc = self.ivc_index(node, inj_port, vc);
+                for flit in Flit::sequence(id, length) {
+                    self.input_vcs[ivc as usize].push(flit);
+                }
+                self.trace(TraceEvent::InjectionStarted { cycle: self.cycle, msg: id });
+                self.enqueue_pending(ivc);
+            }
+        }
+    }
+
+    fn enqueue_pending(&mut self, ivc: u32) {
+        self.pending_route.push(ivc);
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 3: routing and VC allocation for head flits.
+    // ------------------------------------------------------------------
+
+    fn phase_route(&mut self) {
+        let pending = std::mem::take(&mut self.pending_route);
+        for ivc in pending {
+            if !self.try_route(ivc) {
+                self.pending_route.push(ivc);
+            }
+        }
+    }
+
+    fn try_route(&mut self, ivc: u32) -> bool {
+        let (node, _port, _vc) = self.ivc_parts(ivc);
+        let slot = &self.input_vcs[ivc as usize];
+        let front = slot.front().expect("pending input VC holds its head");
+        debug_assert!(front.kind.is_head(), "pending front must be a head flit");
+        debug_assert!(slot.route.is_none());
+        let msg = front.msg;
+        let rec_route = self.slab.get(msg).route;
+        let here = NodeId::new(node);
+
+        if rec_route.dest() == here {
+            self.input_vcs[ivc as usize].route = Some(RouteTarget::Eject);
+            self.ejecting.push(ivc);
+            return true;
+        }
+        // Store-and-forward: only route once the whole message is here.
+        if matches!(self.cfg.switching, Switching::StoreAndForward)
+            && !self.input_vcs[ivc as usize].front_message_complete()
+        {
+            return false;
+        }
+
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        candidates.clear();
+        self.algo.candidates(&self.topo, &rec_route, here, &mut candidates);
+        debug_assert!(!candidates.is_empty(), "routing must always offer a hop");
+
+        // Gather the free physical VCs permitted by the candidate set.
+        let mut best: Option<(usize, u8, u16, u32)> = None; // (ovc, dir, vc, credits)
+        let mut free_seen = 0u32;
+        for cand in &candidates {
+            let dir = cand.direction().index();
+            let base = cand.vc_class() as usize * self.replicas;
+            for r in 0..self.replicas {
+                let vc = base + r;
+                let ovc = self.ovc_index(node, dir, vc);
+                let out = &self.output_vcs[ovc];
+                if !out.is_free() {
+                    continue;
+                }
+                free_seen += 1;
+                let take = match self.cfg.selection {
+                    SelectionPolicy::FirstFree => best.is_none(),
+                    SelectionPolicy::MostCredits => {
+                        best.is_none_or(|(_, _, _, c)| out.credits > c)
+                    }
+                    SelectionPolicy::Random => {
+                        // Reservoir sampling over the free set.
+                        self.arb_rng.uniform_below(free_seen) == 0
+                    }
+                };
+                if take {
+                    best = Some((ovc, dir as u8, vc as u16, out.credits));
+                }
+            }
+        }
+        self.scratch_candidates = candidates;
+
+        let Some((ovc, dir, vc, _)) = best else {
+            return false;
+        };
+        self.output_vcs[ovc].owner = Some(msg);
+        self.input_vcs[ivc as usize].route = Some(RouteTarget::Link { dir, vc });
+        let ch = self.channel_index(node, dir as usize);
+        self.requests[ch].push(ivc);
+        // An injection VC becomes a "streaming" lane once its head has a
+        // route, making it eligible for the per-node injection budget.
+        let (_, port, in_vc) = self.ivc_parts(ivc);
+        if port == self.injection_port() {
+            let state = &mut self.nodes[node as usize];
+            if !state.streaming_inj.contains(&(in_vc as u16)) {
+                state.streaming_inj.push(in_vc as u16);
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 4: switch allocation (one flit per output channel per cycle).
+    // ------------------------------------------------------------------
+
+    fn phase_switch_allocation(&mut self) {
+        self.scratch_moves.clear();
+        self.mark_injection_budget();
+        let inj_port = self.injection_port();
+        for node in 0..self.nodes.len() as u32 {
+            for dir in 0..self.dirs {
+                let ch = self.channel_index(node, dir);
+                let len = self.requests[ch].len();
+                if len == 0 {
+                    continue;
+                }
+                let start = self.out_rr[ch] % len;
+                for offset in 0..len {
+                    let ivc = self.requests[ch][(start + offset) % len];
+                    let (_, port, _) = self.ivc_parts(ivc);
+                    let slot = &self.input_vcs[ivc as usize];
+                    if slot.buffer.is_empty() {
+                        continue;
+                    }
+                    if port == inj_port && !self.marked_inj[ivc as usize] {
+                        continue;
+                    }
+                    let Some(RouteTarget::Link { dir: d, vc }) = slot.route else {
+                        continue;
+                    };
+                    debug_assert_eq!(d as usize, dir);
+                    let ovc = self.ovc_index(node, dir, vc as usize);
+                    if self.output_vcs[ovc].credits == 0 {
+                        continue;
+                    }
+                    self.scratch_moves.push(LinkMove { ivc, node, dir: dir as u8, vc });
+                    self.out_rr[ch] = (start + offset + 1) % len;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Marks up to `injection_bandwidth` streaming injection VCs per node
+    /// as allowed to send this cycle (the processor-router port is a
+    /// physical channel too).
+    fn mark_injection_budget(&mut self) {
+        for &ivc in &self.marked_list {
+            self.marked_inj[ivc as usize] = false;
+        }
+        self.marked_list.clear();
+        let inj_port = self.injection_port();
+        for node in 0..self.nodes.len() as u32 {
+            let state = &self.nodes[node as usize];
+            let len = state.streaming_inj.len();
+            if len == 0 {
+                continue;
+            }
+            let start = state.inj_rr % len;
+            let budget = self.cfg.injection_bandwidth as usize;
+            let mut marked = 0;
+            let mut advance = 0;
+            for offset in 0..len {
+                if marked >= budget {
+                    break;
+                }
+                let vc = self.nodes[node as usize].streaming_inj[(start + offset) % len];
+                let ivc = self.ivc_index(node, inj_port, vc as usize);
+                if !self.input_vcs[ivc as usize].buffer.is_empty() {
+                    self.marked_inj[ivc as usize] = true;
+                    self.marked_list.push(ivc);
+                    marked += 1;
+                    advance = offset + 1;
+                }
+            }
+            self.nodes[node as usize].inj_rr = (start + advance) % len;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 5: execute ejections and link transfers.
+    // ------------------------------------------------------------------
+
+    fn phase_execute(&mut self) -> bool {
+        let mut progressed = false;
+        progressed |= self.execute_ejections();
+        progressed |= self.execute_link_moves();
+        progressed
+    }
+
+    fn execute_ejections(&mut self) -> bool {
+        let mut progressed = false;
+        let ejecting = std::mem::take(&mut self.ejecting);
+        match self.cfg.ejection {
+            EjectionModel::PerVc => {
+                for &ivc in &ejecting {
+                    let slot = &self.input_vcs[ivc as usize];
+                    if slot.route == Some(RouteTarget::Eject) && !slot.buffer.is_empty() {
+                        self.eject_one(ivc);
+                        progressed = true;
+                    }
+                }
+            }
+            EjectionModel::SingleChannel => {
+                // One delivery per node per cycle, round-robin among the
+                // node's ejecting VCs.
+                let mut per_node: HashMap<u32, Vec<u32>> = HashMap::new();
+                for &ivc in &ejecting {
+                    let slot = &self.input_vcs[ivc as usize];
+                    if slot.route == Some(RouteTarget::Eject) && !slot.buffer.is_empty() {
+                        let (node, _, _) = self.ivc_parts(ivc);
+                        per_node.entry(node).or_default().push(ivc);
+                    }
+                }
+                for (node, ready) in per_node {
+                    let rr = self.nodes[node as usize].ej_rr;
+                    let ivc = ready[rr % ready.len()];
+                    self.nodes[node as usize].ej_rr = rr.wrapping_add(1);
+                    self.eject_one(ivc);
+                    progressed = true;
+                }
+            }
+        }
+        // Keep VCs whose route is still Eject (their tail has not passed).
+        for ivc in ejecting {
+            if self.input_vcs[ivc as usize].route == Some(RouteTarget::Eject) {
+                self.ejecting.push(ivc);
+            }
+        }
+        progressed
+    }
+
+    fn eject_one(&mut self, ivc: u32) {
+        let (node, port, _vc) = self.ivc_parts(ivc);
+        let flit = self.input_vcs[ivc as usize].pop();
+        self.return_credit(node, port, ivc);
+        self.metrics.flits_ejected += 1;
+        self.flits_in_flight -= 1;
+        self.trace(TraceEvent::FlitDelivered {
+            cycle: self.cycle,
+            msg: flit.msg,
+            kind: flit.kind,
+        });
+        if flit.kind.is_tail() {
+            let rec = self.slab.remove(flit.msg);
+            let latency = self.cycle - rec.generated;
+            self.trace(TraceEvent::Delivered {
+                cycle: self.cycle,
+                msg: flit.msg,
+                latency,
+            });
+            self.metrics.delivered += 1;
+            self.delivered.push(DeliveredMessage {
+                hop_class: rec.route.hops_taken() as u16,
+                latency,
+                source_wait: rec.injected.unwrap_or(rec.generated) - rec.generated,
+                length: rec.length,
+                delivered_at: self.cycle,
+            });
+            self.after_tail_pop(ivc);
+        }
+    }
+
+    fn execute_link_moves(&mut self) -> bool {
+        let moves = std::mem::take(&mut self.scratch_moves);
+        let progressed = !moves.is_empty();
+        for mv in &moves {
+            self.execute_link_move(*mv);
+        }
+        self.scratch_moves = moves;
+        progressed
+    }
+
+    fn execute_link_move(&mut self, mv: LinkMove) {
+        let (node, port, _) = self.ivc_parts(mv.ivc);
+        debug_assert_eq!(node, mv.node);
+        let flit = self.input_vcs[mv.ivc as usize].pop();
+        let dir = Direction::from_index(mv.dir as usize);
+        let inj_port = self.injection_port();
+
+        if flit.kind.is_head() {
+            // The head leaving a node is the moment the hop is decided:
+            // advance the message's routing state.
+            let class = (mv.vc as usize / self.replicas) as u8;
+            let rec = self.slab.get_mut(flit.msg);
+            rec.route
+                .advance(&self.topo, NodeId::new(node), Candidate::new(dir, class));
+            if port == inj_port {
+                rec.injected = Some(self.cycle);
+            }
+            self.trace(TraceEvent::HopTaken {
+                cycle: self.cycle,
+                msg: flit.msg,
+                from: NodeId::new(node),
+                direction: dir,
+                vc_class: class,
+            });
+        }
+        if port == inj_port {
+            self.metrics.flits_injected += 1;
+            if flit.kind.is_tail() {
+                // The message has fully left its source: release the
+                // congestion-control slot and the streaming lane.
+                let (injection_class, src) = {
+                    let rec = self.slab.get(flit.msg);
+                    (rec.injection_class, rec.src)
+                };
+                let (_, _, vc) = self.ivc_parts(mv.ivc);
+                let state = &mut self.nodes[src.as_usize()];
+                if let Some(count) = state.class_counts.get_mut(&injection_class) {
+                    *count -= 1;
+                    if *count == 0 {
+                        state.class_counts.remove(&injection_class);
+                    }
+                }
+                state.streaming_inj.retain(|&v| v as usize != vc);
+            }
+        } else {
+            self.return_credit(node, port, mv.ivc);
+        }
+
+        if flit.kind.is_tail() {
+            let ch = self.channel_index(node, mv.dir as usize);
+            self.requests[ch].retain(|&r| r != mv.ivc);
+            self.after_tail_pop(mv.ivc);
+        }
+
+        // Deliver the flit into the neighbor's input buffer.
+        let neighbor = self
+            .topo
+            .neighbor(NodeId::new(node), dir)
+            .expect("routed moves follow existing channels");
+        let div = self.ivc_index(neighbor.index(), dir.index(), mv.vc as usize);
+        let was_empty = self.input_vcs[div as usize].buffer.is_empty();
+        debug_assert!(
+            (self.input_vcs[div as usize].buffer.len() as u32) < self.capacity,
+            "credit flow control must prevent overflow"
+        );
+        self.input_vcs[div as usize].push(flit);
+        if was_empty && flit.kind.is_head() {
+            debug_assert!(self.input_vcs[div as usize].route.is_none());
+            self.enqueue_pending(div);
+        }
+
+        // Channel bookkeeping.
+        let ovc = self.ovc_index(node, mv.dir as usize, mv.vc as usize);
+        self.output_vcs[ovc].credits -= 1;
+        if flit.kind.is_tail() {
+            self.output_vcs[ovc].owner = None;
+        }
+        self.metrics.flit_hops += 1;
+        self.metrics.class_flits[mv.vc as usize / self.replicas] += 1;
+        let ch = self.channel_index(node, mv.dir as usize);
+        if let Some(loads) = self.metrics.channel_flits.as_mut() {
+            loads[ch] += 1;
+        }
+    }
+
+    /// After a tail leaves an input VC: if the next message's head is now
+    /// at the front, it needs routing.
+    fn after_tail_pop(&mut self, ivc: u32) {
+        if let Some(front) = self.input_vcs[ivc as usize].front() {
+            debug_assert!(
+                front.kind.is_head(),
+                "messages interleave only at message boundaries"
+            );
+            self.enqueue_pending(ivc);
+        }
+    }
+
+    /// Returns one credit to the upstream output VC feeding `ivc` (no-op
+    /// for injection ports, whose buffers are node-internal).
+    fn return_credit(&mut self, node: u32, port: usize, ivc: u32) {
+        if port >= self.dirs {
+            return;
+        }
+        let arrive_dir = Direction::from_index(port);
+        let upstream = self
+            .topo
+            .neighbor(NodeId::new(node), arrive_dir.opposite())
+            .expect("flits arrive over existing channels");
+        let (_, _, vc) = self.ivc_parts(ivc);
+        let ovc = self.ovc_index(upstream.index(), arrive_dir.index(), vc);
+        self.output_vcs[ovc].credits += 1;
+        debug_assert!(self.output_vcs[ovc].credits <= self.capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+    use wormsim_routing::AlgorithmKind;
+
+    fn tiny(algorithm: AlgorithmKind) -> Network {
+        NetworkBuilder::new(Topology::torus(&[4, 4]), algorithm)
+            .seed(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let net = tiny(AlgorithmKind::PositiveHop);
+        for node in 0..16u32 {
+            for port in 0..net.ports {
+                for vc in 0..net.vcs {
+                    let ivc = net.ivc_index(node, port, vc);
+                    assert_eq!(net.ivc_parts(ivc), (node, port, vc));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_network_steps_quietly() {
+        let mut net = tiny(AlgorithmKind::Ecube);
+        net.run(1000);
+        assert_eq!(net.metrics().generated, 0);
+        assert_eq!(net.flits_in_flight(), 0);
+        assert!(net.deadlock_report().is_none());
+        assert_eq!(net.cycle(), 1000);
+    }
+
+    #[test]
+    fn single_message_zero_load_latency() {
+        // Equation 2 with w = 0: latency = m_l + d - 1.
+        for algorithm in [
+            AlgorithmKind::Ecube,
+            AlgorithmKind::NorthLast,
+            AlgorithmKind::TwoPowerN,
+            AlgorithmKind::PositiveHop,
+            AlgorithmKind::NegativeHop,
+            AlgorithmKind::NegativeHopBonusCards,
+        ] {
+            let mut net = tiny(algorithm);
+            let src = net.topology().node_at(&[0, 0]);
+            let dest = net.topology().node_at(&[2, 1]);
+            net.inject(src, dest, 16);
+            assert!(net.run_until_empty(1_000), "{algorithm} should drain");
+            let delivered = net.drain_delivered();
+            assert_eq!(delivered.len(), 1, "{algorithm}");
+            let d = delivered[0];
+            assert_eq!(d.hop_class, 3, "{algorithm}");
+            assert_eq!(d.latency, 16 + 3 - 1, "{algorithm}: zero-load latency");
+            assert_eq!(d.source_wait, 0, "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn single_flit_message_latency() {
+        let mut net = tiny(AlgorithmKind::Ecube);
+        let src = net.topology().node_at(&[0, 0]);
+        let dest = net.topology().node_at(&[1, 0]);
+        net.inject(src, dest, 1);
+        assert!(net.run_until_empty(100));
+        let d = net.drain_delivered();
+        assert_eq!(d[0].latency, 1);
+    }
+
+    #[test]
+    fn flit_conservation() {
+        let mut net = tiny(AlgorithmKind::NegativeHop);
+        let topo = net.topology().clone();
+        for i in 0..10u32 {
+            let src = NodeId::new(i % 16);
+            let dest = NodeId::new((i * 7 + 3) % 16);
+            if src != dest {
+                net.inject(src, dest, 4 + i % 5);
+            }
+        }
+        let injected_flits = net.flits_in_flight();
+        assert!(net.run_until_empty(10_000));
+        assert_eq!(net.metrics().flits_ejected, injected_flits);
+        assert_eq!(net.metrics().delivered as usize, net.drain_delivered().len());
+        assert_eq!(net.live_messages(), 0);
+        let _ = topo;
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut net = NetworkBuilder::new(Topology::torus(&[4, 4]), AlgorithmKind::PositiveHop)
+                .arrival(wormsim_traffic::ArrivalProcess::geometric(0.02).unwrap())
+                .message_length(wormsim_traffic::MessageLength::fixed(8).unwrap())
+                .seed(seed)
+                .build()
+                .unwrap();
+            net.run(2_000);
+            (
+                net.metrics().generated,
+                net.metrics().delivered,
+                net.metrics().flit_hops,
+            )
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

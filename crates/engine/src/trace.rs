@@ -1,0 +1,120 @@
+//! Message-lifecycle tracing.
+//!
+//! When enabled, the [`Network`](crate::Network) records one
+//! [`TraceEvent`] per message milestone — generation, refusal, injection,
+//! every hop, delivery — into an in-memory buffer the caller drains.
+//! Tracing is for debugging and route inspection on bounded runs; the
+//! buffer grows with traffic, so long saturated simulations should drain
+//! it regularly (or leave tracing off, its cost when disabled is one
+//! branch per event site).
+
+use crate::{FlitKind, MessageId};
+use wormsim_topology::{Direction, NodeId};
+
+/// One message milestone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message was accepted into its source queue.
+    Generated {
+        /// Simulation cycle.
+        cycle: u64,
+        /// The new message.
+        msg: MessageId,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dest: NodeId,
+        /// Length in flits.
+        length: u32,
+    },
+    /// Congestion control refused a would-be message.
+    Refused {
+        /// Simulation cycle.
+        cycle: u64,
+        /// The node whose message was refused.
+        src: NodeId,
+        /// The congestion-control class that was full.
+        class: u32,
+    },
+    /// A message left its source queue for an injection virtual channel.
+    InjectionStarted {
+        /// Simulation cycle.
+        cycle: u64,
+        /// The message.
+        msg: MessageId,
+    },
+    /// A message's head flit left a node (one routing hop decided).
+    HopTaken {
+        /// Simulation cycle.
+        cycle: u64,
+        /// The message.
+        msg: MessageId,
+        /// The node the head departed from.
+        from: NodeId,
+        /// The direction travelled.
+        direction: Direction,
+        /// The virtual-channel class used.
+        vc_class: u8,
+    },
+    /// A flit was consumed at the destination; `kind` tells which one
+    /// (the tail flit completes the message).
+    FlitDelivered {
+        /// Simulation cycle.
+        cycle: u64,
+        /// The message.
+        msg: MessageId,
+        /// Which flit arrived.
+        kind: FlitKind,
+    },
+    /// The whole message was delivered.
+    Delivered {
+        /// Simulation cycle.
+        cycle: u64,
+        /// The message.
+        msg: MessageId,
+        /// End-to-end latency in cycles.
+        latency: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle the event occurred in.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::Generated { cycle, .. }
+            | TraceEvent::Refused { cycle, .. }
+            | TraceEvent::InjectionStarted { cycle, .. }
+            | TraceEvent::HopTaken { cycle, .. }
+            | TraceEvent::FlitDelivered { cycle, .. }
+            | TraceEvent::Delivered { cycle, .. } => cycle,
+        }
+    }
+
+    /// The message the event concerns, if any (refusals have none — the
+    /// message was never created).
+    pub fn msg(&self) -> Option<MessageId> {
+        match *self {
+            TraceEvent::Generated { msg, .. }
+            | TraceEvent::InjectionStarted { msg, .. }
+            | TraceEvent::HopTaken { msg, .. }
+            | TraceEvent::FlitDelivered { msg, .. }
+            | TraceEvent::Delivered { msg, .. } => Some(msg),
+            TraceEvent::Refused { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let e = TraceEvent::Refused { cycle: 7, src: NodeId::new(1), class: 2 };
+        assert_eq!(e.cycle(), 7);
+        assert_eq!(e.msg(), None);
+        let e = TraceEvent::Delivered { cycle: 9, msg: MessageId(3), latency: 20 };
+        assert_eq!(e.cycle(), 9);
+        assert_eq!(e.msg(), Some(MessageId(3)));
+    }
+}

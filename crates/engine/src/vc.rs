@@ -1,0 +1,145 @@
+//! Virtual-channel state: input buffers and output reservations.
+
+use crate::{Flit, MessageId};
+use std::collections::VecDeque;
+
+/// Where a routed input VC sends its flits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RouteTarget {
+    /// Forward on the given output direction and physical VC index.
+    Link {
+        /// Packed direction index (`Direction::index()`).
+        dir: u8,
+        /// Physical VC index on that channel (`class * replicas + replica`).
+        vc: u16,
+    },
+    /// Deliver locally: this node is the destination.
+    Eject,
+}
+
+/// The receiving side of one virtual channel: a flit FIFO plus the route of
+/// the message currently at its front.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct InputVc {
+    /// Buffered flits, front = oldest.
+    pub buffer: VecDeque<Flit>,
+    /// Route of the message whose head has been routed; `None` while the
+    /// front flit is an unrouted head (or the buffer is empty).
+    pub route: Option<RouteTarget>,
+    /// Number of tail/single flits currently in the buffer. Used by
+    /// store-and-forward to detect "message fully arrived".
+    pub tails: u16,
+}
+
+impl InputVc {
+    /// Pushes an arriving flit.
+    pub fn push(&mut self, flit: Flit) {
+        if flit.kind.is_tail() {
+            self.tails += 1;
+        }
+        self.buffer.push_back(flit);
+    }
+
+    /// Pops the front flit. Clears the route when the tail leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn pop(&mut self) -> Flit {
+        let flit = self.buffer.pop_front().expect("pop from non-empty buffer");
+        if flit.kind.is_tail() {
+            self.tails -= 1;
+            self.route = None;
+        }
+        flit
+    }
+
+    /// The flit at the front, if any.
+    pub fn front(&self) -> Option<Flit> {
+        self.buffer.front().copied()
+    }
+
+    /// Whether the message at the front is fully buffered (its tail is in
+    /// the buffer) — the store-and-forward forwarding condition.
+    pub fn front_message_complete(&self) -> bool {
+        self.tails > 0
+    }
+}
+
+/// The sending side of one virtual channel: reservation plus credits for
+/// the paired downstream input buffer.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct OutputVc {
+    /// The message currently holding this VC, if any.
+    pub owner: Option<MessageId>,
+    /// Free slots in the downstream input buffer.
+    pub credits: u32,
+}
+
+impl OutputVc {
+    pub fn new(capacity: u32) -> Self {
+        OutputVc { owner: None, credits: capacity }
+    }
+
+    pub fn is_free(&self) -> bool {
+        self.owner.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlitKind;
+
+    #[test]
+    fn tails_track_and_route_clears() {
+        let mut vc = InputVc::default();
+        for flit in Flit::sequence(MessageId(1), 3) {
+            vc.push(flit);
+        }
+        assert_eq!(vc.tails, 1);
+        assert!(vc.front_message_complete());
+        vc.route = Some(RouteTarget::Eject);
+        assert_eq!(vc.pop().kind, FlitKind::Head);
+        assert!(vc.route.is_some(), "route persists until the tail leaves");
+        vc.pop();
+        assert_eq!(vc.pop().kind, FlitKind::Tail);
+        assert_eq!(vc.route, None);
+        assert_eq!(vc.tails, 0);
+    }
+
+    #[test]
+    fn partial_message_is_incomplete() {
+        let mut vc = InputVc::default();
+        let flits: Vec<Flit> = Flit::sequence(MessageId(0), 4).collect();
+        vc.push(flits[0]);
+        vc.push(flits[1]);
+        assert!(!vc.front_message_complete());
+        vc.push(flits[2]);
+        vc.push(flits[3]);
+        assert!(vc.front_message_complete());
+    }
+
+    #[test]
+    fn two_messages_in_one_buffer() {
+        // A tail followed by the next message's head: after the tail pops,
+        // the new head is at the front with no route.
+        let mut vc = InputVc::default();
+        vc.push(Flit { msg: MessageId(1), kind: FlitKind::Tail });
+        vc.push(Flit { msg: MessageId(2), kind: FlitKind::Head });
+        vc.route = Some(RouteTarget::Eject);
+        vc.pop();
+        assert_eq!(vc.route, None);
+        assert_eq!(vc.front().unwrap().msg, MessageId(2));
+        assert!(vc.front().unwrap().kind.is_head());
+    }
+
+    #[test]
+    fn output_vc_reservation() {
+        let mut vc = OutputVc::new(2);
+        assert!(vc.is_free());
+        assert_eq!(vc.credits, 2);
+        vc.owner = Some(MessageId(9));
+        assert!(!vc.is_free());
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests of engine invariants over randomized
+//! configurations and workloads.
+
+use proptest::prelude::*;
+use wormsim_engine::{EjectionModel, Network, NetworkBuilder, SelectionPolicy, Switching};
+use wormsim_routing::AlgorithmKind;
+use wormsim_topology::{NodeId, Topology};
+use wormsim_traffic::{ArrivalProcess, MessageLength, TrafficConfig};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    topo: Topology,
+    algorithm: AlgorithmKind,
+    switching: Switching,
+    selection: SelectionPolicy,
+    ejection: EjectionModel,
+    replicas: u32,
+    rate: f64,
+    length: MessageLength,
+    seed: u64,
+    cycles: u64,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    let topo = prop_oneof![
+        Just(Topology::torus(&[4, 4])),
+        Just(Topology::torus(&[6, 6])),
+        Just(Topology::torus(&[4, 6])),
+        Just(Topology::mesh(&[6, 6])),
+        Just(Topology::torus(&[4, 4, 4])),
+    ];
+    let algorithm = prop_oneof![
+        Just(AlgorithmKind::Ecube),
+        Just(AlgorithmKind::NorthLast),
+        Just(AlgorithmKind::TwoPowerN),
+        Just(AlgorithmKind::PositiveHop),
+        Just(AlgorithmKind::NegativeHop),
+        Just(AlgorithmKind::NegativeHopBonusCards),
+    ];
+    let switching = prop_oneof![
+        (1u32..=4).prop_map(|d| Switching::Wormhole { buffer_depth: d }),
+        Just(Switching::VirtualCutThrough),
+        Just(Switching::StoreAndForward),
+    ];
+    let selection = prop_oneof![
+        Just(SelectionPolicy::MostCredits),
+        Just(SelectionPolicy::FirstFree),
+        Just(SelectionPolicy::Random),
+    ];
+    let ejection = prop_oneof![Just(EjectionModel::PerVc), Just(EjectionModel::SingleChannel)];
+    let length = prop_oneof![
+        (1u32..=20).prop_map(|f| MessageLength::Fixed { flits: f }),
+        Just(MessageLength::Uniform { min: 2, max: 9 }),
+    ];
+    (
+        topo,
+        algorithm,
+        switching,
+        selection,
+        ejection,
+        1u32..=2,
+        0.001f64..0.03,
+        length,
+        any::<u64>(),
+        500u64..2_000,
+    )
+        .prop_map(
+            |(topo, algorithm, switching, selection, ejection, replicas, rate, length, seed, cycles)| {
+                Scenario {
+                    topo,
+                    algorithm,
+                    switching,
+                    selection,
+                    ejection,
+                    replicas,
+                    rate,
+                    length,
+                    seed,
+                    cycles,
+                }
+            },
+        )
+}
+
+fn build(s: &Scenario) -> Option<Network> {
+    NetworkBuilder::new(s.topo.clone(), s.algorithm)
+        .traffic(TrafficConfig::Uniform)
+        .arrival(ArrivalProcess::geometric(s.rate).expect("valid rate"))
+        .message_length(s.length)
+        .switching(s.switching)
+        .selection(s.selection)
+        .ejection(s.ejection)
+        .vc_replicas(s.replicas)
+        .seed(s.seed)
+        .build()
+        .ok() // nhop/nbc reject non-bipartite tori; nlast rejects 1-D
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Counter invariants hold mid-flight under any configuration: flits
+    /// never leave faster than they enter, in-flight accounting covers the
+    /// in-network population, cycles are counted, and no paper algorithm
+    /// deadlocks.
+    #[test]
+    fn counters_are_consistent(s in arb_scenario()) {
+        let Some(mut net) = build(&s) else { return Ok(()) };
+        net.run(s.cycles);
+        let m = net.metrics();
+        prop_assert!(m.flits_ejected <= m.flits_injected);
+        // flits_in_flight = source-queued + in-network flits.
+        prop_assert!(net.flits_in_flight() >= m.flits_injected - m.flits_ejected);
+        prop_assert_eq!(m.cycles, s.cycles);
+        // Per-class flit counters sum to the total network transfers.
+        let by_class: u64 = m.class_flits.iter().sum();
+        prop_assert_eq!(by_class, m.flit_hops);
+        prop_assert!(net.deadlock_report().is_none(), "{:?}", net.deadlock_report());
+    }
+
+    /// Message accounting: generated = delivered + live.
+    #[test]
+    fn messages_are_accounted(s in arb_scenario()) {
+        let Some(mut net) = build(&s) else { return Ok(()) };
+        net.run(s.cycles);
+        prop_assert_eq!(
+            net.metrics().generated,
+            net.metrics().delivered + net.live_messages() as u64
+        );
+        let delivered = net.drain_delivered();
+        prop_assert_eq!(delivered.len() as u64, net.metrics().delivered);
+    }
+
+    /// Every delivered message respects the switching mode's latency lower
+    /// bound and records a consistent hop class.
+    #[test]
+    fn latencies_respect_lower_bounds(s in arb_scenario()) {
+        let Some(mut net) = build(&s) else { return Ok(()) };
+        net.run(s.cycles);
+        let diameter = s.topo.diameter();
+        for m in net.drain_delivered() {
+            prop_assert!(m.hop_class >= 1 && (m.hop_class as u32) <= diameter);
+            let bound = match s.switching {
+                Switching::StoreAndForward => m.hop_class as u64 * m.length as u64,
+                _ => m.length as u64 + m.hop_class as u64 - 1,
+            };
+            prop_assert!(
+                m.latency >= bound,
+                "latency {} below bound {} (class {}, len {})",
+                m.latency, bound, m.hop_class, m.length
+            );
+            prop_assert!(m.source_wait <= m.latency);
+        }
+    }
+
+    /// Manual injections into an idle network always drain completely
+    /// (no stuck flits, no leaked messages), and reruns with the same seed
+    /// are bit-identical.
+    #[test]
+    fn manual_injections_drain_and_replay(
+        s in arb_scenario(),
+        pairs in prop::collection::vec((any::<u32>(), any::<u32>()), 1..12),
+    ) {
+        let run = |seed: u64| -> Option<(u64, Vec<(u16, u64)>)> {
+            let mut net = NetworkBuilder::new(s.topo.clone(), s.algorithm)
+                .switching(s.switching)
+                .selection(s.selection)
+                .ejection(s.ejection)
+                .vc_replicas(s.replicas)
+                .message_length(s.length)
+                .seed(seed)
+                .build()
+                .ok()?;
+            let n = s.topo.num_nodes();
+            // Stay within the configured buffer capacity: cut-through and
+            // store-and-forward size buffers for s.length.max().
+            let flits = s.length.max().min(5);
+            for &(a, b) in &pairs {
+                let src = NodeId::new(a % n);
+                let dest = NodeId::new(b % n);
+                if src != dest {
+                    net.inject(src, dest, flits);
+                }
+            }
+            assert!(net.run_until_empty(60_000), "must drain");
+            assert_eq!(net.live_messages(), 0);
+            assert_eq!(net.metrics().flits_injected, net.metrics().flits_ejected);
+            let mut out: Vec<(u16, u64)> = net
+                .drain_delivered()
+                .iter()
+                .map(|m| (m.hop_class, m.latency))
+                .collect();
+            out.sort_unstable();
+            Some((net.metrics().flit_hops, out))
+        };
+        let first = run(s.seed);
+        let second = run(s.seed);
+        prop_assert_eq!(first, second);
+    }
+}

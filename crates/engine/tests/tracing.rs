@@ -1,0 +1,115 @@
+//! Tests of the message-lifecycle trace: event ordering, path continuity,
+//! and agreement with the delivered-message records.
+
+use wormsim_engine::{NetworkBuilder, TraceEvent};
+use wormsim_routing::AlgorithmKind;
+use wormsim_topology::{NodeId, Topology};
+use wormsim_traffic::{ArrivalProcess, MessageLength, TrafficConfig};
+
+#[test]
+fn single_message_trace_is_a_minimal_path() {
+    let topo = Topology::torus(&[8, 8]);
+    let mut net = NetworkBuilder::new(topo.clone(), AlgorithmKind::NegativeHopBonusCards)
+        .seed(1)
+        .build()
+        .unwrap();
+    net.enable_tracing();
+    let src = topo.node_at(&[1, 2]);
+    let dest = topo.node_at(&[5, 7]);
+    let id = net.inject(src, dest, 16);
+    assert!(net.run_until_empty(1_000));
+
+    let events = net.drain_trace();
+    // Lifecycle structure.
+    assert!(matches!(
+        events[0],
+        TraceEvent::Generated { msg, src: s, dest: d, length: 16, .. }
+            if msg == id && s == src && d == dest
+    ));
+    assert!(matches!(events[1], TraceEvent::InjectionStarted { msg, .. } if msg == id));
+
+    // Hops form a connected minimal path from src to dest.
+    let hops: Vec<(NodeId, wormsim_topology::Direction)> = events
+        .iter()
+        .filter_map(|e| match *e {
+            TraceEvent::HopTaken { from, direction, .. } => Some((from, direction)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(hops.len() as u32, topo.distance(src, dest));
+    let mut here = src;
+    for (from, direction) in &hops {
+        assert_eq!(*from, here, "hops must chain");
+        let next = topo.neighbor(here, *direction).unwrap();
+        assert_eq!(topo.distance(next, dest), topo.distance(here, dest) - 1);
+        here = next;
+    }
+    assert_eq!(here, dest);
+
+    // All 16 flits delivered, then the Delivered event, with a latency
+    // matching the zero-load formula and the drained record.
+    let flits_delivered = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::FlitDelivered { .. }))
+        .count();
+    assert_eq!(flits_delivered, 16);
+    let delivered_latency = events
+        .iter()
+        .find_map(|e| match *e {
+            TraceEvent::Delivered { latency, .. } => Some(latency),
+            _ => None,
+        })
+        .expect("delivered event present");
+    assert_eq!(delivered_latency, 16 + topo.distance(src, dest) as u64 - 1);
+    let record = net.drain_delivered();
+    assert_eq!(record[0].latency, delivered_latency);
+
+    // Event cycles never decrease.
+    assert!(events.windows(2).all(|w| w[0].cycle() <= w[1].cycle()));
+}
+
+#[test]
+fn refusals_are_traced_under_overload() {
+    let mut net = NetworkBuilder::new(Topology::torus(&[4, 4]), AlgorithmKind::Ecube)
+        .traffic(TrafficConfig::Uniform)
+        .arrival(ArrivalProcess::geometric(0.2).unwrap())
+        .message_length(MessageLength::fixed(16).unwrap())
+        .seed(5)
+        .build()
+        .unwrap();
+    net.enable_tracing();
+    net.run(2_000);
+    let events = net.drain_trace();
+    let refusals = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Refused { .. }))
+        .count();
+    assert_eq!(refusals as u64, net.metrics().refused);
+    assert!(refusals > 0, "overload must refuse");
+    // Tracing off by default: a fresh run records nothing.
+    net.disable_tracing();
+    net.run(100);
+    assert!(net.drain_trace().is_empty());
+}
+
+#[test]
+fn trace_volume_matches_counters() {
+    let mut net = NetworkBuilder::new(Topology::torus(&[6, 6]), AlgorithmKind::PositiveHop)
+        .traffic(TrafficConfig::Uniform)
+        .arrival(ArrivalProcess::geometric(0.01).unwrap())
+        .message_length(MessageLength::fixed(4).unwrap())
+        .seed(9)
+        .build()
+        .unwrap();
+    net.enable_tracing();
+    net.run(3_000);
+    let events = net.drain_trace();
+    let m = net.metrics();
+    let count = |f: fn(&TraceEvent) -> bool| events.iter().filter(|e| f(e)).count() as u64;
+    assert_eq!(count(|e| matches!(e, TraceEvent::Generated { .. })), m.generated);
+    assert_eq!(count(|e| matches!(e, TraceEvent::Delivered { .. })), m.delivered);
+    assert_eq!(
+        count(|e| matches!(e, TraceEvent::FlitDelivered { .. })),
+        m.flits_ejected
+    );
+}

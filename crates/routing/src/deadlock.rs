@@ -1,0 +1,347 @@
+//! Channel-dependency-graph (CDG) analysis.
+//!
+//! Builds the virtual-channel dependency graph of a routing algorithm on a
+//! concrete topology by *exhaustive reachability analysis*: for every
+//! source/destination pair, every reachable `(node, message-state)` pair is
+//! enumerated, and an edge is recorded from each virtual channel a message
+//! may hold to each virtual channel it may request next.
+//!
+//! An **acyclic** CDG proves the algorithm deadlock-free (Dally & Seitz).
+//! A cyclic CDG is *inconclusive* for adaptive algorithms — a blocked
+//! message with several candidates deadlocks only if **all** of them are
+//! unavailable (Duato's criterion) — so the result distinguishes the two
+//! cases rather than conflating "cyclic" with "deadlocks".
+//!
+//! # Example
+//!
+//! ```
+//! use wormsim_topology::Topology;
+//! use wormsim_routing::{AlgorithmKind, deadlock};
+//!
+//! let topo = Topology::torus(&[4, 4]);
+//! let phop = AlgorithmKind::PositiveHop.build(&topo)?;
+//! let report = deadlock::analyze(&topo, phop.as_ref());
+//! assert!(report.is_acyclic());
+//! # Ok::<(), wormsim_routing::RoutingError>(())
+//! ```
+
+use crate::{MessageRouteState, RoutingAlgorithm};
+use std::collections::{HashMap, HashSet, VecDeque};
+use wormsim_topology::{ChannelId, NodeId, Topology};
+
+/// A virtual channel: a physical channel plus a VC class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VirtualChannelId {
+    /// The physical channel.
+    pub channel: ChannelId,
+    /// The virtual-channel class on that physical channel.
+    pub class: u8,
+}
+
+/// The result of a CDG analysis.
+#[derive(Clone, Debug)]
+pub enum CdgReport {
+    /// No cycles: the algorithm is deadlock-free on this topology.
+    Acyclic {
+        /// Number of virtual channels that appeared in some dependency.
+        vertices: usize,
+        /// Number of distinct dependencies.
+        edges: usize,
+    },
+    /// At least one cycle exists. Deadlock-freedom is *not disproved* for
+    /// adaptive algorithms, but the sufficient condition failed.
+    Cyclic {
+        /// One witness cycle, in order (last element depends on the first).
+        cycle: Vec<VirtualChannelId>,
+        /// Number of virtual channels that appeared in some dependency.
+        vertices: usize,
+        /// Number of distinct dependencies.
+        edges: usize,
+    },
+}
+
+impl CdgReport {
+    /// Whether the dependency graph is acyclic (sufficient for
+    /// deadlock-freedom).
+    pub fn is_acyclic(&self) -> bool {
+        matches!(self, CdgReport::Acyclic { .. })
+    }
+
+    /// Vertices in the dependency graph.
+    pub fn vertices(&self) -> usize {
+        match self {
+            CdgReport::Acyclic { vertices, .. } | CdgReport::Cyclic { vertices, .. } => *vertices,
+        }
+    }
+
+    /// Edges in the dependency graph.
+    pub fn edges(&self) -> usize {
+        match self {
+            CdgReport::Acyclic { edges, .. } | CdgReport::Cyclic { edges, .. } => *edges,
+        }
+    }
+}
+
+/// The full channel-dependency graph of an algorithm on a topology.
+#[derive(Clone, Debug, Default)]
+pub struct DependencyGraph {
+    adjacency: HashMap<VirtualChannelId, HashSet<VirtualChannelId>>,
+}
+
+impl DependencyGraph {
+    /// Builds the dependency graph by exhaustive reachability analysis.
+    ///
+    /// Every `(source, destination)` pair is expanded over all reachable
+    /// `(node, state)` configurations; dependencies are added from the
+    /// virtual channel of each possible hop to the virtual channels of every
+    /// possible *next* hop.
+    pub fn build(topo: &Topology, algo: &dyn RoutingAlgorithm) -> Self {
+        let mut graph = DependencyGraph::default();
+        let mut candidates = Vec::new();
+        let mut next_candidates = Vec::new();
+        for src in topo.nodes() {
+            for dest in topo.nodes() {
+                if src == dest {
+                    continue;
+                }
+                graph.expand_pair(topo, algo, src, dest, &mut candidates, &mut next_candidates);
+            }
+        }
+        graph
+    }
+
+    fn expand_pair(
+        &mut self,
+        topo: &Topology,
+        algo: &dyn RoutingAlgorithm,
+        src: NodeId,
+        dest: NodeId,
+        candidates: &mut Vec<crate::Candidate>,
+        next_candidates: &mut Vec<crate::Candidate>,
+    ) {
+        let mut initial = MessageRouteState::new(src, dest);
+        algo.init_message(topo, &mut initial);
+        let mut seen: HashSet<(NodeId, MessageRouteState)> = HashSet::new();
+        let mut queue: VecDeque<(NodeId, MessageRouteState)> = VecDeque::new();
+        seen.insert((src, initial));
+        queue.push_back((src, initial));
+        while let Some((node, state)) = queue.pop_front() {
+            candidates.clear();
+            algo.candidates(topo, &state, node, candidates);
+            for &taken in candidates.iter() {
+                let next = topo
+                    .neighbor(node, taken.direction())
+                    .expect("candidate on nonexistent channel");
+                let held = VirtualChannelId {
+                    channel: topo.channel(node, taken.direction()),
+                    class: taken.vc_class(),
+                };
+                let mut next_state = state;
+                next_state.advance(topo, node, taken);
+                if next != dest {
+                    next_candidates.clear();
+                    algo.candidates(topo, &next_state, next, next_candidates);
+                    for &want in next_candidates.iter() {
+                        let wanted = VirtualChannelId {
+                            channel: topo.channel(next, want.direction()),
+                            class: want.vc_class(),
+                        };
+                        self.adjacency.entry(held).or_default().insert(wanted);
+                    }
+                    if seen.insert((next, next_state)) {
+                        queue.push_back((next, next_state));
+                    }
+                } else {
+                    // Terminal hop: the held channel still becomes a vertex.
+                    self.adjacency.entry(held).or_default();
+                }
+            }
+        }
+    }
+
+    /// Number of vertices (virtual channels that appear in a dependency).
+    pub fn num_vertices(&self) -> usize {
+        let mut verts: HashSet<VirtualChannelId> = self.adjacency.keys().copied().collect();
+        for targets in self.adjacency.values() {
+            verts.extend(targets.iter().copied());
+        }
+        verts.len()
+    }
+
+    /// Number of edges (distinct dependencies).
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.values().map(|t| t.len()).sum()
+    }
+
+    /// Searches for a cycle; returns one witness if present.
+    pub fn find_cycle(&self) -> Option<Vec<VirtualChannelId>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: HashMap<VirtualChannelId, Color> = HashMap::new();
+        let empty: HashSet<VirtualChannelId> = HashSet::new();
+        // Deterministic iteration order helps reproducible witnesses.
+        let mut roots: Vec<VirtualChannelId> = self.adjacency.keys().copied().collect();
+        roots.sort_unstable();
+        for root in roots {
+            if *color.get(&root).unwrap_or(&Color::White) != Color::White {
+                continue;
+            }
+            // Iterative DFS with an explicit path stack.
+            let mut stack: Vec<(VirtualChannelId, Vec<VirtualChannelId>)> = Vec::new();
+            let mut neighbors: Vec<VirtualChannelId> = self
+                .adjacency
+                .get(&root)
+                .unwrap_or(&empty)
+                .iter()
+                .copied()
+                .collect();
+            neighbors.sort_unstable();
+            color.insert(root, Color::Gray);
+            stack.push((root, neighbors));
+            let mut path = vec![root];
+            while let Some((node, todo)) = stack.last_mut() {
+                if let Some(next) = todo.pop() {
+                    match *color.get(&next).unwrap_or(&Color::White) {
+                        Color::Gray => {
+                            // Found a cycle: slice the path from `next`.
+                            let start = path.iter().position(|&v| v == next).expect("on path");
+                            return Some(path[start..].to_vec());
+                        }
+                        Color::White => {
+                            color.insert(next, Color::Gray);
+                            let mut nn: Vec<VirtualChannelId> = self
+                                .adjacency
+                                .get(&next)
+                                .unwrap_or(&empty)
+                                .iter()
+                                .copied()
+                                .collect();
+                            nn.sort_unstable();
+                            path.push(next);
+                            stack.push((next, nn));
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color.insert(*node, Color::Black);
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Builds the CDG for `algo` on `topo` and checks it for cycles.
+pub fn analyze(topo: &Topology, algo: &dyn RoutingAlgorithm) -> CdgReport {
+    let graph = DependencyGraph::build(topo, algo);
+    let vertices = graph.num_vertices();
+    let edges = graph.num_edges();
+    match graph.find_cycle() {
+        None => CdgReport::Acyclic { vertices, edges },
+        Some(cycle) => CdgReport::Cyclic { cycle, vertices, edges },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AlgorithmKind;
+
+    fn report_for(kind: AlgorithmKind, topo: &Topology) -> CdgReport {
+        let algo = kind.build(topo).unwrap();
+        analyze(topo, algo.as_ref())
+    }
+
+    #[test]
+    fn ecube_is_acyclic_on_torus() {
+        let topo = Topology::torus(&[4, 4]);
+        let report = report_for(AlgorithmKind::Ecube, &topo);
+        assert!(report.is_acyclic(), "{report:?}");
+        assert!(report.vertices() > 0 && report.edges() > 0);
+    }
+
+    #[test]
+    fn ecube_is_acyclic_on_mesh() {
+        let topo = Topology::mesh(&[4, 4]);
+        assert!(report_for(AlgorithmKind::Ecube, &topo).is_acyclic());
+    }
+
+    #[test]
+    fn hop_schemes_are_acyclic_on_torus() {
+        let topo = Topology::torus(&[4, 4]);
+        for kind in [
+            AlgorithmKind::PositiveHop,
+            AlgorithmKind::NegativeHop,
+            AlgorithmKind::NegativeHopBonusCards,
+        ] {
+            let report = report_for(kind, &topo);
+            assert!(report.is_acyclic(), "{kind}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn hop_schemes_are_acyclic_on_six_torus() {
+        let topo = Topology::torus(&[6, 6]);
+        for kind in [AlgorithmKind::PositiveHop, AlgorithmKind::NegativeHop] {
+            assert!(report_for(kind, &topo).is_acyclic(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn two_power_n_is_acyclic_on_mesh() {
+        let topo = Topology::mesh(&[4, 4]);
+        assert!(report_for(AlgorithmKind::TwoPowerN, &topo).is_acyclic());
+    }
+
+    #[test]
+    fn broken_algorithm_is_detected() {
+        // A deliberately deadlock-prone algorithm: fully adaptive torus
+        // routing on a single VC class. The wrap-around rings form an
+        // obvious cycle; the checker must find it.
+        #[derive(Debug)]
+        struct SingleClass;
+        impl RoutingAlgorithm for SingleClass {
+            fn name(&self) -> &'static str {
+                "single-class"
+            }
+            fn adaptivity(&self) -> crate::Adaptivity {
+                crate::Adaptivity::FullyAdaptive
+            }
+            fn num_vc_classes(&self) -> usize {
+                1
+            }
+            fn candidates(
+                &self,
+                topo: &Topology,
+                state: &MessageRouteState,
+                here: NodeId,
+                out: &mut Vec<crate::Candidate>,
+            ) {
+                use wormsim_topology::{Direction, Sign};
+                for dim in 0..topo.num_dims() {
+                    let step = topo.dim_step(here, state.dest(), dim);
+                    for sign in [Sign::Plus, Sign::Minus] {
+                        if step.allows(sign) {
+                            out.push(crate::Candidate::new(Direction::new(dim, sign), 0));
+                        }
+                    }
+                }
+            }
+            fn injection_class(&self, _: &Topology, _: &MessageRouteState) -> u32 {
+                0
+            }
+        }
+        let topo = Topology::torus(&[4, 4]);
+        let report = analyze(&topo, &SingleClass);
+        match report {
+            CdgReport::Cyclic { cycle, .. } => assert!(cycle.len() >= 2),
+            CdgReport::Acyclic { .. } => panic!("single-class torus routing must be cyclic"),
+        }
+    }
+}

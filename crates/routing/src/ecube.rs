@@ -1,0 +1,257 @@
+//! The non-adaptive e-cube (dimension-order) algorithm.
+
+use crate::{Adaptivity, Candidate, MessageRouteState, RoutingAlgorithm, RoutingError};
+use wormsim_topology::{DimStep, Direction, NodeId, Sign, Topology};
+
+/// Dimension-order routing: correct dimension 0 completely, then dimension 1,
+/// and so on. Non-adaptive — every source/destination pair has exactly one
+/// path.
+///
+/// On a torus, deadlock freedom over the wrap-around rings uses the classic
+/// Dally–Seitz two-channel scheme (the paper's reference \[14\]): within the
+/// ring being corrected, a message whose remaining path still crosses the
+/// wrap-around link travels on class 0, and on class 1 once no crossing
+/// remains (equivalently, the original "compare current address with
+/// destination address" rule). Ranking class-0 channels by position and
+/// class-1 channels above them increases strictly along every path, so the
+/// dependency graph is acyclic — and unlike a plain dateline scheme, *both*
+/// channels carry first-class traffic (all non-wrapping messages ride
+/// class 1), which matters for throughput. On a mesh a single class
+/// suffices.
+///
+/// When the remaining offset in a dimension is exactly half the radix (both
+/// directions minimal), e-cube deterministically picks the `+` direction.
+///
+/// # Example
+///
+/// ```
+/// use wormsim_topology::Topology;
+/// use wormsim_routing::{Ecube, MessageRouteState, RoutingAlgorithm};
+///
+/// let topo = Topology::torus(&[16, 16]);
+/// let ecube = Ecube::new(&topo)?;
+/// assert_eq!(ecube.num_vc_classes(), 2);
+///
+/// let state = MessageRouteState::new(topo.node_at(&[0, 0]), topo.node_at(&[3, 5]));
+/// let mut out = Vec::new();
+/// ecube.candidates(&topo, &state, state.src(), &mut out);
+/// assert_eq!(out.len(), 1); // never a choice
+/// assert_eq!(out[0].direction().dim(), 0); // dimension 0 first
+/// # Ok::<(), wormsim_routing::RoutingError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ecube {
+    classes: usize,
+}
+
+impl Ecube {
+    /// Builds e-cube for `topo`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for supported topologies; returns a `Result` for
+    /// signature uniformity with the other algorithms.
+    pub fn new(topo: &Topology) -> Result<Self, RoutingError> {
+        Ok(Ecube {
+            classes: if topo.wraps() { 2 } else { 1 },
+        })
+    }
+
+    /// The single hop e-cube prescribes from `here` (direction and class),
+    /// or `None` if `here` is the destination.
+    pub fn next_hop(
+        &self,
+        topo: &Topology,
+        state: &MessageRouteState,
+        here: NodeId,
+    ) -> Option<Candidate> {
+        for dim in 0..topo.num_dims() {
+            let sign = match topo.dim_step(here, state.dest(), dim) {
+                DimStep::Done => continue,
+                DimStep::One { sign, .. } => sign,
+                // Tie: fixed deterministic choice keeps e-cube non-adaptive.
+                DimStep::Both { .. } => Sign::Plus,
+            };
+            let class = if topo.wraps() && Self::wraps_ahead(topo, state.dest(), here, dim, sign)
+            {
+                0
+            } else {
+                1.min(self.classes as u8 - 1)
+            };
+            return Some(Candidate::new(Direction::new(dim, sign), class));
+        }
+        None
+    }
+
+    /// Whether the remaining travel in `dim` (moving `sign`) still crosses
+    /// the wrap-around link — the Dally–Seitz low-channel condition.
+    fn wraps_ahead(topo: &Topology, dest: NodeId, here: NodeId, dim: usize, sign: Sign) -> bool {
+        let c = topo.coord(here, dim);
+        let d = topo.coord(dest, dim);
+        match sign {
+            Sign::Plus => d < c,
+            Sign::Minus => d > c,
+        }
+    }
+}
+
+impl RoutingAlgorithm for Ecube {
+    fn name(&self) -> &'static str {
+        "ecube"
+    }
+
+    fn adaptivity(&self) -> Adaptivity {
+        Adaptivity::NonAdaptive
+    }
+
+    fn num_vc_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn candidates(
+        &self,
+        topo: &Topology,
+        state: &MessageRouteState,
+        here: NodeId,
+        out: &mut Vec<Candidate>,
+    ) {
+        out.extend(self.next_hop(topo, state, here));
+    }
+
+    fn injection_class(&self, topo: &Topology, state: &MessageRouteState) -> u32 {
+        // "based on the particular virtual channel it intends to use":
+        // the first-hop physical direction and VC class.
+        match self.next_hop(topo, state, state.src()) {
+            Some(c) => (c.direction().index() * self.classes) as u32 + c.vc_class() as u32,
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk(topo: &Topology, algo: &Ecube, src: &[u16], dest: &[u16]) -> Vec<(Vec<u16>, u8)> {
+        let src = topo.node_at(src);
+        let dest = topo.node_at(dest);
+        let mut state = MessageRouteState::new(src, dest);
+        algo.init_message(topo, &mut state);
+        let mut here = src;
+        let mut path = Vec::new();
+        while here != dest {
+            let c = algo.next_hop(topo, &state, here).expect("not at dest");
+            state.advance(topo, here, c);
+            here = topo.neighbor(here, c.direction()).expect("channel exists");
+            path.push((topo.coords(here), c.vc_class()));
+        }
+        path
+    }
+
+    #[test]
+    fn routes_dimension_zero_first() {
+        let topo = Topology::torus(&[8, 8]);
+        let algo = Ecube::new(&topo).unwrap();
+        let path = walk(&topo, &algo, &[0, 0], &[2, 2]);
+        let nodes: Vec<Vec<u16>> = path.iter().map(|(n, _)| n.clone()).collect();
+        assert_eq!(
+            nodes,
+            vec![vec![1, 0], vec![2, 0], vec![2, 1], vec![2, 2]]
+        );
+    }
+
+    #[test]
+    fn uses_wraparound_when_shorter_and_switches_class() {
+        let topo = Topology::torus(&[8, 8]);
+        let algo = Ecube::new(&topo).unwrap();
+        // 7 -> 1 in dim 0: wrap through 0 (2 hops instead of 6).
+        let path = walk(&topo, &algo, &[7, 0], &[1, 0]);
+        assert_eq!(path.len(), 2);
+        // Wraparound hop itself is still on class 0; afterwards class 1.
+        assert_eq!(path[0], (vec![0, 0], 0));
+        assert_eq!(path[1], (vec![1, 0], 1));
+    }
+
+    #[test]
+    fn class_is_per_dimension_and_per_segment() {
+        let topo = Topology::torus(&[8, 8]);
+        let algo = Ecube::new(&topo).unwrap();
+        // Wraps in dim 0, then travels dim 1 without wrapping: the dim 1
+        // hops ride the high channel like any non-wrapping traffic.
+        let path = walk(&topo, &algo, &[7, 0], &[0, 2]);
+        assert_eq!(path[0], (vec![0, 0], 0)); // wrap hop, low channel
+        assert_eq!(path[1], (vec![0, 1], 1)); // non-wrapping, high channel
+        assert_eq!(path[2], (vec![0, 2], 1));
+    }
+
+    #[test]
+    fn both_classes_carry_traffic() {
+        // The Dally-Seitz split: non-wrapping messages use class 1, so
+        // neither class is starved under uniform traffic. Count class use
+        // over all pairs.
+        let topo = Topology::torus(&[8, 8]);
+        let algo = Ecube::new(&topo).unwrap();
+        let mut counts = [0u64; 2];
+        for s in topo.nodes() {
+            for d in topo.nodes() {
+                if s == d {
+                    continue;
+                }
+                for (_, class) in walk(&topo, &algo, &topo.coords(s), &topo.coords(d)) {
+                    counts[class as usize] += 1;
+                }
+            }
+        }
+        assert!(counts[0] > 0 && counts[1] > 0);
+        // Class 1 dominates (all non-wrap traffic), class 0 still carries
+        // a substantial share (pre-wrap segments).
+        let frac0 = counts[0] as f64 / (counts[0] + counts[1]) as f64;
+        assert!((0.1..0.5).contains(&frac0), "class-0 share {frac0}");
+    }
+
+    #[test]
+    fn tie_breaks_plus() {
+        let topo = Topology::torus(&[8, 8]);
+        let algo = Ecube::new(&topo).unwrap();
+        let state = MessageRouteState::new(topo.node_at(&[0, 0]), topo.node_at(&[4, 0]));
+        let c = algo.next_hop(&topo, &state, state.src()).unwrap();
+        assert_eq!(c.direction(), Direction::new(0, Sign::Plus));
+    }
+
+    #[test]
+    fn mesh_uses_single_class() {
+        let topo = Topology::mesh(&[8, 8]);
+        let algo = Ecube::new(&topo).unwrap();
+        assert_eq!(algo.num_vc_classes(), 1);
+        let path = walk(&topo, &algo, &[7, 7], &[0, 0]);
+        assert_eq!(path.len(), 14);
+        assert!(path.iter().all(|(_, class)| *class == 0));
+    }
+
+    #[test]
+    fn path_length_is_always_minimal() {
+        let topo = Topology::torus(&[6, 6]);
+        let algo = Ecube::new(&topo).unwrap();
+        for s in topo.nodes() {
+            for d in topo.nodes() {
+                if s == d {
+                    continue;
+                }
+                let path = walk(&topo, &algo, &topo.coords(s), &topo.coords(d));
+                assert_eq!(path.len() as u32, topo.distance(s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn injection_class_distinguishes_first_hops() {
+        let topo = Topology::torus(&[8, 8]);
+        let algo = Ecube::new(&topo).unwrap();
+        let east = MessageRouteState::new(topo.node_at(&[0, 0]), topo.node_at(&[2, 0]));
+        let west = MessageRouteState::new(topo.node_at(&[0, 0]), topo.node_at(&[6, 0]));
+        assert_ne!(
+            algo.injection_class(&topo, &east),
+            algo.injection_class(&topo, &west)
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Errors for routing-algorithm construction.
+
+use std::fmt;
+
+/// Errors produced when building a routing algorithm for a topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RoutingError {
+    /// The negative-hop schemes need the bipartite (two-colorable) property,
+    /// which tori with an odd radix lack.
+    RequiresBipartite {
+        /// The algorithm that was requested.
+        algorithm: &'static str,
+    },
+    /// The algorithm is only defined for networks with at least this many
+    /// dimensions.
+    NeedsDimensions {
+        /// The algorithm that was requested.
+        algorithm: &'static str,
+        /// Minimum number of dimensions required.
+        needs: usize,
+        /// Number of dimensions the topology has.
+        got: usize,
+    },
+    /// The topology has too many dimensions for the algorithm's class
+    /// encoding (e.g. 2pn tags are limited to 8 dimensions).
+    TooManyDimensions {
+        /// The algorithm that was requested.
+        algorithm: &'static str,
+        /// Maximum number of dimensions supported.
+        max: usize,
+        /// Number of dimensions the topology has.
+        got: usize,
+    },
+    /// An algorithm name failed to parse.
+    UnknownAlgorithm {
+        /// The unrecognized name.
+        name: String,
+    },
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::RequiresBipartite { algorithm } => write!(
+                f,
+                "{algorithm} requires a bipartite network (mesh, or torus with even radices)"
+            ),
+            RoutingError::NeedsDimensions { algorithm, needs, got } => write!(
+                f,
+                "{algorithm} needs at least {needs} dimensions, topology has {got}"
+            ),
+            RoutingError::TooManyDimensions { algorithm, max, got } => write!(
+                f,
+                "{algorithm} supports at most {max} dimensions, topology has {got}"
+            ),
+            RoutingError::UnknownAlgorithm { name } => {
+                write!(f, "unknown routing algorithm '{name}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RoutingError::RequiresBipartite { algorithm: "nhop" };
+        assert!(e.to_string().contains("bipartite"));
+        let e = RoutingError::UnknownAlgorithm { name: "zigzag".into() };
+        assert!(e.to_string().contains("zigzag"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Deadlock-free wormhole routing algorithms for tori and meshes.
+//!
+//! This crate implements the six routing algorithms compared in
+//! Boppana & Chalasani, *A Comparison of Adaptive Wormhole Routing
+//! Algorithms* (ISCA 1993):
+//!
+//! | Algorithm | Adaptivity | VC classes on a 16×16 torus |
+//! |-----------|------------|------------------------------|
+//! | [`Ecube`] | non-adaptive | 2 (dateline) |
+//! | [`NorthLast`] | partially adaptive | 2 (dateline) |
+//! | [`TwoPowerN`] (2pn) | fully adaptive | 2ⁿ = 4 (direction tag) |
+//! | [`PositiveHop`] (phop) | fully adaptive | diameter + 1 = 17 |
+//! | [`NegativeHop`] (nhop) | fully adaptive | ⌈diameter/2⌉ + 1 = 9 |
+//! | [`NegativeHopBonusCards`] (nbc) | fully adaptive | 9, load-balanced |
+//!
+//! An algorithm is a *pure routing function*: given the immutable
+//! [`MessageRouteState`] carried by a message's head flit and the current
+//! node, [`RoutingAlgorithm::candidates`] produces the set of
+//! `(direction, virtual-channel class)` pairs the message may use for its
+//! next hop. The simulator owns all resource allocation; this crate owns
+//! none, which keeps every algorithm unit-testable in isolation.
+//!
+//! The [`deadlock`] module builds the channel-dependency graph of an
+//! algorithm on a concrete topology by exhaustive reachability analysis and
+//! checks it for cycles — an executable version of the paper's Lemma 1
+//! arguments.
+//!
+//! # Example
+//!
+//! ```
+//! use wormsim_topology::Topology;
+//! use wormsim_routing::{AlgorithmKind, MessageRouteState, RoutingAlgorithm};
+//!
+//! let topo = Topology::torus(&[16, 16]);
+//! let phop = AlgorithmKind::PositiveHop.build(&topo)?;
+//! assert_eq!(phop.num_vc_classes(), 17);
+//!
+//! let mut state = MessageRouteState::new(topo.node_at(&[4, 4]), topo.node_at(&[2, 2]));
+//! phop.init_message(&topo, &mut state);
+//!
+//! let mut candidates = Vec::new();
+//! phop.candidates(&topo, &state, state.src(), &mut candidates);
+//! // Fully adaptive: both minimal directions offered, all in class 0.
+//! assert_eq!(candidates.len(), 2);
+//! assert!(candidates.iter().all(|c| c.vc_class() == 0));
+//! # Ok::<(), wormsim_routing::RoutingError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm;
+mod candidate;
+pub mod deadlock;
+mod ecube;
+mod error;
+mod naive;
+mod nbc;
+mod nhop;
+mod nlast;
+mod phop;
+mod registry;
+mod state;
+mod two_power_n;
+mod wfirst;
+
+pub use algorithm::{Adaptivity, RoutingAlgorithm};
+pub use candidate::Candidate;
+pub use ecube::Ecube;
+pub use error::RoutingError;
+pub use naive::NaiveMinimal;
+pub use nbc::NegativeHopBonusCards;
+pub use nhop::NegativeHop;
+pub use nlast::NorthLast;
+pub use phop::PositiveHop;
+pub use registry::AlgorithmKind;
+pub use state::MessageRouteState;
+pub use two_power_n::TwoPowerN;
+pub use wfirst::WestFirst;

@@ -1,0 +1,99 @@
+//! A deliberately deadlock-prone baseline: minimal adaptive routing with a
+//! single virtual channel class.
+
+use crate::{Adaptivity, Candidate, MessageRouteState, RoutingAlgorithm, RoutingError};
+use wormsim_topology::{Direction, NodeId, Sign, Topology};
+
+/// Fully adaptive minimal routing with **no** deadlock-avoidance structure:
+/// one VC class, every minimal direction always allowed.
+///
+/// This is *not* one of the paper's algorithms — it is the strawman the
+/// paper's entire topic exists to fix. On a torus (or any network whose
+/// channel-dependency graph has cycles under unrestricted minimal routing)
+/// it **will deadlock** under load. It exists so that
+///
+/// * the deadlock checker has a known-cyclic specimen,
+/// * the simulator's watchdog can be validated against a real deadlock, and
+/// * examples can demonstrate *why* the six studied algorithms spend
+///   virtual channels on deadlock freedom.
+///
+/// # Example
+///
+/// ```
+/// use wormsim_topology::Topology;
+/// use wormsim_routing::{NaiveMinimal, RoutingAlgorithm, deadlock};
+///
+/// let topo = Topology::torus(&[4, 4]);
+/// let naive = NaiveMinimal::new(&topo)?;
+/// assert!(!deadlock::analyze(&topo, &naive).is_acyclic());
+/// # Ok::<(), wormsim_routing::RoutingError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct NaiveMinimal;
+
+impl NaiveMinimal {
+    /// Builds the naive router (always succeeds; the `Result` mirrors the
+    /// other constructors).
+    pub fn new(_topo: &Topology) -> Result<Self, RoutingError> {
+        Ok(NaiveMinimal)
+    }
+}
+
+impl RoutingAlgorithm for NaiveMinimal {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn adaptivity(&self) -> Adaptivity {
+        Adaptivity::FullyAdaptive
+    }
+
+    fn num_vc_classes(&self) -> usize {
+        1
+    }
+
+    fn candidates(
+        &self,
+        topo: &Topology,
+        state: &MessageRouteState,
+        here: NodeId,
+        out: &mut Vec<Candidate>,
+    ) {
+        for dim in 0..topo.num_dims() {
+            let step = topo.dim_step(here, state.dest(), dim);
+            for sign in [Sign::Plus, Sign::Minus] {
+                if step.allows(sign) {
+                    out.push(Candidate::new(Direction::new(dim, sign), 0));
+                }
+            }
+        }
+    }
+
+    fn injection_class(&self, _topo: &Topology, _state: &MessageRouteState) -> u32 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadlock;
+
+    #[test]
+    fn cyclic_on_torus() {
+        let topo = Topology::torus(&[4, 4]);
+        let naive = NaiveMinimal::new(&topo).unwrap();
+        assert!(!deadlock::analyze(&topo, &naive).is_acyclic());
+    }
+
+    #[test]
+    fn single_class_everywhere() {
+        let topo = Topology::torus(&[6, 6]);
+        let naive = NaiveMinimal::new(&topo).unwrap();
+        let state = MessageRouteState::new(topo.node_at(&[0, 0]), topo.node_at(&[2, 2]));
+        let mut out = Vec::new();
+        naive.candidates(&topo, &state, state.src(), &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|c| c.vc_class() == 0));
+    }
+}

@@ -1,0 +1,229 @@
+//! The fully adaptive negative-hop-with-bonus-cards (nbc) algorithm.
+
+use crate::{Adaptivity, Candidate, MessageRouteState, NegativeHop, RoutingAlgorithm, RoutingError};
+use wormsim_topology::{Direction, NodeId, Sign, Topology};
+
+/// Negative-hop routing with **bonus cards**: nhop plus virtual-channel
+/// load balancing.
+///
+/// Plain nhop loads low-numbered VC classes much more heavily than high
+/// ones (every message starts at class 0; only diametrically opposite pairs
+/// ever reach the top class). nbc evens this out: a message receives
+///
+/// ```text
+/// bonus cards b = (max possible negative hops in the network)
+///               - (negative hops this message will take)
+/// ```
+///
+/// and may use *any* class `0..=b` for its **first** hop — preferably the
+/// least congested one, which the simulator's candidate-selection policy
+/// provides. Every later hop uses `base_class + negative_hops`, exactly as
+/// nhop does relative to the chosen start. The class ceiling is unchanged,
+/// so nbc needs the same `⌈diameter/2⌉ + 1` classes as nhop (9 on 16²).
+///
+/// # Example
+///
+/// ```
+/// use wormsim_topology::Topology;
+/// use wormsim_routing::{NegativeHopBonusCards, MessageRouteState, RoutingAlgorithm};
+///
+/// let topo = Topology::torus(&[16, 16]);
+/// let nbc = NegativeHopBonusCards::new(&topo)?;
+///
+/// // A one-hop message takes 0 negative hops, so it gets all 8 bonus
+/// // cards: 9 first-hop class choices on its single minimal direction.
+/// let state = MessageRouteState::new(topo.node_at(&[0, 0]), topo.node_at(&[1, 0]));
+/// let mut out = Vec::new();
+/// nbc.candidates(&topo, &state, state.src(), &mut out);
+/// assert_eq!(out.len(), 9);
+/// # Ok::<(), wormsim_routing::RoutingError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct NegativeHopBonusCards {
+    classes: usize,
+    max_negative_hops: u32,
+}
+
+impl NegativeHopBonusCards {
+    /// Builds nbc for `topo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoutingError::RequiresBipartite`] if the topology is a
+    /// torus with any odd radix.
+    pub fn new(topo: &Topology) -> Result<Self, RoutingError> {
+        if !topo.is_bipartite() {
+            return Err(RoutingError::RequiresBipartite { algorithm: "nbc" });
+        }
+        Ok(NegativeHopBonusCards {
+            classes: topo.max_negative_hops() as usize + 1,
+            max_negative_hops: topo.max_negative_hops(),
+        })
+    }
+
+    /// The number of bonus cards a message from `src` to `dest` receives.
+    pub fn bonus_cards(&self, topo: &Topology, src: NodeId, dest: NodeId) -> u32 {
+        self.max_negative_hops - NegativeHop::negative_hops_needed(topo, src, dest)
+    }
+}
+
+impl RoutingAlgorithm for NegativeHopBonusCards {
+    fn name(&self) -> &'static str {
+        "nbc"
+    }
+
+    fn adaptivity(&self) -> Adaptivity {
+        Adaptivity::FullyAdaptive
+    }
+
+    fn num_vc_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn candidates(
+        &self,
+        topo: &Topology,
+        state: &MessageRouteState,
+        here: NodeId,
+        out: &mut Vec<Candidate>,
+    ) {
+        if state.at_source() {
+            let b = self.bonus_cards(topo, state.src(), state.dest()) as u8;
+            for dim in 0..topo.num_dims() {
+                let step = topo.dim_step(here, state.dest(), dim);
+                for sign in [Sign::Plus, Sign::Minus] {
+                    if step.allows(sign) {
+                        for class in 0..=b {
+                            out.push(Candidate::new(Direction::new(dim, sign), class));
+                        }
+                    }
+                }
+            }
+        } else {
+            let class = state.base_class() + u8::try_from(state.negative_hops()).expect("fits u8");
+            for dim in 0..topo.num_dims() {
+                let step = topo.dim_step(here, state.dest(), dim);
+                for sign in [Sign::Plus, Sign::Minus] {
+                    if step.allows(sign) {
+                        out.push(Candidate::new(Direction::new(dim, sign), class));
+                    }
+                }
+            }
+        }
+    }
+
+    fn injection_class(&self, topo: &Topology, state: &MessageRouteState) -> u32 {
+        // Bucket by bonus cards: the set of virtual channels the message
+        // can use at injection.
+        self.bonus_cards(topo, state.src(), state.dest())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bonus_card_formula() {
+        let topo = Topology::torus(&[16, 16]);
+        let nbc = NegativeHopBonusCards::new(&topo).unwrap();
+        let src = topo.node_at(&[0, 0]);
+        // Diametrically opposite: 8 negative hops needed, 0 bonus cards.
+        assert_eq!(nbc.bonus_cards(&topo, src, topo.node_at(&[8, 8])), 0);
+        // One hop away: 0 negative hops needed, all 8 cards.
+        assert_eq!(nbc.bonus_cards(&topo, src, topo.node_at(&[1, 0])), 8);
+    }
+
+    #[test]
+    fn zero_bonus_cards_behaves_like_nhop() {
+        let topo = Topology::torus(&[16, 16]);
+        let nbc = NegativeHopBonusCards::new(&topo).unwrap();
+        let nhop = NegativeHop::new(&topo).unwrap();
+        let state = MessageRouteState::new(topo.node_at(&[0, 0]), topo.node_at(&[8, 8]));
+        let mut ours = Vec::new();
+        nbc.candidates(&topo, &state, state.src(), &mut ours);
+        let mut theirs = Vec::new();
+        nhop.candidates(&topo, &state, state.src(), &mut theirs);
+        assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn classes_never_exceed_ceiling_on_any_walk() {
+        let topo = Topology::torus(&[8, 8]);
+        let nbc = NegativeHopBonusCards::new(&topo).unwrap();
+        let ceiling = nbc.num_vc_classes() as u8;
+        for s in topo.nodes().step_by(7) {
+            for d in topo.nodes().step_by(5) {
+                if s == d {
+                    continue;
+                }
+                let mut state = MessageRouteState::new(s, d);
+                nbc.init_message(&topo, &mut state);
+                let mut here = s;
+                while here != d {
+                    let mut out = Vec::new();
+                    nbc.candidates(&topo, &state, here, &mut out);
+                    assert!(!out.is_empty());
+                    // Take the *highest*-class candidate to stress the bound.
+                    let taken = *out.iter().max_by_key(|c| c.vc_class()).unwrap();
+                    assert!(taken.vc_class() < ceiling, "class out of range");
+                    state.advance(&topo, here, taken);
+                    here = topo.neighbor(here, taken.direction()).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn later_hops_follow_base_class() {
+        let topo = Topology::torus(&[6, 6]);
+        let nbc = NegativeHopBonusCards::new(&topo).unwrap();
+        // Figure 2 walk but starting on class 1 thanks to a bonus card.
+        let src = topo.node_at(&[4, 4]);
+        let dest = topo.node_at(&[2, 2]);
+        let mut state = MessageRouteState::new(src, dest);
+        // 4 hops from an even source: 2 negative hops; max is 3 for 6^2
+        // (diameter 6 → ceil(6/2) = 3), so b = 1.
+        assert_eq!(nbc.bonus_cards(&topo, src, dest), 1);
+        let mut out = Vec::new();
+        nbc.candidates(&topo, &state, src, &mut out);
+        // Two minimal directions x two class choices (0 and 1).
+        assert_eq!(out.len(), 4);
+        let taken = *out
+            .iter()
+            .find(|c| c.vc_class() == 1 && c.direction() == Direction::new(0, Sign::Minus))
+            .unwrap();
+        state.advance(&topo, src, taken);
+        // Next hop from (3,4): no negative hop taken yet (4,4 is even), so
+        // still class 1.
+        let here = topo.node_at(&[3, 4]);
+        out.clear();
+        nbc.candidates(&topo, &state, here, &mut out);
+        assert!(out.iter().all(|c| c.vc_class() == 1));
+        // (3,4) is odd: hop out of it is negative, class then becomes 2.
+        let taken = out[0];
+        state.advance(&topo, here, taken);
+        let here = topo.neighbor(here, taken.direction()).unwrap();
+        out.clear();
+        nbc.candidates(&topo, &state, here, &mut out);
+        assert!(out.iter().all(|c| c.vc_class() == 2));
+    }
+
+    #[test]
+    fn injection_classes_bucket_by_bonus_cards() {
+        let topo = Topology::torus(&[16, 16]);
+        let nbc = NegativeHopBonusCards::new(&topo).unwrap();
+        let near = MessageRouteState::new(topo.node_at(&[0, 0]), topo.node_at(&[1, 0]));
+        let far = MessageRouteState::new(topo.node_at(&[0, 0]), topo.node_at(&[8, 8]));
+        assert_eq!(nbc.injection_class(&topo, &near), 8);
+        assert_eq!(nbc.injection_class(&topo, &far), 0);
+    }
+
+    #[test]
+    fn rejects_odd_radix_torus() {
+        assert!(matches!(
+            NegativeHopBonusCards::new(&Topology::torus(&[5, 5])),
+            Err(RoutingError::RequiresBipartite { .. })
+        ));
+    }
+}

@@ -1,0 +1,200 @@
+//! The fully adaptive negative-hop (nhop) algorithm.
+
+use crate::{Adaptivity, Candidate, MessageRouteState, RoutingAlgorithm, RoutingError};
+use wormsim_topology::{Direction, NodeId, Parity, Sign, Topology};
+
+/// Negative-hop routing, derived from Gopal's store-and-forward scheme.
+///
+/// The network's nodes are two-colored by coordinate parity (the graph is
+/// bipartite for meshes and even-radix tori). A hop leaving an *odd* node
+/// is **negative**; a message that has taken `i` negative hops reserves a
+/// class-`i` virtual channel. Since at most every other hop is negative,
+/// only `⌈diameter/2⌉ + 1` classes are needed — 9 on the 16×16 torus versus
+/// phop's 17.
+///
+/// # Example
+///
+/// ```
+/// use wormsim_topology::Topology;
+/// use wormsim_routing::{NegativeHop, RoutingAlgorithm};
+///
+/// let topo = Topology::torus(&[16, 16]);
+/// let nhop = NegativeHop::new(&topo)?;
+/// assert_eq!(nhop.num_vc_classes(), 9);
+/// # Ok::<(), wormsim_routing::RoutingError>(())
+/// ```
+///
+/// # Errors
+///
+/// Construction fails on tori with odd radices, which are not bipartite
+/// (the paper notes odd-k designs exist but "will not be considered any
+/// further"; we match that scope).
+#[derive(Clone, Debug)]
+pub struct NegativeHop {
+    classes: usize,
+}
+
+impl NegativeHop {
+    /// Builds nhop for `topo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoutingError::RequiresBipartite`] if the topology is a
+    /// torus with any odd radix.
+    pub fn new(topo: &Topology) -> Result<Self, RoutingError> {
+        if !topo.is_bipartite() {
+            return Err(RoutingError::RequiresBipartite { algorithm: "nhop" });
+        }
+        Ok(NegativeHop {
+            classes: topo.max_negative_hops() as usize + 1,
+        })
+    }
+
+    /// The number of negative hops a message from `src` to `dest` will take
+    /// on *any* minimal path.
+    ///
+    /// Because parity alternates along every path, the count depends only on
+    /// the source parity and path length `L`: `⌈L/2⌉` from an odd source,
+    /// `⌊L/2⌋` from an even one.
+    pub fn negative_hops_needed(topo: &Topology, src: NodeId, dest: NodeId) -> u32 {
+        let dist = topo.distance(src, dest);
+        match topo.parity(src) {
+            Parity::Odd => dist.div_ceil(2),
+            Parity::Even => dist / 2,
+        }
+    }
+}
+
+impl RoutingAlgorithm for NegativeHop {
+    fn name(&self) -> &'static str {
+        "nhop"
+    }
+
+    fn adaptivity(&self) -> Adaptivity {
+        Adaptivity::FullyAdaptive
+    }
+
+    fn num_vc_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn candidates(
+        &self,
+        topo: &Topology,
+        state: &MessageRouteState,
+        here: NodeId,
+        out: &mut Vec<Candidate>,
+    ) {
+        let class = u8::try_from(state.negative_hops()).expect("negative hops fit u8");
+        for dim in 0..topo.num_dims() {
+            let step = topo.dim_step(here, state.dest(), dim);
+            for sign in [Sign::Plus, Sign::Minus] {
+                if step.allows(sign) {
+                    out.push(Candidate::new(Direction::new(dim, sign), class));
+                }
+            }
+        }
+    }
+
+    fn injection_class(&self, topo: &Topology, state: &MessageRouteState) -> u32 {
+        // "Based on the virtual channel number it can use": a message
+        // needing i negative hops uses exactly classes 0..=i.
+        NegativeHop::negative_hops_needed(topo, state.src(), state.dest())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_match_paper_formula() {
+        // "For 16^2, for example, 9 buffer classes per node are sufficient."
+        assert_eq!(
+            NegativeHop::new(&Topology::torus(&[16, 16])).unwrap().num_vc_classes(),
+            9
+        );
+        // 6^2: diameter 6, so 4 classes (c0..c3), matching the paper's
+        // Figure 2 discussion ("all 4 virtual channels c0,c1,c2,c3").
+        assert_eq!(
+            NegativeHop::new(&Topology::torus(&[6, 6])).unwrap().num_vc_classes(),
+            4
+        );
+    }
+
+    #[test]
+    fn rejects_odd_radix_torus() {
+        assert!(matches!(
+            NegativeHop::new(&Topology::torus(&[5, 6])),
+            Err(RoutingError::RequiresBipartite { .. })
+        ));
+        // Odd-radix meshes are still bipartite.
+        assert!(NegativeHop::new(&Topology::mesh(&[5, 5])).is_ok());
+    }
+
+    #[test]
+    fn paper_figure_two_walk() {
+        // (4,4) -> (3,4) -> (3,3) -> (2,3) -> (2,2) in 6^2 reserves classes
+        // c0, c0, c1, c1.
+        let topo = Topology::torus(&[6, 6]);
+        let nhop = NegativeHop::new(&topo).unwrap();
+        let src = topo.node_at(&[4, 4]);
+        let dest = topo.node_at(&[2, 2]);
+        let mut state = MessageRouteState::new(src, dest);
+        nhop.init_message(&topo, &mut state);
+        let hops = [
+            ([4u16, 4u16], Direction::new(0, Sign::Minus)),
+            ([3, 4], Direction::new(1, Sign::Minus)),
+            ([3, 3], Direction::new(0, Sign::Minus)),
+            ([2, 3], Direction::new(1, Sign::Minus)),
+        ];
+        let mut classes = Vec::new();
+        for (at, dir) in hops {
+            let here = topo.node_at(&at);
+            let mut out = Vec::new();
+            nhop.candidates(&topo, &state, here, &mut out);
+            let taken = *out
+                .iter()
+                .find(|c| c.direction() == dir)
+                .expect("fully adaptive: requested direction available");
+            classes.push(taken.vc_class());
+            state.advance(&topo, here, taken);
+        }
+        assert_eq!(classes, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn negative_hops_needed_is_path_independent() {
+        let topo = Topology::torus(&[6, 6]);
+        // Walk random minimal paths and count actual negative hops.
+        for (s, d) in [([0u16, 0u16], [3u16, 2u16]), ([1, 0], [4, 4]), ([5, 5], [2, 2])] {
+            let src = topo.node_at(&s);
+            let dest = topo.node_at(&d);
+            let needed = NegativeHop::negative_hops_needed(&topo, src, dest);
+            let nhop = NegativeHop::new(&topo).unwrap();
+            // Greedy walk always taking the first candidate.
+            let mut state = MessageRouteState::new(src, dest);
+            let mut here = src;
+            while here != dest {
+                let mut out = Vec::new();
+                nhop.candidates(&topo, &state, here, &mut out);
+                let taken = out[0];
+                state.advance(&topo, here, taken);
+                here = topo.neighbor(here, taken.direction()).unwrap();
+            }
+            assert_eq!(state.negative_hops(), needed);
+            // And the last class used is within bounds.
+            assert!(state.negative_hops() < nhop.num_vc_classes() as u32);
+        }
+    }
+
+    #[test]
+    fn max_class_reached_only_by_diametric_messages() {
+        let topo = Topology::torus(&[16, 16]);
+        let src = topo.node_at(&[0, 0]);
+        let opposite = topo.node_at(&[8, 8]);
+        assert_eq!(NegativeHop::negative_hops_needed(&topo, src, opposite), 8);
+        let near = topo.node_at(&[1, 0]);
+        assert_eq!(NegativeHop::negative_hops_needed(&topo, src, near), 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! The partially adaptive north-last algorithm (Glass & Ni turn model).
+
+use crate::{Adaptivity, Candidate, MessageRouteState, RoutingAlgorithm, RoutingError};
+use wormsim_topology::{DimStep, Direction, NodeId, Sign, Topology};
+
+/// North-last routing from the Glass–Ni turn model.
+///
+/// "North" is the `-` direction of the highest dimension (dimension 1 on the
+/// paper's two-dimensional networks, matching its description: *"if
+/// destination index is less than source index in dimension 1, then a
+/// message must correct dimension 0 first before taking any hops on
+/// dimension 1 links; otherwise it is routed fully-adaptively"*).
+///
+/// * Messages that need to travel north correct all other dimensions first
+///   (adaptively among them), then take their north hops non-adaptively —
+///   so no turn *out of* north ever occurs.
+/// * All other messages route fully adaptively among minimal directions.
+///   A torus half-way tie in the highest dimension is resolved towards `+`
+///   (south) so the message never enters north early.
+///
+/// On tori, deadlock freedom over the wrap-around links uses a
+/// **dateline-crossing count** discipline with `n + 1` VC classes: a
+/// message's class is the total number of dimension datelines it has
+/// crossed so far. The class is non-decreasing along every path, and within
+/// one class only non-wrap channels are held, so the mesh turn-model
+/// argument applies level by level. (A per-dimension 2-class scheme, as
+/// used by e-cube, is *not* sufficient for the adaptive turns north-last
+/// allows — our simulator's watchdog demonstrates real deadlocks with it.)
+/// Meshes need a single class.
+///
+/// # Example
+///
+/// ```
+/// use wormsim_topology::Topology;
+/// use wormsim_routing::{NorthLast, MessageRouteState, RoutingAlgorithm};
+///
+/// let topo = Topology::mesh(&[10, 10]);
+/// let nlast = NorthLast::new(&topo)?;
+///
+/// // The paper's example: (3,3) -> (1,1) must go through (3,2), (3,1), (2,1):
+/// // dimension-1 travel is north (towards lower index), so dimension 0 has
+/// // no adaptivity... but note coordinates here are (x, y) = (dim0, dim1).
+/// let state = MessageRouteState::new(topo.node_at(&[3, 3]), topo.node_at(&[1, 1]));
+/// let mut out = Vec::new();
+/// nlast.candidates(&topo, &state, state.src(), &mut out);
+/// assert_eq!(out.len(), 1); // forced: correct dimension 0 first
+/// assert_eq!(out[0].direction().dim(), 0);
+/// # Ok::<(), wormsim_routing::RoutingError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct NorthLast {
+    classes: usize,
+    north_dim: usize,
+}
+
+impl NorthLast {
+    /// Builds north-last for `topo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoutingError::NeedsDimensions`] for one-dimensional
+    /// networks, where the turn model degenerates.
+    pub fn new(topo: &Topology) -> Result<Self, RoutingError> {
+        if topo.num_dims() < 2 {
+            return Err(RoutingError::NeedsDimensions {
+                algorithm: "nlast",
+                needs: 2,
+                got: topo.num_dims(),
+            });
+        }
+        Ok(NorthLast {
+            classes: if topo.wraps() { topo.num_dims() + 1 } else { 1 },
+            north_dim: topo.num_dims() - 1,
+        })
+    }
+
+    fn class_for(&self, topo: &Topology, state: &MessageRouteState) -> u8 {
+        if topo.wraps() {
+            state.datelines_crossed() as u8
+        } else {
+            0
+        }
+    }
+
+    /// Whether this message still needs a north hop (strictly `-` travel in
+    /// the highest dimension).
+    fn needs_north(&self, topo: &Topology, state: &MessageRouteState, here: NodeId) -> bool {
+        matches!(
+            topo.dim_step(here, state.dest(), self.north_dim),
+            DimStep::One { sign: Sign::Minus, .. }
+        )
+    }
+}
+
+impl RoutingAlgorithm for NorthLast {
+    fn name(&self) -> &'static str {
+        "nlast"
+    }
+
+    fn adaptivity(&self) -> Adaptivity {
+        Adaptivity::PartiallyAdaptive
+    }
+
+    fn num_vc_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn candidates(
+        &self,
+        topo: &Topology,
+        state: &MessageRouteState,
+        here: NodeId,
+        out: &mut Vec<Candidate>,
+    ) {
+        let needs_north = self.needs_north(topo, state, here);
+        let mut lower_dims_done = true;
+        for dim in 0..topo.num_dims() {
+            let step = topo.dim_step(here, state.dest(), dim);
+            if matches!(step, DimStep::Done) {
+                continue;
+            }
+            if dim != self.north_dim {
+                lower_dims_done = false;
+            }
+            let class = self.class_for(topo, state);
+            for sign in [Sign::Plus, Sign::Minus] {
+                if !step.allows(sign) {
+                    continue;
+                }
+                let is_north = dim == self.north_dim && sign == Sign::Minus;
+                if is_north {
+                    continue; // handled below: north hops come last
+                }
+                if dim == self.north_dim && needs_north {
+                    continue; // north traveller: no early hops in this dim
+                }
+                out.push(Candidate::new(Direction::new(dim, sign), class));
+            }
+        }
+        // North hops are allowed only once every other dimension is done,
+        // and are then the only option (non-adaptive tail of the route).
+        if needs_north && lower_dims_done {
+            out.push(Candidate::new(
+                Direction::new(self.north_dim, Sign::Minus),
+                self.class_for(topo, state),
+            ));
+        }
+    }
+
+    fn injection_class(&self, topo: &Topology, state: &MessageRouteState) -> u32 {
+        // Like e-cube: the particular first-hop virtual channel it intends
+        // to use. Partially adaptive messages may have several options; the
+        // class of the first (deterministic) candidate identifies the
+        // congestion-control bucket.
+        let mut out = Vec::with_capacity(4);
+        self.candidates(topo, state, state.src(), &mut out);
+        match out.first() {
+            Some(c) => (c.direction().index() * self.classes) as u32 + c.vc_class() as u32,
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates_at(
+        topo: &Topology,
+        algo: &NorthLast,
+        here: &[u16],
+        dest: &[u16],
+    ) -> Vec<Candidate> {
+        // Synthesize a state as if the message had been injected at `here`.
+        let state = MessageRouteState::new(topo.node_at(here), topo.node_at(dest));
+        let mut out = Vec::new();
+        algo.candidates(topo, &state, topo.node_at(here), &mut out);
+        out
+    }
+
+    #[test]
+    fn paper_example_path_is_forced() {
+        // (3,3) -> (1,1) on a 10x10 mesh: the message must correct
+        // dimension 0 (to 1) before any dimension-1 hops.
+        let topo = Topology::mesh(&[10, 10]);
+        let algo = NorthLast::new(&topo).unwrap();
+        let c = candidates_at(&topo, &algo, &[3, 3], &[1, 1]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].direction(), Direction::new(0, Sign::Minus));
+        // After dimension 0 is corrected, north hops are forced.
+        let c = candidates_at(&topo, &algo, &[1, 3], &[1, 1]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].direction(), Direction::new(1, Sign::Minus));
+    }
+
+    #[test]
+    fn southbound_messages_are_fully_adaptive() {
+        let topo = Topology::mesh(&[10, 10]);
+        let algo = NorthLast::new(&topo).unwrap();
+        let c = candidates_at(&topo, &algo, &[3, 3], &[5, 5]);
+        assert_eq!(c.len(), 2);
+        let dirs: Vec<Direction> = c.iter().map(|c| c.direction()).collect();
+        assert!(dirs.contains(&Direction::new(0, Sign::Plus)));
+        assert!(dirs.contains(&Direction::new(1, Sign::Plus)));
+    }
+
+    #[test]
+    fn north_tie_on_torus_resolves_south() {
+        let topo = Topology::torus(&[8, 8]);
+        let algo = NorthLast::new(&topo).unwrap();
+        // Dimension 1 offset of exactly 4 = 8/2: both minimal; nlast must
+        // only offer the + (south) choice.
+        let c = candidates_at(&topo, &algo, &[0, 0], &[0, 4]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].direction(), Direction::new(1, Sign::Plus));
+    }
+
+    #[test]
+    fn never_turns_out_of_north() {
+        // Exhaustively: whenever a north candidate is offered, it is the
+        // only candidate (so a message in the north phase stays there).
+        let topo = Topology::torus(&[6, 6]);
+        let algo = NorthLast::new(&topo).unwrap();
+        for s in topo.nodes() {
+            for d in topo.nodes() {
+                if s == d {
+                    continue;
+                }
+                let c = candidates_at(&topo, &algo, &topo.coords(s), &topo.coords(d));
+                assert!(!c.is_empty(), "must always offer a hop");
+                let norths = c
+                    .iter()
+                    .filter(|c| c.direction() == Direction::new(1, Sign::Minus))
+                    .count();
+                if norths > 0 {
+                    assert_eq!(c.len(), 1, "north hops must be exclusive: {c:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_candidates_minimal() {
+        let topo = Topology::torus(&[6, 6]);
+        let algo = NorthLast::new(&topo).unwrap();
+        for s in topo.nodes() {
+            for d in topo.nodes() {
+                if s == d {
+                    continue;
+                }
+                for c in candidates_at(&topo, &algo, &topo.coords(s), &topo.coords(d)) {
+                    let next = topo.neighbor(s, c.direction()).unwrap();
+                    assert_eq!(topo.distance(next, d), topo.distance(s, d) - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_one_dimensional_networks() {
+        let ring = Topology::torus(&[8]);
+        assert!(matches!(
+            NorthLast::new(&ring),
+            Err(RoutingError::NeedsDimensions { .. })
+        ));
+    }
+}

@@ -1,0 +1,199 @@
+//! The fully adaptive two-power-n (2pn) algorithm.
+
+use crate::{Adaptivity, Candidate, MessageRouteState, RoutingAlgorithm, RoutingError};
+use wormsim_topology::{Direction, NodeId, Sign, Topology, TopologyKind};
+
+/// Fully adaptive routing based on the enumeration of directions
+/// (the paper's *2pn* algorithm, derived from Dally, Felperin et al., and
+/// Linder & Harden).
+///
+/// At the source an n-bit tag `t` is computed from source `s` and
+/// destination `d` (Equation 1 of the paper):
+///
+/// ```text
+/// t_i = 1 if s_i < d_i,   0 if s_i > d_i,   0 (free choice) if s_i = d_i
+/// ```
+///
+/// The message then always reserves the virtual channel *numbered `t`* on
+/// any link of an uncorrected dimension — fully adaptive, with `2^n` VC
+/// classes on tori and `2^(n-1)` on meshes (the highest dimension does not
+/// need a tag bit on meshes, Dally's result).
+///
+/// # Example
+///
+/// ```
+/// use wormsim_topology::Topology;
+/// use wormsim_routing::{TwoPowerN, MessageRouteState, RoutingAlgorithm};
+///
+/// let topo = Topology::torus(&[16, 16]);
+/// let tpn = TwoPowerN::new(&topo)?;
+/// assert_eq!(tpn.num_vc_classes(), 4); // 2^2 for the 16x16 torus
+///
+/// let mut state = MessageRouteState::new(topo.node_at(&[2, 7]), topo.node_at(&[5, 3]));
+/// tpn.init_message(&topo, &mut state);
+/// assert_eq!(state.tag(), 0b01); // s_0 < d_0, s_1 > d_1
+/// # Ok::<(), wormsim_routing::RoutingError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct TwoPowerN {
+    classes: usize,
+    tagged_dims: usize,
+}
+
+impl TwoPowerN {
+    /// Builds 2pn for `topo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoutingError::TooManyDimensions`] when the topology has
+    /// more than 7 dimensions (the tag is stored in a `u8` class index).
+    pub fn new(topo: &Topology) -> Result<Self, RoutingError> {
+        let n = topo.num_dims();
+        let tagged_dims = match topo.kind() {
+            TopologyKind::Torus => n,
+            TopologyKind::Mesh => n - 1,
+        };
+        if tagged_dims > 7 {
+            return Err(RoutingError::TooManyDimensions {
+                algorithm: "2pn",
+                max: 7,
+                got: n,
+            });
+        }
+        Ok(TwoPowerN {
+            classes: 1 << tagged_dims,
+            tagged_dims,
+        })
+    }
+
+    /// Computes the paper's Equation 1 tag for a source/destination pair.
+    pub fn tag_for(&self, topo: &Topology, src: NodeId, dest: NodeId) -> u8 {
+        let mut tag = 0u8;
+        for dim in 0..self.tagged_dims {
+            if topo.coord(src, dim) < topo.coord(dest, dim) {
+                tag |= 1 << dim;
+            }
+        }
+        tag
+    }
+}
+
+impl RoutingAlgorithm for TwoPowerN {
+    fn name(&self) -> &'static str {
+        "2pn"
+    }
+
+    fn adaptivity(&self) -> Adaptivity {
+        Adaptivity::FullyAdaptive
+    }
+
+    fn num_vc_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn init_message(&self, topo: &Topology, state: &mut MessageRouteState) {
+        state.set_tag(self.tag_for(topo, state.src(), state.dest()));
+    }
+
+    fn candidates(
+        &self,
+        topo: &Topology,
+        state: &MessageRouteState,
+        here: NodeId,
+        out: &mut Vec<Candidate>,
+    ) {
+        let class = state.tag();
+        for dim in 0..topo.num_dims() {
+            let step = topo.dim_step(here, state.dest(), dim);
+            for sign in [Sign::Plus, Sign::Minus] {
+                if step.allows(sign) {
+                    out.push(Candidate::new(Direction::new(dim, sign), class));
+                }
+            }
+        }
+    }
+
+    fn injection_class(&self, topo: &Topology, state: &MessageRouteState) -> u32 {
+        // "a message class is based on the virtual channel number it can
+        // use" — which for 2pn is the tag.
+        self.tag_for(topo, state.src(), state.dest()) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_matches_equation_one() {
+        let topo = Topology::torus(&[16, 16]);
+        let tpn = TwoPowerN::new(&topo).unwrap();
+        let tag = |s: [u16; 2], d: [u16; 2]| {
+            tpn.tag_for(&topo, topo.node_at(&s), topo.node_at(&d))
+        };
+        assert_eq!(tag([0, 0], [5, 5]), 0b11);
+        assert_eq!(tag([5, 5], [0, 0]), 0b00);
+        assert_eq!(tag([0, 5], [5, 0]), 0b01);
+        assert_eq!(tag([3, 3], [3, 9]), 0b10); // equal coordinate -> bit 0
+    }
+
+    #[test]
+    fn torus_has_two_power_n_classes() {
+        assert_eq!(TwoPowerN::new(&Topology::torus(&[8, 8])).unwrap().num_vc_classes(), 4);
+        assert_eq!(TwoPowerN::new(&Topology::torus(&[4, 4, 4])).unwrap().num_vc_classes(), 8);
+    }
+
+    #[test]
+    fn mesh_drops_one_tag_bit() {
+        assert_eq!(TwoPowerN::new(&Topology::mesh(&[8, 8])).unwrap().num_vc_classes(), 2);
+        assert_eq!(TwoPowerN::new(&Topology::mesh(&[4, 4, 4])).unwrap().num_vc_classes(), 4);
+    }
+
+    #[test]
+    fn fully_adaptive_candidate_set() {
+        let topo = Topology::torus(&[16, 16]);
+        let tpn = TwoPowerN::new(&topo).unwrap();
+        let mut state = MessageRouteState::new(topo.node_at(&[0, 0]), topo.node_at(&[3, 13]));
+        tpn.init_message(&topo, &mut state);
+        let mut out = Vec::new();
+        tpn.candidates(&topo, &state, state.src(), &mut out);
+        // +0 (3 hops) and -1 (3 hops via wraparound) are both minimal.
+        assert_eq!(out.len(), 2);
+        // The tag compares coordinate *indices*, not travel directions:
+        // s0 < d0 and s1 < d1 give t = 0b11 even though dimension 1 travels
+        // minus through the wraparound.
+        assert!(out.iter().all(|c| c.vc_class() == 0b11));
+    }
+
+    #[test]
+    fn candidates_always_minimal_and_nonempty() {
+        let topo = Topology::torus(&[6, 6]);
+        let tpn = TwoPowerN::new(&topo).unwrap();
+        for s in topo.nodes() {
+            for d in topo.nodes() {
+                if s == d {
+                    continue;
+                }
+                let mut state = MessageRouteState::new(s, d);
+                tpn.init_message(&topo, &mut state);
+                let mut out = Vec::new();
+                tpn.candidates(&topo, &state, s, &mut out);
+                assert!(!out.is_empty());
+                for c in &out {
+                    let next = topo.neighbor(s, c.direction()).unwrap();
+                    assert_eq!(topo.distance(next, d), topo.distance(s, d) - 1);
+                    assert!((c.vc_class() as usize) < tpn.num_vc_classes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_too_many_dimensions() {
+        let topo = Topology::torus(&[2, 2, 2, 2, 2, 2, 2, 2]);
+        assert!(matches!(
+            TwoPowerN::new(&topo),
+            Err(RoutingError::TooManyDimensions { .. })
+        ));
+    }
+}

@@ -1,0 +1,131 @@
+//! Cross-algorithm property tests: minimality, progress, class bounds.
+
+use proptest::prelude::*;
+use wormsim_routing::{AlgorithmKind, MessageRouteState, RoutingAlgorithm};
+use wormsim_topology::{NodeId, Topology};
+
+fn arb_setup() -> impl Strategy<Value = (Topology, AlgorithmKind, NodeId, NodeId, u64)> {
+    let topo = prop_oneof![
+        Just(Topology::torus(&[4, 4])),
+        Just(Topology::torus(&[6, 6])),
+        Just(Topology::torus(&[8, 8])),
+        Just(Topology::torus(&[16, 16])),
+        Just(Topology::mesh(&[8, 8])),
+        Just(Topology::torus(&[4, 4, 4])),
+    ];
+    let kind = prop_oneof![
+        Just(AlgorithmKind::Ecube),
+        Just(AlgorithmKind::NorthLast),
+        Just(AlgorithmKind::TwoPowerN),
+        Just(AlgorithmKind::PositiveHop),
+        Just(AlgorithmKind::NegativeHop),
+        Just(AlgorithmKind::NegativeHopBonusCards),
+    ];
+    (topo, kind, any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(t, k, a, b, seed)| {
+        let n = t.num_nodes();
+        (t, k, NodeId::new(a % n), NodeId::new(b % n), seed)
+    })
+}
+
+/// Walks a message along candidates chosen pseudo-randomly by `seed`,
+/// returning the classes used per hop.
+fn walk(
+    topo: &Topology,
+    algo: &dyn RoutingAlgorithm,
+    src: NodeId,
+    dest: NodeId,
+    mut seed: u64,
+) -> Vec<u8> {
+    let mut state = MessageRouteState::new(src, dest);
+    algo.init_message(topo, &mut state);
+    let mut here = src;
+    let mut classes = Vec::new();
+    let mut out = Vec::new();
+    while here != dest {
+        out.clear();
+        algo.candidates(topo, &state, here, &mut out);
+        assert!(!out.is_empty(), "no candidates before destination");
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let taken = out[(seed >> 33) as usize % out.len()];
+        classes.push(taken.vc_class());
+        state.advance(topo, here, taken);
+        here = topo.neighbor(here, taken.direction()).expect("valid channel");
+    }
+    classes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every algorithm delivers every message in exactly `distance` hops
+    /// along any candidate choice sequence (minimality + livelock freedom).
+    #[test]
+    fn all_walks_are_minimal((topo, kind, src, dest, seed) in arb_setup()) {
+        prop_assume!(src != dest);
+        let algo = match kind.build(&topo) {
+            Ok(a) => a,
+            Err(_) => return Ok(()), // e.g. nhop on a non-bipartite torus
+        };
+        let classes = walk(&topo, algo.as_ref(), src, dest, seed);
+        prop_assert_eq!(classes.len() as u32, topo.distance(src, dest));
+    }
+
+    /// VC classes stay within the algorithm's declared bound on every walk.
+    #[test]
+    fn classes_stay_in_bounds((topo, kind, src, dest, seed) in arb_setup()) {
+        prop_assume!(src != dest);
+        let algo = match kind.build(&topo) {
+            Ok(a) => a,
+            Err(_) => return Ok(()),
+        };
+        let bound = algo.num_vc_classes() as u8;
+        let classes = walk(&topo, algo.as_ref(), src, dest, seed);
+        prop_assert!(classes.iter().all(|&c| c < bound),
+            "classes {:?} exceed bound {}", classes, bound);
+    }
+
+    /// Hop-scheme classes never decrease along a path (the paper's Lemma 1
+    /// monotone-rank condition).
+    #[test]
+    fn hop_scheme_classes_are_monotone((topo, kind, src, dest, seed) in arb_setup()) {
+        prop_assume!(src != dest);
+        prop_assume!(matches!(kind,
+            AlgorithmKind::PositiveHop
+            | AlgorithmKind::NegativeHop
+            | AlgorithmKind::NegativeHopBonusCards));
+        let algo = match kind.build(&topo) {
+            Ok(a) => a,
+            Err(_) => return Ok(()),
+        };
+        let classes = walk(&topo, algo.as_ref(), src, dest, seed);
+        prop_assert!(classes.windows(2).all(|w| w[0] <= w[1]),
+            "classes must be monotone: {:?}", classes);
+    }
+
+    /// phop's class on hop `i` is exactly `i`; nhop's class increments
+    /// exactly on hops leaving odd nodes.
+    #[test]
+    fn phop_class_equals_hop_index((topo, _, src, dest, seed) in arb_setup()) {
+        prop_assume!(src != dest);
+        let algo = AlgorithmKind::PositiveHop.build(&topo).unwrap();
+        let classes = walk(&topo, algo.as_ref(), src, dest, seed);
+        for (i, &c) in classes.iter().enumerate() {
+            prop_assert_eq!(c as usize, i);
+        }
+    }
+
+    /// The injection class is always defined and stable for a given message.
+    #[test]
+    fn injection_class_is_deterministic((topo, kind, src, dest, _) in arb_setup()) {
+        prop_assume!(src != dest);
+        let algo = match kind.build(&topo) {
+            Ok(a) => a,
+            Err(_) => return Ok(()),
+        };
+        let mut state = MessageRouteState::new(src, dest);
+        algo.init_message(&topo, &mut state);
+        let a = algo.injection_class(&topo, &state);
+        let b = algo.injection_class(&topo, &state);
+        prop_assert_eq!(a, b);
+    }
+}

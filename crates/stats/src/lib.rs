@@ -1,0 +1,58 @@
+//! Steady-state statistics and convergence control for network simulation.
+//!
+//! Implements the measurement methodology of Boppana & Chalasani
+//! (ISCA 1993), Section 3:
+//!
+//! * messages are partitioned into **hop classes** (strata) by the distance
+//!   they travel; per-stratum latency moments feed a stratified population
+//!   estimator with pattern-derived weights ([`StratifiedEstimator`]),
+//! * the 95% confidence interval of the average latency is `mean ± 2σ̂`
+//!   ([`ConfidenceInterval`]), and
+//! * a simulation run takes repeated samples (with warm-up and re-seeded
+//!   RNG streams between them) until **both** convergence criteria hold —
+//!   the stratified bound and the across-sample bound each within 5% of
+//!   their means — subject to a minimum of 3 and a maximum of 10–15 samples
+//!   ([`ConvergenceController`]).
+//!
+//! The [`throughput`] module provides the paper's Equations 2–4 relating
+//! injection rate, message length, mean distance, and normalized channel
+//! utilization.
+//!
+//! # Example
+//!
+//! ```
+//! use wormsim_stats::{SampleAccumulator, ConvergenceController, ConvergencePolicy};
+//!
+//! // Hop-class weights (two classes here, 30%/70% of messages).
+//! let weights = vec![0.3, 0.7];
+//! let mut controller = ConvergenceController::new(ConvergencePolicy::default(), weights.clone());
+//!
+//! for sample_index in 0..5 {
+//!     let mut acc = SampleAccumulator::new(weights.len());
+//!     // ... record per-message latencies during the sampling period ...
+//!     for i in 0..1000 {
+//!         let class = if i % 10 < 3 { 0 } else { 1 };
+//!         acc.record(class, 20.0 + (i % 7) as f64);
+//!     }
+//!     controller.push_sample(acc.summarize());
+//!     if controller.status().is_converged() { break; }
+//! }
+//! assert!(controller.status().is_converged());
+//! println!("latency = {}", controller.estimate().unwrap().mean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod confidence;
+mod convergence;
+mod histogram;
+mod streaming;
+mod stratified;
+pub mod throughput;
+
+pub use confidence::ConfidenceInterval;
+pub use convergence::{ConvergenceController, ConvergencePolicy, ConvergenceStatus};
+pub use histogram::Histogram;
+pub use streaming::StreamingStats;
+pub use stratified::{SampleAccumulator, SampleSummary, StratifiedEstimator};

@@ -1,0 +1,110 @@
+//! The paper's latency/throughput bookkeeping (Equations 2–4).
+//!
+//! For a k-ary n-cube with two unidirectional channels per adjacent pair,
+//! the normalized throughput (average channel utilization) is
+//!
+//! ```text
+//! ρ = λ · m_l · d̄ / (2n)                                  (Equation 4)
+//! ```
+//!
+//! where `λ` is the per-node, per-cycle message injection rate, `m_l` the
+//! average message length in flits, and `d̄` the average hop count. The
+//! numerator is the flit-hop bandwidth a node demands per cycle; the
+//! denominator is the bandwidth of the `2n` channels it owns.
+
+/// Converts a per-node injection rate `λ` into offered normalized channel
+/// utilization (Equation 4).
+///
+/// # Example
+///
+/// ```
+/// // The paper's setup: 16-flit messages, 16x16 torus (d̄ = 8.03, n = 2).
+/// let rho = wormsim_stats::throughput::utilization_from_rate(0.0063, 16.0, 8.03, 2);
+/// assert!((rho - 0.2).abs() < 0.005);
+/// ```
+pub fn utilization_from_rate(lambda: f64, mean_length: f64, mean_distance: f64, n_dims: usize) -> f64 {
+    lambda * mean_length * mean_distance / (2.0 * n_dims as f64)
+}
+
+/// Converts an offered normalized channel utilization into the per-node
+/// injection rate `λ` that produces it (Equation 4 inverted).
+///
+/// # Panics
+///
+/// Panics if `mean_length` or `mean_distance` is not positive.
+pub fn rate_for_utilization(
+    utilization: f64,
+    mean_length: f64,
+    mean_distance: f64,
+    n_dims: usize,
+) -> f64 {
+    assert!(mean_length > 0.0, "mean length must be positive");
+    assert!(mean_distance > 0.0, "mean distance must be positive");
+    utilization * 2.0 * n_dims as f64 / (mean_length * mean_distance)
+}
+
+/// The paper's Equation 2: the latency of a message that waited `wait`
+/// cycles, has `length` flits, travels `hops` hops, with `flit_time` cycles
+/// per flit transfer.
+///
+/// ```text
+/// latency = w + (m_l + d - 1) · f_t
+/// ```
+pub fn message_latency(wait: f64, length: f64, hops: f64, flit_time: f64) -> f64 {
+    wait + (length + hops - 1.0) * flit_time
+}
+
+/// The zero-load latency of Equation 2 (no waiting anywhere).
+pub fn zero_load_latency(length: f64, hops: f64, flit_time: f64) -> f64 {
+    message_latency(0.0, length, hops, flit_time)
+}
+
+/// Measured channel utilization: flit-hop transfers performed divided by
+/// the raw flit-hop capacity (`channels × cycles`).
+///
+/// This is the direct "fraction of the physical channel bandwidth utilized"
+/// definition; under Equation 4's assumptions both agree.
+///
+/// # Panics
+///
+/// Panics if `channels` or `cycles` is zero.
+pub fn measured_utilization(flit_hops: u64, channels: u64, cycles: u64) -> f64 {
+    assert!(channels > 0, "need at least one channel");
+    assert!(cycles > 0, "need at least one cycle");
+    flit_hops as f64 / (channels as f64 * cycles as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equations_invert() {
+        let (ml, d, n) = (16.0, 8.03, 2);
+        for rho in [0.1, 0.4, 0.72] {
+            let lambda = rate_for_utilization(rho, ml, d, n);
+            assert!((utilization_from_rate(lambda, ml, d, n) - rho).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_full_load_rate() {
+        // At rho = 1.0 on 16^2 with 16-flit messages, each node injects one
+        // message roughly every 32 cycles.
+        let lambda = rate_for_utilization(1.0, 16.0, 8.03, 2);
+        assert!((1.0 / lambda - 32.1).abs() < 0.1);
+    }
+
+    #[test]
+    fn zero_load_latency_form() {
+        // 16 flits over 8 hops at 1 cycle/flit: 16 + 8 - 1 = 23 cycles.
+        assert_eq!(zero_load_latency(16.0, 8.0, 1.0), 23.0);
+        assert_eq!(message_latency(10.0, 16.0, 8.0, 1.0), 33.0);
+    }
+
+    #[test]
+    fn measured_utilization_bounds() {
+        assert_eq!(measured_utilization(0, 1024, 100), 0.0);
+        assert_eq!(measured_utilization(1024 * 100, 1024, 100), 1.0);
+    }
+}

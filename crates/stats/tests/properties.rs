@@ -1,0 +1,101 @@
+//! Property-based tests: streaming statistics against brute force, the
+//! stratified estimator against its closed form, and histogram order
+//! statistics.
+
+use proptest::prelude::*;
+use wormsim_stats::{Histogram, SampleAccumulator, StratifiedEstimator, StreamingStats};
+
+proptest! {
+    /// Welford accumulation matches the two-pass formulas.
+    #[test]
+    fn streaming_matches_two_pass(data in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let s: StreamingStats = data.iter().copied().collect();
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        let scale = var.abs().max(1.0);
+        prop_assert!((s.mean() - mean).abs() / mean.abs().max(1.0) < 1e-9);
+        prop_assert!((s.sample_variance() - var).abs() / scale < 1e-6);
+        prop_assert_eq!(s.count(), data.len() as u64);
+    }
+
+    /// Merging any split of a dataset equals accumulating it whole.
+    #[test]
+    fn merge_is_split_invariant(
+        data in prop::collection::vec(-1e3f64..1e3, 2..100),
+        split in 0usize..100,
+    ) {
+        let k = split % data.len();
+        let mut left: StreamingStats = data[..k].iter().copied().collect();
+        let right: StreamingStats = data[k..].iter().copied().collect();
+        let whole: StreamingStats = data.iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9 * whole.mean().abs().max(1.0));
+        let scale = whole.sample_variance().abs().max(1.0);
+        prop_assert!((left.sample_variance() - whole.sample_variance()).abs() / scale < 1e-6);
+    }
+
+    /// The stratified estimate equals the closed-form weighted mean.
+    #[test]
+    fn stratified_matches_closed_form(
+        strata in prop::collection::vec(
+            (0.01f64..10.0, prop::collection::vec(0f64..1000.0, 1..50)),
+            1..6,
+        ),
+    ) {
+        let weights: Vec<f64> = strata.iter().map(|(w, _)| *w).collect();
+        let mut acc = SampleAccumulator::new(strata.len());
+        for (h, (_, values)) in strata.iter().enumerate() {
+            for &v in values {
+                acc.record(h, v);
+            }
+        }
+        let est = StratifiedEstimator::new(weights.clone());
+        let ci = est.estimate(acc.summarize().strata()).expect("data present");
+        let total_w: f64 = weights.iter().sum();
+        let expected: f64 = strata
+            .iter()
+            .map(|(w, values)| {
+                w / total_w * (values.iter().sum::<f64>() / values.len() as f64)
+            })
+            .sum();
+        prop_assert!((ci.mean() - expected).abs() < 1e-9 * expected.abs().max(1.0),
+            "{} vs {}", ci.mean(), expected);
+    }
+
+    /// Histogram percentiles agree with sorted order statistics.
+    #[test]
+    fn histogram_percentiles_are_order_statistics(
+        mut values in prop::collection::vec(0u64..500, 1..200),
+        p in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((p * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        prop_assert_eq!(h.percentile(p), values[rank - 1]);
+        prop_assert_eq!(h.min(), values[0]);
+        prop_assert_eq!(h.max(), *values.last().unwrap());
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// Histogram merge is concatenation.
+    #[test]
+    fn histogram_merge_is_concatenation(
+        a in prop::collection::vec(0u64..100, 0..50),
+        b in prop::collection::vec(0u64..100, 0..50),
+    ) {
+        let mut ha = Histogram::new();
+        a.iter().for_each(|&v| ha.record(v));
+        let mut hb = Histogram::new();
+        b.iter().for_each(|&v| hb.record(v));
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        let mut all = Histogram::new();
+        a.iter().chain(b.iter()).for_each(|&v| all.record(v));
+        prop_assert_eq!(merged, all);
+    }
+}

@@ -1,0 +1,53 @@
+//! Point-to-point direct-network topologies for wormhole-routing studies.
+//!
+//! This crate models the interconnection substrate of Boppana & Chalasani,
+//! *A Comparison of Adaptive Wormhole Routing Algorithms* (ISCA 1993):
+//! k-ary n-cubes (multi-dimensional tori) and multi-dimensional meshes in
+//! which every pair of adjacent nodes is connected by **two unidirectional
+//! physical channels**, one per direction.
+//!
+//! The central type is [`Topology`], which knows how to
+//!
+//! * enumerate nodes ([`NodeId`]) and unidirectional channels ([`ChannelId`]),
+//! * move between flat node indices and per-dimension coordinates,
+//! * compute the set of *minimal* directions a message may take
+//!   ([`Topology::minimal_steps`]), including the torus tie case where both
+//!   directions of a dimension are equidistant,
+//! * answer distance queries exactly ([`Topology::distance`],
+//!   [`Topology::diameter`], [`Topology::uniform_avg_distance`]),
+//! * classify nodes by parity for the bipartite coloring that underlies the
+//!   negative-hop routing schemes ([`Topology::parity`]), and
+//! * identify *wrap-around* (dateline) links, which deadlock-free torus
+//!   routing algorithms treat specially ([`Topology::is_wraparound`]).
+//!
+//! # Example
+//!
+//! ```
+//! use wormsim_topology::{Topology, Direction, Sign};
+//!
+//! // The 16x16 torus used throughout the ISCA '93 paper.
+//! let t = Topology::torus(&[16, 16]);
+//! assert_eq!(t.num_nodes(), 256);
+//! assert_eq!(t.diameter(), 16);
+//!
+//! let origin = t.node_at(&[0, 0]);
+//! let minus_x = t.neighbor(origin, Direction::new(0, Sign::Minus)).unwrap();
+//! assert_eq!(t.coords(minus_x), vec![15, 0]); // wraps around
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod direction;
+mod distance;
+mod node;
+mod parity;
+mod topology;
+
+pub use channel::ChannelId;
+pub use direction::{Direction, Sign};
+pub use distance::{DimStep, DistanceDistribution, MinimalSteps};
+pub use node::NodeId;
+pub use parity::Parity;
+pub use topology::{Topology, TopologyError, TopologyKind};

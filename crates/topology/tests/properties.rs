@@ -1,0 +1,122 @@
+//! Property-based tests for topology invariants.
+
+use proptest::prelude::*;
+use wormsim_topology::{DimStep, Direction, NodeId, Topology};
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    let dims = prop::collection::vec(2u16..=9, 1..=3);
+    (dims, prop::bool::ANY).prop_map(|(dims, torus)| {
+        if torus {
+            Topology::torus(&dims)
+        } else {
+            Topology::mesh(&dims)
+        }
+    })
+}
+
+fn arb_topology_and_pair() -> impl Strategy<Value = (Topology, NodeId, NodeId)> {
+    arb_topology().prop_flat_map(|t| {
+        let n = t.num_nodes();
+        (Just(t), 0..n, 0..n).prop_map(|(t, a, b)| (t, NodeId::new(a), NodeId::new(b)))
+    })
+}
+
+proptest! {
+    /// Distance is a metric: symmetric, zero iff equal, triangle inequality.
+    #[test]
+    fn distance_is_a_metric((t, a, b) in arb_topology_and_pair(), c_seed in 0u32..1000) {
+        let c = NodeId::new(c_seed % t.num_nodes());
+        prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+        prop_assert_eq!(t.distance(a, b) == 0, a == b);
+        prop_assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+        prop_assert!(t.distance(a, b) <= t.diameter());
+    }
+
+    /// Any hop in a minimal direction decreases the distance by exactly one.
+    #[test]
+    fn minimal_hops_decrease_distance((t, a, b) in arb_topology_and_pair()) {
+        prop_assume!(a != b);
+        let steps = t.minimal_steps(a, b);
+        let mut found_any = false;
+        for (dim, step) in steps.iter() {
+            for dir in Direction::all(t.num_dims()).filter(|d| d.dim() == dim) {
+                if step.allows(dir.sign()) {
+                    let next = t.neighbor(a, dir).expect("minimal direction must have a channel");
+                    prop_assert_eq!(t.distance(next, b), t.distance(a, b) - 1);
+                    found_any = true;
+                }
+            }
+        }
+        prop_assert!(found_any, "some minimal direction must exist");
+    }
+
+    /// Neighbor relations are inverse: going +d then -d returns to start.
+    #[test]
+    fn neighbors_are_inverses(t in arb_topology(), node_seed in 0u32..10_000) {
+        let node = NodeId::new(node_seed % t.num_nodes());
+        for dir in Direction::all(t.num_dims()) {
+            if let Some(next) = t.neighbor(node, dir) {
+                prop_assert_eq!(t.neighbor(next, dir.opposite()), Some(node));
+                prop_assert_ne!(next, node); // radix >= 2 means no self loops
+            }
+        }
+    }
+
+    /// Coordinates roundtrip through the flat index.
+    #[test]
+    fn coords_roundtrip(t in arb_topology(), node_seed in 0u32..10_000) {
+        let node = NodeId::new(node_seed % t.num_nodes());
+        prop_assert_eq!(t.node_at(&t.coords(node)), node);
+    }
+
+    /// On bipartite networks every hop flips parity.
+    #[test]
+    fn bipartite_parity_flips(t in arb_topology(), node_seed in 0u32..10_000) {
+        prop_assume!(t.is_bipartite());
+        let node = NodeId::new(node_seed % t.num_nodes());
+        for dir in Direction::all(t.num_dims()) {
+            if let Some(next) = t.neighbor(node, dir) {
+                prop_assert_eq!(t.parity(next), t.parity(node).opposite());
+            }
+        }
+    }
+
+    /// The uniform distance distribution matches brute-force enumeration.
+    #[test]
+    fn distance_distribution_matches_enumeration(t in arb_topology()) {
+        let dist = t.uniform_distance_distribution();
+        let n = t.num_nodes() as usize;
+        let mut counts = vec![0u64; t.diameter() as usize + 1];
+        let src = NodeId::new(0);
+        // Vertex-transitivity holds for tori but not meshes, so average
+        // over all sources for correctness.
+        let mut total_pairs = 0u64;
+        for s in t.nodes() {
+            for d in t.nodes() {
+                if s != d {
+                    counts[t.distance(s, d) as usize] += 1;
+                    total_pairs += 1;
+                }
+            }
+        }
+        let _ = src;
+        for (h, &c) in counts.iter().enumerate() {
+            let expected = c as f64 / total_pairs as f64;
+            prop_assert!((dist.weight(h) - expected).abs() < 1e-9,
+                "hop class {} weight {} vs enumerated {} on {} ({} nodes)",
+                h, dist.weight(h), expected, t, n);
+        }
+    }
+
+    /// dim_step ties only occur on even-radix tori at exactly half the radix.
+    #[test]
+    fn tie_steps_only_at_half_radix((t, a, b) in arb_topology_and_pair()) {
+        for dim in 0..t.num_dims() {
+            if let DimStep::Both { dist } = t.dim_step(a, b, dim) {
+                prop_assert!(t.wraps());
+                prop_assert_eq!(t.radix(dim) % 2, 0);
+                prop_assert_eq!(dist, t.radix(dim) / 2);
+            }
+        }
+    }
+}

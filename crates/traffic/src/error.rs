@@ -1,0 +1,79 @@
+//! Errors for traffic-pattern construction.
+
+use std::fmt;
+
+/// Errors produced when building traffic patterns or processes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrafficError {
+    /// A probability/fraction parameter was outside `[0, 1)`.
+    InvalidFraction {
+        /// The offending value.
+        value: f64,
+    },
+    /// The local-traffic neighborhood does not fit the topology.
+    RadiusTooLarge {
+        /// Requested per-dimension radius.
+        radius: u16,
+        /// The smallest radix it must fit in (torus: `2r + 1 <= k`).
+        radix: u16,
+    },
+    /// The pattern needs a two-dimensional square network.
+    RequiresSquare2d {
+        /// The pattern that was requested.
+        pattern: &'static str,
+    },
+    /// The pattern needs a power-of-two node count.
+    RequiresPowerOfTwo {
+        /// The pattern that was requested.
+        pattern: &'static str,
+    },
+    /// A custom permutation had the wrong length or out-of-range entries.
+    BadPermutation,
+    /// A message-length parameter was invalid (zero, or an empty range).
+    InvalidLength,
+    /// An injection rate was outside `[0, 1]`.
+    InvalidRate {
+        /// The offending value.
+        value: f64,
+    },
+    /// A hotspot list was empty or referenced an out-of-range node.
+    BadHotspots,
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::InvalidFraction { value } => {
+                write!(f, "fraction {value} must be in [0, 1)")
+            }
+            TrafficError::RadiusTooLarge { radius, radix } => {
+                write!(f, "neighborhood radius {radius} does not fit radix {radix}")
+            }
+            TrafficError::RequiresSquare2d { pattern } => {
+                write!(f, "{pattern} requires a square two-dimensional network")
+            }
+            TrafficError::RequiresPowerOfTwo { pattern } => {
+                write!(f, "{pattern} requires a power-of-two node count")
+            }
+            TrafficError::BadPermutation => write!(f, "invalid permutation table"),
+            TrafficError::InvalidLength => write!(f, "invalid message length parameters"),
+            TrafficError::InvalidRate { value } => {
+                write!(f, "injection rate {value} must be in [0, 1]")
+            }
+            TrafficError::BadHotspots => write!(f, "hotspot list is empty or out of range"),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parameters() {
+        assert!(TrafficError::InvalidFraction { value: 1.5 }.to_string().contains("1.5"));
+        assert!(TrafficError::RadiusTooLarge { radius: 9, radix: 8 }.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,199 @@
+//! Hotspot traffic: uniform plus concentrated traffic to a few nodes.
+
+use crate::{SimRng, TrafficError, TrafficPattern};
+use wormsim_topology::{NodeId, Topology};
+
+/// Hotspot traffic after Pfister & Norton: with probability `fraction` a
+/// new message is directed at a hotspot node (chosen uniformly if there are
+/// several); otherwise — or if that would be self-traffic — the destination
+/// is uniform over the other nodes.
+///
+/// With the paper's parameters (16², one hotspot, 4%), the hotspot node
+/// receives `0.04 + 0.96/255 ≈ 0.0438` of each node's traffic and any other
+/// node `0.96/255 ≈ 0.0038` — "about 11.5 times more traffic than any other
+/// node in the network".
+///
+/// # Example
+///
+/// ```
+/// use wormsim_topology::Topology;
+/// use wormsim_traffic::{Hotspot, TrafficPattern};
+///
+/// let topo = Topology::torus(&[16, 16]);
+/// let hs = Hotspot::new(&topo, vec![topo.node_at(&[15, 15])], 0.04)?;
+/// let dist = hs.dest_distribution(topo.node_at(&[0, 0]));
+/// let hot = dist[topo.node_at(&[15, 15]).as_usize()];
+/// let other = dist[topo.node_at(&[1, 0]).as_usize()];
+/// assert!((hot / other - 11.625).abs() < 0.01);
+/// # Ok::<(), wormsim_traffic::TrafficError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hotspot {
+    num_nodes: u32,
+    hotspots: Vec<NodeId>,
+    fraction: f64,
+}
+
+impl Hotspot {
+    /// Builds hotspot traffic for `topo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `fraction` is outside `[0, 1)`, the hotspot list
+    /// is empty, or a hotspot id is out of range.
+    pub fn new(
+        topo: &Topology,
+        hotspots: Vec<NodeId>,
+        fraction: f64,
+    ) -> Result<Self, TrafficError> {
+        if !(0.0..1.0).contains(&fraction) {
+            return Err(TrafficError::InvalidFraction { value: fraction });
+        }
+        if hotspots.is_empty() || hotspots.iter().any(|h| h.index() >= topo.num_nodes()) {
+            return Err(TrafficError::BadHotspots);
+        }
+        Ok(Hotspot {
+            num_nodes: topo.num_nodes(),
+            hotspots,
+            fraction,
+        })
+    }
+
+    /// The hotspot nodes.
+    pub fn hotspots(&self) -> &[NodeId] {
+        &self.hotspots
+    }
+
+    /// The fraction of traffic directed at the hotspot set.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    fn sample_uniform_non_self(&self, src: NodeId, rng: &mut SimRng) -> NodeId {
+        let r = rng.uniform_below(self.num_nodes - 1);
+        NodeId::new(if r >= src.index() { r + 1 } else { r })
+    }
+}
+
+impl TrafficPattern for Hotspot {
+    fn name(&self) -> String {
+        format!("hotspot({}%x{})", self.fraction * 100.0, self.hotspots.len())
+    }
+
+    fn sample_dest(&self, src: NodeId, rng: &mut SimRng) -> NodeId {
+        if rng.bernoulli(self.fraction) {
+            let h = self.hotspots[rng.uniform_below(self.hotspots.len() as u32) as usize];
+            if h != src {
+                return h;
+            }
+            // A hotspot never sends hotspot traffic to itself; fall back to
+            // the uniform component.
+        }
+        self.sample_uniform_non_self(src, rng)
+    }
+
+    fn dest_distribution(&self, src: NodeId) -> Vec<f64> {
+        let n = self.num_nodes as usize;
+        let h = self.hotspots.len() as f64;
+        // Probability mass that falls through to the uniform component:
+        // the (1 - fraction) base, plus the hotspot draws that selected the
+        // source itself.
+        let mut uniform_mass = 1.0 - self.fraction;
+        if self.hotspots.contains(&src) {
+            uniform_mass += self.fraction / h;
+        }
+        let per_other = uniform_mass / (self.num_nodes - 1) as f64;
+        let mut dist = vec![per_other; n];
+        dist[src.as_usize()] = 0.0;
+        for hs in &self.hotspots {
+            if *hs != src {
+                dist[hs.as_usize()] += self.fraction / h;
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quoted_probabilities() {
+        let topo = Topology::torus(&[16, 16]);
+        let hot = topo.node_at(&[15, 15]);
+        let hs = Hotspot::new(&topo, vec![hot], 0.04).unwrap();
+        let dist = hs.dest_distribution(topo.node_at(&[0, 0]));
+        // "directed with 0.0438 probability to the hotspot node and with
+        //  0.0038 probability to any other node"
+        assert!((dist[hot.as_usize()] - 0.0438).abs() < 2e-4);
+        assert!((dist[1] - 0.0038).abs() < 2e-4);
+    }
+
+    #[test]
+    fn hotspot_source_excludes_itself() {
+        let topo = Topology::torus(&[8, 8]);
+        let hot = topo.node_at(&[7, 7]);
+        let hs = Hotspot::new(&topo, vec![hot], 0.1).unwrap();
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..5_000 {
+            assert_ne!(hs.sample_dest(hot, &mut rng), hot);
+        }
+        let dist = hs.dest_distribution(hot);
+        assert_eq!(dist[hot.as_usize()], 0.0);
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let topo = Topology::torus(&[4, 4]);
+        let hot = topo.node_at(&[3, 3]);
+        let hs = Hotspot::new(&topo, vec![hot], 0.25).unwrap();
+        let src = topo.node_at(&[0, 0]);
+        let dist = hs.dest_distribution(src);
+        let mut rng = SimRng::seed_from(11);
+        let mut counts = [0u32; 16];
+        let trials = 160_000;
+        for _ in 0..trials {
+            counts[hs.sample_dest(src, &mut rng).as_usize()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let observed = c as f64 / trials as f64;
+            assert!(
+                (observed - dist[i]).abs() < 0.005,
+                "node {i}: observed {observed}, expected {}",
+                dist[i]
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_hotspots_split_the_fraction() {
+        let topo = Topology::torus(&[8, 8]);
+        let a = topo.node_at(&[0, 4]);
+        let b = topo.node_at(&[4, 0]);
+        let hs = Hotspot::new(&topo, vec![a, b], 0.2).unwrap();
+        let dist = hs.dest_distribution(topo.node_at(&[2, 2]));
+        assert!((dist[a.as_usize()] - dist[b.as_usize()]).abs() < 1e-12);
+        assert!(dist[a.as_usize()] > 0.1 / 2.0);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let topo = Topology::torus(&[4, 4]);
+        let node = topo.node_at(&[0, 0]);
+        assert!(matches!(
+            Hotspot::new(&topo, vec![node], 1.0),
+            Err(TrafficError::InvalidFraction { .. })
+        ));
+        assert!(matches!(
+            Hotspot::new(&topo, vec![], 0.04),
+            Err(TrafficError::BadHotspots)
+        ));
+        assert!(matches!(
+            Hotspot::new(&topo, vec![NodeId::new(999)], 0.04),
+            Err(TrafficError::BadHotspots)
+        ));
+    }
+}

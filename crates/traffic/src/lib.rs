@@ -1,0 +1,62 @@
+//! Traffic patterns, arrival processes, and message-length distributions.
+//!
+//! The ISCA '93 study drives its 16×16 torus with three workloads —
+//! **uniform**, **hotspot** (one node receiving ≈11.5× the traffic of any
+//! other), and **local** (destinations uniform in a 7×7 neighborhood) —
+//! with geometrically distributed message interarrival times and fixed
+//! 16-flit messages. This crate implements those three patterns plus the
+//! classic permutation workloads (transpose, bit-reversal, complement) the
+//! paper cites from Glass & Ni for cross-checks.
+//!
+//! A [`TrafficPattern`] does two things:
+//!
+//! * [`sample_dest`](TrafficPattern::sample_dest) — draw a destination for
+//!   a newly generated message, and
+//! * [`dest_distribution`](TrafficPattern::dest_distribution) — report the
+//!   *exact* destination probabilities from a source, from which the
+//!   simulator derives hop-class weights for the paper's stratified
+//!   latency estimator and the exact mean distance used to convert offered
+//!   channel utilization into an injection rate.
+//!
+//! # Example
+//!
+//! ```
+//! use wormsim_topology::Topology;
+//! use wormsim_traffic::{TrafficConfig, SimRng};
+//!
+//! let topo = Topology::torus(&[16, 16]);
+//! let pattern = TrafficConfig::Uniform.build(&topo)?;
+//!
+//! let mut rng = SimRng::seed_from(42);
+//! let src = topo.node_at(&[3, 3]);
+//! let dest = pattern.sample_dest(src, &mut rng);
+//! assert_ne!(dest, src);
+//!
+//! // Exact average distance: the paper's 8.03 for uniform 16^2 traffic.
+//! let mean = pattern.mean_distance(&topo);
+//! assert!((mean - 8.03).abs() < 0.01);
+//! # Ok::<(), wormsim_traffic::TrafficError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrival;
+mod error;
+mod hotspot;
+mod length;
+mod local;
+mod pattern;
+mod permutations;
+mod rng;
+mod uniform;
+
+pub use arrival::ArrivalProcess;
+pub use error::TrafficError;
+pub use hotspot::Hotspot;
+pub use length::MessageLength;
+pub use local::Local;
+pub use pattern::{TrafficConfig, TrafficPattern};
+pub use permutations::{BitReversal, Complement, Permutation, Transpose};
+pub use rng::SimRng;
+pub use uniform::Uniform;

@@ -1,0 +1,314 @@
+//! Permutation traffic: transpose, bit-reversal, complement, and custom maps.
+//!
+//! The paper notes that Glass & Ni report north-last beating e-cube "for
+//! other types of nonuniform traffic such as matrix transpose"; these
+//! patterns make that cross-check runnable.
+
+use crate::{SimRng, TrafficError, TrafficPattern};
+use wormsim_topology::{NodeId, Topology};
+
+fn uniform_non_self(num_nodes: u32, src: NodeId, rng: &mut SimRng) -> NodeId {
+    let r = rng.uniform_below(num_nodes - 1);
+    NodeId::new(if r >= src.index() { r + 1 } else { r })
+}
+
+fn fixed_map_distribution(num_nodes: u32, src: NodeId, dest: Option<NodeId>) -> Vec<f64> {
+    let n = num_nodes as usize;
+    let mut dist = vec![0.0; n];
+    match dest {
+        Some(d) => dist[d.as_usize()] = 1.0,
+        None => {
+            // Fixed point of the permutation: fall back to uniform traffic.
+            let p = 1.0 / (num_nodes - 1) as f64;
+            dist.fill(p);
+            dist[src.as_usize()] = 0.0;
+        }
+    }
+    dist
+}
+
+/// Matrix-transpose traffic: `(x, y) -> (y, x)`.
+///
+/// Nodes on the diagonal (fixed points) fall back to uniform destinations.
+#[derive(Clone, Debug)]
+pub struct Transpose {
+    topo: Topology,
+}
+
+impl Transpose {
+    /// Builds transpose traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrafficError::RequiresSquare2d`] unless the network is a
+    /// square two-dimensional torus or mesh.
+    pub fn new(topo: &Topology) -> Result<Self, TrafficError> {
+        if topo.num_dims() != 2 || topo.radix(0) != topo.radix(1) {
+            return Err(TrafficError::RequiresSquare2d { pattern: "transpose" });
+        }
+        Ok(Transpose { topo: topo.clone() })
+    }
+
+    fn map(&self, src: NodeId) -> Option<NodeId> {
+        let x = self.topo.coord(src, 0);
+        let y = self.topo.coord(src, 1);
+        if x == y {
+            None
+        } else {
+            Some(self.topo.node_at(&[y, x]))
+        }
+    }
+}
+
+impl TrafficPattern for Transpose {
+    fn name(&self) -> String {
+        "transpose".to_owned()
+    }
+
+    fn sample_dest(&self, src: NodeId, rng: &mut SimRng) -> NodeId {
+        match self.map(src) {
+            Some(d) => d,
+            None => uniform_non_self(self.topo.num_nodes(), src, rng),
+        }
+    }
+
+    fn dest_distribution(&self, src: NodeId) -> Vec<f64> {
+        fixed_map_distribution(self.topo.num_nodes(), src, self.map(src))
+    }
+}
+
+/// Bit-reversal traffic: the destination's flat index is the source's flat
+/// index with its bits reversed.
+///
+/// Fixed points (palindromic indices) fall back to uniform destinations.
+#[derive(Clone, Debug)]
+pub struct BitReversal {
+    num_nodes: u32,
+    bits: u32,
+}
+
+impl BitReversal {
+    /// Builds bit-reversal traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrafficError::RequiresPowerOfTwo`] unless the node count is
+    /// a power of two.
+    pub fn new(topo: &Topology) -> Result<Self, TrafficError> {
+        let n = topo.num_nodes();
+        if !n.is_power_of_two() {
+            return Err(TrafficError::RequiresPowerOfTwo { pattern: "bit-reversal" });
+        }
+        Ok(BitReversal { num_nodes: n, bits: n.trailing_zeros() })
+    }
+
+    fn map(&self, src: NodeId) -> Option<NodeId> {
+        let reversed = src.index().reverse_bits() >> (32 - self.bits);
+        if reversed == src.index() {
+            None
+        } else {
+            Some(NodeId::new(reversed))
+        }
+    }
+}
+
+impl TrafficPattern for BitReversal {
+    fn name(&self) -> String {
+        "bit-reversal".to_owned()
+    }
+
+    fn sample_dest(&self, src: NodeId, rng: &mut SimRng) -> NodeId {
+        match self.map(src) {
+            Some(d) => d,
+            None => uniform_non_self(self.num_nodes, src, rng),
+        }
+    }
+
+    fn dest_distribution(&self, src: NodeId) -> Vec<f64> {
+        fixed_map_distribution(self.num_nodes, src, self.map(src))
+    }
+}
+
+/// Complement traffic: every coordinate is mirrored, `c -> k - 1 - c`.
+///
+/// Fixed points (possible only with odd radices) fall back to uniform
+/// destinations.
+#[derive(Clone, Debug)]
+pub struct Complement {
+    topo: Topology,
+}
+
+impl Complement {
+    /// Builds complement traffic for any topology.
+    pub fn new(topo: &Topology) -> Self {
+        Complement { topo: topo.clone() }
+    }
+
+    fn map(&self, src: NodeId) -> Option<NodeId> {
+        let coords: Vec<u16> = (0..self.topo.num_dims())
+            .map(|d| self.topo.radix(d) - 1 - self.topo.coord(src, d))
+            .collect();
+        let dest = self.topo.node_at(&coords);
+        if dest == src {
+            None
+        } else {
+            Some(dest)
+        }
+    }
+}
+
+impl TrafficPattern for Complement {
+    fn name(&self) -> String {
+        "complement".to_owned()
+    }
+
+    fn sample_dest(&self, src: NodeId, rng: &mut SimRng) -> NodeId {
+        match self.map(src) {
+            Some(d) => d,
+            None => uniform_non_self(self.topo.num_nodes(), src, rng),
+        }
+    }
+
+    fn dest_distribution(&self, src: NodeId) -> Vec<f64> {
+        fixed_map_distribution(self.topo.num_nodes(), src, self.map(src))
+    }
+}
+
+/// A custom permutation given as an explicit destination table.
+///
+/// # Example
+///
+/// ```
+/// use wormsim_topology::{NodeId, Topology};
+/// use wormsim_traffic::{Permutation, TrafficPattern};
+///
+/// let topo = Topology::torus(&[2, 2]);
+/// // A cyclic shift 0->1->2->3->0.
+/// let map: Vec<NodeId> = [1u32, 2, 3, 0].iter().map(|&i| NodeId::new(i)).collect();
+/// let p = Permutation::new(&topo, map)?;
+/// assert_eq!(p.dest_distribution(NodeId::new(3))[0], 1.0);
+/// # Ok::<(), wormsim_traffic::TrafficError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Permutation {
+    num_nodes: u32,
+    map: Vec<NodeId>,
+}
+
+impl Permutation {
+    /// Builds a custom permutation pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrafficError::BadPermutation`] if the table length differs
+    /// from the node count or any entry is out of range.
+    pub fn new(topo: &Topology, map: Vec<NodeId>) -> Result<Self, TrafficError> {
+        if map.len() != topo.num_nodes() as usize
+            || map.iter().any(|d| d.index() >= topo.num_nodes())
+        {
+            return Err(TrafficError::BadPermutation);
+        }
+        Ok(Permutation { num_nodes: topo.num_nodes(), map })
+    }
+
+    fn map(&self, src: NodeId) -> Option<NodeId> {
+        let dest = self.map[src.as_usize()];
+        if dest == src {
+            None
+        } else {
+            Some(dest)
+        }
+    }
+}
+
+impl TrafficPattern for Permutation {
+    fn name(&self) -> String {
+        "permutation".to_owned()
+    }
+
+    fn sample_dest(&self, src: NodeId, rng: &mut SimRng) -> NodeId {
+        match self.map(src) {
+            Some(d) => d,
+            None => uniform_non_self(self.num_nodes, src, rng),
+        }
+    }
+
+    fn dest_distribution(&self, src: NodeId) -> Vec<f64> {
+        fixed_map_distribution(self.num_nodes, src, self.map(src))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let topo = Topology::torus(&[8, 8]);
+        let t = Transpose::new(&topo).unwrap();
+        let mut rng = SimRng::seed_from(1);
+        let src = topo.node_at(&[2, 5]);
+        assert_eq!(t.sample_dest(src, &mut rng), topo.node_at(&[5, 2]));
+    }
+
+    #[test]
+    fn transpose_diagonal_falls_back_to_uniform() {
+        let topo = Topology::torus(&[8, 8]);
+        let t = Transpose::new(&topo).unwrap();
+        let src = topo.node_at(&[3, 3]);
+        let dist = t.dest_distribution(src);
+        assert_eq!(dist[src.as_usize()], 0.0);
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((dist[0] - 1.0 / 63.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_requires_square() {
+        assert!(Transpose::new(&Topology::torus(&[8, 4])).is_err());
+        assert!(Transpose::new(&Topology::torus(&[4, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn bit_reversal_maps_indices() {
+        let topo = Topology::torus(&[4, 4]);
+        let b = BitReversal::new(&topo).unwrap();
+        // 16 nodes, 4 bits: index 1 (0001) -> 8 (1000).
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(b.sample_dest(NodeId::new(1), &mut rng), NodeId::new(8));
+        // 6 (0110) is a palindrome: falls back to uniform.
+        assert_ne!(b.sample_dest(NodeId::new(6), &mut rng), NodeId::new(6));
+    }
+
+    #[test]
+    fn bit_reversal_requires_power_of_two() {
+        assert!(BitReversal::new(&Topology::torus(&[6, 6])).is_err());
+    }
+
+    #[test]
+    fn complement_mirrors_coordinates() {
+        let topo = Topology::torus(&[16, 16]);
+        let c = Complement::new(&topo);
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(
+            c.sample_dest(topo.node_at(&[0, 0]), &mut rng),
+            topo.node_at(&[15, 15])
+        );
+    }
+
+    #[test]
+    fn complement_fixed_point_on_odd_radix() {
+        let topo = Topology::mesh(&[5, 5]);
+        let c = Complement::new(&topo);
+        let center = topo.node_at(&[2, 2]);
+        let dist = c.dest_distribution(center);
+        assert_eq!(dist[center.as_usize()], 0.0);
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_validates_table() {
+        let topo = Topology::torus(&[2, 2]);
+        assert!(Permutation::new(&topo, vec![NodeId::new(0); 3]).is_err());
+        assert!(Permutation::new(&topo, vec![NodeId::new(9); 4]).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Uniform random traffic.
+
+use crate::{SimRng, TrafficPattern};
+use wormsim_topology::{NodeId, Topology};
+
+/// Uniform traffic: every other node is an equally likely destination.
+///
+/// The paper motivates it as "representative of the traffic generated in
+/// massively parallel computations in which array data are distributed
+/// among the nodes using hashing techniques".
+///
+/// # Example
+///
+/// ```
+/// use wormsim_topology::Topology;
+/// use wormsim_traffic::{Uniform, TrafficPattern, SimRng};
+///
+/// let topo = Topology::torus(&[16, 16]);
+/// let uniform = Uniform::new(&topo);
+/// let mut rng = SimRng::seed_from(1);
+/// let dest = uniform.sample_dest(topo.node_at(&[0, 0]), &mut rng);
+/// assert_ne!(dest, topo.node_at(&[0, 0]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Uniform {
+    num_nodes: u32,
+}
+
+impl Uniform {
+    /// Builds uniform traffic for `topo`.
+    pub fn new(topo: &Topology) -> Self {
+        Uniform { num_nodes: topo.num_nodes() }
+    }
+}
+
+impl TrafficPattern for Uniform {
+    fn name(&self) -> String {
+        "uniform".to_owned()
+    }
+
+    fn sample_dest(&self, src: NodeId, rng: &mut SimRng) -> NodeId {
+        let r = rng.uniform_below(self.num_nodes - 1);
+        // Skip over the source index to exclude self-traffic without bias.
+        NodeId::new(if r >= src.index() { r + 1 } else { r })
+    }
+
+    fn dest_distribution(&self, src: NodeId) -> Vec<f64> {
+        let p = 1.0 / (self.num_nodes - 1) as f64;
+        let mut dist = vec![p; self.num_nodes as usize];
+        dist[src.as_usize()] = 0.0;
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_samples_self_and_covers_everything() {
+        let topo = Topology::torus(&[4, 4]);
+        let uniform = Uniform::new(&topo);
+        let src = NodeId::new(7);
+        let mut rng = SimRng::seed_from(2);
+        let mut seen = [false; 16];
+        for _ in 0..2_000 {
+            let d = uniform.sample_dest(src, &mut rng);
+            assert_ne!(d, src);
+            seen[d.as_usize()] = true;
+        }
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 15);
+    }
+
+    #[test]
+    fn mean_distance_matches_topology() {
+        let topo = Topology::torus(&[16, 16]);
+        let uniform = Uniform::new(&topo);
+        assert!((uniform.mean_distance(&topo) - topo.uniform_avg_distance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hop_class_weights_match_distance_distribution() {
+        let topo = Topology::torus(&[8, 8]);
+        let uniform = Uniform::new(&topo);
+        let weights = uniform.hop_class_weights(&topo);
+        let exact = topo.uniform_distance_distribution();
+        for (h, &w) in weights.iter().enumerate() {
+            assert!((w - exact.weight(h)).abs() < 1e-9, "hop class {h}");
+        }
+    }
+}

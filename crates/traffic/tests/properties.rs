@@ -1,0 +1,97 @@
+//! Property-based tests: every traffic pattern's sampler agrees with its
+//! declared exact distribution, and distributions are proper.
+
+use proptest::prelude::*;
+use wormsim_traffic::{SimRng, TrafficConfig};
+use wormsim_topology::{NodeId, Topology};
+
+fn arb_setup() -> impl Strategy<Value = (Topology, TrafficConfig, u32, u64)> {
+    let topo = prop_oneof![
+        Just(Topology::torus(&[8, 8])),
+        Just(Topology::torus(&[16, 16])),
+        Just(Topology::mesh(&[8, 8])),
+        Just(Topology::torus(&[4, 4, 4])),
+    ];
+    let config = prop_oneof![
+        Just(TrafficConfig::Uniform),
+        Just(TrafficConfig::Hotspot { nodes: vec![vec![0, 0]], fraction: 0.04 }),
+        Just(TrafficConfig::Local { radius: 1 }),
+        Just(TrafficConfig::Transpose),
+        Just(TrafficConfig::BitReversal),
+        Just(TrafficConfig::Complement),
+    ];
+    (topo, config, any::<u32>(), any::<u64>()).prop_map(|(t, c, src, seed)| {
+        let n = t.num_nodes();
+        (t, c, src % n, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Destination distributions are proper probability vectors with no
+    /// self-traffic.
+    #[test]
+    fn distributions_are_proper((topo, config, src, _) in arb_setup()) {
+        // Hotspot coordinates are 2-D in the strategy; fix for 3-D tori.
+        let config = fix_dims(&topo, config);
+        let Ok(pattern) = config.build(&topo) else { return Ok(()) };
+        let dist = pattern.dest_distribution(NodeId::new(src));
+        prop_assert_eq!(dist.len(), topo.num_nodes() as usize);
+        let total: f64 = dist.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "sums to {total}");
+        prop_assert!(dist.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        prop_assert_eq!(dist[src as usize], 0.0);
+    }
+
+    /// Sampling never returns the source and always lands on a node with
+    /// positive declared probability.
+    #[test]
+    fn samples_match_support((topo, config, src, seed) in arb_setup()) {
+        let config = fix_dims(&topo, config);
+        let Ok(pattern) = config.build(&topo) else { return Ok(()) };
+        let src = NodeId::new(src);
+        let dist = pattern.dest_distribution(src);
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..200 {
+            let dest = pattern.sample_dest(src, &mut rng);
+            prop_assert_ne!(dest, src);
+            prop_assert!(
+                dist[dest.as_usize()] > 0.0,
+                "sampled {:?} with zero declared probability", dest
+            );
+        }
+    }
+
+    /// Hop-class weights are a proper distribution whose mean matches the
+    /// declared mean distance.
+    #[test]
+    fn hop_class_weights_are_proper((topo, config, _, _) in arb_setup()) {
+        let config = fix_dims(&topo, config);
+        let Ok(pattern) = config.build(&topo) else { return Ok(()) };
+        let weights = pattern.hop_class_weights(&topo);
+        let total: f64 = weights.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert_eq!(weights[0], 0.0, "no zero-hop messages");
+        let mean: f64 = weights.iter().enumerate().map(|(h, w)| h as f64 * w).sum();
+        prop_assert!((mean - pattern.mean_distance(&topo)).abs() < 1e-9);
+    }
+}
+
+/// The strategy hard-codes 2-D hotspot coordinates; pad or truncate to the
+/// topology's dimensionality so higher-dimensional cases stay exercised.
+fn fix_dims(topo: &Topology, config: TrafficConfig) -> TrafficConfig {
+    match config {
+        TrafficConfig::Hotspot { nodes, fraction } => TrafficConfig::Hotspot {
+            nodes: nodes
+                .into_iter()
+                .map(|mut coords| {
+                    coords.resize(topo.num_dims(), 0);
+                    coords
+                })
+                .collect(),
+            fraction,
+        },
+        other => other,
+    }
+}

@@ -1,0 +1,63 @@
+//! Deadlock audit: machine-check the channel-dependency graph of every
+//! algorithm, then *watch* the naive single-class strawman actually
+//! deadlock in simulation while the studied algorithms survive.
+//!
+//! Run with: `cargo run --release --example deadlock_audit`
+
+use wormsim::routing::{deadlock, AlgorithmKind};
+use wormsim::{ArrivalProcess, MessageLength, NetworkBuilder, Topology, TrafficConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Part 1: static analysis (the paper's Lemma 1, executable).
+    let topo = Topology::torus(&[6, 6]);
+    println!("channel-dependency graphs on a 6x6 torus:");
+    let mut kinds = AlgorithmKind::all().to_vec();
+    kinds.push(AlgorithmKind::NaiveMinimal);
+    for kind in kinds {
+        let algo = kind.build(&topo)?;
+        let report = deadlock::analyze(&topo, algo.as_ref());
+        let verdict = if report.is_acyclic() {
+            "ACYCLIC  (provably deadlock-free)"
+        } else if kind == AlgorithmKind::NaiveMinimal {
+            "CYCLIC   (and it really deadlocks, see below)"
+        } else {
+            "CYCLIC   (inconclusive; fully adaptive escape paths)"
+        };
+        println!(
+            "  {:>6}: {:>5} vcs, {:>5} deps  {}",
+            kind.name(),
+            report.vertices(),
+            report.edges(),
+            verdict
+        );
+    }
+
+    // Part 2: dynamic evidence under heavy load on an 8x8 torus.
+    println!("\nsaturation stress (8x8 torus, offered >> capacity, 30k cycles):");
+    let mut kinds = AlgorithmKind::all().to_vec();
+    kinds.push(AlgorithmKind::NaiveMinimal);
+    for kind in kinds {
+        let mut net = NetworkBuilder::new(Topology::torus(&[8, 8]), kind)
+            .traffic(TrafficConfig::Uniform)
+            .arrival(ArrivalProcess::geometric(0.05)?)
+            .message_length(MessageLength::fixed(16)?)
+            .watchdog_cycles(5_000)
+            .seed(3)
+            .build()?;
+        net.run(30_000);
+        match net.deadlock_report() {
+            None => println!(
+                "  {:>6}: delivered {:>6} messages, no deadlock",
+                kind.name(),
+                net.metrics().delivered
+            ),
+            Some(report) => println!(
+                "  {:>6}: DEADLOCK at cycle {} with {} flits wedged",
+                kind.name(),
+                report.detected_at,
+                report.flits_in_flight
+            ),
+        }
+    }
+    Ok(())
+}

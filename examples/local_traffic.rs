@@ -1,0 +1,43 @@
+//! Local-traffic study: nearest-neighbor style communication (stencils,
+//! domain decomposition) in the paper's 7x7-neighborhood model — a slice
+//! of Figure 5.
+//!
+//! Run with: `cargo run --release --example local_traffic`
+
+use wormsim::{AlgorithmKind, Experiment, Topology, TrafficConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo = Topology::torus(&[16, 16]);
+    let local = TrafficConfig::Local { radius: 3 };
+
+    // The paper's hop-class weights for this pattern (Section 3, footnote):
+    // classes 1 and 6 get 0.0833, 2 and 5 get 0.1667, 3 and 4 get 0.25.
+    let pattern = local.build(&topo)?;
+    let weights = pattern.hop_class_weights(&topo);
+    println!("hop-class weights under local traffic:");
+    for (h, w) in weights.iter().enumerate().filter(|(_, w)| **w > 0.0) {
+        println!("  class {h}: {w:.4}");
+    }
+    println!("mean distance: {:.2} hops (vs 8.03 uniform)\n", pattern.mean_distance(&topo));
+
+    // Short paths change the picture: 2pn beats e-cube here (the paper's
+    // Figure 5), because adaptivity helps and wrap-around rarely matters.
+    println!("{:>6} | {:>14} {:>14}", "algo", "latency @0.3", "util @0.5");
+    for algorithm in [
+        AlgorithmKind::PositiveHop,
+        AlgorithmKind::TwoPowerN,
+        AlgorithmKind::Ecube,
+        AlgorithmKind::NorthLast,
+    ] {
+        let base = Experiment::new(topo.clone(), algorithm).traffic(local.clone()).seed(9);
+        let a = base.clone().offered_load(0.3).run()?;
+        let b = base.clone().offered_load(0.5).run()?;
+        println!(
+            "{:>6} | {:>11.1} cy {:>14.3}",
+            a.algorithm,
+            a.latency.mean(),
+            b.achieved_utilization
+        );
+    }
+    Ok(())
+}

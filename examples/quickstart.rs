@@ -1,0 +1,39 @@
+//! Quickstart: measure one routing algorithm at one load and print the
+//! paper-style numbers.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use wormsim::{format_results_table, AlgorithmKind, Experiment, Topology, TrafficConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's network: a 16x16 torus carrying 16-flit worms.
+    let topo = Topology::torus(&[16, 16]);
+
+    // Compare the best fully adaptive scheme (phop) with plain e-cube at a
+    // moderate 30% offered load under uniform traffic.
+    let mut results = Vec::new();
+    for algorithm in [AlgorithmKind::PositiveHop, AlgorithmKind::Ecube] {
+        let result = Experiment::new(topo.clone(), algorithm)
+            .traffic(TrafficConfig::Uniform)
+            .offered_load(0.3)
+            .seed(1)
+            .run()?;
+        println!(
+            "{:>6}: latency {} cycles, achieved utilization {:.3} ({} messages, {} samples)",
+            result.algorithm,
+            result.latency,
+            result.achieved_utilization,
+            result.messages_measured,
+            result.samples,
+        );
+        results.push(result);
+    }
+
+    println!("\n{}", format_results_table(&results));
+
+    // The zero-load baseline from the paper's Equation 2 for context:
+    // 16 flits over an average 8.03 hops = 23.03 cycles.
+    let zero_load = wormsim::stats::throughput::zero_load_latency(16.0, 8.03, 1.0);
+    println!("zero-load latency (Eq. 2): {zero_load:.2} cycles");
+    Ok(())
+}

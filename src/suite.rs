@@ -1,0 +1,7 @@
+//! Workspace-level integration-test and example host for `wormsim`.
+//!
+//! The real functionality lives in the [`wormsim`] crate; this package only
+//! exists so that `examples/` and `tests/` at the repository root have a
+//! Cargo target to attach to.
+
+pub use wormsim as sim;

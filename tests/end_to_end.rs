@@ -1,0 +1,152 @@
+//! Cross-crate integration tests: the paper's qualitative findings on a
+//! reduced (8x8) torus with the quick measurement schedule, exercising the
+//! full public API path (topology -> routing -> traffic -> engine -> stats
+//! -> experiment).
+
+use wormsim::{
+    AlgorithmKind, Experiment, MeasurementSchedule, Switching, Topology, TrafficConfig,
+};
+
+fn quick(algorithm: AlgorithmKind) -> Experiment {
+    Experiment::new(Topology::torus(&[8, 8]), algorithm)
+        .traffic(TrafficConfig::Uniform)
+        .schedule(MeasurementSchedule::quick())
+        .seed(2024)
+}
+
+/// The headline finding: the hop schemes sustain far more throughput than
+/// e-cube and north-last; north-last never beats e-cube.
+#[test]
+fn hop_schemes_beat_the_rest() {
+    let util = |algorithm: AlgorithmKind| {
+        quick(algorithm)
+            .offered_load(0.7)
+            .run()
+            .expect("experiment runs")
+            .achieved_utilization
+    };
+    let phop = util(AlgorithmKind::PositiveHop);
+    let nbc = util(AlgorithmKind::NegativeHopBonusCards);
+    let ecube = util(AlgorithmKind::Ecube);
+    let nlast = util(AlgorithmKind::NorthLast);
+
+    assert!(
+        phop > 1.4 * ecube,
+        "phop ({phop:.3}) should dominate e-cube ({ecube:.3})"
+    );
+    assert!(
+        nbc > 1.4 * ecube,
+        "nbc ({nbc:.3}) should dominate e-cube ({ecube:.3})"
+    );
+    assert!(
+        nlast <= ecube + 0.05,
+        "north-last ({nlast:.3}) must not beat e-cube ({ecube:.3})"
+    );
+}
+
+/// At low load every algorithm delivers near the zero-load latency and
+/// achieves the offered throughput.
+#[test]
+fn low_load_all_algorithms_agree() {
+    // Zero-load latency on 8^2 uniform: 16 + 4.06 - 1 ≈ 19.1 cycles.
+    for algorithm in AlgorithmKind::all() {
+        let r = quick(algorithm)
+            .offered_load(0.1)
+            .run()
+            .expect("experiment runs");
+        assert!(
+            (19.0..26.0).contains(&r.latency.mean()),
+            "{algorithm}: low-load latency {}",
+            r.latency.mean()
+        );
+        assert!(
+            (r.achieved_utilization - 0.1).abs() < 0.03,
+            "{algorithm}: achieved {} at offered 0.1",
+            r.achieved_utilization
+        );
+        assert!(r.deadlock.is_none());
+    }
+}
+
+/// The Section 3.4 cross-check: under virtual cut-through the 2pn
+/// algorithm catches up — its throughput clearly improves over its own
+/// wormhole result, and the gap to nbc narrows.
+#[test]
+fn cut_through_rehabilitates_2pn() {
+    let run = |algorithm: AlgorithmKind, switching: Switching| {
+        quick(algorithm)
+            .switching(switching)
+            .offered_load(0.6)
+            .run()
+            .expect("experiment runs")
+            .achieved_utilization
+    };
+    let tpn_wh = run(AlgorithmKind::TwoPowerN, Switching::wormhole());
+    let tpn_vct = run(AlgorithmKind::TwoPowerN, Switching::VirtualCutThrough);
+    let nbc_vct = run(AlgorithmKind::NegativeHopBonusCards, Switching::VirtualCutThrough);
+    assert!(
+        tpn_vct > tpn_wh + 0.05,
+        "cut-through should lift 2pn: wh {tpn_wh:.3}, vct {tpn_vct:.3}"
+    );
+    assert!(
+        tpn_vct > 0.75 * nbc_vct,
+        "under VCT 2pn ({tpn_vct:.3}) performs close to nbc ({nbc_vct:.3})"
+    );
+}
+
+/// Experiments are bit-reproducible for a fixed seed and diverge across
+/// seeds.
+#[test]
+fn experiments_are_reproducible() {
+    let run = |seed: u64| {
+        let r = quick(AlgorithmKind::NegativeHop)
+            .offered_load(0.3)
+            .seed(seed)
+            .run()
+            .expect("experiment runs");
+        (r.latency.mean(), r.achieved_utilization, r.messages_measured)
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}
+
+/// Store-and-forward pays per-hop serialization: its low-load latency is a
+/// multiple of wormhole's, as the switching-technique comparison in the
+/// introduction describes.
+#[test]
+fn store_and_forward_latency_multiplier() {
+    let latency = |switching: Switching| {
+        quick(AlgorithmKind::Ecube)
+            .switching(switching)
+            .offered_load(0.05)
+            .run()
+            .expect("experiment runs")
+            .latency
+            .mean()
+    };
+    let wormhole = latency(Switching::wormhole());
+    let saf = latency(Switching::StoreAndForward);
+    // d * m_l versus m_l + d - 1: about 3.4x at d̄ ≈ 4, m_l = 16.
+    assert!(
+        saf > 2.5 * wormhole,
+        "store-and-forward ({saf:.1}) vs wormhole ({wormhole:.1})"
+    );
+}
+
+/// Congestion control keeps saturation latency bounded: even at offered
+/// load 1.0 the average latency stays within a small multiple of zero-load,
+/// the paper's argument for input buffer limits.
+#[test]
+fn congestion_control_bounds_saturation_latency() {
+    let r = quick(AlgorithmKind::PositiveHop)
+        .offered_load(1.0)
+        .run()
+        .expect("experiment runs");
+    assert!(r.refused_fraction > 0.05, "saturation must refuse messages");
+    assert!(
+        r.latency.mean() < 40.0 * 19.0,
+        "saturation latency {} should stay bounded",
+        r.latency.mean()
+    );
+    assert!(r.deadlock.is_none());
+}
