@@ -1,16 +1,20 @@
-//! Criterion benchmarks of the simulator itself: simulated cycles per
-//! second for each figure configuration. A regression here makes the
-//! figure regenerators slower, so each paper workload gets a bench group.
+//! Timing benches of the simulator itself: simulated cycles per second for
+//! each figure configuration. A regression here makes the figure
+//! regenerators slower, so each paper workload gets a bench group.
+//!
+//! Plain `std::time` harness (`harness = false`): run with
+//! `cargo bench -p wormsim-bench --bench engine_speed`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
+use wormsim::observe::JsonlSink;
 use wormsim::presets;
 use wormsim::{ArrivalProcess, MessageLength, NetworkBuilder, Switching};
 
-fn bench_figure(c: &mut Criterion, id: &str, spec: &presets::FigureSpec) {
-    let mut group = c.benchmark_group(format!("engine/{id}"));
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+const WARMUP_CYCLES: u64 = 2_000;
+const TIMED_CYCLES: u64 = 5_000;
+
+fn bench_figure(id: &str, spec: &presets::FigureSpec) {
+    println!("engine/{id}");
     for algorithm in &spec.algorithms {
         let topo = presets::paper_topology();
         // Mid-load point of the sweep: representative steady-state work.
@@ -21,75 +25,122 @@ fn bench_figure(c: &mut Criterion, id: &str, spec: &presets::FigureSpec) {
             pattern.mean_distance(&topo),
             topo.num_dims(),
         );
-        group.bench_function(algorithm.name(), |b| {
-            b.iter_batched(
-                || {
-                    let mut net = NetworkBuilder::new(topo.clone(), *algorithm)
-                        .traffic(spec.traffic.clone())
-                        .switching(spec.switching)
-                        .arrival(ArrivalProcess::geometric(rate).expect("valid rate"))
-                        .message_length(MessageLength::fixed(16).expect("valid length"))
-                        .seed(7)
-                        .build()
-                        .expect("network builds");
-                    net.run(2_000); // reach steady state outside the timing
-                    net
-                },
-                |mut net| {
-                    net.run(1_000);
-                    net
-                },
-                BatchSize::LargeInput,
-            );
-        });
+        let mut net = NetworkBuilder::new(topo.clone(), *algorithm)
+            .traffic(spec.traffic.clone())
+            .switching(spec.switching)
+            .arrival(ArrivalProcess::geometric(rate).expect("valid rate"))
+            .message_length(MessageLength::fixed(16).expect("valid length"))
+            .seed(7)
+            .build()
+            .expect("network builds");
+        net.run(WARMUP_CYCLES); // reach steady state outside the timing
+        let start = Instant::now();
+        net.run(TIMED_CYCLES);
+        let elapsed = start.elapsed();
+        println!(
+            "  {:>6}: {:>12.0} cycles/s ({:.3} ms for {} cycles)",
+            algorithm.name(),
+            TIMED_CYCLES as f64 / elapsed.as_secs_f64(),
+            elapsed.as_secs_f64() * 1e3,
+            TIMED_CYCLES,
+        );
     }
-    group.finish();
 }
 
-fn engine_benches(c: &mut Criterion) {
-    bench_figure(c, "fig3_uniform", &presets::fig3());
-    bench_figure(c, "fig4_hotspot", &presets::fig4());
-    bench_figure(c, "fig5_local", &presets::fig5());
-    bench_figure(c, "vct34_cut_through", &presets::vct_section_3_4());
-}
-
-fn switching_benches(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine/switching");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn switching_benches() {
+    println!("engine/switching");
     for (name, switching) in [
         ("wormhole", Switching::wormhole()),
         ("cut_through", Switching::VirtualCutThrough),
         ("store_and_forward", Switching::StoreAndForward),
     ] {
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || {
-                    let topo = presets::paper_topology();
-                    let mut net = NetworkBuilder::new(
-                        topo,
-                        wormsim::AlgorithmKind::NegativeHopBonusCards,
-                    )
-                    .switching(switching)
-                    .arrival(ArrivalProcess::geometric(0.01).expect("valid rate"))
-                    .message_length(MessageLength::fixed(16).expect("valid length"))
-                    .seed(7)
-                    .build()
-                    .expect("network builds");
-                    net.run(2_000);
-                    net
-                },
-                |mut net| {
-                    net.run(1_000);
-                    net
-                },
-                BatchSize::LargeInput,
-            );
-        });
+        let topo = presets::paper_topology();
+        let mut net = NetworkBuilder::new(topo, wormsim::AlgorithmKind::NegativeHopBonusCards)
+            .switching(switching)
+            .arrival(ArrivalProcess::geometric(0.01).expect("valid rate"))
+            .message_length(MessageLength::fixed(16).expect("valid length"))
+            .seed(7)
+            .build()
+            .expect("network builds");
+        net.run(WARMUP_CYCLES);
+        let start = Instant::now();
+        net.run(TIMED_CYCLES);
+        let elapsed = start.elapsed();
+        println!(
+            "  {:>18}: {:>12.0} cycles/s",
+            name,
+            TIMED_CYCLES as f64 / elapsed.as_secs_f64(),
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, engine_benches, switching_benches);
-criterion_main!(benches);
+/// Overhead of each observability mode relative to a bare run of the same
+/// network: the disabled path should be free, and the streaming sinks
+/// should stay within a few percent.
+fn observability_benches() {
+    println!("engine/observability");
+    let out_dir = std::env::temp_dir().join(format!("wormsim-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&out_dir).expect("temp dir creates");
+
+    let build = || {
+        NetworkBuilder::new(
+            presets::paper_topology(),
+            wormsim::AlgorithmKind::NegativeHopBonusCards,
+        )
+        .arrival(ArrivalProcess::geometric(0.01).expect("valid rate"))
+        .message_length(MessageLength::fixed(16).expect("valid length"))
+        .seed(7)
+        .build()
+        .expect("network builds")
+    };
+    // Best-of-N fresh networks per mode: the minimum wall time is the least
+    // noise-contaminated estimate on a shared machine.
+    const REPS: u32 = 3;
+    let time_mode = |mode: &str| {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let mut net = build();
+            match mode {
+                "sinks_off" => {}
+                "ring_trace" => net.enable_tracing(),
+                "jsonl_samples" => {
+                    let sink =
+                        JsonlSink::create(out_dir.join("samples.jsonl")).expect("sink opens");
+                    net.enable_sampling(1_000, Box::new(sink));
+                }
+                "jsonl_trace" => {
+                    let sink = JsonlSink::create(out_dir.join("trace.jsonl")).expect("sink opens");
+                    net.set_event_sink(Box::new(sink));
+                }
+                _ => unreachable!(),
+            }
+            net.run(WARMUP_CYCLES);
+            let start = Instant::now();
+            net.run(TIMED_CYCLES);
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        TIMED_CYCLES as f64 / best
+    };
+
+    let mut baseline = 0.0;
+    for mode in ["sinks_off", "ring_trace", "jsonl_samples", "jsonl_trace"] {
+        let rate = time_mode(mode);
+        if mode == "sinks_off" {
+            baseline = rate;
+            println!("  {mode:>14}: {rate:>12.0} cycles/s (baseline)");
+        } else {
+            let overhead = (baseline / rate - 1.0) * 100.0;
+            println!("  {mode:>14}: {rate:>12.0} cycles/s ({overhead:+.1}% vs off)");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+fn main() {
+    bench_figure("fig3_uniform", &presets::fig3());
+    bench_figure("fig4_hotspot", &presets::fig4());
+    bench_figure("fig5_local", &presets::fig5());
+    bench_figure("vct34_cut_through", &presets::vct_section_3_4());
+    switching_benches();
+    observability_benches();
+}

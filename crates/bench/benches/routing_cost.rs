@@ -1,73 +1,82 @@
-//! Criterion benchmarks of the routing functions in isolation: candidate
+//! Timing benches of the routing functions in isolation: candidate
 //! generation cost per hop, the paper's "routing logic complexity" axis.
+//!
+//! Plain `std::time` harness (`harness = false`): run with
+//! `cargo bench -p wormsim-bench --bench routing_cost`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use wormsim::routing::{AlgorithmKind, MessageRouteState};
 use wormsim::topology::{NodeId, Topology};
 
-fn routing_candidates(c: &mut Criterion) {
+fn routing_candidates() {
     let topo = Topology::torus(&[16, 16]);
-    let mut group = c.benchmark_group("routing/candidates");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(1));
+    println!("routing/candidates");
     for kind in AlgorithmKind::all() {
         let algo = kind.build(&topo).expect("algorithm builds");
         // A representative set of (state, position) pairs.
         let mut cases = Vec::new();
-        for (s, d) in [([0u16, 0u16], [5u16, 9u16]), ([15, 15], [2, 2]), ([7, 3], [8, 3])] {
+        for (s, d) in [
+            ([0u16, 0u16], [5u16, 9u16]),
+            ([15, 15], [2, 2]),
+            ([7, 3], [8, 3]),
+        ] {
             let src = topo.node_at(&s);
             let dest = topo.node_at(&d);
             let mut state = MessageRouteState::new(src, dest);
             algo.init_message(&topo, &mut state);
             cases.push((state, src));
         }
-        group.bench_function(kind.name(), |b| {
-            let mut out = Vec::with_capacity(64);
-            b.iter(|| {
-                for (state, here) in &cases {
-                    out.clear();
-                    algo.candidates(&topo, black_box(state), *here, &mut out);
-                    black_box(&out);
-                }
-            });
-        });
+        let mut out = Vec::with_capacity(64);
+        let iters = 200_000u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            for (state, here) in &cases {
+                out.clear();
+                algo.candidates(&topo, black_box(state), *here, &mut out);
+                black_box(&out);
+            }
+        }
+        let per_call = start.elapsed().as_nanos() as f64 / (iters * cases.len() as u64) as f64;
+        println!("  {:>6}: {per_call:>8.1} ns/call", kind.name());
     }
-    group.finish();
 }
 
-fn dependency_graph_analysis(c: &mut Criterion) {
+fn dependency_graph_analysis() {
     let topo = Topology::torus(&[4, 4]);
-    let mut group = c.benchmark_group("routing/cdg_analysis_4x4");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
+    println!("routing/cdg_analysis_4x4");
     for kind in [AlgorithmKind::Ecube, AlgorithmKind::NegativeHop] {
         let algo = kind.build(&topo).expect("algorithm builds");
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| {
-                let report = wormsim::routing::deadlock::analyze(&topo, algo.as_ref());
-                black_box(report.is_acyclic())
-            });
-        });
+        let iters = 20u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            let report = wormsim::routing::deadlock::analyze(&topo, algo.as_ref());
+            black_box(report.is_acyclic());
+        }
+        let per_call = start.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
+        println!("  {:>6}: {per_call:>8.2} ms/analysis", kind.name());
     }
-    group.finish();
 }
 
-fn distance_queries(c: &mut Criterion) {
+fn distance_queries() {
     let topo = Topology::torus(&[16, 16]);
-    c.bench_function("topology/distance_all_pairs", |b| {
-        b.iter(|| {
-            let mut total = 0u64;
-            for s in 0..256u32 {
-                for d in 0..256u32 {
-                    total += topo.distance(NodeId::new(s), NodeId::new(d)) as u64;
-                }
+    let iters = 200u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let mut total = 0u64;
+        for s in 0..256u32 {
+            for d in 0..256u32 {
+                total += topo.distance(NodeId::new(s), NodeId::new(d)) as u64;
             }
-            black_box(total)
-        });
-    });
+        }
+        black_box(total);
+    }
+    let per_pair = start.elapsed().as_nanos() as f64 / (u64::from(iters) * 256 * 256) as f64;
+    println!("topology/distance_all_pairs: {per_pair:.2} ns/pair");
 }
 
-criterion_group!(benches, routing_candidates, dependency_graph_analysis, distance_queries);
-criterion_main!(benches);
+fn main() {
+    routing_candidates();
+    dependency_graph_analysis();
+    distance_queries();
+}

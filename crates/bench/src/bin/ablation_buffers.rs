@@ -10,7 +10,10 @@ fn main() {
     let options = HarnessOptions::from_args();
     let loads = [0.3, 0.5, 0.7, 0.9];
     println!("Peak achieved utilization vs per-VC buffer depth (uniform, 16x16):");
-    println!("{:>8} {:>8} {:>8} {:>8} {:>8}", "algo", "d=1", "d=2", "d=4", "d=8");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>8}",
+        "algo", "d=1", "d=2", "d=4", "d=8"
+    );
     for algo in AlgorithmKind::all() {
         print!("{:>8}", algo.name());
         for depth in [1u32, 2, 4, 8] {
@@ -18,7 +21,9 @@ fn main() {
             for &load in &loads {
                 let r = Experiment::new(Topology::torus(&[16, 16]), algo)
                     .traffic(TrafficConfig::Uniform)
-                    .switching(Switching::Wormhole { buffer_depth: depth })
+                    .switching(Switching::Wormhole {
+                        buffer_depth: depth,
+                    })
                     .offered_load(load)
                     .schedule(options.schedule)
                     .seed(options.seed)

@@ -9,8 +9,12 @@ use wormsim_bench::HarnessOptions;
 
 fn main() {
     let options = HarnessOptions::from_args();
-    let limits: [(&str, Option<u32>); 4] =
-        [("1", Some(1)), ("2", Some(2)), ("8", Some(8)), ("none", None)];
+    let limits: [(&str, Option<u32>); 4] = [
+        ("1", Some(1)),
+        ("2", Some(2)),
+        ("8", Some(8)),
+        ("none", None),
+    ];
     println!("Achieved utilization at offered 0.8 (uniform, 16x16 torus):");
     print!("{:>8}", "algo");
     for (name, _) in limits {

@@ -12,7 +12,10 @@ fn main() {
         ("16", MessageLength::fixed(16).expect("valid")),
         ("20", MessageLength::fixed(20).expect("valid")),
         ("24", MessageLength::fixed(24).expect("valid")),
-        ("15/31 mix", MessageLength::bimodal(15, 31, 0.5).expect("valid")),
+        (
+            "15/31 mix",
+            MessageLength::bimodal(15, 31, 0.5).expect("valid"),
+        ),
     ];
     let algorithms = [AlgorithmKind::PositiveHop, AlgorithmKind::Ecube];
     println!("Effect of message length (uniform traffic, 16x16 torus):\n");

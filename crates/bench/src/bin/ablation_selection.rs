@@ -4,9 +4,7 @@
 //! The paper assumes nbc "is likely to choose the least congested" first-hop
 //! channel; this quantifies how much that choice matters.
 
-use wormsim::{
-    AlgorithmKind, Experiment, SelectionPolicy, Topology, TrafficConfig,
-};
+use wormsim::{AlgorithmKind, Experiment, SelectionPolicy, Topology, TrafficConfig};
 use wormsim_bench::HarnessOptions;
 
 fn main() {
@@ -23,7 +21,10 @@ fn main() {
         SelectionPolicy::Random,
     ];
     println!("Peak achieved utilization by selection policy (uniform, 16x16 torus):");
-    println!("{:>8} {:>13} {:>13} {:>13}", "algo", "MostCredits", "FirstFree", "Random");
+    println!(
+        "{:>8} {:>13} {:>13} {:>13}",
+        "algo", "MostCredits", "FirstFree", "Random"
+    );
     for algo in algorithms {
         print!("{:>8}", algo.name());
         for policy in policies {

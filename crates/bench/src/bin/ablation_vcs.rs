@@ -13,7 +13,11 @@ fn main() {
     let loads = [0.2, 0.3, 0.4, 0.5, 0.6];
     println!("Peak achieved utilization vs VCs per class (uniform, 16x16 torus):");
     println!("{:>8} {:>8} {:>8} {:>8}", "algo", "x1", "x2", "x4");
-    for algo in [AlgorithmKind::Ecube, AlgorithmKind::NorthLast, AlgorithmKind::TwoPowerN] {
+    for algo in [
+        AlgorithmKind::Ecube,
+        AlgorithmKind::NorthLast,
+        AlgorithmKind::TwoPowerN,
+    ] {
         print!("{:>8}", algo.name());
         for replicas in [1u32, 2, 4] {
             let mut peak = 0.0f64;

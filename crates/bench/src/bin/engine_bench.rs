@@ -1,0 +1,175 @@
+//! Engine-core perf regression bench: steps/sec on the default paper
+//! configuration (16×16 torus, uniform traffic, 16-flit messages) at a fixed
+//! offered load, recorded to JSON so the perf trajectory is tracked PR over
+//! PR (see `BENCH_engine_core.json` at the repository root).
+//!
+//! ```text
+//! engine_bench [--load F] [--cycles N] [--warmup N] [--seed N] [--out FILE]
+//! ```
+
+use std::time::Instant;
+use wormsim::routing::AlgorithmKind;
+use wormsim::topology::Topology;
+use wormsim::{ArrivalProcess, MessageLength, NetworkBuilder, TrafficConfig};
+use wormsim_bench::cli;
+
+const USAGE: &str =
+    "usage: engine_bench [--load F] [--cycles N] [--warmup N] [--seed N] [--out FILE]";
+
+struct Options {
+    load: f64,
+    cycles: u64,
+    warmup: u64,
+    seed: u64,
+    out: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            load: 0.3,
+            cycles: 20_000,
+            warmup: 3_000,
+            seed: 1993,
+            out: None,
+        }
+    }
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut options = Options::default();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--load" => {
+                let v = value("--load")?;
+                options.load = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|l| (0.0..=1.5).contains(l) && *l > 0.0)
+                    .ok_or_else(|| format!("bad load '{v}' (expected 0 < load <= 1.5)"))?;
+            }
+            "--cycles" => options.cycles = cli::parse_seed(&value("--cycles")?)?,
+            "--warmup" => options.warmup = cli::parse_seed(&value("--warmup")?)?,
+            "--seed" => options.seed = cli::parse_seed(&value("--seed")?)?,
+            "--out" => options.out = Some(value("--out")?),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(options)
+}
+
+struct Measurement {
+    algorithm: &'static str,
+    steps_per_sec: f64,
+    wall_seconds: f64,
+    flit_hops: u64,
+    delivered: u64,
+}
+
+fn measure(kind: AlgorithmKind, options: &Options) -> Measurement {
+    let topo = Topology::torus(&[16, 16]);
+    let pattern = TrafficConfig::Uniform.build(&topo).expect("uniform builds");
+    let rate = wormsim::stats::throughput::rate_for_utilization(
+        options.load,
+        16.0,
+        pattern.mean_distance(&topo),
+        topo.num_dims(),
+    );
+    let mut net = NetworkBuilder::new(topo, kind)
+        .arrival(ArrivalProcess::geometric(rate).expect("valid rate"))
+        .message_length(MessageLength::fixed(16).expect("valid length"))
+        .seed(options.seed)
+        .build()
+        .expect("network builds");
+    net.run(options.warmup);
+    net.reset_metrics();
+    let start = Instant::now();
+    net.run(options.cycles);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    Measurement {
+        algorithm: kind.name(),
+        steps_per_sec: options.cycles as f64 / wall_seconds,
+        wall_seconds,
+        flit_hops: net.metrics().flit_hops,
+        delivered: net.metrics().delivered,
+    }
+}
+
+fn json_report(options: &Options, results: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"topology\": \"torus:16x16\", \"traffic\": \"uniform\", \
+         \"offered_load\": {}, \"message_flits\": 16, \"seed\": {}, \"warmup_cycles\": {}, \
+         \"timed_cycles\": {}}},\n",
+        options.load, options.seed, options.warmup, options.cycles
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"algorithm\": \"{}\", \"steps_per_sec\": {:.0}, \"wall_seconds\": {:.4}, \
+             \"flit_hops\": {}, \"delivered\": {}}}{}\n",
+            m.algorithm,
+            m.steps_per_sec,
+            m.wall_seconds,
+            m.flit_hops,
+            m.delivered,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let options = match parse_args(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "engine_bench: 16x16 torus, uniform traffic, load {:.2}, {} timed cycles",
+        options.load, options.cycles
+    );
+    let mut results = Vec::new();
+    for kind in AlgorithmKind::all() {
+        let m = measure(kind, &options);
+        println!(
+            "  {:>6}: {:>10.0} steps/s  ({} flit-hops, {} delivered)",
+            m.algorithm, m.steps_per_sec, m.flit_hops, m.delivered
+        );
+        results.push(m);
+    }
+    let mean: f64 = results.iter().map(|m| m.steps_per_sec).sum::<f64>() / results.len() as f64;
+    println!("  mean: {mean:.0} steps/s");
+
+    if let Some(path) = &options.out {
+        let report = json_report(&options, &results);
+        if let Err(e) = std::fs::write(path, report) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let parse = |args: &[&str]| parse_args(args.iter().map(|s| (*s).to_owned()));
+        assert!(parse(&["--load", "0"]).is_err());
+        assert!(parse(&["--load", "heavy"]).is_err());
+        assert!(parse(&["--cycles", "-5"]).is_err());
+        assert!(parse(&["--cycles"]).is_err());
+        assert!(parse(&["--turbo"]).is_err());
+        assert!(parse(&["--load", "0.4", "--cycles", "100"]).is_ok());
+    }
+}

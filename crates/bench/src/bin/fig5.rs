@@ -5,7 +5,11 @@ use wormsim_bench::{print_figure, print_paper_comparison, run_figure, write_csv,
 fn main() {
     let options = HarnessOptions::from_args();
     let spec = wormsim::presets::fig5();
-    eprintln!("running {} ({} points)...", spec.id, spec.algorithms.len() * spec.loads.len());
+    eprintln!(
+        "running {} ({} points)...",
+        spec.id,
+        spec.algorithms.len() * spec.loads.len()
+    );
     let results = run_figure(&spec, &options);
     print_figure(&spec, &results);
     print_paper_comparison(&spec.id, &results);

@@ -35,7 +35,10 @@ fn main() {
         ("corner (15,15)", vec![vec![15, 15]]),
         ("center (8,8)", vec![vec![8, 8]]),
         ("edge (0,8)", vec![vec![0, 8]]),
-        ("4 spread hotspots", vec![vec![3, 3], vec![3, 11], vec![11, 3], vec![11, 11]]),
+        (
+            "4 spread hotspots",
+            vec![vec![3, 3], vec![3, 11], vec![11, 3], vec![11, 11]],
+        ),
     ];
     let algorithms = [
         AlgorithmKind::NorthLast,
@@ -50,7 +53,10 @@ fn main() {
     }
     println!();
     for (name, nodes) in placements {
-        let traffic = TrafficConfig::Hotspot { nodes, fraction: 0.04 };
+        let traffic = TrafficConfig::Hotspot {
+            nodes,
+            fraction: 0.04,
+        };
         print!("{name:>20}");
         for algorithm in algorithms {
             print!("{:>9.3}", peak_for(&topo, algorithm, &traffic, &options));

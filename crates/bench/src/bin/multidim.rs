@@ -9,7 +9,10 @@ use wormsim_bench::HarnessOptions;
 fn sweep(topo: &Topology, options: &HarnessOptions) {
     let loads = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
     println!("\n== {topo} ==");
-    println!("{:>7} {:>9} {:>11} {:>14}", "algo", "vcs", "peak util", "latency @0.2");
+    println!(
+        "{:>7} {:>9} {:>11} {:>14}",
+        "algo", "vcs", "peak util", "latency @0.2"
+    );
     for kind in AlgorithmKind::all() {
         let Ok(algo) = kind.build(topo) else {
             println!("{:>7} {:>9}", kind.name(), "n/a");
@@ -19,10 +22,18 @@ fn sweep(topo: &Topology, options: &HarnessOptions) {
             .traffic(TrafficConfig::Uniform)
             .schedule(options.schedule)
             .seed(options.seed);
-        let low = base.clone().offered_load(0.2).run().expect("low point runs");
+        let low = base
+            .clone()
+            .offered_load(0.2)
+            .run()
+            .expect("low point runs");
         let mut peak = 0.0f64;
         for &load in &loads {
-            let r = base.clone().offered_load(load).run().expect("sweep point runs");
+            let r = base
+                .clone()
+                .offered_load(load)
+                .run()
+                .expect("sweep point runs");
             if r.deadlock.is_some() {
                 println!("{:>7}: DEADLOCK at load {load}", kind.name());
             }

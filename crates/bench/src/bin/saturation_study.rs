@@ -11,7 +11,10 @@ fn main() {
     let options = HarnessOptions::from_args();
     let topo = Topology::torus(&[16, 16]);
     println!("Saturation offered load (achieved < 90% of offered), uniform traffic:\n");
-    println!("{:>7} {:>12} {:>14} {:>16}", "algo", "saturates", "paper", "util at point");
+    println!(
+        "{:>7} {:>12} {:>14} {:>16}",
+        "algo", "saturates", "paper", "util at point"
+    );
     let paper_notes = [
         ("nbc", "after 0.6"),
         ("phop", "after 0.6"),

@@ -7,7 +7,13 @@
 //!       [--traffic uniform|hotspot:15,15@0.04|local:3|transpose|bitrev|complement]
 //!       [--loads 0.1:1.0:0.1 | 0.1,0.5,0.9] [--switching wh|wh:4|vct|saf]
 //!       [--quick|--saturation] [--seed N] [--threads N] [--out DIR]
+//!       [--observe DIR] [--trace-out DIR] [--sample-every N]
 //! ```
+//!
+//! With `--observe DIR`, every run writes a `RunManifest` JSON and a JSONL
+//! time-series sample stream under `DIR`; `--trace-out DIR` additionally
+//! streams per-message trace events; `--sample-every N` sets the sampling
+//! stride in cycles.
 //!
 //! Examples:
 //!
@@ -20,7 +26,18 @@ use wormsim::presets::FigureSpec;
 use wormsim::MeasurementSchedule;
 use wormsim_bench::{cli, print_figure, run_figure, write_csv, HarnessOptions};
 
-fn main() {
+const USAGE: &str = "usage: sweep [--topo T] [--algos A] [--traffic W] [--loads L] \
+                     [--switching S] [--quick|--saturation] [--seed N] [--threads N] [--out DIR] \
+                     [--observe DIR] [--trace-out DIR] [--sample-every N]";
+
+/// What one parsed command line asks for.
+enum Invocation {
+    Run(Box<FigureSpec>, HarnessOptions),
+    Help,
+}
+
+/// Parses the sweep command line (program name already stripped).
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, String> {
     let mut spec = FigureSpec {
         id: "sweep".to_owned(),
         title: "Custom sweep".to_owned(),
@@ -32,62 +49,59 @@ fn main() {
     };
     let mut options = HarnessOptions::default();
 
-    let mut args = std::env::args().skip(1);
-    let usage = "usage: sweep [--topo T] [--algos A] [--traffic W] [--loads L] \
-                 [--switching S] [--quick|--saturation] [--seed N] [--threads N] [--out DIR]";
     while let Some(arg) = args.next() {
-        let mut value = |name: &str| {
-            args.next()
-                .unwrap_or_else(|| panic!("{name} needs a value\n{usage}"))
-        };
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
-            "--topo" => {
-                spec.topology = cli::parse_topology(&value("--topo"))
-                    .unwrap_or_else(|e| panic!("{e}\n{usage}"));
-            }
-            "--algos" => {
-                spec.algorithms = cli::parse_algorithms(&value("--algos"))
-                    .unwrap_or_else(|e| panic!("{e}\n{usage}"));
-            }
-            "--traffic" => {
-                spec.traffic = cli::parse_traffic(&value("--traffic"))
-                    .unwrap_or_else(|e| panic!("{e}\n{usage}"));
-            }
-            "--loads" => {
-                spec.loads = cli::parse_loads(&value("--loads"))
-                    .unwrap_or_else(|e| panic!("{e}\n{usage}"));
-            }
-            "--switching" => {
-                spec.switching = cli::parse_switching(&value("--switching"))
-                    .unwrap_or_else(|e| panic!("{e}\n{usage}"));
-            }
+            "--topo" => spec.topology = cli::parse_topology(&value("--topo")?)?,
+            "--algos" => spec.algorithms = cli::parse_algorithms(&value("--algos")?)?,
+            "--traffic" => spec.traffic = cli::parse_traffic(&value("--traffic")?)?,
+            "--loads" => spec.loads = cli::parse_loads(&value("--loads")?)?,
+            "--switching" => spec.switching = cli::parse_switching(&value("--switching")?)?,
             "--quick" => options.schedule = MeasurementSchedule::quick(),
             "--saturation" => options.schedule = MeasurementSchedule::saturation(),
-            "--seed" => {
-                options.seed = value("--seed").parse().expect("--seed needs an integer");
+            "--seed" => options.seed = cli::parse_seed(&value("--seed")?)?,
+            "--threads" => options.threads = cli::parse_threads(&value("--threads")?)?,
+            "--out" => options.out_dir = value("--out")?,
+            "--observe" => options.observe_dir = Some(value("--observe")?),
+            "--trace-out" => options.trace_dir = Some(value("--trace-out")?),
+            "--sample-every" => {
+                options.sample_every = cli::parse_sample_every(&value("--sample-every")?)?;
             }
-            "--threads" => {
-                options.threads = value("--threads").parse().expect("--threads needs an integer");
-            }
-            "--out" => options.out_dir = value("--out"),
-            "--help" | "-h" => {
-                println!("{usage}");
-                return;
-            }
-            other => panic!("unknown argument '{other}'\n{usage}"),
+            "--help" | "-h" => return Ok(Invocation::Help),
+            other => return Err(format!("unknown argument '{other}'")),
         }
     }
+    Ok(Invocation::Run(Box::new(spec), options))
+}
+
+fn main() {
+    let (mut spec, options) = match parse_args(std::env::args().skip(1)) {
+        Ok(Invocation::Run(spec, options)) => (*spec, options),
+        Ok(Invocation::Help) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
 
     // Drop algorithms the chosen topology rejects (e.g. nhop on odd tori),
     // reporting what was skipped rather than dying.
-    spec.algorithms.retain(|kind| match kind.build(&spec.topology) {
-        Ok(_) => true,
-        Err(e) => {
-            eprintln!("skipping {kind}: {e}");
-            false
-        }
-    });
-    assert!(!spec.algorithms.is_empty(), "no runnable algorithms selected");
+    spec.algorithms
+        .retain(|kind| match kind.build(&spec.topology) {
+            Ok(_) => true,
+            Err(e) => {
+                eprintln!("skipping {kind}: {e}");
+                false
+            }
+        });
+    assert!(
+        !spec.algorithms.is_empty(),
+        "no runnable algorithms selected"
+    );
 
     spec.title = format!(
         "{} on {} under {} ({:?})",
@@ -111,5 +125,69 @@ fn main() {
     match write_csv(&spec.id, &results, &options.out_dir) {
         Ok(path) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Invocation, String> {
+        parse_args(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn well_formed_args_parse() {
+        let Ok(Invocation::Run(spec, options)) =
+            parse(&["--topo", "mesh:8x8", "--seed", "11", "--threads", "2"])
+        else {
+            panic!("expected a run invocation");
+        };
+        assert_eq!(spec.topology, wormsim::topology::Topology::mesh(&[8, 8]));
+        assert_eq!(options.seed, 11);
+        assert_eq!(options.threads, 2);
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let Ok(Invocation::Run(_, options)) = parse(&[
+            "--observe",
+            "obs",
+            "--trace-out",
+            "tr",
+            "--sample-every",
+            "500",
+        ]) else {
+            panic!("expected a run invocation");
+        };
+        assert_eq!(options.observe_dir.as_deref(), Some("obs"));
+        assert_eq!(options.trace_dir.as_deref(), Some("tr"));
+        assert_eq!(options.sample_every, 500);
+    }
+
+    #[test]
+    fn zero_threads_is_a_usage_error() {
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--sample-every", "0"]).is_err());
+    }
+
+    #[test]
+    fn malformed_integers_are_usage_errors() {
+        assert!(parse(&["--threads", "two"]).is_err());
+        assert!(parse(&["--threads", "1.0"]).is_err());
+        assert!(parse(&["--seed", "12three"]).is_err());
+        assert!(parse(&["--seed", "-4"]).is_err());
+    }
+
+    #[test]
+    fn missing_values_and_unknown_flags_are_usage_errors() {
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--loads"]).is_err());
+        assert!(parse(&["--hyperdrive"]).is_err());
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(matches!(parse(&["--help"]), Ok(Invocation::Help)));
     }
 }

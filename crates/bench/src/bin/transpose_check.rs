@@ -23,9 +23,7 @@ fn main() {
         AlgorithmKind::PositiveHop,
     ];
     let loads = [0.1, 0.2, 0.3, 0.4, 0.5];
-    println!(
-        "Peak achieved utilization per permutation workload (16x16 torus):\n"
-    );
+    println!("Peak achieved utilization per permutation workload (16x16 torus):\n");
     print!("{:>14}", "workload");
     for a in algorithms {
         print!("{:>9}", a.name());

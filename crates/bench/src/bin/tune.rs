@@ -30,7 +30,9 @@ fn main() {
                     for &load in &loads {
                         let r = Experiment::new(Topology::torus(&[16, 16]), algo)
                             .traffic(TrafficConfig::Uniform)
-                            .switching(Switching::Wormhole { buffer_depth: depth })
+                            .switching(Switching::Wormhole {
+                                buffer_depth: depth,
+                            })
                             .congestion_limit(Some(limit))
                             .selection(selection)
                             .offered_load(load)

@@ -151,6 +151,46 @@ pub fn parse_switching(s: &str) -> Result<Switching, String> {
     }
 }
 
+/// Parses a worker-thread count: a positive integer (`--threads`).
+///
+/// # Errors
+///
+/// Returns a usage message for non-integers and for `0`, which would
+/// deadlock the work-stealing loop rather than mean "auto".
+pub fn parse_threads(s: &str) -> Result<usize, String> {
+    let threads = usize::from_str(s)
+        .map_err(|_| format!("bad thread count '{s}' (expected a positive integer)"))?;
+    if threads == 0 {
+        return Err("thread count must be at least 1".to_owned());
+    }
+    Ok(threads)
+}
+
+/// Parses a sampling stride in cycles (`--sample-every`): a positive
+/// integer.
+///
+/// # Errors
+///
+/// Returns a usage message for non-integers and for `0`; callers that want
+/// the observe layer's default stride should omit the flag instead.
+pub fn parse_sample_every(s: &str) -> Result<u64, String> {
+    let every = u64::from_str(s)
+        .map_err(|_| format!("bad sample stride '{s}' (expected a positive integer)"))?;
+    if every == 0 {
+        return Err("sample stride must be at least 1 cycle".to_owned());
+    }
+    Ok(every)
+}
+
+/// Parses a base RNG seed (`--seed`).
+///
+/// # Errors
+///
+/// Returns a usage message for values that are not unsigned integers.
+pub fn parse_seed(s: &str) -> Result<u64, String> {
+    u64::from_str(s).map_err(|_| format!("bad seed '{s}' (expected an unsigned integer)"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,8 +198,14 @@ mod tests {
     #[test]
     fn topologies() {
         assert_eq!(parse_topology("16x16").unwrap(), Topology::torus(&[16, 16]));
-        assert_eq!(parse_topology("torus:8x4").unwrap(), Topology::torus(&[8, 4]));
-        assert_eq!(parse_topology("mesh:4x4x4").unwrap(), Topology::mesh(&[4, 4, 4]));
+        assert_eq!(
+            parse_topology("torus:8x4").unwrap(),
+            Topology::torus(&[8, 4])
+        );
+        assert_eq!(
+            parse_topology("mesh:4x4x4").unwrap(),
+            Topology::mesh(&[4, 4, 4])
+        );
         assert!(parse_topology("ring:9").is_err());
         assert!(parse_topology("torus:1x4").is_err());
         assert!(parse_topology("16xsixteen").is_err());
@@ -185,7 +231,10 @@ mod tests {
         );
         assert_eq!(
             parse_traffic("hotspot:15,15@0.04").unwrap(),
-            TrafficConfig::Hotspot { nodes: vec![vec![15, 15]], fraction: 0.04 }
+            TrafficConfig::Hotspot {
+                nodes: vec![vec![15, 15]],
+                fraction: 0.04
+            }
         );
         assert_eq!(
             parse_traffic("hotspot:3,3+11,11@0.08").unwrap(),
@@ -210,13 +259,42 @@ mod tests {
     }
 
     #[test]
+    fn threads() {
+        assert_eq!(parse_threads("8").unwrap(), 8);
+        assert!(parse_threads("0").is_err(), "zero workers rejected");
+        assert!(parse_threads("-2").is_err());
+        assert!(parse_threads("many").is_err());
+        assert!(parse_threads("1.5").is_err());
+    }
+
+    #[test]
+    fn sample_strides() {
+        assert_eq!(parse_sample_every("1000").unwrap(), 1000);
+        assert_eq!(parse_sample_every("1").unwrap(), 1);
+        assert!(parse_sample_every("0").is_err(), "zero stride rejected");
+        assert!(parse_sample_every("-5").is_err());
+        assert!(parse_sample_every("often").is_err());
+    }
+
+    #[test]
+    fn seeds() {
+        assert_eq!(parse_seed("1993").unwrap(), 1993);
+        assert!(parse_seed("0x1f").is_err());
+        assert!(parse_seed("-1").is_err());
+        assert!(parse_seed("seed").is_err());
+    }
+
+    #[test]
     fn switching() {
         assert_eq!(parse_switching("wh").unwrap(), Switching::wormhole());
         assert_eq!(
             parse_switching("wh:4").unwrap(),
             Switching::Wormhole { buffer_depth: 4 }
         );
-        assert_eq!(parse_switching("vct").unwrap(), Switching::VirtualCutThrough);
+        assert_eq!(
+            parse_switching("vct").unwrap(),
+            Switching::VirtualCutThrough
+        );
         assert_eq!(parse_switching("saf").unwrap(), Switching::StoreAndForward);
         assert!(parse_switching("wh:0").is_err());
         assert!(parse_switching("teleport").is_err());

@@ -6,12 +6,13 @@
 
 use std::io::Write as _;
 use std::path::Path;
-use std::str::FromStr;
 use wormsim::presets::FigureSpec;
-use wormsim::{format_results_table, format_sweep_csv, MeasurementSchedule, RunResult};
+use wormsim::{
+    format_results_table, format_sweep_csv, MeasurementSchedule, ObserveConfig, RunResult,
+};
 
-pub mod plot;
 pub mod cli;
+pub mod plot;
 mod reference;
 pub use reference::{paper_reference, PaperClaim};
 
@@ -26,6 +27,15 @@ pub struct HarnessOptions {
     pub out_dir: String,
     /// Worker threads (`--threads N`, default: all cores).
     pub threads: usize,
+    /// Directory for per-run sample streams and manifests
+    /// (`--observe DIR`); `None` disables them.
+    pub observe_dir: Option<String>,
+    /// Directory for per-run JSONL event traces (`--trace-out DIR`);
+    /// `None` disables them.
+    pub trace_dir: Option<String>,
+    /// Cycles between time-series samples (`--sample-every N`, 0 = the
+    /// observe layer's default stride).
+    pub sample_every: u64,
 }
 
 impl Default for HarnessOptions {
@@ -35,57 +45,100 @@ impl Default for HarnessOptions {
             seed: 1993,
             out_dir: "results".to_owned(),
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            observe_dir: None,
+            trace_dir: None,
+            sample_every: 0,
         }
     }
 }
 
 impl HarnessOptions {
     /// Parses `--quick`, `--saturation`, `--seed N`, `--out DIR`,
-    /// `--threads N` from `std::env::args`.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed arguments.
+    /// `--threads N`, `--observe DIR`, `--trace-out DIR`,
+    /// `--sample-every N` from `std::env::args`, exiting with a usage
+    /// message on stderr (status 2) for malformed input.
     pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1)).unwrap_or_else(|message| {
+            eprintln!("error: {message}");
+            eprintln!(
+                "usage: [--quick|--saturation] [--seed N] [--out DIR] [--threads N] \
+                 [--observe DIR] [--trace-out DIR] [--sample-every N]"
+            );
+            std::process::exit(2);
+        })
+    }
+
+    /// Parses an argument iterator (program name already stripped).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags, missing values,
+    /// malformed integers, and the nonsensical `--threads 0`.
+    pub fn parse(mut args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut options = HarnessOptions::default();
-        let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => options.schedule = MeasurementSchedule::quick(),
                 "--saturation" => options.schedule = MeasurementSchedule::saturation(),
                 "--seed" => {
-                    let v = args.next().expect("--seed needs a value");
-                    options.seed = u64::from_str(&v).expect("--seed needs an integer");
+                    let v = args.next().ok_or("--seed needs a value")?;
+                    options.seed = cli::parse_seed(&v)?;
                 }
                 "--out" => {
-                    options.out_dir = args.next().expect("--out needs a directory");
+                    options.out_dir = args.next().ok_or("--out needs a directory")?;
                 }
                 "--threads" => {
-                    let v = args.next().expect("--threads needs a value");
-                    options.threads = usize::from_str(&v).expect("--threads needs an integer");
+                    let v = args.next().ok_or("--threads needs a value")?;
+                    options.threads = cli::parse_threads(&v)?;
                 }
-                other => panic!(
-                    "unknown argument '{other}' (expected --quick, --saturation, --seed N, --out DIR, --threads N)"
-                ),
+                "--observe" => {
+                    options.observe_dir = Some(args.next().ok_or("--observe needs a directory")?);
+                }
+                "--trace-out" => {
+                    options.trace_dir = Some(args.next().ok_or("--trace-out needs a directory")?);
+                }
+                "--sample-every" => {
+                    let v = args.next().ok_or("--sample-every needs a value")?;
+                    options.sample_every = cli::parse_sample_every(&v)?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown argument '{other}' (expected --quick, --saturation, --seed N, \
+                         --out DIR, --threads N, --observe DIR, --trace-out DIR, --sample-every N)"
+                    ))
+                }
             }
         }
-        options
+        Ok(options)
     }
 }
 
 /// Runs every `(algorithm, load)` experiment of a figure in parallel and
 /// returns results in deterministic order (algorithm-major, load-minor).
 pub fn run_figure(spec: &FigureSpec, options: &HarnessOptions) -> Vec<RunResult> {
-    let experiments = wormsim::presets::experiments_for(spec, options.schedule, options.seed);
+    let mut experiments = wormsim::presets::experiments_for(spec, options.schedule, options.seed);
+    if options.observe_dir.is_some() || options.trace_dir.is_some() {
+        let config = ObserveConfig {
+            out_dir: options.observe_dir.as_deref().map(Into::into),
+            trace_dir: options.trace_dir.as_deref().map(Into::into),
+            sample_every: options.sample_every,
+            prefix: spec.id.to_owned(),
+        };
+        experiments = experiments
+            .into_iter()
+            .map(|e| e.observe(config.clone()))
+            .collect();
+    }
     let total = experiments.len();
     let done = std::sync::atomic::AtomicUsize::new(0);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<Option<RunResult>>> =
-        (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
+    let started = std::time::Instant::now();
+    let slots: Vec<std::sync::Mutex<Option<RunResult>>> =
+        (0..total).map(|_| std::sync::Mutex::new(None)).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..options.threads.max(1) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= total {
                     break;
@@ -93,19 +146,29 @@ pub fn run_figure(spec: &FigureSpec, options: &HarnessOptions) -> Vec<RunResult>
                 let result = experiments[i]
                     .run()
                     .unwrap_or_else(|e| panic!("experiment {i} failed: {e}"));
-                *slots[i].lock() = Some(result);
+                *slots[i].lock().expect("no poisoned slots") = Some(result);
                 let completed = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-                eprint!("\r  {completed}/{total} points");
+                let remaining = total - completed;
+                if remaining == 0 {
+                    eprint!("\r  {completed}/{total} points              ");
+                } else {
+                    // Average seconds per completed point predicts the rest.
+                    let eta = started.elapsed().as_secs_f64() / completed as f64 * remaining as f64;
+                    eprint!("\r  {completed}/{total} points (ETA {eta:.0}s)   ");
+                }
                 let _ = std::io::stderr().flush();
             });
         }
-    })
-    .expect("worker threads never panic");
+    });
     eprintln!();
 
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("all slots filled"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoned slots")
+                .expect("all slots filled")
+        })
         .collect()
 }
 
@@ -188,9 +251,7 @@ pub fn print_figure(spec: &FigureSpec, results: &[RunResult]) {
             points: loads
                 .iter()
                 .enumerate()
-                .map(|(li, &load)| {
-                    (load, results[ai * loads.len() + li].achieved_utilization)
-                })
+                .map(|(li, &load)| (load, results[ai * loads.len() + li].achieved_utilization))
                 .collect(),
         })
         .collect();
@@ -258,6 +319,67 @@ mod tests {
     use super::*;
     use wormsim::presets;
 
+    fn parse(args: &[&str]) -> Result<HarnessOptions, String> {
+        HarnessOptions::parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn options_parse_well_formed_args() {
+        let options = parse(&["--quick", "--seed", "7", "--threads", "3", "--out", "o"]).unwrap();
+        assert_eq!(options.seed, 7);
+        assert_eq!(options.threads, 3);
+        assert_eq!(options.out_dir, "o");
+    }
+
+    #[test]
+    fn options_parse_observability_flags() {
+        let options = parse(&[
+            "--observe",
+            "obs",
+            "--trace-out",
+            "traces",
+            "--sample-every",
+            "250",
+        ])
+        .unwrap();
+        assert_eq!(options.observe_dir.as_deref(), Some("obs"));
+        assert_eq!(options.trace_dir.as_deref(), Some("traces"));
+        assert_eq!(options.sample_every, 250);
+        let defaults = parse(&[]).unwrap();
+        assert_eq!(defaults.observe_dir, None);
+        assert_eq!(defaults.trace_dir, None);
+        assert_eq!(defaults.sample_every, 0);
+    }
+
+    #[test]
+    fn options_reject_zero_threads() {
+        assert!(parse(&["--threads", "0"]).is_err());
+    }
+
+    #[test]
+    fn options_reject_bad_sample_every() {
+        assert!(parse(&["--sample-every", "0"]).is_err());
+        assert!(parse(&["--sample-every", "soon"]).is_err());
+        assert!(parse(&["--sample-every"]).is_err());
+        assert!(parse(&["--observe"]).is_err());
+        assert!(parse(&["--trace-out"]).is_err());
+    }
+
+    #[test]
+    fn options_reject_malformed_integers() {
+        assert!(parse(&["--threads", "three"]).is_err());
+        assert!(parse(&["--threads", "-1"]).is_err());
+        assert!(parse(&["--seed", "2e9"]).is_err());
+        assert!(parse(&["--seed", "0xbeef"]).is_err());
+    }
+
+    #[test]
+    fn options_reject_missing_values_and_unknown_flags() {
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--warp-speed"]).is_err());
+    }
+
     #[test]
     fn harness_runs_a_tiny_figure() {
         // A reduced fig3: two algorithms, two loads, quick schedule.
@@ -270,8 +392,12 @@ mod tests {
         let options = HarnessOptions {
             schedule: MeasurementSchedule::quick(),
             seed: 5,
-            out_dir: std::env::temp_dir().join("wormsim-test").display().to_string(),
+            out_dir: std::env::temp_dir()
+                .join("wormsim-test")
+                .display()
+                .to_string(),
             threads: 4,
+            ..HarnessOptions::default()
         };
         let results = run_figure(&spec, &options);
         assert_eq!(results.len(), 4);

@@ -35,7 +35,10 @@ pub struct Series {
 pub fn render(title: &str, series: &[Series], width: usize, height: usize) -> String {
     let width = width.max(16);
     let height = height.max(6);
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         return format!("{title}\n(no data)\n");
     }
@@ -105,7 +108,11 @@ mod tests {
     use super::*;
 
     fn series(points: Vec<(f64, f64)>) -> Series {
-        Series { label: "s".into(), marker: 'o', points }
+        Series {
+            label: "s".into(),
+            marker: 'o',
+            points,
+        }
     }
 
     #[test]
@@ -132,8 +139,16 @@ mod tests {
 
     #[test]
     fn later_series_overwrite() {
-        let a = Series { label: "a".into(), marker: 'a', points: vec![(0.0, 0.0)] };
-        let b = Series { label: "b".into(), marker: 'b', points: vec![(0.0, 0.0)] };
+        let a = Series {
+            label: "a".into(),
+            marker: 'a',
+            points: vec![(0.0, 0.0)],
+        };
+        let b = Series {
+            label: "b".into(),
+            marker: 'b',
+            points: vec![(0.0, 0.0)],
+        };
         let chart = render("t", &[a, b], 20, 8);
         assert!(chart.contains('b'));
     }

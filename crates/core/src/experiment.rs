@@ -3,8 +3,9 @@
 
 use crate::{MeasurementSchedule, RunResult};
 use std::fmt;
-use wormsim_engine::{
-    EjectionModel, EngineError, NetworkBuilder, SelectionPolicy, Switching,
+use wormsim_engine::{EjectionModel, EngineError, NetworkBuilder, SelectionPolicy, Switching};
+use wormsim_observe::{
+    fnv1a_hex, git_describe, JsonlSink, ObserveConfig, PhaseTimings, RunManifest, Stopwatch,
 };
 use wormsim_routing::AlgorithmKind;
 use wormsim_stats::{throughput, ConvergenceController, Histogram, SampleAccumulator};
@@ -29,6 +30,13 @@ pub enum ExperimentError {
         /// The offending per-node per-cycle rate.
         rate: f64,
     },
+    /// Observability output could not be created or written (the sample or
+    /// trace stream, or the run manifest). Simulation errors never take
+    /// this form — only the I/O around them.
+    Io {
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -40,6 +48,9 @@ impl fmt::Display for ExperimentError {
             }
             ExperimentError::RateOutOfRange { rate } => {
                 write!(f, "computed injection rate {rate} out of range")
+            }
+            ExperimentError::Io { message } => {
+                write!(f, "observability I/O: {message}")
             }
         }
     }
@@ -99,6 +110,7 @@ pub struct Experiment {
     offered_load: f64,
     schedule: MeasurementSchedule,
     seed: u64,
+    observe: Option<ObserveConfig>,
 }
 
 impl Experiment {
@@ -120,6 +132,7 @@ impl Experiment {
             offered_load: 0.2,
             schedule: MeasurementSchedule::default(),
             seed: 0,
+            observe: None,
         }
     }
 
@@ -195,6 +208,17 @@ impl Experiment {
         self
     }
 
+    /// Attaches observability to the run: a time-series sample stream and a
+    /// run manifest in `config.out_dir`, and/or a full JSONL trace in
+    /// `config.trace_dir` (see [`ObserveConfig`]). Per-channel flit-load
+    /// tracking is switched on so samples carry a channel-load map. With no
+    /// config (the default) the run pays no observability cost beyond one
+    /// branch per event site.
+    pub fn observe(mut self, config: ObserveConfig) -> Self {
+        self.observe = if config.enabled() { Some(config) } else { None };
+        self
+    }
+
     /// The topology under test.
     pub fn topology_ref(&self) -> &Topology {
         &self.topology
@@ -222,11 +246,10 @@ impl Experiment {
     ///
     /// Returns the same validation errors as [`run`](Self::run).
     pub fn injection_rate(&self) -> Result<f64, ExperimentError> {
-        if !self.offered_load.is_finite()
-            || self.offered_load <= 0.0
-            || self.offered_load > 1.5
-        {
-            return Err(ExperimentError::InvalidLoad { value: self.offered_load });
+        if !self.offered_load.is_finite() || self.offered_load <= 0.0 || self.offered_load > 1.5 {
+            return Err(ExperimentError::InvalidLoad {
+                value: self.offered_load,
+            });
         }
         let pattern = self
             .traffic
@@ -259,6 +282,12 @@ impl Experiment {
             .build(&self.topology)
             .map_err(EngineError::from)?;
         let weights = pattern.hop_class_weights(&self.topology);
+        let io_err = |e: std::io::Error| ExperimentError::Io {
+            message: e.to_string(),
+        };
+
+        let total_watch = Stopwatch::start();
+        let mut timings = PhaseTimings::new();
 
         let mut net = NetworkBuilder::new(self.topology.clone(), self.algorithm)
             .traffic(self.traffic.clone())
@@ -270,15 +299,42 @@ impl Experiment {
             .vc_replicas(self.vc_replicas)
             .congestion_limit(self.congestion_limit)
             .injection_bandwidth(self.injection_bandwidth)
+            .track_channel_load(self.observe.is_some())
             .seed(self.seed)
             .build()?;
 
-        let mut controller =
-            ConvergenceController::new(self.schedule.policy, weights.clone());
+        // Attach the sample and trace streams before the first cycle runs.
+        let run_id = self.observe.as_ref().map(|observe| {
+            observe.run_id(&[
+                self.algorithm.name(),
+                &pattern.name(),
+                &format!("l{:.2}", self.offered_load),
+                &format!("s{}", self.seed),
+            ])
+        });
+        if let (Some(observe), Some(run_id)) = (self.observe.as_ref(), run_id.as_deref()) {
+            if let Some(dir) = observe.out_dir.as_ref() {
+                std::fs::create_dir_all(dir).map_err(io_err)?;
+                let sink = JsonlSink::create(dir.join(format!("{run_id}.samples.jsonl")))
+                    .map_err(io_err)?;
+                net.enable_sampling(observe.stride(), Box::new(sink));
+            }
+            if let Some(dir) = observe.trace_dir.as_ref() {
+                std::fs::create_dir_all(dir).map_err(io_err)?;
+                let sink =
+                    JsonlSink::create(dir.join(format!("{run_id}.trace.jsonl"))).map_err(io_err)?;
+                net.set_event_sink(Box::new(sink));
+            }
+        }
+
+        let mut controller = ConvergenceController::new(self.schedule.policy, weights.clone());
 
         // Warm up to steady state; discard everything measured so far.
+        let watch = Stopwatch::start();
         net.run(self.schedule.warmup_cycles);
+        timings.record("warmup", &watch, self.schedule.warmup_cycles);
         net.drain_delivered();
+        let mut total_flit_hops = net.metrics().flit_hops;
         net.reset_metrics();
 
         let channels = net.num_network_channels();
@@ -293,7 +349,9 @@ impl Experiment {
         let mut histogram = Histogram::new();
         let mut phase = 0u64;
         loop {
+            let watch = Stopwatch::start();
             net.run(self.schedule.sample_cycles);
+            timings.record("measure", &watch, self.schedule.sample_cycles);
             let mut acc = SampleAccumulator::new(weights.len());
             for msg in net.drain_delivered() {
                 acc.record(msg.hop_class as usize, msg.latency as f64);
@@ -306,6 +364,7 @@ impl Experiment {
             accept_sum += m.acceptance_rate(nodes);
             refused += m.refused;
             offered_count += m.generated + m.refused;
+            total_flit_hops += m.flit_hops;
             controller.push_sample(acc.summarize());
             net.reset_metrics();
 
@@ -316,10 +375,24 @@ impl Experiment {
             // Inter-sample gap: fresh RNG streams, no statistics gathered.
             phase += 1;
             net.reseed_streams(phase);
+            let watch = Stopwatch::start();
             net.run(self.schedule.gap_cycles);
+            timings.record("gap", &watch, self.schedule.gap_cycles);
             net.drain_delivered();
+            total_flit_hops += net.metrics().flit_hops;
             net.reset_metrics();
         }
+
+        // Flush the tail of the time series before reading the clocks.
+        net.sample_now();
+        let deadlock = net.deadlock_report();
+        let cycles_simulated = net.cycle();
+        let wall_seconds = total_watch.elapsed_secs();
+        let cycles_per_sec = if wall_seconds > 0.0 {
+            cycles_simulated as f64 / wall_seconds
+        } else {
+            0.0
+        };
 
         let samples = controller.num_samples();
         let latency = controller
@@ -336,7 +409,7 @@ impl Experiment {
                 mean: s.mean(),
             })
             .collect();
-        Ok(RunResult {
+        let result = RunResult {
             algorithm: self.algorithm.name().to_owned(),
             traffic: pattern.name(),
             offered_load: self.offered_load,
@@ -360,9 +433,66 @@ impl Experiment {
             messages_measured,
             convergence: controller.status(),
             samples,
-            cycles_simulated: net.cycle(),
-            deadlock: net.deadlock_report(),
-        })
+            cycles_simulated,
+            wall_seconds,
+            cycles_per_sec,
+            deadlock,
+        };
+
+        // Observed runs get a bounded drain phase (so the sample stream
+        // covers in-flight messages emptying out), a final partial sample,
+        // and a manifest next to the sample stream. The statistics above
+        // are already captured; nothing below alters the result.
+        if self.observe.is_some() {
+            if deadlock.is_none() {
+                let watch = Stopwatch::start();
+                let before = net.cycle();
+                net.stop_arrivals();
+                net.run_until_empty(self.schedule.gap_cycles.max(10_000));
+                timings.record("drain", &watch, net.cycle() - before);
+                total_flit_hops += net.metrics().flit_hops;
+                net.sample_now();
+            }
+            net.flush_observers().map_err(io_err)?;
+        }
+        if let (Some(observe), Some(run_id)) = (self.observe.as_ref(), run_id.as_ref()) {
+            if let Some(dir) = observe.out_dir.as_ref() {
+                let wall = total_watch.elapsed_secs();
+                let manifest = RunManifest {
+                    run_id: run_id.clone(),
+                    config_hash: fnv1a_hex(&format!("{:?}|{:?}", net.config(), self.schedule)),
+                    git_describe: git_describe(),
+                    seed: self.seed,
+                    algorithm: result.algorithm.clone(),
+                    traffic: result.traffic.clone(),
+                    topology: self.topology.to_string(),
+                    offered_load: self.offered_load,
+                    injection_rate: rate,
+                    cycles: net.cycle(),
+                    warmup_cycles: self.schedule.warmup_cycles,
+                    samples: samples as u64,
+                    converged: result.convergence.is_converged(),
+                    deadlocked: deadlock.is_some(),
+                    wall_seconds: wall,
+                    cycles_per_sec: if wall > 0.0 {
+                        net.cycle() as f64 / wall
+                    } else {
+                        0.0
+                    },
+                    flits_per_sec: if wall > 0.0 {
+                        total_flit_hops as f64 / wall
+                    } else {
+                        0.0
+                    },
+                    dropped_events: net.observer_dropped_events(),
+                    phases: timings.into_phases(),
+                };
+                manifest
+                    .write_to(dir.join(format!("{run_id}.manifest.json")))
+                    .map_err(io_err)?;
+            }
+        }
+        Ok(result)
     }
 
     /// Runs this experiment at each offered load in `loads`, reusing every

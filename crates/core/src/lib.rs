@@ -58,6 +58,7 @@ pub use schedule::MeasurementSchedule;
 // Re-export the substrate crates under stable names so downstream users
 // need only one dependency.
 pub use wormsim_engine as engine;
+pub use wormsim_observe as observe;
 pub use wormsim_routing as routing;
 pub use wormsim_stats as stats;
 pub use wormsim_topology as topology;
@@ -65,6 +66,7 @@ pub use wormsim_traffic as traffic;
 
 // The most common types, re-exported flat for convenience.
 pub use wormsim_engine::{EjectionModel, NetworkBuilder, SelectionPolicy, Switching};
+pub use wormsim_observe::{ObserveConfig, RunManifest, Sample};
 pub use wormsim_routing::AlgorithmKind;
 pub use wormsim_stats::{ConfidenceInterval, ConvergencePolicy, ConvergenceStatus};
 pub use wormsim_topology::{NodeId, Topology};

@@ -108,6 +108,8 @@ mod tests {
             convergence: ConvergenceStatus::Converged,
             samples: 4,
             cycles_simulated: 40_000,
+            wall_seconds: 0.8,
+            cycles_per_sec: 50_000.0,
             deadlock: None,
         }
     }

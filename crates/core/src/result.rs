@@ -53,6 +53,10 @@ pub struct RunResult {
     pub samples: usize,
     /// Total cycles simulated (warmup + samples + gaps).
     pub cycles_simulated: u64,
+    /// Wall-clock seconds the simulation took.
+    pub wall_seconds: f64,
+    /// Simulated cycles per wall-clock second — the simulator's own speed.
+    pub cycles_per_sec: f64,
     /// Set if the deadlock watchdog fired during the run.
     #[serde(skip)]
     pub deadlock: Option<DeadlockReport>,
@@ -124,6 +128,8 @@ mod tests {
             convergence: ConvergenceStatus::Converged,
             samples: 3,
             cycles_simulated: 30_000,
+            wall_seconds: 0.5,
+            cycles_per_sec: 60_000.0,
             deadlock: None,
         }
     }

@@ -54,8 +54,7 @@ impl Experiment {
     ) -> Result<SaturationPoint, ExperimentError> {
         let (min_load, max_load) = (0.05, 1.0);
         let saturated = |r: &RunResult| {
-            r.achieved_utilization < tracking_fraction * r.offered_load
-                || r.deadlock.is_some()
+            r.achieved_utilization < tracking_fraction * r.offered_load || r.deadlock.is_some()
         };
 
         let low_run = self.clone().offered_load(min_load).run()?;
@@ -89,7 +88,12 @@ impl Experiment {
                 at_below = run;
             }
         }
-        Ok(SaturationPoint { below, above, at_below, tracking_fraction })
+        Ok(SaturationPoint {
+            below,
+            above,
+            at_below,
+            tracking_fraction,
+        })
     }
 }
 

@@ -74,8 +74,7 @@ impl MeasurementSchedule {
 
     /// Upper bound on simulated cycles for one run under this schedule.
     pub fn max_cycles(&self) -> u64 {
-        self.warmup_cycles
-            + self.policy.max_samples as u64 * (self.sample_cycles + self.gap_cycles)
+        self.warmup_cycles + self.policy.max_samples as u64 * (self.sample_cycles + self.gap_cycles)
     }
 }
 
@@ -86,14 +85,14 @@ mod tests {
     #[test]
     fn max_cycles_bounds_the_run() {
         let s = MeasurementSchedule::default();
-        assert_eq!(
-            s.max_cycles(),
-            10_000 + 15 * (5_000 + 1_000)
-        );
+        assert_eq!(s.max_cycles(), 10_000 + 15 * (5_000 + 1_000));
     }
 
     #[test]
     fn quick_is_shorter_than_saturation() {
-        assert!(MeasurementSchedule::quick().max_cycles() < MeasurementSchedule::saturation().max_cycles());
+        assert!(
+            MeasurementSchedule::quick().max_cycles()
+                < MeasurementSchedule::saturation().max_cycles()
+        );
     }
 }

@@ -1,0 +1,164 @@
+//! End-to-end test of experiment observability: run with an
+//! [`ObserveConfig`], then reconstruct the run from its manifest, sample
+//! stream, and trace stream alone.
+
+use wormsim::observe::json;
+use wormsim::topology::Topology;
+use wormsim::{AlgorithmKind, Experiment, ObserveConfig, RunManifest, Sample, TrafficConfig};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("wormsim-observe-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn observed_run_writes_manifest_samples_and_trace() {
+    let dir = temp_dir("full");
+    let result = Experiment::new(
+        Topology::torus(&[8, 8]),
+        AlgorithmKind::NegativeHopBonusCards,
+    )
+    .traffic(TrafficConfig::Uniform)
+    .offered_load(0.3)
+    .quick()
+    .seed(11)
+    .observe(ObserveConfig {
+        out_dir: Some(dir.clone()),
+        trace_dir: Some(dir.clone()),
+        sample_every: 200,
+        prefix: "itest".to_owned(),
+    })
+    .run()
+    .unwrap();
+    assert!(result.is_converged());
+    assert!(result.wall_seconds > 0.0);
+    assert!(result.cycles_per_sec > 0.0);
+
+    let run_id = "itest-nbc-uniform-l0.30-s11";
+    let manifest = RunManifest::read_from(dir.join(format!("{run_id}.manifest.json"))).unwrap();
+    assert_eq!(manifest.run_id, run_id);
+    assert_eq!(manifest.algorithm, "nbc");
+    assert_eq!(manifest.traffic, "uniform");
+    assert_eq!(manifest.seed, 11);
+    assert!(manifest.converged);
+    assert!(!manifest.deadlocked);
+    assert_eq!(manifest.config_hash.len(), 16);
+    assert!(
+        manifest.cycles >= result.cycles_simulated,
+        "manifest covers the drain too"
+    );
+    assert!(manifest.cycles_per_sec > 0.0);
+    assert!(manifest.flits_per_sec > 0.0);
+    assert_eq!(manifest.samples, result.samples as u64);
+    let phase_names: Vec<&str> = manifest.phases.iter().map(|p| p.name.as_str()).collect();
+    assert!(phase_names.contains(&"warmup"));
+    assert!(phase_names.contains(&"measure"));
+    assert!(phase_names.contains(&"drain"));
+    let warmup = manifest.phases.iter().find(|p| p.name == "warmup").unwrap();
+    assert_eq!(warmup.cycles, manifest.warmup_cycles);
+
+    // The sample stream parses line by line and tiles the run.
+    let text = std::fs::read_to_string(dir.join(format!("{run_id}.samples.jsonl"))).unwrap();
+    let mut samples = Vec::new();
+    for value in json::StreamDeserializer::new(&text) {
+        samples.push(Sample::from_json(&value.unwrap()).unwrap());
+    }
+    assert!(
+        samples.len() > 5,
+        "expected a real time series, got {}",
+        samples.len()
+    );
+    assert!(samples.windows(2).all(|w| w[0].cycle < w[1].cycle));
+    assert_eq!(
+        samples.last().unwrap().flits_in_flight,
+        0,
+        "the drain phase empties the network"
+    );
+    // Per-channel load is tracked for observed runs: 8x8 torus, 4 channels
+    // per node.
+    let channels = samples
+        .iter()
+        .find(|s| !s.channel_flits.is_empty())
+        .unwrap();
+    assert_eq!(channels.channel_flits.len(), 8 * 8 * 4);
+    let hops: u64 = samples.iter().map(|s| s.flit_hops).sum();
+    assert!(hops > 0);
+    // Latency-vs-cycle curve is reconstructible.
+    assert!(samples.iter().any(|s| s.mean_latency().is_some()));
+
+    // The trace stream exists and is valid JSONL.
+    let trace = std::fs::read_to_string(dir.join(format!("{run_id}.trace.jsonl"))).unwrap();
+    let mut events = 0usize;
+    for value in json::StreamDeserializer::new(&trace) {
+        let value = value.unwrap();
+        assert_eq!(
+            value.get("type").and_then(json::Value::as_str),
+            Some("trace")
+        );
+        events += 1;
+    }
+    assert!(
+        events as u64 >= result.messages_measured,
+        "trace covers every message"
+    );
+    assert_eq!(manifest.dropped_events, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn observe_does_not_change_results() {
+    let dir = temp_dir("purity");
+    let base = || {
+        Experiment::new(Topology::torus(&[6, 6]), AlgorithmKind::PositiveHop)
+            .offered_load(0.2)
+            .quick()
+            .seed(3)
+    };
+    let plain = base().run().unwrap();
+    let observed = base()
+        .observe(ObserveConfig {
+            out_dir: Some(dir.clone()),
+            sample_every: 500,
+            prefix: "purity".to_owned(),
+            ..ObserveConfig::default()
+        })
+        .run()
+        .unwrap();
+    assert_eq!(plain.latency.mean(), observed.latency.mean());
+    assert_eq!(plain.messages_measured, observed.messages_measured);
+    assert_eq!(plain.achieved_utilization, observed.achieved_utilization);
+    assert_eq!(plain.cycles_simulated, observed.cycles_simulated);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disabled_observe_config_is_ignored() {
+    let result = Experiment::new(Topology::torus(&[6, 6]), AlgorithmKind::Ecube)
+        .offered_load(0.1)
+        .quick()
+        .seed(1)
+        .observe(ObserveConfig::default())
+        .run()
+        .unwrap();
+    assert!(result.is_converged());
+}
+
+#[test]
+fn unwritable_out_dir_reports_io_error() {
+    let err = Experiment::new(Topology::torus(&[4, 4]), AlgorithmKind::Ecube)
+        .offered_load(0.1)
+        .quick()
+        .observe(ObserveConfig {
+            out_dir: Some("/proc/definitely/not/writable".into()),
+            ..ObserveConfig::default()
+        })
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, wormsim::ExperimentError::Io { .. }),
+        "{err:?}"
+    );
+}

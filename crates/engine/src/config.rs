@@ -260,8 +260,8 @@ mod tests {
 
     #[test]
     fn builder_defaults_match_paper() {
-        let cfg = NetworkBuilder::new(Topology::torus(&[16, 16]), AlgorithmKind::Ecube)
-            .into_config();
+        let cfg =
+            NetworkBuilder::new(Topology::torus(&[16, 16]), AlgorithmKind::Ecube).into_config();
         assert_eq!(cfg.switching, Switching::Wormhole { buffer_depth: 2 });
         assert_eq!(cfg.length, MessageLength::Fixed { flits: 16 });
         assert_eq!(cfg.vc_replicas, 1);
@@ -295,13 +295,17 @@ mod tests {
 
     #[test]
     fn buffer_capacity_follows_switching() {
-        let mut cfg = NetworkBuilder::new(Topology::torus(&[4, 4]), AlgorithmKind::Ecube)
-            .into_config();
+        let mut cfg =
+            NetworkBuilder::new(Topology::torus(&[4, 4]), AlgorithmKind::Ecube).into_config();
         assert_eq!(cfg.buffer_capacity(), 2);
         cfg.switching = Switching::VirtualCutThrough;
         assert_eq!(cfg.buffer_capacity(), 16);
         cfg.switching = Switching::StoreAndForward;
-        cfg.length = MessageLength::Bimodal { short: 15, long: 31, long_fraction: 0.5 };
+        cfg.length = MessageLength::Bimodal {
+            short: 15,
+            long: 31,
+            long_fraction: 0.5,
+        };
         assert_eq!(cfg.buffer_capacity(), 31);
     }
 }

@@ -58,15 +58,21 @@ impl Metrics {
         }
     }
 
-    /// Zeroes every counter (buffer/network state is untouched).
+    /// Zeroes every counter (buffer/network state is untouched). The
+    /// `class_flits`/`channel_flits` vectors are zeroed in place, so a
+    /// sweep's per-sample resets never reallocate.
     pub fn reset(&mut self) {
-        let classes = self.class_flits.len();
-        let channels = self.channel_flits.as_ref().map(|v| v.len());
-        *self = Metrics {
-            class_flits: vec![0; classes],
-            channel_flits: channels.map(|n| vec![0; n]),
-            ..Metrics::default()
-        };
+        self.generated = 0;
+        self.refused = 0;
+        self.delivered = 0;
+        self.flit_hops = 0;
+        self.flits_injected = 0;
+        self.flits_ejected = 0;
+        self.cycles = 0;
+        self.class_flits.fill(0);
+        if let Some(channels) = self.channel_flits.as_mut() {
+            channels.fill(0);
+        }
     }
 
     /// Measured channel utilization over the counted window:
@@ -117,6 +123,18 @@ mod tests {
         assert_eq!(m.class_flits, vec![0; 4]);
         assert_eq!(m.channel_flits.as_ref().unwrap().len(), 64);
         assert_eq!(m.cycles, 0);
+    }
+
+    #[test]
+    fn reset_reuses_allocations() {
+        let mut m = Metrics::new(4, true, 64);
+        let class_ptr = m.class_flits.as_ptr();
+        let channel_ptr = m.channel_flits.as_ref().unwrap().as_ptr();
+        m.class_flits[1] = 9;
+        m.channel_flits.as_mut().unwrap()[5] = 3;
+        m.reset();
+        assert_eq!(m.class_flits.as_ptr(), class_ptr);
+        assert_eq!(m.channel_flits.as_ref().unwrap().as_ptr(), channel_ptr);
     }
 
     #[test]

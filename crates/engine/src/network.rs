@@ -7,9 +7,119 @@ use crate::metrics::{DeliveredMessage, Metrics};
 use crate::vc::{InputVc, OutputVc, RouteTarget};
 use crate::{EngineError, TraceEvent};
 use std::collections::{HashMap, VecDeque};
+use wormsim_observe::{EventSink, RingSink, Sample};
 use wormsim_routing::{Candidate, MessageRouteState, RoutingAlgorithm};
 use wormsim_topology::{Direction, NodeId, Topology};
 use wormsim_traffic::{SimRng, TrafficPattern};
+
+/// Capacity of the bounded trace ring installed by
+/// [`Network::enable_tracing`]: generous for short diagnostic runs, small
+/// enough that a saturated multi-hour run cannot exhaust memory. When the
+/// ring is full the oldest event is evicted and counted in
+/// [`Network::dropped_trace_events`]; size the ring explicitly with
+/// [`Network::enable_tracing_with_capacity`], or stream everything with
+/// [`Network::set_event_sink`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// Where trace events go: nowhere, a bounded ring, or a caller-supplied
+/// sink (typically a JSONL stream).
+enum TraceSink {
+    Off,
+    Ring(RingSink<TraceEvent>),
+    Custom(Box<dyn EventSink<TraceEvent>>),
+}
+
+/// Windowed counter baselines for the sampler. The sampler reports *deltas*
+/// over each window; because [`Network::reset_metrics`] can zero the
+/// metrics mid-window, deltas accumulated before a reset are folded into
+/// `carry` so no flits are lost from the sample stream.
+#[derive(Clone, Debug, Default)]
+struct WindowBase {
+    generated: u64,
+    refused: u64,
+    delivered: u64,
+    flit_hops: u64,
+    flits_injected: u64,
+    flits_ejected: u64,
+    class_flits: Vec<u64>,
+    channel_flits: Vec<u64>,
+}
+
+impl WindowBase {
+    fn zeros(classes: usize, channels: usize) -> Self {
+        WindowBase {
+            class_flits: vec![0; classes],
+            channel_flits: vec![0; channels],
+            ..WindowBase::default()
+        }
+    }
+
+    fn clear(&mut self) {
+        self.generated = 0;
+        self.refused = 0;
+        self.delivered = 0;
+        self.flit_hops = 0;
+        self.flits_injected = 0;
+        self.flits_ejected = 0;
+        self.class_flits.fill(0);
+        self.channel_flits.fill(0);
+    }
+
+    fn copy_from(&mut self, metrics: &Metrics) {
+        self.generated = metrics.generated;
+        self.refused = metrics.refused;
+        self.delivered = metrics.delivered;
+        self.flit_hops = metrics.flit_hops;
+        self.flits_injected = metrics.flits_injected;
+        self.flits_ejected = metrics.flits_ejected;
+        self.class_flits.copy_from_slice(&metrics.class_flits);
+        if let Some(channels) = metrics.channel_flits.as_deref() {
+            self.channel_flits.copy_from_slice(channels);
+        }
+    }
+
+    /// Folds `metrics - base` into `self` (used as the carry accumulator).
+    fn add_delta(&mut self, metrics: &Metrics, base: &WindowBase) {
+        self.generated += metrics.generated.saturating_sub(base.generated);
+        self.refused += metrics.refused.saturating_sub(base.refused);
+        self.delivered += metrics.delivered.saturating_sub(base.delivered);
+        self.flit_hops += metrics.flit_hops.saturating_sub(base.flit_hops);
+        self.flits_injected += metrics.flits_injected.saturating_sub(base.flits_injected);
+        self.flits_ejected += metrics.flits_ejected.saturating_sub(base.flits_ejected);
+        for (acc, (&cur, &b)) in self
+            .class_flits
+            .iter_mut()
+            .zip(metrics.class_flits.iter().zip(base.class_flits.iter()))
+        {
+            *acc += cur.saturating_sub(b);
+        }
+        if let Some(channels) = metrics.channel_flits.as_deref() {
+            for (acc, (&cur, &b)) in self
+                .channel_flits
+                .iter_mut()
+                .zip(channels.iter().zip(base.channel_flits.iter()))
+            {
+                *acc += cur.saturating_sub(b);
+            }
+        }
+    }
+}
+
+/// The periodic time-series sampler (see [`Network::enable_sampling`]).
+struct SamplerState {
+    /// Cycles between samples.
+    every: u64,
+    /// Destination for emitted [`Sample`] records.
+    sink: Box<dyn EventSink<Sample>>,
+    /// Cycle of the last emission (start of the current window).
+    last_cycle: u64,
+    /// Sum of latencies of messages delivered in the current window.
+    latency_sum: u64,
+    /// Deltas folded in across metric resets within the window.
+    carry: WindowBase,
+    /// Metrics values at the start of the window (or last reset).
+    base: WindowBase,
+}
 
 /// Reported when the watchdog observes no flit movement for the configured
 /// number of cycles while flits are in flight.
@@ -102,7 +212,8 @@ pub struct Network {
     scratch_moves: Vec<LinkMove>,
     marked_inj: Vec<bool>,
     marked_list: Vec<u32>,
-    trace: Option<Vec<TraceEvent>>,
+    events: TraceSink,
+    sampler: Option<SamplerState>,
 }
 
 impl std::fmt::Debug for Network {
@@ -181,7 +292,8 @@ impl Network {
             scratch_moves: Vec::with_capacity(n * dirs),
             marked_inj: vec![false; n * ports * vcs],
             marked_list: Vec::new(),
-            trace: None,
+            events: TraceSink::Off,
+            sampler: None,
             classes,
             replicas,
             vcs,
@@ -276,8 +388,13 @@ impl Network {
     }
 
     /// Zeroes the aggregate counters (network state is untouched). Used at
-    /// sampling-period boundaries.
+    /// sampling-period boundaries. The time-series sampler, if enabled,
+    /// keeps its window deltas intact across the reset.
     pub fn reset_metrics(&mut self) {
+        if let Some(sampler) = self.sampler.as_mut() {
+            sampler.carry.add_delta(&self.metrics, &sampler.base);
+            sampler.base.clear();
+        }
         self.metrics.reset();
     }
 
@@ -307,31 +424,247 @@ impl Network {
         self.deadlock
     }
 
-    /// Turns message-lifecycle tracing on: subsequent milestones are
+    /// Turns message-lifecycle tracing on into a bounded in-memory ring of
+    /// [`DEFAULT_TRACE_CAPACITY`] events: subsequent milestones are
     /// recorded until [`drain_trace`](Self::drain_trace) or
-    /// [`disable_tracing`](Self::disable_tracing). See
-    /// [`TraceEvent`] for the event vocabulary and the memory caveat.
+    /// [`disable_tracing`](Self::disable_tracing). When the ring fills, the
+    /// oldest events are evicted and counted in
+    /// [`dropped_trace_events`](Self::dropped_trace_events). An already
+    /// installed ring (and its contents) is kept. See [`TraceEvent`] for
+    /// the event vocabulary.
     pub fn enable_tracing(&mut self) {
-        self.trace.get_or_insert_with(Vec::new);
+        if !matches!(self.events, TraceSink::Ring(_)) {
+            self.events = TraceSink::Ring(RingSink::new(DEFAULT_TRACE_CAPACITY));
+        }
+    }
+
+    /// Like [`enable_tracing`](Self::enable_tracing) but with an explicit
+    /// ring capacity (clamped to at least 1). Replaces any installed sink.
+    pub fn enable_tracing_with_capacity(&mut self, capacity: usize) {
+        self.events = TraceSink::Ring(RingSink::new(capacity));
+    }
+
+    /// Routes trace events into a caller-supplied sink — typically a
+    /// [`JsonlSink`](wormsim_observe::JsonlSink) when the full event stream
+    /// matters. Replaces any installed ring.
+    pub fn set_event_sink(&mut self, sink: Box<dyn EventSink<TraceEvent>>) {
+        self.events = TraceSink::Custom(sink);
+    }
+
+    /// Removes and returns a sink installed via
+    /// [`set_event_sink`](Self::set_event_sink), turning tracing off.
+    /// Returns `None` (leaving the state untouched) when tracing is off or
+    /// backed by the built-in ring.
+    pub fn take_event_sink(&mut self) -> Option<Box<dyn EventSink<TraceEvent>>> {
+        match std::mem::replace(&mut self.events, TraceSink::Off) {
+            TraceSink::Custom(sink) => Some(sink),
+            other => {
+                self.events = other;
+                None
+            }
+        }
     }
 
     /// Turns tracing off and discards any buffered events.
     pub fn disable_tracing(&mut self) {
-        self.trace = None;
+        self.events = TraceSink::Off;
     }
 
-    /// Takes the buffered trace events (empty if tracing is off).
+    /// Takes the buffered trace events, oldest first (empty if tracing is
+    /// off or routed to a custom sink).
     pub fn drain_trace(&mut self) -> Vec<TraceEvent> {
-        match self.trace.as_mut() {
-            Some(buffer) => std::mem::take(buffer),
-            None => Vec::new(),
+        match &mut self.events {
+            TraceSink::Ring(ring) => ring.drain(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Trace events discarded so far: ring evictions, or whatever the
+    /// custom sink reports (failed writes for a JSONL sink).
+    pub fn dropped_trace_events(&self) -> u64 {
+        match &self.events {
+            TraceSink::Off => 0,
+            TraceSink::Ring(ring) => ring.dropped_events(),
+            TraceSink::Custom(sink) => sink.dropped_events(),
         }
     }
 
     #[inline]
     fn trace(&mut self, event: TraceEvent) {
-        if let Some(buffer) = self.trace.as_mut() {
-            buffer.push(event);
+        match &mut self.events {
+            TraceSink::Off => {}
+            TraceSink::Ring(ring) => ring.record(&event),
+            TraceSink::Custom(sink) => sink.record(&event),
+        }
+    }
+
+    /// Starts emitting one [`Sample`] into `sink` every `every` cycles
+    /// (clamped to at least 1), replacing any previous sampler. Each sample
+    /// carries the counter deltas for its window plus an instantaneous
+    /// snapshot of queue depths and VC occupancy; windows survive
+    /// [`reset_metrics`](Self::reset_metrics) unharmed.
+    pub fn enable_sampling(&mut self, every: u64, sink: Box<dyn EventSink<Sample>>) {
+        let channels = self.metrics.channel_flits.as_ref().map_or(0, Vec::len);
+        let mut base = WindowBase::zeros(self.classes, channels);
+        base.copy_from(&self.metrics);
+        self.sampler = Some(SamplerState {
+            every: every.max(1),
+            sink,
+            last_cycle: self.cycle,
+            latency_sum: 0,
+            carry: WindowBase::zeros(self.classes, channels),
+            base,
+        });
+    }
+
+    /// Stops sampling, returning the sink (so callers can flush it or read
+    /// its drop counter). `None` if sampling was off.
+    pub fn disable_sampling(&mut self) -> Option<Box<dyn EventSink<Sample>>> {
+        self.sampler.take().map(|sampler| sampler.sink)
+    }
+
+    /// Emits the current (possibly partial) sampling window immediately —
+    /// useful at the end of a run so the tail of the time series is not
+    /// lost. No-op when sampling is off or the window is empty.
+    pub fn sample_now(&mut self) {
+        if self
+            .sampler
+            .as_ref()
+            .is_some_and(|s| self.cycle > s.last_cycle)
+        {
+            self.emit_sample();
+        }
+    }
+
+    /// Sample records discarded by the sampler's sink so far.
+    pub fn dropped_sample_events(&self) -> u64 {
+        self.sampler
+            .as_ref()
+            .map_or(0, |sampler| sampler.sink.dropped_events())
+    }
+
+    /// Total events dropped across the trace and sample paths.
+    pub fn observer_dropped_events(&self) -> u64 {
+        self.dropped_trace_events() + self.dropped_sample_events()
+    }
+
+    /// Flushes any buffered observer output (JSONL sinks). Reports the
+    /// first I/O error but attempts every sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first flush failure.
+    pub fn flush_observers(&mut self) -> std::io::Result<()> {
+        let mut result = Ok(());
+        if let TraceSink::Custom(sink) = &mut self.events {
+            result = result.and(sink.flush());
+        }
+        if let Some(sampler) = self.sampler.as_mut() {
+            result = result.and(sampler.sink.flush());
+        }
+        result
+    }
+
+    /// Builds and emits one sample for the window `(last_cycle, cycle]`.
+    fn emit_sample(&mut self) {
+        let Some(mut sampler) = self.sampler.take() else {
+            return;
+        };
+        let mut class_occupancy = vec![0u64; self.classes];
+        for (i, slot) in self.input_vcs.iter().enumerate() {
+            if !slot.buffer.is_empty() {
+                let vc = i % self.vcs;
+                class_occupancy[vc / self.replicas] += slot.buffer.len() as u64;
+            }
+        }
+        let mut queued_messages = 0u64;
+        let mut max_queue_depth = 0u64;
+        for node in &self.nodes {
+            let depth = node.queue.len() as u64;
+            queued_messages += depth;
+            max_queue_depth = max_queue_depth.max(depth);
+        }
+        let windowed = |cur: u64, base: u64, carry: u64| carry + cur.saturating_sub(base);
+        let class_flits = (0..self.classes)
+            .map(|c| {
+                windowed(
+                    self.metrics.class_flits[c],
+                    sampler.base.class_flits[c],
+                    sampler.carry.class_flits[c],
+                )
+            })
+            .collect();
+        let channel_flits = match self.metrics.channel_flits.as_deref() {
+            Some(current) => current
+                .iter()
+                .enumerate()
+                .map(|(i, &cur)| {
+                    windowed(
+                        cur,
+                        sampler.base.channel_flits[i],
+                        sampler.carry.channel_flits[i],
+                    )
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        let sample = Sample {
+            cycle: self.cycle,
+            window_cycles: self.cycle - sampler.last_cycle,
+            generated: windowed(
+                self.metrics.generated,
+                sampler.base.generated,
+                sampler.carry.generated,
+            ),
+            refused: windowed(
+                self.metrics.refused,
+                sampler.base.refused,
+                sampler.carry.refused,
+            ),
+            delivered: windowed(
+                self.metrics.delivered,
+                sampler.base.delivered,
+                sampler.carry.delivered,
+            ),
+            latency_sum: sampler.latency_sum,
+            flit_hops: windowed(
+                self.metrics.flit_hops,
+                sampler.base.flit_hops,
+                sampler.carry.flit_hops,
+            ),
+            flits_injected: windowed(
+                self.metrics.flits_injected,
+                sampler.base.flits_injected,
+                sampler.carry.flits_injected,
+            ),
+            flits_ejected: windowed(
+                self.metrics.flits_ejected,
+                sampler.base.flits_ejected,
+                sampler.carry.flits_ejected,
+            ),
+            flits_in_flight: self.flits_in_flight,
+            live_messages: self.slab.live() as u64,
+            queued_messages,
+            max_queue_depth,
+            class_occupancy,
+            class_flits,
+            channel_flits,
+        };
+        sampler.sink.record(&sample);
+        sampler.last_cycle = self.cycle;
+        sampler.latency_sum = 0;
+        sampler.base.copy_from(&self.metrics);
+        sampler.carry.clear();
+        self.sampler = Some(sampler);
+    }
+
+    /// Stops the traffic process: no further arrivals will be scheduled.
+    /// Messages already queued or in flight continue normally, so
+    /// [`run_until_empty`](Self::run_until_empty) can drain the network at
+    /// the end of a run even under an open arrival process.
+    pub fn stop_arrivals(&mut self) {
+        for node in &mut self.nodes {
+            node.next_arrival = None;
         }
     }
 
@@ -414,6 +747,11 @@ impl Network {
         }
         self.metrics.cycles += 1;
         self.cycle += 1;
+        if let Some(sampler) = self.sampler.as_ref() {
+            if self.cycle - sampler.last_cycle >= sampler.every {
+                self.emit_sample();
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -422,8 +760,11 @@ impl Network {
 
     fn schedule_initial_arrivals(&mut self) {
         for node in 0..self.nodes.len() {
-            self.nodes[node].next_arrival =
-                self.cfg.arrival.next_gap(&mut self.arrivals_rng).map(|gap| gap - 1);
+            self.nodes[node].next_arrival = self
+                .cfg
+                .arrival
+                .next_gap(&mut self.arrivals_rng)
+                .map(|gap| gap - 1);
         }
     }
 
@@ -452,7 +793,11 @@ impl Network {
                     .unwrap_or(0);
                 if count >= limit {
                     self.metrics.refused += 1;
-                    self.trace(TraceEvent::Refused { cycle: self.cycle, src, class });
+                    self.trace(TraceEvent::Refused {
+                        cycle: self.cycle,
+                        src,
+                        class,
+                    });
                     continue;
                 }
             }
@@ -503,13 +848,19 @@ impl Network {
                 }) else {
                     break;
                 };
-                let id = self.nodes[node as usize].queue.pop_front().expect("non-empty");
+                let id = self.nodes[node as usize]
+                    .queue
+                    .pop_front()
+                    .expect("non-empty");
                 let length = self.slab.get(id).length;
                 let ivc = self.ivc_index(node, inj_port, vc);
                 for flit in Flit::sequence(id, length) {
                     self.input_vcs[ivc as usize].push(flit);
                 }
-                self.trace(TraceEvent::InjectionStarted { cycle: self.cycle, msg: id });
+                self.trace(TraceEvent::InjectionStarted {
+                    cycle: self.cycle,
+                    msg: id,
+                });
                 self.enqueue_pending(ivc);
             }
         }
@@ -556,7 +907,8 @@ impl Network {
 
         let mut candidates = std::mem::take(&mut self.scratch_candidates);
         candidates.clear();
-        self.algo.candidates(&self.topo, &rec_route, here, &mut candidates);
+        self.algo
+            .candidates(&self.topo, &rec_route, here, &mut candidates);
         debug_assert!(!candidates.is_empty(), "routing must always offer a hop");
 
         // Gather the free physical VCs permitted by the candidate set.
@@ -575,9 +927,7 @@ impl Network {
                 free_seen += 1;
                 let take = match self.cfg.selection {
                     SelectionPolicy::FirstFree => best.is_none(),
-                    SelectionPolicy::MostCredits => {
-                        best.is_none_or(|(_, _, _, c)| out.credits > c)
-                    }
+                    SelectionPolicy::MostCredits => best.is_none_or(|(_, _, _, c)| out.credits > c),
                     SelectionPolicy::Random => {
                         // Reservoir sampling over the free set.
                         self.arb_rng.uniform_below(free_seen) == 0
@@ -643,7 +993,12 @@ impl Network {
                     if self.output_vcs[ovc].credits == 0 {
                         continue;
                     }
-                    self.scratch_moves.push(LinkMove { ivc, node, dir: dir as u8, vc });
+                    self.scratch_moves.push(LinkMove {
+                        ivc,
+                        node,
+                        dir: dir as u8,
+                        vc,
+                    });
                     self.out_rr[ch] = (start + offset + 1) % len;
                     break;
                 }
@@ -760,6 +1115,9 @@ impl Network {
                 latency,
             });
             self.metrics.delivered += 1;
+            if let Some(sampler) = self.sampler.as_mut() {
+                sampler.latency_sum += latency;
+            }
             self.delivered.push(DeliveredMessage {
                 hop_class: rec.route.hops_taken() as u16,
                 latency,
@@ -982,7 +1340,10 @@ mod tests {
         let injected_flits = net.flits_in_flight();
         assert!(net.run_until_empty(10_000));
         assert_eq!(net.metrics().flits_ejected, injected_flits);
-        assert_eq!(net.metrics().delivered as usize, net.drain_delivered().len());
+        assert_eq!(
+            net.metrics().delivered as usize,
+            net.drain_delivered().len()
+        );
         assert_eq!(net.live_messages(), 0);
         let _ = topo;
     }

@@ -2,17 +2,29 @@
 //!
 //! When enabled, the [`Network`](crate::Network) records one
 //! [`TraceEvent`] per message milestone — generation, refusal, injection,
-//! every hop, delivery — into an in-memory buffer the caller drains.
-//! Tracing is for debugging and route inspection on bounded runs; the
-//! buffer grows with traffic, so long saturated simulations should drain
-//! it regularly (or leave tracing off, its cost when disabled is one
-//! branch per event site).
+//! every hop, delivery — and dispatches it to the configured
+//! [`EventSink`](wormsim_observe::EventSink). The default sink installed by
+//! [`enable_tracing`](crate::Network::enable_tracing) is a bounded ring
+//! holding the most recent [`DEFAULT_TRACE_CAPACITY`](crate::DEFAULT_TRACE_CAPACITY)
+//! events (older events are evicted and counted), so tracing is safe to
+//! leave on for long saturated runs; stream to a
+//! [`JsonlSink`](wormsim_observe::JsonlSink) via
+//! [`set_event_sink`](crate::Network::set_event_sink) when the full history
+//! matters. The cost when disabled is one branch per event site.
+//!
+//! Events serialize as line JSON through
+//! [`JsonRecord`](wormsim_observe::JsonRecord) with a `"type":"trace"` tag
+//! and an `"event"` discriminant, and parse back via
+//! [`TraceEvent::from_json`].
 
 use crate::{FlitKind, MessageId};
+use serde::{Deserialize, Serialize};
+use wormsim_observe::json::Value;
+use wormsim_observe::{JsonObject, JsonRecord};
 use wormsim_topology::{Direction, NodeId};
 
 /// One message milestone.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceEvent {
     /// A message was accepted into its source queue.
     Generated {
@@ -102,6 +114,148 @@ impl TraceEvent {
             TraceEvent::Refused { .. } => None,
         }
     }
+
+    /// Reconstructs an event from its parsed JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Reports an unknown event tag or a missing/mistyped field.
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        let u64_field = |name: &str| -> Result<u64, String> {
+            value
+                .get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("trace field '{name}' missing or not a u64"))
+        };
+        let u32_field = |name: &str| -> Result<u32, String> {
+            u32::try_from(u64_field(name)?)
+                .map_err(|_| format!("trace field '{name}' out of u32 range"))
+        };
+        let msg = || Ok::<_, String>(MessageId(u32_field("msg")?));
+        let node = |name: &str| Ok::<_, String>(NodeId::new(u32_field(name)?));
+        if value.get("type").and_then(Value::as_str) != Some("trace") {
+            return Err("record is not of type 'trace'".to_owned());
+        }
+        let cycle = u64_field("cycle")?;
+        match value.get("event").and_then(Value::as_str) {
+            Some("generated") => Ok(TraceEvent::Generated {
+                cycle,
+                msg: msg()?,
+                src: node("src")?,
+                dest: node("dest")?,
+                length: u32_field("length")?,
+            }),
+            Some("refused") => Ok(TraceEvent::Refused {
+                cycle,
+                src: node("src")?,
+                class: u32_field("class")?,
+            }),
+            Some("injection_started") => Ok(TraceEvent::InjectionStarted { cycle, msg: msg()? }),
+            Some("hop") => Ok(TraceEvent::HopTaken {
+                cycle,
+                msg: msg()?,
+                from: node("from")?,
+                direction: Direction::from_index(
+                    u64_field("direction")?
+                        .try_into()
+                        .map_err(|_| "direction out of range".to_owned())?,
+                ),
+                vc_class: u32_field("vc_class")?
+                    .try_into()
+                    .map_err(|_| "vc_class out of u8 range".to_owned())?,
+            }),
+            Some("flit_delivered") => Ok(TraceEvent::FlitDelivered {
+                cycle,
+                msg: msg()?,
+                kind: match value.get("kind").and_then(Value::as_str) {
+                    Some("head") => FlitKind::Head,
+                    Some("body") => FlitKind::Body,
+                    Some("tail") => FlitKind::Tail,
+                    Some("single") => FlitKind::Single,
+                    other => return Err(format!("unknown flit kind {other:?}")),
+                },
+            }),
+            Some("delivered") => Ok(TraceEvent::Delivered {
+                cycle,
+                msg: msg()?,
+                latency: u64_field("latency")?,
+            }),
+            other => Err(format!("unknown trace event tag {other:?}")),
+        }
+    }
+}
+
+impl JsonRecord for TraceEvent {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::begin(out);
+        obj.field_str("type", "trace");
+        match *self {
+            TraceEvent::Generated {
+                cycle,
+                msg,
+                src,
+                dest,
+                length,
+            } => {
+                obj.field_str("event", "generated")
+                    .field_u64("cycle", cycle)
+                    .field_u64("msg", u64::from(msg.index()))
+                    .field_u64("src", u64::from(src.index()))
+                    .field_u64("dest", u64::from(dest.index()))
+                    .field_u64("length", u64::from(length));
+            }
+            TraceEvent::Refused { cycle, src, class } => {
+                obj.field_str("event", "refused")
+                    .field_u64("cycle", cycle)
+                    .field_u64("src", u64::from(src.index()))
+                    .field_u64("class", u64::from(class));
+            }
+            TraceEvent::InjectionStarted { cycle, msg } => {
+                obj.field_str("event", "injection_started")
+                    .field_u64("cycle", cycle)
+                    .field_u64("msg", u64::from(msg.index()));
+            }
+            TraceEvent::HopTaken {
+                cycle,
+                msg,
+                from,
+                direction,
+                vc_class,
+            } => {
+                obj.field_str("event", "hop")
+                    .field_u64("cycle", cycle)
+                    .field_u64("msg", u64::from(msg.index()))
+                    .field_u64("from", u64::from(from.index()))
+                    .field_u64("direction", direction.index() as u64)
+                    .field_u64("vc_class", u64::from(vc_class));
+            }
+            TraceEvent::FlitDelivered { cycle, msg, kind } => {
+                obj.field_str("event", "flit_delivered")
+                    .field_u64("cycle", cycle)
+                    .field_u64("msg", u64::from(msg.index()))
+                    .field_str(
+                        "kind",
+                        match kind {
+                            FlitKind::Head => "head",
+                            FlitKind::Body => "body",
+                            FlitKind::Tail => "tail",
+                            FlitKind::Single => "single",
+                        },
+                    );
+            }
+            TraceEvent::Delivered {
+                cycle,
+                msg,
+                latency,
+            } => {
+                obj.field_str("event", "delivered")
+                    .field_u64("cycle", cycle)
+                    .field_u64("msg", u64::from(msg.index()))
+                    .field_u64("latency", latency);
+            }
+        }
+        obj.finish();
+    }
 }
 
 #[cfg(test)]
@@ -110,11 +264,72 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let e = TraceEvent::Refused { cycle: 7, src: NodeId::new(1), class: 2 };
+        let e = TraceEvent::Refused {
+            cycle: 7,
+            src: NodeId::new(1),
+            class: 2,
+        };
         assert_eq!(e.cycle(), 7);
         assert_eq!(e.msg(), None);
-        let e = TraceEvent::Delivered { cycle: 9, msg: MessageId(3), latency: 20 };
+        let e = TraceEvent::Delivered {
+            cycle: 9,
+            msg: MessageId(3),
+            latency: 20,
+        };
         assert_eq!(e.cycle(), 9);
         assert_eq!(e.msg(), Some(MessageId(3)));
+    }
+
+    #[test]
+    fn json_round_trip_all_variants() {
+        let events = [
+            TraceEvent::Generated {
+                cycle: 1,
+                msg: MessageId(9),
+                src: NodeId::new(3),
+                dest: NodeId::new(12),
+                length: 16,
+            },
+            TraceEvent::Refused {
+                cycle: 2,
+                src: NodeId::new(4),
+                class: 1,
+            },
+            TraceEvent::InjectionStarted {
+                cycle: 3,
+                msg: MessageId(9),
+            },
+            TraceEvent::HopTaken {
+                cycle: 4,
+                msg: MessageId(9),
+                from: NodeId::new(3),
+                direction: Direction::from_index(2),
+                vc_class: 1,
+            },
+            TraceEvent::FlitDelivered {
+                cycle: 5,
+                msg: MessageId(9),
+                kind: FlitKind::Tail,
+            },
+            TraceEvent::Delivered {
+                cycle: 6,
+                msg: MessageId(9),
+                latency: 21,
+            },
+        ];
+        for event in events {
+            let parsed = wormsim_observe::json::from_str(&event.to_json()).unwrap();
+            assert_eq!(TraceEvent::from_json(&parsed).unwrap(), event, "{event:?}");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_tags() {
+        let v =
+            wormsim_observe::json::from_str("{\"type\":\"trace\",\"cycle\":0,\"event\":\"warp\"}")
+                .unwrap();
+        assert!(TraceEvent::from_json(&v).is_err());
+        let v = wormsim_observe::json::from_str("{\"type\":\"sample\"}").unwrap();
+        assert!(TraceEvent::from_json(&v).is_err());
     }
 }

@@ -78,7 +78,10 @@ pub(crate) struct OutputVc {
 
 impl OutputVc {
     pub fn new(capacity: u32) -> Self {
-        OutputVc { owner: None, credits: capacity }
+        OutputVc {
+            owner: None,
+            credits: capacity,
+        }
     }
 
     pub fn is_free(&self) -> bool {
@@ -125,8 +128,14 @@ mod tests {
         // A tail followed by the next message's head: after the tail pops,
         // the new head is at the front with no route.
         let mut vc = InputVc::default();
-        vc.push(Flit { msg: MessageId(1), kind: FlitKind::Tail });
-        vc.push(Flit { msg: MessageId(2), kind: FlitKind::Head });
+        vc.push(Flit {
+            msg: MessageId(1),
+            kind: FlitKind::Tail,
+        });
+        vc.push(Flit {
+            msg: MessageId(2),
+            kind: FlitKind::Head,
+        });
         vc.route = Some(RouteTarget::Eject);
         vc.pop();
         assert_eq!(vc.route, None);

@@ -1,6 +1,6 @@
 //! End-to-end behavioral tests of the flit-level simulator.
 
-use wormsim_engine::{EjectionModel, NetworkBuilder, Network, SelectionPolicy, Switching};
+use wormsim_engine::{EjectionModel, Network, NetworkBuilder, SelectionPolicy, Switching};
 use wormsim_routing::AlgorithmKind;
 use wormsim_topology::Topology;
 use wormsim_traffic::{ArrivalProcess, MessageLength, TrafficConfig};
@@ -59,7 +59,9 @@ fn naive_routing_deadlocks_and_watchdog_fires() {
         .build()
         .unwrap();
     net.run(60_000);
-    let report = net.deadlock_report().expect("naive torus routing must deadlock");
+    let report = net
+        .deadlock_report()
+        .expect("naive torus routing must deadlock");
     assert!(report.flits_in_flight > 0);
     assert!(report.detected_at >= report.last_progress + 5_000);
 }
@@ -124,7 +126,10 @@ fn contention_resolves_in_all_modes() {
 fn congestion_control_refusal() {
     let mut limited = loaded(AlgorithmKind::Ecube, 0.08, 11);
     limited.run(10_000);
-    assert!(limited.metrics().refused > 0, "overload must trigger refusals");
+    assert!(
+        limited.metrics().refused > 0,
+        "overload must trigger refusals"
+    );
 
     let mut unlimited = NetworkBuilder::new(Topology::torus(&[8, 8]), AlgorithmKind::Ecube)
         .traffic(TrafficConfig::Uniform)
@@ -160,7 +165,10 @@ fn injection_bandwidth_serializes() {
     assert_eq!(delivered.len(), 4);
     let worst = delivered.iter().map(|m| m.latency).max().unwrap();
     // The last tail cannot leave the source before cycle 64.
-    assert!(worst >= 64, "worst latency {worst} ignores injection bandwidth");
+    assert!(
+        worst >= 64,
+        "worst latency {worst} ignores injection bandwidth"
+    );
 }
 
 /// A single shared ejection channel throttles delivery to a hotspot node,
@@ -182,7 +190,11 @@ fn ejection_models_differ_under_convergent_traffic() {
             }
         }
         assert!(net.run_until_empty(10_000));
-        net.drain_delivered().iter().map(|m| m.latency).max().unwrap()
+        net.drain_delivered()
+            .iter()
+            .map(|m| m.latency)
+            .max()
+            .unwrap()
     };
     let single = run(EjectionModel::SingleChannel);
     let per_vc = run(EjectionModel::PerVc);
@@ -203,14 +215,17 @@ fn selection_policies_all_work() {
         SelectionPolicy::FirstFree,
         SelectionPolicy::Random,
     ] {
-        let mut net = NetworkBuilder::new(Topology::torus(&[8, 8]), AlgorithmKind::NegativeHopBonusCards)
-            .traffic(TrafficConfig::Uniform)
-            .arrival(ArrivalProcess::geometric(0.01).unwrap())
-            .message_length(MessageLength::fixed(16).unwrap())
-            .selection(policy)
-            .seed(9)
-            .build()
-            .unwrap();
+        let mut net = NetworkBuilder::new(
+            Topology::torus(&[8, 8]),
+            AlgorithmKind::NegativeHopBonusCards,
+        )
+        .traffic(TrafficConfig::Uniform)
+        .arrival(ArrivalProcess::geometric(0.01).unwrap())
+        .message_length(MessageLength::fixed(16).unwrap())
+        .selection(policy)
+        .seed(9)
+        .build()
+        .unwrap();
         net.run(10_000);
         assert!(net.deadlock_report().is_none(), "{policy:?}");
         assert!(net.metrics().delivered > 500, "{policy:?}");
@@ -262,7 +277,10 @@ fn vc_replicas_increase_ecube_throughput() {
 #[test]
 fn hotspot_traffic_concentrates() {
     let mut net = NetworkBuilder::new(Topology::torus(&[8, 8]), AlgorithmKind::PositiveHop)
-        .traffic(TrafficConfig::Hotspot { nodes: vec![vec![7, 7]], fraction: 0.1 })
+        .traffic(TrafficConfig::Hotspot {
+            nodes: vec![vec![7, 7]],
+            fraction: 0.1,
+        })
         .arrival(ArrivalProcess::geometric(0.005).unwrap())
         .message_length(MessageLength::fixed(16).unwrap())
         .seed(17)

@@ -47,7 +47,10 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
         Just(SelectionPolicy::FirstFree),
         Just(SelectionPolicy::Random),
     ];
-    let ejection = prop_oneof![Just(EjectionModel::PerVc), Just(EjectionModel::SingleChannel)];
+    let ejection = prop_oneof![
+        Just(EjectionModel::PerVc),
+        Just(EjectionModel::SingleChannel)
+    ];
     let length = prop_oneof![
         (1u32..=20).prop_map(|f| MessageLength::Fixed { flits: f }),
         Just(MessageLength::Uniform { min: 2, max: 9 }),
@@ -65,7 +68,18 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
         500u64..2_000,
     )
         .prop_map(
-            |(topo, algorithm, switching, selection, ejection, replicas, rate, length, seed, cycles)| {
+            |(
+                topo,
+                algorithm,
+                switching,
+                selection,
+                ejection,
+                replicas,
+                rate,
+                length,
+                seed,
+                cycles,
+            )| {
                 Scenario {
                     topo,
                     algorithm,

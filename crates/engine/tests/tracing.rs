@@ -32,7 +32,9 @@ fn single_message_trace_is_a_minimal_path() {
     let hops: Vec<(NodeId, wormsim_topology::Direction)> = events
         .iter()
         .filter_map(|e| match *e {
-            TraceEvent::HopTaken { from, direction, .. } => Some((from, direction)),
+            TraceEvent::HopTaken {
+                from, direction, ..
+            } => Some((from, direction)),
             _ => None,
         })
         .collect();
@@ -106,8 +108,14 @@ fn trace_volume_matches_counters() {
     let events = net.drain_trace();
     let m = net.metrics();
     let count = |f: fn(&TraceEvent) -> bool| events.iter().filter(|e| f(e)).count() as u64;
-    assert_eq!(count(|e| matches!(e, TraceEvent::Generated { .. })), m.generated);
-    assert_eq!(count(|e| matches!(e, TraceEvent::Delivered { .. })), m.delivered);
+    assert_eq!(
+        count(|e| matches!(e, TraceEvent::Generated { .. })),
+        m.generated
+    );
+    assert_eq!(
+        count(|e| matches!(e, TraceEvent::Delivered { .. })),
+        m.delivered
+    );
     assert_eq!(
         count(|e| matches!(e, TraceEvent::FlitDelivered { .. })),
         m.flits_ejected

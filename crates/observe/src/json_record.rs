@@ -1,0 +1,172 @@
+//! Line-JSON encoding for observability records.
+//!
+//! The hot path (a [`JsonlSink`](crate::JsonlSink) behind the engine's
+//! event dispatch) appends into one reused `String`, so encoding is
+//! allocation-free in steady state. Parsing back goes through the vendored
+//! [`json`](crate::json) shim; the two agree on the wire format, which the
+//! round-trip tests pin down.
+
+use std::fmt::Write as _;
+
+/// A record that knows how to write itself as one JSON object.
+pub trait JsonRecord {
+    /// Appends this record as a JSON object (no trailing newline).
+    fn write_json(&self, out: &mut String);
+
+    /// The record as a standalone JSON string.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+/// Incremental writer for one JSON object: `{"k":v,...}` with correct
+/// comma placement and string escaping.
+pub struct JsonObject<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> JsonObject<'a> {
+    /// Opens an object into `out`.
+    pub fn begin(out: &'a mut String) -> Self {
+        out.push('{');
+        JsonObject { out, first: true }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        escape_into(self.out, key);
+        self.out.push(':');
+    }
+
+    /// Writes a string field.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        escape_into(self.out, value);
+        self
+    }
+
+    /// Writes a string-or-null field.
+    pub fn field_opt_str(&mut self, key: &str, value: Option<&str>) -> &mut Self {
+        match value {
+            Some(v) => self.field_str(key, v),
+            None => {
+                self.key(key);
+                self.out.push_str("null");
+                self
+            }
+        }
+    }
+
+    /// Writes an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// Writes a float field (`null` for non-finite values, which JSON
+    /// cannot express).
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.out, "{value}");
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Writes a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Writes an array-of-integers field.
+    pub fn field_u64_array(&mut self, key: &str, values: &[u64]) -> &mut Self {
+        self.key(key);
+        self.out.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{v}");
+        }
+        self.out.push(']');
+        self
+    }
+
+    /// Writes a field whose value is already valid JSON text.
+    pub fn field_raw(&mut self, key: &str, raw_json: &str) -> &mut Self {
+        self.key(key);
+        self.out.push_str(raw_json);
+        self
+    }
+
+    /// Closes the object.
+    pub fn finish(self) {
+        self.out.push('}');
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+pub(crate) fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_encoding_parses_back() {
+        let mut out = String::new();
+        let mut obj = JsonObject::begin(&mut out);
+        obj.field_str("name", "a \"b\"\nc")
+            .field_u64("n", 42)
+            .field_f64("x", 2.5)
+            .field_f64("bad", f64::NAN)
+            .field_bool("ok", true)
+            .field_opt_str("missing", None)
+            .field_u64_array("xs", &[1, 2, 3])
+            .field_raw("nested", "{\"k\":1}");
+        obj.finish();
+        let v = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(v.get("name").unwrap().as_str(), Some("a \"b\"\nc"));
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("x").unwrap().as_f64(), Some(2.5));
+        assert!(v.get("bad").unwrap().is_null());
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert!(v.get("missing").unwrap().is_null());
+        assert_eq!(v.get("xs").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("nested").unwrap().get("k").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn empty_object() {
+        let mut out = String::new();
+        JsonObject::begin(&mut out).finish();
+        assert_eq!(out, "{}");
+    }
+}

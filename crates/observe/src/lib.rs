@@ -1,0 +1,66 @@
+//! `wormsim-observe` — the observability spine of the wormsim stack.
+//!
+//! The simulator's validity claims rest on steady-state measurements; this
+//! crate makes those measurements *inspectable* instead of trusting them
+//! blind. It provides four pieces, each usable on its own:
+//!
+//! * **Event sinks** ([`EventSink`]): a pluggable destination for
+//!   per-event records. [`NullSink`] discards, [`RingSink`] keeps the last
+//!   N events with a `dropped_events` counter (bounding the old
+//!   grow-forever trace buffer), and [`JsonlSink`] streams records as
+//!   line-delimited JSON. The engine dispatches trace events and samples
+//!   through this trait at a cost of one branch per event site when
+//!   disabled.
+//! * **Time-series samples** ([`Sample`]): a typed snapshot of what the
+//!   network is doing over a window of cycles — queue depths, per-VC-class
+//!   occupancy, per-channel flit load, and the resettable counter deltas.
+//!   A stream of samples is the data behind a channel-load heatmap or a
+//!   latency-vs-time convergence plot.
+//! * **Phase timing** ([`PhaseTimings`], [`Stopwatch`]): lightweight
+//!   wall-clock spans over the phases of a run (warmup, measurement, gaps,
+//!   drain), standing in for `tracing` spans in this no-dependency build;
+//!   set `WORMSIM_SPANS=1` to echo spans to stderr as they close.
+//! * **Run manifests** ([`RunManifest`]): a JSON sidecar written next to
+//!   results capturing what produced them — config hash, seed,
+//!   `git describe`, cycle counts, and the simulator's own throughput in
+//!   cycles/sec and flits/sec.
+//!
+//! Everything serializes through the tiny [`JsonRecord`] trait (hand-rolled
+//! line JSON, no allocation beyond one reused line buffer) and parses back
+//! via the vendored `serde_json` shim re-exported as [`json`].
+//!
+//! # Example
+//!
+//! ```
+//! use wormsim_observe::{EventSink, RingSink, Sample};
+//!
+//! let mut sink: RingSink<u64> = RingSink::new(2);
+//! sink.record(&1);
+//! sink.record(&2);
+//! sink.record(&3); // evicts 1
+//! assert_eq!(sink.dropped_events(), 1);
+//! assert_eq!(sink.drain(), vec![2, 3]);
+//! # let _ = Sample::default();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod json_record;
+mod manifest;
+mod sample;
+mod sink;
+mod span;
+
+pub use config::ObserveConfig;
+pub use json_record::{JsonObject, JsonRecord};
+pub use manifest::{fnv1a_hex, git_describe, PhaseRecord, RunManifest};
+pub use sample::Sample;
+pub use sink::{EventSink, JsonlSink, NullSink, RingSink};
+pub use span::{PhaseTimings, Stopwatch};
+
+/// The vendored mini `serde_json` (JSON values, parsing, and the
+/// [`StreamDeserializer`](json::StreamDeserializer) used to validate JSONL
+/// streams), re-exported so downstream crates need no extra dependency.
+pub use serde_json as json;

@@ -1,0 +1,324 @@
+//! Run manifests: a JSON sidecar recording what produced a result.
+
+use crate::json::Value;
+use crate::{JsonObject, JsonRecord};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::process::Command;
+
+/// Wall-clock time spent in one named phase of a run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhaseRecord {
+    /// The phase name (`warmup`, `measure`, `gap`, `drain`, ...).
+    pub name: String,
+    /// Wall-clock seconds spent in the phase (summed across entries).
+    pub wall_seconds: f64,
+    /// Simulated cycles executed during the phase.
+    pub cycles: u64,
+}
+
+/// Everything needed to trace a result file back to the run that made it.
+///
+/// Written next to the results (`<run_id>.manifest.json`) so a directory of
+/// sweep output is self-describing: which binary state (`git_describe`),
+/// which configuration (`config_hash` plus the headline parameters), which
+/// randomness (`seed`), and how the simulator itself performed
+/// (`cycles_per_sec`, `flits_per_sec`).
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Identifier shared by this manifest and its sample/trace streams.
+    pub run_id: String,
+    /// FNV-1a hash of the full simulation configuration's debug form.
+    pub config_hash: String,
+    /// `git describe --always --dirty` of the working tree, if available.
+    pub git_describe: Option<String>,
+    /// Master RNG seed for the run.
+    pub seed: u64,
+    /// Routing algorithm name.
+    pub algorithm: String,
+    /// Traffic pattern name.
+    pub traffic: String,
+    /// Topology description (e.g. `torus 16x16`).
+    pub topology: String,
+    /// Offered load as a fraction of channel capacity (paper Eq. 4 input).
+    pub offered_load: f64,
+    /// Per-node flit injection rate derived from the offered load.
+    pub injection_rate: f64,
+    /// Total simulated cycles, including warmup and drain.
+    pub cycles: u64,
+    /// Cycles spent in warmup before measurement began.
+    pub warmup_cycles: u64,
+    /// Measurement samples taken by the convergence controller.
+    pub samples: u64,
+    /// Whether the run converged under the measurement policy.
+    pub converged: bool,
+    /// Whether the deadlock watchdog fired.
+    pub deadlocked: bool,
+    /// Total wall-clock seconds for the run.
+    pub wall_seconds: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Flit-hops executed per wall-clock second (simulator throughput).
+    pub flits_per_sec: f64,
+    /// Events dropped across all attached sinks (ring eviction, I/O).
+    pub dropped_events: u64,
+    /// Wall-clock breakdown by phase.
+    pub phases: Vec<PhaseRecord>,
+}
+
+impl RunManifest {
+    /// Writes the manifest as pretty-enough single-line JSON at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut text = self.to_json();
+        text.push('\n');
+        fs::write(path, text)
+    }
+
+    /// Reads a manifest back from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Reports filesystem errors and malformed or incomplete JSON.
+    pub fn read_from(path: impl AsRef<Path>) -> Result<Self, String> {
+        let text = fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("read {}: {e}", path.as_ref().display()))?;
+        let value = crate::json::from_str(&text).map_err(|e| e.to_string())?;
+        Self::from_json(&value)
+    }
+
+    /// Reconstructs a manifest from its parsed JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Names the first missing or mistyped field.
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        let str_field = |name: &str| -> Result<String, String> {
+            value
+                .get(name)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("manifest field '{name}' missing or not a string"))
+        };
+        let u64_field = |name: &str| -> Result<u64, String> {
+            value
+                .get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("manifest field '{name}' missing or not a u64"))
+        };
+        let f64_field = |name: &str| -> Result<f64, String> {
+            value
+                .get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("manifest field '{name}' missing or not a number"))
+        };
+        let bool_field = |name: &str| -> Result<bool, String> {
+            value
+                .get(name)
+                .and_then(Value::as_bool)
+                .ok_or_else(|| format!("manifest field '{name}' missing or not a bool"))
+        };
+        if value.get("type").and_then(Value::as_str) != Some("manifest") {
+            return Err("record is not of type 'manifest'".to_owned());
+        }
+        let phases = value
+            .get("phases")
+            .and_then(Value::as_array)
+            .ok_or("manifest field 'phases' missing or not an array")?
+            .iter()
+            .map(|p| {
+                Ok(PhaseRecord {
+                    name: p
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .ok_or("phase missing 'name'")?
+                        .to_owned(),
+                    wall_seconds: p
+                        .get("wall_seconds")
+                        .and_then(Value::as_f64)
+                        .ok_or("phase missing 'wall_seconds'")?,
+                    cycles: p
+                        .get("cycles")
+                        .and_then(Value::as_u64)
+                        .ok_or("phase missing 'cycles'")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(RunManifest {
+            run_id: str_field("run_id")?,
+            config_hash: str_field("config_hash")?,
+            git_describe: value
+                .get("git_describe")
+                .ok_or("manifest field 'git_describe' missing")?
+                .as_str()
+                .map(str::to_owned),
+            seed: u64_field("seed")?,
+            algorithm: str_field("algorithm")?,
+            traffic: str_field("traffic")?,
+            topology: str_field("topology")?,
+            offered_load: f64_field("offered_load")?,
+            injection_rate: f64_field("injection_rate")?,
+            cycles: u64_field("cycles")?,
+            warmup_cycles: u64_field("warmup_cycles")?,
+            samples: u64_field("samples")?,
+            converged: bool_field("converged")?,
+            deadlocked: bool_field("deadlocked")?,
+            wall_seconds: f64_field("wall_seconds")?,
+            cycles_per_sec: f64_field("cycles_per_sec")?,
+            flits_per_sec: f64_field("flits_per_sec")?,
+            dropped_events: u64_field("dropped_events")?,
+            phases,
+        })
+    }
+}
+
+impl JsonRecord for RunManifest {
+    fn write_json(&self, out: &mut String) {
+        let mut phases_json = String::new();
+        phases_json.push('[');
+        for (i, phase) in self.phases.iter().enumerate() {
+            if i > 0 {
+                phases_json.push(',');
+            }
+            let mut obj = JsonObject::begin(&mut phases_json);
+            obj.field_str("name", &phase.name)
+                .field_f64("wall_seconds", phase.wall_seconds)
+                .field_u64("cycles", phase.cycles);
+            obj.finish();
+        }
+        phases_json.push(']');
+
+        let mut obj = JsonObject::begin(out);
+        obj.field_str("type", "manifest")
+            .field_str("run_id", &self.run_id)
+            .field_str("config_hash", &self.config_hash)
+            .field_opt_str("git_describe", self.git_describe.as_deref())
+            .field_u64("seed", self.seed)
+            .field_str("algorithm", &self.algorithm)
+            .field_str("traffic", &self.traffic)
+            .field_str("topology", &self.topology)
+            .field_f64("offered_load", self.offered_load)
+            .field_f64("injection_rate", self.injection_rate)
+            .field_u64("cycles", self.cycles)
+            .field_u64("warmup_cycles", self.warmup_cycles)
+            .field_u64("samples", self.samples)
+            .field_bool("converged", self.converged)
+            .field_bool("deadlocked", self.deadlocked)
+            .field_f64("wall_seconds", self.wall_seconds)
+            .field_f64("cycles_per_sec", self.cycles_per_sec)
+            .field_f64("flits_per_sec", self.flits_per_sec)
+            .field_u64("dropped_events", self.dropped_events)
+            .field_raw("phases", &phases_json);
+        obj.finish();
+    }
+}
+
+/// FNV-1a (64-bit) of `s`, as 16 lowercase hex digits. Stable across runs
+/// and platforms, which is all a config fingerprint needs.
+pub fn fnv1a_hex(s: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in s.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// `git describe --always --dirty` of the current working tree, or `None`
+/// when git is unavailable or the directory is not a repository.
+pub fn git_describe() -> Option<String> {
+    let output = Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(output.stdout).ok()?;
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        None
+    } else {
+        Some(trimmed.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> RunManifest {
+        RunManifest {
+            run_id: "fig3-nbc-uniform-l0.40-s42".to_owned(),
+            config_hash: fnv1a_hex("some config"),
+            git_describe: Some("abc1234-dirty".to_owned()),
+            seed: 42,
+            algorithm: "nbc".to_owned(),
+            traffic: "uniform".to_owned(),
+            topology: "torus 16x16".to_owned(),
+            offered_load: 0.4,
+            injection_rate: 0.0125,
+            cycles: 61_000,
+            warmup_cycles: 1_000,
+            samples: 12,
+            converged: true,
+            deadlocked: false,
+            wall_seconds: 1.5,
+            cycles_per_sec: 40_666.7,
+            flits_per_sec: 812_000.0,
+            dropped_events: 0,
+            phases: vec![
+                PhaseRecord {
+                    name: "warmup".to_owned(),
+                    wall_seconds: 0.1,
+                    cycles: 1_000,
+                },
+                PhaseRecord {
+                    name: "measure".to_owned(),
+                    wall_seconds: 1.4,
+                    cycles: 60_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = manifest();
+        let parsed = crate::json::from_str(&m.to_json()).unwrap();
+        assert_eq!(RunManifest::from_json(&parsed).unwrap(), m);
+    }
+
+    #[test]
+    fn null_git_describe_round_trips() {
+        let m = RunManifest {
+            git_describe: None,
+            ..manifest()
+        };
+        let parsed = crate::json::from_str(&m.to_json()).unwrap();
+        assert_eq!(RunManifest::from_json(&parsed).unwrap().git_describe, None);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("wormsim-observe-manifest-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.manifest.json");
+        let m = manifest();
+        m.write_to(&path).unwrap();
+        assert_eq!(RunManifest::read_from(&path).unwrap(), m);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(fnv1a_hex(""), "cbf29ce484222325");
+        assert_eq!(fnv1a_hex("a"), "af63dc4c8601ec8c");
+        assert_ne!(fnv1a_hex("config a"), fnv1a_hex("config b"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Typed time-series snapshots of network state.
+
+use crate::json::Value;
+use crate::{JsonObject, JsonRecord};
+use serde::{Deserialize, Serialize};
+
+/// One sampling-stride snapshot of the network: instantaneous occupancy
+/// plus the counter deltas accumulated over the window that ended at
+/// [`cycle`](Self::cycle).
+///
+/// A stream of samples reconstructs the run's dynamics: `class_flits` per
+/// window is the VC-class balance plot (nhop vs nbc, paper Section 2.2),
+/// `channel_flits` is a channel-load heatmap frame, and
+/// [`mean_latency`](Self::mean_latency) against `cycle` is the
+/// latency-vs-time convergence curve.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sample {
+    /// The cycle at which the snapshot was taken (end of the window).
+    pub cycle: u64,
+    /// Cycles covered by the windowed counters below.
+    pub window_cycles: u64,
+    /// Messages accepted into source queues during the window.
+    pub generated: u64,
+    /// Messages refused by congestion control during the window.
+    pub refused: u64,
+    /// Messages fully delivered during the window.
+    pub delivered: u64,
+    /// Sum of end-to-end latencies of the window's delivered messages.
+    pub latency_sum: u64,
+    /// Flit transfers across network physical channels during the window.
+    pub flit_hops: u64,
+    /// Flits that left source queues during the window.
+    pub flits_injected: u64,
+    /// Flits delivered at destinations during the window.
+    pub flits_ejected: u64,
+    /// Flits inside the network (or source-queued) at the snapshot.
+    pub flits_in_flight: u64,
+    /// Messages alive (queued, streaming, in transit) at the snapshot.
+    pub live_messages: u64,
+    /// Messages waiting in source queues at the snapshot.
+    pub queued_messages: u64,
+    /// The deepest single source queue at the snapshot.
+    pub max_queue_depth: u64,
+    /// Flits buffered in input VCs at the snapshot, per VC class.
+    pub class_occupancy: Vec<u64>,
+    /// Flit transfers during the window, per VC class.
+    pub class_flits: Vec<u64>,
+    /// Flit transfers during the window, per physical channel (empty
+    /// unless the network tracks channel load).
+    pub channel_flits: Vec<u64>,
+}
+
+impl Sample {
+    /// Mean latency of the messages delivered in this window, if any.
+    pub fn mean_latency(&self) -> Option<f64> {
+        (self.delivered > 0).then(|| self.latency_sum as f64 / self.delivered as f64)
+    }
+
+    /// Delivered messages per cycle over the window.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.window_cycles == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.window_cycles as f64
+        }
+    }
+
+    /// Reconstructs a sample from its parsed JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Names the first missing or mistyped field.
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        let field = |name: &str| -> Result<u64, String> {
+            value
+                .get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("sample field '{name}' missing or not a u64"))
+        };
+        let array = |name: &str| -> Result<Vec<u64>, String> {
+            value
+                .get(name)
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("sample field '{name}' missing or not an array"))?
+                .iter()
+                .map(|v| v.as_u64().ok_or_else(|| format!("non-integer in '{name}'")))
+                .collect()
+        };
+        if value.get("type").and_then(Value::as_str) != Some("sample") {
+            return Err("record is not of type 'sample'".to_owned());
+        }
+        Ok(Sample {
+            cycle: field("cycle")?,
+            window_cycles: field("window_cycles")?,
+            generated: field("generated")?,
+            refused: field("refused")?,
+            delivered: field("delivered")?,
+            latency_sum: field("latency_sum")?,
+            flit_hops: field("flit_hops")?,
+            flits_injected: field("flits_injected")?,
+            flits_ejected: field("flits_ejected")?,
+            flits_in_flight: field("flits_in_flight")?,
+            live_messages: field("live_messages")?,
+            queued_messages: field("queued_messages")?,
+            max_queue_depth: field("max_queue_depth")?,
+            class_occupancy: array("class_occupancy")?,
+            class_flits: array("class_flits")?,
+            channel_flits: array("channel_flits")?,
+        })
+    }
+}
+
+impl JsonRecord for Sample {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::begin(out);
+        obj.field_str("type", "sample")
+            .field_u64("cycle", self.cycle)
+            .field_u64("window_cycles", self.window_cycles)
+            .field_u64("generated", self.generated)
+            .field_u64("refused", self.refused)
+            .field_u64("delivered", self.delivered)
+            .field_u64("latency_sum", self.latency_sum)
+            .field_u64("flit_hops", self.flit_hops)
+            .field_u64("flits_injected", self.flits_injected)
+            .field_u64("flits_ejected", self.flits_ejected)
+            .field_u64("flits_in_flight", self.flits_in_flight)
+            .field_u64("live_messages", self.live_messages)
+            .field_u64("queued_messages", self.queued_messages)
+            .field_u64("max_queue_depth", self.max_queue_depth)
+            .field_u64_array("class_occupancy", &self.class_occupancy)
+            .field_u64_array("class_flits", &self.class_flits)
+            .field_u64_array("channel_flits", &self.channel_flits);
+        obj.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let mut s = Sample {
+            delivered: 4,
+            latency_sum: 100,
+            window_cycles: 50,
+            ..Sample::default()
+        };
+        assert_eq!(s.mean_latency(), Some(25.0));
+        assert!((s.delivery_rate() - 0.08).abs() < 1e-12);
+        s.delivered = 0;
+        assert_eq!(s.mean_latency(), None);
+        s.window_cycles = 0;
+        assert_eq!(s.delivery_rate(), 0.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let sample = Sample {
+            cycle: 5_000,
+            window_cycles: 1_000,
+            generated: 40,
+            refused: 3,
+            delivered: 37,
+            latency_sum: 1_850,
+            flit_hops: 2_600,
+            flits_injected: 640,
+            flits_ejected: 592,
+            flits_in_flight: 96,
+            live_messages: 7,
+            queued_messages: 2,
+            max_queue_depth: 1,
+            class_occupancy: vec![30, 66],
+            class_flits: vec![1_300, 1_300],
+            channel_flits: vec![10, 0, 25, 7],
+        };
+        let parsed = crate::json::from_str(&sample.to_json()).unwrap();
+        assert_eq!(Sample::from_json(&parsed).unwrap(), sample);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_type_and_missing_fields() {
+        let not_sample = crate::json::from_str("{\"type\":\"trace\"}").unwrap();
+        assert!(Sample::from_json(&not_sample).is_err());
+        let truncated = crate::json::from_str("{\"type\":\"sample\",\"cycle\":1}").unwrap();
+        let err = Sample::from_json(&truncated).unwrap_err();
+        assert!(err.contains("window_cycles"), "{err}");
+    }
+}

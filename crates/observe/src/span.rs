@@ -1,0 +1,130 @@
+//! Lightweight phase timing: stopwatches and accumulated span records.
+//!
+//! A full `tracing` subscriber would be overkill (and is unavailable in
+//! this no-dependency build); runs have a handful of coarse phases and all
+//! we need is wall-clock attribution per phase. Set `WORMSIM_SPANS=1` to
+//! echo each span to stderr as it is recorded.
+
+use crate::PhaseRecord;
+use std::time::Instant;
+
+/// A started wall-clock timer.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`start`](Self::start).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+/// Accumulates wall-clock spans by phase name.
+///
+/// Recording the same name repeatedly (e.g. one `measure` span per
+/// convergence sample) sums into a single [`PhaseRecord`]; phase order is
+/// first-recorded order.
+#[derive(Debug)]
+pub struct PhaseTimings {
+    phases: Vec<PhaseRecord>,
+    echo: bool,
+}
+
+impl PhaseTimings {
+    /// An empty set of timings. The `WORMSIM_SPANS` environment variable is
+    /// consulted once, here.
+    pub fn new() -> Self {
+        let echo = std::env::var_os("WORMSIM_SPANS").is_some_and(|v| !v.is_empty() && v != "0");
+        PhaseTimings {
+            phases: Vec::new(),
+            echo,
+        }
+    }
+
+    /// Adds a closed span to the phase named `name`.
+    pub fn record(&mut self, name: &str, watch: &Stopwatch, cycles: u64) {
+        let wall_seconds = watch.elapsed_secs();
+        if self.echo {
+            eprintln!("[span] {name}: {wall_seconds:.6}s, {cycles} cycles");
+        }
+        match self.phases.iter_mut().find(|p| p.name == name) {
+            Some(phase) => {
+                phase.wall_seconds += wall_seconds;
+                phase.cycles += cycles;
+            }
+            None => self.phases.push(PhaseRecord {
+                name: name.to_owned(),
+                wall_seconds,
+                cycles,
+            }),
+        }
+    }
+
+    /// The accumulated phases, in first-recorded order.
+    pub fn phases(&self) -> &[PhaseRecord] {
+        &self.phases
+    }
+
+    /// Consumes the timings, yielding the phase records.
+    pub fn into_phases(self) -> Vec<PhaseRecord> {
+        self.phases
+    }
+
+    /// Total wall-clock seconds across all phases.
+    pub fn total_wall(&self) -> f64 {
+        self.phases.iter().map(|p| p.wall_seconds).sum()
+    }
+
+    /// Total simulated cycles across all phases.
+    pub fn total_cycles(&self) -> u64 {
+        self.phases.iter().map(|p| p.cycles).sum()
+    }
+}
+
+impl Default for PhaseTimings {
+    fn default() -> Self {
+        PhaseTimings::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_by_name() {
+        let mut timings = PhaseTimings::new();
+        let watch = Stopwatch::start();
+        timings.record("measure", &watch, 100);
+        timings.record("gap", &watch, 10);
+        timings.record("measure", &watch, 100);
+        assert_eq!(timings.phases().len(), 2);
+        assert_eq!(timings.phases()[0].name, "measure");
+        assert_eq!(timings.phases()[0].cycles, 200);
+        assert_eq!(timings.total_cycles(), 210);
+        assert!(timings.total_wall() >= 0.0);
+        assert_eq!(timings.into_phases().len(), 2);
+    }
+
+    #[test]
+    fn stopwatch_advances() {
+        let watch = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(watch.elapsed_secs() > 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! A small, self-contained property-testing engine exposing the subset of
+//! the `proptest` crate's surface that the wormsim test suites use.
+//!
+//! The workspace builds in fully offline environments, so the real proptest
+//! cannot be fetched; rather than gut the property suites, this shim really
+//! runs them: strategies generate pseudo-random values, `prop_assume!`
+//! rejections are re-drawn, and failures panic with the assertion message and
+//! the failing case's seed. Differences from upstream proptest, by design:
+//!
+//! * **No shrinking.** A failure reports the first counterexample found.
+//! * **Deterministic seeding.** Each test derives its RNG stream from the
+//!   test-function name, so failures reproduce exactly across runs; set
+//!   `PROPTEST_SEED=<n>` to explore a different stream.
+//! * `proptest-regressions` files are ignored.
+//!
+//! Supported surface: `proptest! { #![proptest_config(...)] fn f(pat in
+//! strategy, ...) {...} }`, `Strategy` with `prop_map`/`prop_flat_map`/
+//! `boxed`, tuple strategies, integer/float range strategies, `Just`,
+//! `any::<T>()`, `prop_oneof!`, `prop::bool::ANY`, `prop::collection::vec`,
+//! and the `prop_assert*`/`prop_assume!` macros.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive range of collection sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, size)`: vectors whose length is drawn
+    /// from `size` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` / `prop::bool::ANY` resolve
+/// after `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::collection;
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy yielding uniformly random booleans.
+        #[derive(Clone, Copy, Debug)]
+        pub struct BoolAny;
+
+        /// Any boolean, equiprobably.
+        pub const ANY: BoolAny = BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}

@@ -1,0 +1,280 @@
+//! The case runner behind the `proptest!` macro: configuration, RNG,
+//! rejection handling, and failure reporting.
+
+use crate::strategy::Strategy;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case's preconditions failed (`prop_assume!`); draw a new input.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a rejection (see [`TestCaseError::Reject`]).
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Builds a failure (see [`TestCaseError::Fail`]).
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+/// Splitmix64 generator: tiny, fast, and plenty for test-input generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream for one named test, honoring `PROPTEST_SEED`.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name keeps streams distinct per test while
+        // staying reproducible run-to-run.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let salt = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRng {
+            state: hash ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw in `[0, 1)` with 53-bit precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drives one property: draws inputs, re-draws on rejection, and panics with
+/// the case's message on failure. Called by the `proptest!` expansion.
+pub fn run_cases<S, F>(config: &ProptestConfig, name: &str, strategy: S, mut body: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::for_test(name);
+    let max_rejects = 4096 + u64::from(config.cases) * 256;
+    let mut executed = 0u32;
+    let mut rejected = 0u64;
+    while executed < config.cases {
+        let value = strategy.generate(&mut rng);
+        match body(value) {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "property `{name}` rejected {rejected} inputs \
+                     (prop_assume! too strict for its strategy)"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => panic!(
+                "property `{name}` failed on case {executed} \
+                 (set PROPTEST_SEED to vary inputs): {message}"
+            ),
+        }
+    }
+}
+
+/// Declares property tests. Mirrors upstream proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn it_holds(x in 0u32..100, (a, b) in arb_pair()) { prop_assert!(x < 100); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            $crate::test_runner::run_cases(
+                &config,
+                stringify!($name),
+                ($($strategy,)+),
+                |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure fails only the current case's
+/// test with a report, via an early `return`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}", left, right, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Inequality assertion for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`: {}", left, right, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Rejects the current case unless `cond` holds; the runner draws new inputs
+/// instead of failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::for_test("x");
+        let mut b = crate::test_runner::TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -5i64..=5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec(0u64..100, 1..8),
+            flag in prop::bool::ANY,
+            pair in (0u8..4).prop_flat_map(|n| (Just(n), 0u8..4)),
+            choice in prop_oneof![Just(1u8), Just(2u8), (10u8..=12).prop_map(|x| x)],
+        ) {
+            prop_assume!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| x < 100));
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+            prop_assert!(matches!(choice, 1 | 2 | 10..=12));
+            prop_assert_ne!(v.len(), 0);
+            let _ = flag;
+        }
+    }
+}

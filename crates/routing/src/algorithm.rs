@@ -93,7 +93,10 @@ mod tests {
     #[test]
     fn adaptivity_display() {
         assert_eq!(Adaptivity::NonAdaptive.to_string(), "non-adaptive");
-        assert_eq!(Adaptivity::PartiallyAdaptive.to_string(), "partially-adaptive");
+        assert_eq!(
+            Adaptivity::PartiallyAdaptive.to_string(),
+            "partially-adaptive"
+        );
         assert_eq!(Adaptivity::FullyAdaptive.to_string(), "fully-adaptive");
     }
 }

@@ -20,7 +20,10 @@ pub struct Candidate {
 impl Candidate {
     /// Creates a candidate hop in `direction` on VC class `vc_class`.
     pub const fn new(direction: Direction, vc_class: u8) -> Self {
-        Candidate { direction, vc_class }
+        Candidate {
+            direction,
+            vc_class,
+        }
     }
 
     /// The physical-channel direction of this candidate.

@@ -244,7 +244,11 @@ pub fn analyze(topo: &Topology, algo: &dyn RoutingAlgorithm) -> CdgReport {
     let edges = graph.num_edges();
     match graph.find_cycle() {
         None => CdgReport::Acyclic { vertices, edges },
-        Some(cycle) => CdgReport::Cyclic { cycle, vertices, edges },
+        Some(cycle) => CdgReport::Cyclic {
+            cycle,
+            vertices,
+            edges,
+        },
     }
 }
 

@@ -72,8 +72,7 @@ impl Ecube {
                 // Tie: fixed deterministic choice keeps e-cube non-adaptive.
                 DimStep::Both { .. } => Sign::Plus,
             };
-            let class = if topo.wraps() && Self::wraps_ahead(topo, state.dest(), here, dim, sign)
-            {
+            let class = if topo.wraps() && Self::wraps_ahead(topo, state.dest(), here, dim, sign) {
                 0
             } else {
                 1.min(self.classes as u8 - 1)
@@ -154,10 +153,7 @@ mod tests {
         let algo = Ecube::new(&topo).unwrap();
         let path = walk(&topo, &algo, &[0, 0], &[2, 2]);
         let nodes: Vec<Vec<u16>> = path.iter().map(|(n, _)| n.clone()).collect();
-        assert_eq!(
-            nodes,
-            vec![vec![1, 0], vec![2, 0], vec![2, 1], vec![2, 2]]
-        );
+        assert_eq!(nodes, vec![vec![1, 0], vec![2, 0], vec![2, 1], vec![2, 2]]);
     }
 
     #[test]

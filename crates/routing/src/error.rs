@@ -45,11 +45,19 @@ impl fmt::Display for RoutingError {
                 f,
                 "{algorithm} requires a bipartite network (mesh, or torus with even radices)"
             ),
-            RoutingError::NeedsDimensions { algorithm, needs, got } => write!(
+            RoutingError::NeedsDimensions {
+                algorithm,
+                needs,
+                got,
+            } => write!(
                 f,
                 "{algorithm} needs at least {needs} dimensions, topology has {got}"
             ),
-            RoutingError::TooManyDimensions { algorithm, max, got } => write!(
+            RoutingError::TooManyDimensions {
+                algorithm,
+                max,
+                got,
+            } => write!(
                 f,
                 "{algorithm} supports at most {max} dimensions, topology has {got}"
             ),
@@ -70,7 +78,9 @@ mod tests {
     fn display_messages() {
         let e = RoutingError::RequiresBipartite { algorithm: "nhop" };
         assert!(e.to_string().contains("bipartite"));
-        let e = RoutingError::UnknownAlgorithm { name: "zigzag".into() };
+        let e = RoutingError::UnknownAlgorithm {
+            name: "zigzag".into(),
+        };
         assert!(e.to_string().contains("zigzag"));
     }
 }

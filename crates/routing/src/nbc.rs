@@ -1,6 +1,8 @@
 //! The fully adaptive negative-hop-with-bonus-cards (nbc) algorithm.
 
-use crate::{Adaptivity, Candidate, MessageRouteState, NegativeHop, RoutingAlgorithm, RoutingError};
+use crate::{
+    Adaptivity, Candidate, MessageRouteState, NegativeHop, RoutingAlgorithm, RoutingError,
+};
 use wormsim_topology::{Direction, NodeId, Sign, Topology};
 
 /// Negative-hop routing with **bonus cards**: nhop plus virtual-channel

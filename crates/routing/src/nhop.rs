@@ -111,13 +111,17 @@ mod tests {
     fn classes_match_paper_formula() {
         // "For 16^2, for example, 9 buffer classes per node are sufficient."
         assert_eq!(
-            NegativeHop::new(&Topology::torus(&[16, 16])).unwrap().num_vc_classes(),
+            NegativeHop::new(&Topology::torus(&[16, 16]))
+                .unwrap()
+                .num_vc_classes(),
             9
         );
         // 6^2: diameter 6, so 4 classes (c0..c3), matching the paper's
         // Figure 2 discussion ("all 4 virtual channels c0,c1,c2,c3").
         assert_eq!(
-            NegativeHop::new(&Topology::torus(&[6, 6])).unwrap().num_vc_classes(),
+            NegativeHop::new(&Topology::torus(&[6, 6]))
+                .unwrap()
+                .num_vc_classes(),
             4
         );
     }
@@ -167,7 +171,11 @@ mod tests {
     fn negative_hops_needed_is_path_independent() {
         let topo = Topology::torus(&[6, 6]);
         // Walk random minimal paths and count actual negative hops.
-        for (s, d) in [([0u16, 0u16], [3u16, 2u16]), ([1, 0], [4, 4]), ([5, 5], [2, 2])] {
+        for (s, d) in [
+            ([0u16, 0u16], [3u16, 2u16]),
+            ([1, 0], [4, 4]),
+            ([5, 5], [2, 2]),
+        ] {
             let src = topo.node_at(&s);
             let dest = topo.node_at(&d);
             let needed = NegativeHop::negative_hops_needed(&topo, src, dest);

@@ -87,7 +87,10 @@ impl NorthLast {
     fn needs_north(&self, topo: &Topology, state: &MessageRouteState, here: NodeId) -> bool {
         matches!(
             topo.dim_step(here, state.dest(), self.north_dim),
-            DimStep::One { sign: Sign::Minus, .. }
+            DimStep::One {
+                sign: Sign::Minus,
+                ..
+            }
         )
     }
 }

@@ -89,11 +89,15 @@ mod tests {
     #[test]
     fn classes_equal_diameter_plus_one() {
         assert_eq!(
-            PositiveHop::new(&Topology::torus(&[16, 16])).unwrap().num_vc_classes(),
+            PositiveHop::new(&Topology::torus(&[16, 16]))
+                .unwrap()
+                .num_vc_classes(),
             17
         );
         assert_eq!(
-            PositiveHop::new(&Topology::mesh(&[8, 8])).unwrap().num_vc_classes(),
+            PositiveHop::new(&Topology::mesh(&[8, 8]))
+                .unwrap()
+                .num_vc_classes(),
             15
         );
     }

@@ -129,7 +129,9 @@ impl FromStr for AlgorithmKind {
             "nbc" | "negative-hop-bonus-cards" => Ok(AlgorithmKind::NegativeHopBonusCards),
             "naive" | "naive-minimal" => Ok(AlgorithmKind::NaiveMinimal),
             "wfirst" | "west-first" | "westfirst" => Ok(AlgorithmKind::WestFirst),
-            other => Err(RoutingError::UnknownAlgorithm { name: other.to_owned() }),
+            other => Err(RoutingError::UnknownAlgorithm {
+                name: other.to_owned(),
+            }),
         }
     }
 }
@@ -155,7 +157,10 @@ mod tests {
         let topo = Topology::torus(&[16, 16]);
         let adaptivity = |k: AlgorithmKind| k.build(&topo).unwrap().adaptivity();
         assert_eq!(adaptivity(AlgorithmKind::Ecube), Adaptivity::NonAdaptive);
-        assert_eq!(adaptivity(AlgorithmKind::NorthLast), Adaptivity::PartiallyAdaptive);
+        assert_eq!(
+            adaptivity(AlgorithmKind::NorthLast),
+            Adaptivity::PartiallyAdaptive
+        );
         for k in [
             AlgorithmKind::TwoPowerN,
             AlgorithmKind::PositiveHop,

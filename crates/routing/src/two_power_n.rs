@@ -128,9 +128,7 @@ mod tests {
     fn tag_matches_equation_one() {
         let topo = Topology::torus(&[16, 16]);
         let tpn = TwoPowerN::new(&topo).unwrap();
-        let tag = |s: [u16; 2], d: [u16; 2]| {
-            tpn.tag_for(&topo, topo.node_at(&s), topo.node_at(&d))
-        };
+        let tag = |s: [u16; 2], d: [u16; 2]| tpn.tag_for(&topo, topo.node_at(&s), topo.node_at(&d));
         assert_eq!(tag([0, 0], [5, 5]), 0b11);
         assert_eq!(tag([5, 5], [0, 0]), 0b00);
         assert_eq!(tag([0, 5], [5, 0]), 0b01);
@@ -139,14 +137,34 @@ mod tests {
 
     #[test]
     fn torus_has_two_power_n_classes() {
-        assert_eq!(TwoPowerN::new(&Topology::torus(&[8, 8])).unwrap().num_vc_classes(), 4);
-        assert_eq!(TwoPowerN::new(&Topology::torus(&[4, 4, 4])).unwrap().num_vc_classes(), 8);
+        assert_eq!(
+            TwoPowerN::new(&Topology::torus(&[8, 8]))
+                .unwrap()
+                .num_vc_classes(),
+            4
+        );
+        assert_eq!(
+            TwoPowerN::new(&Topology::torus(&[4, 4, 4]))
+                .unwrap()
+                .num_vc_classes(),
+            8
+        );
     }
 
     #[test]
     fn mesh_drops_one_tag_bit() {
-        assert_eq!(TwoPowerN::new(&Topology::mesh(&[8, 8])).unwrap().num_vc_classes(), 2);
-        assert_eq!(TwoPowerN::new(&Topology::mesh(&[4, 4, 4])).unwrap().num_vc_classes(), 4);
+        assert_eq!(
+            TwoPowerN::new(&Topology::mesh(&[8, 8]))
+                .unwrap()
+                .num_vc_classes(),
+            2
+        );
+        assert_eq!(
+            TwoPowerN::new(&Topology::mesh(&[4, 4, 4]))
+                .unwrap()
+                .num_vc_classes(),
+            4
+        );
     }
 
     #[test]

@@ -83,7 +83,10 @@ impl RoutingAlgorithm for WestFirst {
             0
         };
         // Phase 1: while west travel remains, it is the only option.
-        if let DimStep::One { sign: Sign::Minus, .. } = topo.dim_step(here, state.dest(), 0) {
+        if let DimStep::One {
+            sign: Sign::Minus, ..
+        } = topo.dim_step(here, state.dest(), 0)
+        {
             out.push(Candidate::new(
                 wormsim_topology::Direction::new(0, Sign::Minus),
                 class,

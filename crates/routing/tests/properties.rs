@@ -45,11 +45,15 @@ fn walk(
         out.clear();
         algo.candidates(topo, &state, here, &mut out);
         assert!(!out.is_empty(), "no candidates before destination");
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let taken = out[(seed >> 33) as usize % out.len()];
         classes.push(taken.vc_class());
         state.advance(topo, here, taken);
-        here = topo.neighbor(here, taken.direction()).expect("valid channel");
+        here = topo
+            .neighbor(here, taken.direction())
+            .expect("valid channel");
     }
     classes
 }

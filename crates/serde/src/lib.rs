@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The workspace builds in environments with no registry access, and nothing
+//! in wormsim actually drives serde serialization (figure output is
+//! hand-formatted CSV/JSON). This shim keeps the `#[derive(Serialize,
+//! Deserialize)]` annotations compiling — as documentation of which types are
+//! wire-shaped, and so the real serde can be dropped back in without touching
+//! call sites — while the derive macros themselves expand to nothing.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,25 @@
+//! No-op stand-ins for serde's `Serialize`/`Deserialize` derive macros.
+//!
+//! The wormsim workspace builds in fully offline environments where the real
+//! `serde_derive` cannot be fetched. The simulator itself never serializes
+//! through serde trait machinery (all file output is hand-formatted CSV/JSON),
+//! so the derives only need to *accept* the annotations that appear in the
+//! source — including field attributes such as `#[serde(skip)]` — and emit
+//! nothing. If real serialization is ever needed, swap the workspace `serde`
+//! dependency back to the crates.io release; no call sites change.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

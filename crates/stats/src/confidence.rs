@@ -38,7 +38,10 @@ impl ConfidenceInterval {
 
     /// Builds an interval directly from a mean and half-width.
     pub fn new(mean: f64, half_width: f64) -> Self {
-        ConfidenceInterval { mean, half_width: half_width.max(0.0) }
+        ConfidenceInterval {
+            mean,
+            half_width: half_width.max(0.0),
+        }
     }
 
     /// The point estimate.
@@ -93,7 +96,10 @@ mod tests {
     #[test]
     fn relative_error_edge_cases() {
         assert_eq!(ConfidenceInterval::new(0.0, 0.0).relative_error(), 0.0);
-        assert_eq!(ConfidenceInterval::new(0.0, 1.0).relative_error(), f64::INFINITY);
+        assert_eq!(
+            ConfidenceInterval::new(0.0, 1.0).relative_error(),
+            f64::INFINITY
+        );
         assert!(ConfidenceInterval::new(100.0, 5.0).within(0.05));
         assert!(!ConfidenceInterval::new(100.0, 5.1).within(0.05));
     }

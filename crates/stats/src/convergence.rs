@@ -199,7 +199,10 @@ mod tests {
 
     #[test]
     fn caps_at_max_samples_on_drifting_input() {
-        let policy = ConvergencePolicy { max_samples: 6, ..Default::default() };
+        let policy = ConvergencePolicy {
+            max_samples: 6,
+            ..Default::default()
+        };
         let mut c = ConvergenceController::new(policy, vec![1.0]);
         // Means drifting upward sample over sample never satisfy B.
         for i in 0..10 {
@@ -224,7 +227,10 @@ mod tests {
             c.push_sample(steady_sample(1, 100.0, 1.0, 3 + s));
         }
         let ci = c.across_sample_interval().unwrap();
-        assert!((ci.mean() - 100.0).abs() < 1.0, "window should exclude early outliers");
+        assert!(
+            (ci.mean() - 100.0).abs() < 1.0,
+            "window should exclude early outliers"
+        );
     }
 
     #[test]

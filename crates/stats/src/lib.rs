@@ -47,12 +47,12 @@
 mod confidence;
 mod convergence;
 mod histogram;
-mod streaming;
 mod stratified;
+mod streaming;
 pub mod throughput;
 
 pub use confidence::ConfidenceInterval;
 pub use convergence::{ConvergenceController, ConvergencePolicy, ConvergenceStatus};
 pub use histogram::Histogram;
-pub use streaming::StreamingStats;
 pub use stratified::{SampleAccumulator, SampleSummary, StratifiedEstimator};
+pub use streaming::StreamingStats;

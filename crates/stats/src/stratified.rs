@@ -122,7 +122,10 @@ impl StratifiedEstimator {
     /// zero.
     pub fn new(weights: Vec<f64>) -> Self {
         assert!(!weights.is_empty(), "need at least one stratum");
-        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "weights must not all be zero");
         StratifiedEstimator {

@@ -114,8 +114,8 @@ impl StreamingStats {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -171,8 +171,7 @@ mod tests {
         let b_data: Vec<f64> = (0..300).map(|i| 100.0 - i as f64).collect();
         let mut a: StreamingStats = a_data.iter().copied().collect();
         let b: StreamingStats = b_data.iter().copied().collect();
-        let combined: StreamingStats =
-            a_data.iter().chain(b_data.iter()).copied().collect();
+        let combined: StreamingStats = a_data.iter().chain(b_data.iter()).copied().collect();
         a.merge(&b);
         assert_eq!(a.count(), combined.count());
         assert!((a.mean() - combined.mean()).abs() < 1e-9);

@@ -22,7 +22,12 @@
 /// let rho = wormsim_stats::throughput::utilization_from_rate(0.0063, 16.0, 8.03, 2);
 /// assert!((rho - 0.2).abs() < 0.005);
 /// ```
-pub fn utilization_from_rate(lambda: f64, mean_length: f64, mean_distance: f64, n_dims: usize) -> f64 {
+pub fn utilization_from_rate(
+    lambda: f64,
+    mean_length: f64,
+    mean_distance: f64,
+    n_dims: usize,
+) -> f64 {
     lambda * mean_length * mean_distance / (2.0 * n_dims as f64)
 }
 

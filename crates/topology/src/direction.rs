@@ -107,7 +107,11 @@ impl Direction {
 
     /// Recovers a direction from its packed [`index`](Self::index).
     pub fn from_index(index: usize) -> Direction {
-        let sign = if index.is_multiple_of(2) { Sign::Plus } else { Sign::Minus };
+        let sign = if index.is_multiple_of(2) {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
         Direction::new(index / 2, sign)
     }
 

@@ -193,10 +193,7 @@ impl DistanceDistribution {
 
     /// The largest hop count with non-zero probability.
     pub fn max_distance(&self) -> usize {
-        self.probs
-            .iter()
-            .rposition(|&p| p > 0.0)
-            .unwrap_or(0)
+        self.probs.iter().rposition(|&p| p > 0.0).unwrap_or(0)
     }
 }
 
@@ -208,7 +205,10 @@ mod tests {
     fn dim_step_accessors() {
         assert_eq!(DimStep::Done.dist(), 0);
         assert!(!DimStep::Done.allows(Sign::Plus));
-        let one = DimStep::One { sign: Sign::Minus, dist: 3 };
+        let one = DimStep::One {
+            sign: Sign::Minus,
+            dist: 3,
+        };
         assert_eq!(one.dist(), 3);
         assert!(one.allows(Sign::Minus));
         assert!(!one.allows(Sign::Plus));
@@ -218,7 +218,11 @@ mod tests {
 
     #[test]
     fn uniform_distribution_sums_to_one() {
-        for topo in [Topology::torus(&[16, 16]), Topology::mesh(&[8, 8]), Topology::torus(&[4, 4, 4])] {
+        for topo in [
+            Topology::torus(&[16, 16]),
+            Topology::mesh(&[8, 8]),
+            Topology::torus(&[4, 4, 4]),
+        ] {
             let d = DistanceDistribution::uniform(&topo);
             let total: f64 = d.probs().iter().sum();
             assert!((total - 1.0).abs() < 1e-12, "{total}");

@@ -299,9 +299,7 @@ impl Topology {
                 c - 1
             }
         };
-        Some(NodeId::new(
-            node.index() - c * stride + new_c * stride,
-        ))
+        Some(NodeId::new(node.index() - c * stride + new_c * stride))
     }
 
     /// Whether the channel from `node` in `direction` is a wrap-around
@@ -361,9 +359,15 @@ impl Topology {
         match self.kind {
             TopologyKind::Mesh => {
                 if d > s {
-                    DimStep::One { sign: Sign::Plus, dist: d - s }
+                    DimStep::One {
+                        sign: Sign::Plus,
+                        dist: d - s,
+                    }
                 } else {
-                    DimStep::One { sign: Sign::Minus, dist: s - d }
+                    DimStep::One {
+                        sign: Sign::Minus,
+                        dist: s - d,
+                    }
                 }
             }
             TopologyKind::Torus => {
@@ -371,8 +375,14 @@ impl Topology {
                 let minus = k - plus;
                 use std::cmp::Ordering;
                 match plus.cmp(&minus) {
-                    Ordering::Less => DimStep::One { sign: Sign::Plus, dist: plus },
-                    Ordering::Greater => DimStep::One { sign: Sign::Minus, dist: minus },
+                    Ordering::Less => DimStep::One {
+                        sign: Sign::Plus,
+                        dist: plus,
+                    },
+                    Ordering::Greater => DimStep::One {
+                        sign: Sign::Minus,
+                        dist: minus,
+                    },
                     Ordering::Equal => DimStep::Both { dist: plus },
                 }
             }
@@ -538,10 +548,7 @@ mod tests {
         assert_eq!(t.diameter(), 16);
         // The paper's example: (4,4) -> (2,2) in 6^2 takes 4 hops.
         let s = Topology::torus(&[6, 6]);
-        assert_eq!(
-            s.distance(s.node_at(&[4, 4]), s.node_at(&[2, 2])),
-            4
-        );
+        assert_eq!(s.distance(s.node_at(&[4, 4]), s.node_at(&[2, 2])), 4);
     }
 
     #[test]
@@ -607,7 +614,13 @@ mod tests {
         assert!(!steps.is_done());
         assert_eq!(steps.uncorrected_dims().collect::<Vec<_>>(), vec![0, 1]);
         for (_, s) in steps.iter() {
-            assert_eq!(s, DimStep::One { sign: Sign::Minus, dist: 2 });
+            assert_eq!(
+                s,
+                DimStep::One {
+                    sign: Sign::Minus,
+                    dist: 2
+                }
+            );
         }
     }
 

@@ -73,7 +73,14 @@ mod tests {
 
     #[test]
     fn display_mentions_parameters() {
-        assert!(TrafficError::InvalidFraction { value: 1.5 }.to_string().contains("1.5"));
-        assert!(TrafficError::RadiusTooLarge { radius: 9, radix: 8 }.to_string().contains('9'));
+        assert!(TrafficError::InvalidFraction { value: 1.5 }
+            .to_string()
+            .contains("1.5"));
+        assert!(TrafficError::RadiusTooLarge {
+            radius: 9,
+            radix: 8
+        }
+        .to_string()
+        .contains('9'));
     }
 }

@@ -77,7 +77,11 @@ impl Hotspot {
 
 impl TrafficPattern for Hotspot {
     fn name(&self) -> String {
-        format!("hotspot({}%x{})", self.fraction * 100.0, self.hotspots.len())
+        format!(
+            "hotspot({}%x{})",
+            self.fraction * 100.0,
+            self.hotspots.len()
+        )
     }
 
     fn sample_dest(&self, src: NodeId, rng: &mut SimRng) -> NodeId {

@@ -87,9 +87,15 @@ impl MessageLength {
             return Err(TrafficError::InvalidLength);
         }
         if !(0.0..1.0).contains(&long_fraction) {
-            return Err(TrafficError::InvalidFraction { value: long_fraction });
+            return Err(TrafficError::InvalidFraction {
+                value: long_fraction,
+            });
         }
-        Ok(MessageLength::Bimodal { short, long, long_fraction })
+        Ok(MessageLength::Bimodal {
+            short,
+            long,
+            long_fraction,
+        })
     }
 
     /// Draws a message length in flits.
@@ -97,7 +103,11 @@ impl MessageLength {
         match *self {
             MessageLength::Fixed { flits } => flits,
             MessageLength::Uniform { min, max } => min + rng.uniform_below(max - min + 1),
-            MessageLength::Bimodal { short, long, long_fraction } => {
+            MessageLength::Bimodal {
+                short,
+                long,
+                long_fraction,
+            } => {
                 if rng.bernoulli(long_fraction) {
                     long
                 } else {
@@ -112,9 +122,11 @@ impl MessageLength {
         match *self {
             MessageLength::Fixed { flits } => flits as f64,
             MessageLength::Uniform { min, max } => (min + max) as f64 / 2.0,
-            MessageLength::Bimodal { short, long, long_fraction } => {
-                long as f64 * long_fraction + short as f64 * (1.0 - long_fraction)
-            }
+            MessageLength::Bimodal {
+                short,
+                long,
+                long_fraction,
+            } => long as f64 * long_fraction + short as f64 * (1.0 - long_fraction),
         }
     }
 
@@ -134,8 +146,16 @@ impl fmt::Display for MessageLength {
         match *self {
             MessageLength::Fixed { flits } => write!(f, "{flits} flits"),
             MessageLength::Uniform { min, max } => write!(f, "{min}-{max} flits"),
-            MessageLength::Bimodal { short, long, long_fraction } => {
-                write!(f, "{short}/{long} flits ({:.0}% long)", long_fraction * 100.0)
+            MessageLength::Bimodal {
+                short,
+                long,
+                long_fraction,
+            } => {
+                write!(
+                    f,
+                    "{short}/{long} flits ({:.0}% long)",
+                    long_fraction * 100.0
+                )
             }
         }
     }
@@ -193,6 +213,9 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(MessageLength::fixed(16).unwrap().to_string(), "16 flits");
-        assert_eq!(MessageLength::uniform(4, 8).unwrap().to_string(), "4-8 flits");
+        assert_eq!(
+            MessageLength::uniform(4, 8).unwrap().to_string(),
+            "4-8 flits"
+        );
     }
 }

@@ -1,8 +1,6 @@
 //! The [`TrafficPattern`] trait and the [`TrafficConfig`] registry.
 
-use crate::{
-    BitReversal, Complement, Hotspot, Local, SimRng, TrafficError, Transpose, Uniform,
-};
+use crate::{BitReversal, Complement, Hotspot, Local, SimRng, TrafficError, Transpose, Uniform};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use wormsim_topology::{NodeId, Topology};
@@ -163,7 +161,10 @@ mod tests {
         let topo = Topology::torus(&[16, 16]);
         let configs = [
             TrafficConfig::Uniform,
-            TrafficConfig::Hotspot { nodes: vec![vec![15, 15]], fraction: 0.04 },
+            TrafficConfig::Hotspot {
+                nodes: vec![vec![15, 15]],
+                fraction: 0.04,
+            },
             TrafficConfig::Local { radius: 3 },
             TrafficConfig::Transpose,
             TrafficConfig::BitReversal,
@@ -175,7 +176,10 @@ mod tests {
             for src in [0u32, 17, 255] {
                 let dist = p.dest_distribution(NodeId::new(src));
                 let total: f64 = dist.iter().sum();
-                assert!((total - 1.0).abs() < 1e-9, "{cfg} from {src}: total {total}");
+                assert!(
+                    (total - 1.0).abs() < 1e-9,
+                    "{cfg} from {src}: total {total}"
+                );
                 assert_eq!(dist[src as usize], 0.0, "{cfg}: no self traffic");
             }
         }
@@ -184,9 +188,15 @@ mod tests {
     #[test]
     fn hotspot_rejects_bad_coordinates() {
         let topo = Topology::torus(&[4, 4]);
-        let cfg = TrafficConfig::Hotspot { nodes: vec![vec![9, 9]], fraction: 0.04 };
+        let cfg = TrafficConfig::Hotspot {
+            nodes: vec![vec![9, 9]],
+            fraction: 0.04,
+        };
         assert_eq!(cfg.build(&topo).unwrap_err(), TrafficError::BadHotspots);
-        let cfg = TrafficConfig::Hotspot { nodes: vec![vec![1]], fraction: 0.04 };
+        let cfg = TrafficConfig::Hotspot {
+            nodes: vec![vec![1]],
+            fraction: 0.04,
+        };
         assert_eq!(cfg.build(&topo).unwrap_err(), TrafficError::BadHotspots);
     }
 

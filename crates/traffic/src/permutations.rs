@@ -44,7 +44,9 @@ impl Transpose {
     /// square two-dimensional torus or mesh.
     pub fn new(topo: &Topology) -> Result<Self, TrafficError> {
         if topo.num_dims() != 2 || topo.radix(0) != topo.radix(1) {
-            return Err(TrafficError::RequiresSquare2d { pattern: "transpose" });
+            return Err(TrafficError::RequiresSquare2d {
+                pattern: "transpose",
+            });
         }
         Ok(Transpose { topo: topo.clone() })
     }
@@ -97,9 +99,14 @@ impl BitReversal {
     pub fn new(topo: &Topology) -> Result<Self, TrafficError> {
         let n = topo.num_nodes();
         if !n.is_power_of_two() {
-            return Err(TrafficError::RequiresPowerOfTwo { pattern: "bit-reversal" });
+            return Err(TrafficError::RequiresPowerOfTwo {
+                pattern: "bit-reversal",
+            });
         }
-        Ok(BitReversal { num_nodes: n, bits: n.trailing_zeros() })
+        Ok(BitReversal {
+            num_nodes: n,
+            bits: n.trailing_zeros(),
+        })
     }
 
     fn map(&self, src: NodeId) -> Option<NodeId> {
@@ -208,7 +215,10 @@ impl Permutation {
         {
             return Err(TrafficError::BadPermutation);
         }
-        Ok(Permutation { num_nodes: topo.num_nodes(), map })
+        Ok(Permutation {
+            num_nodes: topo.num_nodes(),
+            map,
+        })
     }
 
     fn map(&self, src: NodeId) -> Option<NodeId> {

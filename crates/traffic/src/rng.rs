@@ -138,7 +138,10 @@ mod tests {
         let mut a = SimRng::stream(123, 0);
         let mut b = SimRng::stream(123, 1);
         let same = (0..100).filter(|_| a.next_u32() == b.next_u32()).count();
-        assert!(same < 3, "streams should be nearly disjoint, {same} collisions");
+        assert!(
+            same < 3,
+            "streams should be nearly disjoint, {same} collisions"
+        );
     }
 
     #[test]
@@ -149,7 +152,10 @@ mod tests {
             counts[rng.uniform_below(7) as usize] += 1;
         }
         for &c in &counts {
-            assert!((9_000..11_000).contains(&c), "bucket count {c} far from 10000");
+            assert!(
+                (9_000..11_000).contains(&c),
+                "bucket count {c} far from 10000"
+            );
         }
     }
 

@@ -29,7 +29,9 @@ pub struct Uniform {
 impl Uniform {
     /// Builds uniform traffic for `topo`.
     pub fn new(topo: &Topology) -> Self {
-        Uniform { num_nodes: topo.num_nodes() }
+        Uniform {
+            num_nodes: topo.num_nodes(),
+        }
     }
 }
 

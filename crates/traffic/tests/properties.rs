@@ -2,8 +2,8 @@
 //! declared exact distribution, and distributions are proper.
 
 use proptest::prelude::*;
-use wormsim_traffic::{SimRng, TrafficConfig};
 use wormsim_topology::{NodeId, Topology};
+use wormsim_traffic::{SimRng, TrafficConfig};
 
 fn arb_setup() -> impl Strategy<Value = (Topology, TrafficConfig, u32, u64)> {
     let topo = prop_oneof![
@@ -14,7 +14,10 @@ fn arb_setup() -> impl Strategy<Value = (Topology, TrafficConfig, u32, u64)> {
     ];
     let config = prop_oneof![
         Just(TrafficConfig::Uniform),
-        Just(TrafficConfig::Hotspot { nodes: vec![vec![0, 0]], fraction: 0.04 }),
+        Just(TrafficConfig::Hotspot {
+            nodes: vec![vec![0, 0]],
+            fraction: 0.04
+        }),
         Just(TrafficConfig::Local { radius: 1 }),
         Just(TrafficConfig::Transpose),
         Just(TrafficConfig::BitReversal),

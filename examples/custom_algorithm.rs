@@ -58,7 +58,9 @@ impl RoutingAlgorithm for NegativeFirst {
         // (Half-radix ties count as positive so they never re-enter the
         // negative phase.)
         for dim in 0..topo.num_dims() {
-            if let DimStep::One { sign: Sign::Minus, .. } = topo.dim_step(here, state.dest(), dim)
+            if let DimStep::One {
+                sign: Sign::Minus, ..
+            } = topo.dim_step(here, state.dest(), dim)
             {
                 out.push(Candidate::new(Direction::new(dim, Sign::Minus), class));
             }
@@ -91,7 +93,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "negative-first CDG on {}x{} torus: {} ({} vcs, {} deps)",
             dims[0],
             dims[1],
-            if report.is_acyclic() { "acyclic" } else { "CYCLIC" },
+            if report.is_acyclic() {
+                "acyclic"
+            } else {
+                "CYCLIC"
+            },
             report.vertices(),
             report.edges()
         );
@@ -110,7 +116,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nuniform traffic at offered 0.3 on 16x16 torus, 30k cycles:");
     // Built-ins go through the normal builder...
-    for kind in [AlgorithmKind::NorthLast, AlgorithmKind::WestFirst, AlgorithmKind::Ecube] {
+    for kind in [
+        AlgorithmKind::NorthLast,
+        AlgorithmKind::WestFirst,
+        AlgorithmKind::Ecube,
+    ] {
         let mut net = NetworkBuilder::new(topo.clone(), kind)
             .arrival(ArrivalProcess::geometric(rate)?)
             .message_length(MessageLength::fixed(16)?)
@@ -137,14 +147,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
 fn report_net(net: &mut Network) {
     let delivered = net.drain_delivered();
-    let mean = delivered.iter().map(|m| m.latency as f64).sum::<f64>()
-        / delivered.len().max(1) as f64;
+    let mean =
+        delivered.iter().map(|m| m.latency as f64).sum::<f64>() / delivered.len().max(1) as f64;
     println!(
         "  {:>6}: {:>6} delivered, mean latency {:>6.1} cycles, util {:.3}{}",
         net.algorithm().name(),
         delivered.len(),
         mean,
-        net.metrics().channel_utilization(net.num_network_channels()),
-        if net.deadlock_report().is_some() { "  DEADLOCK" } else { "" }
+        net.metrics()
+            .channel_utilization(net.num_network_channels()),
+        if net.deadlock_report().is_some() {
+            "  DEADLOCK"
+        } else {
+            ""
+        }
     );
 }

@@ -7,14 +7,20 @@ use wormsim::{AlgorithmKind, Experiment, Topology, TrafficConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topo = Topology::torus(&[16, 16]);
-    let hotspot = TrafficConfig::Hotspot { nodes: vec![vec![15, 15]], fraction: 0.04 };
+    let hotspot = TrafficConfig::Hotspot {
+        nodes: vec![vec![15, 15]],
+        fraction: 0.04,
+    };
 
     // How much hotter is the hot node? (The paper quotes 11.5x.)
     let pattern = hotspot.build(&topo)?;
     let dist = pattern.dest_distribution(topo.node_at(&[0, 0]));
     let hot = dist[topo.node_at(&[15, 15]).as_usize()];
     let cold = dist[topo.node_at(&[1, 0]).as_usize()];
-    println!("hotspot node receives {:.1}x the traffic of any other node\n", hot / cold);
+    println!(
+        "hotspot node receives {:.1}x the traffic of any other node\n",
+        hot / cold
+    );
 
     println!(
         "{:>6} | {:>16} {:>16} | {:>9}",

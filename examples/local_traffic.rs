@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (h, w) in weights.iter().enumerate().filter(|(_, w)| **w > 0.0) {
         println!("  class {h}: {w:.4}");
     }
-    println!("mean distance: {:.2} hops (vs 8.03 uniform)\n", pattern.mean_distance(&topo));
+    println!(
+        "mean distance: {:.2} hops (vs 8.03 uniform)\n",
+        pattern.mean_distance(&topo)
+    );
 
     // Short paths change the picture: 2pn beats e-cube here (the paper's
     // Figure 5), because adaptivity helps and wrap-around rarely matters.
@@ -29,7 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         AlgorithmKind::Ecube,
         AlgorithmKind::NorthLast,
     ] {
-        let base = Experiment::new(topo.clone(), algorithm).traffic(local.clone()).seed(9);
+        let base = Experiment::new(topo.clone(), algorithm)
+            .traffic(local.clone())
+            .seed(9);
         let a = base.clone().offered_load(0.3).run()?;
         let b = base.clone().offered_load(0.5).run()?;
         println!(

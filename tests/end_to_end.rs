@@ -3,9 +3,7 @@
 //! full public API path (topology -> routing -> traffic -> engine -> stats
 //! -> experiment).
 
-use wormsim::{
-    AlgorithmKind, Experiment, MeasurementSchedule, Switching, Topology, TrafficConfig,
-};
+use wormsim::{AlgorithmKind, Experiment, MeasurementSchedule, Switching, Topology, TrafficConfig};
 
 fn quick(algorithm: AlgorithmKind) -> Experiment {
     Experiment::new(Topology::torus(&[8, 8]), algorithm)
@@ -83,7 +81,10 @@ fn cut_through_rehabilitates_2pn() {
     };
     let tpn_wh = run(AlgorithmKind::TwoPowerN, Switching::wormhole());
     let tpn_vct = run(AlgorithmKind::TwoPowerN, Switching::VirtualCutThrough);
-    let nbc_vct = run(AlgorithmKind::NegativeHopBonusCards, Switching::VirtualCutThrough);
+    let nbc_vct = run(
+        AlgorithmKind::NegativeHopBonusCards,
+        Switching::VirtualCutThrough,
+    );
     assert!(
         tpn_vct > tpn_wh + 0.05,
         "cut-through should lift 2pn: wh {tpn_wh:.3}, vct {tpn_vct:.3}"
@@ -104,7 +105,11 @@ fn experiments_are_reproducible() {
             .seed(seed)
             .run()
             .expect("experiment runs");
-        (r.latency.mean(), r.achieved_utilization, r.messages_measured)
+        (
+            r.latency.mean(),
+            r.achieved_utilization,
+            r.messages_measured,
+        )
     };
     assert_eq!(run(7), run(7));
     assert_ne!(run(7), run(8));

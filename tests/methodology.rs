@@ -49,7 +49,10 @@ fn paper_quoted_hop_class_weights() {
 #[test]
 fn paper_quoted_hotspot_ratio() {
     let topo = presets::paper_topology();
-    let pattern = presets::fig4().traffic.build(&topo).expect("hotspot builds");
+    let pattern = presets::fig4()
+        .traffic
+        .build(&topo)
+        .expect("hotspot builds");
     let dist = pattern.dest_distribution(topo.node_at(&[0, 0]));
     let hot = dist[topo.node_at(&[15, 15]).as_usize()];
     let other = dist[topo.node_at(&[7, 7]).as_usize()];
@@ -59,12 +62,15 @@ fn paper_quoted_hotspot_ratio() {
 /// A run's convergence accounting is internally consistent.
 #[test]
 fn convergence_accounting() {
-    let r = Experiment::new(Topology::torus(&[8, 8]), AlgorithmKind::NegativeHopBonusCards)
-        .schedule(MeasurementSchedule::quick())
-        .offered_load(0.2)
-        .seed(5)
-        .run()
-        .expect("experiment runs");
+    let r = Experiment::new(
+        Topology::torus(&[8, 8]),
+        AlgorithmKind::NegativeHopBonusCards,
+    )
+    .schedule(MeasurementSchedule::quick())
+    .offered_load(0.2)
+    .seed(5)
+    .run()
+    .expect("experiment runs");
     let schedule = MeasurementSchedule::quick();
     assert!(r.samples >= schedule.policy.min_samples);
     assert!(r.samples <= schedule.policy.max_samples);
@@ -100,8 +106,7 @@ fn sweep_csv_is_well_formed() {
 #[test]
 fn presets_are_feasible() {
     for spec in presets::all_figures() {
-        let experiments =
-            presets::experiments_for(&spec, MeasurementSchedule::quick(), 1);
+        let experiments = presets::experiments_for(&spec, MeasurementSchedule::quick(), 1);
         assert_eq!(
             experiments.len(),
             spec.algorithms.len() * spec.loads.len(),
@@ -112,7 +117,10 @@ fn presets_are_feasible() {
             let rate = e.injection_rate().expect("feasible rate");
             // Uniform traffic needs at most ~0.031 msgs/node/cycle at full
             // load; local traffic's short paths push that up to ~0.071.
-            assert!(rate > 0.0 && rate < 0.08, "rate {rate} plausible for 16-flit worms");
+            assert!(
+                rate > 0.0 && rate < 0.08,
+                "rate {rate} plausible for 16-flit worms"
+            );
         }
     }
 }
