@@ -102,15 +102,17 @@ fn observability_benches() {
             let mut net = build();
             match mode {
                 "sinks_off" => {}
-                "ring_trace" => net.enable_tracing(),
+                "ring_trace" => {
+                    net.observer().trace_ring();
+                }
                 "jsonl_samples" => {
                     let sink =
                         JsonlSink::create(out_dir.join("samples.jsonl")).expect("sink opens");
-                    net.enable_sampling(1_000, Box::new(sink));
+                    net.observer().sample(1_000, Box::new(sink));
                 }
                 "jsonl_trace" => {
                     let sink = JsonlSink::create(out_dir.join("trace.jsonl")).expect("sink opens");
-                    net.set_event_sink(Box::new(sink));
+                    net.observer().trace_into(Box::new(sink));
                 }
                 _ => unreachable!(),
             }

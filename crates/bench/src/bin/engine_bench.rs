@@ -1,7 +1,7 @@
 //! Engine-core perf regression bench: steps/sec on the default paper
 //! configuration (16×16 torus, uniform traffic, 16-flit messages) at a fixed
 //! offered load, recorded to JSON so the perf trajectory is tracked PR over
-//! PR (see `BENCH_engine_core.json` at the repository root).
+//! PR (see `BENCH_engine.json` at the repository root).
 //!
 //! ```text
 //! engine_bench [--load F] [--cycles N] [--warmup N] [--seed N] [--out FILE]
@@ -46,8 +46,8 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
                 options.load = v
                     .parse::<f64>()
                     .ok()
-                    .filter(|l| (0.0..=1.5).contains(l) && *l > 0.0)
-                    .ok_or_else(|| format!("bad load '{v}' (expected 0 < load <= 1.5)"))?;
+                    .filter(|l| (0.0..=1.0).contains(l) && *l > 0.0)
+                    .ok_or_else(|| format!("bad load '{v}' (expected 0 < load <= 1)"))?;
             }
             "--cycles" => options.cycles = cli::parse_seed(&value("--cycles")?)?,
             "--warmup" => options.warmup = cli::parse_seed(&value("--warmup")?)?,
@@ -62,6 +62,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
 struct Measurement {
     algorithm: &'static str,
     steps_per_sec: f64,
+    flits_per_sec: f64,
     wall_seconds: f64,
     flit_hops: u64,
     delivered: u64,
@@ -87,11 +88,13 @@ fn measure(kind: AlgorithmKind, options: &Options) -> Measurement {
     let start = Instant::now();
     net.run(options.cycles);
     let wall_seconds = start.elapsed().as_secs_f64();
+    let flit_hops = net.metrics().flit_hops;
     Measurement {
         algorithm: kind.name(),
         steps_per_sec: options.cycles as f64 / wall_seconds,
+        flits_per_sec: flit_hops as f64 / wall_seconds,
         wall_seconds,
-        flit_hops: net.metrics().flit_hops,
+        flit_hops,
         delivered: net.metrics().delivered,
     }
 }
@@ -108,10 +111,11 @@ fn json_report(options: &Options, results: &[Measurement]) -> String {
     out.push_str("  \"results\": [\n");
     for (i, m) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"algorithm\": \"{}\", \"steps_per_sec\": {:.0}, \"wall_seconds\": {:.4}, \
-             \"flit_hops\": {}, \"delivered\": {}}}{}\n",
+            "    {{\"algorithm\": \"{}\", \"steps_per_sec\": {:.0}, \"flits_per_sec\": {:.0}, \
+             \"wall_seconds\": {:.4}, \"flit_hops\": {}, \"delivered\": {}}}{}\n",
             m.algorithm,
             m.steps_per_sec,
+            m.flits_per_sec,
             m.wall_seconds,
             m.flit_hops,
             m.delivered,
@@ -140,13 +144,15 @@ fn main() {
     for kind in AlgorithmKind::all() {
         let m = measure(kind, &options);
         println!(
-            "  {:>6}: {:>10.0} steps/s  ({} flit-hops, {} delivered)",
-            m.algorithm, m.steps_per_sec, m.flit_hops, m.delivered
+            "  {:>6}: {:>10.0} steps/s  {:>12.0} flits/s  ({} flit-hops, {} delivered)",
+            m.algorithm, m.steps_per_sec, m.flits_per_sec, m.flit_hops, m.delivered
         );
         results.push(m);
     }
     let mean: f64 = results.iter().map(|m| m.steps_per_sec).sum::<f64>() / results.len() as f64;
-    println!("  mean: {mean:.0} steps/s");
+    let mean_flits: f64 =
+        results.iter().map(|m| m.flits_per_sec).sum::<f64>() / results.len() as f64;
+    println!("  mean: {mean:.0} steps/s, {mean_flits:.0} flits/s");
 
     if let Some(path) = &options.out {
         let report = json_report(&options, &results);

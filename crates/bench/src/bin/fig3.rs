@@ -10,7 +10,10 @@ fn main() {
         spec.id,
         spec.algorithms.len() * spec.loads.len()
     );
-    let results = run_figure(&spec, &options);
+    let results = run_figure(&spec, &options).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     print_figure(&spec, &results);
     print_paper_comparison(&spec.id, &results);
     match write_csv(&spec.id, &results, &options.out_dir) {

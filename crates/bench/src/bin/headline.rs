@@ -12,7 +12,10 @@ fn main() {
             spec.id,
             spec.algorithms.len() * spec.loads.len()
         );
-        let results = run_figure(&spec, &options);
+        let results = run_figure(&spec, &options).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
         println!("== {} ({}) ==", spec.title, spec.id);
         println!("Peak achieved utilization:");
         for algo in &spec.algorithms {

@@ -120,7 +120,10 @@ fn main() {
         spec.algorithms.len() * spec.loads.len(),
         options.threads
     );
-    let results = run_figure(&spec, &options);
+    let results = run_figure(&spec, &options).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     print_figure(&spec, &results);
     match write_csv(&spec.id, &results, &options.out_dir) {
         Ok(path) => eprintln!("wrote {path}"),

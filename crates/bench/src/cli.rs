@@ -120,8 +120,8 @@ pub fn parse_loads(s: &str) -> Result<Vec<f64>, String> {
         }
         _ => return Err(format!("bad loads '{s}' (list or start:end:step)")),
     };
-    if loads.is_empty() || loads.iter().any(|&l| !(0.0..=1.5).contains(&l) || l == 0.0) {
-        return Err(format!("loads out of (0, 1.5] in '{s}'"));
+    if loads.is_empty() || loads.iter().any(|&l| !(0.0..=1.0).contains(&l) || l == 0.0) {
+        return Err(format!("loads out of (0, 1] in '{s}'"));
     }
     Ok(loads)
 }

@@ -4,11 +4,15 @@
 //! paper-style latency/throughput series, and records CSV files that
 //! EXPERIMENTS.md references.
 
+use std::fmt;
 use std::io::Write as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use wormsim::presets::FigureSpec;
 use wormsim::{
-    format_results_table, format_sweep_csv, MeasurementSchedule, ObserveConfig, RunResult,
+    format_results_table, format_sweep_csv, ExperimentError, MeasurementSchedule, ObserveConfig,
+    RunResult,
 };
 
 pub mod cli;
@@ -113,9 +117,50 @@ impl HarnessOptions {
     }
 }
 
+/// A figure sweep failure: the first experiment (lowest index in the
+/// sweep's deterministic algorithm-major, load-minor order) whose run
+/// returned an error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepError {
+    /// Index of the failed point in the sweep's deterministic order.
+    pub index: usize,
+    /// Algorithm of the failed point.
+    pub algorithm: String,
+    /// Offered load of the failed point.
+    pub offered_load: f64,
+    /// What went wrong.
+    pub source: ExperimentError,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sweep point {} ({} at offered load {}) failed: {}",
+            self.index, self.algorithm, self.offered_load, self.source
+        )
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// Runs every `(algorithm, load)` experiment of a figure in parallel and
 /// returns results in deterministic order (algorithm-major, load-minor).
-pub fn run_figure(spec: &FigureSpec, options: &HarnessOptions) -> Vec<RunResult> {
+///
+/// # Errors
+///
+/// The first failing experiment wins: its [`SweepError`] is returned,
+/// unclaimed points are cancelled via a shared flag (points already
+/// running finish but their results are dropped). Workers never panic on
+/// experiment failure.
+pub fn run_figure(
+    spec: &FigureSpec,
+    options: &HarnessOptions,
+) -> Result<Vec<RunResult>, SweepError> {
     let mut experiments = wormsim::presets::experiments_for(spec, options.schedule, options.seed);
     if options.observe_dir.is_some() || options.trace_dir.is_some() {
         let config = ObserveConfig {
@@ -130,24 +175,43 @@ pub fn run_figure(spec: &FigureSpec, options: &HarnessOptions) -> Vec<RunResult>
             .collect();
     }
     let total = experiments.len();
-    let done = std::sync::atomic::AtomicUsize::new(0);
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    let failure: Mutex<Option<SweepError>> = Mutex::new(None);
     let started = std::time::Instant::now();
-    let slots: Vec<std::sync::Mutex<Option<RunResult>>> =
-        (0..total).map(|_| std::sync::Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<RunResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..options.threads.max(1) {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if cancelled.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= total {
                     break;
                 }
-                let result = experiments[i]
-                    .run()
-                    .unwrap_or_else(|e| panic!("experiment {i} failed: {e}"));
-                *slots[i].lock().expect("no poisoned slots") = Some(result);
-                let completed = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                match experiments[i].run() {
+                    Ok(result) => {
+                        *slots[i].lock().expect("no poisoned slots") = Some(result);
+                    }
+                    Err(e) => {
+                        cancelled.store(true, Ordering::Relaxed);
+                        let error = SweepError {
+                            index: i,
+                            algorithm: experiments[i].algorithm_kind().name().to_owned(),
+                            offered_load: experiments[i].offered_load_value(),
+                            source: e,
+                        };
+                        let mut first = failure.lock().expect("no poisoned failure slot");
+                        if first.as_ref().is_none_or(|f| i < f.index) {
+                            *first = Some(error);
+                        }
+                        break;
+                    }
+                }
+                let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
                 let remaining = total - completed;
                 if remaining == 0 {
                     eprint!("\r  {completed}/{total} points              ");
@@ -162,14 +226,17 @@ pub fn run_figure(spec: &FigureSpec, options: &HarnessOptions) -> Vec<RunResult>
     });
     eprintln!();
 
-    slots
+    if let Some(error) = failure.into_inner().expect("no poisoned failure slot") {
+        return Err(error);
+    }
+    Ok(slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
                 .expect("no poisoned slots")
                 .expect("all slots filled")
         })
-        .collect()
+        .collect())
 }
 
 /// Prints the figure in the paper's two-panel form (latency vs offered
@@ -399,7 +466,7 @@ mod tests {
             threads: 4,
             ..HarnessOptions::default()
         };
-        let results = run_figure(&spec, &options);
+        let results = run_figure(&spec, &options).expect("all points run");
         assert_eq!(results.len(), 4);
         // Ordering: algorithm-major, load-minor.
         assert_eq!(results[0].algorithm, "ecube");
@@ -411,5 +478,35 @@ mod tests {
         assert_eq!(csv.lines().count(), 5);
         assert!(peak_utilization(&results, "phop") > 0.2);
         assert!(latency_at(&results, "ecube", 0.1) > 15.0);
+    }
+
+    #[test]
+    fn sweep_error_names_the_first_failing_point() {
+        // Load 9.0 is invalid, so the second point of each series fails.
+        // One worker thread makes "first error wins" exact: index 1.
+        let mut spec = presets::fig3();
+        spec.loads = vec![0.1, 9.0];
+        spec.algorithms = vec![
+            wormsim::AlgorithmKind::Ecube,
+            wormsim::AlgorithmKind::PositiveHop,
+        ];
+        let options = HarnessOptions {
+            schedule: MeasurementSchedule::quick(),
+            threads: 1,
+            ..HarnessOptions::default()
+        };
+        let error = run_figure(&spec, &options).expect_err("invalid load must fail the sweep");
+        assert_eq!(error.index, 1);
+        assert_eq!(error.algorithm, "ecube");
+        assert!((error.offered_load - 9.0).abs() < 1e-12);
+        assert!(matches!(
+            error.source,
+            wormsim::ExperimentError::InvalidLoad { .. }
+        ));
+        let message = error.to_string();
+        assert!(message.contains("ecube"), "got: {message}");
+        assert!(message.contains('9'), "got: {message}");
+        use std::error::Error as _;
+        assert!(error.source().is_some());
     }
 }

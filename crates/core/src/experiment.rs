@@ -17,13 +17,66 @@ use wormsim_traffic::{ArrivalProcess, MessageLength, TrafficConfig};
 pub enum ExperimentError {
     /// The underlying simulator rejected the configuration.
     Engine(EngineError),
-    /// The offered load must be in `(0, ~1.5]` (beyond ≈1 the network is
-    /// overloaded by construction, which is allowed for saturation studies,
-    /// but nonsensical values are rejected).
+    /// The offered load must be in `(0, 1]`: it is a fraction of channel
+    /// capacity, and beyond 1 the network is overloaded by construction.
+    ///
+    /// ```
+    /// use wormsim::{AlgorithmKind, Experiment, ExperimentError};
+    /// use wormsim::topology::Topology;
+    ///
+    /// let error = Experiment::new(Topology::torus(&[4, 4]), AlgorithmKind::Ecube)
+    ///     .offered_load(1.2)
+    ///     .validate()
+    ///     .unwrap_err();
+    /// assert_eq!(error, ExperimentError::InvalidLoad { value: 1.2 });
+    /// ```
     InvalidLoad {
         /// The rejected value.
         value: f64,
     },
+    /// `vc_replicas == 0`: every VC class needs at least one replica, or
+    /// the network has no virtual channels at all.
+    ///
+    /// ```
+    /// use wormsim::{AlgorithmKind, Experiment, ExperimentError};
+    /// use wormsim::topology::Topology;
+    ///
+    /// let error = Experiment::new(Topology::torus(&[4, 4]), AlgorithmKind::Ecube)
+    ///     .vc_replicas(0)
+    ///     .validate()
+    ///     .unwrap_err();
+    /// assert_eq!(error, ExperimentError::ZeroVcReplicas);
+    /// ```
+    ZeroVcReplicas,
+    /// `congestion_limit == Some(0)`: a zero limit would refuse every
+    /// message at the source; use `None` to disable congestion control.
+    ///
+    /// ```
+    /// use wormsim::{AlgorithmKind, Experiment, ExperimentError};
+    /// use wormsim::topology::Topology;
+    ///
+    /// let error = Experiment::new(Topology::torus(&[4, 4]), AlgorithmKind::Ecube)
+    ///     .congestion_limit(Some(0))
+    ///     .validate()
+    ///     .unwrap_err();
+    /// assert_eq!(error, ExperimentError::ZeroCongestionLimit);
+    /// ```
+    ZeroCongestionLimit,
+    /// The message-length distribution can produce zero-flit messages
+    /// (only possible by building a [`MessageLength`] variant by hand —
+    /// the constructors reject it).
+    ///
+    /// ```
+    /// use wormsim::{AlgorithmKind, Experiment, ExperimentError, MessageLength};
+    /// use wormsim::topology::Topology;
+    ///
+    /// let error = Experiment::new(Topology::torus(&[4, 4]), AlgorithmKind::Ecube)
+    ///     .message_length(MessageLength::Uniform { min: 0, max: 8 })
+    ///     .validate()
+    ///     .unwrap_err();
+    /// assert_eq!(error, ExperimentError::ZeroLengthMessage);
+    /// ```
+    ZeroLengthMessage,
     /// The computed injection rate left `(0, 1]` — the topology/message
     /// combination cannot offer this load.
     RateOutOfRange {
@@ -44,7 +97,19 @@ impl fmt::Display for ExperimentError {
         match self {
             ExperimentError::Engine(e) => write!(f, "engine: {e}"),
             ExperimentError::InvalidLoad { value } => {
-                write!(f, "offered load {value} out of range")
+                write!(f, "offered load {value} out of range (0, 1]")
+            }
+            ExperimentError::ZeroVcReplicas => {
+                write!(f, "vc_replicas must be at least 1")
+            }
+            ExperimentError::ZeroCongestionLimit => {
+                write!(
+                    f,
+                    "congestion limit 0 refuses every message; use None to disable"
+                )
+            }
+            ExperimentError::ZeroLengthMessage => {
+                write!(f, "message length distribution allows zero-flit messages")
             }
             ExperimentError::RateOutOfRange { rate } => {
                 write!(f, "computed injection rate {rate} out of range")
@@ -224,6 +289,11 @@ impl Experiment {
         &self.topology
     }
 
+    /// The routing algorithm under test.
+    pub fn algorithm_kind(&self) -> AlgorithmKind {
+        self.algorithm
+    }
+
     /// The configured traffic pattern.
     pub fn traffic_config(&self) -> &TrafficConfig {
         &self.traffic
@@ -239,6 +309,36 @@ impl Experiment {
         self.offered_load
     }
 
+    /// Checks the configuration for nonsensical combinations without
+    /// building or running the simulator. [`run`](Self::run) calls this
+    /// first, so misconfiguration fails with a named error before any
+    /// cycle is simulated; call it directly to vet configurations up
+    /// front (e.g. when accepting CLI input).
+    ///
+    /// # Errors
+    ///
+    /// * [`ExperimentError::InvalidLoad`] — `offered_load` outside `(0, 1]`
+    /// * [`ExperimentError::ZeroVcReplicas`] — `vc_replicas == 0`
+    /// * [`ExperimentError::ZeroCongestionLimit`] — `congestion_limit == Some(0)`
+    /// * [`ExperimentError::ZeroLengthMessage`] — a zero-flit [`MessageLength`]
+    pub fn validate(&self) -> Result<(), ExperimentError> {
+        if !self.offered_load.is_finite() || self.offered_load <= 0.0 || self.offered_load > 1.0 {
+            return Err(ExperimentError::InvalidLoad {
+                value: self.offered_load,
+            });
+        }
+        if self.vc_replicas == 0 {
+            return Err(ExperimentError::ZeroVcReplicas);
+        }
+        if self.congestion_limit == Some(0) {
+            return Err(ExperimentError::ZeroCongestionLimit);
+        }
+        if self.length.min() == 0 {
+            return Err(ExperimentError::ZeroLengthMessage);
+        }
+        Ok(())
+    }
+
     /// The per-node injection rate this experiment will use (Equation 4
     /// inverted, with the pattern's exact mean distance).
     ///
@@ -246,11 +346,7 @@ impl Experiment {
     ///
     /// Returns the same validation errors as [`run`](Self::run).
     pub fn injection_rate(&self) -> Result<f64, ExperimentError> {
-        if !self.offered_load.is_finite() || self.offered_load <= 0.0 || self.offered_load > 1.5 {
-            return Err(ExperimentError::InvalidLoad {
-                value: self.offered_load,
-            });
-        }
+        self.validate()?;
         let pattern = self
             .traffic
             .build(&self.topology)
@@ -276,6 +372,7 @@ impl Experiment {
     /// simulation is not an `Err`: it is reported in
     /// [`RunResult::deadlock`] so sweeps can record partial data.
     pub fn run(&self) -> Result<RunResult, ExperimentError> {
+        self.validate()?;
         let rate = self.injection_rate()?;
         let pattern = self
             .traffic
@@ -317,13 +414,13 @@ impl Experiment {
                 std::fs::create_dir_all(dir).map_err(io_err)?;
                 let sink = JsonlSink::create(dir.join(format!("{run_id}.samples.jsonl")))
                     .map_err(io_err)?;
-                net.enable_sampling(observe.stride(), Box::new(sink));
+                net.observer().sample(observe.stride(), Box::new(sink));
             }
             if let Some(dir) = observe.trace_dir.as_ref() {
                 std::fs::create_dir_all(dir).map_err(io_err)?;
                 let sink =
                     JsonlSink::create(dir.join(format!("{run_id}.trace.jsonl"))).map_err(io_err)?;
-                net.set_event_sink(Box::new(sink));
+                net.observer().trace_into(Box::new(sink));
             }
         }
 

@@ -65,7 +65,9 @@ pub use wormsim_topology as topology;
 pub use wormsim_traffic as traffic;
 
 // The most common types, re-exported flat for convenience.
-pub use wormsim_engine::{EjectionModel, NetworkBuilder, SelectionPolicy, Switching};
+pub use wormsim_engine::{
+    EjectionModel, NetworkBuilder, ObserverHandle, SelectionPolicy, Switching,
+};
 pub use wormsim_observe::{ObserveConfig, RunManifest, Sample};
 pub use wormsim_routing::AlgorithmKind;
 pub use wormsim_stats::{ConfidenceInterval, ConvergencePolicy, ConvergenceStatus};

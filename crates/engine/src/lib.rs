@@ -54,6 +54,7 @@ mod flit;
 mod message;
 mod metrics;
 mod network;
+mod observer;
 mod trace;
 mod vc;
 
@@ -62,6 +63,7 @@ pub use error::EngineError;
 pub use flit::{Flit, FlitKind, MessageId};
 pub use metrics::{DeliveredMessage, Metrics};
 pub use network::{DeadlockReport, Network, DEFAULT_TRACE_CAPACITY};
+pub use observer::ObserverHandle;
 pub use trace::TraceEvent;
 
 /// The observability layer (sinks, samples, manifests), re-exported so

@@ -4,21 +4,24 @@ use crate::config::{EjectionModel, SelectionPolicy, SimConfig, Switching};
 use crate::flit::{Flit, MessageId};
 use crate::message::{MessageRec, MessageSlab};
 use crate::metrics::{DeliveredMessage, Metrics};
-use crate::vc::{InputVc, OutputVc, RouteTarget};
+use crate::observer::ObserverHandle;
+use crate::vc::{InputVc, RouteTarget};
 use crate::{EngineError, TraceEvent};
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use wormsim_observe::{EventSink, RingSink, Sample};
 use wormsim_routing::{Candidate, MessageRouteState, RoutingAlgorithm};
 use wormsim_topology::{Direction, NodeId, Topology};
 use wormsim_traffic::{SimRng, TrafficPattern};
 
 /// Capacity of the bounded trace ring installed by
-/// [`Network::enable_tracing`]: generous for short diagnostic runs, small
-/// enough that a saturated multi-hour run cannot exhaust memory. When the
-/// ring is full the oldest event is evicted and counted in
-/// [`Network::dropped_trace_events`]; size the ring explicitly with
-/// [`Network::enable_tracing_with_capacity`], or stream everything with
-/// [`Network::set_event_sink`].
+/// [`observer().trace_ring()`](ObserverHandle::trace_ring): generous for
+/// short diagnostic runs, small enough that a saturated multi-hour run
+/// cannot exhaust memory. When the ring is full the oldest event is
+/// evicted and counted in [`Network::dropped_trace_events`]; size the ring
+/// explicitly with
+/// [`trace_ring_with_capacity`](ObserverHandle::trace_ring_with_capacity),
+/// or stream everything with [`trace_into`](ObserverHandle::trace_into).
 pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 
 /// Where trace events go: nowhere, a bounded ring, or a caller-supplied
@@ -142,8 +145,6 @@ struct NodeState {
     queue: VecDeque<MessageId>,
     /// Congestion-control occupancy per message class.
     class_counts: HashMap<u32, u32>,
-    /// Cycle of the next traffic arrival.
-    next_arrival: Option<u64>,
     /// Injection VCs currently streaming a message (VC indices).
     streaming_inj: Vec<u16>,
     /// Round-robin pointer over `streaming_inj` for the injection budget.
@@ -160,6 +161,48 @@ struct LinkMove {
     node: u32,
     dir: u8,
     vc: u16,
+}
+
+/// Decoded `(node, port, vc)` of an input VC index, precomputed so hot
+/// paths avoid the divisions of [`Network::ivc_parts`].
+#[derive(Clone, Copy, Debug)]
+struct IvcMeta {
+    node: u32,
+    vc: u16,
+    port: u8,
+}
+
+/// A routed input VC waiting on an output channel. Everything the
+/// switch-allocation inner loop needs is precomputed at routing time so
+/// arbitration touches only this entry, the occupancy shadow, and the
+/// output VC's credits.
+#[derive(Clone, Copy, Debug, Default)]
+struct OutputRequest {
+    ivc: u32,
+    ovc: u32,
+    vc: u16,
+    from_injection: bool,
+}
+
+/// A fixed-size bitmap worklist. Iterating set bits visits indices in
+/// ascending order — for free, every cycle — which is what keeps the
+/// event-driven phases bit-identical to the full scans they replace.
+#[derive(Clone, Debug)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, index: usize) {
+        self.words[index / 64] |= 1u64 << (index % 64);
+    }
 }
 
 /// The assembled network simulator.
@@ -184,15 +227,60 @@ pub struct Network {
     capacity: u32,
 
     input_vcs: Vec<InputVc>,
-    output_vcs: Vec<OutputVc>,
-    /// Input VCs currently routed to each output channel.
-    requests: Vec<Vec<u32>>,
+    /// Reservation per output VC: the message currently holding it.
+    out_owner: Vec<Option<MessageId>>,
+    /// Credits per output VC (free slots in the paired downstream input
+    /// buffer). Kept as a bare array — separate from `out_owner` — so the
+    /// switch-allocation credit checks stay in a compact, cache-friendly
+    /// range.
+    out_credits: Vec<u32>,
+    /// Input VCs currently routed to each output channel, as a flat
+    /// channel-major matrix with `vcs` slots per channel (a requester holds
+    /// one of the channel's `vcs` output-VC reservations, so a row can
+    /// never overflow). Row occupancy lives in `request_len`. Fixed storage
+    /// — no per-channel `Vec`s to reallocate or chase through.
+    requests: Vec<OutputRequest>,
+    /// Number of live entries in each channel's request row.
+    request_len: Vec<u8>,
     /// Round-robin pointer per output channel.
     out_rr: Vec<usize>,
     /// Input VCs whose front head still needs a route.
     pending_route: Vec<u32>,
     /// Input VCs currently delivering to the local node.
     ejecting: Vec<u32>,
+    /// Pending traffic arrivals as `Reverse((cycle, node))`: a min-heap so
+    /// phase 1 only visits nodes that actually fire. Ties on the cycle pop
+    /// in ascending node order, which preserves the RNG consumption order
+    /// of the full per-node scan this replaces.
+    arrival_heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Nodes with a non-empty source queue (worklist for phase 2).
+    /// Invariant: a node's queue is non-empty ⟹ its bit is set; bits of
+    /// drained nodes are cleared as the phase visits them.
+    inj_dirty: BitSet,
+    /// Output channels with at least one routed input VC (worklist for
+    /// phase 4). Invariant: `requests[ch]` non-empty ⟹ bit set; channels
+    /// whose request list drained are dropped lazily at the next
+    /// switch-allocation pass.
+    active_channels: BitSet,
+    /// Nodes with at least one streaming injection VC (worklist for the
+    /// injection budget). Invariant: `streaming_inj` non-empty ⟹ bit set;
+    /// drained nodes are dropped lazily.
+    active_inj_nodes: BitSet,
+    /// Reused `(node, ivc)` buffer for single-channel ejection grouping.
+    scratch_eject: Vec<(u32, u32)>,
+    /// Decoded `(node, port, vc)` per input VC index.
+    ivc_meta: Vec<IvcMeta>,
+    /// Neighbor node per output channel (`u32::MAX` at mesh boundaries).
+    neighbor_of: Vec<u32>,
+    /// Owning `(node, dir)` per output channel index.
+    ch_owner: Vec<(u32, u8)>,
+    /// Routing class per physical VC (`vc / replicas`).
+    vc_class: Vec<u8>,
+    /// Buffer occupancy per input VC: a compact shadow of
+    /// `input_vcs[i].buffer.len()` so the switch-allocation and
+    /// injection-budget inner loops stay inside a few cache lines instead
+    /// of chasing into the full [`InputVc`] structs.
+    occ: Vec<u32>,
     nodes: Vec<NodeState>,
     slab: MessageSlab,
 
@@ -269,13 +357,48 @@ impl Network {
         let n = topo.num_nodes() as usize;
         let capacity = cfg.buffer_capacity();
 
+        let ivc_meta = (0..n * ports * vcs)
+            .map(|i| {
+                let vc = (i % vcs) as u16;
+                let rest = i / vcs;
+                IvcMeta {
+                    node: (rest / ports) as u32,
+                    vc,
+                    port: (rest % ports) as u8,
+                }
+            })
+            .collect();
+        let neighbor_of = (0..n * dirs)
+            .map(|ch| {
+                let node = NodeId::new((ch / dirs) as u32);
+                let dir = Direction::from_index(ch % dirs);
+                topo.neighbor(node, dir).map_or(u32::MAX, |nb| nb.index())
+            })
+            .collect();
+        let vc_class = (0..vcs).map(|vc| (vc / replicas) as u8).collect();
+        let ch_owner = (0..n * dirs)
+            .map(|ch| ((ch / dirs) as u32, (ch % dirs) as u8))
+            .collect();
+
         let mut net = Network {
             input_vcs: (0..n * ports * vcs).map(|_| InputVc::default()).collect(),
-            output_vcs: vec![OutputVc::new(capacity); n * dirs * vcs],
-            requests: vec![Vec::new(); n * dirs],
+            out_owner: vec![None; n * dirs * vcs],
+            out_credits: vec![capacity; n * dirs * vcs],
+            requests: vec![OutputRequest::default(); n * dirs * vcs],
+            request_len: vec![0; n * dirs],
             out_rr: vec![0; n * dirs],
             pending_route: Vec::new(),
             ejecting: Vec::new(),
+            arrival_heap: BinaryHeap::with_capacity(n),
+            inj_dirty: BitSet::new(n),
+            active_channels: BitSet::new(n * dirs),
+            active_inj_nodes: BitSet::new(n),
+            scratch_eject: Vec::new(),
+            ivc_meta,
+            neighbor_of,
+            ch_owner,
+            vc_class,
+            occ: vec![0; n * ports * vcs],
             nodes: (0..n).map(|_| NodeState::default()).collect(),
             slab: MessageSlab::default(),
             metrics: Metrics::new(classes, cfg.track_channel_load, n * dirs),
@@ -320,11 +443,8 @@ impl Network {
 
     #[inline]
     fn ivc_parts(&self, ivc: u32) -> (u32, usize, usize) {
-        let vc = ivc as usize % self.vcs;
-        let rest = ivc as usize / self.vcs;
-        let port = rest % self.ports;
-        let node = rest / self.ports;
-        (node as u32, port, vc)
+        let meta = self.ivc_meta[ivc as usize];
+        (meta.node, meta.port as usize, meta.vc as usize)
     }
 
     #[inline]
@@ -403,6 +523,14 @@ impl Network {
         std::mem::take(&mut self.delivered)
     }
 
+    /// Appends the accumulated delivery records to `out` and clears the
+    /// internal buffer. Allocation-free variant of
+    /// [`drain_delivered`](Self::drain_delivered) for drive loops that poll
+    /// every sampling period.
+    pub fn drain_delivered_into(&mut self, out: &mut Vec<DeliveredMessage>) {
+        out.append(&mut self.delivered);
+    }
+
     /// Flits currently inside the network or its source queues.
     pub fn flits_in_flight(&self) -> u64 {
         self.flits_in_flight
@@ -424,38 +552,44 @@ impl Network {
         self.deadlock
     }
 
-    /// Turns message-lifecycle tracing on into a bounded in-memory ring of
-    /// [`DEFAULT_TRACE_CAPACITY`] events: subsequent milestones are
-    /// recorded until [`drain_trace`](Self::drain_trace) or
-    /// [`disable_tracing`](Self::disable_tracing). When the ring fills, the
-    /// oldest events are evicted and counted in
-    /// [`dropped_trace_events`](Self::dropped_trace_events). An already
-    /// installed ring (and its contents) is kept. See [`TraceEvent`] for
-    /// the event vocabulary.
-    pub fn enable_tracing(&mut self) {
+    /// The unified observability entry point: a builder-style
+    /// [`ObserverHandle`] over this network's tracing and sampling state.
+    /// See [`TraceEvent`] for the trace vocabulary.
+    ///
+    /// ```
+    /// # use wormsim_engine::{NetworkBuilder};
+    /// # use wormsim_topology::Topology;
+    /// # use wormsim_routing::AlgorithmKind;
+    /// # let mut net = NetworkBuilder::new(Topology::torus(&[4, 4]), AlgorithmKind::Ecube)
+    /// #     .build().unwrap();
+    /// net.observer().trace_ring_with_capacity(256);
+    /// net.run(100);
+    /// let events = net.drain_trace();
+    /// # let _ = events;
+    /// ```
+    pub fn observer(&mut self) -> ObserverHandle<'_> {
+        ObserverHandle::new(self)
+    }
+
+    /// Tracing into the default bounded ring; keeps an installed ring.
+    pub(crate) fn observe_trace_ring(&mut self) {
         if !matches!(self.events, TraceSink::Ring(_)) {
             self.events = TraceSink::Ring(RingSink::new(DEFAULT_TRACE_CAPACITY));
         }
     }
 
-    /// Like [`enable_tracing`](Self::enable_tracing) but with an explicit
-    /// ring capacity (clamped to at least 1). Replaces any installed sink.
-    pub fn enable_tracing_with_capacity(&mut self, capacity: usize) {
+    /// Tracing into a ring of `capacity` events (clamped to at least 1).
+    pub(crate) fn observe_trace_ring_with_capacity(&mut self, capacity: usize) {
         self.events = TraceSink::Ring(RingSink::new(capacity));
     }
 
-    /// Routes trace events into a caller-supplied sink — typically a
-    /// [`JsonlSink`](wormsim_observe::JsonlSink) when the full event stream
-    /// matters. Replaces any installed ring.
-    pub fn set_event_sink(&mut self, sink: Box<dyn EventSink<TraceEvent>>) {
+    /// Tracing into a caller-supplied sink, replacing any installed ring.
+    pub(crate) fn observe_set_event_sink(&mut self, sink: Box<dyn EventSink<TraceEvent>>) {
         self.events = TraceSink::Custom(sink);
     }
 
-    /// Removes and returns a sink installed via
-    /// [`set_event_sink`](Self::set_event_sink), turning tracing off.
-    /// Returns `None` (leaving the state untouched) when tracing is off or
-    /// backed by the built-in ring.
-    pub fn take_event_sink(&mut self) -> Option<Box<dyn EventSink<TraceEvent>>> {
+    /// Removes a custom sink (tracing off); `None` when off or ring-backed.
+    pub(crate) fn observe_take_event_sink(&mut self) -> Option<Box<dyn EventSink<TraceEvent>>> {
         match std::mem::replace(&mut self.events, TraceSink::Off) {
             TraceSink::Custom(sink) => Some(sink),
             other => {
@@ -465,9 +599,40 @@ impl Network {
         }
     }
 
-    /// Turns tracing off and discards any buffered events.
-    pub fn disable_tracing(&mut self) {
+    /// Tracing off; buffered events are discarded.
+    pub(crate) fn observe_disable_tracing(&mut self) {
         self.events = TraceSink::Off;
+    }
+
+    /// Turns message-lifecycle tracing on into a bounded in-memory ring of
+    /// [`DEFAULT_TRACE_CAPACITY`] events.
+    #[deprecated(note = "use `network.observer().trace_ring()` instead")]
+    pub fn enable_tracing(&mut self) {
+        self.observe_trace_ring();
+    }
+
+    /// Like `enable_tracing` but with an explicit ring capacity.
+    #[deprecated(note = "use `network.observer().trace_ring_with_capacity(n)` instead")]
+    pub fn enable_tracing_with_capacity(&mut self, capacity: usize) {
+        self.observe_trace_ring_with_capacity(capacity);
+    }
+
+    /// Routes trace events into a caller-supplied sink.
+    #[deprecated(note = "use `network.observer().trace_into(sink)` instead")]
+    pub fn set_event_sink(&mut self, sink: Box<dyn EventSink<TraceEvent>>) {
+        self.observe_set_event_sink(sink);
+    }
+
+    /// Removes and returns a sink installed via `set_event_sink`.
+    #[deprecated(note = "use `network.observer().take_trace_sink()` instead")]
+    pub fn take_event_sink(&mut self) -> Option<Box<dyn EventSink<TraceEvent>>> {
+        self.observe_take_event_sink()
+    }
+
+    /// Turns tracing off and discards any buffered events.
+    #[deprecated(note = "use `network.observer().trace_off()` instead")]
+    pub fn disable_tracing(&mut self) {
+        self.observe_disable_tracing();
     }
 
     /// Takes the buffered trace events, oldest first (empty if tracing is
@@ -503,7 +668,7 @@ impl Network {
     /// carries the counter deltas for its window plus an instantaneous
     /// snapshot of queue depths and VC occupancy; windows survive
     /// [`reset_metrics`](Self::reset_metrics) unharmed.
-    pub fn enable_sampling(&mut self, every: u64, sink: Box<dyn EventSink<Sample>>) {
+    pub(crate) fn observe_enable_sampling(&mut self, every: u64, sink: Box<dyn EventSink<Sample>>) {
         let channels = self.metrics.channel_flits.as_ref().map_or(0, Vec::len);
         let mut base = WindowBase::zeros(self.classes, channels);
         base.copy_from(&self.metrics);
@@ -519,8 +684,20 @@ impl Network {
 
     /// Stops sampling, returning the sink (so callers can flush it or read
     /// its drop counter). `None` if sampling was off.
-    pub fn disable_sampling(&mut self) -> Option<Box<dyn EventSink<Sample>>> {
+    pub(crate) fn observe_disable_sampling(&mut self) -> Option<Box<dyn EventSink<Sample>>> {
         self.sampler.take().map(|sampler| sampler.sink)
+    }
+
+    /// Starts emitting one [`Sample`] into `sink` every `every` cycles.
+    #[deprecated(note = "use `network.observer().sample(every, sink)` instead")]
+    pub fn enable_sampling(&mut self, every: u64, sink: Box<dyn EventSink<Sample>>) {
+        self.observe_enable_sampling(every, sink);
+    }
+
+    /// Stops sampling, returning the sink. `None` if sampling was off.
+    #[deprecated(note = "use `network.observer().sample_off()` instead")]
+    pub fn disable_sampling(&mut self) -> Option<Box<dyn EventSink<Sample>>> {
+        self.observe_disable_sampling()
     }
 
     /// Emits the current (possibly partial) sampling window immediately —
@@ -663,9 +840,7 @@ impl Network {
     /// [`run_until_empty`](Self::run_until_empty) can drain the network at
     /// the end of a run even under an open arrival process.
     pub fn stop_arrivals(&mut self) {
-        for node in &mut self.nodes {
-            node.next_arrival = None;
-        }
+        self.arrival_heap.clear();
     }
 
     /// Re-seeds the arrival/destination/length/arbitration streams for a
@@ -759,25 +934,26 @@ impl Network {
     // ------------------------------------------------------------------
 
     fn schedule_initial_arrivals(&mut self) {
-        for node in 0..self.nodes.len() {
-            self.nodes[node].next_arrival = self
-                .cfg
-                .arrival
-                .next_gap(&mut self.arrivals_rng)
-                .map(|gap| gap - 1);
+        for node in 0..self.nodes.len() as u32 {
+            if let Some(gap) = self.cfg.arrival.next_gap(&mut self.arrivals_rng) {
+                self.arrival_heap.push(Reverse((gap - 1, node)));
+            }
         }
     }
 
     fn phase_arrivals(&mut self) {
-        for node in 0..self.nodes.len() as u32 {
-            if self.nodes[node as usize].next_arrival != Some(self.cycle) {
-                continue;
+        // Arrival gaps are ≥ 1, so every entry still queued is due at the
+        // current cycle or later; equal-cycle entries pop in ascending node
+        // order, matching the scan this replaces.
+        while let Some(&Reverse((when, node))) = self.arrival_heap.peek() {
+            debug_assert!(when >= self.cycle, "arrivals are drained every cycle");
+            if when != self.cycle {
+                break;
             }
-            self.nodes[node as usize].next_arrival = self
-                .cfg
-                .arrival
-                .next_gap(&mut self.arrivals_rng)
-                .map(|gap| self.cycle + gap);
+            self.arrival_heap.pop();
+            if let Some(gap) = self.cfg.arrival.next_gap(&mut self.arrivals_rng) {
+                self.arrival_heap.push(Reverse((self.cycle + gap, node)));
+            }
             let src = NodeId::new(node);
             let dest = self.pattern.sample_dest(src, &mut self.dest_rng);
             let length = self.cfg.length.sample(&mut self.length_rng);
@@ -820,6 +996,7 @@ impl Network {
         let node = &mut self.nodes[src.as_usize()];
         *node.class_counts.entry(injection_class).or_insert(0) += 1;
         node.queue.push_back(id);
+        self.inj_dirty.insert(src.as_usize());
         self.metrics.generated += 1;
         self.flits_in_flight += length as u64;
         self.trace(TraceEvent::Generated {
@@ -837,32 +1014,51 @@ impl Network {
     // ------------------------------------------------------------------
 
     fn phase_assign_injection(&mut self) {
+        // Set bits are visited in ascending node order, matching the full
+        // scan this replaces (the order fixes routing priority downstream
+        // via `pending_route`). Nodes still blocked on a free VC keep
+        // their bit.
         let inj_port = self.injection_port();
-        for node in 0..self.nodes.len() as u32 {
-            while !self.nodes[node as usize].queue.is_empty() {
-                // Find a free injection VC (empty buffer, no route).
-                let Some(vc) = (0..self.vcs).find(|&vc| {
-                    let ivc = self.ivc_index(node, inj_port, vc);
-                    let slot = &self.input_vcs[ivc as usize];
-                    slot.buffer.is_empty() && slot.route.is_none()
-                }) else {
-                    break;
-                };
-                let id = self.nodes[node as usize]
-                    .queue
-                    .pop_front()
-                    .expect("non-empty");
-                let length = self.slab.get(id).length;
-                let ivc = self.ivc_index(node, inj_port, vc);
-                for flit in Flit::sequence(id, length) {
-                    self.input_vcs[ivc as usize].push(flit);
-                }
-                self.trace(TraceEvent::InjectionStarted {
-                    cycle: self.cycle,
-                    msg: id,
-                });
-                self.enqueue_pending(ivc);
+        for w in 0..self.inj_dirty.words.len() {
+            let mut bits = self.inj_dirty.words[w];
+            if bits == 0 {
+                continue;
             }
+            let mut keep = bits;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let node = (w * 64 + bit) as u32;
+                while !self.nodes[node as usize].queue.is_empty() {
+                    // Find a free injection VC (empty buffer, no route).
+                    let Some(vc) = (0..self.vcs).find(|&vc| {
+                        let ivc = self.ivc_index(node, inj_port, vc);
+                        let slot = &self.input_vcs[ivc as usize];
+                        slot.buffer.is_empty() && slot.route.is_none()
+                    }) else {
+                        break;
+                    };
+                    let id = self.nodes[node as usize]
+                        .queue
+                        .pop_front()
+                        .expect("non-empty");
+                    let length = self.slab.get(id).length;
+                    let ivc = self.ivc_index(node, inj_port, vc);
+                    for flit in Flit::sequence(id, length) {
+                        self.input_vcs[ivc as usize].push(flit);
+                    }
+                    self.occ[ivc as usize] += length;
+                    self.trace(TraceEvent::InjectionStarted {
+                        cycle: self.cycle,
+                        msg: id,
+                    });
+                    self.enqueue_pending(ivc);
+                }
+                if self.nodes[node as usize].queue.is_empty() {
+                    keep &= !(1u64 << bit);
+                }
+            }
+            self.inj_dirty.words[w] = keep;
         }
     }
 
@@ -875,12 +1071,17 @@ impl Network {
     // ------------------------------------------------------------------
 
     fn phase_route(&mut self) {
-        let pending = std::mem::take(&mut self.pending_route);
-        for ivc in pending {
+        // In-place compaction: `try_route` never pushes to `pending_route`
+        // (failures stay, in order), so no take-and-reallocate is needed.
+        let mut kept = 0;
+        for i in 0..self.pending_route.len() {
+            let ivc = self.pending_route[i];
             if !self.try_route(ivc) {
-                self.pending_route.push(ivc);
+                self.pending_route[kept] = ivc;
+                kept += 1;
             }
         }
+        self.pending_route.truncate(kept);
     }
 
     fn try_route(&mut self, ivc: u32) -> bool {
@@ -920,21 +1121,21 @@ impl Network {
             for r in 0..self.replicas {
                 let vc = base + r;
                 let ovc = self.ovc_index(node, dir, vc);
-                let out = &self.output_vcs[ovc];
-                if !out.is_free() {
+                if self.out_owner[ovc].is_some() {
                     continue;
                 }
+                let credits = self.out_credits[ovc];
                 free_seen += 1;
                 let take = match self.cfg.selection {
                     SelectionPolicy::FirstFree => best.is_none(),
-                    SelectionPolicy::MostCredits => best.is_none_or(|(_, _, _, c)| out.credits > c),
+                    SelectionPolicy::MostCredits => best.is_none_or(|(_, _, _, c)| credits > c),
                     SelectionPolicy::Random => {
                         // Reservoir sampling over the free set.
                         self.arb_rng.uniform_below(free_seen) == 0
                     }
                 };
                 if take {
-                    best = Some((ovc, dir as u8, vc as u16, out.credits));
+                    best = Some((ovc, dir as u8, vc as u16, credits));
                 }
             }
         }
@@ -943,18 +1144,29 @@ impl Network {
         let Some((ovc, dir, vc, _)) = best else {
             return false;
         };
-        self.output_vcs[ovc].owner = Some(msg);
+        self.out_owner[ovc] = Some(msg);
         self.input_vcs[ivc as usize].route = Some(RouteTarget::Link { dir, vc });
         let ch = self.channel_index(node, dir as usize);
-        self.requests[ch].push(ivc);
+        let (_, port, in_vc) = self.ivc_parts(ivc);
+        let from_injection = port == self.injection_port();
+        let len = self.request_len[ch] as usize;
+        debug_assert!(len < self.vcs, "a channel has at most `vcs` requesters");
+        self.requests[ch * self.vcs + len] = OutputRequest {
+            ivc,
+            ovc: ovc as u32,
+            vc,
+            from_injection,
+        };
+        self.request_len[ch] = (len + 1) as u8;
+        self.active_channels.insert(ch);
         // An injection VC becomes a "streaming" lane once its head has a
         // route, making it eligible for the per-node injection budget.
-        let (_, port, in_vc) = self.ivc_parts(ivc);
-        if port == self.injection_port() {
+        if from_injection {
             let state = &mut self.nodes[node as usize];
             if !state.streaming_inj.contains(&(in_vc as u16)) {
                 state.streaming_inj.push(in_vc as u16);
             }
+            self.active_inj_nodes.insert(node as usize);
         }
         true
     }
@@ -966,43 +1178,61 @@ impl Network {
     fn phase_switch_allocation(&mut self) {
         self.scratch_moves.clear();
         self.mark_injection_budget();
-        let inj_port = self.injection_port();
-        for node in 0..self.nodes.len() as u32 {
-            for dir in 0..self.dirs {
-                let ch = self.channel_index(node, dir);
-                let len = self.requests[ch].len();
+        // Set bits are visited in ascending channel order — node-major,
+        // direction-minor — matching the nested full scan this replaces,
+        // so round-robin state and `scratch_moves` order are bit-identical.
+        // Channels whose request list has drained are dropped here (lazy
+        // removal).
+        for w in 0..self.active_channels.words.len() {
+            let mut bits = self.active_channels.words[w];
+            if bits == 0 {
+                continue;
+            }
+            let mut keep = bits;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let ch = w * 64 + bit;
+                let len = self.request_len[ch] as usize;
                 if len == 0 {
+                    keep &= !(1u64 << bit);
                     continue;
                 }
-                let start = self.out_rr[ch] % len;
-                for offset in 0..len {
-                    let ivc = self.requests[ch][(start + offset) % len];
-                    let (_, port, _) = self.ivc_parts(ivc);
-                    let slot = &self.input_vcs[ivc as usize];
-                    if slot.buffer.is_empty() {
-                        continue;
+                let (node, dir) = self.ch_owner[ch];
+                let row = ch * self.vcs;
+                // Round-robin with lazy wrap: `out_rr` is only reduced
+                // modulo `len` when the list shrank underneath it, so the
+                // common path runs division-free.
+                let mut idx = self.out_rr[ch];
+                if idx >= len {
+                    idx %= len;
+                }
+                for _ in 0..len {
+                    let req = self.requests[row + idx];
+                    let granted = self.occ[req.ivc as usize] != 0
+                        && (!req.from_injection || self.marked_inj[req.ivc as usize])
+                        && self.out_credits[req.ovc as usize] != 0;
+                    idx += 1;
+                    if idx == len {
+                        idx = 0;
                     }
-                    if port == inj_port && !self.marked_inj[ivc as usize] {
-                        continue;
+                    if granted {
+                        debug_assert_eq!(
+                            self.input_vcs[req.ivc as usize].route,
+                            Some(RouteTarget::Link { dir, vc: req.vc })
+                        );
+                        self.scratch_moves.push(LinkMove {
+                            ivc: req.ivc,
+                            node,
+                            dir,
+                            vc: req.vc,
+                        });
+                        self.out_rr[ch] = idx;
+                        break;
                     }
-                    let Some(RouteTarget::Link { dir: d, vc }) = slot.route else {
-                        continue;
-                    };
-                    debug_assert_eq!(d as usize, dir);
-                    let ovc = self.ovc_index(node, dir, vc as usize);
-                    if self.output_vcs[ovc].credits == 0 {
-                        continue;
-                    }
-                    self.scratch_moves.push(LinkMove {
-                        ivc,
-                        node,
-                        dir: dir as u8,
-                        vc,
-                    });
-                    self.out_rr[ch] = (start + offset + 1) % len;
-                    break;
                 }
             }
+            self.active_channels.words[w] = keep;
         }
     }
 
@@ -1014,31 +1244,53 @@ impl Network {
             self.marked_inj[ivc as usize] = false;
         }
         self.marked_list.clear();
+        // Only nodes with streaming injection VCs are visited; the budget
+        // touches per-node state only, so any visit order would do — the
+        // bitmap's ascending order is simply free. Drained nodes are
+        // dropped lazily.
         let inj_port = self.injection_port();
-        for node in 0..self.nodes.len() as u32 {
-            let state = &self.nodes[node as usize];
-            let len = state.streaming_inj.len();
-            if len == 0 {
+        let budget = self.cfg.injection_bandwidth as usize;
+        for w in 0..self.active_inj_nodes.words.len() {
+            let mut bits = self.active_inj_nodes.words[w];
+            if bits == 0 {
                 continue;
             }
-            let start = state.inj_rr % len;
-            let budget = self.cfg.injection_bandwidth as usize;
-            let mut marked = 0;
-            let mut advance = 0;
-            for offset in 0..len {
-                if marked >= budget {
-                    break;
+            let mut keep = bits;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let node = (w * 64 + bit) as u32;
+                let len = self.nodes[node as usize].streaming_inj.len();
+                if len == 0 {
+                    keep &= !(1u64 << bit);
+                    continue;
                 }
-                let vc = self.nodes[node as usize].streaming_inj[(start + offset) % len];
-                let ivc = self.ivc_index(node, inj_port, vc as usize);
-                if !self.input_vcs[ivc as usize].buffer.is_empty() {
-                    self.marked_inj[ivc as usize] = true;
-                    self.marked_list.push(ivc);
-                    marked += 1;
-                    advance = offset + 1;
+                let mut idx = self.nodes[node as usize].inj_rr;
+                if idx >= len {
+                    idx %= len;
                 }
+                let mut next = idx;
+                let mut marked = 0;
+                for _ in 0..len {
+                    if marked >= budget {
+                        break;
+                    }
+                    let vc = self.nodes[node as usize].streaming_inj[idx];
+                    idx += 1;
+                    if idx == len {
+                        idx = 0;
+                    }
+                    let ivc = self.ivc_index(node, inj_port, vc as usize);
+                    if self.occ[ivc as usize] != 0 {
+                        self.marked_inj[ivc as usize] = true;
+                        self.marked_list.push(ivc);
+                        marked += 1;
+                        next = idx;
+                    }
+                }
+                self.nodes[node as usize].inj_rr = next;
             }
-            self.nodes[node as usize].inj_rr = (start + advance) % len;
+            self.active_inj_nodes.words[w] = keep;
         }
     }
 
@@ -1054,11 +1306,14 @@ impl Network {
     }
 
     fn execute_ejections(&mut self) -> bool {
+        if self.ejecting.is_empty() {
+            return false;
+        }
         let mut progressed = false;
-        let ejecting = std::mem::take(&mut self.ejecting);
         match self.cfg.ejection {
             EjectionModel::PerVc => {
-                for &ivc in &ejecting {
+                for i in 0..self.ejecting.len() {
+                    let ivc = self.ejecting[i];
                     let slot = &self.input_vcs[ivc as usize];
                     if slot.route == Some(RouteTarget::Eject) && !slot.buffer.is_empty() {
                         self.eject_one(ivc);
@@ -1068,36 +1323,56 @@ impl Network {
             }
             EjectionModel::SingleChannel => {
                 // One delivery per node per cycle, round-robin among the
-                // node's ejecting VCs.
-                let mut per_node: HashMap<u32, Vec<u32>> = HashMap::new();
-                for &ivc in &ejecting {
+                // node's ejecting VCs. Grouping is a stable sort by node —
+                // not a hash map — so delivery order is deterministic; the
+                // stable sort keeps each node's VCs in `ejecting` order,
+                // which the round-robin pointer indexes into.
+                let mut ready = std::mem::take(&mut self.scratch_eject);
+                ready.clear();
+                for i in 0..self.ejecting.len() {
+                    let ivc = self.ejecting[i];
                     let slot = &self.input_vcs[ivc as usize];
                     if slot.route == Some(RouteTarget::Eject) && !slot.buffer.is_empty() {
                         let (node, _, _) = self.ivc_parts(ivc);
-                        per_node.entry(node).or_default().push(ivc);
+                        ready.push((node, ivc));
                     }
                 }
-                for (node, ready) in per_node {
+                ready.sort_by_key(|&(node, _)| node);
+                let mut i = 0;
+                while i < ready.len() {
+                    let node = ready[i].0;
+                    let mut j = i + 1;
+                    while j < ready.len() && ready[j].0 == node {
+                        j += 1;
+                    }
                     let rr = self.nodes[node as usize].ej_rr;
-                    let ivc = ready[rr % ready.len()];
+                    let ivc = ready[i + rr % (j - i)].1;
                     self.nodes[node as usize].ej_rr = rr.wrapping_add(1);
                     self.eject_one(ivc);
                     progressed = true;
+                    i = j;
                 }
+                self.scratch_eject = ready;
             }
         }
-        // Keep VCs whose route is still Eject (their tail has not passed).
-        for ivc in ejecting {
+        // Keep VCs whose route is still Eject (their tail has not passed),
+        // compacting in place — `eject_one` never pushes to `ejecting`.
+        let mut kept = 0;
+        for i in 0..self.ejecting.len() {
+            let ivc = self.ejecting[i];
             if self.input_vcs[ivc as usize].route == Some(RouteTarget::Eject) {
-                self.ejecting.push(ivc);
+                self.ejecting[kept] = ivc;
+                kept += 1;
             }
         }
+        self.ejecting.truncate(kept);
         progressed
     }
 
     fn eject_one(&mut self, ivc: u32) {
         let (node, port, _vc) = self.ivc_parts(ivc);
         let flit = self.input_vcs[ivc as usize].pop();
+        self.occ[ivc as usize] -= 1;
         self.return_credit(node, port, ivc);
         self.metrics.flits_ejected += 1;
         self.flits_in_flight -= 1;
@@ -1143,13 +1418,14 @@ impl Network {
         let (node, port, _) = self.ivc_parts(mv.ivc);
         debug_assert_eq!(node, mv.node);
         let flit = self.input_vcs[mv.ivc as usize].pop();
+        self.occ[mv.ivc as usize] -= 1;
         let dir = Direction::from_index(mv.dir as usize);
         let inj_port = self.injection_port();
 
         if flit.kind.is_head() {
             // The head leaving a node is the moment the hop is decided:
             // advance the message's routing state.
-            let class = (mv.vc as usize / self.replicas) as u8;
+            let class = self.vc_class[mv.vc as usize];
             let rec = self.slab.get_mut(flit.msg);
             rec.route
                 .advance(&self.topo, NodeId::new(node), Candidate::new(dir, class));
@@ -1188,23 +1464,24 @@ impl Network {
         }
 
         if flit.kind.is_tail() {
-            let ch = self.channel_index(node, mv.dir as usize);
-            self.requests[ch].retain(|&r| r != mv.ivc);
+            self.remove_request(self.channel_index(node, mv.dir as usize), mv.ivc);
             self.after_tail_pop(mv.ivc);
         }
 
         // Deliver the flit into the neighbor's input buffer.
-        let neighbor = self
-            .topo
-            .neighbor(NodeId::new(node), dir)
-            .expect("routed moves follow existing channels");
-        let div = self.ivc_index(neighbor.index(), dir.index(), mv.vc as usize);
+        let neighbor = self.neighbor_of[self.channel_index(node, mv.dir as usize)];
+        debug_assert!(
+            neighbor != u32::MAX,
+            "routed moves follow existing channels"
+        );
+        let div = self.ivc_index(neighbor, dir.index(), mv.vc as usize);
         let was_empty = self.input_vcs[div as usize].buffer.is_empty();
         debug_assert!(
             (self.input_vcs[div as usize].buffer.len() as u32) < self.capacity,
             "credit flow control must prevent overflow"
         );
         self.input_vcs[div as usize].push(flit);
+        self.occ[div as usize] += 1;
         if was_empty && flit.kind.is_head() {
             debug_assert!(self.input_vcs[div as usize].route.is_none());
             self.enqueue_pending(div);
@@ -1212,15 +1489,26 @@ impl Network {
 
         // Channel bookkeeping.
         let ovc = self.ovc_index(node, mv.dir as usize, mv.vc as usize);
-        self.output_vcs[ovc].credits -= 1;
+        self.out_credits[ovc] -= 1;
         if flit.kind.is_tail() {
-            self.output_vcs[ovc].owner = None;
+            self.out_owner[ovc] = None;
         }
         self.metrics.flit_hops += 1;
-        self.metrics.class_flits[mv.vc as usize / self.replicas] += 1;
+        self.metrics.class_flits[self.vc_class[mv.vc as usize] as usize] += 1;
         let ch = self.channel_index(node, mv.dir as usize);
         if let Some(loads) = self.metrics.channel_flits.as_mut() {
             loads[ch] += 1;
+        }
+    }
+
+    /// Drops `ivc`'s entry from a channel's request row, shifting later
+    /// entries left (same order as `Vec::retain`).
+    fn remove_request(&mut self, ch: usize, ivc: u32) {
+        let len = self.request_len[ch] as usize;
+        let row = &mut self.requests[ch * self.vcs..ch * self.vcs + len];
+        if let Some(pos) = row.iter().position(|r| r.ivc == ivc) {
+            row.copy_within(pos + 1.., pos);
+            self.request_len[ch] = (len - 1) as u8;
         }
     }
 
@@ -1243,14 +1531,12 @@ impl Network {
             return;
         }
         let arrive_dir = Direction::from_index(port);
-        let upstream = self
-            .topo
-            .neighbor(NodeId::new(node), arrive_dir.opposite())
-            .expect("flits arrive over existing channels");
+        let upstream = self.neighbor_of[self.channel_index(node, arrive_dir.opposite().index())];
+        debug_assert!(upstream != u32::MAX, "flits arrive over existing channels");
         let (_, _, vc) = self.ivc_parts(ivc);
-        let ovc = self.ovc_index(upstream.index(), arrive_dir.index(), vc);
-        self.output_vcs[ovc].credits += 1;
-        debug_assert!(self.output_vcs[ovc].credits <= self.capacity);
+        let ovc = self.ovc_index(upstream, arrive_dir.index(), vc);
+        self.out_credits[ovc] += 1;
+        debug_assert!(self.out_credits[ovc] <= self.capacity);
     }
 }
 

@@ -1,0 +1,97 @@
+//! Unified observability entry point: [`ObserverHandle`].
+//!
+//! [`Network::observer`](crate::Network::observer) replaces the old sprawl
+//! of per-feature setters (`enable_tracing`, `set_event_sink`,
+//! `enable_sampling`, …) with one builder-style handle:
+//!
+//! ```
+//! use wormsim_engine::{NetworkBuilder, Switching};
+//! use wormsim_engine::observe::{JsonlSink, Sample};
+//! use wormsim_topology::Topology;
+//! use wormsim_routing::AlgorithmKind;
+//!
+//! let mut net = NetworkBuilder::new(Topology::torus(&[4, 4]), AlgorithmKind::Ecube)
+//!     .build()
+//!     .unwrap();
+//! net.observer()
+//!     .trace_ring_with_capacity(64)
+//!     .sample(250, Box::new(JsonlSink::new(Vec::new())));
+//! net.run(500);
+//! let samples = net.observer().sample_off().expect("sampler was on");
+//! # let _ = samples;
+//! ```
+
+use crate::network::Network;
+use crate::trace::TraceEvent;
+use wormsim_observe::{EventSink, Sample};
+
+/// A short-lived, builder-style handle over one [`Network`]'s
+/// observability state (tracing and time-series sampling).
+///
+/// Obtained from [`Network::observer`]; configuration methods consume and
+/// return the handle so calls chain, while the teardown methods
+/// ([`take_trace_sink`](Self::take_trace_sink),
+/// [`sample_off`](Self::sample_off)) consume it and hand back the sink.
+pub struct ObserverHandle<'a> {
+    net: &'a mut Network,
+}
+
+impl<'a> ObserverHandle<'a> {
+    pub(crate) fn new(net: &'a mut Network) -> Self {
+        ObserverHandle { net }
+    }
+
+    /// Buffers message-lifecycle trace events in a bounded in-memory ring
+    /// of [`DEFAULT_TRACE_CAPACITY`](crate::DEFAULT_TRACE_CAPACITY)
+    /// events; read them back with
+    /// [`Network::drain_trace`](Network::drain_trace). An already
+    /// installed ring (and its contents) is kept.
+    pub fn trace_ring(self) -> Self {
+        self.net.observe_trace_ring();
+        self
+    }
+
+    /// Like [`trace_ring`](Self::trace_ring) but with an explicit ring
+    /// capacity (clamped to at least 1). Replaces any installed sink.
+    pub fn trace_ring_with_capacity(self, capacity: usize) -> Self {
+        self.net.observe_trace_ring_with_capacity(capacity);
+        self
+    }
+
+    /// Routes trace events into a caller-supplied sink — typically a
+    /// [`JsonlSink`](wormsim_observe::JsonlSink) when the full event
+    /// stream matters. Replaces any installed ring.
+    pub fn trace_into(self, sink: Box<dyn EventSink<TraceEvent>>) -> Self {
+        self.net.observe_set_event_sink(sink);
+        self
+    }
+
+    /// Turns tracing off and discards any buffered events.
+    pub fn trace_off(self) -> Self {
+        self.net.observe_disable_tracing();
+        self
+    }
+
+    /// Removes and returns a sink installed via
+    /// [`trace_into`](Self::trace_into), turning tracing off. Returns
+    /// `None` (leaving the state untouched) when tracing is off or backed
+    /// by the built-in ring.
+    pub fn take_trace_sink(self) -> Option<Box<dyn EventSink<TraceEvent>>> {
+        self.net.observe_take_event_sink()
+    }
+
+    /// Starts emitting one [`Sample`] into `sink` every `every` cycles
+    /// (clamped to at least 1), replacing any previous sampler. Each
+    /// sample carries the counter deltas for its window plus an
+    /// instantaneous snapshot of queue depths and VC occupancy.
+    pub fn sample(self, every: u64, sink: Box<dyn EventSink<Sample>>) -> Self {
+        self.net.observe_enable_sampling(every, sink);
+        self
+    }
+
+    /// Stops sampling, returning the sink (so callers can flush it or
+    /// read its drop counter). `None` if sampling was off.
+    pub fn sample_off(self) -> Option<Box<dyn EventSink<Sample>>> {
+        self.net.observe_disable_sampling()
+    }
+}

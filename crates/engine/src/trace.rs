@@ -4,13 +4,15 @@
 //! [`TraceEvent`] per message milestone — generation, refusal, injection,
 //! every hop, delivery — and dispatches it to the configured
 //! [`EventSink`](wormsim_observe::EventSink). The default sink installed by
-//! [`enable_tracing`](crate::Network::enable_tracing) is a bounded ring
-//! holding the most recent [`DEFAULT_TRACE_CAPACITY`](crate::DEFAULT_TRACE_CAPACITY)
+//! [`observer().trace_ring()`](crate::ObserverHandle::trace_ring) is a
+//! bounded ring holding the most recent
+//! [`DEFAULT_TRACE_CAPACITY`](crate::DEFAULT_TRACE_CAPACITY)
 //! events (older events are evicted and counted), so tracing is safe to
 //! leave on for long saturated runs; stream to a
 //! [`JsonlSink`](wormsim_observe::JsonlSink) via
-//! [`set_event_sink`](crate::Network::set_event_sink) when the full history
-//! matters. The cost when disabled is one branch per event site.
+//! [`observer().trace_into(sink)`](crate::ObserverHandle::trace_into) when
+//! the full history matters. The cost when disabled is one branch per
+//! event site.
 //!
 //! Events serialize as line JSON through
 //! [`JsonRecord`](wormsim_observe::JsonRecord) with a `"type":"trace"` tag

@@ -1,6 +1,10 @@
-//! Virtual-channel state: input buffers and output reservations.
+//! Virtual-channel state: input buffers.
+//!
+//! The sending side (output-VC reservations and credits) lives directly in
+//! [`Network`](crate::Network) as parallel `out_owner` / `out_credits`
+//! arrays, keeping the switch-allocation hot loop in compact memory.
 
-use crate::{Flit, MessageId};
+use crate::Flit;
 use std::collections::VecDeque;
 
 /// Where a routed input VC sends its flits.
@@ -66,33 +70,10 @@ impl InputVc {
     }
 }
 
-/// The sending side of one virtual channel: reservation plus credits for
-/// the paired downstream input buffer.
-#[derive(Clone, Copy, Debug)]
-pub(crate) struct OutputVc {
-    /// The message currently holding this VC, if any.
-    pub owner: Option<MessageId>,
-    /// Free slots in the downstream input buffer.
-    pub credits: u32,
-}
-
-impl OutputVc {
-    pub fn new(capacity: u32) -> Self {
-        OutputVc {
-            owner: None,
-            credits: capacity,
-        }
-    }
-
-    pub fn is_free(&self) -> bool {
-        self.owner.is_none()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::FlitKind;
+    use crate::{FlitKind, MessageId};
 
     #[test]
     fn tails_track_and_route_clears() {
@@ -141,14 +122,5 @@ mod tests {
         assert_eq!(vc.route, None);
         assert_eq!(vc.front().unwrap().msg, MessageId(2));
         assert!(vc.front().unwrap().kind.is_head());
-    }
-
-    #[test]
-    fn output_vc_reservation() {
-        let mut vc = OutputVc::new(2);
-        assert!(vc.is_free());
-        assert_eq!(vc.credits, 2);
-        vc.owner = Some(MessageId(9));
-        assert!(!vc.is_free());
     }
 }

@@ -31,7 +31,7 @@ fn busy_net(seed: u64) -> Network {
 #[test]
 fn trace_ring_is_bounded_and_counts_drops() {
     let mut net = busy_net(1);
-    net.enable_tracing_with_capacity(64);
+    net.observer().trace_ring_with_capacity(64);
     net.run(3_000);
     let total_events = net.metrics().generated
         + net.metrics().refused
@@ -50,7 +50,7 @@ fn trace_ring_is_bounded_and_counts_drops() {
 #[test]
 fn default_ring_capacity_is_documented_value() {
     let mut net = busy_net(2);
-    net.enable_tracing();
+    net.observer().trace_ring();
     net.run(200);
     // Well under capacity: nothing dropped, everything retained.
     assert_eq!(net.dropped_trace_events(), 0);
@@ -62,12 +62,16 @@ fn default_ring_capacity_is_documented_value() {
 #[test]
 fn jsonl_event_sink_streams_parseable_trace() {
     let mut net = busy_net(3);
-    net.set_event_sink(Box::new(JsonlSink::new(Vec::new())));
+    net.observer()
+        .trace_into(Box::new(JsonlSink::new(Vec::new())));
     net.run(500);
     net.flush_observers().unwrap();
-    let sink = net.take_event_sink().expect("custom sink installed");
+    let sink = net
+        .observer()
+        .take_trace_sink()
+        .expect("custom sink installed");
     assert!(
-        net.take_event_sink().is_none(),
+        net.observer().take_trace_sink().is_none(),
         "sink can only be taken once"
     );
     // Round-trip the stream: every line parses into a TraceEvent.
@@ -78,7 +82,7 @@ fn jsonl_event_sink_streams_parseable_trace() {
     let mut net = busy_net(3);
     let mut jsonl = JsonlSink::new(Vec::new());
     // Stream manually through the ring drain to keep ownership local.
-    net.enable_tracing_with_capacity(usize::MAX);
+    net.observer().trace_ring_with_capacity(usize::MAX);
     net.run(500);
     let events = net.drain_trace();
     assert!(!events.is_empty());
@@ -97,7 +101,7 @@ fn jsonl_event_sink_streams_parseable_trace() {
 fn sampler_emits_on_stride_with_consistent_windows() {
     let (tx, rx) = std::sync::mpsc::channel();
     let mut net = busy_net(4);
-    net.enable_sampling(250, Box::new(CollectSink(tx)));
+    net.observer().sample(250, Box::new(CollectSink(tx)));
     net.run(1_000);
     net.reset_metrics(); // must not corrupt the in-progress window
     net.run(1_000);
@@ -133,22 +137,22 @@ fn sampler_emits_on_stride_with_consistent_windows() {
 fn sample_now_flushes_partial_window() {
     let (tx, rx) = std::sync::mpsc::channel();
     let mut net = busy_net(5);
-    net.enable_sampling(1_000, Box::new(CollectSink(tx)));
+    net.observer().sample(1_000, Box::new(CollectSink(tx)));
     net.run(300);
     net.sample_now();
     let samples: Vec<Sample> = rx.try_iter().collect();
     assert_eq!(samples.len(), 1);
     assert_eq!(samples[0].cycle, 300);
     assert_eq!(samples[0].window_cycles, 300);
-    assert!(net.disable_sampling().is_some());
-    assert!(net.disable_sampling().is_none());
+    assert!(net.observer().sample_off().is_some());
+    assert!(net.observer().sample_off().is_none());
 }
 
 #[test]
 fn sampler_snapshot_fields_are_coherent() {
     let (tx, rx) = std::sync::mpsc::channel();
     let mut net = busy_net(6);
-    net.enable_sampling(500, Box::new(CollectSink(tx)));
+    net.observer().sample(500, Box::new(CollectSink(tx)));
     net.run(2_000);
     let samples: Vec<Sample> = rx.try_iter().collect();
     assert!(!samples.is_empty());
@@ -184,9 +188,9 @@ fn tracing_and_sampling_do_not_perturb_results() {
     let run = |observe: bool| {
         let mut net = busy_net(8);
         if observe {
-            net.enable_tracing_with_capacity(128);
+            net.observer().trace_ring_with_capacity(128);
             let (tx, _rx) = std::sync::mpsc::channel();
-            net.enable_sampling(100, Box::new(CollectSink(tx)));
+            net.observer().sample(100, Box::new(CollectSink(tx)));
         }
         net.run(2_000);
         (
@@ -196,4 +200,28 @@ fn tracing_and_sampling_do_not_perturb_results() {
         )
     };
     assert_eq!(run(false), run(true), "observability must be read-only");
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_setter_shims_still_work() {
+    // The pre-observer API must keep behaving identically until removal.
+    let mut net = busy_net(4);
+    net.enable_tracing_with_capacity(32);
+    net.run(200);
+    assert!(!net.drain_trace().is_empty());
+    net.disable_tracing();
+    net.run(50);
+    assert!(net.drain_trace().is_empty());
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    net.enable_sampling(100, Box::new(CollectSink(tx)));
+    net.run(250);
+    assert!(net.disable_sampling().is_some());
+    assert!(rx.try_iter().count() >= 2);
+
+    net.set_event_sink(Box::new(JsonlSink::new(Vec::new())));
+    assert!(net.take_event_sink().is_some());
+    net.enable_tracing();
+    assert!(net.take_event_sink().is_none(), "ring is not a custom sink");
 }

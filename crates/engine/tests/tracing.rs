@@ -13,7 +13,7 @@ fn single_message_trace_is_a_minimal_path() {
         .seed(1)
         .build()
         .unwrap();
-    net.enable_tracing();
+    net.observer().trace_ring();
     let src = topo.node_at(&[1, 2]);
     let dest = topo.node_at(&[5, 7]);
     let id = net.inject(src, dest, 16);
@@ -79,7 +79,7 @@ fn refusals_are_traced_under_overload() {
         .seed(5)
         .build()
         .unwrap();
-    net.enable_tracing();
+    net.observer().trace_ring();
     net.run(2_000);
     let events = net.drain_trace();
     let refusals = events
@@ -89,7 +89,7 @@ fn refusals_are_traced_under_overload() {
     assert_eq!(refusals as u64, net.metrics().refused);
     assert!(refusals > 0, "overload must refuse");
     // Tracing off by default: a fresh run records nothing.
-    net.disable_tracing();
+    net.observer().trace_off();
     net.run(100);
     assert!(net.drain_trace().is_empty());
 }
@@ -103,7 +103,7 @@ fn trace_volume_matches_counters() {
         .seed(9)
         .build()
         .unwrap();
-    net.enable_tracing();
+    net.observer().trace_ring();
     net.run(3_000);
     let events = net.drain_trace();
     let m = net.metrics();

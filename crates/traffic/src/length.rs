@@ -139,6 +139,17 @@ impl MessageLength {
             MessageLength::Bimodal { short, long, .. } => short.max(long),
         }
     }
+
+    /// The smallest possible message. Zero only for distributions built by
+    /// hand from the enum variants — the constructors reject it — and such
+    /// configurations fail experiment validation.
+    pub fn min(&self) -> u32 {
+        match *self {
+            MessageLength::Fixed { flits } => flits,
+            MessageLength::Uniform { min, .. } => min,
+            MessageLength::Bimodal { short, long, .. } => short.min(long),
+        }
+    }
 }
 
 impl fmt::Display for MessageLength {

@@ -1,0 +1,193 @@
+//! Determinism regression: pins the engine's bit-identical guarantee.
+//!
+//! Two layers of goldens, both produced with seed 1993:
+//!
+//! * raw engine [`Metrics`](wormsim::engine::Metrics) after a fixed-length
+//!   fig3 run, one snapshot per routing algorithm, and
+//! * full [`RunResult`]s for one quick point of each of the paper's
+//!   fig3/fig4/fig5 presets (timing fields zeroed — wall-clock speed is the
+//!   only non-deterministic part of a run).
+//!
+//! Any engine change that alters RNG consumption order, phase ordering, or
+//! arbitration behavior shows up here as a golden mismatch. Deliberate
+//! semantic changes regenerate the goldens with
+//! `WORMSIM_UPDATE_GOLDEN=1 cargo test --test determinism`.
+
+use wormsim::observe::JsonObject;
+use wormsim::presets;
+use wormsim::stats::throughput;
+use wormsim::topology::Topology;
+use wormsim::{
+    AlgorithmKind, ArrivalProcess, Experiment, MessageLength, NetworkBuilder, RunResult,
+    TrafficConfig,
+};
+
+const SEED: u64 = 1993;
+const LOAD: f64 = 0.2;
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the committed golden, or rewrites the golden
+/// when `WORMSIM_UPDATE_GOLDEN=1`.
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("WORMSIM_UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("golden dir creates");
+        std::fs::write(&path, actual).expect("golden writes");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with WORMSIM_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "engine output diverged from the committed golden {name}; if the \
+         change is intentional, regenerate with WORMSIM_UPDATE_GOLDEN=1"
+    );
+}
+
+/// Builds the fig3 network (16×16 torus, uniform 16-flit worms) at the
+/// golden load for one algorithm, exactly as `Experiment::run` would.
+fn fig3_network(algorithm: AlgorithmKind) -> wormsim::engine::Network {
+    let topo: Topology = presets::paper_topology();
+    let pattern = TrafficConfig::Uniform.build(&topo).expect("uniform builds");
+    let rate =
+        throughput::rate_for_utilization(LOAD, 16.0, pattern.mean_distance(&topo), topo.num_dims());
+    NetworkBuilder::new(topo, algorithm)
+        .traffic(TrafficConfig::Uniform)
+        .arrival(ArrivalProcess::geometric(rate).expect("valid rate"))
+        .message_length(MessageLength::fixed(16).expect("valid length"))
+        .seed(SEED)
+        .build()
+        .expect("network builds")
+}
+
+fn metrics_json(algorithm: &str, net: &wormsim::engine::Network) -> String {
+    let m = net.metrics();
+    let mut out = String::new();
+    let mut obj = JsonObject::begin(&mut out);
+    obj.field_str("algorithm", algorithm)
+        .field_u64("cycles", m.cycles)
+        .field_u64("generated", m.generated)
+        .field_u64("refused", m.refused)
+        .field_u64("delivered", m.delivered)
+        .field_u64("flit_hops", m.flit_hops)
+        .field_u64("flits_injected", m.flits_injected)
+        .field_u64("flits_ejected", m.flits_ejected)
+        .field_u64("flits_in_flight", net.flits_in_flight())
+        .field_u64("live_messages", net.live_messages() as u64)
+        .field_u64_array("class_flits", &m.class_flits);
+    obj.finish();
+    out
+}
+
+fn run_result_json(r: &RunResult) -> String {
+    let mut out = String::new();
+    let mut obj = JsonObject::begin(&mut out);
+    obj.field_str("algorithm", &r.algorithm)
+        .field_str("traffic", &r.traffic)
+        .field_f64("offered_load", r.offered_load)
+        .field_f64("injection_rate", r.injection_rate)
+        .field_f64("latency_mean", r.latency.mean())
+        .field_f64("latency_half_width", r.latency.half_width())
+        .field_u64_array("latency_percentiles", &r.latency_percentiles)
+        .field_u64("latency_max", r.latency_max)
+        .field_f64("achieved_utilization", r.achieved_utilization)
+        .field_f64("delivery_rate", r.delivery_rate)
+        .field_f64("acceptance_rate", r.acceptance_rate)
+        .field_f64("refused_fraction", r.refused_fraction)
+        .field_u64("messages_measured", r.messages_measured)
+        .field_str("convergence", &format!("{:?}", r.convergence))
+        .field_u64("samples", r.samples as u64)
+        .field_u64("cycles_simulated", r.cycles_simulated)
+        .field_bool("deadlocked", r.deadlock.is_some());
+    let classes: Vec<String> = r
+        .class_latencies
+        .iter()
+        .map(|c| {
+            let mut s = String::new();
+            let mut o = JsonObject::begin(&mut s);
+            o.field_u64("hops", c.hops as u64)
+                .field_u64("count", c.count)
+                .field_f64("mean", c.mean);
+            o.finish();
+            s
+        })
+        .collect();
+    obj.field_raw("class_latencies", &format!("[{}]", classes.join(",")));
+    obj.finish();
+    out
+}
+
+/// One fig3 quick point per algorithm, seed 1993: the raw engine counters
+/// must be bit-identical run over run and release over release.
+#[test]
+fn fig3_metrics_match_golden() {
+    let mut lines = Vec::new();
+    for algorithm in presets::paper_algorithms() {
+        let mut net = fig3_network(algorithm);
+        // One quick sampling period's worth of cycles: warmup + sample.
+        net.run(3_000);
+        lines.push(metrics_json(algorithm.name(), &net));
+    }
+    let mut snapshot = lines.join("\n");
+    snapshot.push('\n');
+    assert_matches_golden("fig3_metrics_seed1993.jsonl", &snapshot);
+}
+
+/// One quick point of each figure preset through the full `Experiment`
+/// pipeline: latency/throughput estimates must be bit-identical.
+#[test]
+fn figure_quick_run_results_match_golden() {
+    let mut lines = Vec::new();
+    for spec in [presets::fig3(), presets::fig4(), presets::fig5()] {
+        for algorithm in [AlgorithmKind::Ecube, AlgorithmKind::NegativeHopBonusCards] {
+            let mut result = Experiment::new(spec.topology.clone(), algorithm)
+                .traffic(spec.traffic.clone())
+                .switching(spec.switching)
+                .offered_load(LOAD)
+                .quick()
+                .seed(SEED)
+                .run()
+                .expect("quick point runs");
+            // Wall-clock speed is the one legitimately non-deterministic
+            // part of a run; everything else must reproduce exactly.
+            result.wall_seconds = 0.0;
+            result.cycles_per_sec = 0.0;
+            let mut line = String::new();
+            line.push_str(&spec.id);
+            line.push(' ');
+            line.push_str(&run_result_json(&result));
+            lines.push(line);
+        }
+    }
+    let mut snapshot = lines.join("\n");
+    snapshot.push('\n');
+    assert_matches_golden("figures_quick_seed1993.jsonl", &snapshot);
+}
+
+/// The same experiment run twice in-process gives identical results — the
+/// goldens above then extend that equality across builds.
+#[test]
+fn repeated_runs_are_identical() {
+    let run = || {
+        let mut r = Experiment::new(Topology::torus(&[8, 8]), AlgorithmKind::PositiveHop)
+            .offered_load(0.3)
+            .quick()
+            .seed(SEED)
+            .run()
+            .expect("runs");
+        r.wall_seconds = 0.0;
+        r.cycles_per_sec = 0.0;
+        run_result_json(&r)
+    };
+    assert_eq!(run(), run());
+}
