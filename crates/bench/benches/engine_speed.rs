@@ -12,6 +12,24 @@ use wormsim::{ArrivalProcess, MessageLength, NetworkBuilder, Switching};
 
 const WARMUP_CYCLES: u64 = 2_000;
 const TIMED_CYCLES: u64 = 5_000;
+/// Timed segments per configuration; the median resists the scheduler and
+/// frequency-scaling outliers a single sample would swallow.
+const SEGMENTS: usize = 5;
+
+/// Median wall time of [`SEGMENTS`] back-to-back `TIMED_CYCLES` runs on an
+/// already-warmed network. Consecutive segments are all steady-state samples
+/// of the same workload, so their median is a robust per-segment estimate.
+fn median_segment_secs(net: &mut wormsim::engine::Network) -> f64 {
+    let mut times: Vec<f64> = (0..SEGMENTS)
+        .map(|_| {
+            let start = Instant::now();
+            net.run(TIMED_CYCLES);
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[SEGMENTS / 2]
+}
 
 fn bench_figure(id: &str, spec: &presets::FigureSpec) {
     println!("engine/{id}");
@@ -34,15 +52,14 @@ fn bench_figure(id: &str, spec: &presets::FigureSpec) {
             .build()
             .expect("network builds");
         net.run(WARMUP_CYCLES); // reach steady state outside the timing
-        let start = Instant::now();
-        net.run(TIMED_CYCLES);
-        let elapsed = start.elapsed();
+        let median = median_segment_secs(&mut net);
         println!(
-            "  {:>6}: {:>12.0} cycles/s ({:.3} ms for {} cycles)",
+            "  {:>6}: {:>12.0} cycles/s (median of {} x {} cycles, {:.3} ms/segment)",
             algorithm.name(),
-            TIMED_CYCLES as f64 / elapsed.as_secs_f64(),
-            elapsed.as_secs_f64() * 1e3,
+            TIMED_CYCLES as f64 / median,
+            SEGMENTS,
             TIMED_CYCLES,
+            median * 1e3,
         );
     }
 }
@@ -63,13 +80,11 @@ fn switching_benches() {
             .build()
             .expect("network builds");
         net.run(WARMUP_CYCLES);
-        let start = Instant::now();
-        net.run(TIMED_CYCLES);
-        let elapsed = start.elapsed();
+        let median = median_segment_secs(&mut net);
         println!(
             "  {:>18}: {:>12.0} cycles/s",
             name,
-            TIMED_CYCLES as f64 / elapsed.as_secs_f64(),
+            TIMED_CYCLES as f64 / median,
         );
     }
 }

@@ -155,4 +155,17 @@ mod tests {
         assert!((m.delivery_rate(10) - 0.01).abs() < 1e-12);
         assert!((m.acceptance_rate(10) - 0.012).abs() < 1e-12);
     }
+
+    /// The offline serde shim's derives must emit real marker-trait impls,
+    /// not just swallow the annotation, or bounds like `T: Serialize` stop
+    /// compiling for downstream consumers.
+    #[test]
+    fn derives_implement_marker_traits() {
+        fn serializable<T: serde::Serialize>() {}
+        fn deserializable<T: for<'de> serde::Deserialize<'de>>() {}
+        serializable::<Metrics>();
+        serializable::<DeliveredMessage>();
+        deserializable::<Metrics>();
+        deserializable::<DeliveredMessage>();
+    }
 }

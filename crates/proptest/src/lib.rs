@@ -7,7 +7,13 @@
 //! rejections are re-drawn, and failures panic with the assertion message and
 //! the failing case's seed. Differences from upstream proptest, by design:
 //!
-//! * **No shrinking.** A failure reports the first counterexample found.
+//! * **No shrinking.** A failure reports the first counterexample found,
+//!   which may be large and noisy where upstream would minimize it.
+//! * **Narrower input distribution.** Draws are plain uniform over each
+//!   strategy's range; upstream biases toward edge cases (zero, extremes,
+//!   boundary values), so a passing run here is weaker evidence than the same
+//!   run under real proptest. Re-run the suites against the crates.io
+//!   proptest whenever network access is available.
 //! * **Deterministic seeding.** Each test derives its RNG stream from the
 //!   test-function name, so failures reproduce exactly across runs; set
 //!   `PROPTEST_SEED=<n>` to explore a different stream.

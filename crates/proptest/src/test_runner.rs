@@ -93,6 +93,10 @@ impl TestRng {
 
 /// Drives one property: draws inputs, re-draws on rejection, and panics with
 /// the case's message on failure. Called by the `proptest!` expansion.
+///
+/// Unlike upstream proptest there is no edge-case biasing and no shrinking
+/// (see the crate docs for the coverage tradeoff), so this loop is a plain
+/// draw-check-repeat over uniform inputs.
 pub fn run_cases<S, F>(config: &ProptestConfig, name: &str, strategy: S, mut body: F)
 where
     S: Strategy,

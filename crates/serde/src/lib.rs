@@ -5,7 +5,8 @@
 //! hand-formatted CSV/JSON). This shim keeps the `#[derive(Serialize,
 //! Deserialize)]` annotations compiling — as documentation of which types are
 //! wire-shaped, and so the real serde can be dropped back in without touching
-//! call sites — while the derive macros themselves expand to nothing.
+//! call sites — while the derive macros expand to trivial impls of the
+//! marker traits below, so generic bounds like `T: Serialize` keep compiling.
 
 /// Marker trait mirroring `serde::Serialize`.
 pub trait Serialize {}

@@ -1,25 +1,70 @@
-//! No-op stand-ins for serde's `Serialize`/`Deserialize` derive macros.
+//! Stand-ins for serde's `Serialize`/`Deserialize` derive macros.
 //!
 //! The wormsim workspace builds in fully offline environments where the real
 //! `serde_derive` cannot be fetched. The simulator itself never serializes
 //! through serde trait machinery (all file output is hand-formatted CSV/JSON),
-//! so the derives only need to *accept* the annotations that appear in the
-//! source — including field attributes such as `#[serde(skip)]` — and emit
-//! nothing. If real serialization is ever needed, swap the workspace `serde`
-//! dependency back to the crates.io release; no call sites change.
+//! so the derives only need to accept the annotations that appear in the
+//! source — including field attributes such as `#[serde(skip)]` — and emit a
+//! trivial impl of the shim's marker trait, so bounds like `T: Serialize`
+//! keep compiling. If real serialization is ever needed, swap the workspace
+//! `serde` dependency back to the crates.io release; no call sites change.
+//!
+//! Limitation: the marker impl is only emitted for non-generic types (every
+//! annotated type in this workspace today). A generic type still compiles
+//! with the annotation but gets no marker impl.
 
 use proc_macro::TokenStream;
+use proc_macro::TokenTree;
+
+/// Extracts the name of the annotated type, provided it is non-generic.
+///
+/// Scans only top-level tokens, so `struct`/`enum` inside attribute groups
+/// (doc comments, `#[serde(...)]`) cannot be mistaken for the item keyword.
+fn non_generic_type_name(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter();
+    while let Some(token) = tokens.next() {
+        let TokenTree::Ident(ident) = token else {
+            continue;
+        };
+        let keyword = ident.to_string();
+        if keyword != "struct" && keyword != "enum" && keyword != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            return None;
+        };
+        // A `<` right after the name means generics: skip the impl rather
+        // than guess at bounds without a real parser.
+        if let Some(TokenTree::Punct(punct)) = tokens.next() {
+            if punct.as_char() == '<' {
+                return None;
+            }
+        }
+        return Some(name.to_string());
+    }
+    None
+}
 
 /// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
-/// expands to nothing.
+/// expands to a trivial impl of the shim's `Serialize` marker trait.
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match non_generic_type_name(&input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("marker impl parses"),
+        None => TokenStream::new(),
+    }
 }
 
 /// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
-/// expands to nothing.
+/// expands to a trivial impl of the shim's `Deserialize` marker trait.
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match non_generic_type_name(&input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("marker impl parses"),
+        None => TokenStream::new(),
+    }
 }
