@@ -1,0 +1,410 @@
+//! Latency/throughput vs fault count: the adaptivity payoff under damage.
+//!
+//! Sweeps the number of randomly killed links from 0 to `--max-faults`,
+//! running every selected algorithm at a fixed offered load against each
+//! fault plan. E-cube has exactly one path per pair, so a single dead link
+//! on it strands traffic; the adaptive algorithms route around the damage.
+//! The sweep degrades gracefully point-by-point: a point that deadlocks,
+//! livelocks, exhausts its budget, or disconnects the network records its
+//! [`RunOutcome`] and the sweep continues.
+//!
+//! ```text
+//! faults_sweep [--topo torus:8x8] [--algos all|ecube,phop,...] [--load L]
+//!              [--max-faults N] [--quick|--saturation] [--seed N]
+//!              [--threads N] [--cycle-budget N] [--wall-budget SECS]
+//!              [--out DIR] [--smoke]
+//! ```
+//!
+//! `--smoke` is the CI preset: a small torus, two algorithms, three fault
+//! counts, and a tight cycle budget so the whole sweep finishes in seconds.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use wormsim::faults::{FaultPlan, FaultRegion};
+use wormsim::topology::Topology;
+use wormsim::{
+    AlgorithmKind, Experiment, ExperimentError, MeasurementSchedule, RunOutcome, RunResult,
+};
+use wormsim_bench::cli;
+
+const USAGE: &str = "usage: faults_sweep [--topo T] [--algos A] [--load L] [--max-faults N] \
+                     [--quick|--saturation] [--seed N] [--threads N] [--cycle-budget N] \
+                     [--wall-budget SECS] [--out DIR] [--smoke]";
+
+/// Everything one parsed command line asks for.
+struct SweepSpec {
+    topology: Topology,
+    algorithms: Vec<AlgorithmKind>,
+    load: f64,
+    max_faults: usize,
+    schedule: MeasurementSchedule,
+    seed: u64,
+    threads: usize,
+    cycle_budget: Option<u64>,
+    wall_budget_secs: Option<f64>,
+    out_dir: String,
+}
+
+enum Invocation {
+    Run(Box<SweepSpec>),
+    Help,
+}
+
+/// One sweep point: an algorithm against a fault count. `Err` means the
+/// configuration itself was rejected (e.g. the plan disconnected every
+/// node); runtime failures land in `Ok(result)` with a non-`Completed`
+/// outcome.
+struct Point {
+    algorithm: String,
+    fault_count: usize,
+    result: Result<RunResult, ExperimentError>,
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, String> {
+    let mut spec = SweepSpec {
+        topology: Topology::torus(&[8, 8]),
+        algorithms: cli::parse_algorithms("all")?,
+        load: 0.2,
+        max_faults: 8,
+        schedule: MeasurementSchedule::default(),
+        seed: 1993,
+        threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        cycle_budget: None,
+        wall_budget_secs: None,
+        out_dir: "results".to_owned(),
+    };
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--topo" => spec.topology = cli::parse_topology(&value("--topo")?)?,
+            "--algos" => spec.algorithms = cli::parse_algorithms(&value("--algos")?)?,
+            "--load" => {
+                let loads = cli::parse_loads(&value("--load")?)?;
+                if loads.len() != 1 {
+                    return Err(
+                        "--load takes a single load; the sweep axis is fault count".to_owned()
+                    );
+                }
+                spec.load = loads[0];
+            }
+            "--max-faults" => {
+                spec.max_faults = cli::parse_cycle_budget(&value("--max-faults")?)? as usize;
+            }
+            "--quick" => spec.schedule = MeasurementSchedule::quick(),
+            "--saturation" => spec.schedule = MeasurementSchedule::saturation(),
+            "--seed" => spec.seed = cli::parse_seed(&value("--seed")?)?,
+            "--threads" => spec.threads = cli::parse_threads(&value("--threads")?)?,
+            "--cycle-budget" => {
+                spec.cycle_budget = Some(cli::parse_cycle_budget(&value("--cycle-budget")?)?);
+            }
+            "--wall-budget" => {
+                spec.wall_budget_secs = Some(cli::parse_wall_budget(&value("--wall-budget")?)?);
+            }
+            "--out" => spec.out_dir = value("--out")?,
+            "--smoke" => {
+                spec.topology = Topology::torus(&[6, 6]);
+                spec.algorithms = cli::parse_algorithms("ecube,phop")?;
+                spec.max_faults = 2;
+                spec.schedule = MeasurementSchedule::quick();
+                spec.cycle_budget = Some(30_000);
+            }
+            "--help" | "-h" => return Ok(Invocation::Help),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Invocation::Run(Box::new(spec)))
+}
+
+/// The fault plan for one sweep point: `count` seeded-random link kills.
+/// Each count perturbs the seed so plans differ, but the whole curve is
+/// reproducible from the base seed alone. Zero faults means *no* plan at
+/// all, keeping that point on the fault-free fast path as the baseline.
+fn plan_for(spec: &SweepSpec, count: usize) -> Option<FaultPlan> {
+    (count > 0).then(|| {
+        FaultPlan::random_links(
+            &spec.topology,
+            count,
+            spec.seed ^ (count as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            &FaultRegion::Anywhere,
+        )
+    })
+}
+
+/// Runs every `(fault count, algorithm)` point, fault-count-major so the
+/// printed table reads top to bottom as damage accumulates. Points run in
+/// parallel but never cancel each other: a bad point records its error.
+fn run_sweep(spec: &SweepSpec) -> Vec<Point> {
+    let mut experiments = Vec::new();
+    for count in 0..=spec.max_faults {
+        for &algorithm in &spec.algorithms {
+            let mut e = Experiment::new(spec.topology.clone(), algorithm)
+                .offered_load(spec.load)
+                .schedule(spec.schedule)
+                .seed(spec.seed)
+                .cycle_budget(spec.cycle_budget)
+                .wall_budget_secs(spec.wall_budget_secs);
+            if let Some(plan) = plan_for(spec, count) {
+                e = e.faults(plan);
+            }
+            experiments.push((count, algorithm, e));
+        }
+    }
+    let total = experiments.len();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Point>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..spec.threads.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let (count, algorithm, experiment) = &experiments[i];
+                let point = Point {
+                    algorithm: algorithm.name().to_owned(),
+                    fault_count: *count,
+                    result: experiment.run(),
+                };
+                *slots[i].lock().expect("no poisoned slots") = Some(point);
+                let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprint!("\r  {completed}/{total} points   ");
+                let _ = std::io::stderr().flush();
+            });
+        }
+    });
+    eprintln!();
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoned slots")
+                .expect("all slots filled")
+        })
+        .collect()
+}
+
+/// One table cell: mean latency when the run produced statistics, the
+/// outcome tag in upper case when it did not.
+fn cell(point: &Point) -> String {
+    match &point.result {
+        Ok(r) if r.outcome.has_statistics() => format!("{:.1}", r.latency.mean()),
+        Ok(r) => r.outcome.tag().to_uppercase(),
+        Err(_) => "INVALID".to_owned(),
+    }
+}
+
+fn print_table(spec: &SweepSpec, points: &[Point]) {
+    println!(
+        "== Latency vs fault count on {} at load {:.2} (seed {}) ==",
+        spec.topology, spec.load, spec.seed
+    );
+    println!("\nMean latency (cycles); non-numeric cells name the run outcome:");
+    print!("{:>7}", "faults");
+    for algo in &spec.algorithms {
+        print!("{:>12}", algo.name());
+    }
+    println!();
+    for count in 0..=spec.max_faults {
+        print!("{count:>7}");
+        for algo in &spec.algorithms {
+            let point = points
+                .iter()
+                .find(|p| p.fault_count == count && p.algorithm == algo.name())
+                .expect("every point was run");
+            print!("{:>12}", cell(point));
+        }
+        println!();
+    }
+    println!("\nDelivered messages per node per cycle:");
+    print!("{:>7}", "faults");
+    for algo in &spec.algorithms {
+        print!("{:>12}", algo.name());
+    }
+    println!();
+    for count in 0..=spec.max_faults {
+        print!("{count:>7}");
+        for algo in &spec.algorithms {
+            let point = points
+                .iter()
+                .find(|p| p.fault_count == count && p.algorithm == algo.name())
+                .expect("every point was run");
+            match &point.result {
+                Ok(r) => print!("{:>12.3}", r.delivery_rate),
+                Err(_) => print!("{:>12}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+fn write_csv(spec: &SweepSpec, points: &[Point]) -> std::io::Result<String> {
+    std::fs::create_dir_all(&spec.out_dir)?;
+    let path = format!("{}/faults_sweep.csv", spec.out_dir);
+    let mut out = String::from(
+        "algorithm,fault_count,offered_load,outcome,latency_mean,achieved_utilization,\
+         delivery_rate,messages_measured,cycles_simulated,dropped_events\n",
+    );
+    for p in points {
+        match &p.result {
+            Ok(r) => {
+                out.push_str(&format!(
+                    "{},{},{},{},{:.4},{:.6},{:.6},{},{},{}\n",
+                    p.algorithm,
+                    p.fault_count,
+                    spec.load,
+                    r.outcome,
+                    r.latency.mean(),
+                    r.achieved_utilization,
+                    r.delivery_rate,
+                    r.messages_measured,
+                    r.cycles_simulated,
+                    r.dropped_events,
+                ));
+            }
+            Err(e) => {
+                eprintln!(
+                    "point {} @ {} faults invalid: {e}",
+                    p.algorithm, p.fault_count
+                );
+            }
+        }
+    }
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+fn main() {
+    let mut spec = match parse_args(std::env::args().skip(1)) {
+        Ok(Invocation::Run(spec)) => *spec,
+        Ok(Invocation::Help) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    spec.algorithms
+        .retain(|kind| match kind.build(&spec.topology) {
+            Ok(_) => true,
+            Err(e) => {
+                eprintln!("skipping {kind}: {e}");
+                false
+            }
+        });
+    assert!(
+        !spec.algorithms.is_empty(),
+        "no runnable algorithms selected"
+    );
+    eprintln!(
+        "running {} points ({} fault counts x {} algorithms) on {} threads...",
+        (spec.max_faults + 1) * spec.algorithms.len(),
+        spec.max_faults + 1,
+        spec.algorithms.len(),
+        spec.threads
+    );
+    let points = run_sweep(&spec);
+    print_table(&spec, &points);
+    // A smoke run must fail loudly if the graceful-degradation contract
+    // breaks: every point must produce *some* outcome, and the zero-fault
+    // baseline must actually complete.
+    for p in &points {
+        if p.fault_count == 0 {
+            match &p.result {
+                Ok(r) => assert!(
+                    r.outcome == RunOutcome::Completed || r.outcome == RunOutcome::Saturated,
+                    "zero-fault baseline for {} ended {}",
+                    p.algorithm,
+                    r.outcome
+                ),
+                Err(e) => panic!("zero-fault baseline for {} invalid: {e}", p.algorithm),
+            }
+        }
+    }
+    match write_csv(&spec, &points) {
+        Ok(path) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Invocation, String> {
+        parse_args(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn well_formed_args_parse() {
+        let Ok(Invocation::Run(spec)) = parse(&[
+            "--topo",
+            "mesh:8x8",
+            "--load",
+            "0.3",
+            "--max-faults",
+            "4",
+            "--seed",
+            "7",
+            "--cycle-budget",
+            "50000",
+            "--wall-budget",
+            "2.5",
+        ]) else {
+            panic!("expected a run invocation");
+        };
+        assert_eq!(spec.topology, Topology::mesh(&[8, 8]));
+        assert!((spec.load - 0.3).abs() < 1e-12);
+        assert_eq!(spec.max_faults, 4);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.cycle_budget, Some(50_000));
+        assert_eq!(spec.wall_budget_secs, Some(2.5));
+    }
+
+    #[test]
+    fn smoke_preset_is_small_and_budgeted() {
+        let Ok(Invocation::Run(spec)) = parse(&["--smoke"]) else {
+            panic!("expected a run invocation");
+        };
+        assert_eq!(spec.topology, Topology::torus(&[6, 6]));
+        assert_eq!(spec.algorithms.len(), 2);
+        assert_eq!(spec.max_faults, 2);
+        assert!(spec.cycle_budget.is_some());
+    }
+
+    #[test]
+    fn load_must_be_single_valued() {
+        assert!(parse(&["--load", "0.1,0.5"]).is_err());
+        assert!(parse(&["--load", "0"]).is_err());
+    }
+
+    #[test]
+    fn malformed_budgets_are_usage_errors() {
+        assert!(parse(&["--cycle-budget", "0"]).is_err());
+        assert!(parse(&["--wall-budget", "-3"]).is_err());
+        assert!(parse(&["--max-faults", "lots"]).is_err());
+        assert!(parse(&["--hyperdrive"]).is_err());
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(matches!(parse(&["--help"]), Ok(Invocation::Help)));
+    }
+
+    #[test]
+    fn plans_differ_by_count_and_reproduce_by_seed() {
+        let Ok(Invocation::Run(spec)) = parse(&[]) else {
+            panic!("expected a run invocation");
+        };
+        assert!(plan_for(&spec, 0).is_none(), "baseline stays fault-free");
+        let a = plan_for(&spec, 3).expect("plan exists");
+        let b = plan_for(&spec, 3).expect("plan exists");
+        assert_eq!(a.faults(), b.faults(), "same seed, same plan");
+        assert_eq!(a.faults().len(), 3);
+    }
+}

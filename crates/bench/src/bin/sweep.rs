@@ -8,6 +8,7 @@
 //!       [--loads 0.1:1.0:0.1 | 0.1,0.5,0.9] [--switching wh|wh:4|vct|saf]
 //!       [--quick|--saturation] [--seed N] [--threads N] [--out DIR]
 //!       [--observe DIR] [--trace-out DIR] [--sample-every N]
+//!       [--cycle-budget N] [--wall-budget SECS]
 //! ```
 //!
 //! With `--observe DIR`, every run writes a `RunManifest` JSON and a JSONL
@@ -28,7 +29,8 @@ use wormsim_bench::{cli, print_figure, run_figure, write_csv, HarnessOptions};
 
 const USAGE: &str = "usage: sweep [--topo T] [--algos A] [--traffic W] [--loads L] \
                      [--switching S] [--quick|--saturation] [--seed N] [--threads N] [--out DIR] \
-                     [--observe DIR] [--trace-out DIR] [--sample-every N]";
+                     [--observe DIR] [--trace-out DIR] [--sample-every N] \
+                     [--cycle-budget N] [--wall-budget SECS]";
 
 /// What one parsed command line asks for.
 enum Invocation {
@@ -66,6 +68,12 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
             "--trace-out" => options.trace_dir = Some(value("--trace-out")?),
             "--sample-every" => {
                 options.sample_every = cli::parse_sample_every(&value("--sample-every")?)?;
+            }
+            "--cycle-budget" => {
+                options.cycle_budget = Some(cli::parse_cycle_budget(&value("--cycle-budget")?)?);
+            }
+            "--wall-budget" => {
+                options.wall_budget_secs = Some(cli::parse_wall_budget(&value("--wall-budget")?)?);
             }
             "--help" | "-h" => return Ok(Invocation::Help),
             other => return Err(format!("unknown argument '{other}'")),
@@ -172,6 +180,19 @@ mod tests {
     fn zero_threads_is_a_usage_error() {
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--sample-every", "0"]).is_err());
+    }
+
+    #[test]
+    fn budget_flags_parse() {
+        let Ok(Invocation::Run(_, options)) =
+            parse(&["--cycle-budget", "5000", "--wall-budget", "1.5"])
+        else {
+            panic!("expected a run invocation");
+        };
+        assert_eq!(options.cycle_budget, Some(5_000));
+        assert_eq!(options.wall_budget_secs, Some(1.5));
+        assert!(parse(&["--cycle-budget", "0"]).is_err());
+        assert!(parse(&["--wall-budget", "-2"]).is_err());
     }
 
     #[test]

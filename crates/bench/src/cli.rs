@@ -191,6 +191,36 @@ pub fn parse_seed(s: &str) -> Result<u64, String> {
     u64::from_str(s).map_err(|_| format!("bad seed '{s}' (expected an unsigned integer)"))
 }
 
+/// Parses a per-run cycle budget (`--cycle-budget`): a positive integer.
+///
+/// # Errors
+///
+/// Returns a usage message for non-integers and for `0`; callers that want
+/// no cap should omit the flag instead.
+pub fn parse_cycle_budget(s: &str) -> Result<u64, String> {
+    let budget = u64::from_str(s)
+        .map_err(|_| format!("bad cycle budget '{s}' (expected a positive integer)"))?;
+    if budget == 0 {
+        return Err("cycle budget must be at least 1".to_owned());
+    }
+    Ok(budget)
+}
+
+/// Parses a per-run wall-clock budget in seconds (`--wall-budget`): a
+/// positive number, fractions allowed.
+///
+/// # Errors
+///
+/// Returns a usage message for values that are not positive finite numbers.
+pub fn parse_wall_budget(s: &str) -> Result<f64, String> {
+    let budget = f64::from_str(s)
+        .map_err(|_| format!("bad wall budget '{s}' (expected seconds, e.g. 30 or 2.5)"))?;
+    if !budget.is_finite() || budget <= 0.0 {
+        return Err("wall budget must be a positive number of seconds".to_owned());
+    }
+    Ok(budget)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +312,19 @@ mod tests {
         assert!(parse_seed("0x1f").is_err());
         assert!(parse_seed("-1").is_err());
         assert!(parse_seed("seed").is_err());
+    }
+
+    #[test]
+    fn budgets() {
+        assert_eq!(parse_cycle_budget("50000").unwrap(), 50_000);
+        assert!(parse_cycle_budget("0").is_err(), "zero cycles rejected");
+        assert!(parse_cycle_budget("soon").is_err());
+        assert!((parse_wall_budget("2.5").unwrap() - 2.5).abs() < 1e-12);
+        assert!((parse_wall_budget("30").unwrap() - 30.0).abs() < 1e-12);
+        assert!(parse_wall_budget("0").is_err(), "zero seconds rejected");
+        assert!(parse_wall_budget("-1").is_err());
+        assert!(parse_wall_budget("inf").is_err());
+        assert!(parse_wall_budget("later").is_err());
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub struct HarnessOptions {
     /// Cycles between time-series samples (`--sample-every N`, 0 = the
     /// observe layer's default stride).
     pub sample_every: u64,
+    /// Per-run simulated-cycle cap (`--cycle-budget N`); runs cut short
+    /// record `RunOutcome::BudgetExceeded`. `None` disables the cap.
+    pub cycle_budget: Option<u64>,
+    /// Per-run wall-clock cap in seconds (`--wall-budget SECS`), checked
+    /// between sampling periods. `None` disables the cap.
+    pub wall_budget_secs: Option<f64>,
 }
 
 impl Default for HarnessOptions {
@@ -52,6 +58,8 @@ impl Default for HarnessOptions {
             observe_dir: None,
             trace_dir: None,
             sample_every: 0,
+            cycle_budget: None,
+            wall_budget_secs: None,
         }
     }
 }
@@ -66,7 +74,8 @@ impl HarnessOptions {
             eprintln!("error: {message}");
             eprintln!(
                 "usage: [--quick|--saturation] [--seed N] [--out DIR] [--threads N] \
-                 [--observe DIR] [--trace-out DIR] [--sample-every N]"
+                 [--observe DIR] [--trace-out DIR] [--sample-every N] \
+                 [--cycle-budget N] [--wall-budget SECS]"
             );
             std::process::exit(2);
         })
@@ -105,10 +114,19 @@ impl HarnessOptions {
                     let v = args.next().ok_or("--sample-every needs a value")?;
                     options.sample_every = cli::parse_sample_every(&v)?;
                 }
+                "--cycle-budget" => {
+                    let v = args.next().ok_or("--cycle-budget needs a value")?;
+                    options.cycle_budget = Some(cli::parse_cycle_budget(&v)?);
+                }
+                "--wall-budget" => {
+                    let v = args.next().ok_or("--wall-budget needs a value")?;
+                    options.wall_budget_secs = Some(cli::parse_wall_budget(&v)?);
+                }
                 other => {
                     return Err(format!(
                         "unknown argument '{other}' (expected --quick, --saturation, --seed N, \
-                         --out DIR, --threads N, --observe DIR, --trace-out DIR, --sample-every N)"
+                         --out DIR, --threads N, --observe DIR, --trace-out DIR, --sample-every N, \
+                         --cycle-budget N, --wall-budget SECS)"
                     ))
                 }
             }
@@ -172,6 +190,15 @@ pub fn run_figure(
         experiments = experiments
             .into_iter()
             .map(|e| e.observe(config.clone()))
+            .collect();
+    }
+    if options.cycle_budget.is_some() || options.wall_budget_secs.is_some() {
+        experiments = experiments
+            .into_iter()
+            .map(|e| {
+                e.cycle_budget(options.cycle_budget)
+                    .wall_budget_secs(options.wall_budget_secs)
+            })
             .collect();
     }
     let total = experiments.len();

@@ -1,9 +1,10 @@
 //! The [`Experiment`] runner: one configuration, one offered load, one
 //! converged measurement.
 
-use crate::{MeasurementSchedule, RunResult};
+use crate::{MeasurementSchedule, RunOutcome, RunResult};
 use std::fmt;
 use wormsim_engine::{EjectionModel, EngineError, NetworkBuilder, SelectionPolicy, Switching};
+use wormsim_faults::{FaultPlan, FaultPlanError, FaultTarget};
 use wormsim_observe::{
     fnv1a_hex, git_describe, JsonlSink, ObserveConfig, PhaseTimings, RunManifest, Stopwatch,
 };
@@ -77,6 +78,78 @@ pub enum ExperimentError {
     /// assert_eq!(error, ExperimentError::ZeroLengthMessage);
     /// ```
     ZeroLengthMessage,
+    /// The fault plan names a channel or node the topology does not have
+    /// (a mesh-boundary channel slot, or a node index out of range, in
+    /// which case `direction` is `None`).
+    ///
+    /// ```
+    /// use wormsim::{AlgorithmKind, Experiment, ExperimentError, FaultPlan};
+    /// use wormsim::topology::{Direction, NodeId, Sign, Topology};
+    ///
+    /// let mut plan = FaultPlan::new();
+    /// // Node 0 sits on the mesh boundary: no link leaves it downward.
+    /// plan.push_dead_link(NodeId::new(0), Direction::new(0, Sign::Minus));
+    /// let error = Experiment::new(Topology::mesh(&[4, 4]), AlgorithmKind::Ecube)
+    ///     .faults(plan)
+    ///     .validate()
+    ///     .unwrap_err();
+    /// assert_eq!(error, ExperimentError::FaultOnNonexistentChannel {
+    ///     node: NodeId::new(0),
+    ///     direction: Some(Direction::new(0, Sign::Minus)),
+    /// });
+    /// ```
+    FaultOnNonexistentChannel {
+        /// The node the fault names.
+        node: wormsim_topology::NodeId,
+        /// The channel direction for link faults; `None` for a node fault
+        /// whose index is out of range.
+        direction: Option<wormsim_topology::Direction>,
+    },
+    /// A fault's repair cycle is not strictly after its failure cycle, so
+    /// the fault would never be in effect.
+    ///
+    /// ```
+    /// use wormsim::{AlgorithmKind, Experiment, ExperimentError, Fault, FaultPlan, FaultTarget};
+    /// use wormsim::topology::{NodeId, Topology};
+    ///
+    /// let target = FaultTarget::Node { node: NodeId::new(3) };
+    /// let mut plan = FaultPlan::new();
+    /// plan.push(Fault { target, fail_at: 10, repair_at: Some(10) });
+    /// let error = Experiment::new(Topology::torus(&[4, 4]), AlgorithmKind::Ecube)
+    ///     .faults(plan)
+    ///     .validate()
+    ///     .unwrap_err();
+    /// assert_eq!(error, ExperimentError::FaultRepairBeforeFailure {
+    ///     target,
+    ///     fail_at: 10,
+    ///     repair_at: 10,
+    /// });
+    /// ```
+    FaultRepairBeforeFailure {
+        /// The offending fault's target.
+        target: FaultTarget,
+        /// Cycle the fault takes effect.
+        fail_at: u64,
+        /// The repair cycle that is not after `fail_at`.
+        repair_at: u64,
+    },
+    /// The fault plan statically kills every node: no traffic could ever
+    /// be generated or delivered.
+    ///
+    /// ```
+    /// use wormsim::{AlgorithmKind, Experiment, ExperimentError, FaultPlan};
+    /// use wormsim::topology::{NodeId, Topology};
+    ///
+    /// let mut plan = FaultPlan::new();
+    /// plan.push_dead_node(NodeId::new(0));
+    /// plan.push_dead_node(NodeId::new(1));
+    /// let error = Experiment::new(Topology::mesh(&[2]), AlgorithmKind::Ecube)
+    ///     .faults(plan)
+    ///     .validate()
+    ///     .unwrap_err();
+    /// assert_eq!(error, ExperimentError::AllNodesFaulted);
+    /// ```
+    AllNodesFaulted,
     /// The computed injection rate left `(0, 1]` — the topology/message
     /// combination cannot offer this load.
     RateOutOfRange {
@@ -110,6 +183,31 @@ impl fmt::Display for ExperimentError {
             }
             ExperimentError::ZeroLengthMessage => {
                 write!(f, "message length distribution allows zero-flit messages")
+            }
+            ExperimentError::FaultOnNonexistentChannel { node, direction } => match direction {
+                Some(direction) => write!(
+                    f,
+                    "fault plan names nonexistent channel: node {} has no link in direction \
+                     {direction}",
+                    node.index()
+                ),
+                None => write!(
+                    f,
+                    "fault plan names node {} outside the topology",
+                    node.index()
+                ),
+            },
+            ExperimentError::FaultRepairBeforeFailure {
+                target,
+                fail_at,
+                repair_at,
+            } => write!(
+                f,
+                "fault on {target} repairs at cycle {repair_at}, not after its failure at \
+                 {fail_at}"
+            ),
+            ExperimentError::AllNodesFaulted => {
+                write!(f, "fault plan statically kills every node")
             }
             ExperimentError::RateOutOfRange { rate } => {
                 write!(f, "computed injection rate {rate} out of range")
@@ -176,6 +274,12 @@ pub struct Experiment {
     schedule: MeasurementSchedule,
     seed: u64,
     observe: Option<ObserveConfig>,
+    faults: Option<FaultPlan>,
+    cycle_budget: Option<u64>,
+    wall_budget_secs: Option<f64>,
+    hop_budget: Option<u32>,
+    age_budget: Option<u64>,
+    watchdog_cycles: Option<u64>,
 }
 
 impl Experiment {
@@ -198,6 +302,12 @@ impl Experiment {
             schedule: MeasurementSchedule::default(),
             seed: 0,
             observe: None,
+            faults: None,
+            cycle_budget: None,
+            wall_budget_secs: None,
+            hop_budget: None,
+            age_budget: None,
+            watchdog_cycles: None,
         }
     }
 
@@ -284,6 +394,51 @@ impl Experiment {
         self
     }
 
+    /// Injects faults into the run: the plan's link/node failures (static
+    /// or transient) apply at their scheduled cycles. When a plan is set
+    /// and no explicit [`hop_budget`](Self::hop_budget) is given, a
+    /// default hop budget of `4 * diameter + 64` guards against silent
+    /// livelock from misrouting.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Caps the total simulated cycles; a run cut short by the cap ends
+    /// with [`RunOutcome::BudgetExceeded`]. `None` (the default) leaves
+    /// the schedule's own sample cap as the only bound.
+    pub fn cycle_budget(mut self, cycles: Option<u64>) -> Self {
+        self.cycle_budget = cycles;
+        self
+    }
+
+    /// Caps the run's wall-clock time in seconds, checked between
+    /// sampling periods; exceeding it ends the run with
+    /// [`RunOutcome::BudgetExceeded`].
+    pub fn wall_budget_secs(mut self, seconds: Option<f64>) -> Self {
+        self.wall_budget_secs = seconds;
+        self
+    }
+
+    /// Sets the per-message hop budget for the livelock guard (see
+    /// [`RunOutcome::LiveLocked`]). Overrides the fault-mode default.
+    pub fn hop_budget(mut self, hops: Option<u32>) -> Self {
+        self.hop_budget = hops;
+        self
+    }
+
+    /// Sets the per-message age budget in cycles for the livelock guard.
+    pub fn age_budget(mut self, cycles: Option<u64>) -> Self {
+        self.age_budget = cycles;
+        self
+    }
+
+    /// Overrides the deadlock watchdog's no-progress window.
+    pub fn watchdog_cycles(mut self, cycles: u64) -> Self {
+        self.watchdog_cycles = Some(cycles);
+        self
+    }
+
     /// The topology under test.
     pub fn topology_ref(&self) -> &Topology {
         &self.topology
@@ -321,6 +476,9 @@ impl Experiment {
     /// * [`ExperimentError::ZeroVcReplicas`] — `vc_replicas == 0`
     /// * [`ExperimentError::ZeroCongestionLimit`] — `congestion_limit == Some(0)`
     /// * [`ExperimentError::ZeroLengthMessage`] — a zero-flit [`MessageLength`]
+    /// * [`ExperimentError::FaultOnNonexistentChannel`],
+    ///   [`ExperimentError::FaultRepairBeforeFailure`],
+    ///   [`ExperimentError::AllNodesFaulted`] — an ill-formed fault plan
     pub fn validate(&self) -> Result<(), ExperimentError> {
         if !self.offered_load.is_finite() || self.offered_load <= 0.0 || self.offered_load > 1.0 {
             return Err(ExperimentError::InvalidLoad {
@@ -335,6 +493,32 @@ impl Experiment {
         }
         if self.length.min() == 0 {
             return Err(ExperimentError::ZeroLengthMessage);
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate(&self.topology).map_err(|e| match e {
+                FaultPlanError::NonexistentChannel { node, direction } => {
+                    ExperimentError::FaultOnNonexistentChannel {
+                        node,
+                        direction: Some(direction),
+                    }
+                }
+                FaultPlanError::NodeOutOfRange { node, .. } => {
+                    ExperimentError::FaultOnNonexistentChannel {
+                        node,
+                        direction: None,
+                    }
+                }
+                FaultPlanError::RepairBeforeFailure {
+                    target,
+                    fail_at,
+                    repair_at,
+                } => ExperimentError::FaultRepairBeforeFailure {
+                    target,
+                    fail_at,
+                    repair_at,
+                },
+                FaultPlanError::AllNodesFaulted => ExperimentError::AllNodesFaulted,
+            })?;
         }
         Ok(())
     }
@@ -386,7 +570,14 @@ impl Experiment {
         let total_watch = Stopwatch::start();
         let mut timings = PhaseTimings::new();
 
-        let mut net = NetworkBuilder::new(self.topology.clone(), self.algorithm)
+        // Under a fault plan, misrouting must not livelock silently: give
+        // the guard a generous default hop budget unless the caller set one.
+        let hop_budget = self.hop_budget.or_else(|| {
+            self.faults
+                .as_ref()
+                .map(|_| 4 * self.topology.diameter() + 64)
+        });
+        let mut builder = NetworkBuilder::new(self.topology.clone(), self.algorithm)
             .traffic(self.traffic.clone())
             .arrival(ArrivalProcess::geometric(rate).map_err(EngineError::from)?)
             .message_length(self.length)
@@ -397,8 +588,46 @@ impl Experiment {
             .congestion_limit(self.congestion_limit)
             .injection_bandwidth(self.injection_bandwidth)
             .track_channel_load(self.observe.is_some())
-            .seed(self.seed)
-            .build()?;
+            .hop_budget(hop_budget)
+            .age_budget(self.age_budget)
+            .seed(self.seed);
+        if let Some(plan) = &self.faults {
+            builder = builder.faults(plan.clone());
+        }
+        if let Some(cycles) = self.watchdog_cycles {
+            builder = builder.watchdog_cycles(cycles);
+        }
+        let mut net = builder.build()?;
+
+        // A plan that partitions every source from every destination has
+        // nothing to measure: record the outcome instead of simulating a
+        // network where no message can ever be generated.
+        if net.routable_pairs() == 0 {
+            return Ok(RunResult {
+                algorithm: self.algorithm.name().to_owned(),
+                traffic: pattern.name(),
+                offered_load: self.offered_load,
+                injection_rate: rate,
+                latency: wormsim_stats::ConfidenceInterval::new(0.0, f64::INFINITY),
+                latency_percentiles: [0, 0, 0],
+                latency_max: 0,
+                class_latencies: Vec::new(),
+                achieved_utilization: 0.0,
+                delivery_rate: 0.0,
+                acceptance_rate: 0.0,
+                refused_fraction: 0.0,
+                messages_measured: 0,
+                convergence: wormsim_stats::ConvergenceStatus::NeedMoreSamples,
+                samples: 0,
+                cycles_simulated: 0,
+                wall_seconds: total_watch.elapsed_secs(),
+                cycles_per_sec: 0.0,
+                outcome: RunOutcome::Unroutable,
+                dropped_events: 0,
+                deadlock: None,
+                livelock: None,
+            });
+        }
 
         // Attach the sample and trace streams before the first cycle runs.
         let run_id = self.observe.as_ref().map(|observe| {
@@ -445,6 +674,7 @@ impl Experiment {
 
         let mut histogram = Histogram::new();
         let mut phase = 0u64;
+        let mut budget_exceeded;
         loop {
             let watch = Stopwatch::start();
             net.run(self.schedule.sample_cycles);
@@ -465,7 +695,15 @@ impl Experiment {
             controller.push_sample(acc.summarize());
             net.reset_metrics();
 
-            if net.deadlock_report().is_some() || controller.status().is_done() {
+            budget_exceeded = self.cycle_budget.is_some_and(|b| net.cycle() >= b)
+                || self
+                    .wall_budget_secs
+                    .is_some_and(|b| total_watch.elapsed_secs() >= b);
+            if net.deadlock_report().is_some()
+                || net.livelock_report().is_some()
+                || budget_exceeded
+                || controller.status().is_done()
+            {
                 break;
             }
 
@@ -483,6 +721,18 @@ impl Experiment {
         // Flush the tail of the time series before reading the clocks.
         net.sample_now();
         let deadlock = net.deadlock_report();
+        let livelock = net.livelock_report();
+        let outcome = if deadlock.is_some() {
+            RunOutcome::Deadlocked
+        } else if livelock.is_some() {
+            RunOutcome::LiveLocked
+        } else if budget_exceeded {
+            RunOutcome::BudgetExceeded
+        } else if controller.status().is_converged() {
+            RunOutcome::Completed
+        } else {
+            RunOutcome::Saturated
+        };
         let cycles_simulated = net.cycle();
         let wall_seconds = total_watch.elapsed_secs();
         let cycles_per_sec = if wall_seconds > 0.0 {
@@ -506,7 +756,7 @@ impl Experiment {
                 mean: s.mean(),
             })
             .collect();
-        let result = RunResult {
+        let mut result = RunResult {
             algorithm: self.algorithm.name().to_owned(),
             traffic: pattern.name(),
             offered_load: self.offered_load,
@@ -533,7 +783,10 @@ impl Experiment {
             cycles_simulated,
             wall_seconds,
             cycles_per_sec,
+            outcome,
+            dropped_events: 0,
             deadlock,
+            livelock,
         };
 
         // Observed runs get a bounded drain phase (so the sample stream
@@ -541,7 +794,7 @@ impl Experiment {
         // and a manifest next to the sample stream. The statistics above
         // are already captured; nothing below alters the result.
         if self.observe.is_some() {
-            if deadlock.is_none() {
+            if outcome.has_statistics() {
                 let watch = Stopwatch::start();
                 let before = net.cycle();
                 net.stop_arrivals();
@@ -570,6 +823,7 @@ impl Experiment {
                     samples: samples as u64,
                     converged: result.convergence.is_converged(),
                     deadlocked: deadlock.is_some(),
+                    outcome: outcome.tag().to_owned(),
                     wall_seconds: wall,
                     cycles_per_sec: if wall > 0.0 {
                         net.cycle() as f64 / wall
@@ -589,6 +843,7 @@ impl Experiment {
                     .map_err(io_err)?;
             }
         }
+        result.dropped_events = net.observer_dropped_events();
         Ok(result)
     }
 

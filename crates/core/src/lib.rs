@@ -13,6 +13,9 @@
 //!   classic permutations ([`TrafficConfig`]).
 //! * **The paper's statistics** — stratified hop-class latency estimation
 //!   with dual convergence criteria ([`stats`]).
+//! * **Fault injection** — static and transient link/node failures with
+//!   livelock guards, run budgets, and a structured [`RunOutcome`] per run
+//!   ([`faults`], [`Experiment::faults`]).
 //!
 //! The main entry point is [`Experiment`]: configure a network and an
 //! offered load (as a fraction of channel capacity, the paper's x-axis),
@@ -51,13 +54,14 @@ mod schedule;
 
 pub use experiment::{Experiment, ExperimentError};
 pub use report::{format_results_table, format_sweep_csv};
-pub use result::{ClassLatency, RunResult, SweepPoint, SweepSummary};
+pub use result::{ClassLatency, RunOutcome, RunResult, SweepPoint, SweepSummary};
 pub use saturation::SaturationPoint;
 pub use schedule::MeasurementSchedule;
 
 // Re-export the substrate crates under stable names so downstream users
 // need only one dependency.
 pub use wormsim_engine as engine;
+pub use wormsim_faults as faults;
 pub use wormsim_observe as observe;
 pub use wormsim_routing as routing;
 pub use wormsim_stats as stats;
@@ -66,8 +70,9 @@ pub use wormsim_traffic as traffic;
 
 // The most common types, re-exported flat for convenience.
 pub use wormsim_engine::{
-    EjectionModel, NetworkBuilder, ObserverHandle, SelectionPolicy, Switching,
+    EjectionModel, LivelockReport, NetworkBuilder, ObserverHandle, SelectionPolicy, Switching,
 };
+pub use wormsim_faults::{Fault, FaultPlan, FaultRegion, FaultTarget, Reachability};
 pub use wormsim_observe::{ObserveConfig, RunManifest, Sample};
 pub use wormsim_routing::AlgorithmKind;
 pub use wormsim_stats::{ConfidenceInterval, ConvergencePolicy, ConvergenceStatus};

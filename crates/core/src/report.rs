@@ -23,16 +23,17 @@ pub fn format_results_table(results: &[RunResult]) -> String {
     let _ = writeln!(
         out,
         "{:<7} {:<14} {:>8} {:>10} {:>12} {:>9} {:>8} {:>8} {:>6}",
-        "algo", "traffic", "offered", "achieved", "latency", "±95%", "refused", "msgs", "conv"
+        "algo", "traffic", "offered", "achieved", "latency", "±95%", "refused", "msgs", "end"
     );
     let _ = writeln!(out, "{}", "-".repeat(92));
     for r in results {
-        let conv = if r.deadlock.is_some() {
-            "DEAD"
-        } else if r.convergence.is_converged() {
-            "yes"
-        } else {
-            "cap"
+        let end = match r.outcome {
+            crate::RunOutcome::Deadlocked => "DEAD",
+            crate::RunOutcome::LiveLocked => "LIVE",
+            crate::RunOutcome::BudgetExceeded => "BUDG",
+            crate::RunOutcome::Unroutable => "UNRT",
+            crate::RunOutcome::Completed => "yes",
+            crate::RunOutcome::Saturated => "cap",
         };
         let _ = writeln!(
             out,
@@ -45,7 +46,7 @@ pub fn format_results_table(results: &[RunResult]) -> String {
             r.latency.half_width(),
             r.refused_fraction * 100.0,
             r.messages_measured,
-            conv
+            end
         );
     }
     out
@@ -57,12 +58,12 @@ pub fn format_sweep_csv(results: &[RunResult]) -> String {
         "algorithm,traffic,offered_load,injection_rate,achieved_utilization,\
          latency_mean,latency_half_width,latency_p50,latency_p95,latency_p99,\
          delivery_rate,acceptance_rate,\
-         refused_fraction,messages,samples,converged,deadlocked\n",
+         refused_fraction,messages,samples,converged,deadlocked,outcome,dropped_events\n",
     );
     for r in results {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.algorithm,
             r.traffic,
             r.offered_load,
@@ -79,7 +80,9 @@ pub fn format_sweep_csv(results: &[RunResult]) -> String {
             r.messages_measured,
             r.samples,
             r.convergence.is_converged(),
-            r.deadlock.is_some()
+            r.deadlock.is_some(),
+            r.outcome,
+            r.dropped_events
         );
     }
     out
@@ -110,7 +113,10 @@ mod tests {
             cycles_simulated: 40_000,
             wall_seconds: 0.8,
             cycles_per_sec: 50_000.0,
+            outcome: crate::RunOutcome::Completed,
+            dropped_events: 0,
             deadlock: None,
+            livelock: None,
         }
     }
 
@@ -131,6 +137,6 @@ mod tests {
         let row = lines.next().unwrap();
         assert_eq!(header.split(',').count(), row.split(',').count());
         assert!(row.starts_with("nbc,uniform,0.6,"));
-        assert!(row.ends_with("true,false"));
+        assert!(row.ends_with("true,false,completed,0"));
     }
 }

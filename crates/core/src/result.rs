@@ -1,8 +1,65 @@
 //! Results of measurement runs.
 
 use serde::{Deserialize, Serialize};
-use wormsim_engine::DeadlockReport;
+use std::fmt;
+use wormsim_engine::{DeadlockReport, LivelockReport};
 use wormsim_stats::{ConfidenceInterval, ConvergenceStatus};
+
+/// How a measurement run ended.
+///
+/// Sweeps over degraded networks record one of these per point instead of
+/// failing: a fault plan that partitions the network, a non-adaptive
+/// algorithm wedging on a dead link, or a run blowing its cycle budget all
+/// produce a `RunResult` tagged with the outcome, and the remaining sweep
+/// points still run.
+///
+/// Ordering of severity when several conditions hold at once:
+/// `Deadlocked` > `LiveLocked` > `BudgetExceeded` > `Completed`/`Saturated`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// The run converged under the measurement policy.
+    Completed,
+    /// The run ended at its sample cap without converging — the usual
+    /// signature of operation at or past saturation.
+    Saturated,
+    /// The deadlock watchdog fired: flits in flight, no forward progress.
+    Deadlocked,
+    /// The livelock guard found messages over the hop or age budget while
+    /// the network was still making progress.
+    LiveLocked,
+    /// The run was cut short by its cycle or wall-clock budget.
+    BudgetExceeded,
+    /// The fault plan left no routable source–destination pair; nothing
+    /// was simulated.
+    Unroutable,
+}
+
+impl RunOutcome {
+    /// Short lowercase tag for CSV columns and manifests.
+    pub fn tag(self) -> &'static str {
+        match self {
+            RunOutcome::Completed => "completed",
+            RunOutcome::Saturated => "saturated",
+            RunOutcome::Deadlocked => "deadlocked",
+            RunOutcome::LiveLocked => "livelocked",
+            RunOutcome::BudgetExceeded => "budget_exceeded",
+            RunOutcome::Unroutable => "unroutable",
+        }
+    }
+
+    /// Whether the run produced steady-state statistics worth plotting
+    /// (`Completed` or `Saturated` — the saturation points of the paper's
+    /// curves are exactly the non-converged ones).
+    pub fn has_statistics(self) -> bool {
+        matches!(self, RunOutcome::Completed | RunOutcome::Saturated)
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
 
 /// Latency summary of one hop class (messages travelling a given number of
 /// hops) — the strata of the paper's estimator, reported individually.
@@ -57,15 +114,23 @@ pub struct RunResult {
     pub wall_seconds: f64,
     /// Simulated cycles per wall-clock second — the simulator's own speed.
     pub cycles_per_sec: f64,
+    /// How the run ended (see [`RunOutcome`]).
+    pub outcome: RunOutcome,
+    /// Observability events dropped across the run's attached sinks (ring
+    /// eviction or I/O failure); 0 for unobserved runs.
+    pub dropped_events: u64,
     /// Set if the deadlock watchdog fired during the run.
     #[serde(skip)]
     pub deadlock: Option<DeadlockReport>,
+    /// Set if the livelock guard flagged messages over budget.
+    #[serde(skip)]
+    pub livelock: Option<LivelockReport>,
 }
 
 impl RunResult {
     /// Whether the run produced a trustworthy steady-state estimate.
     pub fn is_converged(&self) -> bool {
-        self.convergence.is_converged() && self.deadlock.is_none()
+        self.convergence.is_converged() && self.outcome == RunOutcome::Completed
     }
 }
 
@@ -130,7 +195,10 @@ mod tests {
             cycles_simulated: 30_000,
             wall_seconds: 0.5,
             cycles_per_sec: 60_000.0,
+            outcome: RunOutcome::Completed,
+            dropped_events: 0,
             deadlock: None,
+            livelock: None,
         }
     }
 
@@ -148,6 +216,17 @@ mod tests {
         let mut r = result(0.2, 0.2);
         assert!(r.is_converged());
         r.convergence = ConvergenceStatus::MaxSamplesReached;
+        assert!(!r.is_converged());
+    }
+
+    #[test]
+    fn outcome_taxonomy() {
+        assert_eq!(RunOutcome::BudgetExceeded.tag(), "budget_exceeded");
+        assert_eq!(RunOutcome::LiveLocked.to_string(), "livelocked");
+        assert!(RunOutcome::Saturated.has_statistics());
+        assert!(!RunOutcome::Unroutable.has_statistics());
+        let mut r = result(0.2, 0.2);
+        r.outcome = RunOutcome::Deadlocked;
         assert!(!r.is_converged());
     }
 }

@@ -44,6 +44,8 @@ fn observed_run_writes_manifest_samples_and_trace() {
     assert_eq!(manifest.seed, 11);
     assert!(manifest.converged);
     assert!(!manifest.deadlocked);
+    assert_eq!(manifest.outcome, "completed");
+    assert_eq!(result.dropped_events, 0, "unbounded sinks never shed");
     assert_eq!(manifest.config_hash.len(), 16);
     assert!(
         manifest.cycles >= result.cycles_simulated,

@@ -2,6 +2,7 @@
 
 use crate::{EngineError, Network};
 use serde::{Deserialize, Serialize};
+use wormsim_faults::FaultPlan;
 use wormsim_routing::AlgorithmKind;
 use wormsim_topology::Topology;
 use wormsim_traffic::{ArrivalProcess, MessageLength, TrafficConfig};
@@ -90,6 +91,19 @@ pub struct SimConfig {
     pub watchdog_cycles: u64,
     /// Record per-physical-channel flit counts (for utilization maps).
     pub track_channel_load: bool,
+    /// Link/node failures injected into the run; `None` (or an empty plan)
+    /// simulates a healthy network with zero overhead on the hot path.
+    pub faults: Option<FaultPlan>,
+    /// Livelock guard: flag any in-flight message that has taken more than
+    /// this many hops. `None` disables the hop check.
+    pub hop_budget: Option<u32>,
+    /// Starvation guard: flag any live message older than this many cycles.
+    /// `None` disables the age check.
+    pub age_budget: Option<u64>,
+    /// When a fault leaves a message with no live minimal candidate,
+    /// adaptive algorithms may mis-route (take a non-minimal live hop)
+    /// instead of waiting forever. Non-adaptive algorithms never mis-route.
+    pub misroute_on_fault: bool,
 }
 
 /// Builder for [`Network`].
@@ -136,6 +150,10 @@ impl NetworkBuilder {
                 seed: 0,
                 watchdog_cycles: 20_000,
                 track_channel_load: false,
+                faults: None,
+                hop_budget: None,
+                age_budget: None,
+                misroute_on_fault: true,
             },
         }
     }
@@ -212,6 +230,30 @@ impl NetworkBuilder {
         self
     }
 
+    /// Injects a fault plan into the run.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config.faults = Some(plan);
+        self
+    }
+
+    /// Sets (or disables, with `None`) the livelock hop budget.
+    pub fn hop_budget(mut self, hops: Option<u32>) -> Self {
+        self.config.hop_budget = hops;
+        self
+    }
+
+    /// Sets (or disables, with `None`) the starvation age budget in cycles.
+    pub fn age_budget(mut self, cycles: Option<u64>) -> Self {
+        self.config.age_budget = cycles;
+        self
+    }
+
+    /// Enables or disables mis-routing around faults (default: enabled).
+    pub fn misroute_on_fault(mut self, misroute: bool) -> Self {
+        self.config.misroute_on_fault = misroute;
+        self
+    }
+
     /// Finishes the configuration.
     pub fn into_config(self) -> SimConfig {
         self.config
@@ -241,6 +283,9 @@ impl SimConfig {
         }
         if self.congestion_limit == Some(0) {
             return Err(EngineError::ZeroCongestionLimit);
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate(&self.topology)?;
         }
         Ok(())
     }
@@ -291,6 +336,18 @@ mod tests {
             EngineError::ZeroCongestionLimit
         );
         assert!(base.build().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_fault_plans() {
+        use wormsim_topology::NodeId;
+        let mut plan = FaultPlan::new();
+        plan.push_dead_node(NodeId::new(999));
+        let err = NetworkBuilder::new(Topology::torus(&[4, 4]), AlgorithmKind::Ecube)
+            .faults(plan)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Faults(_)), "{err:?}");
     }
 
     #[test]

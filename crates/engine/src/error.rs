@@ -1,6 +1,7 @@
 //! Engine configuration errors.
 
 use std::fmt;
+use wormsim_faults::FaultPlanError;
 use wormsim_routing::RoutingError;
 use wormsim_traffic::TrafficError;
 
@@ -11,6 +12,8 @@ pub enum EngineError {
     Routing(RoutingError),
     /// The traffic configuration rejected the topology or its parameters.
     Traffic(TrafficError),
+    /// The fault plan does not fit the topology.
+    Faults(FaultPlanError),
     /// Wormhole buffer depth must be at least 1.
     ZeroBufferDepth,
     /// At least one physical VC per routing class is required.
@@ -26,6 +29,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Routing(e) => write!(f, "routing: {e}"),
             EngineError::Traffic(e) => write!(f, "traffic: {e}"),
+            EngineError::Faults(e) => write!(f, "faults: {e}"),
             EngineError::ZeroBufferDepth => write!(f, "buffer depth must be at least 1"),
             EngineError::ZeroReplicas => write!(f, "vc replicas must be at least 1"),
             EngineError::ZeroInjectionBandwidth => {
@@ -43,6 +47,7 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Routing(e) => Some(e),
             EngineError::Traffic(e) => Some(e),
+            EngineError::Faults(e) => Some(e),
             _ => None,
         }
     }
@@ -57,6 +62,12 @@ impl From<RoutingError> for EngineError {
 impl From<TrafficError> for EngineError {
     fn from(e: TrafficError) -> Self {
         EngineError::Traffic(e)
+    }
+}
+
+impl From<FaultPlanError> for EngineError {
+    fn from(e: FaultPlanError) -> Self {
+        EngineError::Faults(e)
     }
 }
 

@@ -7,7 +7,7 @@ use std::fmt;
 ///
 /// Ids index a slab inside the [`Network`](crate::Network) and are recycled
 /// after delivery.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MessageId(pub(crate) u32);
 
 impl MessageId {

@@ -62,10 +62,14 @@ pub use config::{EjectionModel, NetworkBuilder, SelectionPolicy, SimConfig, Swit
 pub use error::EngineError;
 pub use flit::{Flit, FlitKind, MessageId};
 pub use metrics::{DeliveredMessage, Metrics};
-pub use network::{DeadlockReport, Network, DEFAULT_TRACE_CAPACITY};
+pub use network::{DeadlockReport, LivelockReport, Network, DEFAULT_TRACE_CAPACITY};
 pub use observer::ObserverHandle;
 pub use trace::TraceEvent;
 
 /// The observability layer (sinks, samples, manifests), re-exported so
 /// engine users need no direct `wormsim-observe` dependency.
 pub use wormsim_observe as observe;
+
+/// The fault-injection layer (plans, regions, reachability), re-exported
+/// so engine users need no direct `wormsim-faults` dependency.
+pub use wormsim_faults as faults;

@@ -65,6 +65,14 @@ impl MessageSlab {
     pub fn live(&self) -> usize {
         self.live
     }
+
+    /// Iterates over live messages in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (MessageId, &MessageRec)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|rec| (MessageId(i as u32), rec)))
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,13 @@ pub struct Metrics {
     pub flits_ejected: u64,
     /// Cycles covered by these counters (since the last reset).
     pub cycles: u64,
+    /// Would-be messages dropped at generation because no live path to the
+    /// destination existed under the active fault mask.
+    pub unroutable: u64,
+    /// Messages killed in flight by a fault (their flits are dropped).
+    pub messages_aborted: u64,
+    /// Flits discarded by fault aborts (buffered and still-queued flits).
+    pub flits_dropped: u64,
     /// Flit transfers per virtual-channel *class* (summed over channels),
     /// indexed by class. Shows the load-balancing behavior the paper
     /// discusses for nhop versus nbc.
@@ -69,6 +76,9 @@ impl Metrics {
         self.flits_injected = 0;
         self.flits_ejected = 0;
         self.cycles = 0;
+        self.unroutable = 0;
+        self.messages_aborted = 0;
+        self.flits_dropped = 0;
         self.class_flits.fill(0);
         if let Some(channels) = self.channel_flits.as_mut() {
             channels.fill(0);

@@ -4,7 +4,7 @@
 //! [`Network`](crate::Network) as parallel `out_owner` / `out_credits`
 //! arrays, keeping the switch-allocation hot loop in compact memory.
 
-use crate::Flit;
+use crate::{Flit, MessageId};
 use std::collections::VecDeque;
 
 /// Where a routed input VC sends its flits.
@@ -30,6 +30,11 @@ pub(crate) struct InputVc {
     /// Route of the message whose head has been routed; `None` while the
     /// front flit is an unrouted head (or the buffer is empty).
     pub route: Option<RouteTarget>,
+    /// The message that owns `route`. Tracked so fault handling can find
+    /// and revoke a message's reservations even after its flits have
+    /// drained past this buffer (the route outlives the flits until the
+    /// tail passes).
+    pub route_msg: Option<MessageId>,
     /// Number of tail/single flits currently in the buffer. Used by
     /// store-and-forward to detect "message fully arrived".
     pub tails: u16,
@@ -54,8 +59,33 @@ impl InputVc {
         if flit.kind.is_tail() {
             self.tails -= 1;
             self.route = None;
+            self.route_msg = None;
         }
         flit
+    }
+
+    /// Removes every flit of `msg` from the buffer (fault handling).
+    ///
+    /// Returns the number of flits removed and whether the *front* flit
+    /// belonged to `msg` (in which case the caller must re-examine the new
+    /// front). Does not touch `route`/`route_msg` — the caller revokes
+    /// those explicitly.
+    pub fn purge_message(&mut self, msg: MessageId) -> (u32, bool) {
+        let front_was_msg = self.buffer.front().is_some_and(|f| f.msg == msg);
+        let before = self.buffer.len();
+        let mut tails_removed = 0u16;
+        self.buffer.retain(|f| {
+            if f.msg == msg {
+                if f.kind.is_tail() {
+                    tails_removed += 1;
+                }
+                false
+            } else {
+                true
+            }
+        });
+        self.tails -= tails_removed;
+        ((before - self.buffer.len()) as u32, front_was_msg)
     }
 
     /// The flit at the front, if any.
@@ -102,6 +132,26 @@ mod tests {
         vc.push(flits[2]);
         vc.push(flits[3]);
         assert!(vc.front_message_complete());
+    }
+
+    #[test]
+    fn purge_removes_only_the_doomed_message() {
+        let mut vc = InputVc::default();
+        for flit in Flit::sequence(MessageId(1), 2) {
+            vc.push(flit);
+        }
+        for flit in Flit::sequence(MessageId(2), 3) {
+            vc.push(flit);
+        }
+        assert_eq!(vc.tails, 2);
+        let (removed, front_was) = vc.purge_message(MessageId(1));
+        assert_eq!(removed, 2);
+        assert!(front_was);
+        assert_eq!(vc.tails, 1);
+        assert_eq!(vc.buffer.len(), 3);
+        assert!(vc.front().unwrap().kind.is_head());
+        let (removed, front_was) = vc.purge_message(MessageId(7));
+        assert_eq!((removed, front_was), (0, false));
     }
 
     #[test]

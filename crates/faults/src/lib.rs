@@ -1,0 +1,47 @@
+//! Link and node fault injection for wormhole-routing simulation.
+//!
+//! The paper studies healthy 16×16 tori; Boppana & Chalasani's follow-up
+//! work extends the same algorithms to networks with failed links and
+//! nodes. This crate makes failure a first-class simulated scenario:
+//!
+//! * [`FaultPlan`] — a declarative description of *which* channels/nodes
+//!   fail and *when*: static faults (dead from cycle 0), transient faults
+//!   (fail at a cycle, optionally repaired later), explicit lists, or
+//!   seeded random sampling constrained to a [`FaultRegion`].
+//! * [`FaultPlan::mask_at`] — the
+//!   [`ChannelMask`](wormsim_topology::ChannelMask) of dead channels/nodes
+//!   in effect at a given cycle, for the engine to apply at fault
+//!   transitions.
+//! * [`Reachability`] — all-pairs reachability over the surviving
+//!   subgraph, so traffic generation can exclude unreachable pairs instead
+//!   of letting them silently time out.
+//!
+//! # Example
+//!
+//! ```
+//! use wormsim_faults::{FaultPlan, Reachability};
+//! use wormsim_topology::{Direction, Sign, Topology};
+//!
+//! let topo = Topology::torus(&[4, 4]);
+//! let mut plan = FaultPlan::new();
+//! plan.push_dead_link(topo.node_at(&[0, 0]), Direction::new(0, Sign::Plus));
+//! plan.validate(&topo)?;
+//!
+//! let mask = plan.mask_at(&topo, 0);
+//! assert_eq!(mask.dead_channel_count(), 1);
+//! // A single dead link on a torus leaves every pair routable.
+//! let reach = Reachability::compute(&topo, &mask);
+//! assert!(reach.all_pairs_routable());
+//! # Ok::<(), wormsim_faults::FaultPlanError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod plan;
+mod reach;
+mod region;
+
+pub use plan::{Fault, FaultPlan, FaultPlanError, FaultTarget};
+pub use reach::Reachability;
+pub use region::FaultRegion;

@@ -1,0 +1,122 @@
+//! All-pairs reachability over the surviving subgraph.
+
+use wormsim_topology::{ChannelMask, NodeId, Topology};
+
+/// Precomputed all-pairs reachability under a
+/// [`ChannelMask`](wormsim_topology::ChannelMask).
+///
+/// Row `s` answers "which destinations can a message injected at `s` still
+/// reach using only live channels?". The simulator recomputes this at each
+/// fault transition (they are rare) and then answers per-message queries
+/// with a single bit lookup.
+///
+/// # Example
+///
+/// ```
+/// use wormsim_faults::{FaultPlan, Reachability};
+/// use wormsim_topology::Topology;
+///
+/// let topo = Topology::torus(&[4, 4]);
+/// let mut plan = FaultPlan::new();
+/// plan.push_dead_node(topo.node_at(&[1, 1]));
+/// let reach = Reachability::compute(&topo, &plan.mask_at(&topo, 0));
+/// assert!(!reach.all_pairs_routable());
+/// assert!(reach.routable(topo.node_at(&[0, 0]), topo.node_at(&[2, 2])));
+/// assert!(!reach.routable(topo.node_at(&[0, 0]), topo.node_at(&[1, 1])));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Reachability {
+    num_nodes: u32,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl Reachability {
+    /// Runs one BFS per node over the masked topology.
+    pub fn compute(topo: &Topology, mask: &ChannelMask) -> Self {
+        let num_nodes = topo.num_nodes();
+        let words_per_row = (num_nodes as usize).div_ceil(64);
+        let mut bits = vec![0u64; words_per_row * num_nodes as usize];
+        for src in topo.nodes() {
+            let reach = topo.reachable_from(mask, src);
+            let row = &mut bits
+                [src.index() as usize * words_per_row..(src.index() as usize + 1) * words_per_row];
+            for (d, &ok) in reach.iter().enumerate() {
+                if ok {
+                    row[d / 64] |= 1u64 << (d % 64);
+                }
+            }
+        }
+        Reachability {
+            num_nodes,
+            words_per_row,
+            bits,
+        }
+    }
+
+    /// Whether a message injected at `src` can reach `dest`.
+    #[inline]
+    pub fn routable(&self, src: NodeId, dest: NodeId) -> bool {
+        let d = dest.index() as usize;
+        self.bits[src.index() as usize * self.words_per_row + d / 64] & (1u64 << (d % 64)) != 0
+    }
+
+    /// Number of routable ordered pairs with distinct endpoints.
+    pub fn routable_pairs(&self) -> u64 {
+        let mut total: u64 = 0;
+        for s in 0..self.num_nodes {
+            let row = &self.bits[s as usize * self.words_per_row..];
+            let mut count: u64 = row[..self.words_per_row]
+                .iter()
+                .map(|w| w.count_ones() as u64)
+                .sum();
+            // Exclude the trivial src == dest bit if set.
+            if self.routable(NodeId::new(s), NodeId::new(s)) {
+                count -= 1;
+            }
+            total += count;
+        }
+        total
+    }
+
+    /// Whether every ordered pair of distinct nodes is routable.
+    pub fn all_pairs_routable(&self) -> bool {
+        self.routable_pairs() == self.num_nodes as u64 * (self.num_nodes as u64 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultPlan;
+    use wormsim_topology::{Direction, Sign};
+
+    #[test]
+    fn healthy_network_is_fully_routable() {
+        let topo = Topology::torus(&[4, 4]);
+        let reach = Reachability::compute(&topo, &FaultPlan::new().mask_at(&topo, 0));
+        assert!(reach.all_pairs_routable());
+        assert_eq!(reach.routable_pairs(), 16 * 15);
+    }
+
+    #[test]
+    fn dead_node_removes_its_pairs() {
+        let topo = Topology::torus(&[4, 4]);
+        let mut plan = FaultPlan::new();
+        plan.push_dead_node(topo.node_at(&[3, 0]));
+        let reach = Reachability::compute(&topo, &plan.mask_at(&topo, 0));
+        // Ordered pairs among the 15 surviving nodes all remain routable.
+        assert_eq!(reach.routable_pairs(), 15 * 14);
+    }
+
+    #[test]
+    fn severed_line_splits_the_mesh() {
+        let topo = Topology::mesh(&[2]);
+        let mut plan = FaultPlan::new();
+        plan.push_dead_link(topo.node_at(&[0]), Direction::new(0, Sign::Plus));
+        let reach = Reachability::compute(&topo, &plan.mask_at(&topo, 0));
+        assert!(!reach.routable(topo.node_at(&[0]), topo.node_at(&[1])));
+        assert!(reach.routable(topo.node_at(&[1]), topo.node_at(&[0])));
+        assert_eq!(reach.routable_pairs(), 1);
+    }
+}

@@ -56,6 +56,10 @@ pub struct RunManifest {
     pub converged: bool,
     /// Whether the deadlock watchdog fired.
     pub deadlocked: bool,
+    /// How the run ended, as a short lowercase tag (e.g. `completed`,
+    /// `deadlocked`, `budget_exceeded`) — the experiment layer's
+    /// `RunOutcome` rendered for tooling that greps manifests.
+    pub outcome: String,
     /// Total wall-clock seconds for the run.
     pub wall_seconds: f64,
     /// Simulated cycles per wall-clock second.
@@ -168,6 +172,7 @@ impl RunManifest {
             samples: u64_field("samples")?,
             converged: bool_field("converged")?,
             deadlocked: bool_field("deadlocked")?,
+            outcome: str_field("outcome")?,
             wall_seconds: f64_field("wall_seconds")?,
             cycles_per_sec: f64_field("cycles_per_sec")?,
             flits_per_sec: f64_field("flits_per_sec")?,
@@ -209,6 +214,7 @@ impl JsonRecord for RunManifest {
             .field_u64("samples", self.samples)
             .field_bool("converged", self.converged)
             .field_bool("deadlocked", self.deadlocked)
+            .field_str("outcome", &self.outcome)
             .field_f64("wall_seconds", self.wall_seconds)
             .field_f64("cycles_per_sec", self.cycles_per_sec)
             .field_f64("flits_per_sec", self.flits_per_sec)
@@ -268,6 +274,7 @@ mod tests {
             samples: 12,
             converged: true,
             deadlocked: false,
+            outcome: "completed".to_owned(),
             wall_seconds: 1.5,
             cycles_per_sec: 40_666.7,
             flits_per_sec: 812_000.0,

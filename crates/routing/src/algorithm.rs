@@ -3,7 +3,7 @@
 use crate::{Candidate, MessageRouteState};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use wormsim_topology::{NodeId, Topology};
+use wormsim_topology::{ChannelMask, NodeId, Topology};
 
 /// How much freedom an algorithm has in choosing among minimal paths.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -22,6 +22,47 @@ impl fmt::Display for Adaptivity {
             Adaptivity::NonAdaptive => write!(f, "non-adaptive"),
             Adaptivity::PartiallyAdaptive => write!(f, "partially-adaptive"),
             Adaptivity::FullyAdaptive => write!(f, "fully-adaptive"),
+        }
+    }
+}
+
+/// How well an algorithm copes with a set of dead channels/nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultTolerance {
+    /// The algorithm's normal candidate sets remain connected and acyclic
+    /// under the mask (trivially true when nothing is dead).
+    Guaranteed,
+    /// Misrouting/fallback lets the algorithm keep delivering wherever the
+    /// surviving graph allows, but deadlock-freedom of the fallback paths
+    /// is not proven — the simulator's livelock guard is the backstop.
+    BestEffort,
+    /// The algorithm has no answer for this mask: some source/destination
+    /// pairs will never be delivered (the simulator excludes them from
+    /// traffic generation rather than letting them time out).
+    Unsupported,
+}
+
+impl FaultTolerance {
+    /// The standard answer for an adaptive algorithm that can mis-route:
+    /// `Guaranteed` when nothing is dead, `BestEffort` while the surviving
+    /// subgraph stays strongly connected, `Unsupported` once it partitions.
+    pub fn best_effort_if_connected(topo: &Topology, mask: &ChannelMask) -> FaultTolerance {
+        if mask.is_trivial() {
+            FaultTolerance::Guaranteed
+        } else if topo.surviving_graph_connected(mask) {
+            FaultTolerance::BestEffort
+        } else {
+            FaultTolerance::Unsupported
+        }
+    }
+}
+
+impl fmt::Display for FaultTolerance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultTolerance::Guaranteed => write!(f, "guaranteed"),
+            FaultTolerance::BestEffort => write!(f, "best-effort"),
+            FaultTolerance::Unsupported => write!(f, "unsupported"),
         }
     }
 }
@@ -76,6 +117,25 @@ pub trait RoutingAlgorithm: Send + Sync + fmt::Debug {
         here: NodeId,
         out: &mut Vec<Candidate>,
     );
+
+    /// Whether the algorithm remains connected and deadlock-free when the
+    /// channels/nodes dead under `mask` are removed.
+    ///
+    /// The conservative default claims [`FaultTolerance::Guaranteed`] only
+    /// for a trivial (all-alive) mask and [`FaultTolerance::Unsupported`]
+    /// otherwise; adaptive algorithms override this with
+    /// [`FaultTolerance::best_effort_if_connected`]. The answer is
+    /// advisory — the simulator still runs `Unsupported` configurations
+    /// (demonstrating *why* adaptivity pays off under faults), it just
+    /// cannot promise delivery for them.
+    fn fault_tolerance(&self, topo: &Topology, mask: &ChannelMask) -> FaultTolerance {
+        let _ = topo;
+        if mask.is_trivial() {
+            FaultTolerance::Guaranteed
+        } else {
+            FaultTolerance::Unsupported
+        }
+    }
 
     /// The congestion-control class of a freshly injected message.
     ///

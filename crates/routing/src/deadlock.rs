@@ -27,7 +27,7 @@
 
 use crate::{MessageRouteState, RoutingAlgorithm};
 use std::collections::{HashMap, HashSet, VecDeque};
-use wormsim_topology::{ChannelId, NodeId, Topology};
+use wormsim_topology::{ChannelId, ChannelMask, NodeId, Topology};
 
 /// A virtual channel: a physical channel plus a VC class.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -104,20 +104,74 @@ impl DependencyGraph {
                 if src == dest {
                     continue;
                 }
-                graph.expand_pair(topo, algo, src, dest, &mut candidates, &mut next_candidates);
+                graph.expand_pair(
+                    topo,
+                    None,
+                    algo,
+                    src,
+                    dest,
+                    &mut candidates,
+                    &mut next_candidates,
+                    &mut 0,
+                );
             }
         }
         graph
     }
 
+    /// Builds the dependency graph over the *surviving* subgraph of `mask`:
+    /// pairs with a dead or unreachable endpoint are skipped, and candidates
+    /// on dead channels are dropped before any dependency is recorded.
+    ///
+    /// Returns the graph plus the number of excluded pairs and the number of
+    /// reachable `(node, state)` configurations whose entire candidate set
+    /// is dead (places where a minimal algorithm would strand a message).
+    pub fn build_masked(
+        topo: &Topology,
+        mask: &ChannelMask,
+        algo: &dyn RoutingAlgorithm,
+    ) -> (Self, u64, u64) {
+        let mut graph = DependencyGraph::default();
+        let mut candidates = Vec::new();
+        let mut next_candidates = Vec::new();
+        let mut excluded_pairs = 0u64;
+        let mut blocked_states = 0u64;
+        for src in topo.nodes() {
+            let reach = topo.reachable_from(mask, src);
+            for dest in topo.nodes() {
+                if src == dest {
+                    continue;
+                }
+                if !mask.node_alive(dest) || !reach[dest.index() as usize] {
+                    excluded_pairs += 1;
+                    continue;
+                }
+                graph.expand_pair(
+                    topo,
+                    Some(mask),
+                    algo,
+                    src,
+                    dest,
+                    &mut candidates,
+                    &mut next_candidates,
+                    &mut blocked_states,
+                );
+            }
+        }
+        (graph, excluded_pairs, blocked_states)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn expand_pair(
         &mut self,
         topo: &Topology,
+        mask: Option<&ChannelMask>,
         algo: &dyn RoutingAlgorithm,
         src: NodeId,
         dest: NodeId,
         candidates: &mut Vec<crate::Candidate>,
         next_candidates: &mut Vec<crate::Candidate>,
+        blocked_states: &mut u64,
     ) {
         let mut initial = MessageRouteState::new(src, dest);
         algo.init_message(topo, &mut initial);
@@ -128,6 +182,13 @@ impl DependencyGraph {
         while let Some((node, state)) = queue.pop_front() {
             candidates.clear();
             algo.candidates(topo, &state, node, candidates);
+            if let Some(mask) = mask {
+                candidates.retain(|c| mask.channel_alive(topo.channel(node, c.direction())));
+                if candidates.is_empty() {
+                    *blocked_states += 1;
+                    continue;
+                }
+            }
             for &taken in candidates.iter() {
                 let next = topo
                     .neighbor(node, taken.direction())
@@ -141,6 +202,10 @@ impl DependencyGraph {
                 if next != dest {
                     next_candidates.clear();
                     algo.candidates(topo, &next_state, next, next_candidates);
+                    if let Some(mask) = mask {
+                        next_candidates
+                            .retain(|c| mask.channel_alive(topo.channel(next, c.direction())));
+                    }
                     for &want in next_candidates.iter() {
                         let wanted = VirtualChannelId {
                             channel: topo.channel(next, want.direction()),
@@ -252,6 +317,73 @@ pub fn analyze(topo: &Topology, algo: &dyn RoutingAlgorithm) -> CdgReport {
     }
 }
 
+/// The result of a CDG analysis over the surviving subgraph of a fault
+/// mask (see [`analyze_masked`]).
+#[derive(Clone, Debug)]
+pub struct MaskedCdgReport {
+    /// The cycle analysis of the surviving dependency graph.
+    pub report: CdgReport,
+    /// Ordered pairs skipped because an endpoint is dead or unreachable.
+    pub excluded_pairs: u64,
+    /// Reachable `(node, message-state)` configurations whose entire
+    /// candidate set is on dead channels: a minimal algorithm strands any
+    /// message that reaches one (a misrouting fallback is needed there).
+    pub blocked_states: u64,
+}
+
+impl MaskedCdgReport {
+    /// Whether the surviving graph is acyclic *and* no reachable state is
+    /// stranded — the conditions for the algorithm's own candidate sets to
+    /// keep working under this mask without fallback.
+    pub fn is_clean(&self) -> bool {
+        self.report.is_acyclic() && self.blocked_states == 0
+    }
+}
+
+/// Like [`analyze`], but over the surviving subgraph of `mask`: pairs with
+/// dead or unreachable endpoints are excluded, and dependencies through
+/// dead channels are never recorded.
+///
+/// # Example
+///
+/// ```
+/// use wormsim_topology::{Direction, Sign, Topology};
+/// use wormsim_routing::{deadlock, AlgorithmKind};
+///
+/// let topo = Topology::torus(&[4, 4]);
+/// let mut mask = wormsim_topology::ChannelMask::all_alive(&topo);
+/// mask.kill_channel(topo.channel(topo.node_at(&[0, 0]), Direction::new(0, Sign::Plus)));
+/// let phop = AlgorithmKind::PositiveHop.build(&topo)?;
+/// let report = deadlock::analyze_masked(&topo, &mask, phop.as_ref());
+/// // The surviving dependencies stay acyclic, but phop is minimal: some
+/// // states now have every candidate dead and would strand a message.
+/// assert!(report.report.is_acyclic());
+/// assert!(report.blocked_states > 0);
+/// # Ok::<(), wormsim_routing::RoutingError>(())
+/// ```
+pub fn analyze_masked(
+    topo: &Topology,
+    mask: &ChannelMask,
+    algo: &dyn RoutingAlgorithm,
+) -> MaskedCdgReport {
+    let (graph, excluded_pairs, blocked_states) = DependencyGraph::build_masked(topo, mask, algo);
+    let vertices = graph.num_vertices();
+    let edges = graph.num_edges();
+    let report = match graph.find_cycle() {
+        None => CdgReport::Acyclic { vertices, edges },
+        Some(cycle) => CdgReport::Cyclic {
+            cycle,
+            vertices,
+            edges,
+        },
+    };
+    MaskedCdgReport {
+        report,
+        excluded_pairs,
+        blocked_states,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +433,34 @@ mod tests {
     fn two_power_n_is_acyclic_on_mesh() {
         let topo = Topology::mesh(&[4, 4]);
         assert!(report_for(AlgorithmKind::TwoPowerN, &topo).is_acyclic());
+    }
+
+    #[test]
+    fn trivial_mask_matches_unmasked_analysis() {
+        let topo = Topology::torus(&[4, 4]);
+        let algo = AlgorithmKind::NegativeHop.build(&topo).unwrap();
+        let plain = analyze(&topo, algo.as_ref());
+        let masked = analyze_masked(&topo, &ChannelMask::all_alive(&topo), algo.as_ref());
+        assert!(masked.is_clean());
+        assert_eq!(masked.excluded_pairs, 0);
+        assert_eq!(masked.report.vertices(), plain.vertices());
+        assert_eq!(masked.report.edges(), plain.edges());
+    }
+
+    #[test]
+    fn dead_node_excludes_its_pairs_and_stays_acyclic() {
+        // A mesh pins minimal paths down: (0,1) -> (2,1) must pass through
+        // the dead node (1,1), so that state is stranded ("blocked").
+        let topo = Topology::mesh(&[4, 4]);
+        let mut mask = ChannelMask::all_alive(&topo);
+        mask.kill_node(&topo, topo.node_at(&[1, 1]));
+        let algo = AlgorithmKind::PositiveHop.build(&topo).unwrap();
+        let masked = analyze_masked(&topo, &mask, algo.as_ref());
+        // 15 ordered pairs into the dead node + 15 out of it.
+        assert_eq!(masked.excluded_pairs, 30);
+        assert!(masked.report.is_acyclic());
+        // Minimal routing strands some messages around the hole.
+        assert!(masked.blocked_states > 0);
     }
 
     #[test]

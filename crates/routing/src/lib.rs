@@ -64,7 +64,7 @@ mod state;
 mod two_power_n;
 mod wfirst;
 
-pub use algorithm::{Adaptivity, RoutingAlgorithm};
+pub use algorithm::{Adaptivity, FaultTolerance, RoutingAlgorithm};
 pub use candidate::Candidate;
 pub use ecube::Ecube;
 pub use error::RoutingError;

@@ -1,7 +1,9 @@
 //! A deliberately deadlock-prone baseline: minimal adaptive routing with a
 //! single virtual channel class.
 
-use crate::{Adaptivity, Candidate, MessageRouteState, RoutingAlgorithm, RoutingError};
+use crate::{
+    Adaptivity, Candidate, FaultTolerance, MessageRouteState, RoutingAlgorithm, RoutingError,
+};
 use wormsim_topology::{Direction, NodeId, Sign, Topology};
 
 /// Fully adaptive minimal routing with **no** deadlock-avoidance structure:
@@ -46,6 +48,14 @@ impl RoutingAlgorithm for NaiveMinimal {
 
     fn adaptivity(&self) -> Adaptivity {
         Adaptivity::FullyAdaptive
+    }
+
+    fn fault_tolerance(
+        &self,
+        topo: &Topology,
+        mask: &wormsim_topology::ChannelMask,
+    ) -> FaultTolerance {
+        FaultTolerance::best_effort_if_connected(topo, mask)
     }
 
     fn num_vc_classes(&self) -> usize {

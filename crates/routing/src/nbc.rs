@@ -1,7 +1,8 @@
 //! The fully adaptive negative-hop-with-bonus-cards (nbc) algorithm.
 
 use crate::{
-    Adaptivity, Candidate, MessageRouteState, NegativeHop, RoutingAlgorithm, RoutingError,
+    Adaptivity, Candidate, FaultTolerance, MessageRouteState, NegativeHop, RoutingAlgorithm,
+    RoutingError,
 };
 use wormsim_topology::{Direction, NodeId, Sign, Topology};
 
@@ -76,6 +77,14 @@ impl RoutingAlgorithm for NegativeHopBonusCards {
 
     fn adaptivity(&self) -> Adaptivity {
         Adaptivity::FullyAdaptive
+    }
+
+    fn fault_tolerance(
+        &self,
+        topo: &Topology,
+        mask: &wormsim_topology::ChannelMask,
+    ) -> FaultTolerance {
+        FaultTolerance::best_effort_if_connected(topo, mask)
     }
 
     fn num_vc_classes(&self) -> usize {

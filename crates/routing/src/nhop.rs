@@ -1,6 +1,8 @@
 //! The fully adaptive negative-hop (nhop) algorithm.
 
-use crate::{Adaptivity, Candidate, MessageRouteState, RoutingAlgorithm, RoutingError};
+use crate::{
+    Adaptivity, Candidate, FaultTolerance, MessageRouteState, RoutingAlgorithm, RoutingError,
+};
 use wormsim_topology::{Direction, NodeId, Parity, Sign, Topology};
 
 /// Negative-hop routing, derived from Gopal's store-and-forward scheme.
@@ -72,6 +74,14 @@ impl RoutingAlgorithm for NegativeHop {
 
     fn adaptivity(&self) -> Adaptivity {
         Adaptivity::FullyAdaptive
+    }
+
+    fn fault_tolerance(
+        &self,
+        topo: &Topology,
+        mask: &wormsim_topology::ChannelMask,
+    ) -> FaultTolerance {
+        FaultTolerance::best_effort_if_connected(topo, mask)
     }
 
     fn num_vc_classes(&self) -> usize {

@@ -1,6 +1,8 @@
 //! The partially adaptive north-last algorithm (Glass & Ni turn model).
 
-use crate::{Adaptivity, Candidate, MessageRouteState, RoutingAlgorithm, RoutingError};
+use crate::{
+    Adaptivity, Candidate, FaultTolerance, MessageRouteState, RoutingAlgorithm, RoutingError,
+};
 use wormsim_topology::{DimStep, Direction, NodeId, Sign, Topology};
 
 /// North-last routing from the Glass–Ni turn model.
@@ -102,6 +104,14 @@ impl RoutingAlgorithm for NorthLast {
 
     fn adaptivity(&self) -> Adaptivity {
         Adaptivity::PartiallyAdaptive
+    }
+
+    fn fault_tolerance(
+        &self,
+        topo: &Topology,
+        mask: &wormsim_topology::ChannelMask,
+    ) -> FaultTolerance {
+        FaultTolerance::best_effort_if_connected(topo, mask)
     }
 
     fn num_vc_classes(&self) -> usize {

@@ -1,6 +1,8 @@
 //! The fully adaptive positive-hop (phop) algorithm.
 
-use crate::{Adaptivity, Candidate, MessageRouteState, RoutingAlgorithm, RoutingError};
+use crate::{
+    Adaptivity, Candidate, FaultTolerance, MessageRouteState, RoutingAlgorithm, RoutingError,
+};
 use wormsim_topology::{Direction, NodeId, Sign, Topology};
 
 /// Positive-hop routing, derived from Gopal's store-and-forward scheme via
@@ -50,6 +52,14 @@ impl RoutingAlgorithm for PositiveHop {
 
     fn adaptivity(&self) -> Adaptivity {
         Adaptivity::FullyAdaptive
+    }
+
+    fn fault_tolerance(
+        &self,
+        topo: &Topology,
+        mask: &wormsim_topology::ChannelMask,
+    ) -> FaultTolerance {
+        FaultTolerance::best_effort_if_connected(topo, mask)
     }
 
     fn num_vc_classes(&self) -> usize {

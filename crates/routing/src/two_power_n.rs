@@ -1,6 +1,8 @@
 //! The fully adaptive two-power-n (2pn) algorithm.
 
-use crate::{Adaptivity, Candidate, MessageRouteState, RoutingAlgorithm, RoutingError};
+use crate::{
+    Adaptivity, Candidate, FaultTolerance, MessageRouteState, RoutingAlgorithm, RoutingError,
+};
 use wormsim_topology::{Direction, NodeId, Sign, Topology, TopologyKind};
 
 /// Fully adaptive routing based on the enumeration of directions
@@ -85,6 +87,14 @@ impl RoutingAlgorithm for TwoPowerN {
 
     fn adaptivity(&self) -> Adaptivity {
         Adaptivity::FullyAdaptive
+    }
+
+    fn fault_tolerance(
+        &self,
+        topo: &Topology,
+        mask: &wormsim_topology::ChannelMask,
+    ) -> FaultTolerance {
+        FaultTolerance::best_effort_if_connected(topo, mask)
     }
 
     fn num_vc_classes(&self) -> usize {

@@ -1,6 +1,8 @@
 //! The partially adaptive west-first algorithm (Glass & Ni turn model).
 
-use crate::{Adaptivity, Candidate, MessageRouteState, RoutingAlgorithm, RoutingError};
+use crate::{
+    Adaptivity, Candidate, FaultTolerance, MessageRouteState, RoutingAlgorithm, RoutingError,
+};
 use wormsim_topology::{DimStep, NodeId, Sign, Topology};
 
 /// West-first routing: the other canonical member of the Glass–Ni turn
@@ -64,6 +66,14 @@ impl RoutingAlgorithm for WestFirst {
 
     fn adaptivity(&self) -> Adaptivity {
         Adaptivity::PartiallyAdaptive
+    }
+
+    fn fault_tolerance(
+        &self,
+        topo: &Topology,
+        mask: &wormsim_topology::ChannelMask,
+    ) -> FaultTolerance {
+        FaultTolerance::best_effort_if_connected(topo, mask)
     }
 
     fn num_vc_classes(&self) -> usize {

@@ -41,6 +41,7 @@
 mod channel;
 mod direction;
 mod distance;
+mod mask;
 mod node;
 mod parity;
 mod topology;
@@ -48,6 +49,7 @@ mod topology;
 pub use channel::ChannelId;
 pub use direction::{Direction, Sign};
 pub use distance::{DimStep, DistanceDistribution, MinimalSteps};
+pub use mask::ChannelMask;
 pub use node::NodeId;
 pub use parity::Parity;
 pub use topology::{Topology, TopologyError, TopologyKind};

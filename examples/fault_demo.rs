@@ -1,0 +1,88 @@
+//! Fault-injection tour: kill one torus link mid-run and watch each
+//! algorithm cope (or fail to).
+//!
+//! Every algorithm runs the same 8x8 torus workload twice — once healthy,
+//! once with a single link dying a quarter of the way into measurement —
+//! and the demo prints the [`RunOutcome`] and the latency/throughput cost
+//! of the damage. E-cube owns exactly one path per source/destination
+//! pair, so the dead link strands every message routed across it; the
+//! adaptive algorithms misroute around it and pay only a latency tax.
+//!
+//! Run with: `cargo run --release --example fault_demo`
+
+use wormsim::faults::{Fault, FaultPlan, FaultTarget};
+use wormsim::topology::{Direction, Sign, Topology};
+use wormsim::{AlgorithmKind, Experiment, RunResult};
+
+const SEED: u64 = 1993;
+const LOAD: f64 = 0.2;
+
+/// One link in the middle of the torus dies at cycle 2000 and never
+/// recovers. Everything already committed across it is aborted; everything
+/// after must live without it.
+fn one_dead_link(topo: &Topology) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    plan.push(Fault {
+        target: FaultTarget::Link {
+            node: topo.node_at(&[3, 3]),
+            direction: Direction::new(0, Sign::Plus),
+        },
+        fail_at: 2_000,
+        repair_at: None,
+    });
+    plan
+}
+
+fn run(topo: &Topology, algorithm: AlgorithmKind, faults: Option<FaultPlan>) -> RunResult {
+    let mut experiment = Experiment::new(topo.clone(), algorithm)
+        .offered_load(LOAD)
+        .quick()
+        .seed(SEED);
+    if let Some(plan) = faults {
+        experiment = experiment.faults(plan);
+    }
+    experiment.run().expect("demo configuration is valid")
+}
+
+fn main() {
+    let topo = Topology::torus(&[8, 8]);
+    println!(
+        "One link (node (3,3), +x) dies at cycle 2000 on {topo} at load {LOAD:.2}, seed {SEED}.\n"
+    );
+    println!(
+        "{:>6} {:>11} {:>14} {:>14} {:>14}",
+        "algo", "outcome", "latency", "msgs/node/cyc", "latency delta"
+    );
+    for algorithm in [
+        AlgorithmKind::Ecube,
+        AlgorithmKind::PositiveHop,
+        AlgorithmKind::NegativeHop,
+        AlgorithmKind::NegativeHopBonusCards,
+    ] {
+        let healthy = run(&topo, algorithm, None);
+        let damaged = run(&topo, algorithm, Some(one_dead_link(&topo)));
+        let latency = if damaged.outcome.has_statistics() {
+            format!("{:.1}", damaged.latency.mean())
+        } else {
+            "-".to_owned()
+        };
+        let delta = if damaged.outcome.has_statistics() {
+            format!("{:+.1}", damaged.latency.mean() - healthy.latency.mean())
+        } else {
+            "-".to_owned()
+        };
+        println!(
+            "{:>6} {:>11} {:>14} {:>14.4} {:>14}",
+            algorithm.name(),
+            damaged.outcome.tag(),
+            latency,
+            damaged.delivery_rate,
+            delta,
+        );
+    }
+    println!(
+        "\nA '-' means the damaged run produced no statistics (it wedged or \
+         was cut off); the adaptive rows should show a small positive latency \
+         delta instead — the price of routing around the hole."
+    );
+}

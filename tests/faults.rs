@@ -1,0 +1,138 @@
+//! Fault-injection integration tests.
+//!
+//! Two guarantees are pinned here:
+//!
+//! * **Termination**: a deadlock-prone algorithm under load ends with
+//!   [`RunOutcome::Deadlocked`] in bounded time — the watchdog converts a
+//!   wedged network into a result instead of a hung test suite.
+//! * **Determinism**: a run with transient (fail-then-repair) faults is
+//!   bit-identical under a pinned seed, golden-checked alongside the
+//!   zero-fault goldens in `tests/determinism.rs`. Regenerate deliberately
+//!   changed goldens with `WORMSIM_UPDATE_GOLDEN=1 cargo test --test faults`.
+
+use wormsim::faults::{Fault, FaultPlan, FaultRegion, FaultTarget};
+use wormsim::observe::JsonObject;
+use wormsim::topology::{Direction, Sign, Topology};
+use wormsim::{AlgorithmKind, Experiment, RunOutcome, RunResult};
+
+const SEED: u64 = 1993;
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("WORMSIM_UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("golden dir creates");
+        std::fs::write(&path, actual).expect("golden writes");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with WORMSIM_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "fault-mode output diverged from the committed golden {name}; if the \
+         change is intentional, regenerate with WORMSIM_UPDATE_GOLDEN=1"
+    );
+}
+
+fn fault_result_json(r: &RunResult) -> String {
+    let mut out = String::new();
+    let mut obj = JsonObject::begin(&mut out);
+    obj.field_str("algorithm", &r.algorithm)
+        .field_str("outcome", r.outcome.tag())
+        .field_f64("latency_mean", r.latency.mean())
+        .field_u64_array("latency_percentiles", &r.latency_percentiles)
+        .field_u64("latency_max", r.latency_max)
+        .field_f64("achieved_utilization", r.achieved_utilization)
+        .field_f64("delivery_rate", r.delivery_rate)
+        .field_u64("messages_measured", r.messages_measured)
+        .field_u64("samples", r.samples as u64)
+        .field_u64("cycles_simulated", r.cycles_simulated)
+        .field_u64("dropped_events", r.dropped_events);
+    obj.finish();
+    out
+}
+
+/// A transient plan on the 8×8 torus: four random static link kills plus
+/// one link that dies mid-measurement and is later repaired.
+fn transient_plan(topo: &Topology) -> FaultPlan {
+    let mut plan = FaultPlan::random_links(topo, 4, SEED, &FaultRegion::Anywhere);
+    plan.push(Fault {
+        target: FaultTarget::Link {
+            node: topo.node_at(&[3, 3]),
+            direction: Direction::new(1, Sign::Plus),
+        },
+        fail_at: 2_000,
+        repair_at: Some(4_000),
+    });
+    plan
+}
+
+/// The deadlock watchdog must turn a wedged run into a
+/// `RunOutcome::Deadlocked` result, never a hang: the deliberately
+/// deadlock-prone naive algorithm on a dense torus under heavy load wedges
+/// within the quick schedule once the watchdog window is tightened.
+#[test]
+fn naive_minimal_under_load_reports_deadlock_not_a_hang() {
+    let result = Experiment::new(Topology::torus(&[4, 4]), AlgorithmKind::NaiveMinimal)
+        .offered_load(0.7)
+        .congestion_limit(None)
+        .quick()
+        .watchdog_cycles(1_000)
+        .seed(SEED)
+        .run()
+        .expect("configuration is valid; deadlock is a result, not an error");
+    assert_eq!(result.outcome, RunOutcome::Deadlocked);
+    let report = result.deadlock.expect("outcome implies a report");
+    assert!(report.flits_in_flight > 0);
+    assert!(!result.is_converged());
+}
+
+/// Transient faults (fail at cycle 2000, repair at 4000) on top of static
+/// link kills: adaptive and deterministic routing both produce bit-identical
+/// results under seed 1993, including the fault bookkeeping.
+#[test]
+fn transient_fault_runs_match_golden() {
+    let topo = Topology::torus(&[8, 8]);
+    let mut lines = Vec::new();
+    for algorithm in [AlgorithmKind::Ecube, AlgorithmKind::PositiveHop] {
+        let result = Experiment::new(topo.clone(), algorithm)
+            .faults(transient_plan(&topo))
+            .offered_load(0.2)
+            .quick()
+            .seed(SEED)
+            .run()
+            .expect("fault plan is valid");
+        lines.push(fault_result_json(&result));
+    }
+    let mut snapshot = lines.join("\n");
+    snapshot.push('\n');
+    assert_matches_golden("faults_transient_seed1993.jsonl", &snapshot);
+}
+
+/// The same fault-mode experiment twice in-process: equality is the cheap
+/// half of the determinism guarantee the golden extends across builds.
+#[test]
+fn repeated_fault_runs_are_identical() {
+    let topo = Topology::torus(&[8, 8]);
+    let run = || {
+        let r = Experiment::new(topo.clone(), AlgorithmKind::NegativeHopBonusCards)
+            .faults(transient_plan(&topo))
+            .offered_load(0.3)
+            .quick()
+            .seed(SEED)
+            .run()
+            .expect("runs");
+        fault_result_json(&r)
+    };
+    assert_eq!(run(), run());
+}
