@@ -156,7 +156,7 @@ fn main() {
 
     if let Some(path) = &options.out {
         let report = json_report(&options, &results);
-        if let Err(e) = std::fs::write(path, report) {
+        if let Err(e) = wormsim::observe::atomic_write(std::path::Path::new(path), &report) {
             eprintln!("could not write {path}: {e}");
             std::process::exit(1);
         }

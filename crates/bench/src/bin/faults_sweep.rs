@@ -12,26 +12,26 @@
 //! faults_sweep [--topo torus:8x8] [--algos all|ecube,phop,...] [--load L]
 //!              [--max-faults N] [--quick|--saturation] [--seed N]
 //!              [--threads N] [--cycle-budget N] [--wall-budget SECS]
-//!              [--out DIR] [--smoke]
+//!              [--out DIR] [--resume JOURNAL] [--retries N] [--smoke]
 //! ```
 //!
 //! `--smoke` is the CI preset: a small torus, two algorithms, three fault
 //! counts, and a tight cycle budget so the whole sweep finishes in seconds.
-
-use std::io::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+//!
+//! Completed points are journaled to `DIR/faults_sweep.journal.jsonl`;
+//! after a crash or Ctrl-C, `--resume <journal>` continues where the sweep
+//! stopped and reproduces the uninterrupted CSV byte for byte.
 
 use wormsim::faults::{FaultPlan, FaultRegion};
 use wormsim::topology::Topology;
 use wormsim::{
     AlgorithmKind, Experiment, ExperimentError, MeasurementSchedule, RunOutcome, RunResult,
 };
-use wormsim_bench::cli;
+use wormsim_bench::{cli, install_sigint_handler, resume_command, run_experiments, HarnessOptions};
 
 const USAGE: &str = "usage: faults_sweep [--topo T] [--algos A] [--load L] [--max-faults N] \
                      [--quick|--saturation] [--seed N] [--threads N] [--cycle-budget N] \
-                     [--wall-budget SECS] [--out DIR] [--smoke]";
+                     [--wall-budget SECS] [--out DIR] [--resume JOURNAL] [--retries N] [--smoke]";
 
 /// Everything one parsed command line asks for.
 struct SweepSpec {
@@ -45,6 +45,9 @@ struct SweepSpec {
     cycle_budget: Option<u64>,
     wall_budget_secs: Option<f64>,
     out_dir: String,
+    resume: Option<String>,
+    retries: u32,
+    fail_after_points: Option<usize>,
 }
 
 enum Invocation {
@@ -74,6 +77,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
         cycle_budget: None,
         wall_budget_secs: None,
         out_dir: "results".to_owned(),
+        resume: None,
+        retries: 1,
+        fail_after_points: None,
     };
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -103,6 +109,12 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
                 spec.wall_budget_secs = Some(cli::parse_wall_budget(&value("--wall-budget")?)?);
             }
             "--out" => spec.out_dir = value("--out")?,
+            "--resume" => spec.resume = Some(value("--resume")?),
+            "--retries" => spec.retries = cli::parse_retries(&value("--retries")?)?,
+            "--fail-after-points" => {
+                spec.fail_after_points =
+                    Some(cli::parse_fail_after(&value("--fail-after-points")?)?);
+            }
             "--smoke" => {
                 spec.topology = Topology::torus(&[6, 6]);
                 spec.algorithms = cli::parse_algorithms("ecube,phop")?;
@@ -132,10 +144,31 @@ fn plan_for(spec: &SweepSpec, count: usize) -> Option<FaultPlan> {
     })
 }
 
+/// Maps the spec's robustness knobs onto the shared harness options so
+/// [`run_experiments`] can drive the sweep.
+fn harness_options(spec: &SweepSpec) -> HarnessOptions {
+    HarnessOptions {
+        schedule: spec.schedule,
+        seed: spec.seed,
+        threads: spec.threads,
+        out_dir: spec.out_dir.clone(),
+        cycle_budget: spec.cycle_budget,
+        wall_budget_secs: spec.wall_budget_secs,
+        resume: spec.resume.clone(),
+        retries: spec.retries,
+        fail_after_points: spec.fail_after_points,
+        ..HarnessOptions::default()
+    }
+}
+
 /// Runs every `(fault count, algorithm)` point, fault-count-major so the
-/// printed table reads top to bottom as damage accumulates. Points run in
-/// parallel but never cancel each other: a bad point records its error.
-fn run_sweep(spec: &SweepSpec) -> Vec<Point> {
+/// printed table reads top to bottom as damage accumulates. Points run
+/// through the shared journaled orchestrator — panic-isolated, retried on
+/// transients, resumable — and never cancel each other: a bad point
+/// records its error and the sweep continues. Returns the completed
+/// points plus whether shutdown interrupted the sweep before the end.
+fn run_sweep(spec: &SweepSpec, options: &HarnessOptions) -> (Vec<Point>, bool) {
+    let mut labels = Vec::new();
     let mut experiments = Vec::new();
     for count in 0..=spec.max_faults {
         for &algorithm in &spec.algorithms {
@@ -144,46 +177,41 @@ fn run_sweep(spec: &SweepSpec) -> Vec<Point> {
                 .schedule(spec.schedule)
                 .seed(spec.seed)
                 .cycle_budget(spec.cycle_budget)
-                .wall_budget_secs(spec.wall_budget_secs);
+                .wall_budget_secs(spec.wall_budget_secs)
+                .cancel_token(options.shutdown.clone());
             if let Some(plan) = plan_for(spec, count) {
                 e = e.faults(plan);
             }
-            experiments.push((count, algorithm, e));
+            labels.push((count, algorithm.name().to_owned()));
+            experiments.push(e);
         }
     }
-    let total = experiments.len();
-    let next = AtomicUsize::new(0);
-    let done = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Point>>> = (0..total).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..spec.threads.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                let (count, algorithm, experiment) = &experiments[i];
-                let point = Point {
-                    algorithm: algorithm.name().to_owned(),
-                    fault_count: *count,
-                    result: experiment.run(),
-                };
-                *slots[i].lock().expect("no poisoned slots") = Some(point);
-                let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
-                eprint!("\r  {completed}/{total} points   ");
-                let _ = std::io::stderr().flush();
-            });
-        }
-    });
-    eprintln!();
-    slots
+    let run = run_experiments(&experiments, options, "faults_sweep.journal.jsonl", false)
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+    let interrupted = run.interrupted;
+    if interrupted {
+        eprintln!(
+            "interrupted: {}/{} points completed and journaled",
+            run.outcomes.iter().filter(|o| o.is_some()).count(),
+            run.outcomes.len()
+        );
+        eprintln!("resume with: {}", resume_command(&run.journal));
+    }
+    let points = labels
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("no poisoned slots")
-                .expect("all slots filled")
+        .zip(run.outcomes)
+        .filter_map(|((fault_count, algorithm), outcome)| {
+            outcome.map(|result| Point {
+                algorithm,
+                fault_count,
+                result,
+            })
         })
-        .collect()
+        .collect();
+    (points, interrupted)
 }
 
 /// One table cell: mean latency when the run produced statistics, the
@@ -240,9 +268,9 @@ fn print_table(spec: &SweepSpec, points: &[Point]) {
     }
 }
 
-fn write_csv(spec: &SweepSpec, points: &[Point]) -> std::io::Result<String> {
+fn write_csv(spec: &SweepSpec, points: &[Point], name: &str) -> std::io::Result<String> {
     std::fs::create_dir_all(&spec.out_dir)?;
-    let path = format!("{}/faults_sweep.csv", spec.out_dir);
+    let path = format!("{}/{name}.csv", spec.out_dir);
     let mut out = String::from(
         "algorithm,fault_count,offered_load,outcome,latency_mean,achieved_utilization,\
          delivery_rate,messages_measured,cycles_simulated,dropped_events\n",
@@ -272,7 +300,7 @@ fn write_csv(spec: &SweepSpec, points: &[Point]) -> std::io::Result<String> {
             }
         }
     }
-    std::fs::write(&path, out)?;
+    wormsim::observe::atomic_write(std::path::Path::new(&path), &out)?;
     Ok(path)
 }
 
@@ -308,7 +336,18 @@ fn main() {
         spec.algorithms.len(),
         spec.threads
     );
-    let points = run_sweep(&spec);
+    let options = harness_options(&spec);
+    install_sigint_handler(&options.shutdown);
+    let (points, interrupted) = run_sweep(&spec, &options);
+    if interrupted {
+        // Partial results are still worth keeping — flush them under a
+        // name that cannot be mistaken for the full sweep.
+        match write_csv(&spec, &points, "faults_sweep.partial") {
+            Ok(path) => eprintln!("wrote partial results to {path}"),
+            Err(e) => eprintln!("could not write partial CSV: {e}"),
+        }
+        std::process::exit(130);
+    }
     print_table(&spec, &points);
     // A smoke run must fail loudly if the graceful-degradation contract
     // breaks: every point must produce *some* outcome, and the zero-fault
@@ -326,7 +365,7 @@ fn main() {
             }
         }
     }
-    match write_csv(&spec, &points) {
+    match write_csv(&spec, &points, "faults_sweep") {
         Ok(path) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("could not write CSV: {e}"),
     }
@@ -394,6 +433,23 @@ mod tests {
     #[test]
     fn help_short_circuits() {
         assert!(matches!(parse(&["--help"]), Ok(Invocation::Help)));
+    }
+
+    #[test]
+    fn robustness_flags_parse() {
+        let Ok(Invocation::Run(spec)) =
+            parse(&["--resume", "r/faults_sweep.journal.jsonl", "--retries", "2"])
+        else {
+            panic!("expected a run invocation");
+        };
+        assert_eq!(spec.resume.as_deref(), Some("r/faults_sweep.journal.jsonl"));
+        assert_eq!(spec.retries, 2);
+        assert!(parse(&["--retries", "2.5"]).is_err());
+        assert!(parse(&["--fail-after-points", "0"]).is_err());
+        let options = harness_options(&spec);
+        assert_eq!(options.resume, spec.resume);
+        assert_eq!(options.retries, 2);
+        assert!(!options.shutdown.is_cancelled());
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Regenerates Figure 4: 4% hotspot traffic, hotspot node (15,15).
 
-use wormsim_bench::{print_figure, print_paper_comparison, run_figure, write_csv, HarnessOptions};
+use wormsim_bench::{
+    print_figure, print_paper_comparison, run_figure_or_exit, write_csv, HarnessOptions,
+};
 
 fn main() {
     let options = HarnessOptions::from_args();
@@ -10,10 +12,7 @@ fn main() {
         spec.id,
         spec.algorithms.len() * spec.loads.len()
     );
-    let results = run_figure(&spec, &options).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
+    let results = run_figure_or_exit(&spec, &options);
     print_figure(&spec, &results);
     print_paper_comparison(&spec.id, &results);
     match write_csv(&spec.id, &results, &options.out_dir) {

@@ -2,7 +2,7 @@
 //! Section 3.4 virtual-cut-through study) and prints the headline
 //! paper-vs-measured table that EXPERIMENTS.md records.
 
-use wormsim_bench::{print_paper_comparison, run_figure, write_csv, HarnessOptions};
+use wormsim_bench::{print_paper_comparison, run_figure_or_exit, write_csv, HarnessOptions};
 
 fn main() {
     let options = HarnessOptions::from_args();
@@ -12,10 +12,7 @@ fn main() {
             spec.id,
             spec.algorithms.len() * spec.loads.len()
         );
-        let results = run_figure(&spec, &options).unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        });
+        let results = run_figure_or_exit(&spec, &options);
         println!("== {} ({}) ==", spec.title, spec.id);
         println!("Peak achieved utilization:");
         for algo in &spec.algorithms {

@@ -16,6 +16,12 @@
 //! streams per-message trace events; `--sample-every N` sets the sampling
 //! stride in cycles.
 //!
+//! Every sweep journals completed points to `DIR/sweep.journal.jsonl`
+//! (atomic JSONL, one record per point). After a crash or Ctrl-C, rerun
+//! with `--resume <journal>` to skip the journaled points — the merged
+//! CSV is byte-identical to an uninterrupted run. `--retries N` bounds
+//! retry attempts for transient outcomes (budget trips, harness panics).
+//!
 //! Examples:
 //!
 //! ```text
@@ -25,16 +31,17 @@
 
 use wormsim::presets::FigureSpec;
 use wormsim::MeasurementSchedule;
-use wormsim_bench::{cli, print_figure, run_figure, write_csv, HarnessOptions};
+use wormsim_bench::{cli, print_figure, run_figure_or_exit, write_csv, HarnessOptions};
 
 const USAGE: &str = "usage: sweep [--topo T] [--algos A] [--traffic W] [--loads L] \
                      [--switching S] [--quick|--saturation] [--seed N] [--threads N] [--out DIR] \
                      [--observe DIR] [--trace-out DIR] [--sample-every N] \
-                     [--cycle-budget N] [--wall-budget SECS]";
+                     [--cycle-budget N] [--wall-budget SECS] \
+                     [--resume JOURNAL] [--retries N]";
 
 /// What one parsed command line asks for.
 enum Invocation {
-    Run(Box<FigureSpec>, HarnessOptions),
+    Run(Box<FigureSpec>, Box<HarnessOptions>),
     Help,
 }
 
@@ -75,16 +82,22 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
             "--wall-budget" => {
                 options.wall_budget_secs = Some(cli::parse_wall_budget(&value("--wall-budget")?)?);
             }
+            "--resume" => options.resume = Some(value("--resume")?),
+            "--retries" => options.retries = cli::parse_retries(&value("--retries")?)?,
+            "--fail-after-points" => {
+                options.fail_after_points =
+                    Some(cli::parse_fail_after(&value("--fail-after-points")?)?);
+            }
             "--help" | "-h" => return Ok(Invocation::Help),
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
-    Ok(Invocation::Run(Box::new(spec), options))
+    Ok(Invocation::Run(Box::new(spec), Box::new(options)))
 }
 
 fn main() {
     let (mut spec, options) = match parse_args(std::env::args().skip(1)) {
-        Ok(Invocation::Run(spec, options)) => (*spec, options),
+        Ok(Invocation::Run(spec, options)) => (*spec, *options),
         Ok(Invocation::Help) => {
             println!("{USAGE}");
             return;
@@ -128,10 +141,7 @@ fn main() {
         spec.algorithms.len() * spec.loads.len(),
         options.threads
     );
-    let results = run_figure(&spec, &options).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
+    let results = run_figure_or_exit(&spec, &options);
     print_figure(&spec, &results);
     match write_csv(&spec.id, &results, &options.out_dir) {
         Ok(path) => eprintln!("wrote {path}"),
@@ -208,6 +218,29 @@ mod tests {
         assert!(parse(&["--seed"]).is_err());
         assert!(parse(&["--loads"]).is_err());
         assert!(parse(&["--hyperdrive"]).is_err());
+    }
+
+    #[test]
+    fn robustness_flags_parse() {
+        let Ok(Invocation::Run(_, options)) = parse(&[
+            "--resume",
+            "results/sweep.journal.jsonl",
+            "--retries",
+            "0",
+            "--fail-after-points",
+            "3",
+        ]) else {
+            panic!("expected a run invocation");
+        };
+        assert_eq!(
+            options.resume.as_deref(),
+            Some("results/sweep.journal.jsonl")
+        );
+        assert_eq!(options.retries, 0);
+        assert_eq!(options.fail_after_points, Some(3));
+        assert!(parse(&["--resume"]).is_err());
+        assert!(parse(&["--retries", "-1"]).is_err());
+        assert!(parse(&["--fail-after-points", "0"]).is_err());
     }
 
     #[test]

@@ -221,6 +221,32 @@ pub fn parse_wall_budget(s: &str) -> Result<f64, String> {
     Ok(budget)
 }
 
+/// Parses a retry count for transient point outcomes (`--retries`): zero
+/// or more extra attempts.
+///
+/// # Errors
+///
+/// Returns a usage message for non-integers.
+pub fn parse_retries(s: &str) -> Result<u32, String> {
+    u32::from_str(s).map_err(|_| format!("bad retry count '{s}' (expected an integer, 0 disables)"))
+}
+
+/// Parses the crash-simulation threshold (`--fail-after-points`): a
+/// positive number of journaled points after which the process aborts.
+///
+/// # Errors
+///
+/// Returns a usage message for non-integers and for `0` (the process would
+/// abort before journaling anything, proving nothing).
+pub fn parse_fail_after(s: &str) -> Result<usize, String> {
+    let points = usize::from_str(s)
+        .map_err(|_| format!("bad point count '{s}' (expected a positive integer)"))?;
+    if points == 0 {
+        return Err("--fail-after-points must be at least 1".to_owned());
+    }
+    Ok(points)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,334 @@
+//! The run journal: crash-safe checkpointing for sweeps.
+//!
+//! A journal is a JSONL file with one record per *completed* sweep point,
+//! keyed by the point's [`Experiment::point_hash`] — a digest of everything
+//! that determines the simulation (config, seed, fault plan). Every append
+//! rewrites the whole file through [`atomic_write`], so a crash at any
+//! instant leaves either the previous journal or the new one on disk,
+//! never a torn line. Sweeps resumed with `--resume <journal>` skip the
+//! journaled points and splice their recorded results back in; because the
+//! record preserves every [`RunResult`] field exactly (including float bit
+//! patterns), the merged CSV is byte-identical to an uninterrupted run.
+//!
+//! Journals are small — one line per sweep point, tens to a few hundred
+//! lines — so the rewrite-on-append costs microseconds and buys atomicity
+//! without platform-specific append/fsync reasoning.
+//!
+//! [`Experiment::point_hash`]: wormsim::Experiment::point_hash
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use wormsim::observe::json::{self, Value};
+use wormsim::observe::{atomic_write, JsonObject, JsonRecord};
+use wormsim::RunResult;
+
+/// One journaled point: where it sat in the sweep, how many attempts it
+/// took, and the full result.
+#[derive(Clone, Debug)]
+pub struct JournalEntry {
+    /// The point's stable configuration digest.
+    pub point_hash: String,
+    /// Index in the sweep's deterministic order *when recorded* (advisory:
+    /// lookups go by hash, so a reordered sweep still resumes correctly).
+    pub index: usize,
+    /// Attempts the point took (1 = first try).
+    pub attempts: u64,
+    /// The recorded measurement.
+    pub result: RunResult,
+}
+
+impl JsonRecord for JournalEntry {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::begin(out);
+        obj.field_str("point_hash", &self.point_hash)
+            .field_u64("index", self.index as u64)
+            .field_u64("attempts", self.attempts)
+            .field_raw("result", &self.result.to_json());
+        obj.finish();
+    }
+}
+
+impl JournalEntry {
+    fn from_json(value: &Value) -> Result<JournalEntry, String> {
+        Ok(JournalEntry {
+            point_hash: value
+                .get("point_hash")
+                .and_then(Value::as_str)
+                .ok_or("missing field 'point_hash'")?
+                .to_owned(),
+            index: value
+                .get("index")
+                .and_then(Value::as_u64)
+                .ok_or("missing field 'index'")? as usize,
+            attempts: value
+                .get("attempts")
+                .and_then(Value::as_u64)
+                .ok_or("missing field 'attempts'")?,
+            result: RunResult::from_json(value.get("result").ok_or("missing field 'result'")?)?,
+        })
+    }
+}
+
+/// Why a journal could not be opened or written.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalError {
+    /// Filesystem trouble, rendered.
+    Io {
+        /// The journal path involved.
+        path: String,
+        /// The underlying error.
+        message: String,
+    },
+    /// A line that is not a valid journal record — the journal is from a
+    /// different version, hand-edited, or not a journal at all. Refusing
+    /// to resume beats silently re-running everything.
+    Parse {
+        /// The journal path involved.
+        path: String,
+        /// 1-based line number of the bad record.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, message } => {
+                write!(f, "journal {path}: {message}")
+            }
+            JournalError::Parse {
+                path,
+                line,
+                message,
+            } => write!(f, "journal {path} line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// An append-only (from the caller's view) record of completed sweep
+/// points, atomically persisted on every append.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    /// Serialized JSONL of every entry, in append order — rewritten to
+    /// disk wholesale so the on-disk file is always internally consistent.
+    text: String,
+    entries: Vec<JournalEntry>,
+    by_hash: HashMap<String, usize>,
+}
+
+impl Journal {
+    /// Starts a fresh journal at `path`, creating parent directories and
+    /// writing an empty file immediately so the path named in a resume
+    /// hint exists even if no point ever completes.
+    pub fn create(path: impl Into<PathBuf>) -> Result<Journal, JournalError> {
+        let path = path.into();
+        let io = |e: std::io::Error| JournalError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(io)?;
+            }
+        }
+        atomic_write(&path, "").map_err(io)?;
+        Ok(Journal {
+            path,
+            text: String::new(),
+            entries: Vec::new(),
+            by_hash: HashMap::new(),
+        })
+    }
+
+    /// Opens an existing journal, parsing every record. Later records win
+    /// on duplicate hashes (a retried resume may re-record a point).
+    pub fn load(path: impl Into<PathBuf>) -> Result<Journal, JournalError> {
+        let path = path.into();
+        let text = std::fs::read_to_string(&path).map_err(|e| JournalError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let mut journal = Journal {
+            path: path.clone(),
+            text: String::new(),
+            entries: Vec::new(),
+            by_hash: HashMap::new(),
+        };
+        for (number, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parse = |message: String| JournalError::Parse {
+                path: path.display().to_string(),
+                line: number + 1,
+                message,
+            };
+            let value = json::from_str(line).map_err(|e| parse(e.to_string()))?;
+            let entry = JournalEntry::from_json(&value).map_err(parse)?;
+            journal.push(entry);
+        }
+        Ok(journal)
+    }
+
+    fn push(&mut self, entry: JournalEntry) {
+        entry.write_json(&mut self.text);
+        self.text.push('\n');
+        self.by_hash
+            .insert(entry.point_hash.clone(), self.entries.len());
+        self.entries.push(entry);
+    }
+
+    /// Records a completed point and atomically persists the journal.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors from the atomic rewrite.
+    pub fn record(&mut self, entry: JournalEntry) -> Result<(), JournalError> {
+        self.push(entry);
+        atomic_write(&self.path, &self.text).map_err(|e| JournalError::Io {
+            path: self.path.display().to_string(),
+            message: e.to_string(),
+        })
+    }
+
+    /// Looks up a completed point by its configuration digest.
+    pub fn get(&self, point_hash: &str) -> Option<&JournalEntry> {
+        self.by_hash.get(point_hash).map(|&i| &self.entries[i])
+    }
+
+    /// Number of journaled points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no point has been journaled yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Where the journal lives on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormsim::stats::{ConfidenceInterval, ConvergenceStatus};
+    use wormsim::{RunOutcome, RunResult};
+
+    fn result(load: f64) -> RunResult {
+        RunResult {
+            algorithm: "phop".into(),
+            traffic: "uniform".into(),
+            offered_load: load,
+            injection_rate: 0.0123456789012345,
+            latency: ConfidenceInterval::new(31.25, 0.75),
+            latency_percentiles: [28, 40, 55],
+            latency_max: 90,
+            class_latencies: Vec::new(),
+            achieved_utilization: 0.1 + 0.2,
+            delivery_rate: 0.01,
+            acceptance_rate: 0.01,
+            refused_fraction: 0.0,
+            messages_measured: 1000,
+            convergence: ConvergenceStatus::Converged,
+            samples: 3,
+            cycles_simulated: 30_000,
+            wall_seconds: 0.5,
+            cycles_per_sec: 60_000.0,
+            outcome: RunOutcome::Completed,
+            dropped_events: 0,
+            deadlock: None,
+            livelock: None,
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir()
+            .join(format!("wormsim-journal-{}-{name}", std::process::id()))
+            .join("sweep.journal.jsonl")
+    }
+
+    #[test]
+    fn create_record_load_roundtrip() {
+        let path = temp_path("roundtrip");
+        let mut journal = Journal::create(&path).unwrap();
+        assert!(journal.is_empty());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        for (i, load) in [0.1, 0.2, 0.3].iter().enumerate() {
+            journal
+                .record(JournalEntry {
+                    point_hash: format!("hash{i}"),
+                    index: i,
+                    attempts: 1 + i as u64,
+                    result: result(*load),
+                })
+                .unwrap();
+        }
+        assert_eq!(journal.len(), 3);
+
+        let loaded = Journal::load(&path).unwrap();
+        assert_eq!(loaded.len(), 3);
+        let entry = loaded.get("hash1").expect("hash1 journaled");
+        assert_eq!(entry.index, 1);
+        assert_eq!(entry.attempts, 2);
+        assert_eq!(entry.result.offered_load.to_bits(), 0.2f64.to_bits());
+        assert_eq!(
+            entry.result.injection_rate.to_bits(),
+            result(0.2).injection_rate.to_bits(),
+            "floats survive the journal bit-exactly"
+        );
+        assert!(loaded.get("hash9").is_none());
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn append_is_atomic_no_stray_tmp_files() {
+        let path = temp_path("atomic");
+        let mut journal = Journal::create(&path).unwrap();
+        journal
+            .record(JournalEntry {
+                point_hash: "h".into(),
+                index: 0,
+                attempts: 1,
+                result: result(0.5),
+            })
+            .unwrap();
+        let dir = path.parent().unwrap();
+        let names: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["sweep.journal.jsonl".to_owned()]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_torn_or_foreign_lines() {
+        let path = temp_path("torn");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, "{\"point_hash\":\"h\",\"index\":0").unwrap();
+        let error = Journal::load(&path).expect_err("torn line must not load");
+        assert!(
+            matches!(error, JournalError::Parse { line: 1, .. }),
+            "{error}"
+        );
+        std::fs::write(&path, "not json at all\n").unwrap();
+        assert!(Journal::load(&path).is_err());
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn missing_journal_is_an_io_error() {
+        let error = Journal::load("/nonexistent/nowhere.journal.jsonl").unwrap_err();
+        assert!(matches!(error, JournalError::Io { .. }), "{error}");
+    }
+}

@@ -3,22 +3,67 @@
 //! Runs [`FigureSpec`] sweeps in parallel across worker threads, prints
 //! paper-style latency/throughput series, and records CSV files that
 //! EXPERIMENTS.md references.
+//!
+//! The harness is crash-safe: every completed point is checkpointed to a
+//! [`Journal`] (atomic JSONL, keyed by the point's configuration digest),
+//! worker panics are contained to the point that raised them, transient
+//! outcomes retry with seed-jittered backoff, and SIGINT drains in-flight
+//! points before flushing partial results and printing a ready-to-paste
+//! resume command. See `docs/ROBUSTNESS.md`.
 
 use std::fmt;
 use std::io::Write as _;
-use std::path::Path;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use wormsim::presets::FigureSpec;
+use wormsim::stats::{ConfidenceInterval, ConvergenceStatus};
 use wormsim::{
-    format_results_table, format_sweep_csv, ExperimentError, MeasurementSchedule, ObserveConfig,
-    RunResult,
+    format_results_table, format_sweep_csv, CancelToken, Experiment, ExperimentError,
+    MeasurementSchedule, ObserveConfig, PanicInfo, RunOutcome, RunResult,
 };
 
 pub mod cli;
+mod journal;
 pub mod plot;
 mod reference;
+pub use journal::{Journal, JournalEntry, JournalError};
 pub use reference::{paper_reference, PaperClaim};
+
+/// The token the installed SIGINT handler trips. Process-global because a
+/// signal handler has no other way to reach session state.
+static SIGINT_TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+const SIGINT: i32 = 2;
+
+extern "C" fn on_sigint(_signum: i32) {
+    // Only async-signal-safe work here: one atomic store through the
+    // token. No allocation, no locks, no I/O.
+    if let Some(token) = SIGINT_TOKEN.get() {
+        token.cancel();
+    }
+}
+
+extern "C" {
+    // Vendored libc-free binding: `signal(2)` is in every libc this
+    // simulator builds against, and the harness only needs this one hook.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Routes SIGINT (Ctrl-C) to `token` instead of killing the process, so a
+/// sweep can stop dispatching, drain in-flight points, flush the journal
+/// and partial CSVs, and print a resume command. First caller wins: the
+/// token registered first stays registered for the process lifetime.
+pub fn install_sigint_handler(token: &CancelToken) {
+    let _ = SIGINT_TOKEN.set(token.clone());
+    // SAFETY: `on_sigint` is async-signal-safe (a single atomic store) and
+    // has the exact `extern "C" fn(i32)` shape signal(2) expects; the
+    // handler address stays valid for the process lifetime.
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+}
 
 /// Command-line options shared by the figure binaries.
 #[derive(Clone, Debug)]
@@ -46,6 +91,24 @@ pub struct HarnessOptions {
     /// Per-run wall-clock cap in seconds (`--wall-budget SECS`), checked
     /// between sampling periods. `None` disables the cap.
     pub wall_budget_secs: Option<f64>,
+    /// Journal to resume from (`--resume FILE`): points already recorded
+    /// there are skipped and their results spliced back in bit-identically;
+    /// new completions append to the same file.
+    pub resume: Option<String>,
+    /// Extra attempts for points with transient outcomes — budget trips
+    /// and harness panics (`--retries N`, default 1). Retries reuse the
+    /// identical seed; only the backoff delay between attempts is jittered.
+    pub retries: u32,
+    /// Test hook (`--fail-after-points N`): simulate a crash by exiting
+    /// the process (status 3) once N points have been journaled this run,
+    /// without flushing anything else. Exercises the resume path.
+    pub fail_after_points: Option<usize>,
+    /// Test hook (not CLI-exposed): panic inside the worker at this point
+    /// index, exercising per-point panic isolation.
+    pub inject_panic: Option<usize>,
+    /// Cooperative shutdown flag. Binaries route SIGINT here via
+    /// [`install_sigint_handler`]; tests trip it directly.
+    pub shutdown: CancelToken,
 }
 
 impl Default for HarnessOptions {
@@ -60,6 +123,11 @@ impl Default for HarnessOptions {
             sample_every: 0,
             cycle_budget: None,
             wall_budget_secs: None,
+            resume: None,
+            retries: 1,
+            fail_after_points: None,
+            inject_panic: None,
+            shutdown: CancelToken::new(),
         }
     }
 }
@@ -75,7 +143,7 @@ impl HarnessOptions {
             eprintln!(
                 "usage: [--quick|--saturation] [--seed N] [--out DIR] [--threads N] \
                  [--observe DIR] [--trace-out DIR] [--sample-every N] \
-                 [--cycle-budget N] [--wall-budget SECS]"
+                 [--cycle-budget N] [--wall-budget SECS] [--resume JOURNAL] [--retries N]"
             );
             std::process::exit(2);
         })
@@ -122,11 +190,22 @@ impl HarnessOptions {
                     let v = args.next().ok_or("--wall-budget needs a value")?;
                     options.wall_budget_secs = Some(cli::parse_wall_budget(&v)?);
                 }
+                "--resume" => {
+                    options.resume = Some(args.next().ok_or("--resume needs a journal file")?);
+                }
+                "--retries" => {
+                    let v = args.next().ok_or("--retries needs a value")?;
+                    options.retries = cli::parse_retries(&v)?;
+                }
+                "--fail-after-points" => {
+                    let v = args.next().ok_or("--fail-after-points needs a value")?;
+                    options.fail_after_points = Some(cli::parse_fail_after(&v)?);
+                }
                 other => {
                     return Err(format!(
                         "unknown argument '{other}' (expected --quick, --saturation, --seed N, \
                          --out DIR, --threads N, --observe DIR, --trace-out DIR, --sample-every N, \
-                         --cycle-budget N, --wall-budget SECS)"
+                         --cycle-budget N, --wall-budget SECS, --resume JOURNAL, --retries N)"
                     ))
                 }
             }
@@ -166,19 +245,347 @@ impl std::error::Error for SweepError {
     }
 }
 
-/// Runs every `(algorithm, load)` experiment of a figure in parallel and
-/// returns results in deterministic order (algorithm-major, load-minor).
+/// Any failure of the sweep *machinery*, as opposed to the simulation: a
+/// failing point configuration or a journal that cannot be read/written.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HarnessError {
+    /// A point's configuration was rejected (see [`SweepError`]).
+    Sweep(SweepError),
+    /// The run journal could not be loaded or persisted. Fatal by design:
+    /// continuing without checkpoints would silently void the crash-safety
+    /// contract.
+    Journal(JournalError),
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Sweep(e) => e.fmt(f),
+            HarnessError::Journal(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarnessError::Sweep(e) => Some(e),
+            HarnessError::Journal(e) => Some(e),
+        }
+    }
+}
+
+impl From<SweepError> for HarnessError {
+    fn from(e: SweepError) -> Self {
+        HarnessError::Sweep(e)
+    }
+}
+
+impl From<JournalError> for HarnessError {
+    fn from(e: JournalError) -> Self {
+        HarnessError::Journal(e)
+    }
+}
+
+/// How a figure sweep ended.
+#[derive(Debug)]
+pub enum FigureRun {
+    /// Every point ran (or was resumed); results in deterministic order
+    /// (algorithm-major, load-minor).
+    Complete(Vec<RunResult>),
+    /// Shutdown tripped mid-sweep. In-flight points were drained, every
+    /// completed point is journaled, and `partial` holds the completed
+    /// results in sweep order (missing points simply absent).
+    Interrupted {
+        /// Results of the points that completed before shutdown.
+        partial: Vec<RunResult>,
+        /// Completed (journaled) point count.
+        completed: usize,
+        /// Total points in the sweep.
+        total: usize,
+        /// The journal to pass back via `--resume`.
+        journal: PathBuf,
+    },
+}
+
+/// One sweep's raw per-point outcomes from [`run_experiments`].
+#[derive(Debug)]
+pub struct ExperimentsRun {
+    /// Per point, in input order: `None` if the point never ran (shutdown
+    /// before dispatch, or cancelled by an earlier failure in fail-fast
+    /// mode), otherwise the run result or its configuration error.
+    pub outcomes: Vec<Option<Result<RunResult, ExperimentError>>>,
+    /// Attempts each completed point took (1 = first try; 0 if never ran).
+    pub attempts: Vec<u64>,
+    /// Whether the shutdown token tripped before every point completed.
+    pub interrupted: bool,
+    /// Points spliced in from the resume journal rather than re-run.
+    pub resumed: usize,
+    /// Where the journal lives; pass via `--resume` to continue.
+    pub journal: PathBuf,
+}
+
+/// Seed-jittered backoff before retry `attempt` of the point with digest
+/// `point_hash`: exponential base so repeated transients spread out, plus
+/// a per-point jitter so a thundering herd of failed points does not
+/// retry in lockstep. Deterministic in (hash, attempt) — no wall clock,
+/// no global RNG.
+fn backoff_ms(point_hash: &str, attempt: u64) -> u64 {
+    let digest = wormsim::observe::fnv1a_hex(&format!("{point_hash}:retry:{attempt}"));
+    let jitter = u64::from_str_radix(&digest[..4], 16).unwrap_or(0) % 64;
+    (25u64 << attempt.min(5)) + jitter
+}
+
+/// Renders a worker panic into a placeholder [`RunResult`] carrying
+/// [`RunOutcome::Harness`], so the surrounding sweep records the failure
+/// and keeps running instead of poisoning the pool.
+fn panic_result(experiment: &Experiment, payload: &(dyn std::any::Any + Send)) -> RunResult {
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    };
+    RunResult {
+        algorithm: experiment.algorithm_kind().name().to_owned(),
+        traffic: experiment.traffic_config().to_string(),
+        offered_load: experiment.offered_load_value(),
+        injection_rate: 0.0,
+        latency: ConfidenceInterval::new(0.0, f64::INFINITY),
+        latency_percentiles: [0, 0, 0],
+        latency_max: 0,
+        class_latencies: Vec::new(),
+        achieved_utilization: 0.0,
+        delivery_rate: 0.0,
+        acceptance_rate: 0.0,
+        refused_fraction: 0.0,
+        messages_measured: 0,
+        convergence: ConvergenceStatus::NeedMoreSamples,
+        samples: 0,
+        cycles_simulated: 0,
+        wall_seconds: 0.0,
+        cycles_per_sec: 0.0,
+        outcome: RunOutcome::Harness(PanicInfo { message }),
+        dropped_events: 0,
+        deadlock: None,
+        livelock: None,
+    }
+}
+
+/// Runs one point with panic isolation and bounded retries. Panics become
+/// [`RunOutcome::Harness`] results; transient outcomes (budget trips,
+/// panics) retry up to `options.retries` extra times with seed-jittered
+/// backoff, reusing the identical simulation seed. Configuration errors
+/// never retry — they are deterministic. Returns the final result and the
+/// number of attempts consumed.
+fn run_point(
+    experiment: &Experiment,
+    index: usize,
+    point_hash: &str,
+    options: &HarnessOptions,
+) -> (Result<RunResult, ExperimentError>, u64) {
+    let max_attempts = u64::from(options.retries).saturating_add(1);
+    let mut attempt = 1u64;
+    loop {
+        let attempt_experiment = experiment
+            .clone()
+            .attempt(attempt as u32)
+            .resumed_from(options.resume.clone());
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            if options.inject_panic == Some(index) {
+                panic!("injected harness panic at point {index}");
+            }
+            attempt_experiment.run()
+        }));
+        let result = match run {
+            Ok(inner) => inner,
+            Err(payload) => Ok(panic_result(experiment, payload.as_ref())),
+        };
+        let transient = matches!(&result, Ok(r) if r.outcome.is_transient());
+        if transient && attempt < max_attempts && !options.shutdown.is_cancelled() {
+            std::thread::sleep(std::time::Duration::from_millis(backoff_ms(
+                point_hash, attempt,
+            )));
+            attempt += 1;
+            continue;
+        }
+        return (result, attempt);
+    }
+}
+
+/// Orchestrates an arbitrary experiment list with the full robustness
+/// stack: journaled checkpoints (skipping points already recorded when
+/// `options.resume` is set), per-point panic isolation, bounded retries
+/// with backoff, and cooperative shutdown that drains in-flight points.
+///
+/// `journal_name` names the journal file created under `options.out_dir`
+/// when not resuming. With `fail_fast`, the first point whose
+/// *configuration* is rejected cancels the remaining points (figure
+/// sweeps: one bad config means the whole figure is wrong); without it,
+/// configuration errors are recorded per point and the sweep continues
+/// (fault sweeps: a plan that disconnects the network is data, not a bug).
 ///
 /// # Errors
 ///
-/// The first failing experiment wins: its [`SweepError`] is returned,
-/// unclaimed points are cancelled via a shared flag (points already
-/// running finish but their results are dropped). Workers never panic on
-/// experiment failure.
-pub fn run_figure(
-    spec: &FigureSpec,
+/// Journal I/O or parse failures. Point-level outcomes — including
+/// configuration errors — are reported in the returned
+/// [`ExperimentsRun`], not as `Err`.
+pub fn run_experiments(
+    experiments: &[Experiment],
     options: &HarnessOptions,
-) -> Result<Vec<RunResult>, SweepError> {
+    journal_name: &str,
+    fail_fast: bool,
+) -> Result<ExperimentsRun, HarnessError> {
+    let journal = match &options.resume {
+        Some(path) => Journal::load(path)?,
+        None => Journal::create(Path::new(&options.out_dir).join(journal_name))?,
+    };
+    let journal_path = journal.path().to_path_buf();
+    let hashes: Vec<String> = experiments.iter().map(Experiment::point_hash).collect();
+
+    // One worker slot: the point's outcome plus the attempts it took.
+    type Slot = Option<(Result<RunResult, ExperimentError>, u64)>;
+    let total = experiments.len();
+    let slots: Vec<Mutex<Slot>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let mut resumed = 0usize;
+    for (i, hash) in hashes.iter().enumerate() {
+        if let Some(entry) = journal.get(hash) {
+            *slots[i].lock().expect("no poisoned slots") =
+                Some((Ok(entry.result.clone()), entry.attempts));
+            resumed += 1;
+        }
+    }
+    if resumed > 0 {
+        eprintln!(
+            "resuming: {resumed}/{total} points already journaled in {}",
+            journal_path.display()
+        );
+    }
+
+    let journal = Mutex::new(journal);
+    let journal_failure: Mutex<Option<JournalError>> = Mutex::new(None);
+    let journaled_this_run = AtomicUsize::new(0);
+    let done = AtomicUsize::new(resumed);
+    let next = AtomicUsize::new(0);
+    let aborted = AtomicBool::new(false);
+    let started = std::time::Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..options.threads.max(1) {
+            scope.spawn(|| loop {
+                if aborted.load(Ordering::Relaxed) || options.shutdown.is_cancelled() {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                if slots[i].lock().expect("no poisoned slots").is_some() {
+                    continue; // resumed from the journal
+                }
+                let (result, attempts) = run_point(&experiments[i], i, &hashes[i], options);
+                match &result {
+                    Ok(r) if r.outcome == RunOutcome::Interrupted => {
+                        // Shutdown drained this point mid-run: its partial
+                        // statistics are not data. Leave the slot empty so
+                        // a resume re-runs it from scratch.
+                        continue;
+                    }
+                    Ok(r) => {
+                        let entry = JournalEntry {
+                            point_hash: hashes[i].clone(),
+                            index: i,
+                            attempts,
+                            result: r.clone(),
+                        };
+                        if let Err(e) = journal.lock().expect("no poisoned journal").record(entry) {
+                            aborted.store(true, Ordering::Relaxed);
+                            let mut failure =
+                                journal_failure.lock().expect("no poisoned failure slot");
+                            if failure.is_none() {
+                                *failure = Some(e);
+                            }
+                            break;
+                        }
+                        let journaled = journaled_this_run.fetch_add(1, Ordering::Relaxed) + 1;
+                        if options
+                            .fail_after_points
+                            .is_some_and(|limit| journaled >= limit)
+                        {
+                            // Crash simulation for the resume tests: die
+                            // hard, right now, leaving only the journal.
+                            eprintln!(
+                                "\nfail-after-points: simulating a crash after {journaled} \
+                                 journaled points"
+                            );
+                            std::process::exit(3);
+                        }
+                    }
+                    Err(_) if fail_fast => {
+                        aborted.store(true, Ordering::Relaxed);
+                    }
+                    Err(_) => {}
+                }
+                *slots[i].lock().expect("no poisoned slots") = Some((result, attempts));
+                let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                let remaining = total - completed;
+                if remaining == 0 {
+                    eprint!("\r  {completed}/{total} points              ");
+                } else {
+                    // Average seconds per completed point predicts the rest.
+                    let fresh = completed.saturating_sub(resumed).max(1);
+                    let eta = started.elapsed().as_secs_f64() / fresh as f64 * remaining as f64;
+                    eprint!("\r  {completed}/{total} points (ETA {eta:.0}s)   ");
+                }
+                let _ = std::io::stderr().flush();
+            });
+        }
+    });
+    eprintln!();
+
+    if let Some(error) = journal_failure
+        .into_inner()
+        .expect("no poisoned failure slot")
+    {
+        return Err(error.into());
+    }
+    let mut outcomes = Vec::with_capacity(total);
+    let mut attempts = Vec::with_capacity(total);
+    for slot in slots {
+        match slot.into_inner().expect("no poisoned slots") {
+            Some((result, n)) => {
+                outcomes.push(Some(result));
+                attempts.push(n);
+            }
+            None => {
+                outcomes.push(None);
+                attempts.push(0);
+            }
+        }
+    }
+    let interrupted = outcomes.iter().any(Option::is_none) && !aborted.load(Ordering::Relaxed);
+    Ok(ExperimentsRun {
+        outcomes,
+        attempts,
+        interrupted,
+        resumed,
+        journal: journal_path,
+    })
+}
+
+/// Runs every `(algorithm, load)` experiment of a figure in parallel with
+/// the full robustness stack (see [`run_experiments`]) and returns results
+/// in deterministic order (algorithm-major, load-minor).
+///
+/// # Errors
+///
+/// The first failing experiment wins: its [`SweepError`] is returned and
+/// unclaimed points are cancelled (points already running finish but their
+/// results are dropped). Journal failures surface as
+/// [`HarnessError::Journal`]. Worker panics do not fail the sweep — they
+/// are recorded per point as [`RunOutcome::Harness`].
+pub fn run_figure(spec: &FigureSpec, options: &HarnessOptions) -> Result<FigureRun, HarnessError> {
     let mut experiments = wormsim::presets::experiments_for(spec, options.schedule, options.seed);
     if options.observe_dir.is_some() || options.trace_dir.is_some() {
         let config = ObserveConfig {
@@ -192,78 +599,99 @@ pub fn run_figure(
             .map(|e| e.observe(config.clone()))
             .collect();
     }
-    if options.cycle_budget.is_some() || options.wall_budget_secs.is_some() {
-        experiments = experiments
-            .into_iter()
-            .map(|e| {
-                e.cycle_budget(options.cycle_budget)
-                    .wall_budget_secs(options.wall_budget_secs)
-            })
-            .collect();
-    }
-    let total = experiments.len();
-    let done = AtomicUsize::new(0);
-    let next = AtomicUsize::new(0);
-    let cancelled = AtomicBool::new(false);
-    let failure: Mutex<Option<SweepError>> = Mutex::new(None);
-    let started = std::time::Instant::now();
-    let slots: Vec<Mutex<Option<RunResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..options.threads.max(1) {
-            scope.spawn(|| loop {
-                if cancelled.load(Ordering::Relaxed) {
-                    break;
-                }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                match experiments[i].run() {
-                    Ok(result) => {
-                        *slots[i].lock().expect("no poisoned slots") = Some(result);
-                    }
-                    Err(e) => {
-                        cancelled.store(true, Ordering::Relaxed);
-                        let error = SweepError {
-                            index: i,
-                            algorithm: experiments[i].algorithm_kind().name().to_owned(),
-                            offered_load: experiments[i].offered_load_value(),
-                            source: e,
-                        };
-                        let mut first = failure.lock().expect("no poisoned failure slot");
-                        if first.as_ref().is_none_or(|f| i < f.index) {
-                            *first = Some(error);
-                        }
-                        break;
-                    }
-                }
-                let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
-                let remaining = total - completed;
-                if remaining == 0 {
-                    eprint!("\r  {completed}/{total} points              ");
-                } else {
-                    // Average seconds per completed point predicts the rest.
-                    let eta = started.elapsed().as_secs_f64() / completed as f64 * remaining as f64;
-                    eprint!("\r  {completed}/{total} points (ETA {eta:.0}s)   ");
-                }
-                let _ = std::io::stderr().flush();
-            });
-        }
-    });
-    eprintln!();
-
-    if let Some(error) = failure.into_inner().expect("no poisoned failure slot") {
-        return Err(error);
-    }
-    Ok(slots
+    experiments = experiments
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("no poisoned slots")
-                .expect("all slots filled")
+        .map(|e| {
+            e.cycle_budget(options.cycle_budget)
+                .wall_budget_secs(options.wall_budget_secs)
+                .cancel_token(options.shutdown.clone())
         })
-        .collect())
+        .collect();
+
+    let run = run_experiments(
+        &experiments,
+        options,
+        &format!("{}.journal.jsonl", spec.id),
+        true,
+    )?;
+
+    // First configuration error (lowest index) wins, as before.
+    for (i, outcome) in run.outcomes.iter().enumerate() {
+        if let Some(Err(e)) = outcome {
+            return Err(SweepError {
+                index: i,
+                algorithm: experiments[i].algorithm_kind().name().to_owned(),
+                offered_load: experiments[i].offered_load_value(),
+                source: e.clone(),
+            }
+            .into());
+        }
+    }
+    let total = run.outcomes.len();
+    let results: Vec<RunResult> = run
+        .outcomes
+        .into_iter()
+        .flatten()
+        .map(|r| r.expect("errors returned above"))
+        .collect();
+    if results.len() < total {
+        let completed = results.len();
+        return Ok(FigureRun::Interrupted {
+            partial: results,
+            completed,
+            total,
+            journal: run.journal,
+        });
+    }
+    Ok(FigureRun::Complete(results))
+}
+
+/// The command line to paste to continue an interrupted sweep: the current
+/// invocation with any stale `--resume`/`--fail-after-points` stripped and
+/// `--resume <journal>` appended.
+pub fn resume_command(journal: &Path) -> String {
+    let mut parts = Vec::new();
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--resume" || arg == "--fail-after-points" {
+            let _ = args.next();
+            continue;
+        }
+        parts.push(arg);
+    }
+    parts.push("--resume".to_owned());
+    parts.push(journal.display().to_string());
+    parts.join(" ")
+}
+
+/// Runs a figure for a binary: installs the SIGINT handler, and on
+/// interruption flushes a partial CSV, prints the resume command, and
+/// exits 130; on error exits 1. Returns only when the sweep completed.
+pub fn run_figure_or_exit(spec: &FigureSpec, options: &HarnessOptions) -> Vec<RunResult> {
+    install_sigint_handler(&options.shutdown);
+    match run_figure(spec, options) {
+        Ok(FigureRun::Complete(results)) => results,
+        Ok(FigureRun::Interrupted {
+            partial,
+            completed,
+            total,
+            journal,
+        }) => {
+            if !partial.is_empty() {
+                match write_csv(&format!("{}.partial", spec.id), &partial, &options.out_dir) {
+                    Ok(path) => eprintln!("wrote partial results to {path}"),
+                    Err(e) => eprintln!("could not write partial CSV: {e}"),
+                }
+            }
+            eprintln!("interrupted: {completed}/{total} points completed and journaled");
+            eprintln!("resume with: {}", resume_command(&journal));
+            std::process::exit(130);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Prints the figure in the paper's two-panel form (latency vs offered
@@ -373,7 +801,9 @@ pub fn print_paper_comparison(spec_id: &str, results: &[RunResult]) {
     println!();
 }
 
-/// Writes the sweep CSV under the output directory, returning the path.
+/// Writes the sweep CSV under the output directory (atomically, via a
+/// temp-file rename, so a crash mid-write never leaves a torn CSV),
+/// returning the path.
 ///
 /// # Errors
 ///
@@ -381,7 +811,7 @@ pub fn print_paper_comparison(spec_id: &str, results: &[RunResult]) {
 pub fn write_csv(spec_id: &str, results: &[RunResult], out_dir: &str) -> std::io::Result<String> {
     std::fs::create_dir_all(out_dir)?;
     let path = Path::new(out_dir).join(format!("{spec_id}.csv"));
-    std::fs::write(&path, format_sweep_csv(results))?;
+    wormsim::observe::atomic_write(&path, format_sweep_csv(results))?;
     Ok(path.display().to_string())
 }
 
@@ -475,25 +905,68 @@ mod tests {
     }
 
     #[test]
-    fn harness_runs_a_tiny_figure() {
-        // A reduced fig3: two algorithms, two loads, quick schedule.
+    fn options_parse_robustness_flags() {
+        let options = parse(&[
+            "--resume",
+            "results/fig3.journal.jsonl",
+            "--retries",
+            "3",
+            "--fail-after-points",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(
+            options.resume.as_deref(),
+            Some("results/fig3.journal.jsonl")
+        );
+        assert_eq!(options.retries, 3);
+        assert_eq!(options.fail_after_points, Some(2));
+        let defaults = parse(&[]).unwrap();
+        assert_eq!(defaults.resume, None);
+        assert_eq!(defaults.retries, 1);
+        assert_eq!(defaults.fail_after_points, None);
+        assert!(!defaults.shutdown.is_cancelled());
+        assert!(parse(&["--resume"]).is_err());
+        assert!(parse(&["--retries", "many"]).is_err());
+        assert!(parse(&["--fail-after-points", "0"]).is_err());
+    }
+
+    fn temp_out_dir(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("wormsim-bench-{}-{name}", std::process::id()))
+            .display()
+            .to_string()
+    }
+
+    fn tiny_spec() -> FigureSpec {
         let mut spec = presets::fig3();
         spec.loads = vec![0.1, 0.3];
         spec.algorithms = vec![
             wormsim::AlgorithmKind::Ecube,
             wormsim::AlgorithmKind::PositiveHop,
         ];
+        spec
+    }
+
+    fn complete(run: FigureRun) -> Vec<RunResult> {
+        match run {
+            FigureRun::Complete(results) => results,
+            FigureRun::Interrupted { .. } => panic!("sweep unexpectedly interrupted"),
+        }
+    }
+
+    #[test]
+    fn harness_runs_a_tiny_figure() {
+        // A reduced fig3: two algorithms, two loads, quick schedule.
+        let spec = tiny_spec();
         let options = HarnessOptions {
             schedule: MeasurementSchedule::quick(),
             seed: 5,
-            out_dir: std::env::temp_dir()
-                .join("wormsim-test")
-                .display()
-                .to_string(),
+            out_dir: temp_out_dir("tiny-figure"),
             threads: 4,
             ..HarnessOptions::default()
         };
-        let results = run_figure(&spec, &options).expect("all points run");
+        let results = complete(run_figure(&spec, &options).expect("all points run"));
         assert_eq!(results.len(), 4);
         // Ordering: algorithm-major, load-minor.
         assert_eq!(results[0].algorithm, "ecube");
@@ -505,24 +978,26 @@ mod tests {
         assert_eq!(csv.lines().count(), 5);
         assert!(peak_utilization(&results, "phop") > 0.2);
         assert!(latency_at(&results, "ecube", 0.1) > 15.0);
+        std::fs::remove_dir_all(&options.out_dir).ok();
     }
 
     #[test]
     fn sweep_error_names_the_first_failing_point() {
         // Load 9.0 is invalid, so the second point of each series fails.
         // One worker thread makes "first error wins" exact: index 1.
-        let mut spec = presets::fig3();
+        let mut spec = tiny_spec();
         spec.loads = vec![0.1, 9.0];
-        spec.algorithms = vec![
-            wormsim::AlgorithmKind::Ecube,
-            wormsim::AlgorithmKind::PositiveHop,
-        ];
         let options = HarnessOptions {
             schedule: MeasurementSchedule::quick(),
             threads: 1,
+            out_dir: temp_out_dir("first-failure"),
             ..HarnessOptions::default()
         };
-        let error = run_figure(&spec, &options).expect_err("invalid load must fail the sweep");
+        let harness_error =
+            run_figure(&spec, &options).expect_err("invalid load must fail the sweep");
+        let HarnessError::Sweep(error) = harness_error else {
+            panic!("expected a sweep error, got: {harness_error}");
+        };
         assert_eq!(error.index, 1);
         assert_eq!(error.algorithm, "ecube");
         assert!((error.offered_load - 9.0).abs() < 1e-12);
@@ -535,5 +1010,160 @@ mod tests {
         assert!(message.contains('9'), "got: {message}");
         use std::error::Error as _;
         assert!(error.source().is_some());
+        std::fs::remove_dir_all(&options.out_dir).ok();
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_recorded() {
+        // One point panics; the sweep must still complete, with the panic
+        // rendered as a Harness outcome rather than poisoning the pool.
+        // retries: 0 so the panic is recorded on the first attempt.
+        let spec = tiny_spec();
+        let options = HarnessOptions {
+            schedule: MeasurementSchedule::quick(),
+            seed: 5,
+            out_dir: temp_out_dir("inject-panic"),
+            threads: 2,
+            retries: 0,
+            inject_panic: Some(2),
+            ..HarnessOptions::default()
+        };
+        let results = complete(run_figure(&spec, &options).expect("panic must not fail sweep"));
+        assert_eq!(results.len(), 4);
+        let RunOutcome::Harness(info) = &results[2].outcome else {
+            panic!(
+                "expected a harness panic outcome, got {:?}",
+                results[2].outcome
+            );
+        };
+        assert!(info.message.contains("injected"), "got: {}", info.message);
+        assert_eq!(
+            results[2].samples, 0,
+            "panicked point carries no statistics"
+        );
+        for (i, r) in results.iter().enumerate() {
+            if i != 2 {
+                assert!(r.outcome.has_statistics(), "point {i} ran normally");
+            }
+        }
+        std::fs::remove_dir_all(&options.out_dir).ok();
+    }
+
+    #[test]
+    fn transient_panic_is_retried_until_attempts_exhaust() {
+        // The injection fires on every attempt of point 1, so with two
+        // retries the point is tried 3 times (with backoff between), ends
+        // as a Harness outcome, and the attempt count is recorded.
+        let spec = tiny_spec();
+        let experiments = wormsim::presets::experiments_for(&spec, MeasurementSchedule::quick(), 5);
+        let options = HarnessOptions {
+            schedule: MeasurementSchedule::quick(),
+            seed: 5,
+            out_dir: temp_out_dir("retry"),
+            threads: 1,
+            retries: 2,
+            inject_panic: Some(1),
+            ..HarnessOptions::default()
+        };
+        let run = run_experiments(&experiments, &options, "retry.journal.jsonl", true).unwrap();
+        assert!(!run.interrupted);
+        assert_eq!(run.resumed, 0);
+        assert_eq!(run.attempts[1], 3, "retries exhausted: 1 try + 2 retries");
+        assert!(run
+            .attempts
+            .iter()
+            .enumerate()
+            .all(|(i, &a)| i == 1 || a == 1));
+        let Some(Ok(result)) = &run.outcomes[1] else {
+            panic!("point 1 must carry a result");
+        };
+        assert!(matches!(result.outcome, RunOutcome::Harness(_)));
+        // The journaled entry remembers the attempts too.
+        let journal = Journal::load(&run.journal).unwrap();
+        let entry = journal
+            .get(&experiments[1].point_hash())
+            .expect("point 1 journaled");
+        assert_eq!(entry.attempts, 3);
+        std::fs::remove_dir_all(&options.out_dir).ok();
+    }
+
+    #[test]
+    fn pre_tripped_shutdown_interrupts_before_dispatch() {
+        let spec = tiny_spec();
+        let options = HarnessOptions {
+            schedule: MeasurementSchedule::quick(),
+            seed: 5,
+            out_dir: temp_out_dir("pre-tripped"),
+            threads: 2,
+            ..HarnessOptions::default()
+        };
+        options.shutdown.cancel();
+        match run_figure(&spec, &options).expect("interruption is not an error") {
+            FigureRun::Interrupted {
+                partial,
+                completed,
+                total,
+                journal,
+            } => {
+                assert!(partial.is_empty());
+                assert_eq!(completed, 0);
+                assert_eq!(total, 4);
+                assert!(journal.exists(), "journal path must exist for the hint");
+            }
+            FigureRun::Complete(_) => panic!("pre-tripped shutdown must interrupt"),
+        }
+        std::fs::remove_dir_all(&options.out_dir).ok();
+    }
+
+    #[test]
+    fn resume_skips_journaled_points_and_matches_clean_run() {
+        let spec = tiny_spec();
+        let out_dir = temp_out_dir("resume-unit");
+        let base = HarnessOptions {
+            schedule: MeasurementSchedule::quick(),
+            seed: 5,
+            out_dir: out_dir.clone(),
+            threads: 1,
+            ..HarnessOptions::default()
+        };
+        // Clean reference run.
+        let clean = complete(run_figure(&spec, &base).expect("clean run"));
+        let journal_path = Path::new(&out_dir).join("fig3.journal.jsonl");
+        assert!(journal_path.exists());
+
+        // Truncate the journal to its first two points (simulated crash),
+        // then resume: the two journaled points are spliced, two re-run.
+        let text = std::fs::read_to_string(&journal_path).unwrap();
+        let truncated: String = text.lines().take(2).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&journal_path, truncated).unwrap();
+        let resumed_options = HarnessOptions {
+            resume: Some(journal_path.display().to_string()),
+            ..base
+        };
+        let resumed = complete(run_figure(&spec, &resumed_options).expect("resumed run"));
+        assert_eq!(
+            format_sweep_csv(&clean),
+            format_sweep_csv(&resumed),
+            "resumed sweep must be byte-identical to the clean run"
+        );
+        // The journal is whole again after the resume.
+        let journal = Journal::load(&journal_path).unwrap();
+        assert_eq!(journal.len(), 4);
+        std::fs::remove_dir_all(&out_dir).ok();
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let a = backoff_ms("abc123", 1);
+        assert_eq!(a, backoff_ms("abc123", 1), "same inputs, same backoff");
+        assert_ne!(
+            backoff_ms("abc123", 1),
+            backoff_ms("def456", 1),
+            "different points jitter differently"
+        );
+        for attempt in 1..=10 {
+            let ms = backoff_ms("abc123", attempt);
+            assert!((25..=25 * 32 + 63).contains(&(ms as usize)), "got {ms}");
+        }
     }
 }

@@ -1,0 +1,145 @@
+//! End-to-end crash/resume determinism: kill the `sweep` binary partway
+//! through (via the test-only `--fail-after-points` crash hook), resume
+//! from its journal, and demand the merged CSV is byte-identical to an
+//! uninterrupted run with the same seed.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const SWEEP: &str = env!("CARGO_BIN_EXE_sweep");
+
+/// The shared sweep shape: small torus, two algorithms, three loads,
+/// quick schedule, fixed seed — big enough for a mid-sweep crash, small
+/// enough to finish in seconds.
+fn sweep_args(out_dir: &Path) -> Vec<String> {
+    [
+        "--topo",
+        "torus:6x6",
+        "--algos",
+        "ecube,phop",
+        "--loads",
+        "0.1,0.2,0.3",
+        "--quick",
+        "--seed",
+        "1993",
+        "--threads",
+        "2",
+        "--out",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .chain([out_dir.display().to_string()])
+    .collect()
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wormsim-resume-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn crashed_sweep_resumes_to_byte_identical_csv() {
+    // 1. The reference: an uninterrupted sweep.
+    let clean_dir = temp_dir("clean");
+    let status = Command::new(SWEEP)
+        .args(sweep_args(&clean_dir))
+        .status()
+        .expect("spawn sweep");
+    assert!(status.success(), "clean sweep failed: {status}");
+    let clean_csv = std::fs::read(clean_dir.join("sweep.csv")).expect("clean CSV written");
+
+    // 2. The crash: the same sweep dies hard after 2 journaled points.
+    let crash_dir = temp_dir("crash");
+    let status = Command::new(SWEEP)
+        .args(sweep_args(&crash_dir))
+        .args(["--fail-after-points", "2"])
+        .status()
+        .expect("spawn sweep");
+    assert_eq!(status.code(), Some(3), "crash hook must exit 3: {status}");
+    let journal = crash_dir.join("sweep.journal.jsonl");
+    let journaled = std::fs::read_to_string(&journal).expect("journal survives the crash");
+    assert_eq!(
+        journaled.lines().count(),
+        2,
+        "exactly the points completed before the crash are journaled"
+    );
+    assert!(
+        !crash_dir.join("sweep.csv").exists(),
+        "the crash happened before any CSV was written"
+    );
+
+    // 3. The resume: skip the journaled points, run the rest.
+    let output = Command::new(SWEEP)
+        .args(sweep_args(&crash_dir))
+        .args(["--resume", &journal.display().to_string()])
+        .output()
+        .expect("spawn sweep");
+    assert!(output.status.success(), "resume failed: {}", output.status);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("resuming: 2/6 points"),
+        "resume must report the spliced points; stderr was:\n{stderr}"
+    );
+
+    // 4. The contract: the merged CSV is byte-identical to the clean run.
+    let resumed_csv = std::fs::read(crash_dir.join("sweep.csv")).expect("resumed CSV written");
+    assert_eq!(
+        clean_csv, resumed_csv,
+        "resumed sweep must reproduce the uninterrupted CSV byte for byte"
+    );
+    // And the journal now covers the whole sweep.
+    let journaled = std::fs::read_to_string(&journal).expect("journal readable");
+    assert_eq!(journaled.lines().count(), 6);
+
+    std::fs::remove_dir_all(&clean_dir).ok();
+    std::fs::remove_dir_all(&crash_dir).ok();
+}
+
+#[test]
+fn resume_with_a_complete_journal_runs_nothing_new() {
+    let dir = temp_dir("noop");
+    let status = Command::new(SWEEP)
+        .args(sweep_args(&dir))
+        .status()
+        .expect("spawn sweep");
+    assert!(status.success(), "clean sweep failed: {status}");
+    let csv = std::fs::read(dir.join("sweep.csv")).expect("CSV written");
+    let journal = dir.join("sweep.journal.jsonl");
+
+    let output = Command::new(SWEEP)
+        .args(sweep_args(&dir))
+        .args(["--resume", &journal.display().to_string()])
+        .output()
+        .expect("spawn sweep");
+    assert!(
+        output.status.success(),
+        "no-op resume failed: {}",
+        output.status
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("resuming: 6/6 points"),
+        "everything should splice from the journal; stderr was:\n{stderr}"
+    );
+    let rewritten = std::fs::read(dir.join("sweep.csv")).expect("CSV rewritten");
+    assert_eq!(csv, rewritten, "a full-journal resume reproduces the CSV");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_from_a_missing_journal_is_a_clean_error() {
+    let dir = temp_dir("missing");
+    let output = Command::new(SWEEP)
+        .args(sweep_args(&dir))
+        .args(["--resume", "/nonexistent/sweep.journal.jsonl"])
+        .output()
+        .expect("spawn sweep");
+    assert_eq!(output.status.code(), Some(1), "got: {}", output.status);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("journal"),
+        "the error must name the journal; stderr was:\n{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

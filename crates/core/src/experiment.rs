@@ -3,7 +3,9 @@
 
 use crate::{MeasurementSchedule, RunOutcome, RunResult};
 use std::fmt;
-use wormsim_engine::{EjectionModel, EngineError, NetworkBuilder, SelectionPolicy, Switching};
+use wormsim_engine::{
+    CancelToken, EjectionModel, EngineError, NetworkBuilder, SelectionPolicy, Switching,
+};
 use wormsim_faults::{FaultPlan, FaultPlanError, FaultTarget};
 use wormsim_observe::{
     fnv1a_hex, git_describe, JsonlSink, ObserveConfig, PhaseTimings, RunManifest, Stopwatch,
@@ -280,6 +282,9 @@ pub struct Experiment {
     hop_budget: Option<u32>,
     age_budget: Option<u64>,
     watchdog_cycles: Option<u64>,
+    cancel: Option<CancelToken>,
+    attempt: u32,
+    resumed_from: Option<String>,
 }
 
 impl Experiment {
@@ -308,6 +313,9 @@ impl Experiment {
             hop_budget: None,
             age_budget: None,
             watchdog_cycles: None,
+            cancel: None,
+            attempt: 1,
+            resumed_from: None,
         }
     }
 
@@ -437,6 +445,74 @@ impl Experiment {
     pub fn watchdog_cycles(mut self, cycles: u64) -> Self {
         self.watchdog_cycles = Some(cycles);
         self
+    }
+
+    /// Attaches a cooperative cancellation token. A sweep orchestrator
+    /// trips it (typically from a SIGINT handler) to make in-flight runs
+    /// stop at the next sampling-period boundary; a run cut short this way
+    /// ends with [`RunOutcome::Interrupted`] instead of blocking shutdown
+    /// for a full measurement. Checking the token never perturbs the
+    /// simulation, so an uncancelled run is bit-identical with or without
+    /// one attached.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Records which retry attempt this run is (1-based; defaults to 1).
+    /// Provenance only — it changes the run manifest, never the
+    /// simulation, which retries with the identical seed.
+    pub fn attempt(mut self, attempt: u32) -> Self {
+        self.attempt = attempt.max(1);
+        self
+    }
+
+    /// Records the journal path this run was resumed from, if any.
+    /// Provenance only, surfaced in the run manifest.
+    pub fn resumed_from(mut self, journal: Option<String>) -> Self {
+        self.resumed_from = journal;
+        self
+    }
+
+    /// A stable hex digest of everything that determines this experiment's
+    /// *simulation* — topology, algorithm, traffic, message lengths,
+    /// switching, selection, ejection, VC replicas, congestion limit,
+    /// injection bandwidth, offered load, measurement schedule, seed, fault
+    /// plan, and budgets. Observability settings, cancellation tokens, and
+    /// retry provenance are deliberately excluded: they never change the
+    /// measured numbers.
+    ///
+    /// The run journal keys completed points by this hash, so a resumed
+    /// sweep skips exactly the points whose results would reproduce
+    /// bit-identically and re-runs anything whose configuration changed.
+    pub fn point_hash(&self) -> String {
+        let canonical = format!(
+            "topology={:?}|algorithm={:?}|traffic={:?}|length={:?}|switching={:?}\
+             |selection={:?}|ejection={:?}|vc_replicas={}|congestion_limit={:?}\
+             |injection_bandwidth={}|offered_load={}|schedule={:?}|seed={}\
+             |faults={:?}|cycle_budget={:?}|wall_budget_secs={:?}|hop_budget={:?}\
+             |age_budget={:?}|watchdog_cycles={:?}",
+            self.topology,
+            self.algorithm,
+            self.traffic,
+            self.length,
+            self.switching,
+            self.selection,
+            self.ejection,
+            self.vc_replicas,
+            self.congestion_limit,
+            self.injection_bandwidth,
+            self.offered_load,
+            self.schedule,
+            self.seed,
+            self.faults,
+            self.cycle_budget,
+            self.wall_budget_secs,
+            self.hop_budget,
+            self.age_budget,
+            self.watchdog_cycles,
+        );
+        fnv1a_hex(&canonical)
     }
 
     /// The topology under test.
@@ -598,6 +674,9 @@ impl Experiment {
             builder = builder.watchdog_cycles(cycles);
         }
         let mut net = builder.build()?;
+        if let Some(token) = &self.cancel {
+            net.set_cancel_token(token.clone());
+        }
 
         // A plan that partitions every source from every destination has
         // nothing to measure: record the outcome instead of simulating a
@@ -675,6 +754,7 @@ impl Experiment {
         let mut histogram = Histogram::new();
         let mut phase = 0u64;
         let mut budget_exceeded;
+        let mut interrupted;
         loop {
             let watch = Stopwatch::start();
             net.run(self.schedule.sample_cycles);
@@ -699,8 +779,10 @@ impl Experiment {
                 || self
                     .wall_budget_secs
                     .is_some_and(|b| total_watch.elapsed_secs() >= b);
+            interrupted = net.is_cancelled();
             if net.deadlock_report().is_some()
                 || net.livelock_report().is_some()
+                || interrupted
                 || budget_exceeded
                 || controller.status().is_done()
             {
@@ -726,6 +808,8 @@ impl Experiment {
             RunOutcome::Deadlocked
         } else if livelock.is_some() {
             RunOutcome::LiveLocked
+        } else if interrupted {
+            RunOutcome::Interrupted
         } else if budget_exceeded {
             RunOutcome::BudgetExceeded
         } else if controller.status().is_converged() {
@@ -783,7 +867,7 @@ impl Experiment {
             cycles_simulated,
             wall_seconds,
             cycles_per_sec,
-            outcome,
+            outcome: outcome.clone(),
             dropped_events: 0,
             deadlock,
             livelock,
@@ -836,6 +920,8 @@ impl Experiment {
                         0.0
                     },
                     dropped_events: net.observer_dropped_events(),
+                    attempts: u64::from(self.attempt),
+                    resumed_from: self.resumed_from.clone(),
                     phases: timings.into_phases(),
                 };
                 manifest
@@ -920,6 +1006,62 @@ mod tests {
         for r in &results {
             assert!(r.deadlock.is_none());
         }
+    }
+
+    #[test]
+    fn point_hash_tracks_simulation_config_only() {
+        let a = base().offered_load(0.3);
+        assert_eq!(a.point_hash(), a.clone().point_hash(), "hash is stable");
+        assert_ne!(
+            a.point_hash(),
+            a.clone().offered_load(0.31).point_hash(),
+            "load changes the point"
+        );
+        assert_ne!(
+            a.point_hash(),
+            a.clone().seed(6).point_hash(),
+            "seed changes the point"
+        );
+        assert_ne!(
+            a.point_hash(),
+            a.clone().faults(FaultPlan::new()).point_hash(),
+            "fault plan changes the point"
+        );
+        // Provenance and orchestration settings do not.
+        assert_eq!(
+            a.point_hash(),
+            a.clone()
+                .attempt(3)
+                .resumed_from(Some("results/sweep.journal.jsonl".into()))
+                .cancel_token(CancelToken::new())
+                .point_hash()
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_run_ends_interrupted() {
+        let token = CancelToken::new();
+        token.cancel();
+        let result = base().offered_load(0.3).cancel_token(token).run().unwrap();
+        assert_eq!(result.outcome, RunOutcome::Interrupted);
+        assert!(!result.outcome.has_statistics());
+        assert!(!result.is_converged());
+        // The run stopped at the first boundary, not after a full schedule.
+        assert!(result.cycles_simulated < 2_000, "{result:?}");
+    }
+
+    #[test]
+    fn uncancelled_token_does_not_perturb_results() {
+        let plain = base().offered_load(0.2).run().unwrap();
+        let tokened = base()
+            .offered_load(0.2)
+            .cancel_token(CancelToken::new())
+            .run()
+            .unwrap();
+        assert_eq!(plain.latency.mean(), tokened.latency.mean());
+        assert_eq!(plain.messages_measured, tokened.messages_measured);
+        assert_eq!(plain.cycles_simulated, tokened.cycles_simulated);
+        assert_eq!(plain.outcome, tokened.outcome);
     }
 
     #[test]

@@ -54,7 +54,7 @@ mod schedule;
 
 pub use experiment::{Experiment, ExperimentError};
 pub use report::{format_results_table, format_sweep_csv};
-pub use result::{ClassLatency, RunOutcome, RunResult, SweepPoint, SweepSummary};
+pub use result::{ClassLatency, PanicInfo, RunOutcome, RunResult, SweepPoint, SweepSummary};
 pub use saturation::SaturationPoint;
 pub use schedule::MeasurementSchedule;
 
@@ -70,7 +70,8 @@ pub use wormsim_traffic as traffic;
 
 // The most common types, re-exported flat for convenience.
 pub use wormsim_engine::{
-    EjectionModel, LivelockReport, NetworkBuilder, ObserverHandle, SelectionPolicy, Switching,
+    CancelToken, EjectionModel, LivelockReport, NetworkBuilder, ObserverHandle, SelectionPolicy,
+    Switching,
 };
 pub use wormsim_faults::{Fault, FaultPlan, FaultRegion, FaultTarget, Reachability};
 pub use wormsim_observe::{ObserveConfig, RunManifest, Sample};

@@ -27,11 +27,13 @@ pub fn format_results_table(results: &[RunResult]) -> String {
     );
     let _ = writeln!(out, "{}", "-".repeat(92));
     for r in results {
-        let end = match r.outcome {
+        let end = match &r.outcome {
             crate::RunOutcome::Deadlocked => "DEAD",
             crate::RunOutcome::LiveLocked => "LIVE",
             crate::RunOutcome::BudgetExceeded => "BUDG",
             crate::RunOutcome::Unroutable => "UNRT",
+            crate::RunOutcome::Interrupted => "INTR",
+            crate::RunOutcome::Harness(_) => "PANIC",
             crate::RunOutcome::Completed => "yes",
             crate::RunOutcome::Saturated => "cap",
         };

@@ -3,19 +3,34 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use wormsim_engine::{DeadlockReport, LivelockReport};
+use wormsim_observe::json::Value;
+use wormsim_observe::{JsonObject, JsonRecord};
 use wormsim_stats::{ConfidenceInterval, ConvergenceStatus};
+
+/// What a worker panic looked like from the orchestrator's side.
+///
+/// Carried by [`RunOutcome::Harness`]: the experiment harness caught an
+/// unwinding panic with `catch_unwind` and converted it into a structured
+/// outcome so the surrounding sweep keeps running.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PanicInfo {
+    /// The panic payload, rendered (`&str`/`String` payloads verbatim;
+    /// anything else as a placeholder).
+    pub message: String,
+}
 
 /// How a measurement run ended.
 ///
 /// Sweeps over degraded networks record one of these per point instead of
 /// failing: a fault plan that partitions the network, a non-adaptive
-/// algorithm wedging on a dead link, or a run blowing its cycle budget all
-/// produce a `RunResult` tagged with the outcome, and the remaining sweep
-/// points still run.
+/// algorithm wedging on a dead link, a run blowing its cycle budget, or a
+/// worker panic all produce a `RunResult` tagged with the outcome, and the
+/// remaining sweep points still run.
 ///
 /// Ordering of severity when several conditions hold at once:
-/// `Deadlocked` > `LiveLocked` > `BudgetExceeded` > `Completed`/`Saturated`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+/// `Deadlocked` > `LiveLocked` > `Interrupted` > `BudgetExceeded` >
+/// `Completed`/`Saturated`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RunOutcome {
     /// The run converged under the measurement policy.
     Completed,
@@ -32,11 +47,19 @@ pub enum RunOutcome {
     /// The fault plan left no routable source–destination pair; nothing
     /// was simulated.
     Unroutable,
+    /// A cooperative cancellation token tripped mid-run (SIGINT drain):
+    /// whatever statistics were gathered are partial and the point should
+    /// be re-run, not journaled.
+    Interrupted,
+    /// The harness itself failed: the worker running this point panicked.
+    /// The simulation produced no statistics; the payload records what the
+    /// panic said.
+    Harness(PanicInfo),
 }
 
 impl RunOutcome {
     /// Short lowercase tag for CSV columns and manifests.
-    pub fn tag(self) -> &'static str {
+    pub fn tag(&self) -> &'static str {
         match self {
             RunOutcome::Completed => "completed",
             RunOutcome::Saturated => "saturated",
@@ -44,14 +67,25 @@ impl RunOutcome {
             RunOutcome::LiveLocked => "livelocked",
             RunOutcome::BudgetExceeded => "budget_exceeded",
             RunOutcome::Unroutable => "unroutable",
+            RunOutcome::Interrupted => "interrupted",
+            RunOutcome::Harness(_) => "harness_panic",
         }
     }
 
     /// Whether the run produced steady-state statistics worth plotting
     /// (`Completed` or `Saturated` — the saturation points of the paper's
     /// curves are exactly the non-converged ones).
-    pub fn has_statistics(self) -> bool {
+    pub fn has_statistics(&self) -> bool {
         matches!(self, RunOutcome::Completed | RunOutcome::Saturated)
+    }
+
+    /// Whether a retry might plausibly end differently: wall-clock budget
+    /// trips depend on machine load, and harness panics may be transient
+    /// environment failures. Deterministic outcomes (deadlock, livelock,
+    /// unroutable, convergence) always reproduce under the same seed, so
+    /// retrying them is wasted work.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RunOutcome::BudgetExceeded | RunOutcome::Harness(_))
     }
 }
 
@@ -127,10 +161,237 @@ pub struct RunResult {
     pub livelock: Option<LivelockReport>,
 }
 
+/// Writes a float that must survive a JSON round-trip bit-exactly.
+///
+/// Finite values go through `{}` Display (Rust's shortest round-trip
+/// representation; the vendored parser reads numbers back with
+/// `f64::from_str`, which inverts it exactly). Non-finite values — which
+/// JSON numbers cannot express and [`JsonObject::field_f64`] would null
+/// out — are written as the strings `"inf"`, `"-inf"`, `"nan"`.
+fn field_f64_exact(obj: &mut JsonObject<'_>, key: &str, value: f64) {
+    if value.is_finite() {
+        obj.field_f64(key, value);
+    } else if value.is_nan() {
+        obj.field_str(key, "nan");
+    } else if value > 0.0 {
+        obj.field_str(key, "inf");
+    } else {
+        obj.field_str(key, "-inf");
+    }
+}
+
+/// Inverse of [`field_f64_exact`].
+fn get_f64_exact(value: &Value, key: &str) -> Result<f64, String> {
+    let v = value
+        .get(key)
+        .ok_or_else(|| format!("missing field '{key}'"))?;
+    if let Some(n) = v.as_f64() {
+        return Ok(n);
+    }
+    match v.as_str() {
+        Some("inf") => Ok(f64::INFINITY),
+        Some("-inf") => Ok(f64::NEG_INFINITY),
+        Some("nan") => Ok(f64::NAN),
+        _ => Err(format!("field '{key}' is not a number")),
+    }
+}
+
+fn get_u64(value: &Value, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+}
+
+fn get_str<'v>(value: &'v Value, key: &str) -> Result<&'v str, String> {
+    value
+        .get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+fn convergence_tag(status: ConvergenceStatus) -> &'static str {
+    match status {
+        ConvergenceStatus::NeedMoreSamples => "need_more_samples",
+        ConvergenceStatus::Converged => "converged",
+        ConvergenceStatus::MaxSamplesReached => "max_samples_reached",
+    }
+}
+
+fn convergence_from_tag(tag: &str) -> Result<ConvergenceStatus, String> {
+    match tag {
+        "need_more_samples" => Ok(ConvergenceStatus::NeedMoreSamples),
+        "converged" => Ok(ConvergenceStatus::Converged),
+        "max_samples_reached" => Ok(ConvergenceStatus::MaxSamplesReached),
+        other => Err(format!("unknown convergence tag '{other}'")),
+    }
+}
+
+impl JsonRecord for RunResult {
+    /// Encodes the result for the run journal. Every field the CSV and
+    /// table renderers read is preserved exactly — including non-finite
+    /// floats and the deadlock/livelock reports — so a journal-replayed
+    /// result renders byte-identically to the original.
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::begin(out);
+        obj.field_str("algorithm", &self.algorithm)
+            .field_str("traffic", &self.traffic);
+        field_f64_exact(&mut obj, "offered_load", self.offered_load);
+        field_f64_exact(&mut obj, "injection_rate", self.injection_rate);
+        field_f64_exact(&mut obj, "latency_mean", self.latency.mean());
+        field_f64_exact(&mut obj, "latency_half_width", self.latency.half_width());
+        obj.field_u64_array("latency_percentiles", &self.latency_percentiles)
+            .field_u64("latency_max", self.latency_max);
+        let mut classes = String::from("[");
+        for (i, c) in self.class_latencies.iter().enumerate() {
+            if i > 0 {
+                classes.push(',');
+            }
+            let mut class_obj = JsonObject::begin(&mut classes);
+            class_obj
+                .field_u64("hops", u64::from(c.hops))
+                .field_u64("count", c.count);
+            field_f64_exact(&mut class_obj, "mean", c.mean);
+            class_obj.finish();
+        }
+        classes.push(']');
+        obj.field_raw("class_latencies", &classes);
+        field_f64_exact(&mut obj, "achieved_utilization", self.achieved_utilization);
+        field_f64_exact(&mut obj, "delivery_rate", self.delivery_rate);
+        field_f64_exact(&mut obj, "acceptance_rate", self.acceptance_rate);
+        field_f64_exact(&mut obj, "refused_fraction", self.refused_fraction);
+        obj.field_u64("messages_measured", self.messages_measured)
+            .field_str("convergence", convergence_tag(self.convergence))
+            .field_u64("samples", self.samples as u64)
+            .field_u64("cycles_simulated", self.cycles_simulated);
+        field_f64_exact(&mut obj, "wall_seconds", self.wall_seconds);
+        field_f64_exact(&mut obj, "cycles_per_sec", self.cycles_per_sec);
+        obj.field_str("outcome", self.outcome.tag());
+        if let RunOutcome::Harness(info) = &self.outcome {
+            obj.field_str("panic_message", &info.message);
+        }
+        obj.field_u64("dropped_events", self.dropped_events);
+        if let Some(d) = &self.deadlock {
+            let mut nested = String::new();
+            let mut report = JsonObject::begin(&mut nested);
+            report
+                .field_u64("detected_at", d.detected_at)
+                .field_u64("last_progress", d.last_progress)
+                .field_u64("flits_in_flight", d.flits_in_flight)
+                .field_u64("live_messages", d.live_messages as u64);
+            report.finish();
+            obj.field_raw("deadlock", &nested);
+        }
+        if let Some(l) = &self.livelock {
+            let mut nested = String::new();
+            let mut report = JsonObject::begin(&mut nested);
+            report
+                .field_u64("detected_at", l.detected_at)
+                .field_u64("messages_over_budget", l.messages_over_budget as u64)
+                .field_u64("max_hops", u64::from(l.max_hops))
+                .field_u64("max_age", l.max_age);
+            report.finish();
+            obj.field_raw("livelock", &nested);
+        }
+        obj.finish();
+    }
+}
+
 impl RunResult {
     /// Whether the run produced a trustworthy steady-state estimate.
     pub fn is_converged(&self) -> bool {
         self.convergence.is_converged() && self.outcome == RunOutcome::Completed
+    }
+
+    /// Decodes a journal record written by
+    /// [`write_json`](JsonRecord::write_json).
+    pub fn from_json(value: &Value) -> Result<RunResult, String> {
+        let percentiles = value
+            .get("latency_percentiles")
+            .and_then(Value::as_array)
+            .ok_or("missing field 'latency_percentiles'")?;
+        if percentiles.len() != 3 {
+            return Err(format!(
+                "expected 3 latency percentiles, got {}",
+                percentiles.len()
+            ));
+        }
+        let mut latency_percentiles = [0u64; 3];
+        for (slot, v) in latency_percentiles.iter_mut().zip(percentiles) {
+            *slot = v.as_u64().ok_or("non-integer latency percentile")?;
+        }
+        let mut class_latencies = Vec::new();
+        for c in value
+            .get("class_latencies")
+            .and_then(Value::as_array)
+            .ok_or("missing field 'class_latencies'")?
+        {
+            class_latencies.push(ClassLatency {
+                hops: u16::try_from(get_u64(c, "hops")?)
+                    .map_err(|_| "hop class out of range".to_string())?,
+                count: get_u64(c, "count")?,
+                mean: get_f64_exact(c, "mean")?,
+            });
+        }
+        let outcome = match get_str(value, "outcome")? {
+            "completed" => RunOutcome::Completed,
+            "saturated" => RunOutcome::Saturated,
+            "deadlocked" => RunOutcome::Deadlocked,
+            "livelocked" => RunOutcome::LiveLocked,
+            "budget_exceeded" => RunOutcome::BudgetExceeded,
+            "unroutable" => RunOutcome::Unroutable,
+            "interrupted" => RunOutcome::Interrupted,
+            "harness_panic" => RunOutcome::Harness(PanicInfo {
+                message: get_str(value, "panic_message")?.to_owned(),
+            }),
+            other => return Err(format!("unknown outcome tag '{other}'")),
+        };
+        let deadlock = match value.get("deadlock") {
+            Some(d) => Some(DeadlockReport {
+                detected_at: get_u64(d, "detected_at")?,
+                last_progress: get_u64(d, "last_progress")?,
+                flits_in_flight: get_u64(d, "flits_in_flight")?,
+                live_messages: get_u64(d, "live_messages")? as usize,
+            }),
+            None => None,
+        };
+        let livelock = match value.get("livelock") {
+            Some(l) => Some(LivelockReport {
+                detected_at: get_u64(l, "detected_at")?,
+                messages_over_budget: get_u64(l, "messages_over_budget")? as usize,
+                max_hops: u32::try_from(get_u64(l, "max_hops")?)
+                    .map_err(|_| "max_hops out of range".to_string())?,
+                max_age: get_u64(l, "max_age")?,
+            }),
+            None => None,
+        };
+        Ok(RunResult {
+            algorithm: get_str(value, "algorithm")?.to_owned(),
+            traffic: get_str(value, "traffic")?.to_owned(),
+            offered_load: get_f64_exact(value, "offered_load")?,
+            injection_rate: get_f64_exact(value, "injection_rate")?,
+            latency: ConfidenceInterval::new(
+                get_f64_exact(value, "latency_mean")?,
+                get_f64_exact(value, "latency_half_width")?,
+            ),
+            latency_percentiles,
+            latency_max: get_u64(value, "latency_max")?,
+            class_latencies,
+            achieved_utilization: get_f64_exact(value, "achieved_utilization")?,
+            delivery_rate: get_f64_exact(value, "delivery_rate")?,
+            acceptance_rate: get_f64_exact(value, "acceptance_rate")?,
+            refused_fraction: get_f64_exact(value, "refused_fraction")?,
+            messages_measured: get_u64(value, "messages_measured")?,
+            convergence: convergence_from_tag(get_str(value, "convergence")?)?,
+            samples: get_u64(value, "samples")? as usize,
+            cycles_simulated: get_u64(value, "cycles_simulated")?,
+            wall_seconds: get_f64_exact(value, "wall_seconds")?,
+            cycles_per_sec: get_f64_exact(value, "cycles_per_sec")?,
+            outcome,
+            dropped_events: get_u64(value, "dropped_events")?,
+            deadlock,
+            livelock,
+        })
     }
 }
 
@@ -225,8 +486,109 @@ mod tests {
         assert_eq!(RunOutcome::LiveLocked.to_string(), "livelocked");
         assert!(RunOutcome::Saturated.has_statistics());
         assert!(!RunOutcome::Unroutable.has_statistics());
+        assert!(!RunOutcome::Interrupted.has_statistics());
+        assert!(RunOutcome::BudgetExceeded.is_transient());
+        let panic = RunOutcome::Harness(PanicInfo {
+            message: "boom".into(),
+        });
+        assert!(panic.is_transient() && !panic.has_statistics());
+        assert_eq!(panic.tag(), "harness_panic");
+        assert!(!RunOutcome::Deadlocked.is_transient());
         let mut r = result(0.2, 0.2);
         r.outcome = RunOutcome::Deadlocked;
         assert!(!r.is_converged());
+    }
+
+    fn roundtrip(r: &RunResult) -> RunResult {
+        let text = r.to_json();
+        let value = wormsim_observe::json::from_str(&text).expect("journal line parses");
+        RunResult::from_json(&value).expect("journal line decodes")
+    }
+
+    #[test]
+    fn journal_roundtrip_is_exact() {
+        let mut r = result(0.3, 0.27);
+        // Awkward floats: shortest-Display representations must survive.
+        r.injection_rate = 0.1 + 0.2; // 0.30000000000000004
+                                      // One ULP off round numbers: the longest shortest-representations.
+        let ulp_up = |x: f64| f64::from_bits(x.to_bits() + 1);
+        r.latency = ConfidenceInterval::new(ulp_up(31.4), 0.9876543210987654);
+        r.wall_seconds = 1.0 / 3.0;
+        r.cycles_per_sec = 1.23e8;
+        r.class_latencies = vec![
+            ClassLatency {
+                hops: 1,
+                count: 512,
+                mean: 17.25,
+            },
+            ClassLatency {
+                hops: 7,
+                count: 3,
+                mean: ulp_up(99.0),
+            },
+        ];
+        let back = roundtrip(&r);
+        assert_eq!(back.algorithm, r.algorithm);
+        assert_eq!(back.injection_rate.to_bits(), r.injection_rate.to_bits());
+        assert_eq!(back.latency.mean().to_bits(), r.latency.mean().to_bits());
+        assert_eq!(
+            back.latency.half_width().to_bits(),
+            r.latency.half_width().to_bits()
+        );
+        assert_eq!(back.wall_seconds.to_bits(), r.wall_seconds.to_bits());
+        assert_eq!(back.class_latencies, r.class_latencies);
+        assert_eq!(back.latency_percentiles, r.latency_percentiles);
+        assert_eq!(back.convergence, r.convergence);
+        assert_eq!(back.outcome, r.outcome);
+        // The whole record re-encodes to the same bytes.
+        assert_eq!(back.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn journal_roundtrip_preserves_nonfinite_and_reports() {
+        let mut r = result(0.9, 0.0);
+        r.outcome = RunOutcome::Unroutable;
+        r.latency = ConfidenceInterval::new(0.0, f64::INFINITY);
+        r.convergence = ConvergenceStatus::NeedMoreSamples;
+        r.deadlock = Some(DeadlockReport {
+            detected_at: 52_000,
+            last_progress: 50_100,
+            flits_in_flight: 312,
+            live_messages: 41,
+        });
+        r.livelock = Some(LivelockReport {
+            detected_at: 48_000,
+            messages_over_budget: 5,
+            max_hops: 211,
+            max_age: 30_000,
+        });
+        let back = roundtrip(&r);
+        assert!(back.latency.half_width().is_infinite());
+        assert_eq!(back.deadlock, r.deadlock);
+        assert_eq!(back.livelock, r.livelock);
+        assert_eq!(back.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn journal_roundtrip_keeps_panic_message() {
+        let mut r = result(0.5, 0.0);
+        r.outcome = RunOutcome::Harness(PanicInfo {
+            message: "index out of bounds: the len is 4 but the index is 9".into(),
+        });
+        let back = roundtrip(&r);
+        assert_eq!(back.outcome, r.outcome);
+    }
+
+    #[test]
+    fn journal_decode_rejects_garbage() {
+        let value = wormsim_observe::json::from_str("{\"algorithm\":\"phop\"}").unwrap();
+        assert!(RunResult::from_json(&value).is_err());
+        let mut r = result(0.2, 0.2);
+        r.outcome = RunOutcome::Completed;
+        let text = r.to_json().replace("completed", "exploded");
+        let value = wormsim_observe::json::from_str(&text).unwrap();
+        assert!(RunResult::from_json(&value)
+            .unwrap_err()
+            .contains("unknown outcome"));
     }
 }

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod config;
 mod error;
 mod flit;
@@ -58,6 +59,7 @@ mod observer;
 mod trace;
 mod vc;
 
+pub use cancel::CancelToken;
 pub use config::{EjectionModel, NetworkBuilder, SelectionPolicy, SimConfig, Switching};
 pub use error::EngineError;
 pub use flit::{Flit, FlitKind, MessageId};

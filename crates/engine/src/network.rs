@@ -346,6 +346,9 @@ pub struct Network {
     marked_list: Vec<u32>,
     events: TraceSink,
     sampler: Option<SamplerState>,
+    /// Cooperative cancellation: checked on a stride by [`run`](Self::run)
+    /// and [`run_until_empty`](Self::run_until_empty). `None` costs nothing.
+    cancel: Option<crate::CancelToken>,
 }
 
 impl std::fmt::Debug for Network {
@@ -475,6 +478,7 @@ impl Network {
             marked_list: Vec::new(),
             events: TraceSink::Off,
             sampler: None,
+            cancel: None,
             classes,
             replicas,
             vcs,
@@ -702,37 +706,6 @@ impl Network {
         self.events = TraceSink::Off;
     }
 
-    /// Turns message-lifecycle tracing on into a bounded in-memory ring of
-    /// [`DEFAULT_TRACE_CAPACITY`] events.
-    #[deprecated(note = "use `network.observer().trace_ring()` instead")]
-    pub fn enable_tracing(&mut self) {
-        self.observe_trace_ring();
-    }
-
-    /// Like `enable_tracing` but with an explicit ring capacity.
-    #[deprecated(note = "use `network.observer().trace_ring_with_capacity(n)` instead")]
-    pub fn enable_tracing_with_capacity(&mut self, capacity: usize) {
-        self.observe_trace_ring_with_capacity(capacity);
-    }
-
-    /// Routes trace events into a caller-supplied sink.
-    #[deprecated(note = "use `network.observer().trace_into(sink)` instead")]
-    pub fn set_event_sink(&mut self, sink: Box<dyn EventSink<TraceEvent>>) {
-        self.observe_set_event_sink(sink);
-    }
-
-    /// Removes and returns a sink installed via `set_event_sink`.
-    #[deprecated(note = "use `network.observer().take_trace_sink()` instead")]
-    pub fn take_event_sink(&mut self) -> Option<Box<dyn EventSink<TraceEvent>>> {
-        self.observe_take_event_sink()
-    }
-
-    /// Turns tracing off and discards any buffered events.
-    #[deprecated(note = "use `network.observer().trace_off()` instead")]
-    pub fn disable_tracing(&mut self) {
-        self.observe_disable_tracing();
-    }
-
     /// Takes the buffered trace events, oldest first (empty if tracing is
     /// off or routed to a custom sink).
     pub fn drain_trace(&mut self) -> Vec<TraceEvent> {
@@ -784,18 +757,6 @@ impl Network {
     /// its drop counter). `None` if sampling was off.
     pub(crate) fn observe_disable_sampling(&mut self) -> Option<Box<dyn EventSink<Sample>>> {
         self.sampler.take().map(|sampler| sampler.sink)
-    }
-
-    /// Starts emitting one [`Sample`] into `sink` every `every` cycles.
-    #[deprecated(note = "use `network.observer().sample(every, sink)` instead")]
-    pub fn enable_sampling(&mut self, every: u64, sink: Box<dyn EventSink<Sample>>) {
-        self.observe_enable_sampling(every, sink);
-    }
-
-    /// Stops sampling, returning the sink. `None` if sampling was off.
-    #[deprecated(note = "use `network.observer().sample_off()` instead")]
-    pub fn disable_sampling(&mut self) -> Option<Box<dyn EventSink<Sample>>> {
-        self.observe_disable_sampling()
     }
 
     /// Emits the current (possibly partial) sampling window immediately —
@@ -955,9 +916,30 @@ impl Network {
     // Driving the simulation.
     // ------------------------------------------------------------------
 
-    /// Runs `cycles` simulation steps.
+    /// Installs a cooperative cancellation token: [`run`](Self::run) and
+    /// [`run_until_empty`](Self::run_until_empty) check it every 1024
+    /// cycles and return early once it trips. The check reads a shared
+    /// flag and never mutates simulation state, so an uncancelled run is
+    /// bit-identical with or without a token installed.
+    pub fn set_cancel_token(&mut self, token: crate::CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Whether an installed cancellation token has tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(crate::CancelToken::is_cancelled)
+    }
+
+    /// Runs `cycles` simulation steps, stopping early if an installed
+    /// [`CancelToken`](crate::CancelToken) trips (checked on a stride, so
+    /// at most a stride's worth of extra cycles run after cancellation).
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
+        for n in 0..cycles {
+            if n % crate::cancel::CANCEL_CHECK_STRIDE == 0 && self.is_cancelled() {
+                break;
+            }
             self.step();
         }
     }
@@ -969,10 +951,18 @@ impl Network {
     /// deadlock watchdog, so a network that is idle except for parked
     /// messages runs quietly until they unpark (or `max_cycles` is spent,
     /// returning `false` under a permanent partition).
+    ///
+    /// This is the drain path of an observed run's shutdown sequence, so it
+    /// honors an installed [`CancelToken`](crate::CancelToken) the same way
+    /// [`run`](Self::run) does: a SIGINT mid-drain returns promptly instead
+    /// of simulating the full drain budget.
     pub fn run_until_empty(&mut self, max_cycles: u64) -> bool {
-        for _ in 0..max_cycles {
+        for n in 0..max_cycles {
             if self.flits_in_flight == 0 {
                 return true;
+            }
+            if n % crate::cancel::CANCEL_CHECK_STRIDE == 0 && self.is_cancelled() {
+                break;
             }
             self.step();
         }
@@ -2098,6 +2088,58 @@ mod tests {
         assert_eq!(net.flits_in_flight(), 0);
         assert!(net.deadlock_report().is_none());
         assert_eq!(net.cycle(), 1000);
+    }
+
+    #[test]
+    fn cancelled_token_stops_run_promptly() {
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let mut net = tiny(AlgorithmKind::Ecube);
+        net.set_cancel_token(token.clone());
+        net.run(1_000_000);
+        assert_eq!(net.cycle(), 0, "pre-cancelled run executes no cycles");
+
+        // The drain path honors the token too: an injected message never
+        // delivers because run_until_empty returns at its first check.
+        let src = net.topology().node_at(&[0, 0]);
+        let dest = net.topology().node_at(&[2, 1]);
+        net.inject(src, dest, 16);
+        assert!(!net.run_until_empty(1_000));
+        assert_eq!(net.cycle(), 0);
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        // Same seed, one with an (untripped) token: bit-identical traffic.
+        let busy = || {
+            NetworkBuilder::new(Topology::torus(&[4, 4]), AlgorithmKind::PositiveHop)
+                .arrival(wormsim_traffic::ArrivalProcess::geometric(0.02).unwrap())
+                .seed(7)
+                .build()
+                .unwrap()
+        };
+        let mut plain = busy();
+        let mut tokened = busy();
+        tokened.set_cancel_token(crate::CancelToken::new());
+        plain.run(3_000);
+        tokened.run(3_000);
+        assert_eq!(plain.cycle(), tokened.cycle());
+        assert_eq!(plain.metrics().generated, tokened.metrics().generated);
+        assert_eq!(plain.metrics().delivered, tokened.metrics().delivered);
+        assert_eq!(plain.metrics().flit_hops, tokened.metrics().flit_hops);
+    }
+
+    #[test]
+    fn mid_run_cancellation_is_stride_bounded() {
+        let token = crate::CancelToken::new();
+        let mut net = tiny(AlgorithmKind::Ecube);
+        net.set_cancel_token(token.clone());
+        net.run(500); // below the check stride: runs to completion
+        assert_eq!(net.cycle(), 500);
+        token.cancel();
+        net.run(100_000);
+        // The first check (n == 0) sees the tripped token immediately.
+        assert_eq!(net.cycle(), 500);
     }
 
     #[test]

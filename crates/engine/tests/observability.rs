@@ -203,25 +203,29 @@ fn tracing_and_sampling_do_not_perturb_results() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_setter_shims_still_work() {
-    // The pre-observer API must keep behaving identically until removal.
+fn observer_handle_covers_the_removed_setter_shims() {
+    // The PR-3 `#[deprecated]` setters are gone; the ObserverHandle paths
+    // they forwarded to must cover the same behavior.
     let mut net = busy_net(4);
-    net.enable_tracing_with_capacity(32);
+    net.observer().trace_ring_with_capacity(32);
     net.run(200);
     assert!(!net.drain_trace().is_empty());
-    net.disable_tracing();
+    net.observer().trace_off();
     net.run(50);
     assert!(net.drain_trace().is_empty());
 
     let (tx, rx) = std::sync::mpsc::channel();
-    net.enable_sampling(100, Box::new(CollectSink(tx)));
+    net.observer().sample(100, Box::new(CollectSink(tx)));
     net.run(250);
-    assert!(net.disable_sampling().is_some());
+    assert!(net.observer().sample_off().is_some());
     assert!(rx.try_iter().count() >= 2);
 
-    net.set_event_sink(Box::new(JsonlSink::new(Vec::new())));
-    assert!(net.take_event_sink().is_some());
-    net.enable_tracing();
-    assert!(net.take_event_sink().is_none(), "ring is not a custom sink");
+    net.observer()
+        .trace_into(Box::new(JsonlSink::new(Vec::new())));
+    assert!(net.observer().take_trace_sink().is_some());
+    net.observer().trace_ring();
+    assert!(
+        net.observer().take_trace_sink().is_none(),
+        "ring is not a custom sink"
+    );
 }

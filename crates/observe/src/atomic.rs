@@ -1,0 +1,92 @@
+//! Crash-safe file replacement: write to a temporary sibling, then rename.
+//!
+//! Result files (CSVs, manifests, journals) must never be observable in a
+//! half-written state — a crash or SIGKILL between `open` and the final
+//! `write` would otherwise leave a truncated file that silently poisons a
+//! later resume or plot. POSIX `rename(2)` within one directory is atomic,
+//! so the sequence *write tmp → flush → rename over target* guarantees a
+//! reader sees either the old contents or the new, never a prefix.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Atomically replaces the file at `path` with `contents`.
+///
+/// The data is first written (and flushed) to a temporary file in the same
+/// directory — `.<name>.tmp.<pid>`, so concurrent writers of *different*
+/// processes never collide — and then renamed over `path`. On any error the
+/// temporary file is removed; the target is either untouched or fully
+/// replaced.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write, flush, or rename.
+pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::Result<()> {
+    let path = path.as_ref();
+    let name = path
+        .file_name()
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("atomic_write target '{}' has no file name", path.display()),
+            )
+        })?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = path.with_file_name(format!(".{name}.tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(contents.as_ref())?;
+        // Flush user-space buffers and push the bytes to the kernel; a
+        // crash after the rename may still lose the *latest* version on
+        // power failure, but never yields a truncated file.
+        file.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("wormsim-atomic-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("out.csv");
+        atomic_write(&path, "first\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "first\n");
+        atomic_write(&path, "second\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leaves_no_tmp_files_behind() {
+        let dir = tmp_dir("clean");
+        let path = dir.join("out.json");
+        atomic_write(&path, b"{}").unwrap();
+        let stray: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "stray tmp files: {stray:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_pathless_target() {
+        assert!(atomic_write(Path::new("/"), "x").is_err());
+    }
+}

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod atomic;
 mod config;
 mod json_record;
 mod manifest;
@@ -53,6 +54,7 @@ mod sample;
 mod sink;
 mod span;
 
+pub use atomic::atomic_write;
 pub use config::ObserveConfig;
 pub use json_record::{JsonObject, JsonRecord};
 pub use manifest::{fnv1a_hex, git_describe, PhaseRecord, RunManifest};

@@ -68,12 +68,21 @@ pub struct RunManifest {
     pub flits_per_sec: f64,
     /// Events dropped across all attached sinks (ring eviction, I/O).
     pub dropped_events: u64,
+    /// Which attempt at this point produced the manifest (1 = first try).
+    /// Orchestrators that retry transient failures bump this so a
+    /// directory of manifests records how hard each point fought.
+    pub attempts: u64,
+    /// Journal path this run was resumed from, when the surrounding sweep
+    /// was restarted with `--resume`; `None` for fresh runs.
+    pub resumed_from: Option<String>,
     /// Wall-clock breakdown by phase.
     pub phases: Vec<PhaseRecord>,
 }
 
 impl RunManifest {
-    /// Writes the manifest as pretty-enough single-line JSON at `path`.
+    /// Writes the manifest as pretty-enough single-line JSON at `path`,
+    /// atomically (tmp + rename), so a crash mid-write never leaves a
+    /// truncated manifest next to good results.
     ///
     /// # Errors
     ///
@@ -81,7 +90,7 @@ impl RunManifest {
     pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
         let mut text = self.to_json();
         text.push('\n');
-        fs::write(path, text)
+        crate::atomic_write(path, text)
     }
 
     /// Reads a manifest back from `path`.
@@ -177,6 +186,13 @@ impl RunManifest {
             cycles_per_sec: f64_field("cycles_per_sec")?,
             flits_per_sec: f64_field("flits_per_sec")?,
             dropped_events: u64_field("dropped_events")?,
+            // Provenance fields arrived after the first manifest format;
+            // older files simply lack them, so default instead of erroring.
+            attempts: value.get("attempts").and_then(Value::as_u64).unwrap_or(1),
+            resumed_from: value
+                .get("resumed_from")
+                .and_then(Value::as_str)
+                .map(str::to_owned),
             phases,
         })
     }
@@ -219,6 +235,8 @@ impl JsonRecord for RunManifest {
             .field_f64("cycles_per_sec", self.cycles_per_sec)
             .field_f64("flits_per_sec", self.flits_per_sec)
             .field_u64("dropped_events", self.dropped_events)
+            .field_u64("attempts", self.attempts)
+            .field_opt_str("resumed_from", self.resumed_from.as_deref())
             .field_raw("phases", &phases_json);
         obj.finish();
     }
@@ -279,6 +297,8 @@ mod tests {
             cycles_per_sec: 40_666.7,
             flits_per_sec: 812_000.0,
             dropped_events: 0,
+            attempts: 2,
+            resumed_from: Some("results/fig3.journal.jsonl".to_owned()),
             phases: vec![
                 PhaseRecord {
                     name: "warmup".to_owned(),
@@ -320,6 +340,21 @@ mod tests {
         m.write_to(&path).unwrap();
         assert_eq!(RunManifest::read_from(&path).unwrap(), m);
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn provenance_fields_default_when_missing() {
+        // Manifests written before the provenance fields existed must
+        // still parse: one attempt, not resumed.
+        let m = manifest();
+        let json = m
+            .to_json()
+            .replace(",\"attempts\":2", "")
+            .replace(",\"resumed_from\":\"results/fig3.journal.jsonl\"", "");
+        let parsed = crate::json::from_str(&json).unwrap();
+        let old = RunManifest::from_json(&parsed).unwrap();
+        assert_eq!(old.attempts, 1);
+        assert_eq!(old.resumed_from, None);
     }
 
     #[test]
