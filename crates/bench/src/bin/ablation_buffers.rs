@@ -3,13 +3,14 @@
 //! The paper does not state its buffer depth; this documents how the choice
 //! (our default is 2) moves every algorithm's peak throughput.
 
-use wormsim::{AlgorithmKind, Experiment, Switching, Topology, TrafficConfig};
+use wormsim::{AlgorithmKind, Experiment, Switching, TrafficConfig};
 use wormsim_bench::HarnessOptions;
 
 fn main() {
     let options = HarnessOptions::from_args();
+    let topo = options.topology_or_paper();
     let loads = [0.3, 0.5, 0.7, 0.9];
-    println!("Peak achieved utilization vs per-VC buffer depth (uniform, 16x16):");
+    println!("Peak achieved utilization vs per-VC buffer depth (uniform, {topo}):");
     println!(
         "{:>8} {:>8} {:>8} {:>8} {:>8}",
         "algo", "d=1", "d=2", "d=4", "d=8"
@@ -19,7 +20,7 @@ fn main() {
         for depth in [1u32, 2, 4, 8] {
             let mut peak = 0.0f64;
             for &load in &loads {
-                let r = Experiment::new(Topology::torus(&[16, 16]), algo)
+                let r = Experiment::new(topo.clone(), algo)
                     .traffic(TrafficConfig::Uniform)
                     .switching(Switching::Wormhole {
                         buffer_depth: depth,

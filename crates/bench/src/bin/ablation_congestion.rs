@@ -4,18 +4,19 @@
 //! thanks to congestion control, while nlast's plateau shows the control
 //! being "less effective for certain traffic loads". This sweeps the limit.
 
-use wormsim::{AlgorithmKind, Experiment, Topology, TrafficConfig};
+use wormsim::{AlgorithmKind, Experiment, TrafficConfig};
 use wormsim_bench::HarnessOptions;
 
 fn main() {
     let options = HarnessOptions::from_args();
+    let topo = options.topology_or_paper();
     let limits: [(&str, Option<u32>); 4] = [
         ("1", Some(1)),
         ("2", Some(2)),
         ("8", Some(8)),
         ("none", None),
     ];
-    println!("Achieved utilization at offered 0.8 (uniform, 16x16 torus):");
+    println!("Achieved utilization at offered 0.8 (uniform, {topo}):");
     print!("{:>8}", "algo");
     for (name, _) in limits {
         print!("{name:>9}");
@@ -30,7 +31,7 @@ fn main() {
         print!("{:>8}", algo.name());
         let mut latencies = Vec::new();
         for (_, limit) in limits {
-            let r = Experiment::new(Topology::torus(&[16, 16]), algo)
+            let r = Experiment::new(topo.clone(), algo)
                 .traffic(TrafficConfig::Uniform)
                 .congestion_limit(limit)
                 .offered_load(0.8)

@@ -2,12 +2,12 @@
 //! studies with 20- and 24-flit messages and Berman et al.'s 15/31-flit
 //! mix; this sweeps those choices.
 
-use wormsim::{AlgorithmKind, Experiment, MessageLength, Topology, TrafficConfig};
+use wormsim::{AlgorithmKind, Experiment, MessageLength, TrafficConfig};
 use wormsim_bench::HarnessOptions;
 
 fn main() {
     let options = HarnessOptions::from_args();
-    let topo = Topology::torus(&[16, 16]);
+    let topo = options.topology_or_paper();
     let lengths: Vec<(&str, MessageLength)> = vec![
         ("16", MessageLength::fixed(16).expect("valid")),
         ("20", MessageLength::fixed(20).expect("valid")),
@@ -18,7 +18,7 @@ fn main() {
         ),
     ];
     let algorithms = [AlgorithmKind::PositiveHop, AlgorithmKind::Ecube];
-    println!("Effect of message length (uniform traffic, 16x16 torus):\n");
+    println!("Effect of message length (uniform traffic, {topo}):\n");
     println!(
         "{:>10} {:>7} {:>14} {:>11}",
         "length", "algo", "latency @0.2", "peak util"

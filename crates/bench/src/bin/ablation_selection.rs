@@ -4,11 +4,12 @@
 //! The paper assumes nbc "is likely to choose the least congested" first-hop
 //! channel; this quantifies how much that choice matters.
 
-use wormsim::{AlgorithmKind, Experiment, SelectionPolicy, Topology, TrafficConfig};
+use wormsim::{AlgorithmKind, Experiment, SelectionPolicy, TrafficConfig};
 use wormsim_bench::HarnessOptions;
 
 fn main() {
     let options = HarnessOptions::from_args();
+    let topo = options.topology_or_paper();
     let loads = [0.3, 0.5, 0.7, 0.9];
     let algorithms = [
         AlgorithmKind::NegativeHopBonusCards,
@@ -20,7 +21,7 @@ fn main() {
         SelectionPolicy::FirstFree,
         SelectionPolicy::Random,
     ];
-    println!("Peak achieved utilization by selection policy (uniform, 16x16 torus):");
+    println!("Peak achieved utilization by selection policy (uniform, {topo}):");
     println!(
         "{:>8} {:>13} {:>13} {:>13}",
         "algo", "MostCredits", "FirstFree", "Random"
@@ -30,7 +31,7 @@ fn main() {
         for policy in policies {
             let mut peak = 0.0f64;
             for &load in &loads {
-                let r = Experiment::new(Topology::torus(&[16, 16]), algo)
+                let r = Experiment::new(topo.clone(), algo)
                     .traffic(TrafficConfig::Uniform)
                     .selection(policy)
                     .offered_load(load)

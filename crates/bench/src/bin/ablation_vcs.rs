@@ -5,13 +5,14 @@
 //! virtual channels improve the performance of e-cube for uniform traffic";
 //! this regenerates that effect inside our simulator.
 
-use wormsim::{AlgorithmKind, Experiment, Topology, TrafficConfig};
+use wormsim::{AlgorithmKind, Experiment, TrafficConfig};
 use wormsim_bench::HarnessOptions;
 
 fn main() {
     let options = HarnessOptions::from_args();
+    let topo = options.topology_or_paper();
     let loads = [0.2, 0.3, 0.4, 0.5, 0.6];
-    println!("Peak achieved utilization vs VCs per class (uniform, 16x16 torus):");
+    println!("Peak achieved utilization vs VCs per class (uniform, {topo}):");
     println!("{:>8} {:>8} {:>8} {:>8}", "algo", "x1", "x2", "x4");
     for algo in [
         AlgorithmKind::Ecube,
@@ -22,7 +23,7 @@ fn main() {
         for replicas in [1u32, 2, 4] {
             let mut peak = 0.0f64;
             for &load in &loads {
-                let r = Experiment::new(Topology::torus(&[16, 16]), algo)
+                let r = Experiment::new(topo.clone(), algo)
                     .traffic(TrafficConfig::Uniform)
                     .vc_replicas(replicas)
                     .offered_load(load)

@@ -3,9 +3,7 @@
 //! uniform traffic" (physical-channel imbalance), and (b) nbc balances
 //! load over *virtual-channel classes* where nhop does not.
 
-use wormsim::{
-    AlgorithmKind, ArrivalProcess, MessageLength, NetworkBuilder, Topology, TrafficConfig,
-};
+use wormsim::{AlgorithmKind, ArrivalProcess, MessageLength, NetworkBuilder, TrafficConfig};
 use wormsim_bench::HarnessOptions;
 
 /// Coefficient of variation (stddev / mean) of a count vector.
@@ -25,10 +23,15 @@ fn cov(counts: &[u64]) -> f64 {
 
 fn main() {
     let options = HarnessOptions::from_args();
-    let topo = Topology::torus(&[16, 16]);
+    let topo = options.topology_or_paper();
     // Drive at a moderate 30% load so nothing is saturated; imbalance is a
     // property of the algorithm, not of congestion.
-    let rate = wormsim::stats::throughput::rate_for_utilization(0.3, 16.0, 8.031, 2);
+    let rate = wormsim::stats::throughput::rate_for_utilization(
+        0.3,
+        16.0,
+        topo.uniform_avg_distance(),
+        topo.num_dims(),
+    );
 
     println!(
         "Channel- and class-load balance under uniform traffic at offered 0.3\n\

@@ -1,10 +1,11 @@
 //! Engine-core perf regression bench: steps/sec on the default paper
 //! configuration (16×16 torus, uniform traffic, 16-flit messages) at a fixed
 //! offered load, recorded to JSON so the perf trajectory is tracked PR over
-//! PR (see `BENCH_engine.json` at the repository root).
+//! PR (see `BENCH_engine.json` at the repository root). `--topo` retargets
+//! the bench at another network (e.g. `--topo 8^3`).
 //!
 //! ```text
-//! engine_bench [--load F] [--cycles N] [--warmup N] [--seed N] [--out FILE]
+//! engine_bench [--topo T] [--load F] [--cycles N] [--warmup N] [--seed N] [--out FILE]
 //! ```
 
 use std::time::Instant;
@@ -13,10 +14,11 @@ use wormsim::topology::Topology;
 use wormsim::{ArrivalProcess, MessageLength, NetworkBuilder, TrafficConfig};
 use wormsim_bench::cli;
 
-const USAGE: &str =
-    "usage: engine_bench [--load F] [--cycles N] [--warmup N] [--seed N] [--out FILE]";
+const USAGE: &str = "usage: engine_bench [--topo T] [--load F] [--cycles N] [--warmup N] \
+                     [--seed N] [--out FILE]";
 
 struct Options {
+    topo: Topology,
     load: f64,
     cycles: u64,
     warmup: u64,
@@ -27,6 +29,7 @@ struct Options {
 impl Default for Options {
     fn default() -> Self {
         Options {
+            topo: Topology::torus(&[16, 16]),
             load: 0.3,
             cycles: 20_000,
             warmup: 3_000,
@@ -41,6 +44,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
+            "--topo" => options.topo = cli::parse_topology(&value("--topo")?)?,
             "--load" => {
                 let v = value("--load")?;
                 options.load = v
@@ -69,7 +73,7 @@ struct Measurement {
 }
 
 fn measure(kind: AlgorithmKind, options: &Options) -> Measurement {
-    let topo = Topology::torus(&[16, 16]);
+    let topo = options.topo.clone();
     let pattern = TrafficConfig::Uniform.build(&topo).expect("uniform builds");
     let rate = wormsim::stats::throughput::rate_for_utilization(
         options.load,
@@ -103,10 +107,14 @@ fn json_report(options: &Options, results: &[Measurement]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
-        "  \"config\": {{\"topology\": \"torus:16x16\", \"traffic\": \"uniform\", \
+        "  \"config\": {{\"topology\": \"{}\", \"traffic\": \"uniform\", \
          \"offered_load\": {}, \"message_flits\": 16, \"seed\": {}, \"warmup_cycles\": {}, \
          \"timed_cycles\": {}}},\n",
-        options.load, options.seed, options.warmup, options.cycles
+        options.topo.label(),
+        options.load,
+        options.seed,
+        options.warmup,
+        options.cycles
     ));
     out.push_str("  \"results\": [\n");
     for (i, m) in results.iter().enumerate() {
@@ -137,8 +145,8 @@ fn main() {
     };
 
     println!(
-        "engine_bench: 16x16 torus, uniform traffic, load {:.2}, {} timed cycles",
-        options.load, options.cycles
+        "engine_bench: {}, uniform traffic, load {:.2}, {} timed cycles",
+        options.topo, options.load, options.cycles
     );
     let mut results = Vec::new();
     for kind in AlgorithmKind::all() {

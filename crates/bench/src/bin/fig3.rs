@@ -1,12 +1,14 @@
 //! Regenerates Figure 3: uniform traffic of 16-flit worms on a 16x16 torus.
 
 use wormsim_bench::{
-    print_figure, print_paper_comparison, run_figure_or_exit, write_csv, HarnessOptions,
+    apply_topology_override, print_figure, print_paper_comparison, run_figure_or_exit, write_csv,
+    HarnessOptions,
 };
 
 fn main() {
     let options = HarnessOptions::from_args();
     let spec = wormsim::presets::fig3();
+    let spec = apply_topology_override(spec, &options);
     eprintln!(
         "running {} ({} points)...",
         spec.id,

@@ -1,12 +1,14 @@
 //! Regenerates Figure 4: 4% hotspot traffic, hotspot node (15,15).
 
 use wormsim_bench::{
-    print_figure, print_paper_comparison, run_figure_or_exit, write_csv, HarnessOptions,
+    apply_topology_override, print_figure, print_paper_comparison, run_figure_or_exit, write_csv,
+    HarnessOptions,
 };
 
 fn main() {
     let options = HarnessOptions::from_args();
     let spec = wormsim::presets::fig4();
+    let spec = apply_topology_override(spec, &options);
     eprintln!(
         "running {} ({} points)...",
         spec.id,

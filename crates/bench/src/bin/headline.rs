@@ -2,11 +2,14 @@
 //! Section 3.4 virtual-cut-through study) and prints the headline
 //! paper-vs-measured table that EXPERIMENTS.md records.
 
-use wormsim_bench::{print_paper_comparison, run_figure_or_exit, write_csv, HarnessOptions};
+use wormsim_bench::{
+    apply_topology_override, print_paper_comparison, run_figure_or_exit, write_csv, HarnessOptions,
+};
 
 fn main() {
     let options = HarnessOptions::from_args();
     for spec in wormsim::presets::all_figures() {
+        let spec = apply_topology_override(spec, &options);
         eprintln!(
             "running {} ({} points)...",
             spec.id,

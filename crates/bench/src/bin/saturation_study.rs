@@ -4,12 +4,12 @@
 //! over offered load with a throughput-tracking criterion (saturated when
 //! achieved utilization falls below 90% of offered load).
 
-use wormsim::{AlgorithmKind, Experiment, Topology, TrafficConfig};
+use wormsim::{AlgorithmKind, Experiment, TrafficConfig};
 use wormsim_bench::HarnessOptions;
 
 fn main() {
     let options = HarnessOptions::from_args();
-    let topo = Topology::torus(&[16, 16]);
+    let topo = options.topology_or_paper();
     println!("Saturation offered load (achieved < 90% of offered), uniform traffic:\n");
     println!(
         "{:>7} {:>12} {:>14} {:>16}",

@@ -2,12 +2,12 @@
 //! the paper discusses — wormhole, virtual cut-through (Section 3.4), and
 //! the store-and-forward ancestry of the hop schemes (Gopal 1985).
 
-use wormsim::{AlgorithmKind, Experiment, Switching, Topology, TrafficConfig};
+use wormsim::{AlgorithmKind, Experiment, Switching, TrafficConfig};
 use wormsim_bench::HarnessOptions;
 
 fn main() {
     let options = HarnessOptions::from_args();
-    let topo = Topology::torus(&[16, 16]);
+    let topo = options.topology_or_paper();
     let modes = [
         ("wormhole", Switching::wormhole()),
         ("cut-through", Switching::VirtualCutThrough),

@@ -5,12 +5,12 @@
 //! Runs transpose, bit-reversal, and complement permutations and prints
 //! whether the partially adaptive algorithms do reclaim ground there.
 
-use wormsim::{AlgorithmKind, Experiment, Topology, TrafficConfig};
+use wormsim::{AlgorithmKind, Experiment, TrafficConfig};
 use wormsim_bench::HarnessOptions;
 
 fn main() {
     let options = HarnessOptions::from_args();
-    let topo = Topology::torus(&[16, 16]);
+    let topo = options.topology_or_paper();
     let workloads = [
         ("transpose", TrafficConfig::Transpose),
         ("bit-reversal", TrafficConfig::BitReversal),
@@ -23,7 +23,7 @@ fn main() {
         AlgorithmKind::PositiveHop,
     ];
     let loads = [0.1, 0.2, 0.3, 0.4, 0.5];
-    println!("Peak achieved utilization per permutation workload (16x16 torus):\n");
+    println!("Peak achieved utilization per permutation workload ({topo}):\n");
     print!("{:>14}", "workload");
     for a in algorithms {
         print!("{:>9}", a.name());

@@ -2,12 +2,14 @@
 //! under virtual cut-through switching, uniform traffic.
 
 use wormsim_bench::{
-    print_figure, print_paper_comparison, run_figure_or_exit, write_csv, HarnessOptions,
+    apply_topology_override, print_figure, print_paper_comparison, run_figure_or_exit, write_csv,
+    HarnessOptions,
 };
 
 fn main() {
     let options = HarnessOptions::from_args();
     let spec = wormsim::presets::vct_section_3_4();
+    let spec = apply_topology_override(spec, &options);
     eprintln!(
         "running {} ({} points)...",
         spec.id,

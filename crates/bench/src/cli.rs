@@ -1,6 +1,7 @@
 //! Parsers for the `sweep` binary's compact command-line syntax.
 //!
-//! * Topologies: `torus:16x16`, `mesh:8x8x8`, or bare `16x16` (torus).
+//! * Topologies: `torus:16x16`, `mesh:8x8x8`, bare `16x16` (torus), or the
+//!   k-ary n-cube shorthand `8^3` / `torus:16^3` / `mesh:4^2`.
 //! * Traffic: `uniform`, `hotspot:15,15@0.04` (several nodes separated by
 //!   `+`), `local:3`, `transpose`, `bitrev`, `complement`.
 //! * Loads: a comma list `0.1,0.2,0.5` or a range `0.1:1.0:0.1`.
@@ -12,7 +13,9 @@ use wormsim::routing::AlgorithmKind;
 use wormsim::topology::Topology;
 use wormsim::{Switching, TrafficConfig};
 
-/// Parses `torus:16x16`, `mesh:4x4x4`, or `16x16`.
+/// Parses `torus:16x16`, `mesh:4x4x4`, `16x16`, or the k-ary n-cube
+/// shorthand `k^n` (`8^3` is the paper literature's 8-ary 3-cube, i.e.
+/// `torus:8x8x8`).
 ///
 /// # Errors
 ///
@@ -22,10 +25,20 @@ pub fn parse_topology(s: &str) -> Result<Topology, String> {
         Some((kind, rest)) => (kind, rest),
         None => ("torus", s),
     };
-    let dims: Vec<u16> = dims_str
-        .split('x')
-        .map(|d| u16::from_str(d).map_err(|_| format!("bad dimension '{d}' in '{s}'")))
-        .collect::<Result<_, _>>()?;
+    let dims: Vec<u16> = if let Some((k_str, n_str)) = dims_str.split_once('^') {
+        let k = u16::from_str(k_str).map_err(|_| format!("bad radix '{k_str}' in '{s}'"))?;
+        let n = usize::from_str(n_str)
+            .map_err(|_| format!("bad dimension count '{n_str}' in '{s}'"))?;
+        if n == 0 || n > 16 {
+            return Err(format!("dimension count {n} out of range 1..=16 in '{s}'"));
+        }
+        vec![k; n]
+    } else {
+        dims_str
+            .split('x')
+            .map(|d| u16::from_str(d).map_err(|_| format!("bad dimension '{d}' in '{s}'")))
+            .collect::<Result<_, _>>()?
+    };
     match kind {
         "torus" => Topology::try_torus(&dims).map_err(|e| e.to_string()),
         "mesh" => Topology::try_mesh(&dims).map_err(|e| e.to_string()),
@@ -265,6 +278,21 @@ mod tests {
         assert!(parse_topology("ring:9").is_err());
         assert!(parse_topology("torus:1x4").is_err());
         assert!(parse_topology("16xsixteen").is_err());
+    }
+
+    #[test]
+    fn k_ary_n_cube_shorthand() {
+        assert_eq!(parse_topology("8^3").unwrap(), Topology::torus(&[8, 8, 8]));
+        assert_eq!(
+            parse_topology("torus:16^3").unwrap(),
+            Topology::k_ary_n_cube(16, 3)
+        );
+        assert_eq!(parse_topology("mesh:4^2").unwrap(), Topology::mesh(&[4, 4]));
+        assert!(parse_topology("8^0").is_err());
+        assert!(parse_topology("8^99").is_err());
+        assert!(parse_topology("k^3").is_err());
+        // Channel-id overflow surfaces as a parse error, not a wrap.
+        assert!(parse_topology("46341x46341").is_err());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use wormsim::presets::FigureSpec;
 use wormsim::stats::{ConfidenceInterval, ConvergenceStatus};
+use wormsim::topology::Topology;
 use wormsim::{
     format_results_table, format_sweep_csv, CancelToken, Experiment, ExperimentError,
     MeasurementSchedule, ObserveConfig, PanicInfo, RunOutcome, RunResult,
@@ -70,6 +71,10 @@ pub fn install_sigint_handler(token: &CancelToken) {
 pub struct HarnessOptions {
     /// Measurement schedule (`--quick` selects the short one).
     pub schedule: MeasurementSchedule,
+    /// Topology override (`--topo torus:32x32`, `--topo 8^3`, ...); `None`
+    /// keeps each figure's own network (the paper's 16×16 torus), so
+    /// default goldens and resume journals stay bit-identical.
+    pub topology: Option<Topology>,
     /// Base RNG seed (`--seed N`).
     pub seed: u64,
     /// Output directory for CSV files (`--out DIR`, default `results`).
@@ -115,6 +120,7 @@ impl Default for HarnessOptions {
     fn default() -> Self {
         HarnessOptions {
             schedule: MeasurementSchedule::default(),
+            topology: None,
             seed: 1993,
             out_dir: "results".to_owned(),
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
@@ -141,7 +147,7 @@ impl HarnessOptions {
         Self::parse(std::env::args().skip(1)).unwrap_or_else(|message| {
             eprintln!("error: {message}");
             eprintln!(
-                "usage: [--quick|--saturation] [--seed N] [--out DIR] [--threads N] \
+                "usage: [--quick|--saturation] [--topo T] [--seed N] [--out DIR] [--threads N] \
                  [--observe DIR] [--trace-out DIR] [--sample-every N] \
                  [--cycle-budget N] [--wall-budget SECS] [--resume JOURNAL] [--retries N]"
             );
@@ -161,6 +167,10 @@ impl HarnessOptions {
             match arg.as_str() {
                 "--quick" => options.schedule = MeasurementSchedule::quick(),
                 "--saturation" => options.schedule = MeasurementSchedule::saturation(),
+                "--topo" => {
+                    let v = args.next().ok_or("--topo needs a value")?;
+                    options.topology = Some(cli::parse_topology(&v)?);
+                }
                 "--seed" => {
                     let v = args.next().ok_or("--seed needs a value")?;
                     options.seed = cli::parse_seed(&v)?;
@@ -203,14 +213,25 @@ impl HarnessOptions {
                 }
                 other => {
                     return Err(format!(
-                        "unknown argument '{other}' (expected --quick, --saturation, --seed N, \
-                         --out DIR, --threads N, --observe DIR, --trace-out DIR, --sample-every N, \
-                         --cycle-budget N, --wall-budget SECS, --resume JOURNAL, --retries N)"
+                        "unknown argument '{other}' (expected --quick, --saturation, --topo T, \
+                         --seed N, --out DIR, --threads N, --observe DIR, --trace-out DIR, \
+                         --sample-every N, --cycle-budget N, --wall-budget SECS, \
+                         --resume JOURNAL, --retries N)"
                     ))
                 }
             }
         }
         Ok(options)
+    }
+
+    /// The `--topo` override, or the paper's default 16×16 torus.
+    ///
+    /// For binaries that study a single network rather than a
+    /// [`FigureSpec`] sweep.
+    pub fn topology_or_paper(&self) -> Topology {
+        self.topology
+            .clone()
+            .unwrap_or_else(wormsim::presets::paper_topology)
     }
 }
 
@@ -585,6 +606,38 @@ pub fn run_experiments(
 /// results are dropped). Journal failures surface as
 /// [`HarnessError::Journal`]. Worker panics do not fail the sweep — they
 /// are recorded per point as [`RunOutcome::Harness`].
+/// Applies the `--topo` override (if any) to a figure spec: retargets the
+/// network, remaps topology-dependent traffic (see
+/// [`FigureSpec::with_topology`]), and drops algorithms the new topology
+/// rejects (e.g. the negative-hop schemes on odd-radix tori), reporting each
+/// skip on stderr.
+///
+/// Without an override the spec is returned untouched, so the default 16×16
+/// figure outputs stay bit-identical.
+///
+/// # Panics
+///
+/// Panics if the override leaves no runnable algorithm.
+pub fn apply_topology_override(spec: FigureSpec, options: &HarnessOptions) -> FigureSpec {
+    let Some(topo) = &options.topology else {
+        return spec;
+    };
+    let mut spec = spec.with_topology(topo.clone());
+    spec.algorithms
+        .retain(|kind| match kind.build(&spec.topology) {
+            Ok(_) => true,
+            Err(e) => {
+                eprintln!("skipping {kind}: {e}");
+                false
+            }
+        });
+    assert!(
+        !spec.algorithms.is_empty(),
+        "no selected algorithm supports {topo}"
+    );
+    spec
+}
+
 pub fn run_figure(spec: &FigureSpec, options: &HarnessOptions) -> Result<FigureRun, HarnessError> {
     let mut experiments = wormsim::presets::experiments_for(spec, options.schedule, options.seed);
     if options.observe_dir.is_some() || options.trace_dir.is_some() {
@@ -853,6 +906,40 @@ mod tests {
         assert_eq!(options.seed, 7);
         assert_eq!(options.threads, 3);
         assert_eq!(options.out_dir, "o");
+    }
+
+    #[test]
+    fn options_parse_topology_override() {
+        let options = parse(&["--topo", "8^3"]).unwrap();
+        assert_eq!(options.topology, Some(Topology::k_ary_n_cube(8, 3)));
+        assert_eq!(parse(&[]).unwrap().topology, None);
+        assert!(parse(&["--topo"]).is_err());
+        assert!(parse(&["--topo", "donut:9"]).is_err());
+    }
+
+    #[test]
+    fn topology_override_rewrites_spec() {
+        let options = parse(&["--topo", "torus:8x8"]).unwrap();
+        let spec = apply_topology_override(presets::fig4(), &options);
+        assert_eq!(spec.topology, Topology::torus(&[8, 8]));
+        // The corner hotspot moved with the network.
+        match &spec.traffic {
+            wormsim::TrafficConfig::Hotspot { nodes, .. } => {
+                assert_eq!(nodes, &vec![vec![7, 7]]);
+            }
+            other => panic!("unexpected traffic {other:?}"),
+        }
+        // All six paper algorithms run on an even-radix torus.
+        assert_eq!(spec.algorithms.len(), 6);
+        // An odd-radix torus drops the bipartite-only schemes but keeps
+        // the rest runnable.
+        let odd = parse(&["--topo", "torus:9x9"]).unwrap();
+        let spec = apply_topology_override(presets::fig3(), &odd);
+        assert!(!spec.algorithms.is_empty());
+        assert!(spec.algorithms.len() < 6);
+        // No override: the spec is untouched.
+        let spec = apply_topology_override(presets::fig3(), &parse(&[]).unwrap());
+        assert_eq!(spec.topology, presets::paper_topology());
     }
 
     #[test]

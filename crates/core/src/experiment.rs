@@ -899,7 +899,7 @@ impl Experiment {
                     seed: self.seed,
                     algorithm: result.algorithm.clone(),
                     traffic: result.traffic.clone(),
-                    topology: self.topology.to_string(),
+                    topology: self.topology.label(),
                     offered_load: self.offered_load,
                     injection_rate: rate,
                     cycles: net.cycle(),

@@ -44,6 +44,51 @@ pub struct FigureSpec {
     pub algorithms: Vec<AlgorithmKind>,
 }
 
+impl FigureSpec {
+    /// Retargets this figure at a different network (`--topo` on the figure
+    /// binaries), keeping everything else.
+    ///
+    /// Hotspot coordinates are remapped to the same *relative* position, so
+    /// the paper's corner hotspot `(15, 15)` on the 16×16 torus stays the far
+    /// corner on a 64×64 torus or an 8³ cube rather than falling out of
+    /// range. Extra target dimensions reuse the last source coordinate's
+    /// relative position.
+    pub fn with_topology(&self, topology: Topology) -> FigureSpec {
+        let traffic = match &self.traffic {
+            TrafficConfig::Hotspot { nodes, fraction } => TrafficConfig::Hotspot {
+                nodes: nodes
+                    .iter()
+                    .map(|coords| remap_coords(coords, &self.topology, &topology))
+                    .collect(),
+                fraction: *fraction,
+            },
+            other => other.clone(),
+        };
+        FigureSpec {
+            id: self.id.clone(),
+            title: format!("{} [{}]", self.title, topology.label()),
+            topology,
+            traffic,
+            switching: self.switching,
+            loads: self.loads.clone(),
+            algorithms: self.algorithms.clone(),
+        }
+    }
+}
+
+/// Maps `coords` (a position in `from`) to the coordinates at the same
+/// relative per-dimension position in `to`.
+fn remap_coords(coords: &[u16], from: &Topology, to: &Topology) -> Vec<u16> {
+    (0..to.num_dims())
+        .map(|d| {
+            let sd = d.min(from.num_dims() - 1).min(coords.len() - 1);
+            let from_max = (from.radix(sd) - 1) as f64;
+            let to_max = (to.radix(d) - 1) as f64;
+            (coords[sd] as f64 / from_max * to_max).round() as u16
+        })
+        .collect()
+}
+
 /// Figure 3: uniform traffic of 16-flit worms on the 16×16 torus.
 pub fn fig3() -> FigureSpec {
     FigureSpec {
@@ -167,6 +212,30 @@ mod tests {
         let spec = vct_section_3_4();
         assert_eq!(spec.switching, Switching::VirtualCutThrough);
         assert_eq!(spec.algorithms.len(), 3);
+    }
+
+    #[test]
+    fn with_topology_remaps_hotspots() {
+        // The (15, 15) far corner stays the far corner on an 8³ cube...
+        let cube = fig4().with_topology(Topology::k_ary_n_cube(8, 3));
+        match &cube.traffic {
+            TrafficConfig::Hotspot { nodes, fraction } => {
+                assert_eq!(nodes, &vec![vec![7, 7, 7]]);
+                assert_eq!(*fraction, 0.04);
+            }
+            other => panic!("unexpected traffic {other:?}"),
+        }
+        // ...and on a mixed-radix torus.
+        let wide = fig4().with_topology(Topology::torus(&[32, 8]));
+        match &wide.traffic {
+            TrafficConfig::Hotspot { nodes, .. } => assert_eq!(nodes, &vec![vec![31, 7]]),
+            other => panic!("unexpected traffic {other:?}"),
+        }
+        // Non-hotspot figures just swap the network.
+        let big = fig3().with_topology(Topology::torus(&[64, 64]));
+        assert_eq!(big.topology.num_nodes(), 4096);
+        assert_eq!(big.traffic, TrafficConfig::Uniform);
+        assert_eq!(big.id, "fig3");
     }
 
     #[test]

@@ -22,6 +22,13 @@ pub enum EngineError {
     ZeroInjectionBandwidth,
     /// The congestion-control limit must be at least 1 when present.
     ZeroCongestionLimit,
+    /// Too many physical VCs per channel: `classes * replicas` must fit the
+    /// engine's `u8` per-channel bookkeeping (request-row occupancy and
+    /// round-robin pointers).
+    TooManyVcs {
+        /// The requested `classes * replicas` product.
+        vcs: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -37,6 +44,13 @@ impl fmt::Display for EngineError {
             }
             EngineError::ZeroCongestionLimit => {
                 write!(f, "congestion limit must be at least 1 when enabled")
+            }
+            EngineError::TooManyVcs { vcs } => {
+                write!(
+                    f,
+                    "{vcs} virtual channels per physical channel exceeds the supported 255 \
+                     (reduce vc replicas or the network diameter)"
+                )
             }
         }
     }

@@ -217,11 +217,12 @@ struct IvcMeta {
 /// A routed input VC waiting on an output channel. Everything the
 /// switch-allocation inner loop needs is precomputed at routing time so
 /// arbitration touches only this entry, the occupancy shadow, and the
-/// output VC's credits.
+/// output VC's credits. Kept at 8 bytes (the output-VC index is derived
+/// from the channel's row base plus `vc`, not stored) so a channel's whole
+/// request row fits in one or two cache lines on large networks.
 #[derive(Clone, Copy, Debug, Default)]
 struct OutputRequest {
     ivc: u32,
-    ovc: u32,
     vc: u16,
     from_injection: bool,
 }
@@ -229,21 +230,46 @@ struct OutputRequest {
 /// A fixed-size bitmap worklist. Iterating set bits visits indices in
 /// ascending order — for free, every cycle — which is what keeps the
 /// event-driven phases bit-identical to the full scans they replace.
+///
+/// A second-level `summary` bitmap (one bit per word) lets the phase loops
+/// skip empty words without touching them, so a quiet cycle costs
+/// O(active + words/64) rather than O(words): at 4096 nodes the injection
+/// scan drops from 64 word loads to one summary load.
 #[derive(Clone, Debug)]
 struct BitSet {
     words: Vec<u64>,
+    /// Bit `w` set ⟺ `words[w] != 0`. Maintained by [`BitSet::insert`] and
+    /// [`BitSet::set_word`].
+    summary: Vec<u64>,
 }
 
 impl BitSet {
     fn new(len: usize) -> Self {
+        let words = len.div_ceil(64);
         BitSet {
-            words: vec![0; len.div_ceil(64)],
+            words: vec![0; words],
+            summary: vec![0; words.div_ceil(64)],
         }
     }
 
     #[inline]
     fn insert(&mut self, index: usize) {
-        self.words[index / 64] |= 1u64 << (index % 64);
+        let w = index / 64;
+        self.words[w] |= 1u64 << (index % 64);
+        self.summary[w / 64] |= 1u64 << (w % 64);
+    }
+
+    /// Replaces word `w`, keeping the summary invariant. The phase loops
+    /// call this after draining a word so cleared words fall out of future
+    /// summary scans.
+    #[inline]
+    fn set_word(&mut self, w: usize, value: u64) {
+        self.words[w] = value;
+        if value == 0 {
+            self.summary[w / 64] &= !(1u64 << (w % 64));
+        } else {
+            self.summary[w / 64] |= 1u64 << (w % 64);
+        }
     }
 }
 
@@ -282,10 +308,13 @@ pub struct Network {
     /// never overflow). Row occupancy lives in `request_len`. Fixed storage
     /// — no per-channel `Vec`s to reallocate or chase through.
     requests: Vec<OutputRequest>,
-    /// Number of live entries in each channel's request row.
+    /// Number of live entries in each channel's request row. `u8` is
+    /// enough: a row holds at most `vcs` entries and assembly rejects
+    /// configurations with more than 255 VCs per channel.
     request_len: Vec<u8>,
-    /// Round-robin pointer per output channel.
-    out_rr: Vec<usize>,
+    /// Round-robin pointer per output channel. Bounded by `vcs`, so it
+    /// shares `request_len`'s `u8` range.
+    out_rr: Vec<u8>,
     /// Input VCs whose front head still needs a route.
     pending_route: Vec<u32>,
     /// Input VCs currently delivering to the local node.
@@ -411,6 +440,13 @@ impl Network {
         let classes = algo.num_vc_classes();
         let replicas = cfg.vc_replicas as usize;
         let vcs = classes * replicas;
+        // Per-channel bookkeeping (`request_len`, `out_rr`) is `u8`; the
+        // paper's deepest class ladder (phop on a 64×64 torus: 65 classes)
+        // stays far inside the range, but reject the pathological
+        // combinations rather than wrapping.
+        if vcs > u8::MAX as usize {
+            return Err(EngineError::TooManyVcs { vcs });
+        }
         let dirs = topo.num_dims() * 2;
         let ports = dirs + 1;
         let n = topo.num_nodes() as usize;
@@ -1131,46 +1167,49 @@ impl Network {
         // via `pending_route`). Nodes still blocked on a free VC keep
         // their bit.
         let inj_port = self.injection_port();
-        for w in 0..self.inj_dirty.words.len() {
-            let mut bits = self.inj_dirty.words[w];
-            if bits == 0 {
-                continue;
-            }
-            let mut keep = bits;
-            while bits != 0 {
-                let bit = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let node = (w * 64 + bit) as u32;
-                while !self.nodes[node as usize].queue.is_empty() {
-                    // Find a free injection VC (empty buffer, no route).
-                    let Some(vc) = (0..self.vcs).find(|&vc| {
+        for sw in 0..self.inj_dirty.summary.len() {
+            let mut swords = self.inj_dirty.summary[sw];
+            while swords != 0 {
+                let w = sw * 64 + swords.trailing_zeros() as usize;
+                swords &= swords - 1;
+                let mut bits = self.inj_dirty.words[w];
+                debug_assert_ne!(bits, 0, "summary bit implies a non-empty word");
+                let mut keep = bits;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let node = (w * 64 + bit) as u32;
+                    while !self.nodes[node as usize].queue.is_empty() {
+                        // Find a free injection VC (empty buffer, no route).
+                        let Some(vc) = (0..self.vcs).find(|&vc| {
+                            let ivc = self.ivc_index(node, inj_port, vc);
+                            let slot = &self.input_vcs[ivc as usize];
+                            slot.buffer.is_empty() && slot.route.is_none()
+                        }) else {
+                            break;
+                        };
+                        let id = self.nodes[node as usize]
+                            .queue
+                            .pop_front()
+                            .expect("non-empty");
+                        let length = self.slab.get(id).length;
                         let ivc = self.ivc_index(node, inj_port, vc);
-                        let slot = &self.input_vcs[ivc as usize];
-                        slot.buffer.is_empty() && slot.route.is_none()
-                    }) else {
-                        break;
-                    };
-                    let id = self.nodes[node as usize]
-                        .queue
-                        .pop_front()
-                        .expect("non-empty");
-                    let length = self.slab.get(id).length;
-                    let ivc = self.ivc_index(node, inj_port, vc);
-                    for flit in Flit::sequence(id, length) {
-                        self.input_vcs[ivc as usize].push(flit);
+                        for flit in Flit::sequence(id, length) {
+                            self.input_vcs[ivc as usize].push(flit);
+                        }
+                        self.occ[ivc as usize] += length;
+                        self.trace(TraceEvent::InjectionStarted {
+                            cycle: self.cycle,
+                            msg: id,
+                        });
+                        self.enqueue_pending(ivc);
                     }
-                    self.occ[ivc as usize] += length;
-                    self.trace(TraceEvent::InjectionStarted {
-                        cycle: self.cycle,
-                        msg: id,
-                    });
-                    self.enqueue_pending(ivc);
+                    if self.nodes[node as usize].queue.is_empty() {
+                        keep &= !(1u64 << bit);
+                    }
                 }
-                if self.nodes[node as usize].queue.is_empty() {
-                    keep &= !(1u64 << bit);
-                }
+                self.inj_dirty.set_word(w, keep);
             }
-            self.inj_dirty.words[w] = keep;
         }
     }
 
@@ -1314,7 +1353,6 @@ impl Network {
         debug_assert!(len < self.vcs, "a channel has at most `vcs` requesters");
         self.requests[ch * self.vcs + len] = OutputRequest {
             ivc,
-            ovc: ovc as u32,
             vc,
             from_injection,
         };
@@ -1344,56 +1382,61 @@ impl Network {
         // so round-robin state and `scratch_moves` order are bit-identical.
         // Channels whose request list has drained are dropped here (lazy
         // removal).
-        for w in 0..self.active_channels.words.len() {
-            let mut bits = self.active_channels.words[w];
-            if bits == 0 {
-                continue;
-            }
-            let mut keep = bits;
-            while bits != 0 {
-                let bit = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let ch = w * 64 + bit;
-                let len = self.request_len[ch] as usize;
-                if len == 0 {
-                    keep &= !(1u64 << bit);
-                    continue;
-                }
-                let (node, dir) = self.ch_owner[ch];
-                let row = ch * self.vcs;
-                // Round-robin with lazy wrap: `out_rr` is only reduced
-                // modulo `len` when the list shrank underneath it, so the
-                // common path runs division-free.
-                let mut idx = self.out_rr[ch];
-                if idx >= len {
-                    idx %= len;
-                }
-                for _ in 0..len {
-                    let req = self.requests[row + idx];
-                    let granted = self.occ[req.ivc as usize] != 0
-                        && (!req.from_injection || self.marked_inj[req.ivc as usize])
-                        && self.out_credits[req.ovc as usize] != 0;
-                    idx += 1;
-                    if idx == len {
-                        idx = 0;
+        for sw in 0..self.active_channels.summary.len() {
+            let mut swords = self.active_channels.summary[sw];
+            while swords != 0 {
+                let w = sw * 64 + swords.trailing_zeros() as usize;
+                swords &= swords - 1;
+                let mut bits = self.active_channels.words[w];
+                debug_assert_ne!(bits, 0, "summary bit implies a non-empty word");
+                let mut keep = bits;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let ch = w * 64 + bit;
+                    let len = self.request_len[ch] as usize;
+                    if len == 0 {
+                        keep &= !(1u64 << bit);
+                        continue;
                     }
-                    if granted {
-                        debug_assert_eq!(
-                            self.input_vcs[req.ivc as usize].route,
-                            Some(RouteTarget::Link { dir, vc: req.vc })
-                        );
-                        self.scratch_moves.push(LinkMove {
-                            ivc: req.ivc,
-                            node,
-                            dir,
-                            vc: req.vc,
-                        });
-                        self.out_rr[ch] = idx;
-                        break;
+                    let (node, dir) = self.ch_owner[ch];
+                    let row = ch * self.vcs;
+                    // Round-robin with lazy wrap: `out_rr` is only reduced
+                    // modulo `len` when the list shrank underneath it, so
+                    // the common path runs division-free.
+                    let mut idx = self.out_rr[ch] as usize;
+                    if idx >= len {
+                        idx %= len;
+                    }
+                    for _ in 0..len {
+                        let req = self.requests[row + idx];
+                        // The output-VC index is the channel's row base
+                        // plus the granted VC (not stored in the request).
+                        let granted = self.occ[req.ivc as usize] != 0
+                            && (!req.from_injection || self.marked_inj[req.ivc as usize])
+                            && self.out_credits[row + req.vc as usize] != 0;
+                        idx += 1;
+                        if idx == len {
+                            idx = 0;
+                        }
+                        if granted {
+                            debug_assert_eq!(
+                                self.input_vcs[req.ivc as usize].route,
+                                Some(RouteTarget::Link { dir, vc: req.vc })
+                            );
+                            self.scratch_moves.push(LinkMove {
+                                ivc: req.ivc,
+                                node,
+                                dir,
+                                vc: req.vc,
+                            });
+                            self.out_rr[ch] = idx as u8;
+                            break;
+                        }
                     }
                 }
+                self.active_channels.set_word(w, keep);
             }
-            self.active_channels.words[w] = keep;
         }
     }
 
@@ -1411,47 +1454,50 @@ impl Network {
         // dropped lazily.
         let inj_port = self.injection_port();
         let budget = self.cfg.injection_bandwidth as usize;
-        for w in 0..self.active_inj_nodes.words.len() {
-            let mut bits = self.active_inj_nodes.words[w];
-            if bits == 0 {
-                continue;
+        for sw in 0..self.active_inj_nodes.summary.len() {
+            let mut swords = self.active_inj_nodes.summary[sw];
+            while swords != 0 {
+                let w = sw * 64 + swords.trailing_zeros() as usize;
+                swords &= swords - 1;
+                let mut bits = self.active_inj_nodes.words[w];
+                debug_assert_ne!(bits, 0, "summary bit implies a non-empty word");
+                let mut keep = bits;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let node = (w * 64 + bit) as u32;
+                    let len = self.nodes[node as usize].streaming_inj.len();
+                    if len == 0 {
+                        keep &= !(1u64 << bit);
+                        continue;
+                    }
+                    let mut idx = self.nodes[node as usize].inj_rr;
+                    if idx >= len {
+                        idx %= len;
+                    }
+                    let mut next = idx;
+                    let mut marked = 0;
+                    for _ in 0..len {
+                        if marked >= budget {
+                            break;
+                        }
+                        let vc = self.nodes[node as usize].streaming_inj[idx];
+                        idx += 1;
+                        if idx == len {
+                            idx = 0;
+                        }
+                        let ivc = self.ivc_index(node, inj_port, vc as usize);
+                        if self.occ[ivc as usize] != 0 {
+                            self.marked_inj[ivc as usize] = true;
+                            self.marked_list.push(ivc);
+                            marked += 1;
+                            next = idx;
+                        }
+                    }
+                    self.nodes[node as usize].inj_rr = next;
+                }
+                self.active_inj_nodes.set_word(w, keep);
             }
-            let mut keep = bits;
-            while bits != 0 {
-                let bit = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let node = (w * 64 + bit) as u32;
-                let len = self.nodes[node as usize].streaming_inj.len();
-                if len == 0 {
-                    keep &= !(1u64 << bit);
-                    continue;
-                }
-                let mut idx = self.nodes[node as usize].inj_rr;
-                if idx >= len {
-                    idx %= len;
-                }
-                let mut next = idx;
-                let mut marked = 0;
-                for _ in 0..len {
-                    if marked >= budget {
-                        break;
-                    }
-                    let vc = self.nodes[node as usize].streaming_inj[idx];
-                    idx += 1;
-                    if idx == len {
-                        idx = 0;
-                    }
-                    let ivc = self.ivc_index(node, inj_port, vc as usize);
-                    if self.occ[ivc as usize] != 0 {
-                        self.marked_inj[ivc as usize] = true;
-                        self.marked_list.push(ivc);
-                        marked += 1;
-                        next = idx;
-                    }
-                }
-                self.nodes[node as usize].inj_rr = next;
-            }
-            self.active_inj_nodes.words[w] = keep;
         }
     }
 

@@ -1,0 +1,103 @@
+//! Property-based tests for fault-region geometry on n-dimensional
+//! networks, including mixed radices (e.g. 4×6×8) where a per-dimension
+//! wrap bug would not show up on the square 2D cases the unit tests cover.
+
+use proptest::prelude::*;
+use wormsim_faults::FaultRegion;
+use wormsim_topology::Topology;
+
+/// Dimensions (1–3 dims, radices 2–9) plus a box whose origin is a valid
+/// coordinate and whose extent is `1..=radix` per dimension, and a
+/// mesh/torus flag. The shim's `prop::collection::vec` takes one element
+/// strategy, so origin/extent are derived from fixed-length seed vectors.
+fn arb_case() -> impl Strategy<Value = (Topology, Vec<u16>, Vec<u16>)> {
+    let dims = prop::collection::vec(2u16..=9, 1..=3);
+    let seeds = prop::collection::vec(0u16..10_000, 3);
+    (dims, seeds.clone(), seeds, prop::bool::ANY).prop_map(|(dims, oseed, eseed, torus)| {
+        let origin: Vec<u16> = dims.iter().zip(&oseed).map(|(&k, &s)| s % k).collect();
+        let extent: Vec<u16> = dims.iter().zip(&eseed).map(|(&k, &s)| 1 + s % k).collect();
+        let topo = if torus {
+            Topology::torus(&dims)
+        } else {
+            Topology::mesh(&dims)
+        };
+        (topo, origin, extent)
+    })
+}
+
+proptest! {
+    /// `contains` agrees with per-dimension enumeration of the box's
+    /// coordinates: on a torus the interval `origin[d] .. origin[d] +
+    /// extent[d]` wraps modulo the radix; on a mesh it is clipped.
+    #[test]
+    fn box_membership_matches_enumeration((t, origin, extent) in arb_case()) {
+        let region = FaultRegion::coordinate_box(&origin, &extent);
+        for node in t.nodes() {
+            let expected = (0..t.num_dims()).all(|d| {
+                let k = t.radix(d);
+                let c = t.coord(node, d);
+                (0..extent[d]).any(|j| {
+                    if t.wraps() {
+                        (origin[d] + j) % k == c
+                    } else {
+                        origin[d] + j == c
+                    }
+                })
+            });
+            prop_assert_eq!(
+                region.contains(&t, node),
+                expected,
+                "node {:?} in box origin {:?} extent {:?} on {}",
+                t.coords(node),
+                &origin,
+                &extent,
+                &t
+            );
+        }
+    }
+
+    /// On a torus every box of extent `e` (with `e[d] <= radix`) contains
+    /// exactly `prod(e[d])` nodes regardless of where its origin sits —
+    /// wrapping never clips. On a mesh the edge does clip, to
+    /// `prod(min(e[d], radix - origin[d]))`.
+    #[test]
+    fn box_population_is_exact((t, origin, extent) in arb_case()) {
+        let region = FaultRegion::coordinate_box(&origin, &extent);
+        let population = t.nodes().filter(|&n| region.contains(&t, n)).count();
+        let expected: usize = (0..t.num_dims())
+            .map(|d| {
+                if t.wraps() {
+                    extent[d] as usize
+                } else {
+                    extent[d].min(t.radix(d) - origin[d]) as usize
+                }
+            })
+            .product();
+        prop_assert_eq!(population, expected);
+    }
+
+    /// The origin corner is always inside its own box (extent >= 1).
+    #[test]
+    fn origin_is_always_inside((t, origin, extent) in arb_case()) {
+        let region = FaultRegion::coordinate_box(&origin, &extent);
+        prop_assert!(region.contains(&t, t.node_at(&origin)));
+    }
+}
+
+#[test]
+fn box_wraps_every_dimension_of_a_mixed_radix_torus() {
+    // 4×6×8: each dimension wraps independently at its own radix. A box
+    // cornered at the top of every dimension spills past each dateline.
+    let topo = Topology::torus(&[4, 6, 8]);
+    let region = FaultRegion::coordinate_box(&[3, 5, 7], &[2, 2, 2]);
+    for coords in [[3, 5, 7], [0, 5, 7], [3, 0, 7], [3, 5, 0], [0, 0, 0]] {
+        assert!(region.contains(&topo, topo.node_at(&coords)), "{coords:?}");
+    }
+    assert!(!region.contains(&topo, topo.node_at(&[1, 0, 0])));
+    assert!(!region.contains(&topo, topo.node_at(&[0, 1, 0])));
+    assert!(!region.contains(&topo, topo.node_at(&[0, 0, 1])));
+    assert_eq!(
+        topo.nodes().filter(|&n| region.contains(&topo, n)).count(),
+        8
+    );
+}

@@ -40,7 +40,8 @@ pub struct RunManifest {
     pub algorithm: String,
     /// Traffic pattern name.
     pub traffic: String,
-    /// Topology description (e.g. `torus 16x16`).
+    /// Topology label in the `--topo` CLI grammar (e.g. `torus:16x16`),
+    /// so a manifest's network can be pasted straight into a sweep.
     pub topology: String,
     /// Offered load as a fraction of channel capacity (paper Eq. 4 input).
     pub offered_load: f64,
@@ -284,7 +285,7 @@ mod tests {
             seed: 42,
             algorithm: "nbc".to_owned(),
             traffic: "uniform".to_owned(),
-            topology: "torus 16x16".to_owned(),
+            topology: "torus:16x16".to_owned(),
             offered_load: 0.4,
             injection_rate: 0.0125,
             cycles: 61_000,

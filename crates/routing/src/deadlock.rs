@@ -96,25 +96,43 @@ impl DependencyGraph {
     /// virtual channel of each possible hop to the virtual channels of every
     /// possible *next* hop.
     pub fn build(topo: &Topology, algo: &dyn RoutingAlgorithm) -> Self {
+        Self::build_from_pairs(
+            topo,
+            algo,
+            topo.nodes()
+                .flat_map(|src| topo.nodes().map(move |dest| (src, dest))),
+        )
+    }
+
+    /// Builds the dependency graph from an explicit set of `(source,
+    /// destination)` pairs (self-pairs are skipped). The result is a
+    /// *subgraph* of the full CDG: acyclicity of the full graph implies
+    /// acyclicity here, but not conversely — a cycle found this way is
+    /// always real, while a clean report from a sample is a witness, not a
+    /// proof. Useful where the all-pairs expansion is intractable (e.g. a
+    /// strided source sample on the 4096-node 16-ary 3-cube).
+    pub fn build_from_pairs(
+        topo: &Topology,
+        algo: &dyn RoutingAlgorithm,
+        pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Self {
         let mut graph = DependencyGraph::default();
         let mut candidates = Vec::new();
         let mut next_candidates = Vec::new();
-        for src in topo.nodes() {
-            for dest in topo.nodes() {
-                if src == dest {
-                    continue;
-                }
-                graph.expand_pair(
-                    topo,
-                    None,
-                    algo,
-                    src,
-                    dest,
-                    &mut candidates,
-                    &mut next_candidates,
-                    &mut 0,
-                );
+        for (src, dest) in pairs {
+            if src == dest {
+                continue;
             }
+            graph.expand_pair(
+                topo,
+                None,
+                algo,
+                src,
+                dest,
+                &mut candidates,
+                &mut next_candidates,
+                &mut 0,
+            );
         }
         graph
     }
@@ -433,6 +451,97 @@ mod tests {
     fn two_power_n_is_acyclic_on_mesh() {
         let topo = Topology::mesh(&[4, 4]);
         assert!(report_for(AlgorithmKind::TwoPowerN, &topo).is_acyclic());
+        // The untagged-top-dimension trick holds in 3D as well.
+        let topo = Topology::mesh(&[4, 4, 4]);
+        assert!(report_for(AlgorithmKind::TwoPowerN, &topo).is_acyclic());
+    }
+
+    #[test]
+    fn two_power_n_paper_torus_variant_is_cyclic() {
+        // Known limitation, kept deliberately: on 1D/2D tori 2pn runs the
+        // paper's published Equation-1 scheme, whose tag classes mix
+        // wrap-around (Plus) and direct (Minus) travel in the same
+        // dimension. That CDG has a genuine cycle on *every* 2D torus —
+        // the seed never checked 2pn on a torus, only on a mesh. A cyclic
+        // CDG is inconclusive for a fully adaptive algorithm (Duato), the
+        // paper's 16×16 figures reproduce fine, and the seed-1993 goldens
+        // pin the behavior bit-for-bit, so the 2D variant stays as
+        // published. Tori with n >= 3 use the corrected dateline-levelled
+        // variant, which the tests above prove acyclic.
+        let topo = Topology::torus(&[6, 6]);
+        let report = report_for(AlgorithmKind::TwoPowerN, &topo);
+        assert!(!report.is_acyclic(), "{report:?}");
+    }
+
+    #[test]
+    fn all_paper_algorithms_acyclic_on_small_3d_cube() {
+        // The VC-class rules are parameterized over `n`; exercise them
+        // exhaustively on a 4-ary 3-cube (64 nodes, diameter 6).
+        let topo = Topology::k_ary_n_cube(4, 3);
+        for kind in AlgorithmKind::all() {
+            let report = report_for(kind, &topo);
+            assert!(report.is_acyclic(), "{kind}: {report:?}");
+            assert!(report.vertices() > 0 && report.edges() > 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn all_paper_algorithms_acyclic_on_mixed_radix_3d_torus() {
+        // Per-dimension radices may differ; 4×6×8 keeps every radix even
+        // (the negative-hop schemes need a bipartite network) while making
+        // any hidden uniform-radix assumption fail loudly.
+        let topo = Topology::torus(&[4, 6, 8]);
+        for kind in AlgorithmKind::all() {
+            let report = report_for(kind, &topo);
+            assert!(report.is_acyclic(), "{kind}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn ecube_is_acyclic_on_3d_mesh() {
+        let topo = Topology::mesh(&[4, 4, 4]);
+        assert!(report_for(AlgorithmKind::Ecube, &topo).is_acyclic());
+    }
+
+    /// The paper-scale 3D check: all six algorithms on the 8-ary 3-cube
+    /// (512 nodes). Exhaustive over all ordered pairs, so it is `#[ignore]`
+    /// under plain `cargo test`; CI runs it in release via
+    /// `cargo test --release -p wormsim-routing -- --ignored` (the
+    /// large-network CDG sweep step).
+    #[test]
+    #[ignore = "exhaustive 512-node CDG sweep; run with --release -- --ignored"]
+    fn all_paper_algorithms_acyclic_on_8_ary_3_cube() {
+        let topo = Topology::k_ary_n_cube(8, 3);
+        for kind in AlgorithmKind::all() {
+            let report = report_for(kind, &topo);
+            assert!(report.is_acyclic(), "{kind}: {report:?}");
+        }
+    }
+
+    /// The 16-ary 3-cube (4096 nodes) on a deterministic strided sample of
+    /// sources: the all-pairs expansion (~16.8M pairs) is intractable, but
+    /// any cycle a sampled subgraph exhibits is real, and the n≥3 class
+    /// disciplines (2pn's travel-sign tags, nlast's per-dimension gating)
+    /// are radix-independent — the exhaustive 8³ test above plus the
+    /// module-doc proofs carry the full claim; this is the large-radix
+    /// witness.
+    #[test]
+    #[ignore = "sampled 4096-node CDG sweep; run with --release -- --ignored"]
+    fn all_paper_algorithms_acyclic_on_16_ary_3_cube_sampled() {
+        let topo = Topology::k_ary_n_cube(16, 3);
+        // Stride co-prime with the node count so sampled sources spread
+        // over all coordinate residues rather than one hyperplane.
+        let srcs: Vec<_> = topo.nodes().step_by(307).collect();
+        for kind in AlgorithmKind::all() {
+            let algo = kind.build(&topo).unwrap();
+            let graph = DependencyGraph::build_from_pairs(
+                &topo,
+                algo.as_ref(),
+                srcs.iter()
+                    .flat_map(|&src| topo.nodes().map(move |dest| (src, dest))),
+            );
+            assert!(graph.find_cycle().is_none(), "{kind} has a sampled cycle");
+        }
     }
 
     #[test]

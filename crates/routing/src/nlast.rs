@@ -13,12 +13,31 @@ use wormsim_topology::{DimStep, Direction, NodeId, Sign, Topology};
 /// message must correct dimension 0 first before taking any hops on
 /// dimension 1 links; otherwise it is routed fully-adaptively"*).
 ///
-/// * Messages that need to travel north correct all other dimensions first
-///   (adaptively among them), then take their north hops non-adaptively —
-///   so no turn *out of* north ever occurs.
-/// * All other messages route fully adaptively among minimal directions.
-///   A torus half-way tie in the highest dimension is resolved towards `+`
-///   (south) so the message never enters north early.
+/// In `n` dimensions the restriction applies **per dimension**: `-` hops in
+/// dimension `j` are allowed only once every dimension below `j` is
+/// corrected (dimension 0 is never gated), and a torus half-way tie in a
+/// gated dimension is resolved towards `+` so the message never enters its
+/// "north" early. For `n = 2` this is exactly the paper's rule. Gating only
+/// the top dimension — the obvious reading of "north last" — is *not*
+/// deadlock-free for `n >= 3`: the ungated lower dimensions then form an
+/// unrestricted fully adaptive plane whose four turn types close the
+/// classic turn-model cycle (the CDG checker exhibits a rectangular x–y
+/// cycle on a 4-ary 3-cube).
+///
+/// * Messages that still owe `-` hops in some dimension correct all lower
+///   dimensions first (adaptively among them); their `-` hops then cannot
+///   turn back into any lower dimension, so no turn *out of* a north ever
+///   re-enters the dimensions that could complete a cycle.
+/// * All other travel routes fully adaptively among minimal directions.
+///
+/// Deadlock freedom (mesh, per VC class on tori): in a hypothetical CDG
+/// cycle, let `d` be the highest dimension contributing a `-` channel. A
+/// message holding a `-d` channel has every dimension below `d` corrected,
+/// so its next request within the cycle (which contains no dimension above
+/// `d` with `-` travel, and no `+d` request can follow `-d` travel) is
+/// another `-d` channel; the cycle collapses to `-d` channels only, which
+/// cannot close without a wrap-around link — and wrap links hand over to
+/// the next dateline class (below).
 ///
 /// On tori, deadlock freedom over the wrap-around links uses a
 /// **dateline-crossing count** discipline with `n + 1` VC classes: a
@@ -52,7 +71,6 @@ use wormsim_topology::{DimStep, Direction, NodeId, Sign, Topology};
 #[derive(Clone, Debug)]
 pub struct NorthLast {
     classes: usize,
-    north_dim: usize,
 }
 
 impl NorthLast {
@@ -72,7 +90,6 @@ impl NorthLast {
         }
         Ok(NorthLast {
             classes: if topo.wraps() { topo.num_dims() + 1 } else { 1 },
-            north_dim: topo.num_dims() - 1,
         })
     }
 
@@ -82,18 +99,6 @@ impl NorthLast {
         } else {
             0
         }
-    }
-
-    /// Whether this message still needs a north hop (strictly `-` travel in
-    /// the highest dimension).
-    fn needs_north(&self, topo: &Topology, state: &MessageRouteState, here: NodeId) -> bool {
-        matches!(
-            topo.dim_step(here, state.dest(), self.north_dim),
-            DimStep::One {
-                sign: Sign::Minus,
-                ..
-            }
-        )
     }
 }
 
@@ -125,38 +130,36 @@ impl RoutingAlgorithm for NorthLast {
         here: NodeId,
         out: &mut Vec<Candidate>,
     ) {
-        let needs_north = self.needs_north(topo, state, here);
+        let class = self.class_for(topo, state);
+        // `-` hops in dimension `j > 0` ("north" hops) come last: they are
+        // offered only once every dimension below `j` is corrected, and a
+        // gated dimension's half-way tie resolves towards `+`. Dimension 0
+        // is never gated.
         let mut lower_dims_done = true;
         for dim in 0..topo.num_dims() {
             let step = topo.dim_step(here, state.dest(), dim);
             if matches!(step, DimStep::Done) {
                 continue;
             }
-            if dim != self.north_dim {
-                lower_dims_done = false;
+            if step.allows(Sign::Plus) {
+                out.push(Candidate::new(Direction::new(dim, Sign::Plus), class));
             }
-            let class = self.class_for(topo, state);
-            for sign in [Sign::Plus, Sign::Minus] {
-                if !step.allows(sign) {
-                    continue;
-                }
-                let is_north = dim == self.north_dim && sign == Sign::Minus;
-                if is_north {
-                    continue; // handled below: north hops come last
-                }
-                if dim == self.north_dim && needs_north {
-                    continue; // north traveller: no early hops in this dim
-                }
-                out.push(Candidate::new(Direction::new(dim, sign), class));
+            let minus_ok = if dim == 0 {
+                step.allows(Sign::Minus)
+            } else {
+                lower_dims_done
+                    && matches!(
+                        step,
+                        DimStep::One {
+                            sign: Sign::Minus,
+                            ..
+                        }
+                    )
+            };
+            if minus_ok {
+                out.push(Candidate::new(Direction::new(dim, Sign::Minus), class));
             }
-        }
-        // North hops are allowed only once every other dimension is done,
-        // and are then the only option (non-adaptive tail of the route).
-        if needs_north && lower_dims_done {
-            out.push(Candidate::new(
-                Direction::new(self.north_dim, Sign::Minus),
-                self.class_for(topo, state),
-            ));
+            lower_dims_done = false;
         }
     }
 

@@ -3,7 +3,7 @@
 use crate::{
     Adaptivity, Candidate, FaultTolerance, MessageRouteState, RoutingAlgorithm, RoutingError,
 };
-use wormsim_topology::{Direction, NodeId, Sign, Topology, TopologyKind};
+use wormsim_topology::{DimStep, Direction, NodeId, Sign, Topology, TopologyKind};
 
 /// Fully adaptive routing based on the enumeration of directions
 /// (the paper's *2pn* algorithm, derived from Dally, Felperin et al., and
@@ -21,6 +21,38 @@ use wormsim_topology::{Direction, NodeId, Sign, Topology, TopologyKind};
 /// classes on tori and `2^(n-1)` on meshes (the highest dimension does not
 /// need a tag bit on meshes, Dally's result).
 ///
+/// # Torus variants
+///
+/// The scheme above is the paper's published configuration and is kept
+/// bit-for-bit on **meshes and 1D/2D tori** (the seed-1993 goldens pin the
+/// 16×16 torus figures). On a torus, however, Equation 1 alone is *not* a
+/// deadlock-freedom proof: a tag class mixes messages travelling plus
+/// (through the wrap-around) and minus in the same dimension, and the CDG
+/// checker finds a genuine cycle on every 2D torus (see
+/// `deadlock::tests::two_power_n_paper_torus_variant_is_cyclic`). A cyclic
+/// CDG is inconclusive for an adaptive algorithm (Duato's criterion), and
+/// the paper's 16×16 runs complete, so the 2D variant is preserved as
+/// published.
+///
+/// On **tori with `n >= 3` dimensions** — outside the paper's regime, where
+/// nothing pins the behavior — the generalization is corrected à la
+/// Linder & Harden:
+///
+/// * the tag bit records the committed *travel* sign instead of the raw
+///   coordinate comparison (`1` = Plus is minimal; ties at `k/2` commit
+///   Plus), so every class is sign-consistent per dimension, and
+/// * each tag class is split into `n + 1` *dateline levels* indexed by
+///   [`MessageRouteState::datelines_crossed`], giving
+///   `2^n * (n + 1)` classes.
+///
+/// This is provably deadlock-free: a dependency never decreases the level
+/// and crossing a wrap channel strictly increases it, so a CDG cycle would
+/// have to live inside one `(tag, level)` slice; there every dimension's
+/// travel sign is fixed and no wrap channel's out-edges are available, so a
+/// closed walk would need `k_i` same-sign hops in some dimension *without*
+/// its wrap link — impossible. The checker confirms this exhaustively on
+/// 3D cubes and mixed-radix 3D tori (`deadlock::tests`).
+///
 /// # Example
 ///
 /// ```
@@ -34,12 +66,21 @@ use wormsim_topology::{Direction, NodeId, Sign, Topology, TopologyKind};
 /// let mut state = MessageRouteState::new(topo.node_at(&[2, 7]), topo.node_at(&[5, 3]));
 /// tpn.init_message(&topo, &mut state);
 /// assert_eq!(state.tag(), 0b01); // s_0 < d_0, s_1 > d_1
+///
+/// // Beyond the paper's 2D regime the classes carry dateline levels:
+/// let cube = Topology::k_ary_n_cube(8, 3);
+/// let tpn3 = TwoPowerN::new(&cube)?;
+/// assert_eq!(tpn3.num_vc_classes(), 32); // 2^3 tags x (3 + 1) levels
 /// # Ok::<(), wormsim_routing::RoutingError>(())
 /// ```
 #[derive(Clone, Debug)]
 pub struct TwoPowerN {
     classes: usize,
     tagged_dims: usize,
+    /// Dateline levels multiplying the tag classes: 1 in the paper's
+    /// published configuration (meshes, 1D/2D tori), `n + 1` on
+    /// higher-dimensional tori.
+    levels: usize,
 }
 
 impl TwoPowerN {
@@ -47,36 +88,57 @@ impl TwoPowerN {
     ///
     /// # Errors
     ///
-    /// Returns [`RoutingError::TooManyDimensions`] when the topology has
-    /// more than 7 dimensions (the tag is stored in a `u8` class index).
+    /// Returns [`RoutingError::TooManyDimensions`] when the class index
+    /// would not fit the `u8` VC-class space: more than 8 dimensions on a
+    /// mesh (the tag is stored in a `u8`), or more than 5 on a torus
+    /// (`2^n * (n + 1)` dateline-levelled classes must stay below 256).
     pub fn new(topo: &Topology) -> Result<Self, RoutingError> {
         let n = topo.num_dims();
-        let tagged_dims = match topo.kind() {
-            TopologyKind::Torus => n,
-            TopologyKind::Mesh => n - 1,
+        let (tagged_dims, levels, max) = match topo.kind() {
+            TopologyKind::Torus if n >= 3 => (n, n + 1, 5),
+            TopologyKind::Torus => (n, 1, 7),
+            TopologyKind::Mesh => (n - 1, 1, 7),
         };
-        if tagged_dims > 7 {
+        if tagged_dims > max {
             return Err(RoutingError::TooManyDimensions {
                 algorithm: "2pn",
-                max: 7,
+                max,
                 got: n,
             });
         }
         Ok(TwoPowerN {
-            classes: 1 << tagged_dims,
+            classes: (1 << tagged_dims) * levels,
             tagged_dims,
+            levels,
         })
     }
 
-    /// Computes the paper's Equation 1 tag for a source/destination pair.
+    /// Computes the message tag for a source/destination pair.
+    ///
+    /// In the paper's configuration (meshes, 1D/2D tori) this is Equation 1
+    /// verbatim: bit `i` is set iff `s_i < d_i`. On `n >= 3` tori the bit
+    /// instead records the committed travel sign — set iff Plus is a
+    /// minimal direction in dimension `i` (ties at half the radix commit
+    /// Plus) — so that every tag class is sign-consistent.
     pub fn tag_for(&self, topo: &Topology, src: NodeId, dest: NodeId) -> u8 {
         let mut tag = 0u8;
         for dim in 0..self.tagged_dims {
-            if topo.coord(src, dim) < topo.coord(dest, dim) {
+            let bit = if self.levels > 1 {
+                topo.dim_step(src, dest, dim).allows(Sign::Plus)
+            } else {
+                topo.coord(src, dim) < topo.coord(dest, dim)
+            };
+            if bit {
                 tag |= 1 << dim;
             }
         }
         tag
+    }
+
+    /// The VC class of a message with `tag` at dateline level `level`.
+    fn class_at(&self, tag: u8, level: u32) -> u8 {
+        debug_assert!(self.levels == 1 || (level as usize) < self.levels);
+        (tag as usize * self.levels + level as usize) as u8
     }
 }
 
@@ -112,12 +174,34 @@ impl RoutingAlgorithm for TwoPowerN {
         here: NodeId,
         out: &mut Vec<Candidate>,
     ) {
-        let class = state.tag();
-        for dim in 0..topo.num_dims() {
-            let step = topo.dim_step(here, state.dest(), dim);
-            for sign in [Sign::Plus, Sign::Minus] {
-                if step.allows(sign) {
-                    out.push(Candidate::new(Direction::new(dim, sign), class));
+        let tag = state.tag();
+        if self.levels > 1 {
+            // Corrected >=3D torus variant: the travel sign per dimension
+            // is fixed by the tag, and the class advances with each
+            // dateline crossing.
+            let class = self.class_at(tag, state.datelines_crossed());
+            for dim in 0..topo.num_dims() {
+                let step = topo.dim_step(here, state.dest(), dim);
+                if step == DimStep::Done {
+                    continue;
+                }
+                let sign = if tag & (1 << dim) != 0 {
+                    Sign::Plus
+                } else {
+                    Sign::Minus
+                };
+                // The committed sign stays minimal along the whole path:
+                // the remaining offset only shrinks in that direction.
+                debug_assert!(step.allows(sign));
+                out.push(Candidate::new(Direction::new(dim, sign), class));
+            }
+        } else {
+            for dim in 0..topo.num_dims() {
+                let step = topo.dim_step(here, state.dest(), dim);
+                for sign in [Sign::Plus, Sign::Minus] {
+                    if step.allows(sign) {
+                        out.push(Candidate::new(Direction::new(dim, sign), tag));
+                    }
                 }
             }
         }
@@ -125,8 +209,8 @@ impl RoutingAlgorithm for TwoPowerN {
 
     fn injection_class(&self, topo: &Topology, state: &MessageRouteState) -> u32 {
         // "a message class is based on the virtual channel number it can
-        // use" — which for 2pn is the tag.
-        self.tag_for(topo, state.src(), state.dest()) as u32
+        // use" — for 2pn the tag, at dateline level 0 before any hop.
+        self.class_at(self.tag_for(topo, state.src(), state.dest()), 0) as u32
     }
 }
 
@@ -153,11 +237,12 @@ mod tests {
                 .num_vc_classes(),
             4
         );
+        // >=3D tori multiply the 2^n tags by n + 1 dateline levels.
         assert_eq!(
             TwoPowerN::new(&Topology::torus(&[4, 4, 4]))
                 .unwrap()
                 .num_vc_classes(),
-            8
+            32
         );
     }
 
@@ -217,11 +302,68 @@ mod tests {
     }
 
     #[test]
+    fn three_d_torus_tag_commits_travel_signs() {
+        let topo = Topology::k_ary_n_cube(8, 3);
+        let tpn = TwoPowerN::new(&topo).unwrap();
+        let tag = |s: [u16; 3], d: [u16; 3]| tpn.tag_for(&topo, topo.node_at(&s), topo.node_at(&d));
+        // (7,0,0) -> (1,0,0): minimal travel wraps Plus even though s_0 > d_0.
+        assert_eq!(tag([7, 0, 0], [1, 0, 0]), 0b001);
+        // (0,3,0) -> (0,1,0): Minus, two hops, no wrap.
+        assert_eq!(tag([0, 3, 0], [0, 1, 0]), 0b000);
+        // Ties at k/2 commit Plus in every dimension.
+        assert_eq!(tag([0, 0, 0], [4, 4, 4]), 0b111);
+        assert_eq!(tag([4, 4, 4], [0, 0, 0]), 0b111);
+    }
+
+    #[test]
+    fn three_d_torus_candidates_are_sign_fixed_minimal_and_levelled() {
+        let topo = Topology::k_ary_n_cube(8, 3);
+        let tpn = TwoPowerN::new(&topo).unwrap();
+        for (s, d) in [
+            ([0u16, 0, 0], [3u16, 5, 1]),
+            ([7, 2, 4], [1, 2, 0]),
+            ([4, 4, 4], [0, 0, 0]),
+        ] {
+            let src = topo.node_at(&s);
+            let dest = topo.node_at(&d);
+            let mut state = MessageRouteState::new(src, dest);
+            tpn.init_message(&topo, &mut state);
+            let mut here = src;
+            // Walk one full path greedily, checking every candidate set.
+            while here != dest {
+                let mut out = Vec::new();
+                tpn.candidates(&topo, &state, here, &mut out);
+                assert!(!out.is_empty());
+                let expected_class = (state.tag() as u32) * 4 + state.datelines_crossed();
+                for c in &out {
+                    let next = topo.neighbor(here, c.direction()).unwrap();
+                    assert_eq!(topo.distance(next, dest), topo.distance(here, dest) - 1);
+                    assert_eq!(c.vc_class() as u32, expected_class);
+                    // The travel sign in each dimension matches the tag bit.
+                    let bit = state.tag() >> c.direction().dim() & 1;
+                    assert_eq!(bit == 1, c.direction().sign() == Sign::Plus);
+                }
+                let taken = out[0];
+                state.advance(&topo, here, taken);
+                here = topo.neighbor(here, taken.direction()).unwrap();
+            }
+        }
+    }
+
+    #[test]
     fn rejects_too_many_dimensions() {
         let topo = Topology::torus(&[2, 2, 2, 2, 2, 2, 2, 2]);
         assert!(matches!(
             TwoPowerN::new(&topo),
             Err(RoutingError::TooManyDimensions { .. })
         ));
+        // Tori cap earlier than meshes: 2^n * (n+1) classes must fit a u8.
+        let topo = Topology::torus(&[2, 2, 2, 2, 2, 2]);
+        assert!(matches!(
+            TwoPowerN::new(&topo),
+            Err(RoutingError::TooManyDimensions { max: 5, .. })
+        ));
+        let topo = Topology::torus(&[2, 2, 2, 2, 2]);
+        assert!(TwoPowerN::new(&topo).is_ok());
     }
 }

@@ -37,6 +37,15 @@ pub enum TopologyError {
     },
     /// The node count overflows `u32`.
     TooManyNodes,
+    /// The channel-id space (`nodes * 2 * dims`) overflows `u32`.
+    ///
+    /// [`ChannelId`] packs `node * 2n + direction` into a `u32`; a topology
+    /// whose slot count exceeds that range would wrap silently, so it is
+    /// rejected at construction instead.
+    ChannelSpaceOverflow {
+        /// The number of channel-id slots the topology would need.
+        slots: u64,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -47,6 +56,12 @@ impl fmt::Display for TopologyError {
                 write!(f, "dimension {dim} has radix {radix}, need at least 2")
             }
             TopologyError::TooManyNodes => write!(f, "node count overflows u32"),
+            TopologyError::ChannelSpaceOverflow { slots } => {
+                write!(
+                    f,
+                    "channel-id space needs {slots} slots, which overflows u32"
+                )
+            }
         }
     }
 }
@@ -149,12 +164,32 @@ impl Topology {
                 return Err(TopologyError::TooManyNodes);
             }
         }
+        let slots = nodes * 2 * dims.len() as u64;
+        if slots > u32::MAX as u64 {
+            return Err(TopologyError::ChannelSpaceOverflow { slots });
+        }
         Ok(Topology {
             kind,
             dims: dims.to_vec(),
             strides,
             num_nodes: nodes as u32,
         })
+    }
+
+    /// The CLI-grammar label for this topology, e.g. `"torus:16x16"` or
+    /// `"mesh:4x4x4"`.
+    ///
+    /// This is the form `--topo` accepts, so labels in benchmark reports and
+    /// manifests can be pasted straight back into a command line. Contrast
+    /// with [`fmt::Display`], which renders the prose form `"16x16 torus"`.
+    ///
+    /// ```
+    /// use wormsim_topology::Topology;
+    /// assert_eq!(Topology::k_ary_n_cube(8, 3).label(), "torus:8x8x8");
+    /// ```
+    pub fn label(&self) -> String {
+        let dims: Vec<String> = self.dims.iter().map(|k| k.to_string()).collect();
+        format!("{}:{}", self.kind, dims.join("x"))
     }
 
     /// The topology family.
@@ -628,5 +663,32 @@ mod tests {
     fn display_formats() {
         assert_eq!(Topology::torus(&[16, 16]).to_string(), "16x16 torus");
         assert_eq!(Topology::mesh(&[10, 10]).to_string(), "10x10 mesh");
+    }
+
+    #[test]
+    fn label_is_cli_grammar() {
+        assert_eq!(Topology::torus(&[16, 16]).label(), "torus:16x16");
+        assert_eq!(Topology::mesh(&[4, 6, 8]).label(), "mesh:4x6x8");
+        assert_eq!(Topology::k_ary_n_cube(16, 3).label(), "torus:16x16x16");
+    }
+
+    #[test]
+    fn channel_space_overflow_rejected() {
+        // 46341^2 nodes fits u32 (≈ 2.147e9) but needs 4 channel slots per
+        // node, which does not.
+        assert_eq!(
+            Topology::try_torus(&[46341, 46341]),
+            Err(TopologyError::ChannelSpaceOverflow {
+                slots: 46341u64 * 46341 * 4,
+            })
+        );
+        // Node count itself overflowing still reports TooManyNodes.
+        assert_eq!(
+            Topology::try_torus(&[65535, 65535, 65535]),
+            Err(TopologyError::TooManyNodes)
+        );
+        // Large-but-valid sizes still build.
+        assert!(Topology::try_torus(&[64, 64]).is_ok());
+        assert!(Topology::try_torus(&[16, 16, 16]).is_ok());
     }
 }

@@ -108,6 +108,21 @@ proptest! {
         }
     }
 
+    /// Channel ids round-trip their (source, direction) packing for any
+    /// dimensionality and radix mix, and stay inside the dense id space.
+    #[test]
+    fn channel_ids_roundtrip(t in arb_topology(), node_seed in 0u32..10_000) {
+        let n = t.num_dims();
+        let node = NodeId::new(node_seed % t.num_nodes());
+        for dir in Direction::all(n) {
+            let ch = t.channel(node, dir);
+            prop_assert_eq!(ch.source(n), node);
+            prop_assert_eq!(ch.direction(n), dir);
+            // Dense: N nodes * 2n directions, no gaps above the top id.
+            prop_assert!(ch.as_usize() < t.num_nodes() as usize * 2 * n);
+        }
+    }
+
     /// dim_step ties only occur on even-radix tori at exactly half the radix.
     #[test]
     fn tie_steps_only_at_half_radix((t, a, b) in arb_topology_and_pair()) {

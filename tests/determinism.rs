@@ -174,6 +174,47 @@ fn figure_quick_run_results_match_golden() {
     assert_matches_golden("figures_quick_seed1993.jsonl", &snapshot);
 }
 
+/// Large-network determinism: raw engine counters on a 32×32 torus (1024
+/// nodes) and an 8-ary 3-cube (512 nodes), pinned bit-for-bit. The 3D
+/// point also pins the n≥3 variants of 2pn (travel-sign tags × dateline
+/// levels) and nlast (per-dimension north gating), which the 16×16 fig3
+/// golden cannot see.
+#[test]
+fn large_network_metrics_match_golden() {
+    let mut lines = Vec::new();
+    for topo in [Topology::torus(&[32, 32]), Topology::k_ary_n_cube(8, 3)] {
+        for algorithm in [
+            AlgorithmKind::Ecube,
+            AlgorithmKind::NegativeHopBonusCards,
+            AlgorithmKind::TwoPowerN,
+            AlgorithmKind::NorthLast,
+        ] {
+            let pattern = TrafficConfig::Uniform.build(&topo).expect("uniform builds");
+            let rate = throughput::rate_for_utilization(
+                LOAD,
+                16.0,
+                pattern.mean_distance(&topo),
+                topo.num_dims(),
+            );
+            let mut net = NetworkBuilder::new(topo.clone(), algorithm)
+                .arrival(ArrivalProcess::geometric(rate).expect("valid rate"))
+                .message_length(MessageLength::fixed(16).expect("valid length"))
+                .seed(SEED)
+                .build()
+                .expect("network builds");
+            net.run(1_500);
+            let mut line = String::new();
+            line.push_str(&topo.label());
+            line.push(' ');
+            line.push_str(&metrics_json(algorithm.name(), &net));
+            lines.push(line);
+        }
+    }
+    let mut snapshot = lines.join("\n");
+    snapshot.push('\n');
+    assert_matches_golden("scaling_metrics_seed1993.jsonl", &snapshot);
+}
+
 /// The same experiment run twice in-process gives identical results — the
 /// goldens above then extend that equality across builds.
 #[test]
