@@ -12,8 +12,16 @@
 //! faults_sweep [--topo torus:8x8] [--algos all|ecube,phop,...] [--load L]
 //!              [--max-faults N] [--quick|--saturation] [--seed N]
 //!              [--threads N] [--cycle-budget N] [--wall-budget SECS]
-//!              [--out DIR] [--resume JOURNAL] [--retries N] [--smoke]
+//!              [--out DIR] [--observe DIR] [--trace-out DIR]
+//!              [--sample-every N] [--metrics]
+//!              [--resume JOURNAL] [--retries N] [--smoke]
 //! ```
+//!
+//! `--observe DIR` writes per-run manifests and sample streams under
+//! `DIR`, with the fault count folded into each run id
+//! (`faults<N>-<algo>-...`); `--metrics` adds deep telemetry
+//! (`metrics.json`, `heatmap.csv`, and — for deadlocked or livelocked
+//! points — a `waitfor.jsonl` wait-for forensic snapshot).
 //!
 //! `--smoke` is the CI preset: a small torus, two algorithms, three fault
 //! counts, and a tight cycle budget so the whole sweep finishes in seconds.
@@ -25,13 +33,15 @@
 use wormsim::faults::{FaultPlan, FaultRegion};
 use wormsim::topology::Topology;
 use wormsim::{
-    AlgorithmKind, Experiment, ExperimentError, MeasurementSchedule, RunOutcome, RunResult,
+    AlgorithmKind, Experiment, ExperimentError, MeasurementSchedule, ObserveConfig, RunOutcome,
+    RunResult,
 };
 use wormsim_bench::{cli, install_sigint_handler, resume_command, run_experiments, HarnessOptions};
 
 const USAGE: &str = "usage: faults_sweep [--topo T] [--algos A] [--load L] [--max-faults N] \
                      [--quick|--saturation] [--seed N] [--threads N] [--cycle-budget N] \
-                     [--wall-budget SECS] [--out DIR] [--resume JOURNAL] [--retries N] [--smoke]";
+                     [--wall-budget SECS] [--out DIR] [--observe DIR] [--trace-out DIR] \
+                     [--sample-every N] [--metrics] [--resume JOURNAL] [--retries N] [--smoke]";
 
 /// Everything one parsed command line asks for.
 struct SweepSpec {
@@ -45,6 +55,10 @@ struct SweepSpec {
     cycle_budget: Option<u64>,
     wall_budget_secs: Option<f64>,
     out_dir: String,
+    observe_dir: Option<String>,
+    trace_dir: Option<String>,
+    sample_every: u64,
+    metrics: bool,
     resume: Option<String>,
     retries: u32,
     fail_after_points: Option<usize>,
@@ -77,6 +91,10 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
         cycle_budget: None,
         wall_budget_secs: None,
         out_dir: "results".to_owned(),
+        observe_dir: None,
+        trace_dir: None,
+        sample_every: 0,
+        metrics: false,
         resume: None,
         retries: 1,
         fail_after_points: None,
@@ -109,6 +127,12 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
                 spec.wall_budget_secs = Some(cli::parse_wall_budget(&value("--wall-budget")?)?);
             }
             "--out" => spec.out_dir = value("--out")?,
+            "--observe" => spec.observe_dir = Some(value("--observe")?),
+            "--trace-out" => spec.trace_dir = Some(value("--trace-out")?),
+            "--sample-every" => {
+                spec.sample_every = cli::parse_sample_every(&value("--sample-every")?)?;
+            }
+            "--metrics" => spec.metrics = true,
             "--resume" => spec.resume = Some(value("--resume")?),
             "--retries" => spec.retries = cli::parse_retries(&value("--retries")?)?,
             "--fail-after-points" => {
@@ -125,6 +149,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
             "--help" | "-h" => return Ok(Invocation::Help),
             other => return Err(format!("unknown argument '{other}'")),
         }
+    }
+    if spec.metrics && spec.observe_dir.is_none() {
+        return Err("--metrics needs --observe DIR (metrics export to the observe dir)".to_owned());
     }
     Ok(Invocation::Run(Box::new(spec)))
 }
@@ -152,6 +179,10 @@ fn harness_options(spec: &SweepSpec) -> HarnessOptions {
         seed: spec.seed,
         threads: spec.threads,
         out_dir: spec.out_dir.clone(),
+        observe_dir: spec.observe_dir.clone(),
+        trace_dir: spec.trace_dir.clone(),
+        sample_every: spec.sample_every,
+        metrics: spec.metrics,
         cycle_budget: spec.cycle_budget,
         wall_budget_secs: spec.wall_budget_secs,
         resume: spec.resume.clone(),
@@ -181,6 +212,17 @@ fn run_sweep(spec: &SweepSpec, options: &HarnessOptions) -> (Vec<Point>, bool) {
                 .cancel_token(options.shutdown.clone());
             if let Some(plan) = plan_for(spec, count) {
                 e = e.faults(plan);
+            }
+            if spec.observe_dir.is_some() || spec.trace_dir.is_some() {
+                // The fault count rides in the prefix: every (count, algo)
+                // point keeps a distinct run id and output file set.
+                e = e.observe(ObserveConfig {
+                    out_dir: spec.observe_dir.as_deref().map(Into::into),
+                    trace_dir: spec.trace_dir.as_deref().map(Into::into),
+                    sample_every: spec.sample_every,
+                    prefix: format!("faults{count}"),
+                    metrics: spec.metrics,
+                });
             }
             labels.push((count, algorithm.name().to_owned()));
             experiments.push(e);
@@ -450,6 +492,30 @@ mod tests {
         assert_eq!(options.resume, spec.resume);
         assert_eq!(options.retries, 2);
         assert!(!options.shutdown.is_cancelled());
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let Ok(Invocation::Run(spec)) = parse(&[
+            "--observe",
+            "obs",
+            "--trace-out",
+            "tr",
+            "--sample-every",
+            "250",
+            "--metrics",
+        ]) else {
+            panic!("expected a run invocation");
+        };
+        assert_eq!(spec.observe_dir.as_deref(), Some("obs"));
+        assert_eq!(spec.trace_dir.as_deref(), Some("tr"));
+        assert_eq!(spec.sample_every, 250);
+        assert!(spec.metrics);
+        let options = harness_options(&spec);
+        assert_eq!(options.observe_dir, spec.observe_dir);
+        assert!(options.metrics);
+        assert!(parse(&["--metrics"]).is_err(), "--metrics needs --observe");
+        assert!(parse(&["--sample-every", "0"]).is_err());
     }
 
     #[test]

@@ -5,20 +5,24 @@
 //! over PR, alongside `BENCH_engine.json` for the 16×16 hot path.
 //!
 //! ```text
-//! scaling [--load F] [--cycles N] [--warmup N] [--seed N] [--out FILE] [--smoke]
+//! scaling [--load F] [--cycles N] [--warmup N] [--seed N] [--out FILE] [--smoke] [--metrics]
 //! ```
 //!
 //! `--smoke` shrinks the sweep to one small 3D cube and one 32×32 point
-//! with short runs — the CI-budget variant.
+//! with short runs — the CI-budget variant. `--metrics` installs the
+//! deep-telemetry registry during the timed run and folds latency
+//! percentiles plus the engine-phase breakdown into the printed lines and
+//! the JSON report (at the cost of the instrumented hot path).
 
 use std::time::Instant;
+use wormsim::observe::{MetricsRegistry, PHASE_NAMES};
 use wormsim::routing::AlgorithmKind;
 use wormsim::topology::Topology;
 use wormsim::{ArrivalProcess, MessageLength, NetworkBuilder, TrafficConfig};
 use wormsim_bench::cli;
 
-const USAGE: &str =
-    "usage: scaling [--load F] [--cycles N] [--warmup N] [--seed N] [--out FILE] [--smoke]";
+const USAGE: &str = "usage: scaling [--load F] [--cycles N] [--warmup N] [--seed N] [--out FILE] \
+                     [--smoke] [--metrics]";
 
 /// One deterministic (ecube) and one adaptive (nbc) algorithm: enough to
 /// see how routing cost scales without multiplying the sweep by six.
@@ -31,6 +35,7 @@ struct Options {
     seed: u64,
     out: Option<String>,
     smoke: bool,
+    metrics: bool,
 }
 
 impl Default for Options {
@@ -42,6 +47,7 @@ impl Default for Options {
             seed: 1993,
             out: None,
             smoke: false,
+            metrics: false,
         }
     }
 }
@@ -64,6 +70,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
             "--seed" => options.seed = cli::parse_seed(&value("--seed")?)?,
             "--out" => options.out = Some(value("--out")?),
             "--smoke" => options.smoke = true,
+            "--metrics" => options.metrics = true,
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -99,6 +106,7 @@ struct Measurement {
     wall_seconds: f64,
     flit_hops: u64,
     delivered: u64,
+    registry: Option<Box<MetricsRegistry>>,
 }
 
 fn measure(topo: &Topology, kind: AlgorithmKind, options: &Options) -> Measurement {
@@ -117,6 +125,9 @@ fn measure(topo: &Topology, kind: AlgorithmKind, options: &Options) -> Measureme
         .expect("network builds");
     net.run(options.warmup);
     net.reset_metrics();
+    if options.metrics {
+        net.observer().metrics_on();
+    }
     let start = Instant::now();
     net.run(options.cycles);
     let wall_seconds = start.elapsed().as_secs_f64();
@@ -128,6 +139,7 @@ fn measure(topo: &Topology, kind: AlgorithmKind, options: &Options) -> Measureme
         wall_seconds,
         flit_hops,
         delivered: net.metrics().delivered,
+        registry: net.observer().metrics_off(),
     }
 }
 
@@ -148,16 +160,35 @@ fn json_report(options: &Options, sizes: &[(Topology, Vec<Measurement>)]) -> Str
             topo.num_nodes()
         ));
         for (j, m) in results.iter().enumerate() {
+            // Telemetry rides along only when --metrics installed a
+            // registry, so the metrics-off JSON stays byte-compatible.
+            let telemetry = m.registry.as_deref().map_or_else(String::new, |registry| {
+                let latency = &registry.latency;
+                let phases: Vec<String> = PHASE_NAMES
+                    .iter()
+                    .zip(registry.phase_nanos.iter())
+                    .map(|(name, &nanos)| format!("\"{name}\": {nanos}"))
+                    .collect();
+                format!(
+                    ", \"latency_p50\": {}, \"latency_p95\": {}, \"latency_p99\": {}, \
+                     \"phase_nanos\": {{{}}}",
+                    latency.quantile(0.50),
+                    latency.quantile(0.95),
+                    latency.quantile(0.99),
+                    phases.join(", ")
+                )
+            });
             out.push_str(&format!(
                 "      {{\"algorithm\": \"{}\", \"steps_per_sec\": {:.0}, \
                  \"flits_per_sec\": {:.0}, \"wall_seconds\": {:.4}, \"flit_hops\": {}, \
-                 \"delivered\": {}}}{}\n",
+                 \"delivered\": {}{}}}{}\n",
                 m.algorithm,
                 m.steps_per_sec,
                 m.flits_per_sec,
                 m.wall_seconds,
                 m.flit_hops,
                 m.delivered,
+                telemetry,
                 if j + 1 == results.len() { "" } else { "," }
             ));
         }
@@ -196,6 +227,14 @@ fn main() {
                 "    {:>6}: {:>9.0} steps/s  {:>12.0} flits/s  ({} flit-hops, {} delivered)",
                 m.algorithm, m.steps_per_sec, m.flits_per_sec, m.flit_hops, m.delivered
             );
+            if let Some(registry) = m.registry.as_deref() {
+                println!(
+                    "            latency p50/p95/p99: {}/{}/{} cycles",
+                    registry.latency.quantile(0.50),
+                    registry.latency.quantile(0.95),
+                    registry.latency.quantile(0.99)
+                );
+            }
             results.push(m);
         }
         sizes.push((topo, results));
@@ -222,6 +261,8 @@ mod tests {
         assert!(parse(&["--cycles"]).is_err());
         assert!(parse(&["--turbo"]).is_err());
         assert!(parse(&["--smoke"]).is_ok());
+        assert!(parse(&["--metrics"]).unwrap().metrics);
+        assert!(!parse(&[]).unwrap().metrics);
     }
 
     #[test]

@@ -35,7 +35,7 @@ use wormsim_bench::{cli, print_figure, run_figure_or_exit, write_csv, HarnessOpt
 
 const USAGE: &str = "usage: sweep [--topo T] [--algos A] [--traffic W] [--loads L] \
                      [--switching S] [--quick|--saturation] [--seed N] [--threads N] [--out DIR] \
-                     [--observe DIR] [--trace-out DIR] [--sample-every N] \
+                     [--observe DIR] [--trace-out DIR] [--sample-every N] [--metrics] \
                      [--cycle-budget N] [--wall-budget SECS] \
                      [--resume JOURNAL] [--retries N]";
 
@@ -76,6 +76,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
             "--sample-every" => {
                 options.sample_every = cli::parse_sample_every(&value("--sample-every")?)?;
             }
+            "--metrics" => options.metrics = true,
             "--cycle-budget" => {
                 options.cycle_budget = Some(cli::parse_cycle_budget(&value("--cycle-budget")?)?);
             }
@@ -91,6 +92,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
             "--help" | "-h" => return Ok(Invocation::Help),
             other => return Err(format!("unknown argument '{other}'")),
         }
+    }
+    if options.metrics && options.observe_dir.is_none() {
+        return Err("--metrics needs --observe DIR (metrics export to the observe dir)".into());
     }
     Ok(Invocation::Run(Box::new(spec), Box::new(options)))
 }
@@ -178,12 +182,15 @@ mod tests {
             "tr",
             "--sample-every",
             "500",
+            "--metrics",
         ]) else {
             panic!("expected a run invocation");
         };
         assert_eq!(options.observe_dir.as_deref(), Some("obs"));
         assert_eq!(options.trace_dir.as_deref(), Some("tr"));
         assert_eq!(options.sample_every, 500);
+        assert!(options.metrics);
+        assert!(parse(&["--metrics"]).is_err(), "--metrics needs --observe");
     }
 
     #[test]

@@ -90,6 +90,10 @@ pub struct HarnessOptions {
     /// Cycles between time-series samples (`--sample-every N`, 0 = the
     /// observe layer's default stride).
     pub sample_every: u64,
+    /// Deep telemetry (`--metrics`): per-channel/per-VC-class counters,
+    /// latency histograms, the phase profiler, and per-run
+    /// `metrics.json` + `heatmap.csv` exports. Requires `--observe`.
+    pub metrics: bool,
     /// Per-run simulated-cycle cap (`--cycle-budget N`); runs cut short
     /// record `RunOutcome::BudgetExceeded`. `None` disables the cap.
     pub cycle_budget: Option<u64>,
@@ -127,6 +131,7 @@ impl Default for HarnessOptions {
             observe_dir: None,
             trace_dir: None,
             sample_every: 0,
+            metrics: false,
             cycle_budget: None,
             wall_budget_secs: None,
             resume: None,
@@ -148,7 +153,7 @@ impl HarnessOptions {
             eprintln!("error: {message}");
             eprintln!(
                 "usage: [--quick|--saturation] [--topo T] [--seed N] [--out DIR] [--threads N] \
-                 [--observe DIR] [--trace-out DIR] [--sample-every N] \
+                 [--observe DIR] [--trace-out DIR] [--sample-every N] [--metrics] \
                  [--cycle-budget N] [--wall-budget SECS] [--resume JOURNAL] [--retries N]"
             );
             std::process::exit(2);
@@ -192,6 +197,7 @@ impl HarnessOptions {
                     let v = args.next().ok_or("--sample-every needs a value")?;
                     options.sample_every = cli::parse_sample_every(&v)?;
                 }
+                "--metrics" => options.metrics = true,
                 "--cycle-budget" => {
                     let v = args.next().ok_or("--cycle-budget needs a value")?;
                     options.cycle_budget = Some(cli::parse_cycle_budget(&v)?);
@@ -215,11 +221,14 @@ impl HarnessOptions {
                     return Err(format!(
                         "unknown argument '{other}' (expected --quick, --saturation, --topo T, \
                          --seed N, --out DIR, --threads N, --observe DIR, --trace-out DIR, \
-                         --sample-every N, --cycle-budget N, --wall-budget SECS, \
+                         --sample-every N, --metrics, --cycle-budget N, --wall-budget SECS, \
                          --resume JOURNAL, --retries N)"
                     ))
                 }
             }
+        }
+        if options.metrics && options.observe_dir.is_none() {
+            return Err("--metrics needs --observe DIR (metrics export to the observe dir)".into());
         }
         Ok(options)
     }
@@ -646,6 +655,7 @@ pub fn run_figure(spec: &FigureSpec, options: &HarnessOptions) -> Result<FigureR
             trace_dir: options.trace_dir.as_deref().map(Into::into),
             sample_every: options.sample_every,
             prefix: spec.id.to_owned(),
+            metrics: options.metrics,
         };
         experiments = experiments
             .into_iter()
@@ -951,15 +961,21 @@ mod tests {
             "traces",
             "--sample-every",
             "250",
+            "--metrics",
         ])
         .unwrap();
         assert_eq!(options.observe_dir.as_deref(), Some("obs"));
         assert_eq!(options.trace_dir.as_deref(), Some("traces"));
         assert_eq!(options.sample_every, 250);
+        assert!(options.metrics);
         let defaults = parse(&[]).unwrap();
         assert_eq!(defaults.observe_dir, None);
         assert_eq!(defaults.trace_dir, None);
         assert_eq!(defaults.sample_every, 0);
+        assert!(!defaults.metrics);
+        // Metrics export into the observe dir, so it must be set.
+        let err = parse(&["--metrics"]).unwrap_err();
+        assert!(err.contains("--observe"), "got: {err}");
     }
 
     #[test]

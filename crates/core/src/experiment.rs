@@ -8,7 +8,8 @@ use wormsim_engine::{
 };
 use wormsim_faults::{FaultPlan, FaultPlanError, FaultTarget};
 use wormsim_observe::{
-    fnv1a_hex, git_describe, JsonlSink, ObserveConfig, PhaseTimings, RunManifest, Stopwatch,
+    atomic_write, fnv1a_hex, git_describe, heatmap_csv, JsonRecord, JsonlSink, ObserveConfig,
+    PhaseTimings, RunManifest, Stopwatch,
 };
 use wormsim_routing::AlgorithmKind;
 use wormsim_stats::{throughput, ConvergenceController, Histogram, SampleAccumulator};
@@ -730,6 +731,9 @@ impl Experiment {
                     JsonlSink::create(dir.join(format!("{run_id}.trace.jsonl"))).map_err(io_err)?;
                 net.observer().trace_into(Box::new(sink));
             }
+            if observe.metrics && observe.out_dir.is_some() {
+                net.observer().metrics_on();
+            }
         }
 
         let mut controller = ConvergenceController::new(self.schedule.policy, weights.clone());
@@ -891,6 +895,32 @@ impl Experiment {
         }
         if let (Some(observe), Some(run_id)) = (self.observe.as_ref(), run_id.as_ref()) {
             if let Some(dir) = observe.out_dir.as_ref() {
+                // A stalled run leaves the network exactly as the watchdog
+                // (or livelock guard) saw it: capture the wait-for graph so
+                // the outcome carries evidence of a real channel cycle, or
+                // its absence.
+                if matches!(outcome, RunOutcome::Deadlocked | RunOutcome::LiveLocked) {
+                    let snapshot = net.wait_for_snapshot(outcome.tag());
+                    let mut line = snapshot.to_json();
+                    line.push('\n');
+                    atomic_write(dir.join(format!("{run_id}.waitfor.jsonl")), line)
+                        .map_err(io_err)?;
+                }
+                if let Some(registry) = net.metrics_registry() {
+                    let dims: Vec<u64> =
+                        self.topology.dims().iter().map(|&d| u64::from(d)).collect();
+                    let dirs = (self.topology.num_dims() * 2) as u64;
+                    let mut report = registry.report(run_id, &self.topology.label(), &dims, dirs);
+                    // Engine phases from the registry, experiment spans
+                    // (warmup/measure/gap/drain) from the run's timings:
+                    // one self-contained phase breakdown.
+                    report.phases.extend_from_slice(timings.phases());
+                    report
+                        .write_to(dir.join(format!("{run_id}.metrics.json")))
+                        .map_err(io_err)?;
+                    let csv = heatmap_csv(&dims, dirs, &registry.channel_flits, registry.cycles);
+                    atomic_write(dir.join(format!("{run_id}.heatmap.csv")), csv).map_err(io_err)?;
+                }
                 let wall = total_watch.elapsed_secs();
                 let manifest = RunManifest {
                     run_id: run_id.clone(),

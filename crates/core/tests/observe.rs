@@ -3,6 +3,7 @@
 //! stream, and trace stream alone.
 
 use wormsim::observe::json;
+use wormsim::observe::MetricsReport;
 use wormsim::topology::Topology;
 use wormsim::{AlgorithmKind, Experiment, ObserveConfig, RunManifest, Sample, TrafficConfig};
 
@@ -29,6 +30,7 @@ fn observed_run_writes_manifest_samples_and_trace() {
         trace_dir: Some(dir.clone()),
         sample_every: 200,
         prefix: "itest".to_owned(),
+        metrics: true,
     })
     .run()
     .unwrap();
@@ -106,6 +108,21 @@ fn observed_run_writes_manifest_samples_and_trace() {
         "trace covers every message"
     );
     assert_eq!(manifest.dropped_events, 0);
+
+    // Deep telemetry: metrics report plus channel-utilization heatmap.
+    let report = MetricsReport::read_from(dir.join(format!("{run_id}.metrics.json"))).unwrap();
+    assert_eq!(report.run_id, run_id);
+    assert_eq!(report.channel_flits.len(), 8 * 8 * 4);
+    assert!(report.latency.count >= result.messages_measured);
+    assert!(report.latency.p50 <= report.latency.p99);
+    assert!(report.mean_channel_utilization > 0.0);
+    let report_phases: Vec<&str> = report.phases.iter().map(|p| p.name.as_str()).collect();
+    assert!(report_phases.contains(&"route"));
+    assert!(report_phases.contains(&"measure"));
+    let heatmap = std::fs::read_to_string(dir.join(format!("{run_id}.heatmap.csv"))).unwrap();
+    assert_eq!(heatmap.lines().count(), 8, "one row per y coordinate");
+    assert_eq!(heatmap.lines().next().unwrap().split(',').count(), 8);
+    assert!(!dir.join(format!("{run_id}.waitfor.jsonl")).exists());
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -10,7 +10,10 @@ use crate::{EngineError, TraceEvent};
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
 use wormsim_faults::Reachability;
-use wormsim_observe::{EventSink, RingSink, Sample};
+use wormsim_observe::{
+    EventSink, MetricsRegistry, RingSink, Sample, WaitForEdge, WaitForSnapshot, WaitKind,
+    PHASE_ADVANCE, PHASE_ALLOCATE, PHASE_DRAIN, PHASE_INJECT, PHASE_ROUTE,
+};
 use wormsim_routing::{Adaptivity, Candidate, MessageRouteState, RoutingAlgorithm};
 use wormsim_topology::{ChannelMask, Direction, NodeId, Topology};
 use wormsim_traffic::{SimRng, TrafficPattern};
@@ -375,6 +378,9 @@ pub struct Network {
     marked_list: Vec<u32>,
     events: TraceSink,
     sampler: Option<SamplerState>,
+    /// Deep-telemetry instruments (per-channel/per-class counters, latency
+    /// histogram, phase profiler); `None` costs one branch per event site.
+    registry: Option<Box<MetricsRegistry>>,
     /// Cooperative cancellation: checked on a stride by [`run`](Self::run)
     /// and [`run_until_empty`](Self::run_until_empty). `None` costs nothing.
     cancel: Option<crate::CancelToken>,
@@ -514,6 +520,7 @@ impl Network {
             marked_list: Vec::new(),
             events: TraceSink::Off,
             sampler: None,
+            registry: None,
             cancel: None,
             classes,
             replicas,
@@ -795,6 +802,26 @@ impl Network {
         self.sampler.take().map(|sampler| sampler.sink)
     }
 
+    /// Installs a fresh [`MetricsRegistry`] sized for this network. An
+    /// already installed registry (and its counts) is kept.
+    pub(crate) fn observe_enable_metrics(&mut self) {
+        if self.registry.is_none() {
+            let channels = self.nodes.len() * self.dirs;
+            self.registry = Some(Box::new(MetricsRegistry::new(channels, self.classes)));
+        }
+    }
+
+    /// Uninstalls and returns the registry; `None` if metrics were off.
+    pub(crate) fn observe_disable_metrics(&mut self) -> Option<Box<MetricsRegistry>> {
+        self.registry.take()
+    }
+
+    /// The installed deep-telemetry registry, if metrics are enabled via
+    /// [`observer().metrics_on()`](ObserverHandle::metrics_on).
+    pub fn metrics_registry(&self) -> Option<&MetricsRegistry> {
+        self.registry.as_deref()
+    }
+
     /// Emits the current (possibly partial) sampling window immediately —
     /// useful at the end of a run so the tail of the time series is not
     /// lost. No-op when sampling is off or the window is empty.
@@ -1034,11 +1061,20 @@ impl Network {
         if self.faults.is_some() {
             self.apply_fault_transitions();
         }
+        // Phase profiling piggybacks on the registry: `lap` is `None` on
+        // the disabled path, so each checkpoint is one untaken branch.
+        let mut lap = self.registry.is_some().then(std::time::Instant::now);
         self.phase_arrivals();
         self.phase_assign_injection();
+        self.prof_lap(&mut lap, PHASE_INJECT);
         self.phase_route();
+        self.prof_lap(&mut lap, PHASE_ROUTE);
         self.phase_switch_allocation();
-        let progressed = self.phase_execute();
+        self.prof_lap(&mut lap, PHASE_ALLOCATE);
+        let mut progressed = self.execute_ejections();
+        self.prof_lap(&mut lap, PHASE_DRAIN);
+        progressed |= self.execute_link_moves();
+        self.prof_lap(&mut lap, PHASE_ADVANCE);
         if progressed {
             self.last_progress = self.cycle;
         } else if self.active_flits() > 0
@@ -1059,11 +1095,28 @@ impl Network {
             self.check_livelock();
         }
         self.metrics.cycles += 1;
+        if let Some(reg) = self.registry.as_deref_mut() {
+            reg.cycles += 1;
+        }
         self.cycle += 1;
         if let Some(sampler) = self.sampler.as_ref() {
             if self.cycle - sampler.last_cycle >= sampler.every {
                 self.emit_sample();
             }
+        }
+    }
+
+    /// Closes one profiled phase: charges the time since the previous
+    /// checkpoint to `phase` and restarts the stopwatch. No-op (`lap` is
+    /// `None`) when metrics are disabled.
+    #[inline]
+    fn prof_lap(&mut self, lap: &mut Option<std::time::Instant>, phase: usize) {
+        if let Some(start) = lap {
+            let now = std::time::Instant::now();
+            if let Some(reg) = self.registry.as_deref_mut() {
+                reg.phase_nanos[phase] += now.duration_since(*start).as_nanos() as u64;
+            }
+            *lap = Some(now);
         }
     }
 
@@ -1338,6 +1391,11 @@ impl Network {
         self.scratch_candidates = candidates;
 
         let Some((ovc, dir, vc, _)) = best else {
+            // Candidates existed but every admissible VC was taken: a VC
+            // allocation failure, charged to each candidate channel.
+            if self.registry.is_some() {
+                self.record_alloc_failures(node);
+            }
             return false;
         };
         self.out_owner[ovc] = Some(msg);
@@ -1370,6 +1428,21 @@ impl Network {
         true
     }
 
+    /// Charges one allocation failure per candidate channel of a head that
+    /// found every admissible VC taken (`scratch_candidates` still holds
+    /// the failed set). Cold path: only runs with metrics on, only on
+    /// failed routes.
+    fn record_alloc_failures(&mut self, node: u32) {
+        let candidates = std::mem::take(&mut self.scratch_candidates);
+        if let Some(reg) = self.registry.as_deref_mut() {
+            for cand in &candidates {
+                let ch = node as usize * self.dirs + cand.direction().index();
+                reg.record_alloc_failure(ch, cand.vc_class() as usize);
+            }
+        }
+        self.scratch_candidates = candidates;
+    }
+
     // ------------------------------------------------------------------
     // Phase 4: switch allocation (one flit per output channel per cycle).
     // ------------------------------------------------------------------
@@ -1377,6 +1450,10 @@ impl Network {
     fn phase_switch_allocation(&mut self) {
         self.scratch_moves.clear();
         self.mark_injection_budget();
+        // Moved out of `self` so the blocked-requester accounting below
+        // can run inside the arbitration loop without a split borrow; one
+        // `Option` move per cycle, `None` on the disabled path.
+        let mut registry = self.registry.take();
         // Set bits are visited in ascending channel order — node-major,
         // direction-minor — matching the nested full scan this replaces,
         // so round-robin state and `scratch_moves` order are bit-identical.
@@ -1408,6 +1485,7 @@ impl Network {
                     if idx >= len {
                         idx %= len;
                     }
+                    let mut winner: Option<u32> = None;
                     for _ in 0..len {
                         let req = self.requests[row + idx];
                         // The output-VC index is the channel's row base
@@ -1431,13 +1509,25 @@ impl Network {
                                 vc: req.vc,
                             });
                             self.out_rr[ch] = idx as u8;
+                            winner = Some(req.ivc);
                             break;
+                        }
+                    }
+                    if let Some(reg) = registry.as_deref_mut() {
+                        // Every ungranted requester with a flit ready is a
+                        // blocked worm-cycle on this channel.
+                        for r in 0..len {
+                            let req = self.requests[row + r];
+                            if winner != Some(req.ivc) && self.occ[req.ivc as usize] != 0 {
+                                reg.record_blocked(ch, self.vc_class[req.vc as usize] as usize);
+                            }
                         }
                     }
                 }
                 self.active_channels.set_word(w, keep);
             }
         }
+        self.registry = registry;
     }
 
     /// Marks up to `injection_bandwidth` streaming injection VCs per node
@@ -1504,13 +1594,6 @@ impl Network {
     // ------------------------------------------------------------------
     // Phase 5: execute ejections and link transfers.
     // ------------------------------------------------------------------
-
-    fn phase_execute(&mut self) -> bool {
-        let mut progressed = false;
-        progressed |= self.execute_ejections();
-        progressed |= self.execute_link_moves();
-        progressed
-    }
 
     fn execute_ejections(&mut self) -> bool {
         if self.ejecting.is_empty() {
@@ -1599,6 +1682,9 @@ impl Network {
             self.metrics.delivered += 1;
             if let Some(sampler) = self.sampler.as_mut() {
                 sampler.latency_sum += latency;
+            }
+            if let Some(reg) = self.registry.as_deref_mut() {
+                reg.record_latency(latency);
             }
             // The documented hop class is the *minimal* src–dest distance;
             // hops_taken equals it on every fault-free path (all algorithms
@@ -1702,10 +1788,14 @@ impl Network {
             self.out_owner[ovc] = None;
         }
         self.metrics.flit_hops += 1;
-        self.metrics.class_flits[self.vc_class[mv.vc as usize] as usize] += 1;
+        let class = self.vc_class[mv.vc as usize] as usize;
+        self.metrics.class_flits[class] += 1;
         let ch = self.channel_index(node, mv.dir as usize);
         if let Some(loads) = self.metrics.channel_flits.as_mut() {
             loads[ch] += 1;
+        }
+        if let Some(reg) = self.registry.as_deref_mut() {
+            reg.record_traversal(ch, class);
         }
     }
 
@@ -2097,6 +2187,117 @@ impl Network {
                 max_age,
             });
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Wait-for forensics.
+    // ------------------------------------------------------------------
+
+    /// Captures the worm→channel wait-for graph at the current cycle and
+    /// runs cycle detection over it, so a watchdog or livelock verdict
+    /// carries evidence of a real channel cycle (or its absence).
+    ///
+    /// Two kinds of waits are recorded:
+    ///
+    /// * **VC waits**: a head pending routing whose admissible output VCs
+    ///   are all owned by other messages — one edge per owning message.
+    /// * **Credit waits**: a routed worm with flits ready but zero credits
+    ///   — the downstream buffer is full; the edge points at the message
+    ///   whose flit is at the downstream front. Waits behind the worm's
+    ///   *own* downstream flits are skipped (that wait resolves through
+    ///   the worm's head, which contributes its own edge).
+    ///
+    /// Read-only and cold: meant to run once, after the watchdog fires.
+    pub fn wait_for_snapshot(&self, reason: &str) -> WaitForSnapshot {
+        let mut snap = WaitForSnapshot {
+            cycle: self.cycle,
+            reason: reason.to_owned(),
+            live_messages: self.slab.live() as u64,
+            flits_in_flight: self.flits_in_flight,
+            ..WaitForSnapshot::default()
+        };
+        let mut seen: BTreeSet<(u32, usize, u32)> = BTreeSet::new();
+
+        // Heads pending routing: blocked on VC allocation.
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for &ivc in &self.pending_route {
+            let (node, _, _) = self.ivc_parts(ivc);
+            let Some(front) = self.input_vcs[ivc as usize].front() else {
+                continue;
+            };
+            let msg = front.msg;
+            let here = NodeId::new(node);
+            let route = self.slab.get(msg).route;
+            candidates.clear();
+            self.algo
+                .candidates(&self.topo, &route, here, &mut candidates);
+            if let Some(fs) = &self.faults {
+                if !fs.mask.is_trivial() {
+                    candidates.retain(|c| {
+                        fs.mask
+                            .channel_alive(self.topo.channel(here, c.direction()))
+                    });
+                }
+            }
+            let max_class = (self.classes - 1) as u8;
+            for cand in &candidates {
+                let dir = cand.direction().index();
+                let base = cand.vc_class().min(max_class) as usize * self.replicas;
+                let ch = self.channel_index(node, dir);
+                for r in 0..self.replicas {
+                    let ovc = self.ovc_index(node, dir, base + r);
+                    if let Some(owner) = self.out_owner[ovc] {
+                        if owner != msg && seen.insert((msg.index(), ch, owner.index())) {
+                            snap.edges.push(WaitForEdge {
+                                msg: u64::from(msg.index()),
+                                node: u64::from(node),
+                                channel: ch as u64,
+                                holder: u64::from(owner.index()),
+                                kind: WaitKind::Vc,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Routed worms with flits ready but no credits: blocked on the
+        // downstream buffer.
+        for ivc in 0..self.input_vcs.len() as u32 {
+            let slot = &self.input_vcs[ivc as usize];
+            let (Some(RouteTarget::Link { dir, vc }), Some(msg)) = (slot.route, slot.route_msg)
+            else {
+                continue;
+            };
+            if self.occ[ivc as usize] == 0 {
+                continue;
+            }
+            let (node, _, _) = self.ivc_parts(ivc);
+            let ovc = self.ovc_index(node, dir as usize, vc as usize);
+            if self.out_credits[ovc] != 0 {
+                continue;
+            }
+            let ch = self.channel_index(node, dir as usize);
+            let neighbor = self.neighbor_of[ch];
+            debug_assert!(neighbor != u32::MAX, "routes follow existing channels");
+            let div = self.ivc_index(neighbor, dir as usize, vc as usize);
+            let Some(front) = self.input_vcs[div as usize].front() else {
+                continue;
+            };
+            let holder = front.msg;
+            if holder != msg && seen.insert((msg.index(), ch, holder.index())) {
+                snap.edges.push(WaitForEdge {
+                    msg: u64::from(msg.index()),
+                    node: u64::from(node),
+                    channel: ch as u64,
+                    holder: u64::from(holder.index()),
+                    kind: WaitKind::Credit,
+                });
+            }
+        }
+
+        snap.detect_cycle();
+        snap
     }
 }
 

@@ -23,7 +23,7 @@
 
 use crate::network::Network;
 use crate::trace::TraceEvent;
-use wormsim_observe::{EventSink, Sample};
+use wormsim_observe::{EventSink, MetricsRegistry, Sample};
 
 /// A short-lived, builder-style handle over one [`Network`]'s
 /// observability state (tracing and time-series sampling).
@@ -93,5 +93,21 @@ impl<'a> ObserverHandle<'a> {
     /// read its drop counter). `None` if sampling was off.
     pub fn sample_off(self) -> Option<Box<dyn EventSink<Sample>>> {
         self.net.observe_disable_sampling()
+    }
+
+    /// Installs a deep-telemetry [`MetricsRegistry`] sized for this
+    /// network: per-channel/per-VC-class counters, a latency histogram,
+    /// and the per-phase cycle profiler. Read it back with
+    /// [`Network::metrics_registry`], or take it with
+    /// [`metrics_off`](Self::metrics_off). An already installed registry
+    /// (and its counts) is kept.
+    pub fn metrics_on(self) -> Self {
+        self.net.observe_enable_metrics();
+        self
+    }
+
+    /// Uninstalls and returns the registry; `None` if metrics were off.
+    pub fn metrics_off(self) -> Option<Box<MetricsRegistry>> {
+        self.net.observe_disable_metrics()
     }
 }

@@ -1,8 +1,9 @@
 //! Tests of the engine's observability hooks: bounded trace rings, JSONL
-//! event streams, and the time-series sampler.
+//! event streams, the time-series sampler, the deep-telemetry metrics
+//! registry, and wait-for forensics.
 
 use wormsim_engine::observe::json;
-use wormsim_engine::observe::{EventSink, JsonlSink, Sample};
+use wormsim_engine::observe::{EventSink, JsonRecord, JsonlSink, Sample};
 use wormsim_engine::{Network, NetworkBuilder, TraceEvent, DEFAULT_TRACE_CAPACITY};
 use wormsim_routing::AlgorithmKind;
 use wormsim_topology::Topology;
@@ -200,6 +201,71 @@ fn tracing_and_sampling_do_not_perturb_results() {
         )
     };
     assert_eq!(run(false), run(true), "observability must be read-only");
+}
+
+#[test]
+fn metrics_registry_counts_cohere_with_engine_counters() {
+    let mut net = busy_net(9);
+    net.observer().metrics_on();
+    net.run(2_000);
+    let registry = net.metrics_registry().expect("registry installed");
+    assert_eq!(registry.cycles, 2_000);
+    // Channel/class traversal counters agree with the engine's own
+    // flit-hop metric, split two ways over the same events.
+    let channel_total: u64 = registry.channel_flits.iter().sum();
+    let class_total: u64 = registry.class_flits.iter().sum();
+    assert_eq!(channel_total, net.metrics().flit_hops);
+    assert_eq!(class_total, net.metrics().flit_hops);
+    assert_eq!(registry.latency.count(), net.metrics().delivered);
+    assert!(registry.latency.max() >= 1, "latency is at least one cycle");
+    // The phase profiler charged time to every engine phase.
+    assert!(registry.phase_nanos.iter().all(|&n| n > 0));
+    // A loaded adaptive network sees *some* contention.
+    let blocked: u64 = registry.channel_blocked.iter().sum();
+    assert!(blocked > 0, "no switch-allocation contention in 2k cycles?");
+
+    // metrics_off hands the registry back; a fresh metrics_on starts over.
+    let taken = net.observer().metrics_off().expect("was installed");
+    assert_eq!(taken.cycles, 2_000);
+    assert!(net.metrics_registry().is_none());
+    net.observer().metrics_on();
+    assert_eq!(net.metrics_registry().unwrap().cycles, 0);
+}
+
+#[test]
+fn metrics_registry_does_not_perturb_results() {
+    let run = |metrics: bool| {
+        let mut net = busy_net(10);
+        if metrics {
+            net.observer().metrics_on();
+        }
+        net.run(2_000);
+        (
+            net.metrics().generated,
+            net.metrics().delivered,
+            net.metrics().flit_hops,
+        )
+    };
+    assert_eq!(run(false), run(true), "the registry must be read-only");
+}
+
+#[test]
+fn wait_for_snapshot_of_a_healthy_network_finds_no_cycle() {
+    let mut net = busy_net(11);
+    net.run(500);
+    let snapshot = net.wait_for_snapshot("probe");
+    assert_eq!(snapshot.cycle, 500);
+    assert_eq!(snapshot.reason, "probe");
+    assert_eq!(snapshot.live_messages, net.live_messages() as u64);
+    assert_eq!(snapshot.flits_in_flight, net.flits_in_flight());
+    // A lightly loaded adaptive torus may have transient waits, but no
+    // closed channel cycle.
+    assert!(!snapshot.cycle_found, "healthy network has no wait cycle");
+    assert!(snapshot.cycle_messages.is_empty());
+    // The snapshot round-trips through its JSONL form.
+    let value = json::from_str(&snapshot.to_json()).unwrap();
+    let back = wormsim_engine::observe::WaitForSnapshot::from_json(&value).unwrap();
+    assert_eq!(back, snapshot);
 }
 
 #[test]

@@ -22,6 +22,11 @@ pub struct ObserveConfig {
     pub sample_every: u64,
     /// Prefix for generated run ids (typically the figure or sweep name).
     pub prefix: String,
+    /// Enable the deep-telemetry [`MetricsRegistry`](crate::MetricsRegistry):
+    /// per-channel/per-VC-class counters, latency histogram, phase profiler,
+    /// and the `<run_id>.metrics.json` + `<run_id>.heatmap.csv` exports.
+    /// Only takes effect when [`out_dir`](Self::out_dir) is set.
+    pub metrics: bool,
 }
 
 impl ObserveConfig {

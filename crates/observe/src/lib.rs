@@ -50,6 +50,7 @@ mod atomic;
 mod config;
 mod json_record;
 mod manifest;
+mod metrics;
 mod sample;
 mod sink;
 mod span;
@@ -58,6 +59,11 @@ pub use atomic::atomic_write;
 pub use config::ObserveConfig;
 pub use json_record::{JsonObject, JsonRecord};
 pub use manifest::{fnv1a_hex, git_describe, PhaseRecord, RunManifest};
+pub use metrics::{
+    heatmap_csv, HistogramRecord, MetricsRegistry, MetricsReport, Pow2Histogram, WaitForEdge,
+    WaitForSnapshot, WaitKind, PHASE_ADVANCE, PHASE_ALLOCATE, PHASE_DRAIN, PHASE_INJECT,
+    PHASE_NAMES, PHASE_ROUTE,
+};
 pub use sample::Sample;
 pub use sink::{EventSink, JsonlSink, NullSink, RingSink};
 pub use span::{PhaseTimings, Stopwatch};

@@ -1,0 +1,1090 @@
+//! Deep-telemetry instruments: SoA counters, power-of-two latency
+//! histograms, a per-phase cycle profiler, and wait-for forensics.
+//!
+//! The engine owns one optional [`MetricsRegistry`] and feeds it from the
+//! hot path through `#[inline]` increments — plain array writes, no
+//! allocation, no branching beyond the single `Option` check the
+//! observability contract allows. At the end of a run the registry renders
+//! into a [`MetricsReport`] (`<run_id>.metrics.json`) and a node-grid
+//! channel-utilization heatmap CSV ([`heatmap_csv`]).
+//!
+//! When a watchdog fires, the engine captures a [`WaitForSnapshot`]: the
+//! worm→channel wait-for graph at the stalled cycle, with
+//! [cycle detection](WaitForSnapshot::detect_cycle) distinguishing a real
+//! channel cycle (deadlock evidence) from mere congestion.
+
+use crate::json::Value;
+use crate::{JsonObject, JsonRecord, PhaseRecord};
+
+/// Engine phase index: arrivals + injection-VC assignment.
+pub const PHASE_INJECT: usize = 0;
+/// Engine phase index: routing and VC allocation.
+pub const PHASE_ROUTE: usize = 1;
+/// Engine phase index: switch allocation.
+pub const PHASE_ALLOCATE: usize = 2;
+/// Engine phase index: flit transfers over physical channels.
+pub const PHASE_ADVANCE: usize = 3;
+/// Engine phase index: ejection at destinations.
+pub const PHASE_DRAIN: usize = 4;
+/// Names of the profiled engine phases, indexed by the `PHASE_*` consts.
+pub const PHASE_NAMES: [&str; 5] = ["inject", "route", "allocate", "advance", "drain"];
+
+/// A power-of-two-bucketed histogram of `u64` values.
+///
+/// Bucket 0 holds the value 0; bucket `b ≥ 1` holds `[2^(b-1), 2^b - 1]`.
+/// Recording is a shift, an add, and two compares — allocation-free and
+/// branchless enough for the ejection hot path. Percentiles come back as
+/// the upper bound of the bucket containing the rank, clamped to the
+/// observed maximum, so `p50/p95/p99` are conservative (never understated)
+/// estimates with at most 2× relative error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pow2Histogram {
+    counts: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Pow2Histogram {
+    fn default() -> Self {
+        Pow2Histogram {
+            counts: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Pow2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Pow2Histogram::default()
+    }
+
+    /// The bucket index of `value`.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `b` can hold.
+    pub fn bucket_upper_bound(b: usize) -> u64 {
+        match b {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << b) - 1,
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values; NaN when empty.
+    pub fn mean(&self) -> f64 {
+        self.sum as f64 / self.count as f64
+    }
+
+    /// The value at quantile `q` (0.0–1.0): the upper bound of the bucket
+    /// holding the rank-`ceil(q·count)` value, clamped to the observed
+    /// maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_upper_bound(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(bucket, count)` pairs, ascending.
+    pub fn sparse_buckets(&self) -> Vec<(u8, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (b as u8, c))
+            .collect()
+    }
+
+    /// Renders the histogram into a named, serializable record.
+    pub fn summarize(&self, name: &str) -> HistogramRecord {
+        HistogramRecord {
+            name: name.to_owned(),
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            buckets: self.sparse_buckets(),
+        }
+    }
+}
+
+/// A serialized [`Pow2Histogram`]: sparse buckets plus extracted
+/// percentiles, as a `{"type":"histogram"}` JSONL record.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct HistogramRecord {
+    /// What was measured (e.g. `latency`).
+    pub name: String,
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Median estimate (bucket upper bound, clamped to `max`).
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Non-empty `(bucket, count)` pairs, ascending by bucket.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramRecord {
+    /// Mean of recorded values; NaN when empty.
+    pub fn mean(&self) -> f64 {
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Reconstructs a record from its parsed JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Names the first missing or mistyped field.
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        if value.get("type").and_then(Value::as_str) != Some("histogram") {
+            return Err("record is not of type 'histogram'".to_owned());
+        }
+        let u64_field = |name: &str| -> Result<u64, String> {
+            value
+                .get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("histogram field '{name}' missing or not a u64"))
+        };
+        let buckets = value
+            .get("buckets")
+            .and_then(Value::as_array)
+            .ok_or("histogram field 'buckets' missing or not an array")?
+            .iter()
+            .map(|pair| {
+                let pair = pair
+                    .as_array()
+                    .filter(|a| a.len() == 2)
+                    .ok_or("histogram bucket is not a [bucket,count] pair")?;
+                let b = pair[0]
+                    .as_u64()
+                    .filter(|&b| b <= 64)
+                    .ok_or("histogram bucket index out of range")?;
+                let c = pair[1].as_u64().ok_or("histogram bucket count invalid")?;
+                Ok::<_, String>((b as u8, c))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(HistogramRecord {
+            name: value
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("histogram field 'name' missing or not a string")?
+                .to_owned(),
+            count: u64_field("count")?,
+            sum: u64_field("sum")?,
+            max: u64_field("max")?,
+            p50: u64_field("p50")?,
+            p95: u64_field("p95")?,
+            p99: u64_field("p99")?,
+            buckets,
+        })
+    }
+}
+
+impl JsonRecord for HistogramRecord {
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let mut buckets = String::from("[");
+        for (i, (b, c)) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                buckets.push(',');
+            }
+            let _ = write!(buckets, "[{b},{c}]");
+        }
+        buckets.push(']');
+        let mut obj = JsonObject::begin(out);
+        obj.field_str("type", "histogram")
+            .field_str("name", &self.name)
+            .field_u64("count", self.count)
+            .field_u64("sum", self.sum)
+            .field_u64("max", self.max)
+            .field_u64("p50", self.p50)
+            .field_u64("p95", self.p95)
+            .field_u64("p99", self.p99)
+            .field_raw("buckets", &buckets);
+        obj.finish();
+    }
+}
+
+/// Allocation-free hot-path instruments for one run.
+///
+/// Structure-of-arrays counters indexed by physical channel and by
+/// VC class, a latency histogram fed at ejection, and accumulated
+/// nanoseconds per engine phase (see [`PHASE_NAMES`]). The engine holds
+/// this behind an `Option` so the disabled path stays one branch per
+/// event site.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    /// Flit traversals per physical channel.
+    pub channel_flits: Vec<u64>,
+    /// Requester-cycles a channel's winners left blocked (a routed head
+    /// requested the channel but was not granted this cycle).
+    pub channel_blocked: Vec<u64>,
+    /// VC-allocation failures charged to each candidate channel (a head
+    /// had routing candidates but every admissible VC was taken).
+    pub channel_alloc_fail: Vec<u64>,
+    /// Flit traversals per VC class.
+    pub class_flits: Vec<u64>,
+    /// Blocked requester-cycles per VC class.
+    pub class_blocked: Vec<u64>,
+    /// VC-allocation failures per VC class.
+    pub class_alloc_fail: Vec<u64>,
+    /// End-to-end message latency, fed when a tail flit ejects.
+    pub latency: Pow2Histogram,
+    /// Accumulated wall-clock nanoseconds per engine phase, indexed by the
+    /// `PHASE_*` consts.
+    pub phase_nanos: [u64; 5],
+    /// Cycles the registry has observed.
+    pub cycles: u64,
+}
+
+impl MetricsRegistry {
+    /// A zeroed registry for `num_channels` physical channels and
+    /// `num_classes` VC classes.
+    pub fn new(num_channels: usize, num_classes: usize) -> Self {
+        MetricsRegistry {
+            channel_flits: vec![0; num_channels],
+            channel_blocked: vec![0; num_channels],
+            channel_alloc_fail: vec![0; num_channels],
+            class_flits: vec![0; num_classes],
+            class_blocked: vec![0; num_classes],
+            class_alloc_fail: vec![0; num_classes],
+            latency: Pow2Histogram::new(),
+            phase_nanos: [0; 5],
+            cycles: 0,
+        }
+    }
+
+    /// One flit crossed `channel` on VC class `class`.
+    #[inline]
+    pub fn record_traversal(&mut self, channel: usize, class: usize) {
+        self.channel_flits[channel] += 1;
+        self.class_flits[class] += 1;
+    }
+
+    /// A routed head requested `channel` (VC class `class`) this cycle and
+    /// was not granted.
+    #[inline]
+    pub fn record_blocked(&mut self, channel: usize, class: usize) {
+        self.channel_blocked[channel] += 1;
+        self.class_blocked[class] += 1;
+    }
+
+    /// A head considered `channel` (VC class `class`) and found every
+    /// admissible VC taken.
+    #[inline]
+    pub fn record_alloc_failure(&mut self, channel: usize, class: usize) {
+        self.channel_alloc_fail[channel] += 1;
+        self.class_alloc_fail[class] += 1;
+    }
+
+    /// A message was delivered with end-to-end `latency` cycles.
+    #[inline]
+    pub fn record_latency(&mut self, latency: u64) {
+        self.latency.record(latency);
+    }
+
+    /// The profiled engine phases as [`PhaseRecord`]s (cycles attributed
+    /// in full to each phase — they all run every cycle).
+    pub fn phase_records(&self) -> Vec<PhaseRecord> {
+        PHASE_NAMES
+            .iter()
+            .zip(self.phase_nanos.iter())
+            .map(|(name, &nanos)| PhaseRecord {
+                name: (*name).to_owned(),
+                wall_seconds: nanos as f64 / 1e9,
+                cycles: self.cycles,
+            })
+            .collect()
+    }
+
+    /// Renders the registry into the serializable per-run report.
+    /// `dims`/`dirs` describe the node grid so the report (and the heatmap
+    /// derived from it) is self-contained.
+    pub fn report(&self, run_id: &str, topology: &str, dims: &[u64], dirs: u64) -> MetricsReport {
+        let peak = self.channel_flits.iter().copied().max().unwrap_or(0);
+        let denom = self.cycles as f64;
+        let total: u64 = self.channel_flits.iter().sum();
+        let channels = self.channel_flits.len() as f64;
+        MetricsReport {
+            run_id: run_id.to_owned(),
+            topology: topology.to_owned(),
+            dims: dims.to_vec(),
+            dirs,
+            cycles: self.cycles,
+            mean_channel_utilization: total as f64 / (channels * denom),
+            peak_channel_utilization: peak as f64 / denom,
+            class_flits: self.class_flits.clone(),
+            class_blocked: self.class_blocked.clone(),
+            class_alloc_fail: self.class_alloc_fail.clone(),
+            channel_flits: self.channel_flits.clone(),
+            channel_blocked: self.channel_blocked.clone(),
+            channel_alloc_fail: self.channel_alloc_fail.clone(),
+            latency: self.latency.summarize("latency"),
+            phases: self.phase_records(),
+        }
+    }
+}
+
+/// The per-run metrics summary written as `<run_id>.metrics.json`
+/// (`{"type":"metrics"}`): everything the registry counted, plus enough
+/// topology shape (`dims`, `dirs`) for downstream tools to map channel
+/// indices back onto the node grid without the original config.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsReport {
+    /// The run this report belongs to.
+    pub run_id: String,
+    /// Topology label in the `--topo` grammar (e.g. `torus:16x16`).
+    pub topology: String,
+    /// Node-grid radices, dimension 0 (fastest-varying) first.
+    pub dims: Vec<u64>,
+    /// Outgoing physical channels per node; channel `c` belongs to node
+    /// `c / dirs`, direction `c % dirs`.
+    pub dirs: u64,
+    /// Cycles covered by the counters.
+    pub cycles: u64,
+    /// Mean flits per channel per cycle (NaN when no cycles ran).
+    pub mean_channel_utilization: f64,
+    /// The hottest channel's flits per cycle (NaN when no cycles ran).
+    pub peak_channel_utilization: f64,
+    /// Flit traversals per VC class.
+    pub class_flits: Vec<u64>,
+    /// Blocked requester-cycles per VC class.
+    pub class_blocked: Vec<u64>,
+    /// VC-allocation failures per VC class.
+    pub class_alloc_fail: Vec<u64>,
+    /// Flit traversals per physical channel.
+    pub channel_flits: Vec<u64>,
+    /// Blocked requester-cycles per physical channel.
+    pub channel_blocked: Vec<u64>,
+    /// VC-allocation failures per physical channel.
+    pub channel_alloc_fail: Vec<u64>,
+    /// End-to-end latency distribution.
+    pub latency: HistogramRecord,
+    /// Profiled engine phases (and, when the experiment layer adds them,
+    /// its own warmup/measure/gap/drain spans).
+    pub phases: Vec<PhaseRecord>,
+}
+
+/// Writes a float that survives a JSON round-trip even when non-finite:
+/// JSON numbers cannot express inf/NaN, so those become the strings
+/// `"inf"`, `"-inf"`, `"nan"` (the run-journal convention).
+fn field_f64_exact(obj: &mut JsonObject<'_>, key: &str, value: f64) {
+    if value.is_finite() {
+        obj.field_f64(key, value);
+    } else if value.is_nan() {
+        obj.field_str(key, "nan");
+    } else if value > 0.0 {
+        obj.field_str(key, "inf");
+    } else {
+        obj.field_str(key, "-inf");
+    }
+}
+
+/// Inverse of [`field_f64_exact`].
+fn get_f64_exact(value: &Value, key: &str) -> Result<f64, String> {
+    let v = value
+        .get(key)
+        .ok_or_else(|| format!("missing field '{key}'"))?;
+    if let Some(n) = v.as_f64() {
+        return Ok(n);
+    }
+    match v.as_str() {
+        Some("inf") => Ok(f64::INFINITY),
+        Some("-inf") => Ok(f64::NEG_INFINITY),
+        Some("nan") => Ok(f64::NAN),
+        _ => Err(format!("field '{key}' is not a number")),
+    }
+}
+
+fn get_u64_array(value: &Value, key: &str) -> Result<Vec<u64>, String> {
+    value
+        .get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("field '{key}' missing or not an array"))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| format!("field '{key}' holds a non-u64 element"))
+        })
+        .collect()
+}
+
+impl MetricsReport {
+    /// Reads a report back from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Reports filesystem errors and malformed or incomplete JSON.
+    pub fn read_from(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("read {}: {e}", path.as_ref().display()))?;
+        let value = crate::json::from_str(&text).map_err(|e| e.to_string())?;
+        Self::from_json(&value)
+    }
+
+    /// Writes the report as single-line JSON at `path`, atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let mut text = self.to_json();
+        text.push('\n');
+        crate::atomic_write(path, text)
+    }
+
+    /// Reconstructs a report from its parsed JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Names the first missing or mistyped field. Float fields follow the
+    /// `"inf"`/`"-inf"`/`"nan"` non-finite convention bit-exactly.
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        if value.get("type").and_then(Value::as_str) != Some("metrics") {
+            return Err("record is not of type 'metrics'".to_owned());
+        }
+        let str_field = |name: &str| -> Result<String, String> {
+            value
+                .get(name)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("metrics field '{name}' missing or not a string"))
+        };
+        let u64_field = |name: &str| -> Result<u64, String> {
+            value
+                .get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("metrics field '{name}' missing or not a u64"))
+        };
+        let phases = value
+            .get("phases")
+            .and_then(Value::as_array)
+            .ok_or("metrics field 'phases' missing or not an array")?
+            .iter()
+            .map(|p| {
+                Ok(PhaseRecord {
+                    name: p
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .ok_or("phase missing 'name'")?
+                        .to_owned(),
+                    wall_seconds: p
+                        .get("wall_seconds")
+                        .and_then(Value::as_f64)
+                        .ok_or("phase missing 'wall_seconds'")?,
+                    cycles: p
+                        .get("cycles")
+                        .and_then(Value::as_u64)
+                        .ok_or("phase missing 'cycles'")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(MetricsReport {
+            run_id: str_field("run_id")?,
+            topology: str_field("topology")?,
+            dims: get_u64_array(value, "dims")?,
+            dirs: u64_field("dirs")?,
+            cycles: u64_field("cycles")?,
+            mean_channel_utilization: get_f64_exact(value, "mean_channel_utilization")?,
+            peak_channel_utilization: get_f64_exact(value, "peak_channel_utilization")?,
+            class_flits: get_u64_array(value, "class_flits")?,
+            class_blocked: get_u64_array(value, "class_blocked")?,
+            class_alloc_fail: get_u64_array(value, "class_alloc_fail")?,
+            channel_flits: get_u64_array(value, "channel_flits")?,
+            channel_blocked: get_u64_array(value, "channel_blocked")?,
+            channel_alloc_fail: get_u64_array(value, "channel_alloc_fail")?,
+            latency: HistogramRecord::from_json(
+                value
+                    .get("latency")
+                    .ok_or("metrics field 'latency' missing")?,
+            )?,
+            phases,
+        })
+    }
+}
+
+impl PartialEq for MetricsRegistry {
+    fn eq(&self, other: &Self) -> bool {
+        // phase_nanos is wall-clock noise; equality means "counted the
+        // same simulation", which is what the determinism tests compare.
+        self.channel_flits == other.channel_flits
+            && self.channel_blocked == other.channel_blocked
+            && self.channel_alloc_fail == other.channel_alloc_fail
+            && self.class_flits == other.class_flits
+            && self.class_blocked == other.class_blocked
+            && self.class_alloc_fail == other.class_alloc_fail
+            && self.latency == other.latency
+            && self.cycles == other.cycles
+    }
+}
+
+impl JsonRecord for MetricsReport {
+    fn write_json(&self, out: &mut String) {
+        let mut phases_json = String::from("[");
+        for (i, phase) in self.phases.iter().enumerate() {
+            if i > 0 {
+                phases_json.push(',');
+            }
+            let mut obj = JsonObject::begin(&mut phases_json);
+            obj.field_str("name", &phase.name)
+                .field_f64("wall_seconds", phase.wall_seconds)
+                .field_u64("cycles", phase.cycles);
+            obj.finish();
+        }
+        phases_json.push(']');
+        let mut obj = JsonObject::begin(out);
+        obj.field_str("type", "metrics")
+            .field_str("run_id", &self.run_id)
+            .field_str("topology", &self.topology)
+            .field_u64_array("dims", &self.dims)
+            .field_u64("dirs", self.dirs)
+            .field_u64("cycles", self.cycles);
+        field_f64_exact(
+            &mut obj,
+            "mean_channel_utilization",
+            self.mean_channel_utilization,
+        );
+        field_f64_exact(
+            &mut obj,
+            "peak_channel_utilization",
+            self.peak_channel_utilization,
+        );
+        obj.field_u64_array("class_flits", &self.class_flits)
+            .field_u64_array("class_blocked", &self.class_blocked)
+            .field_u64_array("class_alloc_fail", &self.class_alloc_fail)
+            .field_u64_array("channel_flits", &self.channel_flits)
+            .field_u64_array("channel_blocked", &self.channel_blocked)
+            .field_u64_array("channel_alloc_fail", &self.channel_alloc_fail)
+            .field_raw("latency", &self.latency.to_json())
+            .field_raw("phases", &phases_json);
+        obj.finish();
+    }
+}
+
+/// Why a waiting worm cannot advance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitKind {
+    /// The head is pending routing: every admissible VC on the channel is
+    /// owned by the holder (among others).
+    Vc,
+    /// The head holds a VC but has no credits: the downstream buffer is
+    /// occupied by the holder's flits.
+    Credit,
+}
+
+impl WaitKind {
+    fn tag(self) -> &'static str {
+        match self {
+            WaitKind::Vc => "vc",
+            WaitKind::Credit => "credit",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Result<Self, String> {
+        match tag {
+            "vc" => Ok(WaitKind::Vc),
+            "credit" => Ok(WaitKind::Credit),
+            other => Err(format!("unknown wait kind '{other}'")),
+        }
+    }
+}
+
+/// One edge of the wait-for graph: message `msg`, stalled at `node`, waits
+/// for a resource on `channel` that message `holder` occupies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaitForEdge {
+    /// The waiting message.
+    pub msg: u64,
+    /// The node its head is stalled at.
+    pub node: u64,
+    /// The physical channel mediating the wait.
+    pub channel: u64,
+    /// The message occupying the contended resource.
+    pub holder: u64,
+    /// Which resource is contended.
+    pub kind: WaitKind,
+}
+
+/// The worm→channel wait-for graph at a watchdog trigger, written as one
+/// `{"type":"wait_for"}` JSONL record so `Deadlocked`/`LiveLocked`
+/// outcomes carry forensic evidence.
+///
+/// [`detect_cycle`](Self::detect_cycle) closes the loop: a cycle of
+/// messages each holding what the next one waits for is a concrete channel
+/// cycle — a real deadlock — while its absence means the stall is
+/// congestion or starvation.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct WaitForSnapshot {
+    /// The cycle the snapshot was taken at.
+    pub cycle: u64,
+    /// What tripped (`deadlock` or `livelock`).
+    pub reason: String,
+    /// Live messages in the network at the snapshot.
+    pub live_messages: u64,
+    /// Flits in flight at the snapshot.
+    pub flits_in_flight: u64,
+    /// The wait-for edges, in deterministic (input-VC) order.
+    pub edges: Vec<WaitForEdge>,
+    /// Whether [`detect_cycle`](Self::detect_cycle) found a cycle.
+    pub cycle_found: bool,
+    /// The messages along one detected cycle (empty if none).
+    pub cycle_messages: Vec<u64>,
+    /// The channels along that cycle, `cycle_channels[i]` being what
+    /// `cycle_messages[i]` waits on (held by the next message).
+    pub cycle_channels: Vec<u64>,
+}
+
+impl WaitForSnapshot {
+    /// Runs cycle detection over the edges and fills
+    /// [`cycle_found`](Self::cycle_found) /
+    /// [`cycle_messages`](Self::cycle_messages) /
+    /// [`cycle_channels`](Self::cycle_channels) with the first cycle found
+    /// (deterministic: edges are explored in input order).
+    pub fn detect_cycle(&mut self) {
+        self.cycle_found = false;
+        self.cycle_messages.clear();
+        self.cycle_channels.clear();
+        // msg -> outgoing (holder, channel) edges, input order preserved.
+        let mut adjacency: std::collections::BTreeMap<u64, Vec<(u64, u64)>> =
+            std::collections::BTreeMap::new();
+        for e in &self.edges {
+            adjacency
+                .entry(e.msg)
+                .or_default()
+                .push((e.holder, e.channel));
+        }
+        // Iterative DFS with tri-color marking; the explicit stack keeps
+        // the path so a back edge yields the whole cycle.
+        let mut color: std::collections::BTreeMap<u64, u8> = std::collections::BTreeMap::new();
+        let roots: Vec<u64> = adjacency.keys().copied().collect();
+        for root in roots {
+            if color.get(&root).copied().unwrap_or(0) != 0 {
+                continue;
+            }
+            // (msg, channel-we-arrived-over, next-edge-index)
+            let mut stack: Vec<(u64, u64, usize)> = vec![(root, 0, 0)];
+            color.insert(root, 1);
+            while let Some(&mut (msg, _, ref mut next)) = stack.last_mut() {
+                let edges = adjacency.get(&msg).map(Vec::as_slice).unwrap_or(&[]);
+                if *next >= edges.len() {
+                    color.insert(msg, 2);
+                    stack.pop();
+                    continue;
+                }
+                let (holder, channel) = edges[*next];
+                *next += 1;
+                match color.get(&holder).copied().unwrap_or(0) {
+                    0 => {
+                        color.insert(holder, 1);
+                        stack.push((holder, channel, 0));
+                    }
+                    1 => {
+                        // Back edge: the cycle is `holder ... msg -> holder`.
+                        let start = stack
+                            .iter()
+                            .position(|&(m, _, _)| m == holder)
+                            .expect("gray node is on the stack");
+                        for &(m, ch, _) in &stack[start + 1..] {
+                            self.cycle_messages.push(m);
+                            self.cycle_channels.push(ch);
+                        }
+                        self.cycle_messages.push(holder);
+                        self.cycle_channels.push(channel);
+                        // Rotate so the cycle starts at `holder` and each
+                        // channel sits next to the message waiting on it.
+                        self.cycle_messages.rotate_right(1);
+                        self.cycle_found = true;
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Reconstructs a snapshot from its parsed JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Names the first missing or mistyped field.
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        if value.get("type").and_then(Value::as_str) != Some("wait_for") {
+            return Err("record is not of type 'wait_for'".to_owned());
+        }
+        let u64_field = |name: &str| -> Result<u64, String> {
+            value
+                .get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("wait_for field '{name}' missing or not a u64"))
+        };
+        let edges = value
+            .get("edges")
+            .and_then(Value::as_array)
+            .ok_or("wait_for field 'edges' missing or not an array")?
+            .iter()
+            .map(|e| {
+                let part = |name: &str| -> Result<u64, String> {
+                    e.get(name)
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("wait_for edge field '{name}' invalid"))
+                };
+                Ok::<_, String>(WaitForEdge {
+                    msg: part("msg")?,
+                    node: part("node")?,
+                    channel: part("channel")?,
+                    holder: part("holder")?,
+                    kind: WaitKind::from_tag(
+                        e.get("kind")
+                            .and_then(Value::as_str)
+                            .ok_or("wait_for edge field 'kind' invalid")?,
+                    )?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(WaitForSnapshot {
+            cycle: u64_field("cycle")?,
+            reason: value
+                .get("reason")
+                .and_then(Value::as_str)
+                .ok_or("wait_for field 'reason' missing or not a string")?
+                .to_owned(),
+            live_messages: u64_field("live_messages")?,
+            flits_in_flight: u64_field("flits_in_flight")?,
+            edges,
+            cycle_found: value
+                .get("cycle_found")
+                .and_then(Value::as_bool)
+                .ok_or("wait_for field 'cycle_found' missing or not a bool")?,
+            cycle_messages: get_u64_array(value, "cycle_messages")?,
+            cycle_channels: get_u64_array(value, "cycle_channels")?,
+        })
+    }
+}
+
+impl JsonRecord for WaitForSnapshot {
+    fn write_json(&self, out: &mut String) {
+        let mut edges_json = String::from("[");
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                edges_json.push(',');
+            }
+            let mut obj = JsonObject::begin(&mut edges_json);
+            obj.field_u64("msg", e.msg)
+                .field_u64("node", e.node)
+                .field_u64("channel", e.channel)
+                .field_u64("holder", e.holder)
+                .field_str("kind", e.kind.tag());
+            obj.finish();
+        }
+        edges_json.push(']');
+        let mut obj = JsonObject::begin(out);
+        obj.field_str("type", "wait_for")
+            .field_u64("cycle", self.cycle)
+            .field_str("reason", &self.reason)
+            .field_u64("live_messages", self.live_messages)
+            .field_u64("flits_in_flight", self.flits_in_flight)
+            .field_bool("cycle_found", self.cycle_found)
+            .field_u64_array("cycle_messages", &self.cycle_messages)
+            .field_u64_array("cycle_channels", &self.cycle_channels)
+            .field_raw("edges", &edges_json);
+        obj.finish();
+    }
+}
+
+/// Renders per-channel flit counts into a node-grid utilization CSV.
+///
+/// Each cell is a node's mean outgoing-channel utilization,
+/// `sum(channel_flits[node*dirs ..][..dirs]) / (dirs × cycles)`. For 2D
+/// grids the CSV is the grid itself — one row per dimension-1 coordinate
+/// (north/south axis), one column per dimension-0 coordinate, node
+/// `(x, y)` at row `y`, column `x`. Other dimensionalities fall back to a
+/// `node,utilization` long format with a header row.
+pub fn heatmap_csv(dims: &[u64], dirs: u64, channel_flits: &[u64], cycles: u64) -> String {
+    use std::fmt::Write as _;
+    let nodes = channel_flits.len() as u64 / dirs.max(1);
+    let util = |node: u64| -> f64 {
+        let base = (node * dirs) as usize;
+        let sum: u64 = channel_flits[base..base + dirs as usize].iter().sum();
+        sum as f64 / (dirs.max(1) * cycles.max(1)) as f64
+    };
+    let mut out = String::new();
+    if let [w, h] = dims {
+        for y in 0..*h {
+            for x in 0..*w {
+                if x > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{:.6}", util(y * w + x));
+            }
+            out.push('\n');
+        }
+    } else {
+        out.push_str("node,utilization\n");
+        for node in 0..nodes {
+            let _ = writeln!(out, "{node},{:.6}", util(node));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Pow2Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.sum(), 1125);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(Pow2Histogram::bucket_of(0), 0);
+        assert_eq!(Pow2Histogram::bucket_of(1), 1);
+        assert_eq!(Pow2Histogram::bucket_of(2), 2);
+        assert_eq!(Pow2Histogram::bucket_of(3), 2);
+        assert_eq!(Pow2Histogram::bucket_of(4), 3);
+        assert_eq!(Pow2Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Pow2Histogram::bucket_upper_bound(64), u64::MAX);
+        // Rank 5 of 9 lands in the [4,7] bucket.
+        assert_eq!(h.quantile(0.5), 7);
+        // The top quantiles clamp to the observed maximum.
+        assert_eq!(h.quantile(0.99), 1000);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!((h.mean() - 125.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_record_round_trips() {
+        let mut h = Pow2Histogram::new();
+        for v in [3u64, 9, 9, 200] {
+            h.record(v);
+        }
+        let rec = h.summarize("latency");
+        let parsed = crate::json::from_str(&rec.to_json()).unwrap();
+        assert_eq!(HistogramRecord::from_json(&parsed).unwrap(), rec);
+        // Wrong type tag is rejected.
+        let v = crate::json::from_str("{\"type\":\"metrics\"}").unwrap();
+        assert!(HistogramRecord::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn registry_counts_and_reports() {
+        let mut reg = MetricsRegistry::new(8, 2);
+        reg.record_traversal(3, 1);
+        reg.record_traversal(3, 1);
+        reg.record_blocked(2, 0);
+        reg.record_alloc_failure(7, 1);
+        reg.record_latency(40);
+        reg.cycles = 100;
+        reg.phase_nanos[PHASE_ROUTE] = 2_000_000_000;
+        let report = reg.report("run-1", "torus:4x2", &[4, 2], 4);
+        assert_eq!(report.channel_flits[3], 2);
+        assert_eq!(report.class_flits, vec![0, 2]);
+        assert_eq!(report.class_blocked, vec![1, 0]);
+        assert_eq!(report.channel_alloc_fail[7], 1);
+        assert_eq!(report.latency.count, 1);
+        assert!((report.peak_channel_utilization - 0.02).abs() < 1e-12);
+        let route = report.phases.iter().find(|p| p.name == "route").unwrap();
+        assert!((route.wall_seconds - 2.0).abs() < 1e-12);
+        assert_eq!(route.cycles, 100);
+    }
+
+    #[test]
+    fn metrics_report_round_trips_including_non_finite() {
+        let mut reg = MetricsRegistry::new(4, 2);
+        reg.record_traversal(0, 0);
+        // cycles stays 0: utilization divides by zero, producing inf/NaN,
+        // which must still round-trip bit-exactly.
+        let report = reg.report("r", "torus:2x2", &[2, 2], 1);
+        assert!(report.peak_channel_utilization.is_infinite());
+        assert!(report.mean_channel_utilization.is_infinite());
+        let parsed = crate::json::from_str(&report.to_json()).unwrap();
+        let back = MetricsReport::from_json(&parsed).unwrap();
+        assert_eq!(
+            back.peak_channel_utilization.to_bits(),
+            report.peak_channel_utilization.to_bits()
+        );
+        let nan = MetricsReport {
+            mean_channel_utilization: f64::NAN,
+            peak_channel_utilization: f64::NEG_INFINITY,
+            ..report
+        };
+        let parsed = crate::json::from_str(&nan.to_json()).unwrap();
+        let back = MetricsReport::from_json(&parsed).unwrap();
+        assert!(back.mean_channel_utilization.is_nan());
+        assert_eq!(back.peak_channel_utilization, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn metrics_report_file_round_trip() {
+        let dir = std::env::temp_dir().join("wormsim-observe-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.metrics.json");
+        let mut reg = MetricsRegistry::new(4, 2);
+        reg.cycles = 10;
+        reg.record_traversal(1, 0);
+        let report = reg.report("r", "torus:2x2", &[2, 2], 1);
+        report.write_to(&path).unwrap();
+        assert_eq!(MetricsReport::read_from(&path).unwrap(), report);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn edge(msg: u64, channel: u64, holder: u64) -> WaitForEdge {
+        WaitForEdge {
+            msg,
+            node: 0,
+            channel,
+            holder,
+            kind: WaitKind::Vc,
+        }
+    }
+
+    #[test]
+    fn wait_for_cycle_detection_finds_a_cycle() {
+        let mut snap = WaitForSnapshot {
+            cycle: 500,
+            reason: "deadlock".to_owned(),
+            live_messages: 3,
+            flits_in_flight: 12,
+            // 1 -> 2 -> 3 -> 1, plus a dangling wait 4 -> 1.
+            edges: vec![
+                edge(4, 9, 1),
+                edge(1, 10, 2),
+                edge(2, 11, 3),
+                edge(3, 12, 1),
+            ],
+            ..WaitForSnapshot::default()
+        };
+        snap.detect_cycle();
+        assert!(snap.cycle_found);
+        assert_eq!(snap.cycle_messages.len(), 3);
+        assert_eq!(snap.cycle_channels.len(), 3);
+        // Every cycle member waits on its paired channel for the next
+        // member, and the set is exactly {1, 2, 3}.
+        let mut members = snap.cycle_messages.clone();
+        members.sort_unstable();
+        assert_eq!(members, vec![1, 2, 3]);
+        for (m, ch) in snap.cycle_messages.iter().zip(&snap.cycle_channels) {
+            assert!(snap.edges.iter().any(|e| e.msg == *m
+                && e.channel == *ch
+                && snap.cycle_messages.contains(&e.holder)));
+        }
+    }
+
+    #[test]
+    fn wait_for_cycle_detection_reports_absence() {
+        // A chain with no back edge: congestion, not deadlock.
+        let mut snap = WaitForSnapshot {
+            edges: vec![edge(1, 10, 2), edge(2, 11, 3)],
+            ..WaitForSnapshot::default()
+        };
+        snap.detect_cycle();
+        assert!(!snap.cycle_found);
+        assert!(snap.cycle_messages.is_empty());
+        // Self-wait (a worm behind its own flits) is a 1-cycle.
+        let mut snap = WaitForSnapshot {
+            edges: vec![edge(5, 3, 5)],
+            ..WaitForSnapshot::default()
+        };
+        snap.detect_cycle();
+        assert!(snap.cycle_found);
+        assert_eq!(snap.cycle_messages, vec![5]);
+        assert_eq!(snap.cycle_channels, vec![3]);
+    }
+
+    #[test]
+    fn wait_for_snapshot_round_trips() {
+        let mut snap = WaitForSnapshot {
+            cycle: 42,
+            reason: "livelock".to_owned(),
+            live_messages: 2,
+            flits_in_flight: 7,
+            edges: vec![
+                WaitForEdge {
+                    msg: 1,
+                    node: 5,
+                    channel: 20,
+                    holder: 2,
+                    kind: WaitKind::Credit,
+                },
+                edge(2, 21, 1),
+            ],
+            ..WaitForSnapshot::default()
+        };
+        snap.detect_cycle();
+        assert!(snap.cycle_found);
+        let parsed = crate::json::from_str(&snap.to_json()).unwrap();
+        assert_eq!(WaitForSnapshot::from_json(&parsed).unwrap(), snap);
+        let v = crate::json::from_str("{\"type\":\"trace\"}").unwrap();
+        assert!(WaitForSnapshot::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn heatmap_renders_2d_grid_and_long_fallback() {
+        // 3x2 grid, 1 dir per node: node = x + y*3.
+        let flits = vec![0, 10, 20, 30, 40, 50];
+        let csv = heatmap_csv(&[3, 2], 1, &flits, 10);
+        let rows: Vec<&str> = csv.lines().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], "0.000000,1.000000,2.000000");
+        assert_eq!(rows[1], "3.000000,4.000000,5.000000");
+        // 1D falls back to the long format.
+        let csv = heatmap_csv(&[4], 2, &[2, 0, 4, 0, 0, 0, 8, 0], 2);
+        let rows: Vec<&str> = csv.lines().collect();
+        assert_eq!(rows[0], "node,utilization");
+        assert_eq!(rows[1], "0,0.500000");
+        assert_eq!(rows[3], "2,0.000000");
+    }
+}

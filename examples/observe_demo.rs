@@ -1,15 +1,17 @@
 //! Observability tour: run a short observed experiment, then reconstruct
 //! the run from its manifest and JSONL sample stream alone.
 //!
-//! The observed run writes three artifacts next to each other:
+//! The observed run writes its artifacts next to each other:
 //!
 //! * `<run>.manifest.json` — config hash, seeds, phase timings, throughput
 //! * `<run>.samples.jsonl` — one time-series sample per stride
 //! * `<run>.trace.jsonl` — per-message lifecycle events
+//! * `<run>.metrics.json` — per-channel counters and the latency histogram
+//! * `<run>.heatmap.csv` — per-node channel utilization on the node grid
 //!
 //! Run with: `cargo run --release --example observe_demo`
 
-use wormsim::observe::json;
+use wormsim::observe::{json, MetricsReport};
 use wormsim::{
     AlgorithmKind, Experiment, ObserveConfig, RunManifest, Sample, Topology, TrafficConfig,
 };
@@ -33,6 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace_dir: Some(dir.clone()),
         sample_every: 500,
         prefix: "demo".to_owned(),
+        metrics: true,
     })
     .run()?;
     println!(
@@ -92,6 +95,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .max()
         .unwrap_or(0);
     println!("\nbusiest single channel in any window: {busiest} flits");
+
+    // The whole-run metrics report: latency percentiles straight from the
+    // power-of-two histogram, plus channel-utilization aggregates.
+    let report = MetricsReport::read_from(dir.join(format!("{run_id}.metrics.json")))
+        .map_err(std::io::Error::other)?;
+    println!("\nmetrics report over {} cycles:", report.cycles);
+    println!(
+        "  latency p50/p95/p99  {}/{}/{} cycles ({} messages)",
+        report.latency.p50, report.latency.p95, report.latency.p99, report.latency.count
+    );
+    println!(
+        "  channel utilization  mean {:.4}, peak {:.4} flits/cycle",
+        report.mean_channel_utilization, report.peak_channel_utilization
+    );
+    let blocked: u64 = report.channel_blocked.iter().sum();
+    let failed: u64 = report.channel_alloc_fail.iter().sum();
+    println!("  contention           {blocked} blocked cycles, {failed} VC-allocation misses");
     println!("artifacts in {}", dir.display());
     Ok(())
 }

@@ -143,6 +143,31 @@ fn fig3_metrics_match_golden() {
     assert_matches_golden("fig3_metrics_seed1993.jsonl", &snapshot);
 }
 
+/// Installing the deep-telemetry registry must not perturb the
+/// simulation: the metrics-enabled run reproduces the metrics-off golden
+/// bit for bit (the registry is pure counters and timers — no RNG draws,
+/// no ordering changes).
+#[test]
+fn fig3_metrics_match_golden_with_metrics_enabled() {
+    let mut lines = Vec::new();
+    for algorithm in presets::paper_algorithms() {
+        let mut net = fig3_network(algorithm);
+        net.observer().metrics_on();
+        net.run(3_000);
+        let registry = net.metrics_registry().expect("registry installed");
+        assert_eq!(registry.cycles, 3_000, "registry saw every cycle");
+        assert_eq!(
+            registry.latency.count(),
+            net.metrics().delivered,
+            "one latency observation per delivered message"
+        );
+        lines.push(metrics_json(algorithm.name(), &net));
+    }
+    let mut snapshot = lines.join("\n");
+    snapshot.push('\n');
+    assert_matches_golden("fig3_metrics_seed1993.jsonl", &snapshot);
+}
+
 /// One quick point of each figure preset through the full `Experiment`
 /// pipeline: latency/throughput estimates must be bit-identical.
 #[test]
