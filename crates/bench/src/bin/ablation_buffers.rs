@@ -4,10 +4,10 @@
 //! (our default is 2) moves every algorithm's peak throughput.
 
 use wormsim::{AlgorithmKind, Experiment, Switching, TrafficConfig};
-use wormsim_bench::HarnessOptions;
+use wormsim_bench::SweepOptions;
 
 fn main() {
-    let options = HarnessOptions::from_args();
+    let options = SweepOptions::from_args();
     let topo = options.topology_or_paper();
     let loads = [0.3, 0.5, 0.7, 0.9];
     println!("Peak achieved utilization vs per-VC buffer depth (uniform, {topo}):");

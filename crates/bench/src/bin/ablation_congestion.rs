@@ -5,10 +5,10 @@
 //! being "less effective for certain traffic loads". This sweeps the limit.
 
 use wormsim::{AlgorithmKind, Experiment, TrafficConfig};
-use wormsim_bench::HarnessOptions;
+use wormsim_bench::SweepOptions;
 
 fn main() {
-    let options = HarnessOptions::from_args();
+    let options = SweepOptions::from_args();
     let topo = options.topology_or_paper();
     let limits: [(&str, Option<u32>); 4] = [
         ("1", Some(1)),

@@ -3,10 +3,10 @@
 //! mix; this sweeps those choices.
 
 use wormsim::{AlgorithmKind, Experiment, MessageLength, TrafficConfig};
-use wormsim_bench::HarnessOptions;
+use wormsim_bench::SweepOptions;
 
 fn main() {
-    let options = HarnessOptions::from_args();
+    let options = SweepOptions::from_args();
     let topo = options.topology_or_paper();
     let lengths: Vec<(&str, MessageLength)> = vec![
         ("16", MessageLength::fixed(16).expect("valid")),

@@ -5,10 +5,10 @@
 //! channel; this quantifies how much that choice matters.
 
 use wormsim::{AlgorithmKind, Experiment, SelectionPolicy, TrafficConfig};
-use wormsim_bench::HarnessOptions;
+use wormsim_bench::SweepOptions;
 
 fn main() {
-    let options = HarnessOptions::from_args();
+    let options = SweepOptions::from_args();
     let topo = options.topology_or_paper();
     let loads = [0.3, 0.5, 0.7, 0.9];
     let algorithms = [

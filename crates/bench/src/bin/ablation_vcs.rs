@@ -6,10 +6,10 @@
 //! this regenerates that effect inside our simulator.
 
 use wormsim::{AlgorithmKind, Experiment, TrafficConfig};
-use wormsim_bench::HarnessOptions;
+use wormsim_bench::SweepOptions;
 
 fn main() {
-    let options = HarnessOptions::from_args();
+    let options = SweepOptions::from_args();
     let topo = options.topology_or_paper();
     let loads = [0.2, 0.3, 0.4, 0.5, 0.6];
     println!("Peak achieved utilization vs VCs per class (uniform, {topo}):");

@@ -36,12 +36,15 @@ use wormsim::{
     AlgorithmKind, Experiment, ExperimentError, MeasurementSchedule, ObserveConfig, RunOutcome,
     RunResult,
 };
-use wormsim_bench::{cli, install_sigint_handler, resume_command, run_experiments, HarnessOptions};
+use wormsim_bench::{
+    cli, install_sigint_handler, resume_command, BackendChoice, SweepOptions, SweepPlan,
+};
 
 const USAGE: &str = "usage: faults_sweep [--topo T] [--algos A] [--load L] [--max-faults N] \
                      [--quick|--saturation] [--seed N] [--threads N] [--cycle-budget N] \
                      [--wall-budget SECS] [--out DIR] [--observe DIR] [--trace-out DIR] \
-                     [--sample-every N] [--metrics] [--resume JOURNAL] [--retries N] [--smoke]";
+                     [--sample-every N] [--metrics] [--resume JOURNAL] [--retries N] \
+                     [--backend local|remote] [--worker HOST:PORT] [--smoke]";
 
 /// Everything one parsed command line asks for.
 struct SweepSpec {
@@ -62,6 +65,7 @@ struct SweepSpec {
     resume: Option<String>,
     retries: u32,
     fail_after_points: Option<usize>,
+    backend: BackendChoice,
 }
 
 enum Invocation {
@@ -98,6 +102,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
         resume: None,
         retries: 1,
         fail_after_points: None,
+        backend: BackendChoice::Local,
     };
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -139,6 +144,37 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
                 spec.fail_after_points =
                     Some(cli::parse_fail_after(&value("--fail-after-points")?)?);
             }
+            "--backend" => match value("--backend")?.as_str() {
+                "local" => match &spec.backend {
+                    BackendChoice::Remote { workers } if !workers.is_empty() => {
+                        return Err("--backend local conflicts with --worker".to_owned());
+                    }
+                    _ => spec.backend = BackendChoice::Local,
+                },
+                "remote" => {
+                    if spec.backend == BackendChoice::Local {
+                        spec.backend = BackendChoice::Remote {
+                            workers: Vec::new(),
+                        };
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "--backend must be 'local' or 'remote', got '{other}'"
+                    ))
+                }
+            },
+            "--worker" => {
+                let addr = value("--worker")?;
+                match &mut spec.backend {
+                    BackendChoice::Remote { workers } => workers.push(addr),
+                    BackendChoice::Local => {
+                        spec.backend = BackendChoice::Remote {
+                            workers: vec![addr],
+                        }
+                    }
+                }
+            }
             "--smoke" => {
                 spec.topology = Topology::torus(&[6, 6]);
                 spec.algorithms = cli::parse_algorithms("ecube,phop")?;
@@ -153,6 +189,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
     if spec.metrics && spec.observe_dir.is_none() {
         return Err("--metrics needs --observe DIR (metrics export to the observe dir)".to_owned());
     }
+    harness_options(&spec).validate_backend()?;
     Ok(Invocation::Run(Box::new(spec)))
 }
 
@@ -172,9 +209,9 @@ fn plan_for(spec: &SweepSpec, count: usize) -> Option<FaultPlan> {
 }
 
 /// Maps the spec's robustness knobs onto the shared harness options so
-/// [`run_experiments`] can drive the sweep.
-fn harness_options(spec: &SweepSpec) -> HarnessOptions {
-    HarnessOptions {
+/// [`wormsim_bench::run_sweep`] can drive the sweep.
+fn harness_options(spec: &SweepSpec) -> SweepOptions {
+    SweepOptions {
         schedule: spec.schedule,
         seed: spec.seed,
         threads: spec.threads,
@@ -188,7 +225,8 @@ fn harness_options(spec: &SweepSpec) -> HarnessOptions {
         resume: spec.resume.clone(),
         retries: spec.retries,
         fail_after_points: spec.fail_after_points,
-        ..HarnessOptions::default()
+        backend: spec.backend.clone(),
+        ..SweepOptions::default()
     }
 }
 
@@ -198,7 +236,7 @@ fn harness_options(spec: &SweepSpec) -> HarnessOptions {
 /// transients, resumable — and never cancel each other: a bad point
 /// records its error and the sweep continues. Returns the completed
 /// points plus whether shutdown interrupted the sweep before the end.
-fn run_sweep(spec: &SweepSpec, options: &HarnessOptions) -> (Vec<Point>, bool) {
+fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> (Vec<Point>, bool) {
     let mut labels = Vec::new();
     let mut experiments = Vec::new();
     for count in 0..=spec.max_faults {
@@ -228,11 +266,11 @@ fn run_sweep(spec: &SweepSpec, options: &HarnessOptions) -> (Vec<Point>, bool) {
             experiments.push(e);
         }
     }
-    let run = run_experiments(&experiments, options, "faults_sweep.journal.jsonl", false)
-        .unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        });
+    let plan = SweepPlan::new(experiments).journal_name("faults_sweep.journal.jsonl");
+    let run = wormsim_bench::run_sweep(&plan, options).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     let interrupted = run.interrupted;
     if interrupted {
         eprintln!(

@@ -2,11 +2,11 @@
 
 use wormsim_bench::{
     apply_topology_override, print_figure, print_paper_comparison, run_figure_or_exit, write_csv,
-    HarnessOptions,
+    SweepOptions,
 };
 
 fn main() {
-    let options = HarnessOptions::from_args();
+    let options = SweepOptions::from_args();
     let spec = wormsim::presets::fig5();
     let spec = apply_topology_override(spec, &options);
     eprintln!(

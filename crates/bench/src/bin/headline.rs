@@ -3,11 +3,11 @@
 //! paper-vs-measured table that EXPERIMENTS.md records.
 
 use wormsim_bench::{
-    apply_topology_override, print_paper_comparison, run_figure_or_exit, write_csv, HarnessOptions,
+    apply_topology_override, print_paper_comparison, run_figure_or_exit, write_csv, SweepOptions,
 };
 
 fn main() {
-    let options = HarnessOptions::from_args();
+    let options = SweepOptions::from_args();
     for spec in wormsim::presets::all_figures() {
         let spec = apply_topology_override(spec, &options);
         eprintln!(

@@ -6,13 +6,13 @@
 //! variant the paper sketches for software-distributed locks.
 
 use wormsim::{AlgorithmKind, Experiment, Topology, TrafficConfig};
-use wormsim_bench::HarnessOptions;
+use wormsim_bench::SweepOptions;
 
 fn peak_for(
     topo: &Topology,
     algorithm: AlgorithmKind,
     traffic: &TrafficConfig,
-    options: &HarnessOptions,
+    options: &SweepOptions,
 ) -> f64 {
     let mut peak = 0.0f64;
     for load in [0.2, 0.3, 0.4, 0.5] {
@@ -29,7 +29,7 @@ fn peak_for(
 }
 
 fn main() {
-    let options = HarnessOptions::from_args();
+    let options = SweepOptions::from_args();
     let topo = Topology::torus(&[16, 16]);
     let placements: [(&str, Vec<Vec<u16>>); 4] = [
         ("corner (15,15)", vec![vec![15, 15]]),

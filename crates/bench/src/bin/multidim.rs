@@ -4,9 +4,9 @@
 //! 8×8 mesh under uniform traffic.
 
 use wormsim::{AlgorithmKind, Experiment, Topology, TrafficConfig};
-use wormsim_bench::HarnessOptions;
+use wormsim_bench::SweepOptions;
 
-fn sweep(topo: &Topology, options: &HarnessOptions) {
+fn sweep(topo: &Topology, options: &SweepOptions) {
     let loads = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
     println!("\n== {topo} ==");
     println!(
@@ -50,7 +50,7 @@ fn sweep(topo: &Topology, options: &HarnessOptions) {
 }
 
 fn main() {
-    let options = HarnessOptions::from_args();
+    let options = SweepOptions::from_args();
     // 3-D torus: phop needs 13 classes (diameter 12), nhop/nbc 7.
     sweep(&Topology::torus(&[8, 8, 8]), &options);
     // 2-D mesh (the Glass & Ni setting): single-class e-cube, 2-class 2pn.

@@ -5,10 +5,10 @@
 //! achieved utilization falls below 90% of offered load).
 
 use wormsim::{AlgorithmKind, Experiment, TrafficConfig};
-use wormsim_bench::HarnessOptions;
+use wormsim_bench::SweepOptions;
 
 fn main() {
-    let options = HarnessOptions::from_args();
+    let options = SweepOptions::from_args();
     let topo = options.topology_or_paper();
     println!("Saturation offered load (achieved < 90% of offered), uniform traffic:\n");
     println!(

@@ -31,17 +31,18 @@
 
 use wormsim::presets::FigureSpec;
 use wormsim::MeasurementSchedule;
-use wormsim_bench::{cli, print_figure, run_figure_or_exit, write_csv, HarnessOptions};
+use wormsim_bench::{cli, print_figure, run_figure_or_exit, write_csv, SweepOptions};
 
 const USAGE: &str = "usage: sweep [--topo T] [--algos A] [--traffic W] [--loads L] \
                      [--switching S] [--quick|--saturation] [--seed N] [--threads N] [--out DIR] \
                      [--observe DIR] [--trace-out DIR] [--sample-every N] [--metrics] \
                      [--cycle-budget N] [--wall-budget SECS] \
-                     [--resume JOURNAL] [--retries N]";
+                     [--resume JOURNAL] [--retries N] \
+                     [--backend local|remote] [--worker HOST:PORT]";
 
 /// What one parsed command line asks for.
 enum Invocation {
-    Run(Box<FigureSpec>, Box<HarnessOptions>),
+    Run(Box<FigureSpec>, Box<SweepOptions>),
     Help,
 }
 
@@ -56,7 +57,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
         loads: wormsim::presets::paper_loads(),
         algorithms: wormsim::presets::paper_algorithms().to_vec(),
     };
-    let mut options = HarnessOptions::default();
+    let mut options = SweepOptions::default();
 
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -89,6 +90,8 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
                 options.fail_after_points =
                     Some(cli::parse_fail_after(&value("--fail-after-points")?)?);
             }
+            "--backend" => options.set_backend(&value("--backend")?)?,
+            "--worker" => options.add_worker(value("--worker")?),
             "--help" | "-h" => return Ok(Invocation::Help),
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -96,6 +99,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
     if options.metrics && options.observe_dir.is_none() {
         return Err("--metrics needs --observe DIR (metrics export to the observe dir)".into());
     }
+    options.validate_backend()?;
     Ok(Invocation::Run(Box::new(spec), Box::new(options)))
 }
 
@@ -140,11 +144,18 @@ fn main() {
         spec.switching,
     );
 
-    eprintln!(
-        "running {} points on {} threads...",
-        spec.algorithms.len() * spec.loads.len(),
-        options.threads
-    );
+    let points = spec.algorithms.len() * spec.loads.len();
+    match &options.backend {
+        wormsim_bench::BackendChoice::Local => {
+            eprintln!("running {points} points on {} threads...", options.threads);
+        }
+        wormsim_bench::BackendChoice::Remote { workers } => {
+            eprintln!(
+                "running {points} points on {} remote worker(s)...",
+                workers.len()
+            );
+        }
+    }
     let results = run_figure_or_exit(&spec, &options);
     print_figure(&spec, &results);
     match write_csv(&spec.id, &results, &options.out_dir) {

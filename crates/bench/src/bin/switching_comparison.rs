@@ -3,10 +3,10 @@
 //! the store-and-forward ancestry of the hop schemes (Gopal 1985).
 
 use wormsim::{AlgorithmKind, Experiment, Switching, TrafficConfig};
-use wormsim_bench::HarnessOptions;
+use wormsim_bench::SweepOptions;
 
 fn main() {
-    let options = HarnessOptions::from_args();
+    let options = SweepOptions::from_args();
     let topo = options.topology_or_paper();
     let modes = [
         ("wormhole", Switching::wormhole()),

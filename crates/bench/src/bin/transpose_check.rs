@@ -6,10 +6,10 @@
 //! whether the partially adaptive algorithms do reclaim ground there.
 
 use wormsim::{AlgorithmKind, Experiment, TrafficConfig};
-use wormsim_bench::HarnessOptions;
+use wormsim_bench::SweepOptions;
 
 fn main() {
-    let options = HarnessOptions::from_args();
+    let options = SweepOptions::from_args();
     let topo = options.topology_or_paper();
     let workloads = [
         ("transpose", TrafficConfig::Transpose),

@@ -1,0 +1,92 @@
+//! `wormsim-worker` — a headless simulation worker for distributed
+//! sweeps.
+//!
+//! Binds an HTTP listener, announces the bound port on stdout, and runs
+//! submitted sweep points until killed. Pair with a sweep bin's
+//! `--backend remote --worker HOST:PORT` flags; see `docs/DISTRIBUTION.md`
+//! for the protocol and a two-terminal walkthrough.
+
+use wormsim_bench::worker::{serve, WorkerConfig};
+
+const USAGE: &str = "usage: wormsim-worker [--listen HOST:PORT] [--threads N]
+
+Runs sweep points submitted over HTTP by a sweep bin using
+--backend remote. Options:
+
+  --listen HOST:PORT  bind address (default 127.0.0.1:0, an ephemeral
+                      port announced on stdout)
+  --threads N         concurrent simulation slots (default: all cores)
+";
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Option<WorkerConfig>, String> {
+    let mut config = WorkerConfig {
+        listen: "127.0.0.1:0".to_owned(),
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => {
+                config.listen = args.next().ok_or("--listen needs HOST:PORT")?;
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                config.threads = wormsim_bench::cli::parse_threads(&v)?;
+            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Some(config))
+}
+
+fn main() {
+    let config = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(config)) => config,
+        Ok(None) => {
+            print!("{USAGE}");
+            return;
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(err) = serve(&config) {
+        eprintln!("wormsim-worker: {err}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Option<WorkerConfig>, String> {
+        parse_args(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_listen_and_threads() {
+        let config = parse(&["--listen", "0.0.0.0:7777", "--threads", "3"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(config.listen, "0.0.0.0:7777");
+        assert_eq!(config.threads, 3);
+    }
+
+    #[test]
+    fn defaults_to_ephemeral_loopback() {
+        let config = parse(&[]).unwrap().unwrap();
+        assert_eq!(config.listen, "127.0.0.1:0");
+        assert!(config.threads >= 1);
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse(&["--listen"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--port", "1"]).is_err());
+        assert!(parse(&["--help"]).unwrap().is_none());
+    }
+}

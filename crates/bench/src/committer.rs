@@ -1,0 +1,191 @@
+//! The deterministic committer: journal appends in schedule order, no
+//! matter what order the backend finishes points in.
+//!
+//! A sweep sharded across N workers completes points in a
+//! machine-dependent order; appending on completion (as the pre-backend
+//! orchestrator did) makes the journal's line order — and therefore its
+//! bytes — nondeterministic. The committer holds completed entries until
+//! every earlier point in the schedule is *resolved* (committed or
+//! skipped), then flushes the contiguous frontier. For a run that
+//! completes, the journal is byte-identical whether the points ran on one
+//! thread, sixteen threads, or two machines.
+//!
+//! Wall-clock fields (`wall_seconds`, `cycles_per_sec`) are canonicalized
+//! to zero before an entry reaches the committer — they are the only
+//! machine-dependent bytes in a [`RunResult`](wormsim::RunResult), and
+//! the CSV never reads them.
+
+use crate::journal::{Journal, JournalEntry, JournalError};
+
+enum Resolution {
+    /// Not finished yet — blocks everything behind it.
+    Pending,
+    /// Will never be journaled (resumed from a prior run, configuration
+    /// error, or interrupted).
+    Skip,
+    /// Finished out of order; held until the frontier reaches it.
+    Hold(Box<JournalEntry>),
+}
+
+/// In-order journal writer for one sweep. Indices are positions in the
+/// sweep's deterministic schedule.
+pub(crate) struct Committer {
+    journal: Journal,
+    resolutions: Vec<Resolution>,
+    frontier: usize,
+    committed_this_run: usize,
+    fail_after: Option<usize>,
+}
+
+impl Committer {
+    /// Wraps `journal` for a sweep of `total` points. `fail_after`
+    /// carries the `--fail-after-points` crash-injection hook: exit(3)
+    /// immediately after that many commits this run.
+    pub(crate) fn new(journal: Journal, total: usize, fail_after: Option<usize>) -> Committer {
+        Committer {
+            journal,
+            resolutions: (0..total).map(|_| Resolution::Pending).collect(),
+            frontier: 0,
+            committed_this_run: 0,
+            fail_after,
+        }
+    }
+
+    /// Marks point `index` as never-to-be-journaled and commits anything
+    /// it was blocking.
+    pub(crate) fn skip(&mut self, index: usize) -> Result<(), JournalError> {
+        self.resolutions[index] = Resolution::Skip;
+        self.advance()
+    }
+
+    /// Hands the committer point `index`'s finished entry; it is written
+    /// now if the frontier has reached it, held otherwise.
+    pub(crate) fn complete(
+        &mut self,
+        index: usize,
+        entry: JournalEntry,
+    ) -> Result<(), JournalError> {
+        self.resolutions[index] = Resolution::Hold(Box::new(entry));
+        self.advance()
+    }
+
+    /// Commits every *resolved* entry past the frontier, in index order,
+    /// skipping over unresolved gaps. Called when a sweep stops early
+    /// (interrupt, fail-fast abort): completed work is persisted for
+    /// resume even though the strict in-order guarantee only covers runs
+    /// that finish.
+    pub(crate) fn flush(&mut self) -> Result<(), JournalError> {
+        for index in self.frontier..self.resolutions.len() {
+            if let Resolution::Hold(_) = &self.resolutions[index] {
+                let Resolution::Hold(entry) =
+                    std::mem::replace(&mut self.resolutions[index], Resolution::Skip)
+                else {
+                    unreachable!("matched Hold above");
+                };
+                self.commit(*entry)?;
+            }
+        }
+        self.frontier = self.resolutions.len();
+        Ok(())
+    }
+
+    fn advance(&mut self) -> Result<(), JournalError> {
+        while self.frontier < self.resolutions.len() {
+            match &self.resolutions[self.frontier] {
+                Resolution::Pending => break,
+                Resolution::Skip => self.frontier += 1,
+                Resolution::Hold(_) => {
+                    let Resolution::Hold(entry) =
+                        std::mem::replace(&mut self.resolutions[self.frontier], Resolution::Skip)
+                    else {
+                        unreachable!("matched Hold above");
+                    };
+                    self.commit(*entry)?;
+                    self.frontier += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn commit(&mut self, entry: JournalEntry) -> Result<(), JournalError> {
+        self.journal.record(entry)?;
+        self.committed_this_run += 1;
+        if let Some(limit) = self.fail_after {
+            if self.committed_this_run >= limit {
+                eprintln!(
+                    "\nfail-after-points: simulating a crash after {} journaled points",
+                    self.committed_this_run
+                );
+                std::process::exit(3);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormsim::topology::Topology;
+    use wormsim::{AlgorithmKind, Experiment};
+
+    fn entry(index: usize) -> JournalEntry {
+        // A real (cheap) result so the entry survives the journal's JSON
+        // round-trip; the seed makes each entry's hash distinct.
+        let experiment = Experiment::new(Topology::torus(&[4, 4]), AlgorithmKind::Ecube)
+            .offered_load(0.05)
+            .quick()
+            .seed(index as u64 + 1);
+        let mut result = experiment.run().expect("tiny run");
+        result.wall_seconds = 0.0;
+        result.cycles_per_sec = 0.0;
+        JournalEntry {
+            point_hash: experiment.point_hash(),
+            index,
+            attempts: 1,
+            result,
+        }
+    }
+
+    #[test]
+    fn out_of_order_completion_commits_in_schedule_order() {
+        let dir = tempdir("committer_order");
+        let journal = Journal::create(dir.join("j.jsonl")).unwrap();
+        let mut committer = Committer::new(journal, 4, None);
+        let entries: Vec<JournalEntry> = (0..4).map(entry).collect();
+        // Finish 3, 1, 0, 2 — the journal must read 0, 1, 2, 3.
+        committer.complete(3, entries[3].clone()).unwrap();
+        committer.complete(1, entries[1].clone()).unwrap();
+        committer.complete(0, entries[0].clone()).unwrap();
+        committer.complete(2, entries[2].clone()).unwrap();
+        let reloaded = Journal::load(dir.join("j.jsonl")).unwrap();
+        let indices: Vec<usize> = reloaded.entries().iter().map(|e| e.index).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn skips_unblock_the_frontier_and_flush_persists_stragglers() {
+        let dir = tempdir("committer_flush");
+        let journal = Journal::create(dir.join("j.jsonl")).unwrap();
+        let mut committer = Committer::new(journal, 4, None);
+        committer.complete(3, entry(3)).unwrap();
+        committer.skip(0).unwrap();
+        committer.complete(1, entry(1)).unwrap();
+        // Point 2 never resolves (interrupted); 1 is committed, 3 held.
+        let mid = Journal::load(dir.join("j.jsonl")).unwrap();
+        assert_eq!(mid.len(), 1);
+        committer.flush().unwrap();
+        let reloaded = Journal::load(dir.join("j.jsonl")).unwrap();
+        let indices: Vec<usize> = reloaded.entries().iter().map(|e| e.index).collect();
+        assert_eq!(indices, vec![1, 3], "flush writes held entries in order");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("wormsim_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+}

@@ -1,0 +1,247 @@
+//! A deliberately tiny HTTP/1.1 subset for the worker protocol.
+//!
+//! The workspace vendors no network crates, so both sides of the
+//! orchestrator ↔ `wormsim-worker` link are hand-rolled over
+//! [`std::net::TcpStream`]: one request per connection, `Content-Length`
+//! framing, `Connection: close`. That subset is all the protocol needs —
+//! four endpoints exchanging small JSON bodies — and keeps the wire
+//! debuggable with `curl`.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Largest header block we accept (per request/response).
+const MAX_HEAD: usize = 64 * 1024;
+/// Largest body we accept; experiments and results are a few KB.
+const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// A parsed incoming request: method, target (path plus optional query),
+/// and the body.
+pub(crate) struct Request {
+    pub method: String,
+    pub target: String,
+    pub body: String,
+}
+
+/// Reads bytes until the blank line ending the header block, then returns
+/// (head, leftover-bytes-already-read-past-it).
+fn read_head(stream: &mut TcpStream) -> std::io::Result<(String, Vec<u8>)> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(end) = find_blank_line(&buf) {
+            let head = String::from_utf8_lossy(&buf[..end]).into_owned();
+            return Ok((head, buf[end + 4..].to_vec()));
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "http header block too large",
+            ));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before end of http headers",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn content_length(head: &str) -> std::io::Result<usize> {
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                let len: usize = value.trim().parse().map_err(|_| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "unparseable Content-Length",
+                    )
+                })?;
+                if len > MAX_BODY {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "http body too large",
+                    ));
+                }
+                return Ok(len);
+            }
+        }
+    }
+    Ok(0)
+}
+
+fn read_body(
+    stream: &mut TcpStream,
+    mut already: Vec<u8>,
+    length: usize,
+) -> std::io::Result<String> {
+    let mut chunk = [0u8; 4096];
+    while already.len() < length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        already.extend_from_slice(&chunk[..n]);
+    }
+    already.truncate(length);
+    String::from_utf8(already)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "http body is not utf-8"))
+}
+
+/// Server side: reads one request off an accepted connection.
+pub(crate) fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    let (head, leftover) = read_head(stream)?;
+    let request_line = head.lines().next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_owned();
+    let target = parts.next().unwrap_or_default().to_owned();
+    if method.is_empty() || target.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed http request line",
+        ));
+    }
+    let body = read_body(stream, leftover, content_length(&head)?)?;
+    Ok(Request {
+        method,
+        target,
+        body,
+    })
+}
+
+/// Server side: writes a JSON response and closes the exchange.
+pub(crate) fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        _ => "Error",
+    };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Strips an optional `http://` scheme and trailing slash so `--worker`
+/// accepts both `127.0.0.1:9000` and `http://127.0.0.1:9000/`.
+pub(crate) fn normalize_addr(addr: &str) -> String {
+    addr.trim()
+        .trim_start_matches("http://")
+        .trim_end_matches('/')
+        .to_owned()
+}
+
+/// Client side: one request/response exchange against `addr`, with
+/// `timeout` applied to connect, each read, and each write. Returns
+/// `(status, body)`; transport failures come back as rendered strings so
+/// the caller can wrap them in its own retry machinery.
+pub(crate) fn call(
+    addr: &str,
+    method: &str,
+    target: &str,
+    body: &str,
+    timeout: Duration,
+) -> Result<(u16, String), String> {
+    let addr = normalize_addr(addr);
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr} resolves to no address"))?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout)
+        .map_err(|e| format!("connect to {addr} failed: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(|e| format!("cannot set socket timeouts: {e}"))?;
+    let request = format!(
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send to {addr} failed: {e}"))?;
+    let (head, leftover) =
+        read_head(&mut stream).map_err(|e| format!("read from {addr} failed: {e}"))?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("malformed status line from {addr}: {status_line:?}"))?;
+    let length = content_length(&head).map_err(|e| format!("bad response from {addr}: {e}"))?;
+    let body = read_body(&mut stream, leftover, length)
+        .map_err(|e| format!("read from {addr} failed: {e}"))?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn round_trip_request_and_response() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let request = read_request(&mut stream).unwrap();
+            assert_eq!(request.method, "POST");
+            assert_eq!(request.target, "/submit?x=1");
+            assert_eq!(request.body, "{\"hello\":42}");
+            write_response(&mut stream, 200, "{\"ok\":true}").unwrap();
+        });
+        let (status, body) = call(
+            &format!("http://{addr}/"),
+            "POST",
+            "/submit?x=1",
+            "{\"hello\":42}",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn connect_failure_is_a_rendered_error() {
+        // Port 1 on loopback is essentially never listening.
+        let err = call(
+            "127.0.0.1:1",
+            "GET",
+            "/handshake",
+            "",
+            Duration::from_millis(200),
+        )
+        .unwrap_err();
+        assert!(err.contains("127.0.0.1:1"), "got: {err}");
+    }
+
+    #[test]
+    fn normalize_strips_scheme_and_slash() {
+        assert_eq!(normalize_addr("http://10.0.0.2:9000/"), "10.0.0.2:9000");
+        assert_eq!(normalize_addr(" 10.0.0.2:9000"), "10.0.0.2:9000");
+    }
+}

@@ -120,6 +120,8 @@ pub struct Journal {
     text: String,
     entries: Vec<JournalEntry>,
     by_hash: HashMap<String, usize>,
+    /// Whether [`Journal::load`] dropped a torn trailing line.
+    recovered_truncation: bool,
 }
 
 impl Journal {
@@ -143,11 +145,20 @@ impl Journal {
             text: String::new(),
             entries: Vec::new(),
             by_hash: HashMap::new(),
+            recovered_truncation: false,
         })
     }
 
     /// Opens an existing journal, parsing every record. Later records win
     /// on duplicate hashes (a retried resume may re-record a point).
+    ///
+    /// An unparseable *final* line is treated as a mid-append crash
+    /// artifact: the valid prefix loads with a warning on stderr (and
+    /// [`recovered_truncation`](Journal::recovered_truncation) set), and
+    /// the torn line is dropped — the next persist rewrites the file
+    /// without it. An unparseable line *followed by* valid records cannot
+    /// be truncation, so it still fails the load: refusing to resume from
+    /// a journal with a hole beats silently re-running points.
     pub fn load(path: impl Into<PathBuf>) -> Result<Journal, JournalError> {
         let path = path.into();
         let text = std::fs::read_to_string(&path).map_err(|e| JournalError::Io {
@@ -159,19 +170,33 @@ impl Journal {
             text: String::new(),
             entries: Vec::new(),
             by_hash: HashMap::new(),
+            recovered_truncation: false,
         };
-        for (number, line) in text.lines().enumerate() {
-            if line.trim().is_empty() {
-                continue;
-            }
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .filter(|(_, line)| !line.trim().is_empty())
+            .collect();
+        for (position, &(number, line)) in lines.iter().enumerate() {
             let parse = |message: String| JournalError::Parse {
                 path: path.display().to_string(),
                 line: number + 1,
                 message,
             };
-            let value = json::from_str(line).map_err(|e| parse(e.to_string()))?;
-            let entry = JournalEntry::from_json(&value).map_err(parse)?;
-            journal.push(entry);
+            let parsed = json::from_str(line)
+                .map_err(|e| parse(e.to_string()))
+                .and_then(|value| JournalEntry::from_json(&value).map_err(parse));
+            match parsed {
+                Ok(entry) => journal.push(entry),
+                Err(error) if position + 1 == lines.len() => {
+                    eprintln!(
+                        "warning: {error}; treating it as a torn append and resuming from the {} valid point(s) before it",
+                        journal.entries.len()
+                    );
+                    journal.recovered_truncation = true;
+                }
+                Err(error) => return Err(error),
+            }
         }
         Ok(journal)
     }
@@ -210,6 +235,17 @@ impl Journal {
     /// Whether no point has been journaled yet.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Every journaled point, in file (append) order.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Whether [`Journal::load`] dropped an unparseable trailing line
+    /// (mid-append crash recovery).
+    pub fn recovered_truncation(&self) -> bool {
+        self.recovered_truncation
     }
 
     /// Where the journal lives on disk.
@@ -312,17 +348,58 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_torn_or_foreign_lines() {
+    fn torn_trailing_line_recovers_the_valid_prefix() {
         let path = temp_path("torn");
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, "{\"point_hash\":\"h\",\"index\":0").unwrap();
-        let error = Journal::load(&path).expect_err("torn line must not load");
+        let mut journal = Journal::create(&path).unwrap();
+        for i in 0..2 {
+            journal
+                .record(JournalEntry {
+                    point_hash: format!("hash{i}"),
+                    index: i,
+                    attempts: 1,
+                    result: result(0.1 * (i as f64 + 1.0)),
+                })
+                .unwrap();
+        }
+        // Simulate a crash mid-append: a third record cut off partway.
+        let mut torn = std::fs::read_to_string(&path).unwrap();
+        torn.push_str("{\"point_hash\":\"hash2\",\"index\":2,\"at");
+        std::fs::write(&path, &torn).unwrap();
+
+        let loaded = Journal::load(&path).expect("valid prefix must load");
+        assert!(loaded.recovered_truncation());
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded.get("hash1").is_some());
+        assert!(loaded.get("hash2").is_none(), "torn record is dropped");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn bad_line_before_valid_records_still_fails_the_load() {
+        let path = temp_path("foreign");
+        let mut journal = Journal::create(&path).unwrap();
+        journal
+            .record(JournalEntry {
+                point_hash: "hash0".into(),
+                index: 0,
+                attempts: 1,
+                result: result(0.1),
+            })
+            .unwrap();
+        // Corrupt the FIRST line; a valid record follows, so this is not
+        // truncation and must be refused.
+        let good_line = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, format!("not json at all\n{good_line}")).unwrap();
+        let error = Journal::load(&path).expect_err("mid-file corruption must not load");
         assert!(
             matches!(error, JournalError::Parse { line: 1, .. }),
             "{error}"
         );
-        std::fs::write(&path, "not json at all\n").unwrap();
-        assert!(Journal::load(&path).is_err());
+        // A journal that is ONLY a torn line recovers to empty.
+        std::fs::write(&path, "{\"point_hash\":\"h\",\"index\":0").unwrap();
+        let empty = Journal::load(&path).expect("sole torn line recovers to empty");
+        assert!(empty.is_empty());
+        assert!(empty.recovered_truncation());
         std::fs::remove_dir_all(path.parent().unwrap()).ok();
     }
 

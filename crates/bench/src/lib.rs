@@ -10,27 +10,45 @@
 //! outcomes retry with seed-jittered backoff, and SIGINT drains in-flight
 //! points before flushing partial results and printing a ready-to-paste
 //! resume command. See `docs/ROBUSTNESS.md`.
+//!
+//! Execution is pluggable behind the [`WorkerBackend`] trait: the default
+//! [`LocalThreadBackend`] runs points on an in-process pool, while
+//! [`RemoteBackend`] shards them across `wormsim-worker` processes over
+//! HTTP. Either way the deterministic committer journals completed points
+//! strictly in schedule order, so the merged CSV and journal are
+//! byte-identical no matter how the sweep was sharded. See
+//! `docs/DISTRIBUTION.md`.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::Write as _;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 use wormsim::presets::FigureSpec;
-use wormsim::stats::{ConfidenceInterval, ConvergenceStatus};
 use wormsim::topology::Topology;
 use wormsim::{
     format_results_table, format_sweep_csv, CancelToken, Experiment, ExperimentError,
-    MeasurementSchedule, ObserveConfig, PanicInfo, RunOutcome, RunResult,
+    MeasurementSchedule, ObserveConfig, RunOutcome, RunResult,
 };
 
+mod backend;
 pub mod cli;
+mod committer;
+mod http;
 mod journal;
 pub mod plot;
 mod reference;
+mod remote;
+pub mod worker;
+pub use backend::{
+    BackendChoice, BackendError, LocalThreadBackend, PointJob, PointStatus, WorkHandle,
+    WorkerBackend,
+};
 pub use journal::{Journal, JournalEntry, JournalError};
 pub use reference::{paper_reference, PaperClaim};
+pub use remote::RemoteBackend;
+
+use committer::Committer;
 
 /// The token the installed SIGINT handler trips. Process-global because a
 /// signal handler has no other way to reach session state.
@@ -68,7 +86,7 @@ pub fn install_sigint_handler(token: &CancelToken) {
 
 /// Command-line options shared by the figure binaries.
 #[derive(Clone, Debug)]
-pub struct HarnessOptions {
+pub struct SweepOptions {
     /// Measurement schedule (`--quick` selects the short one).
     pub schedule: MeasurementSchedule,
     /// Topology override (`--topo torus:32x32`, `--topo 8^3`, ...); `None`
@@ -118,11 +136,18 @@ pub struct HarnessOptions {
     /// Cooperative shutdown flag. Binaries route SIGINT here via
     /// [`install_sigint_handler`]; tests trip it directly.
     pub shutdown: CancelToken,
+    /// Where points execute (`--backend local|remote`, `--worker ADDR`);
+    /// defaults to the in-process pool.
+    pub backend: BackendChoice,
 }
 
-impl Default for HarnessOptions {
+/// The old name of [`SweepOptions`], kept for one release.
+#[deprecated(since = "0.9.0", note = "renamed to `SweepOptions`")]
+pub type HarnessOptions = SweepOptions;
+
+impl Default for SweepOptions {
     fn default() -> Self {
-        HarnessOptions {
+        SweepOptions {
             schedule: MeasurementSchedule::default(),
             topology: None,
             seed: 1993,
@@ -139,11 +164,12 @@ impl Default for HarnessOptions {
             fail_after_points: None,
             inject_panic: None,
             shutdown: CancelToken::new(),
+            backend: BackendChoice::Local,
         }
     }
 }
 
-impl HarnessOptions {
+impl SweepOptions {
     /// Parses `--quick`, `--saturation`, `--seed N`, `--out DIR`,
     /// `--threads N`, `--observe DIR`, `--trace-out DIR`,
     /// `--sample-every N` from `std::env::args`, exiting with a usage
@@ -154,7 +180,8 @@ impl HarnessOptions {
             eprintln!(
                 "usage: [--quick|--saturation] [--topo T] [--seed N] [--out DIR] [--threads N] \
                  [--observe DIR] [--trace-out DIR] [--sample-every N] [--metrics] \
-                 [--cycle-budget N] [--wall-budget SECS] [--resume JOURNAL] [--retries N]"
+                 [--cycle-budget N] [--wall-budget SECS] [--resume JOURNAL] [--retries N] \
+                 [--backend local|remote] [--worker HOST:PORT]..."
             );
             std::process::exit(2);
         })
@@ -167,7 +194,7 @@ impl HarnessOptions {
     /// Returns a human-readable message for unknown flags, missing values,
     /// malformed integers, and the nonsensical `--threads 0`.
     pub fn parse(mut args: impl Iterator<Item = String>) -> Result<Self, String> {
-        let mut options = HarnessOptions::default();
+        let mut options = SweepOptions::default();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => options.schedule = MeasurementSchedule::quick(),
@@ -217,12 +244,21 @@ impl HarnessOptions {
                     let v = args.next().ok_or("--fail-after-points needs a value")?;
                     options.fail_after_points = Some(cli::parse_fail_after(&v)?);
                 }
+                "--backend" => {
+                    let v = args.next().ok_or("--backend needs 'local' or 'remote'")?;
+                    options.set_backend(&v)?;
+                }
+                "--worker" => {
+                    let v = args.next().ok_or("--worker needs HOST:PORT")?;
+                    options.add_worker(v);
+                }
                 other => {
                     return Err(format!(
                         "unknown argument '{other}' (expected --quick, --saturation, --topo T, \
                          --seed N, --out DIR, --threads N, --observe DIR, --trace-out DIR, \
                          --sample-every N, --metrics, --cycle-budget N, --wall-budget SECS, \
-                         --resume JOURNAL, --retries N)"
+                         --resume JOURNAL, --retries N, --backend local|remote, \
+                         --worker HOST:PORT)"
                     ))
                 }
             }
@@ -230,7 +266,74 @@ impl HarnessOptions {
         if options.metrics && options.observe_dir.is_none() {
             return Err("--metrics needs --observe DIR (metrics export to the observe dir)".into());
         }
+        options.validate_backend()?;
         Ok(options)
+    }
+
+    /// Applies a `--backend` value.
+    ///
+    /// # Errors
+    ///
+    /// On anything other than `local` or `remote`, or `local` after
+    /// `--worker` already implied remote.
+    pub fn set_backend(&mut self, value: &str) -> Result<(), String> {
+        match value {
+            "local" => match &self.backend {
+                BackendChoice::Remote { workers } if !workers.is_empty() => {
+                    return Err("--backend local conflicts with --worker".into());
+                }
+                _ => self.backend = BackendChoice::Local,
+            },
+            "remote" => {
+                if self.backend == BackendChoice::Local {
+                    self.backend = BackendChoice::Remote {
+                        workers: Vec::new(),
+                    };
+                }
+            }
+            other => {
+                return Err(format!(
+                    "--backend must be 'local' or 'remote', got '{other}'"
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds a `--worker HOST:PORT` address, switching to the remote
+    /// backend if not already selected.
+    pub fn add_worker(&mut self, addr: String) {
+        match &mut self.backend {
+            BackendChoice::Remote { workers } => workers.push(addr),
+            BackendChoice::Local => {
+                self.backend = BackendChoice::Remote {
+                    workers: vec![addr],
+                }
+            }
+        }
+    }
+
+    /// Checks backend-dependent option consistency: the remote backend
+    /// needs at least one worker and cannot stream telemetry (observe and
+    /// trace files would land on the worker's filesystem, not here).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the conflicting flags.
+    pub fn validate_backend(&self) -> Result<(), String> {
+        if let BackendChoice::Remote { workers } = &self.backend {
+            if workers.is_empty() {
+                return Err("--backend remote needs at least one --worker HOST:PORT".into());
+            }
+            if self.observe_dir.is_some() || self.trace_dir.is_some() {
+                return Err(
+                    "--observe/--trace-out are incompatible with --backend remote \
+                     (telemetry would land on the worker's filesystem)"
+                        .into(),
+                );
+            }
+        }
+        Ok(())
     }
 
     /// The `--topo` override, or the paper's default 16×16 torus.
@@ -285,6 +388,15 @@ pub enum HarnessError {
     /// continuing without checkpoints would silently void the crash-safety
     /// contract.
     Journal(JournalError),
+    /// The execution backend failed (a worker died, a handshake was
+    /// refused). Fatal: the sweep cannot know which points would be lost.
+    Backend(BackendError),
+    /// The sweep plan or options were inconsistent (empty journal name,
+    /// remote backend without workers, ...).
+    Plan {
+        /// What was wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for HarnessError {
@@ -292,6 +404,8 @@ impl fmt::Display for HarnessError {
         match self {
             HarnessError::Sweep(e) => e.fmt(f),
             HarnessError::Journal(e) => e.fmt(f),
+            HarnessError::Backend(e) => e.fmt(f),
+            HarnessError::Plan { message } => write!(f, "invalid sweep plan: {message}"),
         }
     }
 }
@@ -301,6 +415,8 @@ impl std::error::Error for HarnessError {
         match self {
             HarnessError::Sweep(e) => Some(e),
             HarnessError::Journal(e) => Some(e),
+            HarnessError::Backend(e) => Some(e),
+            HarnessError::Plan { .. } => None,
         }
     }
 }
@@ -338,7 +454,7 @@ pub enum FigureRun {
     },
 }
 
-/// One sweep's raw per-point outcomes from [`run_experiments`].
+/// One sweep's raw per-point outcomes from [`run_sweep`].
 #[derive(Debug)]
 pub struct ExperimentsRun {
     /// Per point, in input order: `None` if the point never ran (shutdown
@@ -355,134 +471,111 @@ pub struct ExperimentsRun {
     pub journal: PathBuf,
 }
 
-/// Seed-jittered backoff before retry `attempt` of the point with digest
-/// `point_hash`: exponential base so repeated transients spread out, plus
-/// a per-point jitter so a thundering herd of failed points does not
-/// retry in lockstep. Deterministic in (hash, attempt) — no wall clock,
-/// no global RNG.
-fn backoff_ms(point_hash: &str, attempt: u64) -> u64 {
-    let digest = wormsim::observe::fnv1a_hex(&format!("{point_hash}:retry:{attempt}"));
-    let jitter = u64::from_str_radix(&digest[..4], 16).unwrap_or(0) % 64;
-    (25u64 << attempt.min(5)) + jitter
-}
-
-/// Renders a worker panic into a placeholder [`RunResult`] carrying
-/// [`RunOutcome::Harness`], so the surrounding sweep records the failure
-/// and keeps running instead of poisoning the pool.
-fn panic_result(experiment: &Experiment, payload: &(dyn std::any::Any + Send)) -> RunResult {
-    let message = if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
-    };
-    RunResult {
-        algorithm: experiment.algorithm_kind().name().to_owned(),
-        traffic: experiment.traffic_config().to_string(),
-        offered_load: experiment.offered_load_value(),
-        injection_rate: 0.0,
-        latency: ConfidenceInterval::new(0.0, f64::INFINITY),
-        latency_percentiles: [0, 0, 0],
-        latency_max: 0,
-        class_latencies: Vec::new(),
-        achieved_utilization: 0.0,
-        delivery_rate: 0.0,
-        acceptance_rate: 0.0,
-        refused_fraction: 0.0,
-        messages_measured: 0,
-        convergence: ConvergenceStatus::NeedMoreSamples,
-        samples: 0,
-        cycles_simulated: 0,
-        wall_seconds: 0.0,
-        cycles_per_sec: 0.0,
-        outcome: RunOutcome::Harness(PanicInfo { message }),
-        dropped_events: 0,
-        deadlock: None,
-        livelock: None,
-    }
-}
-
-/// Runs one point with panic isolation and bounded retries. Panics become
-/// [`RunOutcome::Harness`] results; transient outcomes (budget trips,
-/// panics) retry up to `options.retries` extra times with seed-jittered
-/// backoff, reusing the identical simulation seed. Configuration errors
-/// never retry — they are deterministic. Returns the final result and the
-/// number of attempts consumed.
-fn run_point(
-    experiment: &Experiment,
-    index: usize,
-    point_hash: &str,
-    options: &HarnessOptions,
-) -> (Result<RunResult, ExperimentError>, u64) {
-    let max_attempts = u64::from(options.retries).saturating_add(1);
-    let mut attempt = 1u64;
-    loop {
-        let attempt_experiment = experiment
-            .clone()
-            .attempt(attempt as u32)
-            .resumed_from(options.resume.clone());
-        let run = catch_unwind(AssertUnwindSafe(|| {
-            if options.inject_panic == Some(index) {
-                panic!("injected harness panic at point {index}");
-            }
-            attempt_experiment.run()
-        }));
-        let result = match run {
-            Ok(inner) => inner,
-            Err(payload) => Ok(panic_result(experiment, payload.as_ref())),
-        };
-        let transient = matches!(&result, Ok(r) if r.outcome.is_transient());
-        if transient && attempt < max_attempts && !options.shutdown.is_cancelled() {
-            std::thread::sleep(std::time::Duration::from_millis(backoff_ms(
-                point_hash, attempt,
-            )));
-            attempt += 1;
-            continue;
-        }
-        return (result, attempt);
-    }
-}
-
-/// Orchestrates an arbitrary experiment list with the full robustness
-/// stack: journaled checkpoints (skipping points already recorded when
-/// `options.resume` is set), per-point panic isolation, bounded retries
-/// with backoff, and cooperative shutdown that drains in-flight points.
+/// What to sweep: the experiment list plus the per-sweep policy that used
+/// to ride along as positional arguments (`journal_name`, `fail_fast`).
 ///
-/// `journal_name` names the journal file created under `options.out_dir`
-/// when not resuming. With `fail_fast`, the first point whose
-/// *configuration* is rejected cancels the remaining points (figure
-/// sweeps: one bad config means the whole figure is wrong); without it,
-/// configuration errors are recorded per point and the sweep continues
-/// (fault sweeps: a plan that disconnects the network is data, not a bug).
+/// Build with [`SweepPlan::new`] and the chained setters; [`run_sweep`]
+/// validates the plan before touching the filesystem.
+#[derive(Clone, Debug)]
+pub struct SweepPlan {
+    experiments: Vec<Experiment>,
+    journal_name: String,
+    fail_fast: bool,
+}
+
+impl SweepPlan {
+    /// A plan over `experiments` with the default journal name
+    /// (`sweep.journal.jsonl`) and fail-fast off.
+    pub fn new(experiments: Vec<Experiment>) -> SweepPlan {
+        SweepPlan {
+            experiments,
+            journal_name: "sweep.journal.jsonl".to_owned(),
+            fail_fast: false,
+        }
+    }
+
+    /// Names the journal file created under the options' output directory
+    /// when not resuming.
+    #[must_use]
+    pub fn journal_name(mut self, name: impl Into<String>) -> SweepPlan {
+        self.journal_name = name.into();
+        self
+    }
+
+    /// With fail-fast, the first point whose *configuration* is rejected
+    /// cancels the remaining points (figure sweeps: one bad config means
+    /// the whole figure is wrong); without it, configuration errors are
+    /// recorded per point and the sweep continues (fault sweeps: a plan
+    /// that disconnects the network is data, not a bug).
+    #[must_use]
+    pub fn fail_fast(mut self, fail_fast: bool) -> SweepPlan {
+        self.fail_fast = fail_fast;
+        self
+    }
+
+    /// The planned experiments, in schedule order.
+    pub fn experiments(&self) -> &[Experiment] {
+        &self.experiments
+    }
+
+    /// Checks plan consistency (the journal name must be a bare file
+    /// name, not a path).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.journal_name.is_empty() {
+            return Err("journal name must not be empty".into());
+        }
+        if self.journal_name.contains('/') || self.journal_name.contains('\\') {
+            return Err(format!(
+                "journal name '{}' must be a file name, not a path (it lands under --out)",
+                self.journal_name
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Orchestrates a [`SweepPlan`] on the configured backend with the full
+/// robustness stack: journaled checkpoints (skipping points already
+/// recorded when `options.resume` is set), per-point panic isolation,
+/// bounded retries with backoff, and cooperative shutdown that drains
+/// in-flight points.
+///
+/// Points are submitted to the backend up to its capacity and polled to
+/// completion; the deterministic committer appends finished points to the
+/// journal strictly in schedule order, with the machine-dependent wall
+/// fields canonicalized to zero — so the journal bytes are identical
+/// whether the sweep ran on one thread, sixteen, or two remote workers.
 ///
 /// # Errors
 ///
-/// Journal I/O or parse failures. Point-level outcomes — including
+/// Journal I/O or parse failures, backend infrastructure failures, and
+/// inconsistent plans/options. Point-level outcomes — including
 /// configuration errors — are reported in the returned
 /// [`ExperimentsRun`], not as `Err`.
-pub fn run_experiments(
-    experiments: &[Experiment],
-    options: &HarnessOptions,
-    journal_name: &str,
-    fail_fast: bool,
-) -> Result<ExperimentsRun, HarnessError> {
+pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> Result<ExperimentsRun, HarnessError> {
+    plan.validate()
+        .and_then(|()| options.validate_backend())
+        .map_err(|message| HarnessError::Plan { message })?;
+    let experiments = plan.experiments();
     let journal = match &options.resume {
         Some(path) => Journal::load(path)?,
-        None => Journal::create(Path::new(&options.out_dir).join(journal_name))?,
+        None => Journal::create(Path::new(&options.out_dir).join(&plan.journal_name))?,
     };
     let journal_path = journal.path().to_path_buf();
     let hashes: Vec<String> = experiments.iter().map(Experiment::point_hash).collect();
 
-    // One worker slot: the point's outcome plus the attempts it took.
+    // One slot per point: the outcome plus the attempts it took.
     type Slot = Option<(Result<RunResult, ExperimentError>, u64)>;
     let total = experiments.len();
-    let slots: Vec<Mutex<Slot>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let mut slots: Vec<Slot> = (0..total).map(|_| None).collect();
     let mut resumed = 0usize;
     for (i, hash) in hashes.iter().enumerate() {
         if let Some(entry) = journal.get(hash) {
-            *slots[i].lock().expect("no poisoned slots") =
-                Some((Ok(entry.result.clone()), entry.attempts));
+            slots[i] = Some((Ok(entry.result.clone()), entry.attempts));
             resumed += 1;
         }
     }
@@ -493,97 +586,132 @@ pub fn run_experiments(
         );
     }
 
-    let journal = Mutex::new(journal);
-    let journal_failure: Mutex<Option<JournalError>> = Mutex::new(None);
-    let journaled_this_run = AtomicUsize::new(0);
-    let done = AtomicUsize::new(resumed);
-    let next = AtomicUsize::new(0);
-    let aborted = AtomicBool::new(false);
+    let mut committer = Committer::new(journal, total, options.fail_after_points);
+    let mut backend: Box<dyn WorkerBackend> = match &options.backend {
+        BackendChoice::Local => Box::new(LocalThreadBackend::new(
+            options.threads,
+            options.shutdown.clone(),
+        )),
+        BackendChoice::Remote { workers } => {
+            Box::new(RemoteBackend::connect(workers).map_err(HarnessError::Backend)?)
+        }
+    };
+
+    // Submission queue in schedule order; resumed points resolve as skips
+    // so they never block the committer's frontier.
+    let mut to_submit: VecDeque<usize> = VecDeque::new();
+    for i in 0..total {
+        if slots[i].is_some() {
+            committer.skip(i)?;
+        } else {
+            to_submit.push_back(i);
+        }
+    }
+
+    let mut in_flight: Vec<(WorkHandle, usize)> = Vec::new();
+    let mut aborted = false;
+    let mut cancel_sent = false;
+    let mut done = resumed;
     let started = std::time::Instant::now();
 
-    std::thread::scope(|scope| {
-        for _ in 0..options.threads.max(1) {
-            scope.spawn(|| loop {
-                if aborted.load(Ordering::Relaxed) || options.shutdown.is_cancelled() {
-                    break;
-                }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                if slots[i].lock().expect("no poisoned slots").is_some() {
-                    continue; // resumed from the journal
-                }
-                let (result, attempts) = run_point(&experiments[i], i, &hashes[i], options);
-                match &result {
-                    Ok(r) if r.outcome == RunOutcome::Interrupted => {
-                        // Shutdown drained this point mid-run: its partial
-                        // statistics are not data. Leave the slot empty so
-                        // a resume re-runs it from scratch.
-                        continue;
-                    }
-                    Ok(r) => {
-                        let entry = JournalEntry {
-                            point_hash: hashes[i].clone(),
-                            index: i,
-                            attempts,
-                            result: r.clone(),
-                        };
-                        if let Err(e) = journal.lock().expect("no poisoned journal").record(entry) {
-                            aborted.store(true, Ordering::Relaxed);
-                            let mut failure =
-                                journal_failure.lock().expect("no poisoned failure slot");
-                            if failure.is_none() {
-                                *failure = Some(e);
-                            }
-                            break;
-                        }
-                        let journaled = journaled_this_run.fetch_add(1, Ordering::Relaxed) + 1;
-                        if options
-                            .fail_after_points
-                            .is_some_and(|limit| journaled >= limit)
-                        {
-                            // Crash simulation for the resume tests: die
-                            // hard, right now, leaving only the journal.
-                            eprintln!(
-                                "\nfail-after-points: simulating a crash after {journaled} \
-                                 journaled points"
-                            );
-                            std::process::exit(3);
-                        }
-                    }
-                    Err(_) if fail_fast => {
-                        aborted.store(true, Ordering::Relaxed);
-                    }
-                    Err(_) => {}
-                }
-                *slots[i].lock().expect("no poisoned slots") = Some((result, attempts));
-                let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
-                let remaining = total - completed;
-                if remaining == 0 {
-                    eprint!("\r  {completed}/{total} points              ");
-                } else {
-                    // Average seconds per completed point predicts the rest.
-                    let fresh = completed.saturating_sub(resumed).max(1);
-                    let eta = started.elapsed().as_secs_f64() / fresh as f64 * remaining as f64;
-                    eprint!("\r  {completed}/{total} points (ETA {eta:.0}s)   ");
-                }
-                let _ = std::io::stderr().flush();
-            });
+    loop {
+        while !aborted
+            && !options.shutdown.is_cancelled()
+            && in_flight.len() < backend.capacity().max(1)
+        {
+            let Some(&i) = to_submit.front() else { break };
+            let job = PointJob {
+                experiment: experiments[i].clone(),
+                index: i,
+                point_hash: hashes[i].clone(),
+                retries: options.retries,
+                inject_panic: options.inject_panic == Some(i),
+                resumed_from: options.resume.clone(),
+            };
+            let handle = backend.submit(job).map_err(HarnessError::Backend)?;
+            to_submit.pop_front();
+            in_flight.push((handle, i));
         }
-    });
+        if options.shutdown.is_cancelled() && !cancel_sent {
+            backend.cancel();
+            cancel_sent = true;
+        }
+        if in_flight.is_empty()
+            && (to_submit.is_empty() || aborted || options.shutdown.is_cancelled())
+        {
+            break;
+        }
+        let mut progressed = false;
+        let mut k = 0;
+        while k < in_flight.len() {
+            let (handle, i) = in_flight[k];
+            match backend.poll(handle).map_err(HarnessError::Backend)? {
+                PointStatus::Pending => k += 1,
+                PointStatus::Done { result, attempts } => {
+                    in_flight.swap_remove(k);
+                    progressed = true;
+                    match &result {
+                        Ok(r) if r.outcome == RunOutcome::Interrupted => {
+                            // Shutdown drained this point mid-run: its
+                            // partial statistics are not data. Leave the
+                            // slot empty so a resume re-runs it.
+                            committer.skip(i)?;
+                            continue;
+                        }
+                        Ok(r) => {
+                            let mut recorded = r.clone();
+                            // The only machine-dependent bytes in a result;
+                            // zeroing them makes the journal byte-identical
+                            // across backends and machines.
+                            recorded.wall_seconds = 0.0;
+                            recorded.cycles_per_sec = 0.0;
+                            committer.complete(
+                                i,
+                                JournalEntry {
+                                    point_hash: hashes[i].clone(),
+                                    index: i,
+                                    attempts,
+                                    result: recorded,
+                                },
+                            )?;
+                        }
+                        Err(_) => {
+                            committer.skip(i)?;
+                            if plan.fail_fast {
+                                aborted = true;
+                            }
+                        }
+                    }
+                    slots[i] = Some((result, attempts));
+                    done += 1;
+                    let remaining = total - done;
+                    if remaining == 0 {
+                        eprint!("\r  {done}/{total} points              ");
+                    } else {
+                        // Average seconds per completed point predicts the
+                        // rest.
+                        let fresh = done.saturating_sub(resumed).max(1);
+                        let eta = started.elapsed().as_secs_f64() / fresh as f64 * remaining as f64;
+                        eprint!("\r  {done}/{total} points (ETA {eta:.0}s)   ");
+                    }
+                    let _ = std::io::stderr().flush();
+                }
+            }
+        }
+        if !progressed {
+            std::thread::sleep(backend.poll_interval());
+        }
+    }
+    // Abort/interrupt can leave completed entries held behind a gap;
+    // persist them (out of the strict order, which only covers complete
+    // runs) so a resume does not redo finished work.
+    committer.flush()?;
     eprintln!();
 
-    if let Some(error) = journal_failure
-        .into_inner()
-        .expect("no poisoned failure slot")
-    {
-        return Err(error.into());
-    }
     let mut outcomes = Vec::with_capacity(total);
     let mut attempts = Vec::with_capacity(total);
     for slot in slots {
-        match slot.into_inner().expect("no poisoned slots") {
+        match slot {
             Some((result, n)) => {
                 outcomes.push(Some(result));
                 attempts.push(n);
@@ -594,7 +722,7 @@ pub fn run_experiments(
             }
         }
     }
-    let interrupted = outcomes.iter().any(Option::is_none) && !aborted.load(Ordering::Relaxed);
+    let interrupted = outcomes.iter().any(Option::is_none) && !aborted;
     Ok(ExperimentsRun {
         outcomes,
         attempts,
@@ -604,8 +732,31 @@ pub fn run_experiments(
     })
 }
 
+/// The pre-[`SweepPlan`] orchestrator entry point, kept for one release.
+///
+/// # Errors
+///
+/// As for [`run_sweep`].
+#[deprecated(
+    since = "0.9.0",
+    note = "build a `SweepPlan` and call `run_sweep` instead"
+)]
+pub fn run_experiments(
+    experiments: &[Experiment],
+    options: &SweepOptions,
+    journal_name: &str,
+    fail_fast: bool,
+) -> Result<ExperimentsRun, HarnessError> {
+    run_sweep(
+        &SweepPlan::new(experiments.to_vec())
+            .journal_name(journal_name)
+            .fail_fast(fail_fast),
+        options,
+    )
+}
+
 /// Runs every `(algorithm, load)` experiment of a figure in parallel with
-/// the full robustness stack (see [`run_experiments`]) and returns results
+/// the full robustness stack (see [`run_sweep`]) and returns results
 /// in deterministic order (algorithm-major, load-minor).
 ///
 /// # Errors
@@ -627,7 +778,7 @@ pub fn run_experiments(
 /// # Panics
 ///
 /// Panics if the override leaves no runnable algorithm.
-pub fn apply_topology_override(spec: FigureSpec, options: &HarnessOptions) -> FigureSpec {
+pub fn apply_topology_override(spec: FigureSpec, options: &SweepOptions) -> FigureSpec {
     let Some(topo) = &options.topology else {
         return spec;
     };
@@ -647,7 +798,7 @@ pub fn apply_topology_override(spec: FigureSpec, options: &HarnessOptions) -> Fi
     spec
 }
 
-pub fn run_figure(spec: &FigureSpec, options: &HarnessOptions) -> Result<FigureRun, HarnessError> {
+pub fn run_figure(spec: &FigureSpec, options: &SweepOptions) -> Result<FigureRun, HarnessError> {
     let mut experiments = wormsim::presets::experiments_for(spec, options.schedule, options.seed);
     if options.observe_dir.is_some() || options.trace_dir.is_some() {
         let config = ObserveConfig {
@@ -671,12 +822,11 @@ pub fn run_figure(spec: &FigureSpec, options: &HarnessOptions) -> Result<FigureR
         })
         .collect();
 
-    let run = run_experiments(
-        &experiments,
-        options,
-        &format!("{}.journal.jsonl", spec.id),
-        true,
-    )?;
+    let plan = SweepPlan::new(experiments)
+        .journal_name(format!("{}.journal.jsonl", spec.id))
+        .fail_fast(true);
+    let run = run_sweep(&plan, options)?;
+    let experiments = plan.experiments();
 
     // First configuration error (lowest index) wins, as before.
     for (i, outcome) in run.outcomes.iter().enumerate() {
@@ -730,7 +880,7 @@ pub fn resume_command(journal: &Path) -> String {
 /// Runs a figure for a binary: installs the SIGINT handler, and on
 /// interruption flushes a partial CSV, prints the resume command, and
 /// exits 130; on error exits 1. Returns only when the sweep completed.
-pub fn run_figure_or_exit(spec: &FigureSpec, options: &HarnessOptions) -> Vec<RunResult> {
+pub fn run_figure_or_exit(spec: &FigureSpec, options: &SweepOptions) -> Vec<RunResult> {
     install_sigint_handler(&options.shutdown);
     match run_figure(spec, options) {
         Ok(FigureRun::Complete(results)) => results,
@@ -906,8 +1056,8 @@ mod tests {
     use super::*;
     use wormsim::presets;
 
-    fn parse(args: &[&str]) -> Result<HarnessOptions, String> {
-        HarnessOptions::parse(args.iter().map(|s| (*s).to_owned()))
+    fn parse(args: &[&str]) -> Result<SweepOptions, String> {
+        SweepOptions::parse(args.iter().map(|s| (*s).to_owned()))
     }
 
     #[test]
@@ -1034,6 +1184,65 @@ mod tests {
         assert!(parse(&["--fail-after-points", "0"]).is_err());
     }
 
+    #[test]
+    fn options_parse_backend_flags() {
+        assert_eq!(parse(&[]).unwrap().backend, BackendChoice::Local);
+        assert_eq!(
+            parse(&["--backend", "local"]).unwrap().backend,
+            BackendChoice::Local
+        );
+        let options = parse(&["--worker", "127.0.0.1:9000", "--worker", "127.0.0.1:9001"]).unwrap();
+        assert_eq!(
+            options.backend,
+            BackendChoice::Remote {
+                workers: vec!["127.0.0.1:9000".to_owned(), "127.0.0.1:9001".to_owned()],
+            },
+            "--worker implies the remote backend"
+        );
+        // Remote without workers, or with local telemetry flags, is
+        // rejected up front.
+        assert!(parse(&["--backend", "remote"]).is_err());
+        assert!(parse(&["--backend", "tape"]).is_err());
+        assert!(parse(&["--worker", "w:1", "--backend", "local"]).is_err());
+        let err =
+            parse(&["--worker", "w:1", "--observe", "obs"]).expect_err("observe cannot shard");
+        assert!(err.contains("--observe"), "got: {err}");
+    }
+
+    #[test]
+    fn sweep_plan_validates_journal_names() {
+        let plan = SweepPlan::new(Vec::new());
+        assert_eq!(plan.journal_name, "sweep.journal.jsonl");
+        assert!(!plan.fail_fast);
+        assert!(plan.validate().is_ok());
+        assert!(SweepPlan::new(Vec::new())
+            .journal_name("")
+            .validate()
+            .is_err());
+        assert!(SweepPlan::new(Vec::new())
+            .journal_name("nested/name.jsonl")
+            .validate()
+            .is_err());
+        let options = SweepOptions::default();
+        let error = run_sweep(&SweepPlan::new(Vec::new()).journal_name("a/b"), &options)
+            .expect_err("bad plan must be rejected before any I/O");
+        assert!(matches!(error, HarnessError::Plan { .. }), "{error}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_experiments_shim_delegates() {
+        let options = SweepOptions {
+            out_dir: temp_out_dir("shim"),
+            ..SweepOptions::default()
+        };
+        let run = run_experiments(&[], &options, "shim.journal.jsonl", true).unwrap();
+        assert!(run.outcomes.is_empty());
+        assert!(!run.interrupted);
+        assert!(run.journal.ends_with("shim.journal.jsonl"));
+        std::fs::remove_dir_all(&options.out_dir).ok();
+    }
+
     fn temp_out_dir(name: &str) -> String {
         std::env::temp_dir()
             .join(format!("wormsim-bench-{}-{name}", std::process::id()))
@@ -1062,12 +1271,12 @@ mod tests {
     fn harness_runs_a_tiny_figure() {
         // A reduced fig3: two algorithms, two loads, quick schedule.
         let spec = tiny_spec();
-        let options = HarnessOptions {
+        let options = SweepOptions {
             schedule: MeasurementSchedule::quick(),
             seed: 5,
             out_dir: temp_out_dir("tiny-figure"),
             threads: 4,
-            ..HarnessOptions::default()
+            ..SweepOptions::default()
         };
         let results = complete(run_figure(&spec, &options).expect("all points run"));
         assert_eq!(results.len(), 4);
@@ -1090,11 +1299,11 @@ mod tests {
         // One worker thread makes "first error wins" exact: index 1.
         let mut spec = tiny_spec();
         spec.loads = vec![0.1, 9.0];
-        let options = HarnessOptions {
+        let options = SweepOptions {
             schedule: MeasurementSchedule::quick(),
             threads: 1,
             out_dir: temp_out_dir("first-failure"),
-            ..HarnessOptions::default()
+            ..SweepOptions::default()
         };
         let harness_error =
             run_figure(&spec, &options).expect_err("invalid load must fail the sweep");
@@ -1122,14 +1331,14 @@ mod tests {
         // rendered as a Harness outcome rather than poisoning the pool.
         // retries: 0 so the panic is recorded on the first attempt.
         let spec = tiny_spec();
-        let options = HarnessOptions {
+        let options = SweepOptions {
             schedule: MeasurementSchedule::quick(),
             seed: 5,
             out_dir: temp_out_dir("inject-panic"),
             threads: 2,
             retries: 0,
             inject_panic: Some(2),
-            ..HarnessOptions::default()
+            ..SweepOptions::default()
         };
         let results = complete(run_figure(&spec, &options).expect("panic must not fail sweep"));
         assert_eq!(results.len(), 4);
@@ -1159,16 +1368,19 @@ mod tests {
         // as a Harness outcome, and the attempt count is recorded.
         let spec = tiny_spec();
         let experiments = wormsim::presets::experiments_for(&spec, MeasurementSchedule::quick(), 5);
-        let options = HarnessOptions {
+        let options = SweepOptions {
             schedule: MeasurementSchedule::quick(),
             seed: 5,
             out_dir: temp_out_dir("retry"),
             threads: 1,
             retries: 2,
             inject_panic: Some(1),
-            ..HarnessOptions::default()
+            ..SweepOptions::default()
         };
-        let run = run_experiments(&experiments, &options, "retry.journal.jsonl", true).unwrap();
+        let plan = SweepPlan::new(experiments.clone())
+            .journal_name("retry.journal.jsonl")
+            .fail_fast(true);
+        let run = run_sweep(&plan, &options).unwrap();
         assert!(!run.interrupted);
         assert_eq!(run.resumed, 0);
         assert_eq!(run.attempts[1], 3, "retries exhausted: 1 try + 2 retries");
@@ -1193,12 +1405,12 @@ mod tests {
     #[test]
     fn pre_tripped_shutdown_interrupts_before_dispatch() {
         let spec = tiny_spec();
-        let options = HarnessOptions {
+        let options = SweepOptions {
             schedule: MeasurementSchedule::quick(),
             seed: 5,
             out_dir: temp_out_dir("pre-tripped"),
             threads: 2,
-            ..HarnessOptions::default()
+            ..SweepOptions::default()
         };
         options.shutdown.cancel();
         match run_figure(&spec, &options).expect("interruption is not an error") {
@@ -1222,12 +1434,12 @@ mod tests {
     fn resume_skips_journaled_points_and_matches_clean_run() {
         let spec = tiny_spec();
         let out_dir = temp_out_dir("resume-unit");
-        let base = HarnessOptions {
+        let base = SweepOptions {
             schedule: MeasurementSchedule::quick(),
             seed: 5,
             out_dir: out_dir.clone(),
             threads: 1,
-            ..HarnessOptions::default()
+            ..SweepOptions::default()
         };
         // Clean reference run.
         let clean = complete(run_figure(&spec, &base).expect("clean run"));
@@ -1239,7 +1451,7 @@ mod tests {
         let text = std::fs::read_to_string(&journal_path).unwrap();
         let truncated: String = text.lines().take(2).map(|l| format!("{l}\n")).collect();
         std::fs::write(&journal_path, truncated).unwrap();
-        let resumed_options = HarnessOptions {
+        let resumed_options = SweepOptions {
             resume: Some(journal_path.display().to_string()),
             ..base
         };
@@ -1256,17 +1468,42 @@ mod tests {
     }
 
     #[test]
-    fn backoff_is_deterministic_and_bounded() {
-        let a = backoff_ms("abc123", 1);
-        assert_eq!(a, backoff_ms("abc123", 1), "same inputs, same backoff");
-        assert_ne!(
-            backoff_ms("abc123", 1),
-            backoff_ms("def456", 1),
-            "different points jitter differently"
+    fn local_and_remote_backends_write_identical_journals() {
+        // The distributed byte-identity guarantee, in-process: the same
+        // plan through the local pool and through a loopback worker must
+        // leave byte-identical journal files.
+        let spec = tiny_spec();
+        let experiments =
+            wormsim::presets::experiments_for(&spec, MeasurementSchedule::quick(), 1993);
+        let local_dir = temp_out_dir("ident-local");
+        let remote_dir = temp_out_dir("ident-remote");
+        let plan = SweepPlan::new(experiments).fail_fast(true);
+        let local = SweepOptions {
+            schedule: MeasurementSchedule::quick(),
+            out_dir: local_dir.clone(),
+            threads: 2,
+            ..SweepOptions::default()
+        };
+        run_sweep(&plan, &local).expect("local sweep");
+        let worker = crate::worker::spawn_local(2);
+        let remote = SweepOptions {
+            schedule: MeasurementSchedule::quick(),
+            out_dir: remote_dir.clone(),
+            backend: BackendChoice::Remote {
+                workers: vec![worker.to_string()],
+            },
+            ..SweepOptions::default()
+        };
+        run_sweep(&plan, &remote).expect("remote sweep");
+        let local_bytes = std::fs::read(Path::new(&local_dir).join("sweep.journal.jsonl")).unwrap();
+        let remote_bytes =
+            std::fs::read(Path::new(&remote_dir).join("sweep.journal.jsonl")).unwrap();
+        assert!(!local_bytes.is_empty());
+        assert_eq!(
+            local_bytes, remote_bytes,
+            "journals must be byte-identical across backends"
         );
-        for attempt in 1..=10 {
-            let ms = backoff_ms("abc123", attempt);
-            assert!((25..=25 * 32 + 63).contains(&(ms as usize)), "got {ms}");
-        }
+        std::fs::remove_dir_all(&local_dir).ok();
+        std::fs::remove_dir_all(&remote_dir).ok();
     }
 }

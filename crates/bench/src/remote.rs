@@ -1,0 +1,368 @@
+//! The remote backend: sweep points executed by `wormsim-worker`
+//! processes over HTTP submit/poll.
+//!
+//! [`RemoteBackend::connect`] handshakes every worker up front and
+//! refuses any whose wire protocol or config digest disagrees with this
+//! binary — a mismatched worker would run the *wrong interpretation* of
+//! the same bytes, which is worse than a refusal. Each RPC gets the same
+//! bounded, seed-jittered retry treatment the simulator applies to
+//! transient points, plus socket timeouts, so one dropped packet does not
+//! kill an overnight sweep.
+
+use crate::backend::{backoff_ms, BackendError, PointJob, PointStatus, WorkHandle, WorkerBackend};
+use crate::http;
+use std::collections::HashMap;
+use std::time::Duration;
+use wormsim::observe::{json, JsonObject};
+use wormsim::{wire_digest, Experiment, ExperimentError, RunResult, WIRE_PROTOCOL};
+
+/// Socket timeout per connect/read/write within one RPC.
+const RPC_TIMEOUT: Duration = Duration::from_secs(10);
+/// Transport attempts per RPC before the backend gives up on a worker.
+const RPC_ATTEMPTS: u64 = 3;
+
+struct Worker {
+    addr: String,
+    slots: usize,
+    in_flight: usize,
+}
+
+struct InFlight {
+    worker: usize,
+    /// Kept so a worker-side configuration failure can be re-derived as a
+    /// structured [`ExperimentError`] locally (validation is
+    /// deterministic in the experiment alone).
+    experiment: Experiment,
+}
+
+/// A pool of `wormsim-worker` processes behind the [`WorkerBackend`]
+/// trait. Capacity is the sum of worker slot counts; jobs go to the first
+/// worker with a free slot.
+pub struct RemoteBackend {
+    workers: Vec<Worker>,
+    jobs: HashMap<u64, InFlight>,
+    next_id: u64,
+    digest: String,
+}
+
+/// One RPC with transport-level retries: transient socket failures back
+/// off (seed-jittered, like point retries) and try again; an HTTP-level
+/// error response is returned to the caller for protocol handling.
+fn rpc(addr: &str, method: &str, target: &str, body: &str) -> Result<(u16, String), BackendError> {
+    let mut last = String::new();
+    for attempt in 1..=RPC_ATTEMPTS {
+        match http::call(addr, method, target, body, RPC_TIMEOUT) {
+            Ok(response) => return Ok(response),
+            Err(err) => last = err,
+        }
+        if attempt < RPC_ATTEMPTS {
+            std::thread::sleep(Duration::from_millis(backoff_ms(addr, attempt)));
+        }
+    }
+    Err(BackendError {
+        worker: addr.to_owned(),
+        message: format!("rpc {method} {target} failed after {RPC_ATTEMPTS} attempts: {last}"),
+    })
+}
+
+fn get_u64(value: &json::Value, key: &str, addr: &str) -> Result<u64, BackendError> {
+    value
+        .get(key)
+        .and_then(json::Value::as_u64)
+        .ok_or_else(|| BackendError {
+            worker: addr.to_owned(),
+            message: format!("response missing integer field `{key}`"),
+        })
+}
+
+fn parse_body(body: &str, addr: &str) -> Result<json::Value, BackendError> {
+    json::from_str(body).map_err(|err| BackendError {
+        worker: addr.to_owned(),
+        message: format!("unparseable response body: {err}"),
+    })
+}
+
+impl RemoteBackend {
+    /// Handshakes every address and builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// If any worker is unreachable, speaks a different wire protocol
+    /// version, or reports a different config digest than this binary.
+    pub fn connect(addrs: &[String]) -> Result<RemoteBackend, BackendError> {
+        let digest = wire_digest();
+        let mut workers = Vec::with_capacity(addrs.len());
+        for raw in addrs {
+            let addr = http::normalize_addr(raw);
+            let (status, body) = rpc(&addr, "GET", "/handshake", "")?;
+            if status != 200 {
+                return Err(BackendError {
+                    worker: addr,
+                    message: format!("handshake returned HTTP {status}: {body}"),
+                });
+            }
+            let value = parse_body(&body, &addr)?;
+            let wire = get_u64(&value, "wire", &addr)?;
+            if wire != u64::from(WIRE_PROTOCOL) {
+                return Err(BackendError {
+                    worker: addr,
+                    message: format!(
+                        "wire protocol mismatch: orchestrator v{WIRE_PROTOCOL}, worker v{wire}"
+                    ),
+                });
+            }
+            let theirs = value
+                .get("digest")
+                .and_then(|v| v.as_str())
+                .unwrap_or_default();
+            if theirs != digest {
+                return Err(BackendError {
+                    worker: addr,
+                    message: format!(
+                        "config digest mismatch: orchestrator {digest}, worker {theirs} — rebuild both from the same source"
+                    ),
+                });
+            }
+            let slots = get_u64(&value, "threads", &addr)?.max(1) as usize;
+            workers.push(Worker {
+                addr,
+                slots,
+                in_flight: 0,
+            });
+        }
+        if workers.is_empty() {
+            return Err(BackendError {
+                worker: "<none>".to_owned(),
+                message: "remote backend needs at least one worker address".to_owned(),
+            });
+        }
+        Ok(RemoteBackend {
+            workers,
+            jobs: HashMap::new(),
+            next_id: 0,
+            digest,
+        })
+    }
+
+    /// A worker-side failure arrives as a rendered string; configuration
+    /// errors are deterministic in the experiment alone, so re-validating
+    /// locally recovers the structured variant. Anything else (which
+    /// should not happen) is preserved verbatim as an I/O error.
+    fn rederive_error(experiment: &Experiment, message: &str, addr: &str) -> ExperimentError {
+        match experiment.validate() {
+            Err(err) => err,
+            Ok(()) => ExperimentError::Io {
+                message: format!("worker {addr} reported: {message}"),
+            },
+        }
+    }
+}
+
+impl WorkerBackend for RemoteBackend {
+    fn submit(&mut self, job: PointJob) -> Result<WorkHandle, BackendError> {
+        let slot = self
+            .workers
+            .iter()
+            .position(|w| w.in_flight < w.slots)
+            .ok_or_else(|| BackendError {
+                worker: "<pool>".to_owned(),
+                message: "submit called with every worker slot occupied".to_owned(),
+            })?;
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut body = String::new();
+        let mut obj = JsonObject::begin(&mut body);
+        obj.field_str("digest", &self.digest);
+        obj.field_u64("job", id);
+        obj.field_u64("retries", u64::from(job.retries));
+        match &job.resumed_from {
+            Some(journal) => obj.field_str("resumed_from", journal),
+            None => obj.field_raw("resumed_from", "null"),
+        };
+        obj.field_raw("experiment", &job.experiment.to_wire_json());
+        obj.finish();
+        let addr = self.workers[slot].addr.clone();
+        let (status, response) = rpc(&addr, "POST", "/submit", &body)?;
+        if status != 200 {
+            return Err(BackendError {
+                worker: addr,
+                message: format!("submit returned HTTP {status}: {response}"),
+            });
+        }
+        self.workers[slot].in_flight += 1;
+        self.jobs.insert(
+            id,
+            InFlight {
+                worker: slot,
+                experiment: job.experiment,
+            },
+        );
+        Ok(WorkHandle(id))
+    }
+
+    fn poll(&mut self, handle: WorkHandle) -> Result<PointStatus, BackendError> {
+        let (slot, addr) = {
+            let in_flight = self.jobs.get(&handle.0).ok_or_else(|| BackendError {
+                worker: "<pool>".to_owned(),
+                message: format!("poll of unknown handle {}", handle.0),
+            })?;
+            (
+                in_flight.worker,
+                self.workers[in_flight.worker].addr.clone(),
+            )
+        };
+        let (status, body) = rpc(&addr, "GET", &format!("/status?job={}", handle.0), "")?;
+        if status != 200 {
+            return Err(BackendError {
+                worker: addr,
+                message: format!("status returned HTTP {status}: {body}"),
+            });
+        }
+        let value = parse_body(&body, &addr)?;
+        let state = value.get("state").and_then(|v| v.as_str()).unwrap_or("");
+        match state {
+            "pending" => Ok(PointStatus::Pending),
+            "done" => {
+                let attempts = get_u64(&value, "attempts", &addr)?;
+                let result_value = value.get("result").ok_or_else(|| BackendError {
+                    worker: addr.clone(),
+                    message: "done status missing `result`".to_owned(),
+                })?;
+                let result = RunResult::from_json(result_value).map_err(|err| BackendError {
+                    worker: addr.clone(),
+                    message: format!("undecodable result: {err}"),
+                })?;
+                self.jobs.remove(&handle.0);
+                self.workers[slot].in_flight -= 1;
+                Ok(PointStatus::Done {
+                    result: Ok(result),
+                    attempts,
+                })
+            }
+            "failed" => {
+                let attempts = get_u64(&value, "attempts", &addr)?;
+                let message = value
+                    .get("error")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("unspecified worker failure")
+                    .to_owned();
+                let in_flight = self.jobs.remove(&handle.0).expect("handle checked above");
+                self.workers[slot].in_flight -= 1;
+                Ok(PointStatus::Done {
+                    result: Err(Self::rederive_error(&in_flight.experiment, &message, &addr)),
+                    attempts,
+                })
+            }
+            other => Err(BackendError {
+                worker: addr,
+                message: format!("unknown job state {other:?} in: {body}"),
+            }),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.workers.iter().map(|w| w.slots).sum()
+    }
+
+    fn cancel(&mut self) {
+        // Best-effort broadcast; a worker that is already gone cannot
+        // hold up shutdown.
+        for worker in &self.workers {
+            let _ = rpc(&worker.addr, "POST", "/cancel", "{}");
+        }
+    }
+
+    fn poll_interval(&self) -> Duration {
+        // HTTP polls are orders of magnitude costlier than a mutex peek;
+        // back off accordingly.
+        Duration::from_millis(25)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::spawn_local;
+    use std::time::Instant;
+    use wormsim::topology::Topology;
+    use wormsim::AlgorithmKind;
+
+    fn job_for(experiment: Experiment, index: usize) -> PointJob {
+        PointJob {
+            point_hash: experiment.point_hash(),
+            experiment,
+            index,
+            retries: 1,
+            inject_panic: false,
+            resumed_from: None,
+        }
+    }
+
+    fn wait_done(
+        backend: &mut RemoteBackend,
+        handle: WorkHandle,
+    ) -> (Result<RunResult, ExperimentError>, u64) {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            assert!(Instant::now() < deadline, "remote worker hung");
+            match backend.poll(handle).expect("poll") {
+                PointStatus::Pending => std::thread::sleep(Duration::from_millis(10)),
+                PointStatus::Done { result, attempts } => return (result, attempts),
+            }
+        }
+    }
+
+    #[test]
+    fn remote_point_matches_local_run_exactly() {
+        let addr = spawn_local(2);
+        let mut backend =
+            RemoteBackend::connect(&[addr.to_string()]).expect("handshake with loopback worker");
+        assert_eq!(backend.capacity(), 2);
+        let experiment = Experiment::new(Topology::torus(&[6, 6]), AlgorithmKind::PositiveHop)
+            .offered_load(0.2)
+            .quick()
+            .seed(1993);
+        let local = experiment.clone().run().expect("local run");
+        let handle = backend.submit(job_for(experiment, 0)).expect("submit");
+        let (result, attempts) = wait_done(&mut backend, handle);
+        assert_eq!(attempts, 1);
+        let remote = result.expect("remote run succeeds");
+        // Bit-exact equality across process + wire + JSON round-trip,
+        // minus machine-dependent wall timing.
+        assert_eq!(
+            remote.latency.mean().to_bits(),
+            local.latency.mean().to_bits()
+        );
+        assert_eq!(remote.cycles_simulated, local.cycles_simulated);
+        assert_eq!(remote.messages_measured, local.messages_measured);
+        assert_eq!(remote.latency_percentiles, local.latency_percentiles);
+    }
+
+    #[test]
+    fn worker_reports_configuration_errors_as_structured_failures() {
+        let addr = spawn_local(1);
+        let mut backend = RemoteBackend::connect(&[addr.to_string()]).expect("handshake");
+        // offered_load of 0 is rejected by Experiment::validate.
+        let experiment = Experiment::new(Topology::torus(&[6, 6]), AlgorithmKind::Ecube)
+            .offered_load(0.0)
+            .quick();
+        let handle = backend.submit(job_for(experiment, 0)).expect("submit");
+        let (result, _) = wait_done(&mut backend, handle);
+        let err = result.expect_err("invalid load must fail");
+        assert!(
+            matches!(err, ExperimentError::InvalidLoad { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn connect_rejects_a_dead_worker() {
+        let err = RemoteBackend::connect(&["127.0.0.1:1".to_owned()])
+            .err()
+            .expect("port 1 must refuse the handshake");
+        assert!(
+            err.message.contains("handshake") || err.message.contains("rpc"),
+            "got: {err}"
+        );
+    }
+}

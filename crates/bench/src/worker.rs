@@ -1,0 +1,295 @@
+//! The `wormsim-worker` server: runs sweep points submitted over HTTP.
+//!
+//! A worker is a headless process that accepts serialized
+//! [`Experiment`]s, runs them through the same retrying executor the
+//! local backend uses ([`execute_point`](crate::backend::execute_point)),
+//! and serves results back as [`RunResult`] JSON. The protocol (see
+//! `docs/DISTRIBUTION.md`) has four endpoints:
+//!
+//! * `GET /handshake` — wire protocol version, config digest, slot count.
+//! * `POST /submit` — enqueue a job (rejected with 409 on digest
+//!   mismatch, 400 on undecodable payloads).
+//! * `GET /status?job=ID` — `pending`, `done` (with the result), or
+//!   `failed` (with the configuration error).
+//! * `POST /cancel` — trip every job's cancellation token.
+//!
+//! Simulation results are bit-deterministic in the experiment config, so
+//! a worker on any machine produces byte-identical result JSON — the
+//! foundation of the distributed byte-identity guarantee.
+
+use crate::backend::{execute_point, PointJob};
+use crate::http;
+use std::collections::{HashMap, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use wormsim::observe::{json, JsonObject, JsonRecord};
+use wormsim::{wire_digest, CancelToken, Experiment, ExperimentError, RunResult, WIRE_PROTOCOL};
+
+/// Configuration for [`serve`].
+pub struct WorkerConfig {
+    /// Listen address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub listen: String,
+    /// Simulation slots (concurrent points). At least one.
+    pub threads: usize,
+}
+
+enum JobPhase {
+    Queued,
+    Running,
+    Done(Result<RunResult, ExperimentError>, u64),
+}
+
+struct JobRecord {
+    experiment: Experiment,
+    point_hash: String,
+    retries: u32,
+    resumed_from: Option<String>,
+    cancel: CancelToken,
+    phase: JobPhase,
+}
+
+struct WorkerState {
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, JobRecord>,
+}
+
+struct Shared {
+    state: Mutex<WorkerState>,
+    ready: Condvar,
+    digest: String,
+    threads: usize,
+}
+
+/// Binds the listen address, announces the bound port on stdout (so
+/// wrappers can bind port 0 and parse the real port), and serves forever.
+///
+/// # Errors
+///
+/// Propagates bind/accept failures; per-connection errors are contained.
+pub fn serve(config: &WorkerConfig) -> std::io::Result<()> {
+    let listener = TcpListener::bind(&config.listen)?;
+    let addr = listener.local_addr()?;
+    use std::io::Write as _;
+    println!("wormsim-worker listening on {addr}");
+    std::io::stdout().flush()?;
+    serve_on(listener, config.threads.max(1))
+}
+
+fn serve_on(listener: TcpListener, threads: usize) -> std::io::Result<()> {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(WorkerState {
+            queue: VecDeque::new(),
+            jobs: HashMap::new(),
+        }),
+        ready: Condvar::new(),
+        digest: wire_digest(),
+        threads,
+    });
+    for _ in 0..threads {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || sim_loop(&shared));
+    }
+    for stream in listener.incoming() {
+        match stream {
+            Ok(mut stream) => handle_connection(&mut stream, &shared),
+            Err(err) => eprintln!("wormsim-worker: accept failed: {err}"),
+        }
+    }
+    Ok(())
+}
+
+/// Test hook: serve on an ephemeral loopback port from a detached thread
+/// (dies with the test process) and return the bound address.
+#[cfg(test)]
+pub(crate) fn spawn_local(threads: usize) -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    std::thread::spawn(move || {
+        let _ = serve_on(listener, threads);
+    });
+    addr
+}
+
+fn sim_loop(shared: &Shared) {
+    loop {
+        let (id, job, cancel) = {
+            let mut state = shared.state.lock().expect("no poisoned worker state");
+            let id = loop {
+                if let Some(id) = state.queue.pop_front() {
+                    break id;
+                }
+                state = shared.ready.wait(state).expect("no poisoned worker state");
+            };
+            let record = state.jobs.get_mut(&id).expect("queued job has a record");
+            record.phase = JobPhase::Running;
+            let job = PointJob {
+                experiment: record
+                    .experiment
+                    .clone()
+                    .cancel_token(record.cancel.clone()),
+                index: id as usize,
+                point_hash: record.point_hash.clone(),
+                retries: record.retries,
+                inject_panic: false,
+                resumed_from: record.resumed_from.clone(),
+            };
+            (id, job, record.cancel.clone())
+        };
+        let (result, attempts) = execute_point(&job, &cancel);
+        let mut state = shared.state.lock().expect("no poisoned worker state");
+        if let Some(record) = state.jobs.get_mut(&id) {
+            record.phase = JobPhase::Done(result, attempts);
+        }
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
+    let request = match http::read_request(stream) {
+        Ok(request) => request,
+        Err(err) => {
+            let _ = http::write_response(stream, 400, &error_body(&err.to_string()));
+            return;
+        }
+    };
+    let (path, query) = request
+        .target
+        .split_once('?')
+        .unwrap_or((request.target.as_str(), ""));
+    let (status, body) = match (request.method.as_str(), path) {
+        ("GET", "/handshake") => handshake(shared),
+        ("POST", "/submit") => submit(&request.body, shared),
+        ("GET", "/status") => job_status(query, shared),
+        ("POST", "/cancel") => cancel_all(shared),
+        _ => (404, error_body("unknown endpoint")),
+    };
+    let _ = http::write_response(stream, status, &body);
+}
+
+fn error_body(message: &str) -> String {
+    let mut out = String::new();
+    let mut obj = JsonObject::begin(&mut out);
+    obj.field_str("error", message);
+    obj.finish();
+    out
+}
+
+fn handshake(shared: &Shared) -> (u16, String) {
+    let mut out = String::new();
+    let mut obj = JsonObject::begin(&mut out);
+    obj.field_u64("wire", u64::from(WIRE_PROTOCOL));
+    obj.field_str("digest", &shared.digest);
+    obj.field_u64("threads", shared.threads as u64);
+    obj.finish();
+    (200, out)
+}
+
+fn submit(body: &str, shared: &Shared) -> (u16, String) {
+    let value = match json::from_str(body) {
+        Ok(value) => value,
+        Err(err) => return (400, error_body(&format!("unparseable submit body: {err}"))),
+    };
+    let Some(digest) = value.get("digest").and_then(|v| v.as_str()) else {
+        return (400, error_body("submit body missing string field `digest`"));
+    };
+    if digest != shared.digest {
+        return (
+            409,
+            error_body(&format!(
+                "wire digest mismatch: orchestrator {digest}, worker {} — rebuild both from the same source",
+                shared.digest
+            )),
+        );
+    }
+    let Some(id) = value.get("job").and_then(json::Value::as_u64) else {
+        return (400, error_body("submit body missing integer field `job`"));
+    };
+    let retries = value
+        .get("retries")
+        .and_then(json::Value::as_u64)
+        .unwrap_or(0) as u32;
+    let resumed_from = value
+        .get("resumed_from")
+        .and_then(|v| v.as_str())
+        .map(str::to_owned);
+    let Some(experiment_value) = value.get("experiment") else {
+        return (
+            400,
+            error_body("submit body missing object field `experiment`"),
+        );
+    };
+    let experiment = match Experiment::from_wire_json(experiment_value) {
+        Ok(experiment) => experiment,
+        Err(err) => return (400, error_body(&format!("undecodable experiment: {err}"))),
+    };
+    let point_hash = experiment.point_hash();
+    let mut state = shared.state.lock().expect("no poisoned worker state");
+    if state.jobs.contains_key(&id) {
+        return (400, error_body(&format!("duplicate job id {id}")));
+    }
+    state.jobs.insert(
+        id,
+        JobRecord {
+            experiment,
+            point_hash,
+            retries,
+            resumed_from,
+            cancel: CancelToken::new(),
+            phase: JobPhase::Queued,
+        },
+    );
+    state.queue.push_back(id);
+    drop(state);
+    shared.ready.notify_one();
+    let mut out = String::new();
+    let mut obj = JsonObject::begin(&mut out);
+    obj.field_u64("job", id);
+    obj.finish();
+    (200, out)
+}
+
+fn job_status(query: &str, shared: &Shared) -> (u16, String) {
+    let Some(id) = query
+        .strip_prefix("job=")
+        .and_then(|raw| raw.parse::<u64>().ok())
+    else {
+        return (400, error_body("status query must be ?job=ID"));
+    };
+    let state = shared.state.lock().expect("no poisoned worker state");
+    let Some(record) = state.jobs.get(&id) else {
+        return (404, error_body(&format!("unknown job {id}")));
+    };
+    let mut out = String::new();
+    let mut obj = JsonObject::begin(&mut out);
+    match &record.phase {
+        JobPhase::Queued | JobPhase::Running => {
+            obj.field_str("state", "pending");
+        }
+        JobPhase::Done(Ok(result), attempts) => {
+            obj.field_str("state", "done");
+            obj.field_u64("attempts", *attempts);
+            obj.field_raw("result", &result.to_json());
+        }
+        JobPhase::Done(Err(err), attempts) => {
+            obj.field_str("state", "failed");
+            obj.field_u64("attempts", *attempts);
+            obj.field_str("error", &err.to_string());
+        }
+    }
+    obj.finish();
+    (200, out)
+}
+
+fn cancel_all(shared: &Shared) -> (u16, String) {
+    let state = shared.state.lock().expect("no poisoned worker state");
+    let mut cancelled = 0u64;
+    for record in state.jobs.values() {
+        record.cancel.cancel();
+        cancelled += 1;
+    }
+    drop(state);
+    let mut out = String::new();
+    let mut obj = JsonObject::begin(&mut out);
+    obj.field_u64("cancelled", cancelled);
+    obj.finish();
+    (200, out)
+}

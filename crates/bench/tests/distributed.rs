@@ -1,0 +1,186 @@
+//! End-to-end distributed determinism: run the same sweep once with the
+//! in-process thread pool and once sharded across two loopback
+//! `wormsim-worker` processes, and demand the merged CSV *and* the journal
+//! are byte-identical. Also covers torn-journal recovery: truncate a
+//! journal mid-record, resume, and get the same bytes back.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+const SWEEP: &str = env!("CARGO_BIN_EXE_sweep");
+const WORKER: &str = env!("CARGO_BIN_EXE_wormsim-worker");
+
+/// A worker subprocess that dies with the test, pass or fail.
+struct WorkerProc {
+    child: Child,
+    addr: String,
+}
+
+impl WorkerProc {
+    /// Starts a worker on an ephemeral loopback port and reads the bound
+    /// address from its announcement line on stdout.
+    fn spawn(threads: usize) -> WorkerProc {
+        let mut child = Command::new(WORKER)
+            .args(["--listen", "127.0.0.1:0", "--threads", &threads.to_string()])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn wormsim-worker");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read announcement");
+        let addr = line
+            .trim()
+            .strip_prefix("wormsim-worker listening on ")
+            .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+            .to_owned();
+        WorkerProc { child, addr }
+    }
+}
+
+impl Drop for WorkerProc {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+/// The shared sweep shape — small enough to finish in seconds, big enough
+/// (six points) that two workers genuinely interleave.
+fn sweep_args(out_dir: &Path) -> Vec<String> {
+    [
+        "--topo",
+        "torus:6x6",
+        "--algos",
+        "ecube,phop",
+        "--loads",
+        "0.1,0.2,0.3",
+        "--quick",
+        "--seed",
+        "1993",
+        "--threads",
+        "2",
+        "--out",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .chain([out_dir.display().to_string()])
+    .collect()
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wormsim-dist-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn remote_sweep_is_byte_identical_to_local() {
+    // 1. The reference: the ordinary in-process sweep.
+    let local_dir = temp_dir("local");
+    let status = Command::new(SWEEP)
+        .args(sweep_args(&local_dir))
+        .status()
+        .expect("spawn local sweep");
+    assert!(status.success(), "local sweep failed: {status}");
+    let local_csv = std::fs::read(local_dir.join("sweep.csv")).expect("local CSV");
+    let local_journal =
+        std::fs::read(local_dir.join("sweep.journal.jsonl")).expect("local journal");
+
+    // 2. The same sweep sharded across two concurrent loopback workers.
+    let workers = [WorkerProc::spawn(2), WorkerProc::spawn(2)];
+    let remote_dir = temp_dir("remote");
+    let status = Command::new(SWEEP)
+        .args(sweep_args(&remote_dir))
+        .args(["--backend", "remote"])
+        .args(["--worker", &workers[0].addr])
+        .args(["--worker", &workers[1].addr])
+        .status()
+        .expect("spawn remote sweep");
+    assert!(status.success(), "remote sweep failed: {status}");
+
+    // 3. The contract: identical bytes, CSV and journal both.
+    let remote_csv = std::fs::read(remote_dir.join("sweep.csv")).expect("remote CSV");
+    let remote_journal =
+        std::fs::read(remote_dir.join("sweep.journal.jsonl")).expect("remote journal");
+    assert_eq!(
+        local_csv, remote_csv,
+        "remote sweep must reproduce the local CSV byte for byte"
+    );
+    assert_eq!(
+        local_journal, remote_journal,
+        "remote sweep must reproduce the local journal byte for byte"
+    );
+
+    std::fs::remove_dir_all(&local_dir).ok();
+    std::fs::remove_dir_all(&remote_dir).ok();
+}
+
+#[test]
+fn remote_sweep_without_reachable_workers_is_a_clean_error() {
+    let dir = temp_dir("deadworker");
+    let output = Command::new(SWEEP)
+        .args(sweep_args(&dir))
+        .args(["--backend", "remote", "--worker", "127.0.0.1:1"])
+        .output()
+        .expect("spawn sweep");
+    assert_eq!(output.status.code(), Some(1), "got: {}", output.status);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("worker 127.0.0.1:1"),
+        "the error must name the unreachable worker; stderr was:\n{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_journal_recovers_and_resumes_to_identical_csv() {
+    // 1. A complete sweep: CSV plus a six-line journal.
+    let dir = temp_dir("torn");
+    let status = Command::new(SWEEP)
+        .args(sweep_args(&dir))
+        .status()
+        .expect("spawn sweep");
+    assert!(status.success(), "clean sweep failed: {status}");
+    let clean_csv = std::fs::read(dir.join("sweep.csv")).expect("CSV written");
+    let journal = dir.join("sweep.journal.jsonl");
+    let text = std::fs::read_to_string(&journal).expect("journal readable");
+    assert_eq!(text.lines().count(), 6);
+
+    // 2. Tear the final record in half, as a crash mid-append would.
+    let keep = text.len() - text.lines().last().unwrap().len() / 2;
+    std::fs::write(&journal, &text[..keep]).expect("truncate journal");
+
+    // 3. Resume: the valid prefix splices, the torn point re-runs.
+    let output = Command::new(SWEEP)
+        .args(sweep_args(&dir))
+        .args(["--resume", &journal.display().to_string()])
+        .output()
+        .expect("spawn sweep");
+    assert!(output.status.success(), "resume failed: {}", output.status);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("torn append"),
+        "recovery must be announced; stderr was:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("resuming: 5/6 points"),
+        "five valid points must splice; stderr was:\n{stderr}"
+    );
+
+    // 4. Identical CSV, and a journal healed back to six parseable lines.
+    let resumed_csv = std::fs::read(dir.join("sweep.csv")).expect("resumed CSV");
+    assert_eq!(
+        clean_csv, resumed_csv,
+        "recovery resume must reproduce the CSV byte for byte"
+    );
+    let healed = std::fs::read_to_string(&journal).expect("journal readable");
+    assert_eq!(
+        healed, text,
+        "the healed journal must match the uninterrupted one byte for byte"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -263,29 +263,31 @@ impl From<EngineError> for ExperimentError {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Experiment {
-    topology: Topology,
-    algorithm: AlgorithmKind,
-    traffic: TrafficConfig,
-    length: MessageLength,
-    switching: Switching,
-    selection: SelectionPolicy,
-    ejection: EjectionModel,
-    vc_replicas: u32,
-    congestion_limit: Option<u32>,
-    injection_bandwidth: u32,
-    offered_load: f64,
-    schedule: MeasurementSchedule,
-    seed: u64,
-    observe: Option<ObserveConfig>,
-    faults: Option<FaultPlan>,
-    cycle_budget: Option<u64>,
-    wall_budget_secs: Option<f64>,
-    hop_budget: Option<u32>,
-    age_budget: Option<u64>,
-    watchdog_cycles: Option<u64>,
-    cancel: Option<CancelToken>,
-    attempt: u32,
-    resumed_from: Option<String>,
+    // `pub(crate)` rather than private: the wire codec (`crate::wire`)
+    // reads and reconstructs exactly this field set.
+    pub(crate) topology: Topology,
+    pub(crate) algorithm: AlgorithmKind,
+    pub(crate) traffic: TrafficConfig,
+    pub(crate) length: MessageLength,
+    pub(crate) switching: Switching,
+    pub(crate) selection: SelectionPolicy,
+    pub(crate) ejection: EjectionModel,
+    pub(crate) vc_replicas: u32,
+    pub(crate) congestion_limit: Option<u32>,
+    pub(crate) injection_bandwidth: u32,
+    pub(crate) offered_load: f64,
+    pub(crate) schedule: MeasurementSchedule,
+    pub(crate) seed: u64,
+    pub(crate) observe: Option<ObserveConfig>,
+    pub(crate) faults: Option<FaultPlan>,
+    pub(crate) cycle_budget: Option<u64>,
+    pub(crate) wall_budget_secs: Option<f64>,
+    pub(crate) hop_budget: Option<u32>,
+    pub(crate) age_budget: Option<u64>,
+    pub(crate) watchdog_cycles: Option<u64>,
+    pub(crate) cancel: Option<CancelToken>,
+    pub(crate) attempt: u32,
+    pub(crate) resumed_from: Option<String>,
 }
 
 impl Experiment {

@@ -51,12 +51,14 @@ mod report;
 mod result;
 mod saturation;
 mod schedule;
+pub mod wire;
 
 pub use experiment::{Experiment, ExperimentError};
 pub use report::{format_results_table, format_sweep_csv};
 pub use result::{ClassLatency, PanicInfo, RunOutcome, RunResult, SweepPoint, SweepSummary};
 pub use saturation::SaturationPoint;
 pub use schedule::MeasurementSchedule;
+pub use wire::{wire_digest, WIRE_PROTOCOL};
 
 // Re-export the substrate crates under stable names so downstream users
 // need only one dependency.
