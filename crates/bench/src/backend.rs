@@ -198,6 +198,7 @@ fn panic_result(experiment: &Experiment, payload: &(dyn std::any::Any + Send)) -
         dropped_events: 0,
         deadlock: None,
         livelock: None,
+        triage: None,
     }
 }
 

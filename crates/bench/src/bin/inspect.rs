@@ -219,21 +219,28 @@ fn print_waitfor(snapshot: &WaitForSnapshot, dims: &[u64], dirs: u64) {
         snapshot.flits_in_flight,
         snapshot.edges.len()
     );
-    if snapshot.cycle_found {
-        let hops: Vec<String> = snapshot
+    // Replay the snapshot through the verification layer rather than
+    // trusting its recorded cycle fields: a stale or hand-edited snapshot
+    // downgrades to budget-artifact instead of reporting a false cycle.
+    let report = wormsim::verify::triage(snapshot);
+    if report.is_confirmed_unsafe() {
+        let hops: Vec<String> = report
             .cycle_messages
             .iter()
-            .zip(snapshot.cycle_channels.iter())
+            .zip(report.cycle_channels.iter())
             .map(|(msg, &ch)| format!("msg {msg} --[{}]->", channel_label(dims, dirs, ch)))
             .collect();
         println!(
-            "    channel cycle CONFIRMED ({} worms): {} msg {}",
-            snapshot.cycle_messages.len(),
+            "    triage: CONFIRMED UNSAFE — validated channel cycle ({} worms): {} msg {}",
+            report.cycle_messages.len(),
             hops.join(" "),
-            snapshot.cycle_messages.first().unwrap_or(&0)
+            report.cycle_messages.first().unwrap_or(&0)
         );
     } else {
-        println!("    no channel cycle found: stall looks like congestion, not deadlock");
+        println!(
+            "    triage: budget artifact — no validated channel cycle; the stall looks like \
+             congestion or a transient fault, not deadlock"
+        );
     }
 }
 

@@ -284,6 +284,7 @@ mod tests {
             dropped_events: 0,
             deadlock: None,
             livelock: None,
+            triage: None,
         }
     }
 

@@ -467,6 +467,11 @@ pub struct ExperimentsRun {
     pub interrupted: bool,
     /// Points spliced in from the resume journal rather than re-run.
     pub resumed: usize,
+    /// Whether the resume journal ended in a torn append that
+    /// [`Journal::load`] dropped: the sweep re-ran the lost point, but
+    /// callers inspecting a crash deserve to know the journal was not
+    /// clean.
+    pub recovered_truncation: bool,
     /// Where the journal lives; pass via `--resume` to continue.
     pub journal: PathBuf,
 }
@@ -579,9 +584,15 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> Result<Experiments
             resumed += 1;
         }
     }
-    if resumed > 0 {
+    let recovered_truncation = journal.recovered_truncation();
+    if resumed > 0 || recovered_truncation {
+        let torn = if recovered_truncation {
+            " (recovered from a torn final append; the lost point re-runs)"
+        } else {
+            ""
+        };
         eprintln!(
-            "resuming: {resumed}/{total} points already journaled in {}",
+            "resuming: {resumed}/{total} points already journaled in {}{torn}",
             journal_path.display()
         );
     }
@@ -728,6 +739,7 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> Result<Experiments
         attempts,
         interrupted,
         resumed,
+        recovered_truncation,
         journal: journal_path,
     })
 }

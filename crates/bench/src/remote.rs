@@ -8,6 +8,15 @@
 //! bounded, seed-jittered retry treatment the simulator applies to
 //! transient points, plus socket timeouts, so one dropped packet does not
 //! kill an overnight sweep.
+//!
+//! A worker that stays unreachable past those retries is treated as
+//! crashed: it is written off, its in-flight points are re-dispatched
+//! verbatim to the survivors, and the sweep continues at reduced
+//! capacity. Because results are bit-deterministic in the experiment
+//! config, a re-run point produces the identical bytes the lost worker
+//! would have — failover never perturbs the journal or the CSV. Only
+//! when *every* worker is gone does the failure surface as a
+//! [`BackendError`].
 
 use crate::backend::{backoff_ms, BackendError, PointJob, PointStatus, WorkHandle, WorkerBackend};
 use crate::http;
@@ -25,14 +34,19 @@ struct Worker {
     addr: String,
     slots: usize,
     in_flight: usize,
+    /// Set once an RPC to this worker exhausts its transport retries;
+    /// dead workers receive no further jobs and count no capacity.
+    dead: bool,
 }
 
 struct InFlight {
     worker: usize,
-    /// Kept so a worker-side configuration failure can be re-derived as a
-    /// structured [`ExperimentError`] locally (validation is
-    /// deterministic in the experiment alone).
-    experiment: Experiment,
+    /// The complete job, kept for two reasons: a worker-side
+    /// configuration failure is re-derived as a structured
+    /// [`ExperimentError`] locally (validation is deterministic in the
+    /// experiment alone), and a crashed worker's in-flight points are
+    /// re-dispatched verbatim to a survivor.
+    job: PointJob,
 }
 
 /// A pool of `wormsim-worker` processes behind the [`WorkerBackend`]
@@ -128,6 +142,7 @@ impl RemoteBackend {
                 addr,
                 slots,
                 in_flight: 0,
+                dead: false,
             });
         }
         if workers.is_empty() {
@@ -156,20 +171,44 @@ impl RemoteBackend {
             },
         }
     }
-}
 
-impl WorkerBackend for RemoteBackend {
-    fn submit(&mut self, job: PointJob) -> Result<WorkHandle, BackendError> {
-        let slot = self
+    /// Writes a worker off (idempotent): no further jobs, no capacity.
+    /// Its in-flight accounting is zeroed — every point it was running is
+    /// re-dispatched as its handle gets polled.
+    fn mark_dead(&mut self, slot: usize, cause: &BackendError) {
+        if !self.workers[slot].dead {
+            self.workers[slot].dead = true;
+            self.workers[slot].in_flight = 0;
+            eprintln!(
+                "worker {} lost ({}); re-dispatching its in-flight points to the survivors",
+                self.workers[slot].addr, cause.message
+            );
+        }
+    }
+
+    /// The next submit target: a live worker with a free slot, or — when
+    /// `oversubscribe` (failover re-dispatch, where the dead worker's
+    /// points can exceed the survivors' free slots) — the least-loaded
+    /// live worker. `None` when every worker is dead (or, strict case,
+    /// merely full).
+    fn pick_live(&self, oversubscribe: bool) -> Option<usize> {
+        let free = self
             .workers
             .iter()
-            .position(|w| w.in_flight < w.slots)
-            .ok_or_else(|| BackendError {
-                worker: "<pool>".to_owned(),
-                message: "submit called with every worker slot occupied".to_owned(),
-            })?;
-        let id = self.next_id;
-        self.next_id += 1;
+            .position(|w| !w.dead && w.in_flight < w.slots);
+        if free.is_some() || !oversubscribe {
+            return free;
+        }
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.dead)
+            .min_by_key(|(_, w)| w.in_flight)
+            .map(|(i, _)| i)
+    }
+
+    /// POSTs one job to one worker; counts it in flight on success.
+    fn send_job(&mut self, slot: usize, id: u64, job: &PointJob) -> Result<(), BackendError> {
         let mut body = String::new();
         let mut obj = JsonObject::begin(&mut body);
         obj.field_str("digest", &self.digest);
@@ -190,14 +229,81 @@ impl WorkerBackend for RemoteBackend {
             });
         }
         self.workers[slot].in_flight += 1;
-        self.jobs.insert(
-            id,
-            InFlight {
-                worker: slot,
-                experiment: job.experiment,
-            },
-        );
-        Ok(WorkHandle(id))
+        Ok(())
+    }
+
+    /// Re-dispatches one in-flight job after its worker failed: mark the
+    /// worker dead, resubmit the job verbatim to a survivor, report the
+    /// point as still pending. Only when *no* worker survives does the
+    /// infrastructure failure reach the orchestrator.
+    ///
+    /// If the "dead" worker was merely slow and finishes its copy anyway,
+    /// nothing diverges: results are bit-deterministic in the experiment,
+    /// so the copies are identical and only the re-dispatched one is ever
+    /// polled.
+    fn fail_over(&mut self, id: u64, mut cause: BackendError) -> Result<PointStatus, BackendError> {
+        let slot = self
+            .jobs
+            .get(&id)
+            .expect("caller verified the handle")
+            .worker;
+        self.mark_dead(slot, &cause);
+        let job = self
+            .jobs
+            .get(&id)
+            .expect("caller verified the handle")
+            .job
+            .clone();
+        loop {
+            let Some(target) = self.pick_live(true) else {
+                return Err(cause);
+            };
+            match self.send_job(target, id, &job) {
+                Ok(()) => {
+                    self.jobs
+                        .get_mut(&id)
+                        .expect("caller verified the handle")
+                        .worker = target;
+                    return Ok(PointStatus::Pending);
+                }
+                Err(err) => {
+                    self.mark_dead(target, &err);
+                    cause = err;
+                }
+            }
+        }
+    }
+}
+
+impl WorkerBackend for RemoteBackend {
+    fn submit(&mut self, job: PointJob) -> Result<WorkHandle, BackendError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        // A fresh submit insists on a free slot (the orchestrator sized
+        // its in-flight window by `capacity`); but once a worker dies
+        // mid-submit the pool has shrunk under the orchestrator's feet,
+        // so the retries may oversubscribe a survivor.
+        let mut oversubscribe = false;
+        let mut cause = BackendError {
+            worker: "<pool>".to_owned(),
+            message: "submit called with every worker slot occupied".to_owned(),
+        };
+        loop {
+            let Some(slot) = self.pick_live(oversubscribe) else {
+                return Err(cause);
+            };
+            match self.send_job(slot, id, &job) {
+                Ok(()) => {
+                    self.jobs.insert(id, InFlight { worker: slot, job });
+                    return Ok(WorkHandle(id));
+                }
+                Err(err) => {
+                    self.mark_dead(slot, &err);
+                    cause = err;
+                    oversubscribe = true;
+                }
+            }
+        }
     }
 
     fn poll(&mut self, handle: WorkHandle) -> Result<PointStatus, BackendError> {
@@ -211,12 +317,26 @@ impl WorkerBackend for RemoteBackend {
                 self.workers[in_flight.worker].addr.clone(),
             )
         };
-        let (status, body) = rpc(&addr, "GET", &format!("/status?job={}", handle.0), "")?;
+        // The worker was already written off by an earlier failure (its
+        // own RPC, or another point's poll): re-dispatch without a doomed
+        // round-trip.
+        if self.workers[slot].dead {
+            let cause = BackendError {
+                worker: addr,
+                message: "worker is gone".to_owned(),
+            };
+            return self.fail_over(handle.0, cause);
+        }
+        let (status, body) = match rpc(&addr, "GET", &format!("/status?job={}", handle.0), "") {
+            Ok(response) => response,
+            Err(err) => return self.fail_over(handle.0, err),
+        };
         if status != 200 {
-            return Err(BackendError {
+            let cause = BackendError {
                 worker: addr,
                 message: format!("status returned HTTP {status}: {body}"),
-            });
+            };
+            return self.fail_over(handle.0, cause);
         }
         let value = parse_body(&body, &addr)?;
         let state = value.get("state").and_then(|v| v.as_str()).unwrap_or("");
@@ -249,7 +369,11 @@ impl WorkerBackend for RemoteBackend {
                 let in_flight = self.jobs.remove(&handle.0).expect("handle checked above");
                 self.workers[slot].in_flight -= 1;
                 Ok(PointStatus::Done {
-                    result: Err(Self::rederive_error(&in_flight.experiment, &message, &addr)),
+                    result: Err(Self::rederive_error(
+                        &in_flight.job.experiment,
+                        &message,
+                        &addr,
+                    )),
                     attempts,
                 })
             }
@@ -261,13 +385,17 @@ impl WorkerBackend for RemoteBackend {
     }
 
     fn capacity(&self) -> usize {
-        self.workers.iter().map(|w| w.slots).sum()
+        self.workers
+            .iter()
+            .filter(|w| !w.dead)
+            .map(|w| w.slots)
+            .sum()
     }
 
     fn cancel(&mut self) {
         // Best-effort broadcast; a worker that is already gone cannot
         // hold up shutdown.
-        for worker in &self.workers {
+        for worker in self.workers.iter().filter(|w| !w.dead) {
             let _ = rpc(&worker.addr, "POST", "/cancel", "{}");
         }
     }
@@ -352,6 +480,38 @@ mod tests {
         assert!(
             matches!(err, ExperimentError::InvalidLoad { .. }),
             "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn poll_failure_fails_over_to_the_surviving_worker() {
+        let doomed = crate::worker::spawn_killable(1);
+        let survivor = spawn_local(1);
+        let mut backend = RemoteBackend::connect(&[doomed.addr.to_string(), survivor.to_string()])
+            .expect("handshake both workers");
+        assert_eq!(backend.capacity(), 2);
+        let experiment = Experiment::new(Topology::torus(&[6, 6]), AlgorithmKind::PositiveHop)
+            .offered_load(0.2)
+            .quick()
+            .seed(1993);
+        let local = experiment.clone().run().expect("local reference run");
+        // Submission goes to the first worker with a free slot — the
+        // doomed one. Kill it mid-point; the next poll's RPC failure must
+        // re-dispatch the job to the survivor, not surface an error.
+        let handle = backend.submit(job_for(experiment, 0)).expect("submit");
+        doomed.kill();
+        let (result, _) = wait_done(&mut backend, handle);
+        let remote = result.expect("failover completes the point");
+        assert_eq!(
+            remote.latency.mean().to_bits(),
+            local.latency.mean().to_bits(),
+            "the re-dispatched point must reproduce the local result bit for bit"
+        );
+        assert_eq!(remote.cycles_simulated, local.cycles_simulated);
+        assert_eq!(
+            backend.capacity(),
+            1,
+            "the dead worker must drop out of the capacity count"
         );
     }
 

@@ -76,6 +76,14 @@ pub fn serve(config: &WorkerConfig) -> std::io::Result<()> {
 }
 
 fn serve_on(listener: TcpListener, threads: usize) -> std::io::Result<()> {
+    serve_until(listener, threads, None)
+}
+
+fn serve_until(
+    listener: TcpListener,
+    threads: usize,
+    stop: Option<Arc<std::sync::atomic::AtomicBool>>,
+) -> std::io::Result<()> {
     let shared = Arc::new(Shared {
         state: Mutex::new(WorkerState {
             queue: VecDeque::new(),
@@ -90,6 +98,12 @@ fn serve_on(listener: TcpListener, threads: usize) -> std::io::Result<()> {
         std::thread::spawn(move || sim_loop(&shared));
     }
     for stream in listener.incoming() {
+        if stop
+            .as_ref()
+            .is_some_and(|f| f.load(std::sync::atomic::Ordering::SeqCst))
+        {
+            break;
+        }
         match stream {
             Ok(mut stream) => handle_connection(&mut stream, &shared),
             Err(err) => eprintln!("wormsim-worker: accept failed: {err}"),
@@ -108,6 +122,41 @@ pub(crate) fn spawn_local(threads: usize) -> std::net::SocketAddr {
         let _ = serve_on(listener, threads);
     });
     addr
+}
+
+/// Test hook: a [`spawn_local`] worker with a kill switch. [`kill`]
+/// drops the listener, so from the orchestrator's point of view the
+/// worker process crashed — every subsequent RPC is refused — while any
+/// point already running keeps its (detached) simulation thread busy,
+/// exactly like a host that died mid-job.
+///
+/// [`kill`]: KillableWorker::kill
+#[cfg(test)]
+pub(crate) struct KillableWorker {
+    pub(crate) addr: std::net::SocketAddr,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+}
+
+#[cfg(test)]
+impl KillableWorker {
+    pub(crate) fn kill(&self) {
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        // Poke the accept loop so it observes the flag and drops the
+        // socket; the connection itself is never answered.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn spawn_killable(threads: usize) -> KillableWorker {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    std::thread::spawn(move || {
+        let _ = serve_until(listener, threads, Some(flag));
+    });
+    KillableWorker { addr, stop }
 }
 
 fn sim_loop(shared: &Shared) {

@@ -70,6 +70,30 @@ fn sweep_args(out_dir: &Path) -> Vec<String> {
     .collect()
 }
 
+/// A longer sweep (twelve 8×8 points) for the crash test: it must still
+/// be running when the doomed worker is killed 300 ms in, so the failover
+/// path genuinely re-dispatches in-flight work.
+fn failover_sweep_args(out_dir: &Path) -> Vec<String> {
+    [
+        "--topo",
+        "torus:8x8",
+        "--algos",
+        "ecube,phop,nbc",
+        "--loads",
+        "0.1,0.2,0.3,0.4",
+        "--quick",
+        "--seed",
+        "1993",
+        "--threads",
+        "2",
+        "--out",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .chain([out_dir.display().to_string()])
+    .collect()
+}
+
 fn temp_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("wormsim-dist-{}-{name}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
@@ -112,6 +136,64 @@ fn remote_sweep_is_byte_identical_to_local() {
     assert_eq!(
         local_journal, remote_journal,
         "remote sweep must reproduce the local journal byte for byte"
+    );
+
+    std::fs::remove_dir_all(&local_dir).ok();
+    std::fs::remove_dir_all(&remote_dir).ok();
+}
+
+#[test]
+fn worker_crash_mid_sweep_fails_over_and_stays_byte_identical() {
+    // 1. The reference: the ordinary in-process sweep.
+    let local_dir = temp_dir("failover-local");
+    let status = Command::new(SWEEP)
+        .args(failover_sweep_args(&local_dir))
+        .status()
+        .expect("spawn local sweep");
+    assert!(status.success(), "local sweep failed: {status}");
+    let local_csv = std::fs::read(local_dir.join("sweep.csv")).expect("local CSV");
+    let local_journal =
+        std::fs::read(local_dir.join("sweep.journal.jsonl")).expect("local journal");
+
+    // 2. The same sweep across two workers — and one of them is murdered
+    //    shortly after the sweep starts, with points in flight. The
+    //    backend must write it off, re-dispatch its points to the
+    //    survivor, and finish.
+    let doomed = WorkerProc::spawn(1);
+    let survivor = WorkerProc::spawn(2);
+    let remote_dir = temp_dir("failover-remote");
+    let mut sweep = Command::new(SWEEP)
+        .args(failover_sweep_args(&remote_dir))
+        .args(["--backend", "remote"])
+        .args(["--worker", &doomed.addr])
+        .args(["--worker", &survivor.addr])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn remote sweep");
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    drop(doomed); // kill -9, mid-point
+    let output = sweep.wait_with_output().expect("sweep finishes");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "sweep must survive a worker crash; stderr was:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("re-dispatching"),
+        "the failover must be announced; stderr was:\n{stderr}"
+    );
+
+    // 3. The contract holds across the crash: identical bytes.
+    let remote_csv = std::fs::read(remote_dir.join("sweep.csv")).expect("remote CSV");
+    let remote_journal =
+        std::fs::read(remote_dir.join("sweep.journal.jsonl")).expect("remote journal");
+    assert_eq!(
+        local_csv, remote_csv,
+        "failover must reproduce the local CSV byte for byte"
+    );
+    assert_eq!(
+        local_journal, remote_journal,
+        "failover must reproduce the local journal byte for byte"
     );
 
     std::fs::remove_dir_all(&local_dir).ok();

@@ -128,6 +128,53 @@ fn resume_with_a_complete_journal_runs_nothing_new() {
 }
 
 #[test]
+fn resume_from_a_torn_journal_reports_the_recovery_and_still_matches() {
+    // A crash mid-append leaves a half-written final line. The resume must
+    // say so out loud (so a crashed fleet run is auditable), drop the torn
+    // point, re-run it, and still converge to the byte-identical CSV.
+    let clean_dir = temp_dir("torn-clean");
+    let status = Command::new(SWEEP)
+        .args(sweep_args(&clean_dir))
+        .status()
+        .expect("spawn sweep");
+    assert!(status.success(), "clean sweep failed: {status}");
+    let clean_csv = std::fs::read(clean_dir.join("sweep.csv")).expect("clean CSV written");
+
+    let torn_dir = temp_dir("torn");
+    let status = Command::new(SWEEP)
+        .args(sweep_args(&torn_dir))
+        .status()
+        .expect("spawn sweep");
+    assert!(status.success(), "seed sweep failed: {status}");
+    let journal = torn_dir.join("sweep.journal.jsonl");
+    let mut bytes = std::fs::read(&journal).expect("journal readable");
+    let keep = bytes.len() - 17; // chop mid-way through the final record
+    bytes.truncate(keep);
+    std::fs::write(&journal, bytes).expect("write torn journal");
+
+    let output = Command::new(SWEEP)
+        .args(sweep_args(&torn_dir))
+        .args(["--resume", &journal.display().to_string()])
+        .output()
+        .expect("spawn sweep");
+    assert!(output.status.success(), "resume failed: {}", output.status);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("resuming: 5/6 points"),
+        "the torn point must not splice; stderr was:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("recovered from a torn final append"),
+        "the recovery must be reported; stderr was:\n{stderr}"
+    );
+    let resumed_csv = std::fs::read(torn_dir.join("sweep.csv")).expect("resumed CSV written");
+    assert_eq!(clean_csv, resumed_csv, "torn-resume must reproduce the CSV");
+
+    std::fs::remove_dir_all(&clean_dir).ok();
+    std::fs::remove_dir_all(&torn_dir).ok();
+}
+
+#[test]
 fn resume_from_a_missing_journal_is_a_clean_error() {
     let dir = temp_dir("missing");
     let output = Command::new(SWEEP)

@@ -708,6 +708,7 @@ impl Experiment {
                 dropped_events: 0,
                 deadlock: None,
                 livelock: None,
+                triage: None,
             });
         }
 
@@ -831,6 +832,15 @@ impl Experiment {
             0.0
         };
 
+        // A stalled run is triaged unconditionally (not just when observed):
+        // the wait-for snapshot refines the watchdog's budget-based verdict
+        // into confirmed-unsafe (a validated circular wait) vs
+        // budget-artifact, and the verdict travels with the result through
+        // journals, CSVs, and manifests.
+        let wait_snapshot = matches!(outcome, RunOutcome::Deadlocked | RunOutcome::LiveLocked)
+            .then(|| net.wait_for_snapshot(outcome.tag()));
+        let triage = wait_snapshot.as_ref().map(wormsim_verify::triage);
+
         let samples = controller.num_samples();
         let latency = controller
             .estimate()
@@ -877,6 +887,7 @@ impl Experiment {
             dropped_events: 0,
             deadlock,
             livelock,
+            triage,
         };
 
         // Observed runs get a bounded drain phase (so the sample stream
@@ -901,8 +912,7 @@ impl Experiment {
                 // (or livelock guard) saw it: capture the wait-for graph so
                 // the outcome carries evidence of a real channel cycle, or
                 // its absence.
-                if matches!(outcome, RunOutcome::Deadlocked | RunOutcome::LiveLocked) {
-                    let snapshot = net.wait_for_snapshot(outcome.tag());
+                if let Some(snapshot) = wait_snapshot.as_ref() {
                     let mut line = snapshot.to_json();
                     line.push('\n');
                     atomic_write(dir.join(format!("{run_id}.waitfor.jsonl")), line)
@@ -940,6 +950,7 @@ impl Experiment {
                     converged: result.convergence.is_converged(),
                     deadlocked: deadlock.is_some(),
                     outcome: outcome.tag().to_owned(),
+                    triage: result.triage.as_ref().map(|t| t.verdict.tag().to_owned()),
                     wall_seconds: wall,
                     cycles_per_sec: if wall > 0.0 {
                         net.cycle() as f64 / wall

@@ -69,6 +69,7 @@ pub use wormsim_routing as routing;
 pub use wormsim_stats as stats;
 pub use wormsim_topology as topology;
 pub use wormsim_traffic as traffic;
+pub use wormsim_verify as verify;
 
 // The most common types, re-exported flat for convenience.
 pub use wormsim_engine::{

@@ -60,12 +60,13 @@ pub fn format_sweep_csv(results: &[RunResult]) -> String {
         "algorithm,traffic,offered_load,injection_rate,achieved_utilization,\
          latency_mean,latency_half_width,latency_p50,latency_p95,latency_p99,\
          delivery_rate,acceptance_rate,\
-         refused_fraction,messages,samples,converged,deadlocked,outcome,dropped_events\n",
+         refused_fraction,messages,samples,converged,deadlocked,outcome,dropped_events,\
+         triage\n",
     );
     for r in results {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.algorithm,
             r.traffic,
             r.offered_load,
@@ -84,7 +85,8 @@ pub fn format_sweep_csv(results: &[RunResult]) -> String {
             r.convergence.is_converged(),
             r.deadlock.is_some(),
             r.outcome,
-            r.dropped_events
+            r.dropped_events,
+            r.triage.as_ref().map_or("", |t| t.verdict.tag())
         );
     }
     out
@@ -119,6 +121,7 @@ mod tests {
             dropped_events: 0,
             deadlock: None,
             livelock: None,
+            triage: None,
         }
     }
 
@@ -139,6 +142,21 @@ mod tests {
         let row = lines.next().unwrap();
         assert_eq!(header.split(',').count(), row.split(',').count());
         assert!(row.starts_with("nbc,uniform,0.6,"));
-        assert!(row.ends_with("true,false,completed,0"));
+        assert!(row.ends_with("true,false,completed,0,"));
+    }
+
+    #[test]
+    fn csv_renders_triage_verdict() {
+        let mut r = sample();
+        r.outcome = crate::RunOutcome::Deadlocked;
+        r.triage = Some(wormsim_verify::TriageReport {
+            verdict: wormsim_verify::TriageVerdict::ConfirmedUnsafe,
+            edges: 4,
+            cycle_messages: vec![1, 2],
+            cycle_channels: vec![10, 11],
+        });
+        let csv = format_sweep_csv(&[r]);
+        assert!(csv.lines().next().unwrap().ends_with(",triage"));
+        assert!(csv.ends_with("deadlocked,0,confirmed_unsafe\n"));
     }
 }

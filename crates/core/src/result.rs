@@ -6,6 +6,7 @@ use wormsim_engine::{DeadlockReport, LivelockReport};
 use wormsim_observe::json::Value;
 use wormsim_observe::{JsonObject, JsonRecord};
 use wormsim_stats::{ConfidenceInterval, ConvergenceStatus};
+use wormsim_verify::{TriageReport, TriageVerdict};
 
 /// What a worker panic looked like from the orchestrator's side.
 ///
@@ -159,6 +160,12 @@ pub struct RunResult {
     /// Set if the livelock guard flagged messages over budget.
     #[serde(skip)]
     pub livelock: Option<LivelockReport>,
+    /// Refined stall verdict from `wormsim-verify`: present exactly when
+    /// the outcome is `Deadlocked` or `LiveLocked`, distinguishing a
+    /// validated circular wait (`confirmed_unsafe`) from a stall with no
+    /// self-sustaining cycle (`budget_artifact`).
+    #[serde(skip)]
+    pub triage: Option<TriageReport>,
 }
 
 /// Writes a float that must survive a JSON round-trip bit-exactly.
@@ -293,6 +300,17 @@ impl JsonRecord for RunResult {
             report.finish();
             obj.field_raw("livelock", &nested);
         }
+        if let Some(t) = &self.triage {
+            let mut nested = String::new();
+            let mut report = JsonObject::begin(&mut nested);
+            report
+                .field_str("verdict", t.verdict.tag())
+                .field_u64("edges", t.edges as u64)
+                .field_u64_array("cycle_messages", &t.cycle_messages)
+                .field_u64_array("cycle_channels", &t.cycle_channels);
+            report.finish();
+            obj.field_raw("triage", &nested);
+        }
         obj.finish();
     }
 }
@@ -365,6 +383,27 @@ impl RunResult {
             }),
             None => None,
         };
+        // Pre-verification journals simply lack the field: tolerate its
+        // absence instead of failing the resume.
+        let triage = match value.get("triage") {
+            Some(t) => {
+                let u64_array = |key: &str| -> Result<Vec<u64>, String> {
+                    t.get(key)
+                        .and_then(Value::as_array)
+                        .ok_or_else(|| format!("missing field 'triage.{key}'"))?
+                        .iter()
+                        .map(|v| v.as_u64().ok_or_else(|| format!("non-integer in '{key}'")))
+                        .collect()
+                };
+                Some(TriageReport {
+                    verdict: TriageVerdict::from_tag(get_str(t, "verdict")?)?,
+                    edges: get_u64(t, "edges")? as usize,
+                    cycle_messages: u64_array("cycle_messages")?,
+                    cycle_channels: u64_array("cycle_channels")?,
+                })
+            }
+            None => None,
+        };
         Ok(RunResult {
             algorithm: get_str(value, "algorithm")?.to_owned(),
             traffic: get_str(value, "traffic")?.to_owned(),
@@ -391,6 +430,7 @@ impl RunResult {
             dropped_events: get_u64(value, "dropped_events")?,
             deadlock,
             livelock,
+            triage,
         })
     }
 }
@@ -460,6 +500,7 @@ mod tests {
             dropped_events: 0,
             deadlock: None,
             livelock: None,
+            triage: None,
         }
     }
 
@@ -562,11 +603,29 @@ mod tests {
             max_hops: 211,
             max_age: 30_000,
         });
+        r.triage = Some(TriageReport {
+            verdict: TriageVerdict::ConfirmedUnsafe,
+            edges: 7,
+            cycle_messages: vec![3, 9, 12],
+            cycle_channels: vec![40, 44, 32],
+        });
         let back = roundtrip(&r);
         assert!(back.latency.half_width().is_infinite());
         assert_eq!(back.deadlock, r.deadlock);
         assert_eq!(back.livelock, r.livelock);
+        assert_eq!(back.triage, r.triage);
         assert_eq!(back.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn journal_without_triage_field_still_decodes() {
+        // Journals written before runtime triage existed have no 'triage'
+        // key; resuming from them must not fail.
+        let r = result(0.5, 0.4);
+        let text = r.to_json();
+        assert!(!text.contains("triage"));
+        let value = wormsim_observe::json::from_str(&text).unwrap();
+        assert_eq!(RunResult::from_json(&value).unwrap().triage, None);
     }
 
     #[test]

@@ -61,6 +61,10 @@ pub struct RunManifest {
     /// `deadlocked`, `budget_exceeded`) — the experiment layer's
     /// `RunOutcome` rendered for tooling that greps manifests.
     pub outcome: String,
+    /// Refined stall verdict (`confirmed_unsafe` or `budget_artifact`)
+    /// from the verification layer's wait-for triage; `None` for runs
+    /// that did not stall.
+    pub triage: Option<String>,
     /// Total wall-clock seconds for the run.
     pub wall_seconds: f64,
     /// Simulated cycles per wall-clock second.
@@ -183,6 +187,11 @@ impl RunManifest {
             converged: bool_field("converged")?,
             deadlocked: bool_field("deadlocked")?,
             outcome: str_field("outcome")?,
+            // Arrived with the verification layer; older manifests lack it.
+            triage: value
+                .get("triage")
+                .and_then(Value::as_str)
+                .map(str::to_owned),
             wall_seconds: f64_field("wall_seconds")?,
             cycles_per_sec: f64_field("cycles_per_sec")?,
             flits_per_sec: f64_field("flits_per_sec")?,
@@ -232,6 +241,7 @@ impl JsonRecord for RunManifest {
             .field_bool("converged", self.converged)
             .field_bool("deadlocked", self.deadlocked)
             .field_str("outcome", &self.outcome)
+            .field_opt_str("triage", self.triage.as_deref())
             .field_f64("wall_seconds", self.wall_seconds)
             .field_f64("cycles_per_sec", self.cycles_per_sec)
             .field_f64("flits_per_sec", self.flits_per_sec)
@@ -294,6 +304,7 @@ mod tests {
             converged: true,
             deadlocked: false,
             outcome: "completed".to_owned(),
+            triage: None,
             wall_seconds: 1.5,
             cycles_per_sec: 40_666.7,
             flits_per_sec: 812_000.0,
@@ -356,6 +367,22 @@ mod tests {
         let old = RunManifest::from_json(&parsed).unwrap();
         assert_eq!(old.attempts, 1);
         assert_eq!(old.resumed_from, None);
+    }
+
+    #[test]
+    fn triage_verdict_round_trips_and_defaults() {
+        let m = RunManifest {
+            outcome: "deadlocked".to_owned(),
+            deadlocked: true,
+            triage: Some("confirmed_unsafe".to_owned()),
+            ..manifest()
+        };
+        let parsed = crate::json::from_str(&m.to_json()).unwrap();
+        assert_eq!(RunManifest::from_json(&parsed).unwrap(), m);
+        // Manifests written before the verification layer lack the field.
+        let json = m.to_json().replace(",\"triage\":\"confirmed_unsafe\"", "");
+        let parsed = crate::json::from_str(&json).unwrap();
+        assert_eq!(RunManifest::from_json(&parsed).unwrap().triage, None);
     }
 
     #[test]

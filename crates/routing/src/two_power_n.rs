@@ -34,6 +34,16 @@ use wormsim_topology::{DimStep, Direction, NodeId, Sign, Topology, TopologyKind}
 /// the paper's 16×16 runs complete, so the 2D variant is preserved as
 /// published.
 ///
+/// The `wormsim-verify` bounded checker has since settled the question
+/// definitively: on a 4×4 torus the published 2D variant admits a stable
+/// configuration in which every blocked worm's full candidate set is held
+/// (a hand-verified 4-cycle of class-01 worms around the `x=2..3, y=0..1`
+/// block), and the engine reproduces it under random VC selection with
+/// aligned injection timing. The 2D variant is therefore *deadlockable in
+/// principle* — vanishingly rarely under the paper's workloads — and is
+/// still preserved as published, with the refutation pinned in
+/// `wormsim-verify`'s tests rather than papered over here.
+///
 /// On **tori with `n >= 3` dimensions** — outside the paper's regime, where
 /// nothing pins the behavior — the generalization is corrected à la
 /// Linder & Harden:
@@ -156,7 +166,19 @@ impl RoutingAlgorithm for TwoPowerN {
         topo: &Topology,
         mask: &wormsim_topology::ChannelMask,
     ) -> FaultTolerance {
-        FaultTolerance::best_effort_if_connected(topo, mask)
+        let claim = FaultTolerance::best_effort_if_connected(topo, mask);
+        // The published Eq.1 variant on tori (single dateline level) is
+        // deadlockable in principle — see the module docs and the
+        // wormsim-verify refutation — so even on a healthy network its
+        // claim caps at best-effort. The >=3D dateline-levelled variant
+        // keeps the full guarantee.
+        if claim == FaultTolerance::Guaranteed
+            && self.levels == 1
+            && topo.kind() == TopologyKind::Torus
+        {
+            return FaultTolerance::BestEffort;
+        }
+        claim
     }
 
     fn num_vc_classes(&self) -> usize {
@@ -217,6 +239,33 @@ impl RoutingAlgorithm for TwoPowerN {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn published_torus_variant_never_claims_guaranteed() {
+        // The wormsim-verify bounded checker refutes the 2D Eq.1 torus
+        // variant (a stable all-candidates-held cycle exists), so its
+        // healthy-network claim caps at best-effort. The mesh variant and
+        // the >=3D dateline-levelled torus variant keep the guarantee.
+        use wormsim_topology::ChannelMask;
+        let torus = Topology::torus(&[4, 4]);
+        let tpn = TwoPowerN::new(&torus).unwrap();
+        assert_eq!(
+            tpn.fault_tolerance(&torus, &ChannelMask::all_alive(&torus)),
+            FaultTolerance::BestEffort
+        );
+        let torus3 = Topology::torus(&[2, 4, 4]);
+        let tpn3 = TwoPowerN::new(&torus3).unwrap();
+        assert_eq!(
+            tpn3.fault_tolerance(&torus3, &ChannelMask::all_alive(&torus3)),
+            FaultTolerance::Guaranteed
+        );
+        let mesh = Topology::mesh(&[4, 4]);
+        let tpnm = TwoPowerN::new(&mesh).unwrap();
+        assert_eq!(
+            tpnm.fault_tolerance(&mesh, &ChannelMask::all_alive(&mesh)),
+            FaultTolerance::Guaranteed
+        );
+    }
 
     #[test]
     fn tag_matches_equation_one() {

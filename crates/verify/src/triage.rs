@@ -1,0 +1,196 @@
+//! Runtime stall triage: was that watchdog a real deadlock?
+//!
+//! The engine's watchdog (`RunOutcome::Deadlocked`) and livelock guard
+//! (`RunOutcome::LiveLocked`) are budget-based: they fire when nothing
+//! has moved (or nothing has *arrived*) for a configured number of cycles.
+//! At fleet scale that conflates two very different situations:
+//!
+//! - **Confirmed-unsafe** — the wait-for graph at the trigger contains a
+//!   validated circular wait: a cycle of worms each occupying a resource
+//!   the next one needs. No budget, however generous, would have saved the
+//!   run; the algorithm (or algorithm × fault-plan combination) is unsafe.
+//! - **Budget-artifact** — the snapshot has no self-sustaining cycle. The
+//!   network was merely congested, starved, or mid-fault-transition, and a
+//!   larger budget (or repair) would plausibly have let the run complete.
+//!
+//! [`triage`] makes the call from a [`WaitForSnapshot`] alone, so it works
+//! both inline (the engine hands its snapshot straight over at run end)
+//! and offline (replaying a `<run>.waitfor.jsonl` file through the
+//! `inspect` bin). The cycle reported by the snapshot is not taken on
+//! faith: every hop is re-validated against the edge list — message `i`
+//! must actually have a recorded wait on channel `i` held by message
+//! `i+1` — so a corrupted or hand-edited snapshot downgrades to
+//! budget-artifact instead of producing a false conviction.
+
+use wormsim_observe::WaitForSnapshot;
+
+/// The refined verdict on a `Deadlocked`/`LiveLocked` run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TriageVerdict {
+    /// A validated circular wait was present at the watchdog trigger: the
+    /// stall is a genuine deadlock, not a tight budget.
+    ConfirmedUnsafe,
+    /// No validated cycle in the wait-for graph: the stall is congestion,
+    /// starvation, or a transient-fault pause — rerun with a larger
+    /// budget before blaming the algorithm.
+    BudgetArtifact,
+}
+
+impl TriageVerdict {
+    /// Stable string tag for journals, CSVs, and manifests.
+    pub fn tag(self) -> &'static str {
+        match self {
+            TriageVerdict::ConfirmedUnsafe => "confirmed_unsafe",
+            TriageVerdict::BudgetArtifact => "budget_artifact",
+        }
+    }
+
+    /// Parses a [`tag`](Self::tag) back.
+    pub fn from_tag(tag: &str) -> Result<Self, String> {
+        match tag {
+            "confirmed_unsafe" => Ok(TriageVerdict::ConfirmedUnsafe),
+            "budget_artifact" => Ok(TriageVerdict::BudgetArtifact),
+            other => Err(format!("unknown triage verdict '{other}'")),
+        }
+    }
+}
+
+/// The triage outcome plus the evidence it rests on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TriageReport {
+    /// The verdict.
+    pub verdict: TriageVerdict,
+    /// Wait-for edges in the snapshot.
+    pub edges: usize,
+    /// The validated cycle's messages (empty for budget-artifact).
+    pub cycle_messages: Vec<u64>,
+    /// The validated cycle's channels, `cycle_channels[i]` being what
+    /// `cycle_messages[i]` waits on.
+    pub cycle_channels: Vec<u64>,
+}
+
+impl TriageReport {
+    /// Whether the verdict is [`TriageVerdict::ConfirmedUnsafe`].
+    pub fn is_confirmed_unsafe(&self) -> bool {
+        self.verdict == TriageVerdict::ConfirmedUnsafe
+    }
+}
+
+/// Replays a wait-for snapshot through cycle detection and hop-by-hop
+/// validation, refining the watchdog's budget-based verdict.
+///
+/// The input snapshot is taken by value-copy (cloned internally), so a
+/// snapshot loaded from disk can be triaged without mutating it.
+pub fn triage(snapshot: &WaitForSnapshot) -> TriageReport {
+    let mut scratch = snapshot.clone();
+    scratch.detect_cycle();
+    let validated = scratch.cycle_found && validate_cycle(&scratch);
+    if validated {
+        TriageReport {
+            verdict: TriageVerdict::ConfirmedUnsafe,
+            edges: scratch.edges.len(),
+            cycle_messages: scratch.cycle_messages,
+            cycle_channels: scratch.cycle_channels,
+        }
+    } else {
+        TriageReport {
+            verdict: TriageVerdict::BudgetArtifact,
+            edges: scratch.edges.len(),
+            cycle_messages: Vec::new(),
+            cycle_channels: Vec::new(),
+        }
+    }
+}
+
+/// Every hop of the reported cycle must be backed by a recorded edge:
+/// message `i` waits on channel `i` held by message `(i+1) % len`.
+fn validate_cycle(snapshot: &WaitForSnapshot) -> bool {
+    let n = snapshot.cycle_messages.len();
+    if n == 0 || snapshot.cycle_channels.len() != n {
+        return false;
+    }
+    (0..n).all(|i| {
+        let msg = snapshot.cycle_messages[i];
+        let channel = snapshot.cycle_channels[i];
+        let holder = snapshot.cycle_messages[(i + 1) % n];
+        snapshot
+            .edges
+            .iter()
+            .any(|e| e.msg == msg && e.channel == channel && e.holder == holder)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormsim_observe::{WaitForEdge, WaitKind};
+
+    fn edge(msg: u64, channel: u64, holder: u64) -> WaitForEdge {
+        WaitForEdge {
+            msg,
+            node: 0,
+            channel,
+            holder,
+            kind: WaitKind::Vc,
+        }
+    }
+
+    #[test]
+    fn circular_wait_is_confirmed_unsafe() {
+        let snapshot = WaitForSnapshot {
+            reason: "deadlock".into(),
+            edges: vec![edge(1, 10, 2), edge(2, 11, 3), edge(3, 12, 1)],
+            ..Default::default()
+        };
+        let report = triage(&snapshot);
+        assert_eq!(report.verdict, TriageVerdict::ConfirmedUnsafe);
+        assert_eq!(report.cycle_messages.len(), 3);
+        assert_eq!(report.cycle_channels.len(), 3);
+    }
+
+    #[test]
+    fn acyclic_stall_is_budget_artifact() {
+        let snapshot = WaitForSnapshot {
+            reason: "livelock".into(),
+            edges: vec![edge(1, 10, 2), edge(2, 11, 3)],
+            ..Default::default()
+        };
+        let report = triage(&snapshot);
+        assert_eq!(report.verdict, TriageVerdict::BudgetArtifact);
+        assert!(report.cycle_messages.is_empty());
+        assert_eq!(report.edges, 2);
+    }
+
+    #[test]
+    fn empty_snapshot_is_budget_artifact() {
+        let report = triage(&WaitForSnapshot::default());
+        assert_eq!(report.verdict, TriageVerdict::BudgetArtifact);
+    }
+
+    #[test]
+    fn stale_cycle_fields_are_revalidated_not_trusted() {
+        // A snapshot claiming a cycle its own edges do not support must
+        // not convict.
+        let snapshot = WaitForSnapshot {
+            reason: "deadlock".into(),
+            edges: vec![edge(1, 10, 2)],
+            cycle_found: true,
+            cycle_messages: vec![1, 2],
+            cycle_channels: vec![10, 11],
+            ..Default::default()
+        };
+        let report = triage(&snapshot);
+        assert_eq!(report.verdict, TriageVerdict::BudgetArtifact);
+    }
+
+    #[test]
+    fn verdict_tags_round_trip() {
+        for v in [
+            TriageVerdict::ConfirmedUnsafe,
+            TriageVerdict::BudgetArtifact,
+        ] {
+            assert_eq!(TriageVerdict::from_tag(v.tag()).unwrap(), v);
+        }
+        assert!(TriageVerdict::from_tag("bogus").is_err());
+    }
+}
