@@ -23,6 +23,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use wormsim::stats::{ConfidenceInterval, ConvergenceStatus};
+use wormsim::verify::TriageVerdict;
 use wormsim::{CancelToken, Experiment, ExperimentError, PanicInfo, RunOutcome, RunResult};
 
 /// One schedulable sweep point: the experiment plus the orchestration
@@ -63,6 +64,10 @@ pub enum PointStatus {
         result: Result<RunResult, ExperimentError>,
         /// Attempts consumed (1 = first try).
         attempts: u64,
+        /// What the triage-aware retry policy decided for this point, if
+        /// it engaged at all (see [`execute_point`]). Deterministic, so it
+        /// journals identically on every backend.
+        retry_decision: Option<String>,
     },
 }
 
@@ -137,6 +142,38 @@ pub trait WorkerBackend {
     fn poll_interval(&self) -> Duration {
         Duration::from_millis(2)
     }
+
+    /// The last progress heartbeat observed for a pending job (the
+    /// engine's cycle counter, offset by one), or `None` when the backend
+    /// cannot observe per-job progress (the local pool shares one token
+    /// across jobs, so it reports nothing). The supervisor uses a frozen
+    /// heartbeat to tell a *hung* executor from a slow one.
+    fn heartbeat(&mut self, _handle: WorkHandle) -> Option<u64> {
+        None
+    }
+
+    /// How many executors this job has been dispatched to so far (1 for a
+    /// job still on its first executor), plus the most recent reason a
+    /// dispatch was lost. The supervisor quarantines a point whose
+    /// dispatch count keeps growing — a poison point that kills every
+    /// worker it lands on.
+    fn dispatch_history(&self, _handle: WorkHandle) -> (u64, Option<String>) {
+        (1, None)
+    }
+
+    /// Declares a pending job's current executor lost (typically: its
+    /// heartbeat froze past the supervisor's deadline). A remote pool
+    /// writes the worker off and re-dispatches the job to a survivor on
+    /// the next poll; the local pool cannot interrupt a hung thread and
+    /// ignores the call.
+    fn write_off(&mut self, _handle: WorkHandle) {}
+
+    /// Abandons a job entirely: the backend forgets the handle and
+    /// discards any result it may still produce. Used to drop the losing
+    /// duplicates of a hedged point and to stop re-dispatching a
+    /// quarantined one. Polling a forgotten handle reports `Pending`
+    /// forever.
+    fn forget(&mut self, _handle: WorkHandle) {}
 }
 
 /// Seed-jittered backoff before retry `attempt` of the point with digest
@@ -202,25 +239,75 @@ fn panic_result(experiment: &Experiment, payload: &(dyn std::any::Any + Send)) -
     }
 }
 
+/// Budget multiplier for the final attempt of a `budget_artifact` retry
+/// chain: the re-run gets this many times the configured cycle budget, so
+/// a stall the triage blamed on a tight budget has real headroom to
+/// finish instead of deterministically reproducing itself.
+pub(crate) const RAISED_BUDGET_FACTOR: u64 = 4;
+
+/// Retry decision recorded when a stalled point was triaged
+/// `confirmed_unsafe`: the stall is a validated circular wait, retrying
+/// is deterministic futility, the result journals as-is.
+pub(crate) const DECISION_CONFIRMED_UNSAFE: &str = "confirmed_unsafe_no_retry";
+/// Retry decision recorded when a `budget_artifact` stall triggered a
+/// retry (the final attempt ran with [`RAISED_BUDGET_FACTOR`]× budget).
+pub(crate) const DECISION_BUDGET_RETRIED: &str = "budget_artifact_retried";
+/// Retry decision recorded when a `budget_artifact` stall could not be
+/// retried: either the retry budget was already spent or the experiment
+/// has no cycle budget to raise (re-running the identical configuration
+/// would reproduce the identical stall).
+pub(crate) const DECISION_BUDGET_NO_RETRY: &str = "budget_artifact_not_retried";
+
+/// The stall triage of a run result, when the run stalled at all.
+fn stall_verdict(result: &Result<RunResult, ExperimentError>) -> Option<TriageVerdict> {
+    match result {
+        Ok(r) if matches!(r.outcome, RunOutcome::Deadlocked | RunOutcome::LiveLocked) => {
+            r.triage.as_ref().map(|t| t.verdict)
+        }
+        _ => None,
+    }
+}
+
 /// Runs one point with panic isolation and bounded retries — the single
 /// executor both backends share. Panics become [`RunOutcome::Harness`]
 /// results; transient outcomes (budget trips, panics) retry up to
 /// `job.retries` extra times with seed-jittered, cancellation-aware
 /// backoff, reusing the identical simulation seed. Configuration errors
-/// never retry — they are deterministic. Returns the final result and the
-/// number of attempts consumed.
+/// never retry — they are deterministic.
+///
+/// Stalled runs go through the triage-aware policy: a stall triaged
+/// `confirmed_unsafe` (a validated circular wait) is **never** retried —
+/// it is deterministic, and re-running it would only burn budget to
+/// reproduce the same deadlock. A stall triaged `budget_artifact` *is*
+/// retry-eligible when the experiment has a cycle budget to raise: the
+/// final attempt of such a chain runs with [`RAISED_BUDGET_FACTOR`]× the
+/// configured budget, giving a congestion-starved run real headroom.
+/// The decision taken is returned alongside the result so the journal
+/// records it; everything here is deterministic in the job alone, so
+/// local and remote executions decide (and journal) identically.
+///
+/// Returns the final result, the attempts consumed, and the retry
+/// decision (when the stall policy engaged).
 pub(crate) fn execute_point(
     job: &PointJob,
     cancel: &CancelToken,
-) -> (Result<RunResult, ExperimentError>, u64) {
+) -> (Result<RunResult, ExperimentError>, u64, Option<String>) {
     let max_attempts = u64::from(job.retries).saturating_add(1);
+    let raisable_budget = job.experiment.cycle_budget_value();
     let mut attempt = 1u64;
+    let mut budget_retry_engaged = false;
     loop {
-        let attempt_experiment = job
+        let mut attempt_experiment = job
             .experiment
             .clone()
             .attempt(attempt as u32)
             .resumed_from(job.resumed_from.clone());
+        if budget_retry_engaged && attempt == max_attempts {
+            if let Some(budget) = raisable_budget {
+                attempt_experiment = attempt_experiment
+                    .cycle_budget(Some(budget.saturating_mul(RAISED_BUDGET_FACTOR)));
+            }
+        }
         let run = catch_unwind(AssertUnwindSafe(|| {
             if job.inject_panic {
                 panic!("injected harness panic at point {}", job.index);
@@ -232,16 +319,33 @@ pub(crate) fn execute_point(
             Err(payload) => Ok(panic_result(&job.experiment, payload.as_ref())),
         };
         let transient = matches!(&result, Ok(r) if r.outcome.is_transient());
-        if transient && attempt < max_attempts && !cancel.is_cancelled() {
+        let stall = stall_verdict(&result);
+        // Only a budget-artifact stall with a budget to raise is worth a
+        // deterministic re-run; confirmed-unsafe stalls never retry.
+        let stall_retryable =
+            stall == Some(TriageVerdict::BudgetArtifact) && raisable_budget.is_some();
+        if (transient || stall_retryable) && attempt < max_attempts && !cancel.is_cancelled() {
+            if stall_retryable {
+                budget_retry_engaged = true;
+            }
             cancellable_sleep(backoff_ms(&job.point_hash, attempt), cancel);
             attempt += 1;
             continue;
         }
-        return (result, attempt);
+        let decision = match stall {
+            Some(TriageVerdict::ConfirmedUnsafe) => Some(DECISION_CONFIRMED_UNSAFE.to_owned()),
+            Some(TriageVerdict::BudgetArtifact) if budget_retry_engaged => {
+                Some(DECISION_BUDGET_RETRIED.to_owned())
+            }
+            Some(TriageVerdict::BudgetArtifact) => Some(DECISION_BUDGET_NO_RETRY.to_owned()),
+            None if budget_retry_engaged => Some(DECISION_BUDGET_RETRIED.to_owned()),
+            None => None,
+        };
+        return (result, attempt, decision);
     }
 }
 
-type Finished = (Result<RunResult, ExperimentError>, u64);
+type Finished = (Result<RunResult, ExperimentError>, u64, Option<String>);
 
 struct LocalState {
     queue: VecDeque<(u64, PointJob)>,
@@ -335,7 +439,11 @@ impl WorkerBackend for LocalThreadBackend {
     fn poll(&mut self, handle: WorkHandle) -> Result<PointStatus, BackendError> {
         let mut state = self.shared.state.lock().expect("no poisoned backend state");
         match state.done.remove(&handle.0) {
-            Some((result, attempts)) => Ok(PointStatus::Done { result, attempts }),
+            Some((result, attempts, retry_decision)) => Ok(PointStatus::Done {
+                result,
+                attempts,
+                retry_decision,
+            }),
             None => Ok(PointStatus::Pending),
         }
     }
@@ -348,6 +456,14 @@ impl WorkerBackend for LocalThreadBackend {
         // The shutdown token is shared with every job; tripping it (the
         // orchestrator already has) is the whole mechanism.
         self.shutdown.cancel();
+    }
+
+    fn forget(&mut self, handle: WorkHandle) {
+        // Drop the job if still queued and discard any finished result; a
+        // job already running simply completes into the void.
+        let mut state = self.shared.state.lock().expect("no poisoned backend state");
+        state.queue.retain(|(id, _)| *id != handle.0);
+        state.done.remove(&handle.0);
     }
 }
 
@@ -407,8 +523,13 @@ mod tests {
             pending.retain(
                 |&h| match backend.poll(h).expect("local poll never errors") {
                     PointStatus::Pending => true,
-                    PointStatus::Done { result, attempts } => {
+                    PointStatus::Done {
+                        result,
+                        attempts,
+                        retry_decision,
+                    } => {
                         assert_eq!(attempts, 1);
+                        assert_eq!(retry_decision, None);
                         let r = result.expect("valid config");
                         assert!(r.outcome.has_statistics());
                         done += 1;
@@ -433,7 +554,9 @@ mod tests {
             assert!(Instant::now() < deadline, "backend hung");
             match backend.poll(handle).unwrap() {
                 PointStatus::Pending => std::thread::sleep(Duration::from_millis(5)),
-                PointStatus::Done { result, attempts } => {
+                PointStatus::Done {
+                    result, attempts, ..
+                } => {
                     assert_eq!(attempts, 3, "1 try + 2 retries");
                     let r = result.expect("panic becomes a Harness result");
                     let RunOutcome::Harness(info) = &r.outcome else {

@@ -43,7 +43,8 @@ use wormsim_bench::{
 const USAGE: &str = "usage: faults_sweep [--topo T] [--algos A] [--load L] [--max-faults N] \
                      [--quick|--saturation] [--seed N] [--threads N] [--cycle-budget N] \
                      [--wall-budget SECS] [--out DIR] [--observe DIR] [--trace-out DIR] \
-                     [--sample-every N] [--metrics] [--resume JOURNAL] [--retries N] \
+                     [--sample-every N] [--metrics] [--resume JOURNAL] [--salvage] [--retries N] \
+                     [--point-deadline SECS] [--hedge-after SECS] [--quarantine-after N] \
                      [--backend local|remote] [--worker HOST:PORT] [--smoke]";
 
 /// Everything one parsed command line asks for.
@@ -63,8 +64,12 @@ struct SweepSpec {
     sample_every: u64,
     metrics: bool,
     resume: Option<String>,
+    salvage: bool,
     retries: u32,
     fail_after_points: Option<usize>,
+    point_deadline_secs: Option<f64>,
+    hedge_after_secs: Option<f64>,
+    quarantine_after: Option<u64>,
     backend: BackendChoice,
 }
 
@@ -100,8 +105,12 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
         sample_every: 0,
         metrics: false,
         resume: None,
+        salvage: false,
         retries: 1,
         fail_after_points: None,
+        point_deadline_secs: None,
+        hedge_after_secs: None,
+        quarantine_after: None,
         backend: BackendChoice::Local,
     };
     while let Some(arg) = args.next() {
@@ -139,7 +148,24 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
             }
             "--metrics" => spec.metrics = true,
             "--resume" => spec.resume = Some(value("--resume")?),
+            "--salvage" => spec.salvage = true,
             "--retries" => spec.retries = cli::parse_retries(&value("--retries")?)?,
+            "--point-deadline" => {
+                spec.point_deadline_secs = Some(cli::parse_supervise_secs(
+                    "--point-deadline",
+                    &value("--point-deadline")?,
+                )?);
+            }
+            "--hedge-after" => {
+                spec.hedge_after_secs = Some(cli::parse_supervise_secs(
+                    "--hedge-after",
+                    &value("--hedge-after")?,
+                )?);
+            }
+            "--quarantine-after" => {
+                spec.quarantine_after =
+                    Some(cli::parse_quarantine_after(&value("--quarantine-after")?)?);
+            }
             "--fail-after-points" => {
                 spec.fail_after_points =
                     Some(cli::parse_fail_after(&value("--fail-after-points")?)?);
@@ -189,6 +215,11 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
     if spec.metrics && spec.observe_dir.is_none() {
         return Err("--metrics needs --observe DIR (metrics export to the observe dir)".to_owned());
     }
+    if spec.salvage && spec.resume.is_none() {
+        return Err(
+            "--salvage needs --resume JOURNAL (it relaxes how that journal is loaded)".to_owned(),
+        );
+    }
     harness_options(&spec).validate_backend()?;
     Ok(Invocation::Run(Box::new(spec)))
 }
@@ -223,8 +254,14 @@ fn harness_options(spec: &SweepSpec) -> SweepOptions {
         cycle_budget: spec.cycle_budget,
         wall_budget_secs: spec.wall_budget_secs,
         resume: spec.resume.clone(),
+        salvage: spec.salvage,
         retries: spec.retries,
         fail_after_points: spec.fail_after_points,
+        point_deadline_secs: spec.point_deadline_secs,
+        hedge_after_secs: spec.hedge_after_secs,
+        quarantine_after: spec
+            .quarantine_after
+            .unwrap_or(SweepOptions::default().quarantine_after),
         backend: spec.backend.clone(),
         ..SweepOptions::default()
     }
@@ -530,6 +567,42 @@ mod tests {
         assert_eq!(options.resume, spec.resume);
         assert_eq!(options.retries, 2);
         assert!(!options.shutdown.is_cancelled());
+    }
+
+    #[test]
+    fn supervision_flags_parse() {
+        let Ok(Invocation::Run(spec)) = parse(&[
+            "--point-deadline",
+            "20",
+            "--hedge-after",
+            "4",
+            "--quarantine-after",
+            "1",
+            "--resume",
+            "r/faults_sweep.journal.jsonl",
+            "--salvage",
+        ]) else {
+            panic!("expected a run invocation");
+        };
+        assert_eq!(spec.point_deadline_secs, Some(20.0));
+        assert_eq!(spec.hedge_after_secs, Some(4.0));
+        assert_eq!(spec.quarantine_after, Some(1));
+        assert!(spec.salvage);
+        let options = harness_options(&spec);
+        assert_eq!(options.point_deadline_secs, Some(20.0));
+        assert_eq!(options.hedge_after_secs, Some(4.0));
+        assert_eq!(options.quarantine_after, 1);
+        assert!(options.salvage);
+        // Unset quarantine count falls back to the harness default.
+        let Ok(Invocation::Run(plain)) = parse(&[]) else {
+            panic!("expected a run invocation");
+        };
+        assert_eq!(
+            harness_options(&plain).quarantine_after,
+            SweepOptions::default().quarantine_after
+        );
+        assert!(parse(&["--point-deadline", "0"]).is_err());
+        assert!(parse(&["--salvage"]).is_err(), "--salvage needs --resume");
     }
 
     #[test]

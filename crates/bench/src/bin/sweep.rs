@@ -20,7 +20,16 @@
 //! (atomic JSONL, one record per point). After a crash or Ctrl-C, rerun
 //! with `--resume <journal>` to skip the journaled points — the merged
 //! CSV is byte-identical to an uninterrupted run. `--retries N` bounds
-//! retry attempts for transient outcomes (budget trips, harness panics).
+//! retry attempts for transient outcomes (budget trips, harness panics);
+//! `--resume --salvage` additionally recovers every valid record from a
+//! corrupted journal, quarantining bad lines to a `.corrupt.jsonl` sidecar.
+//!
+//! With the remote backend, `--point-deadline SECS` writes off workers
+//! whose heartbeat freezes mid-point, `--hedge-after SECS` re-dispatches
+//! stragglers to idle capacity (first commit wins, duplicates discarded),
+//! and `--quarantine-after N` gives up on a point after N failed
+//! dispatches, parking it in a `.quarantine.jsonl` sidecar and exiting
+//! with code 4.
 //!
 //! Examples:
 //!
@@ -37,7 +46,8 @@ const USAGE: &str = "usage: sweep [--topo T] [--algos A] [--traffic W] [--loads 
                      [--switching S] [--quick|--saturation] [--seed N] [--threads N] [--out DIR] \
                      [--observe DIR] [--trace-out DIR] [--sample-every N] [--metrics] \
                      [--cycle-budget N] [--wall-budget SECS] \
-                     [--resume JOURNAL] [--retries N] \
+                     [--resume JOURNAL] [--salvage] [--retries N] \
+                     [--point-deadline SECS] [--hedge-after SECS] [--quarantine-after N] \
                      [--backend local|remote] [--worker HOST:PORT]";
 
 /// What one parsed command line asks for.
@@ -85,7 +95,24 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
                 options.wall_budget_secs = Some(cli::parse_wall_budget(&value("--wall-budget")?)?);
             }
             "--resume" => options.resume = Some(value("--resume")?),
+            "--salvage" => options.salvage = true,
             "--retries" => options.retries = cli::parse_retries(&value("--retries")?)?,
+            "--point-deadline" => {
+                options.point_deadline_secs = Some(cli::parse_supervise_secs(
+                    "--point-deadline",
+                    &value("--point-deadline")?,
+                )?);
+            }
+            "--hedge-after" => {
+                options.hedge_after_secs = Some(cli::parse_supervise_secs(
+                    "--hedge-after",
+                    &value("--hedge-after")?,
+                )?);
+            }
+            "--quarantine-after" => {
+                options.quarantine_after =
+                    cli::parse_quarantine_after(&value("--quarantine-after")?)?;
+            }
             "--fail-after-points" => {
                 options.fail_after_points =
                     Some(cli::parse_fail_after(&value("--fail-after-points")?)?);
@@ -98,6 +125,11 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Invocation, Stri
     }
     if options.metrics && options.observe_dir.is_none() {
         return Err("--metrics needs --observe DIR (metrics export to the observe dir)".into());
+    }
+    if options.salvage && options.resume.is_none() {
+        return Err(
+            "--salvage needs --resume JOURNAL (it relaxes how that journal is loaded)".into(),
+        );
     }
     options.validate_backend()?;
     Ok(Invocation::Run(Box::new(spec), Box::new(options)))
@@ -259,6 +291,31 @@ mod tests {
         assert!(parse(&["--resume"]).is_err());
         assert!(parse(&["--retries", "-1"]).is_err());
         assert!(parse(&["--fail-after-points", "0"]).is_err());
+    }
+
+    #[test]
+    fn supervision_flags_parse() {
+        let Ok(Invocation::Run(_, options)) = parse(&[
+            "--point-deadline",
+            "30",
+            "--hedge-after",
+            "5.5",
+            "--quarantine-after",
+            "2",
+            "--resume",
+            "results/sweep.journal.jsonl",
+            "--salvage",
+        ]) else {
+            panic!("expected a run invocation");
+        };
+        assert_eq!(options.point_deadline_secs, Some(30.0));
+        assert_eq!(options.hedge_after_secs, Some(5.5));
+        assert_eq!(options.quarantine_after, 2);
+        assert!(options.salvage);
+        assert!(parse(&["--point-deadline", "0"]).is_err());
+        assert!(parse(&["--hedge-after", "-1"]).is_err());
+        assert!(parse(&["--quarantine-after", "many"]).is_err());
+        assert!(parse(&["--salvage"]).is_err(), "--salvage needs --resume");
     }
 
     #[test]

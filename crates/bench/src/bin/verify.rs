@@ -12,9 +12,15 @@
 //!
 //! ```text
 //! verify [--smoke] [--topo torus:4x4] [--algos all|ecube,phop,...]
-//!        [--max-faults K] [--random-plans N] [--random-faults K]
+//!        [--max-faults K] [--node-faults]
+//!        [--random-plans N] [--random-faults K]
+//!        [--transient-plans N] [--transient-faults K]
 //!        [--seed N] [--out DIR]
 //! ```
+//!
+//! `--node-faults` adds whole-node faults to the exhaustive pool;
+//! `--transient-plans` adds seeded fail/repair schedules whose masks are
+//! checked at every transition epoch (a refutation names the epoch).
 //!
 //! `--smoke` is the CI preset: the 4x4 torus, the paper's six algorithms,
 //! exhaustive single-fault plans. `--out DIR` writes one
@@ -38,7 +44,8 @@ use wormsim::AlgorithmKind;
 use wormsim_bench::cli;
 
 const USAGE: &str = "usage: verify [--smoke] [--topo T] [--algos A] [--max-faults K] \
-                     [--random-plans N] [--random-faults K] [--seed N] [--out DIR]";
+                     [--node-faults] [--random-plans N] [--random-faults K] \
+                     [--transient-plans N] [--transient-faults K] [--seed N] [--out DIR]";
 
 struct Spec {
     topology: Topology,
@@ -56,7 +63,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Spec, String> {
     };
     let mut out = None;
     let mut smoke = false;
-    let mut next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+    let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or_else(|| format!("{flag} needs a value"))
     };
     while let Some(arg) = args.next() {
@@ -68,6 +75,14 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Spec, String> {
             }
             "--max-faults" => {
                 config.max_faults = parse_count(&next_value(&mut args, "--max-faults")?)?;
+            }
+            "--node-faults" => config.node_faults = true,
+            "--transient-plans" => {
+                config.transient_plans = parse_count(&next_value(&mut args, "--transient-plans")?)?;
+            }
+            "--transient-faults" => {
+                config.transient_faults =
+                    parse_count(&next_value(&mut args, "--transient-faults")?)?;
             }
             "--random-plans" => {
                 config.random_plans = parse_count(&next_value(&mut args, "--random-plans")?)?;
@@ -117,16 +132,23 @@ fn plan_label(topo: &Topology, refutation: &Refutation) -> String {
         .plan
         .faults()
         .iter()
-        .map(|f| match f.target {
-            FaultTarget::Link { node, direction } => {
-                let sign = if direction.sign() == wormsim::topology::Sign::Plus {
-                    '+'
-                } else {
-                    '-'
-                };
-                format!("{}d{}{}", node_label(topo, node), direction.dim(), sign)
+        .map(|f| {
+            let target = match f.target {
+                FaultTarget::Link { node, direction } => {
+                    let sign = if direction.sign() == wormsim::topology::Sign::Plus {
+                        '+'
+                    } else {
+                        '-'
+                    };
+                    format!("{}d{}{}", node_label(topo, node), direction.dim(), sign)
+                }
+                FaultTarget::Node { node } => format!("node {}", node_label(topo, node)),
+            };
+            match (f.fail_at, f.repair_at) {
+                (0, None) => target,
+                (fail, None) => format!("{target}@[{fail}..)"),
+                (fail, Some(repair)) => format!("{target}@[{fail}..{repair})"),
             }
-            FaultTarget::Node { node } => format!("node {}", node_label(topo, node)),
         })
         .collect();
     if links.is_empty() {
@@ -146,6 +168,7 @@ fn counterexample_json(topo: &Topology, algorithm: &str, refutation: &Refutation
         .field_str("topology", &topo.label())
         .field_str("claim", &refutation.claim.to_string())
         .field_u64("original_len", refutation.original_len as u64)
+        .field_u64("epoch", refutation.epoch)
         .field_bool("masked_cyclic", refutation.masked_cyclic)
         .field_u64("stranded", refutation.stranded as u64)
         .field_u64("survivors", refutation.survivors as u64);
@@ -175,6 +198,10 @@ fn counterexample_json(topo: &Topology, algorithm: &str, refutation: &Refutation
                     .field_str("target", "node")
                     .field_u64("node", u64::from(node.index()));
             }
+        }
+        entry.field_u64("fail_at", fault.fail_at);
+        if let Some(repair_at) = fault.repair_at {
+            entry.field_u64("repair_at", repair_at);
         }
         entry.finish();
     }
@@ -242,10 +269,16 @@ fn print_adversary(topo: &Topology, report: &AdversaryReport) {
         report.plans_refuted
     );
     for refutation in &report.refutations {
+        let when = if refutation.plan.is_static() {
+            String::new()
+        } else {
+            format!(" at cycle {}", refutation.epoch)
+        };
         println!(
-            "    refuted {} claim with {} fault(s) (minimized from {}): {} — {} stranded, {} \
+            "    refuted {} claim{} with {} fault(s) (minimized from {}): {} — {} stranded, {} \
              survivors, CDG {}",
             refutation.claim,
+            when,
             refutation.plan.len(),
             refutation.original_len,
             plan_label(topo, refutation),
@@ -345,6 +378,19 @@ mod tests {
         assert_eq!(spec.topology.label(), "mesh:4x4");
         assert_eq!(spec.algorithms, vec![AlgorithmKind::PositiveHop]);
         assert_eq!(spec.config.max_faults, 2);
+        assert!(!spec.config.node_faults);
+        let spec = parse(&[
+            "--node-faults",
+            "--transient-plans",
+            "3",
+            "--transient-faults",
+            "2",
+        ])
+        .unwrap();
+        assert!(spec.config.node_faults);
+        assert_eq!(spec.config.transient_plans, 3);
+        assert_eq!(spec.config.transient_faults, 2);
+        assert!(parse(&["--transient-plans", "x"]).is_err());
         assert!(parse(&["--max-faults"]).is_err());
         assert!(parse(&["--max-faults", "x"]).is_err());
         assert!(parse(&["--warp"]).is_err());

@@ -260,6 +260,34 @@ pub fn parse_fail_after(s: &str) -> Result<usize, String> {
     Ok(points)
 }
 
+/// Parses a supervision interval in seconds (`--point-deadline`,
+/// `--hedge-after`): a positive number, fractions allowed.
+///
+/// # Errors
+///
+/// Returns a usage message (naming `flag`) for values that are not
+/// positive finite numbers.
+pub fn parse_supervise_secs(flag: &str, s: &str) -> Result<f64, String> {
+    let secs = f64::from_str(s)
+        .map_err(|_| format!("bad {flag} '{s}' (expected seconds, e.g. 30 or 2.5)"))?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!("{flag} must be a positive number of seconds"));
+    }
+    Ok(secs)
+}
+
+/// Parses the poison-point dispatch budget (`--quarantine-after`): how
+/// many dispatches a point may burn before the supervisor quarantines it.
+/// `0` disables quarantine.
+///
+/// # Errors
+///
+/// Returns a usage message for non-integers.
+pub fn parse_quarantine_after(s: &str) -> Result<u64, String> {
+    u64::from_str(s)
+        .map_err(|_| format!("bad dispatch budget '{s}' (expected an integer, 0 disables)"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

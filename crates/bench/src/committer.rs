@@ -60,11 +60,22 @@ impl Committer {
 
     /// Hands the committer point `index`'s finished entry; it is written
     /// now if the frontier has reached it, held otherwise.
+    ///
+    /// First-commit-wins is enforced *upstream*: the supervisor discards
+    /// duplicate completions of a hedged point before they get here, so
+    /// each index is resolved exactly once. A second resolution would
+    /// silently overwrite the first (or re-journal a committed point),
+    /// so it is a hard error in debug builds.
     pub(crate) fn complete(
         &mut self,
         index: usize,
         entry: JournalEntry,
     ) -> Result<(), JournalError> {
+        debug_assert!(
+            index >= self.frontier && matches!(self.resolutions[index], Resolution::Pending),
+            "point {index} resolved twice — hedged duplicates must be \
+             discarded before the committer"
+        );
         self.resolutions[index] = Resolution::Hold(Box::new(entry));
         self.advance()
     }
@@ -144,6 +155,7 @@ mod tests {
             point_hash: experiment.point_hash(),
             index,
             attempts: 1,
+            retry_decision: None,
             result,
         }
     }

@@ -25,8 +25,13 @@ pub(crate) struct Request {
 }
 
 /// Reads bytes until the blank line ending the header block, then returns
-/// (head, leftover-bytes-already-read-past-it).
-fn read_head(stream: &mut TcpStream) -> std::io::Result<(String, Vec<u8>)> {
+/// (head, leftover-bytes-already-read-past-it). `deadline` bounds the
+/// whole read, not just each chunk: a peer dribbling one byte per read
+/// timeout (a slow loris) would otherwise hold the exchange open forever.
+fn read_head(
+    stream: &mut TcpStream,
+    deadline: Option<std::time::Instant>,
+) -> std::io::Result<(String, Vec<u8>)> {
     let mut buf = Vec::new();
     let mut chunk = [0u8; 1024];
     loop {
@@ -40,6 +45,7 @@ fn read_head(stream: &mut TcpStream) -> std::io::Result<(String, Vec<u8>)> {
                 "http header block too large",
             ));
         }
+        check_deadline(deadline)?;
         let n = stream.read(&mut chunk)?;
         if n == 0 {
             return Err(std::io::Error::new(
@@ -49,6 +55,16 @@ fn read_head(stream: &mut TcpStream) -> std::io::Result<(String, Vec<u8>)> {
         }
         buf.extend_from_slice(&chunk[..n]);
     }
+}
+
+fn check_deadline(deadline: Option<std::time::Instant>) -> std::io::Result<()> {
+    if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "exchange deadline exceeded (peer is dribbling bytes)",
+        ));
+    }
+    Ok(())
 }
 
 fn find_blank_line(buf: &[u8]) -> Option<usize> {
@@ -82,9 +98,11 @@ fn read_body(
     stream: &mut TcpStream,
     mut already: Vec<u8>,
     length: usize,
+    deadline: Option<std::time::Instant>,
 ) -> std::io::Result<String> {
     let mut chunk = [0u8; 4096];
     while already.len() < length {
+        check_deadline(deadline)?;
         let n = stream.read(&mut chunk)?;
         if n == 0 {
             return Err(std::io::Error::new(
@@ -101,7 +119,7 @@ fn read_body(
 
 /// Server side: reads one request off an accepted connection.
 pub(crate) fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
-    let (head, leftover) = read_head(stream)?;
+    let (head, leftover) = read_head(stream, None)?;
     let request_line = head.lines().next().unwrap_or_default();
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_owned();
@@ -112,12 +130,37 @@ pub(crate) fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
             "malformed http request line",
         ));
     }
-    let body = read_body(stream, leftover, content_length(&head)?)?;
+    let body = read_body(stream, leftover, content_length(&head)?, None)?;
     Ok(Request {
         method,
         target,
         body,
     })
+}
+
+/// Renders a full response (status line, headers, body) without writing
+/// it, for callers that need byte-level control — the worker's chaos
+/// truncation/dribble injections.
+pub(crate) fn render_response(status: u16, body: &str) -> String {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Writes raw pre-rendered bytes (possibly a deliberate fragment).
+pub(crate) fn write_raw(stream: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
+    stream.write_all(bytes)?;
+    stream.flush()
 }
 
 /// Server side: writes a JSON response and closes the exchange.
@@ -126,20 +169,7 @@ pub(crate) fn write_response(
     status: u16,
     body: &str,
 ) -> std::io::Result<()> {
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        409 => "Conflict",
-        _ => "Error",
-    };
-    let response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(response.as_bytes())?;
-    stream.flush()
+    write_raw(stream, render_response(status, body).as_bytes())
 }
 
 /// Strips an optional `http://` scheme and trailing slash so `--worker`
@@ -152,9 +182,12 @@ pub(crate) fn normalize_addr(addr: &str) -> String {
 }
 
 /// Client side: one request/response exchange against `addr`, with
-/// `timeout` applied to connect, each read, and each write. Returns
-/// `(status, body)`; transport failures come back as rendered strings so
-/// the caller can wrap them in its own retry machinery.
+/// `timeout` applied to connect, each read, and each write, plus an
+/// overall exchange deadline of 4× `timeout` — a server dribbling one
+/// byte per read timeout (slow loris, half-frozen host) cannot hold the
+/// caller past that. Returns `(status, body)`; transport failures come
+/// back as rendered strings so the caller can wrap them in its own retry
+/// machinery.
 pub(crate) fn call(
     addr: &str,
     method: &str,
@@ -174,6 +207,7 @@ pub(crate) fn call(
         .set_read_timeout(Some(timeout))
         .and_then(|()| stream.set_write_timeout(Some(timeout)))
         .map_err(|e| format!("cannot set socket timeouts: {e}"))?;
+    let deadline = Some(std::time::Instant::now() + timeout * 4);
     let request = format!(
         "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
@@ -182,7 +216,7 @@ pub(crate) fn call(
         .write_all(request.as_bytes())
         .map_err(|e| format!("send to {addr} failed: {e}"))?;
     let (head, leftover) =
-        read_head(&mut stream).map_err(|e| format!("read from {addr} failed: {e}"))?;
+        read_head(&mut stream, deadline).map_err(|e| format!("read from {addr} failed: {e}"))?;
     let status_line = head.lines().next().unwrap_or_default();
     let status: u16 = status_line
         .split_whitespace()
@@ -190,7 +224,7 @@ pub(crate) fn call(
         .and_then(|code| code.parse().ok())
         .ok_or_else(|| format!("malformed status line from {addr}: {status_line:?}"))?;
     let length = content_length(&head).map_err(|e| format!("bad response from {addr}: {e}"))?;
-    let body = read_body(&mut stream, leftover, length)
+    let body = read_body(&mut stream, leftover, length, deadline)
         .map_err(|e| format!("read from {addr} failed: {e}"))?;
     Ok((status, body))
 }

@@ -34,6 +34,11 @@ pub struct JournalEntry {
     pub index: usize,
     /// Attempts the point took (1 = first try).
     pub attempts: u64,
+    /// What the triage-aware retry policy decided, when it engaged
+    /// (`confirmed_unsafe_no_retry`, `budget_artifact_retried`, ...).
+    /// Absent for points the policy never touched, and absent in journals
+    /// written before the policy existed.
+    pub retry_decision: Option<String>,
     /// The recorded measurement.
     pub result: RunResult,
 }
@@ -43,8 +48,11 @@ impl JsonRecord for JournalEntry {
         let mut obj = JsonObject::begin(out);
         obj.field_str("point_hash", &self.point_hash)
             .field_u64("index", self.index as u64)
-            .field_u64("attempts", self.attempts)
-            .field_raw("result", &self.result.to_json());
+            .field_u64("attempts", self.attempts);
+        if let Some(decision) = &self.retry_decision {
+            obj.field_str("retry_decision", decision);
+        }
+        obj.field_raw("result", &self.result.to_json());
         obj.finish();
     }
 }
@@ -65,6 +73,10 @@ impl JournalEntry {
                 .get("attempts")
                 .and_then(Value::as_u64)
                 .ok_or("missing field 'attempts'")?,
+            retry_decision: value
+                .get("retry_decision")
+                .and_then(Value::as_str)
+                .map(str::to_owned),
             result: RunResult::from_json(value.get("result").ok_or("missing field 'result'")?)?,
         })
     }
@@ -158,9 +170,37 @@ impl Journal {
     /// the torn line is dropped — the next persist rewrites the file
     /// without it. An unparseable line *followed by* valid records cannot
     /// be truncation, so it still fails the load: refusing to resume from
-    /// a journal with a hole beats silently re-running points.
+    /// a journal with a hole beats silently re-running points. For a
+    /// deliberate rescue of such a journal, see
+    /// [`load_salvaging`](Journal::load_salvaging).
     pub fn load(path: impl Into<PathBuf>) -> Result<Journal, JournalError> {
-        let path = path.into();
+        Self::load_inner(path.into(), false).map(|(journal, _)| journal)
+    }
+
+    /// Opens a journal the strict [`load`](Journal::load) would refuse:
+    /// every parseable line — prefix *and* suffix around corrupted
+    /// mid-file records — is recovered, and every bad line is returned so
+    /// the caller can quarantine it to a sidecar. The in-memory journal
+    /// contains only the valid records, so the next persist rewrites the
+    /// file clean; the points on the bad lines simply re-run.
+    ///
+    /// This is deliberate-action API (`--resume --salvage`), not default
+    /// behavior: silently accepting a journal with holes would hide real
+    /// corruption.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors only — in salvage mode no line is fatal.
+    pub fn load_salvaging(
+        path: impl Into<PathBuf>,
+    ) -> Result<(Journal, Vec<SalvagedLine>), JournalError> {
+        Self::load_inner(path.into(), true)
+    }
+
+    fn load_inner(
+        path: PathBuf,
+        salvage: bool,
+    ) -> Result<(Journal, Vec<SalvagedLine>), JournalError> {
         let text = std::fs::read_to_string(&path).map_err(|e| JournalError::Io {
             path: path.display().to_string(),
             message: e.to_string(),
@@ -172,6 +212,7 @@ impl Journal {
             by_hash: HashMap::new(),
             recovered_truncation: false,
         };
+        let mut salvaged = Vec::new();
         let lines: Vec<(usize, &str)> = text
             .lines()
             .enumerate()
@@ -188,6 +229,11 @@ impl Journal {
                 .and_then(|value| JournalEntry::from_json(&value).map_err(parse));
             match parsed {
                 Ok(entry) => journal.push(entry),
+                Err(error) if salvage => salvaged.push(SalvagedLine {
+                    line: number + 1,
+                    text: line.to_owned(),
+                    error: error.to_string(),
+                }),
                 Err(error) if position + 1 == lines.len() => {
                     eprintln!(
                         "warning: {error}; treating it as a torn append and resuming from the {} valid point(s) before it",
@@ -198,7 +244,30 @@ impl Journal {
                 Err(error) => return Err(error),
             }
         }
-        Ok(journal)
+        Ok((journal, salvaged))
+    }
+
+    /// Where salvage quarantines bad lines: the journal path with a
+    /// `.corrupt.jsonl` suffix (`sweep.journal.jsonl` →
+    /// `sweep.journal.corrupt.jsonl`).
+    pub fn salvage_sidecar(path: &Path) -> PathBuf {
+        sidecar_path(path, "corrupt.jsonl")
+    }
+
+    /// Where the supervisor quarantines poison points: the journal path
+    /// with a `.quarantine.jsonl` suffix (`sweep.journal.jsonl` →
+    /// `sweep.journal.quarantine.jsonl`).
+    pub fn quarantine_sidecar(path: &Path) -> PathBuf {
+        sidecar_path(path, "quarantine.jsonl")
+    }
+
+    /// Where the sweep writes its supervision manifest — counters for
+    /// written-off workers, hedges, quarantines, salvaged lines, and
+    /// retry decisions (`sweep.journal.jsonl` →
+    /// `sweep.journal.supervision.json`). Only written when at least one
+    /// of those is nonzero, so a healthy sweep leaves no manifest.
+    pub fn supervision_sidecar(path: &Path) -> PathBuf {
+        sidecar_path(path, "supervision.json")
     }
 
     fn push(&mut self, entry: JournalEntry) {
@@ -254,6 +323,33 @@ impl Journal {
     }
 }
 
+/// Swaps a journal path's trailing `jsonl` extension for `suffix`
+/// (appending when the extension is something else entirely).
+fn sidecar_path(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    if let Some(stem) = name.strip_suffix(".jsonl") {
+        name = format!("{stem}.{suffix}");
+    } else {
+        name = format!("{name}.{suffix}");
+    }
+    path.with_file_name(name)
+}
+
+/// One journal line the salvage loader could not parse, handed back so
+/// the caller can quarantine it.
+#[derive(Clone, Debug)]
+pub struct SalvagedLine {
+    /// 1-based line number in the original journal.
+    pub line: usize,
+    /// The raw line, verbatim.
+    pub text: String,
+    /// Why it failed to parse.
+    pub error: String,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +402,7 @@ mod tests {
                     point_hash: format!("hash{i}"),
                     index: i,
                     attempts: 1 + i as u64,
+                    retry_decision: None,
                     result: result(*load),
                 })
                 .unwrap();
@@ -336,6 +433,7 @@ mod tests {
                 point_hash: "h".into(),
                 index: 0,
                 attempts: 1,
+                retry_decision: None,
                 result: result(0.5),
             })
             .unwrap();
@@ -358,6 +456,7 @@ mod tests {
                     point_hash: format!("hash{i}"),
                     index: i,
                     attempts: 1,
+                    retry_decision: None,
                     result: result(0.1 * (i as f64 + 1.0)),
                 })
                 .unwrap();
@@ -384,6 +483,7 @@ mod tests {
                 point_hash: "hash0".into(),
                 index: 0,
                 attempts: 1,
+                retry_decision: None,
                 result: result(0.1),
             })
             .unwrap();
@@ -408,5 +508,131 @@ mod tests {
     fn missing_journal_is_an_io_error() {
         let error = Journal::load("/nonexistent/nowhere.journal.jsonl").unwrap_err();
         assert!(matches!(error, JournalError::Io { .. }), "{error}");
+    }
+
+    #[test]
+    fn retry_decision_round_trips_and_stays_optional() {
+        let path = temp_path("decision");
+        let mut journal = Journal::create(&path).unwrap();
+        journal
+            .record(JournalEntry {
+                point_hash: "plain".into(),
+                index: 0,
+                attempts: 1,
+                retry_decision: None,
+                result: result(0.1),
+            })
+            .unwrap();
+        journal
+            .record(JournalEntry {
+                point_hash: "triaged".into(),
+                index: 1,
+                attempts: 1,
+                retry_decision: Some("confirmed_unsafe_no_retry".into()),
+                result: result(0.2),
+            })
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            !lines[0].contains("retry_decision"),
+            "absent decision must not appear on the wire: {}",
+            lines[0]
+        );
+        assert!(lines[1].contains("\"retry_decision\":\"confirmed_unsafe_no_retry\""));
+        let loaded = Journal::load(&path).unwrap();
+        assert_eq!(loaded.get("plain").unwrap().retry_decision, None);
+        assert_eq!(
+            loaded.get("triaged").unwrap().retry_decision.as_deref(),
+            Some("confirmed_unsafe_no_retry")
+        );
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn salvage_recovers_prefix_and_suffix_and_reports_bad_lines() {
+        let path = temp_path("salvage");
+        let mut journal = Journal::create(&path).unwrap();
+        for i in 0..3 {
+            journal
+                .record(JournalEntry {
+                    point_hash: format!("hash{i}"),
+                    index: i,
+                    attempts: 1,
+                    retry_decision: None,
+                    result: result(0.1 * (i as f64 + 1.0)),
+                })
+                .unwrap();
+        }
+        // Corrupt the MIDDLE line: strict load refuses, salvage rescues
+        // the records on both sides.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let corrupted = format!("{}\ngarbage in the middle\n{}\n", lines[0], lines[2]);
+        std::fs::write(&path, &corrupted).unwrap();
+        assert!(Journal::load(&path).is_err(), "strict load must refuse");
+
+        let (salvaged, bad) = Journal::load_salvaging(&path).expect("salvage never refuses");
+        assert_eq!(salvaged.len(), 2);
+        assert!(salvaged.get("hash0").is_some(), "prefix recovered");
+        assert!(salvaged.get("hash2").is_some(), "suffix recovered");
+        assert!(salvaged.get("hash1").is_none());
+        assert!(!salvaged.recovered_truncation());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].line, 2);
+        assert_eq!(bad[0].text, "garbage in the middle");
+        assert!(!bad[0].error.is_empty());
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn salvaged_journal_persists_clean_on_next_record() {
+        let path = temp_path("salvage-clean");
+        let mut journal = Journal::create(&path).unwrap();
+        journal
+            .record(JournalEntry {
+                point_hash: "keep".into(),
+                index: 0,
+                attempts: 1,
+                retry_decision: None,
+                result: result(0.1),
+            })
+            .unwrap();
+        let good = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, format!("junk\n{good}")).unwrap();
+        let (mut salvaged, bad) = Journal::load_salvaging(&path).unwrap();
+        assert_eq!(bad.len(), 1);
+        salvaged
+            .record(JournalEntry {
+                point_hash: "new".into(),
+                index: 1,
+                attempts: 1,
+                retry_decision: None,
+                result: result(0.2),
+            })
+            .unwrap();
+        let rewritten = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            !rewritten.contains("junk"),
+            "the next persist must rewrite the file without the bad line"
+        );
+        assert_eq!(rewritten.lines().count(), 2);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn sidecar_paths_swap_the_jsonl_suffix() {
+        assert_eq!(
+            Journal::salvage_sidecar(Path::new("/x/sweep.journal.jsonl")),
+            PathBuf::from("/x/sweep.journal.corrupt.jsonl")
+        );
+        assert_eq!(
+            Journal::quarantine_sidecar(Path::new("/x/sweep.journal.jsonl")),
+            PathBuf::from("/x/sweep.journal.quarantine.jsonl")
+        );
+        assert_eq!(
+            Journal::quarantine_sidecar(Path::new("odd.log")),
+            PathBuf::from("odd.log.quarantine.jsonl")
+        );
     }
 }

@@ -32,6 +32,7 @@ use wormsim::{
 };
 
 mod backend;
+mod chaos;
 pub mod cli;
 mod committer;
 mod http;
@@ -39,16 +40,21 @@ mod journal;
 pub mod plot;
 mod reference;
 mod remote;
+mod supervisor;
 pub mod worker;
 pub use backend::{
     BackendChoice, BackendError, LocalThreadBackend, PointJob, PointStatus, WorkHandle,
     WorkerBackend,
 };
-pub use journal::{Journal, JournalEntry, JournalError};
+pub use chaos::{ChaosPlan, ChaosPlanError};
+pub use journal::{Journal, JournalEntry, JournalError, SalvagedLine};
 pub use reference::{paper_reference, PaperClaim};
 pub use remote::RemoteBackend;
+pub use supervisor::{QuarantineRecord, SupervisionReport};
 
 use committer::Committer;
+use supervisor::{Event, SupervisePolicy, Supervisor};
+use wormsim::observe::JsonObject;
 
 /// The token the installed SIGINT handler trips. Process-global because a
 /// signal handler has no other way to reach session state.
@@ -126,6 +132,23 @@ pub struct SweepOptions {
     /// and harness panics (`--retries N`, default 1). Retries reuse the
     /// identical seed; only the backoff delay between attempts is jittered.
     pub retries: u32,
+    /// Supervision: write a worker off once a point's simulation
+    /// heartbeat has been frozen this long (`--point-deadline SECS`);
+    /// `None` disables hung-worker detection.
+    pub point_deadline_secs: Option<f64>,
+    /// Supervision: re-dispatch the oldest straggling point to idle
+    /// capacity once it has been in flight this long
+    /// (`--hedge-after SECS`); `None` disables hedging.
+    pub hedge_after_secs: Option<f64>,
+    /// Supervision: quarantine a point once it has burned this many
+    /// dispatches across workers (`--quarantine-after N`, default 3;
+    /// `0` disables quarantine and lets a poison point retry forever).
+    pub quarantine_after: u64,
+    /// With `--resume`, accept a journal with corrupted mid-file lines
+    /// (`--salvage`): every valid record is recovered, bad lines are
+    /// quarantined to a `.corrupt.jsonl` sidecar, and their points
+    /// re-run. Off by default — silent corruption should be loud.
+    pub salvage: bool,
     /// Test hook (`--fail-after-points N`): simulate a crash by exiting
     /// the process (status 3) once N points have been journaled this run,
     /// without flushing anything else. Exercises the resume path.
@@ -161,6 +184,10 @@ impl Default for SweepOptions {
             wall_budget_secs: None,
             resume: None,
             retries: 1,
+            point_deadline_secs: None,
+            hedge_after_secs: None,
+            quarantine_after: 3,
+            salvage: false,
             fail_after_points: None,
             inject_panic: None,
             shutdown: CancelToken::new(),
@@ -180,8 +207,9 @@ impl SweepOptions {
             eprintln!(
                 "usage: [--quick|--saturation] [--topo T] [--seed N] [--out DIR] [--threads N] \
                  [--observe DIR] [--trace-out DIR] [--sample-every N] [--metrics] \
-                 [--cycle-budget N] [--wall-budget SECS] [--resume JOURNAL] [--retries N] \
-                 [--backend local|remote] [--worker HOST:PORT]..."
+                 [--cycle-budget N] [--wall-budget SECS] [--resume JOURNAL] [--salvage] \
+                 [--retries N] [--point-deadline SECS] [--hedge-after SECS] \
+                 [--quarantine-after N] [--backend local|remote] [--worker HOST:PORT]..."
             );
             std::process::exit(2);
         })
@@ -240,6 +268,21 @@ impl SweepOptions {
                     let v = args.next().ok_or("--retries needs a value")?;
                     options.retries = cli::parse_retries(&v)?;
                 }
+                "--point-deadline" => {
+                    let v = args.next().ok_or("--point-deadline needs a value")?;
+                    options.point_deadline_secs =
+                        Some(cli::parse_supervise_secs("--point-deadline", &v)?);
+                }
+                "--hedge-after" => {
+                    let v = args.next().ok_or("--hedge-after needs a value")?;
+                    options.hedge_after_secs =
+                        Some(cli::parse_supervise_secs("--hedge-after", &v)?);
+                }
+                "--quarantine-after" => {
+                    let v = args.next().ok_or("--quarantine-after needs a value")?;
+                    options.quarantine_after = cli::parse_quarantine_after(&v)?;
+                }
+                "--salvage" => options.salvage = true,
                 "--fail-after-points" => {
                     let v = args.next().ok_or("--fail-after-points needs a value")?;
                     options.fail_after_points = Some(cli::parse_fail_after(&v)?);
@@ -257,7 +300,8 @@ impl SweepOptions {
                         "unknown argument '{other}' (expected --quick, --saturation, --topo T, \
                          --seed N, --out DIR, --threads N, --observe DIR, --trace-out DIR, \
                          --sample-every N, --metrics, --cycle-budget N, --wall-budget SECS, \
-                         --resume JOURNAL, --retries N, --backend local|remote, \
+                         --resume JOURNAL, --salvage, --retries N, --point-deadline SECS, \
+                         --hedge-after SECS, --quarantine-after N, --backend local|remote, \
                          --worker HOST:PORT)"
                     ))
                 }
@@ -265,6 +309,11 @@ impl SweepOptions {
         }
         if options.metrics && options.observe_dir.is_none() {
             return Err("--metrics needs --observe DIR (metrics export to the observe dir)".into());
+        }
+        if options.salvage && options.resume.is_none() {
+            return Err(
+                "--salvage needs --resume JOURNAL (it relaxes how that journal is loaded)".into(),
+            );
         }
         options.validate_backend()?;
         Ok(options)
@@ -452,6 +501,20 @@ pub enum FigureRun {
         /// The journal to pass back via `--resume`.
         journal: PathBuf,
     },
+    /// The sweep ran to the end, but the supervisor quarantined poison
+    /// points along the way: every other point is journaled and present
+    /// in `partial`, and the quarantined ones are documented rather than
+    /// silently missing. Binaries exit with a distinct status (4).
+    Quarantined {
+        /// Results of every non-quarantined point, in sweep order.
+        partial: Vec<RunResult>,
+        /// The points the sweep completed without.
+        quarantined: Vec<QuarantineRecord>,
+        /// Total points in the sweep.
+        total: usize,
+        /// The journal (its `.quarantine.jsonl` sidecar has the details).
+        journal: PathBuf,
+    },
 }
 
 /// One sweep's raw per-point outcomes from [`run_sweep`].
@@ -472,6 +535,16 @@ pub struct ExperimentsRun {
     /// callers inspecting a crash deserve to know the journal was not
     /// clean.
     pub recovered_truncation: bool,
+    /// Corrupted journal lines `--salvage` quarantined to the
+    /// `.corrupt.jsonl` sidecar (always 0 without the flag).
+    pub salvaged: usize,
+    /// Points the supervisor wrote off as poison: their outcome slots are
+    /// `None`, their stories live in the `.quarantine.jsonl` sidecar, and
+    /// the sweep completed without them.
+    pub quarantined: Vec<QuarantineRecord>,
+    /// What supervision did: workers written off for frozen heartbeats,
+    /// straggler hedges, and discarded duplicate completions.
+    pub supervision: SupervisionReport,
     /// Where the journal lives; pass via `--resume` to continue.
     pub journal: PathBuf,
 }
@@ -566,11 +639,37 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> Result<Experiments
         .and_then(|()| options.validate_backend())
         .map_err(|message| HarnessError::Plan { message })?;
     let experiments = plan.experiments();
+    let mut salvaged_lines: Vec<SalvagedLine> = Vec::new();
     let journal = match &options.resume {
+        Some(path) if options.salvage => {
+            let (journal, salvaged) = Journal::load_salvaging(path)?;
+            salvaged_lines = salvaged;
+            journal
+        }
         Some(path) => Journal::load(path)?,
         None => Journal::create(Path::new(&options.out_dir).join(&plan.journal_name))?,
     };
     let journal_path = journal.path().to_path_buf();
+    if !salvaged_lines.is_empty() {
+        let sidecar = Journal::salvage_sidecar(&journal_path);
+        let mut text = String::new();
+        for bad in &salvaged_lines {
+            let mut record = JsonObject::begin(&mut text);
+            record.field_u64("line", bad.line as u64);
+            record.field_str("error", &bad.error);
+            record.field_str("text", &bad.text);
+            record.finish();
+            text.push('\n');
+        }
+        write_sidecar(&sidecar, &text)?;
+        eprintln!(
+            "WARNING: salvage recovered {} valid point(s) around {} corrupted journal line(s); \
+             bad lines quarantined to {} and their points re-run",
+            journal.len(),
+            salvaged_lines.len(),
+            sidecar.display()
+        );
+    }
     let hashes: Vec<String> = experiments.iter().map(Experiment::point_hash).collect();
 
     // One slot per point: the outcome plus the attempts it took.
@@ -619,7 +718,18 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> Result<Experiments
         }
     }
 
-    let mut in_flight: Vec<(WorkHandle, usize)> = Vec::new();
+    let mut supervisor = Supervisor::new(SupervisePolicy {
+        point_deadline: options
+            .point_deadline_secs
+            .map(std::time::Duration::from_secs_f64),
+        hedge_after: options
+            .hedge_after_secs
+            .map(std::time::Duration::from_secs_f64),
+        quarantine_after: options.quarantine_after,
+    });
+    let mut quarantined: Vec<QuarantineRecord> = Vec::new();
+    let mut retry_decisions: std::collections::BTreeMap<String, u64> =
+        std::collections::BTreeMap::new();
     let mut aborted = false;
     let mut cancel_sent = false;
     let mut done = resumed;
@@ -628,7 +738,7 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> Result<Experiments
     loop {
         while !aborted
             && !options.shutdown.is_cancelled()
-            && in_flight.len() < backend.capacity().max(1)
+            && supervisor.dispatched() < backend.capacity().max(1)
         {
             let Some(&i) = to_submit.front() else { break };
             let job = PointJob {
@@ -639,28 +749,32 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> Result<Experiments
                 inject_panic: options.inject_panic == Some(i),
                 resumed_from: options.resume.clone(),
             };
-            let handle = backend.submit(job).map_err(HarnessError::Backend)?;
+            supervisor
+                .submit(backend.as_mut(), job)
+                .map_err(HarnessError::Backend)?;
             to_submit.pop_front();
-            in_flight.push((handle, i));
         }
         if options.shutdown.is_cancelled() && !cancel_sent {
             backend.cancel();
             cancel_sent = true;
         }
-        if in_flight.is_empty()
+        if supervisor.is_idle()
             && (to_submit.is_empty() || aborted || options.shutdown.is_cancelled())
         {
             break;
         }
-        let mut progressed = false;
-        let mut k = 0;
-        while k < in_flight.len() {
-            let (handle, i) = in_flight[k];
-            match backend.poll(handle).map_err(HarnessError::Backend)? {
-                PointStatus::Pending => k += 1,
-                PointStatus::Done { result, attempts } => {
-                    in_flight.swap_remove(k);
-                    progressed = true;
+        let events = supervisor
+            .tick(backend.as_mut())
+            .map_err(HarnessError::Backend)?;
+        let progressed = !events.is_empty();
+        for event in events {
+            match event {
+                Event::Done {
+                    index: i,
+                    result,
+                    attempts,
+                    retry_decision,
+                } => {
                     match &result {
                         Ok(r) if r.outcome == RunOutcome::Interrupted => {
                             // Shutdown drained this point mid-run: its
@@ -676,12 +790,16 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> Result<Experiments
                             // across backends and machines.
                             recorded.wall_seconds = 0.0;
                             recorded.cycles_per_sec = 0.0;
+                            if let Some(decision) = &retry_decision {
+                                *retry_decisions.entry(decision.clone()).or_insert(0) += 1;
+                            }
                             committer.complete(
                                 i,
                                 JournalEntry {
                                     point_hash: hashes[i].clone(),
                                     index: i,
                                     attempts,
+                                    retry_decision,
                                     result: recorded,
                                 },
                             )?;
@@ -706,6 +824,17 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> Result<Experiments
                         eprint!("\r  {done}/{total} points (ETA {eta:.0}s)   ");
                     }
                     let _ = std::io::stderr().flush();
+                }
+                Event::Quarantined(record) => {
+                    // The point is written off, not retried: unblock the
+                    // committer's frontier and carry on without it.
+                    committer.skip(record.index)?;
+                    eprintln!(
+                        "\nquarantining point {} after {} dispatches: {}",
+                        record.index, record.dispatches, record.last_error
+                    );
+                    quarantined.push(record);
+                    done += 1;
                 }
             }
         }
@@ -733,14 +862,80 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> Result<Experiments
             }
         }
     }
-    let interrupted = outcomes.iter().any(Option::is_none) && !aborted;
+    // Quarantined points are deliberately absent, not pending: they must
+    // not read as an interruption (which would promise a resume could
+    // finish them).
+    let interrupted = outcomes
+        .iter()
+        .enumerate()
+        .any(|(i, o)| o.is_none() && !quarantined.iter().any(|q| q.index == i))
+        && !aborted;
+    if !quarantined.is_empty() {
+        let sidecar = Journal::quarantine_sidecar(&journal_path);
+        let mut text = String::new();
+        for record in &quarantined {
+            let mut object = JsonObject::begin(&mut text);
+            object.field_u64("index", record.index as u64);
+            object.field_str("point_hash", &record.point_hash);
+            object.field_u64("dispatches", record.dispatches);
+            object.field_str("last_error", &record.last_error);
+            object.finish();
+            text.push('\n');
+        }
+        write_sidecar(&sidecar, &text)?;
+        eprintln!(
+            "{} point(s) quarantined as poison; details in {}",
+            quarantined.len(),
+            sidecar.display()
+        );
+    }
+    let supervision = supervisor.report.clone();
+    if !supervision.is_empty()
+        || !quarantined.is_empty()
+        || !retry_decisions.is_empty()
+        || !salvaged_lines.is_empty()
+    {
+        let manifest = Journal::supervision_sidecar(&journal_path);
+        let mut text = String::new();
+        let mut object = JsonObject::begin(&mut text);
+        object.field_u64("workers_written_off", supervision.workers_written_off);
+        object.field_u64("points_hedged", supervision.points_hedged);
+        object.field_u64("duplicates_discarded", supervision.duplicates_discarded);
+        object.field_u64("points_quarantined", quarantined.len() as u64);
+        object.field_u64("journal_lines_salvaged", salvaged_lines.len() as u64);
+        let mut decisions = String::new();
+        let mut inner = JsonObject::begin(&mut decisions);
+        for (decision, count) in &retry_decisions {
+            inner.field_u64(decision, *count);
+        }
+        inner.finish();
+        object.field_raw("retry_decisions", &decisions);
+        object.finish();
+        text.push('\n');
+        write_sidecar(&manifest, &text)?;
+        eprintln!("supervision manifest written to {}", manifest.display());
+    }
     Ok(ExperimentsRun {
         outcomes,
         attempts,
         interrupted,
         resumed,
         recovered_truncation,
+        salvaged: salvaged_lines.len(),
+        quarantined,
+        supervision,
         journal: journal_path,
+    })
+}
+
+/// Writes a supervision sidecar (quarantine records, salvage captures,
+/// the manifest) atomically next to the journal.
+fn write_sidecar(path: &Path, text: &str) -> Result<(), HarnessError> {
+    wormsim::observe::atomic_write(path, text).map_err(|e| {
+        HarnessError::Journal(JournalError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })
     })
 }
 
@@ -859,11 +1054,19 @@ pub fn run_figure(spec: &FigureSpec, options: &SweepOptions) -> Result<FigureRun
         .flatten()
         .map(|r| r.expect("errors returned above"))
         .collect();
-    if results.len() < total {
+    if run.interrupted {
         let completed = results.len();
         return Ok(FigureRun::Interrupted {
             partial: results,
             completed,
+            total,
+            journal: run.journal,
+        });
+    }
+    if !run.quarantined.is_empty() {
+        return Ok(FigureRun::Quarantined {
+            partial: results,
+            quarantined: run.quarantined,
             total,
             journal: run.journal,
         });
@@ -891,7 +1094,10 @@ pub fn resume_command(journal: &Path) -> String {
 
 /// Runs a figure for a binary: installs the SIGINT handler, and on
 /// interruption flushes a partial CSV, prints the resume command, and
-/// exits 130; on error exits 1. Returns only when the sweep completed.
+/// exits 130; when the supervisor quarantined poison points it flushes
+/// the partial CSV and exits 4 (distinct from both success and failure —
+/// most points are good data, but the figure is incomplete by design);
+/// on error exits 1. Returns only when the sweep completed whole.
 pub fn run_figure_or_exit(spec: &FigureSpec, options: &SweepOptions) -> Vec<RunResult> {
     install_sigint_handler(&options.shutdown);
     match run_figure(spec, options) {
@@ -911,6 +1117,33 @@ pub fn run_figure_or_exit(spec: &FigureSpec, options: &SweepOptions) -> Vec<RunR
             eprintln!("interrupted: {completed}/{total} points completed and journaled");
             eprintln!("resume with: {}", resume_command(&journal));
             std::process::exit(130);
+        }
+        Ok(FigureRun::Quarantined {
+            partial,
+            quarantined,
+            total,
+            journal,
+        }) => {
+            if !partial.is_empty() {
+                match write_csv(&format!("{}.partial", spec.id), &partial, &options.out_dir) {
+                    Ok(path) => eprintln!("wrote partial results to {path}"),
+                    Err(e) => eprintln!("could not write partial CSV: {e}"),
+                }
+            }
+            eprintln!(
+                "quarantined: sweep completed {}/{total} points; {} written off as poison \
+                 (see {})",
+                total - quarantined.len(),
+                quarantined.len(),
+                Journal::quarantine_sidecar(&journal).display()
+            );
+            for record in &quarantined {
+                eprintln!(
+                    "  point {} after {} dispatches: {}",
+                    record.index, record.dispatches, record.last_error
+                );
+            }
+            std::process::exit(4);
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -1275,7 +1508,7 @@ mod tests {
     fn complete(run: FigureRun) -> Vec<RunResult> {
         match run {
             FigureRun::Complete(results) => results,
-            FigureRun::Interrupted { .. } => panic!("sweep unexpectedly interrupted"),
+            other => panic!("sweep unexpectedly did not complete: {other:?}"),
         }
     }
 
@@ -1437,7 +1670,7 @@ mod tests {
                 assert_eq!(total, 4);
                 assert!(journal.exists(), "journal path must exist for the hint");
             }
-            FigureRun::Complete(_) => panic!("pre-tripped shutdown must interrupt"),
+            other => panic!("pre-tripped shutdown must interrupt, got {other:?}"),
         }
         std::fs::remove_dir_all(&options.out_dir).ok();
     }

@@ -21,14 +21,33 @@
 use crate::backend::{backoff_ms, BackendError, PointJob, PointStatus, WorkHandle, WorkerBackend};
 use crate::http;
 use std::collections::HashMap;
+use std::sync::OnceLock;
 use std::time::Duration;
 use wormsim::observe::{json, JsonObject};
 use wormsim::{wire_digest, Experiment, ExperimentError, RunResult, WIRE_PROTOCOL};
 
-/// Socket timeout per connect/read/write within one RPC.
+/// Socket timeout per connect/read/write within one RPC (overridable via
+/// `WORMSIM_RPC_TIMEOUT_MS`, chiefly so fault-injection tests can detect
+/// a frozen worker in milliseconds instead of tens of seconds).
 const RPC_TIMEOUT: Duration = Duration::from_secs(10);
 /// Transport attempts per RPC before the backend gives up on a worker.
 const RPC_ATTEMPTS: u64 = 3;
+/// Malformed (garbled) status bodies tolerated per dispatch before the
+/// worker is treated as lost. A single corrupted response — a flaky NIC,
+/// a chaos injection — should not cost a worker; a stream of them means
+/// the process on the other side is not speaking the protocol anymore.
+const GARBLE_STRIKES: u32 = 3;
+
+fn rpc_timeout() -> Duration {
+    static TIMEOUT: OnceLock<Duration> = OnceLock::new();
+    *TIMEOUT.get_or_init(|| {
+        std::env::var("WORMSIM_RPC_TIMEOUT_MS")
+            .ok()
+            .and_then(|raw| raw.parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map_or(RPC_TIMEOUT, Duration::from_millis)
+    })
+}
 
 struct Worker {
     addr: String,
@@ -37,6 +56,10 @@ struct Worker {
     /// Set once an RPC to this worker exhausts its transport retries;
     /// dead workers receive no further jobs and count no capacity.
     dead: bool,
+    /// Set when the worker reports it is draining (SIGTERM received):
+    /// zero capacity for new jobs, but its in-flight points are still
+    /// polled to completion — a draining worker is retiring, not dead.
+    draining: bool,
 }
 
 struct InFlight {
@@ -47,6 +70,25 @@ struct InFlight {
     /// experiment alone), and a crashed worker's in-flight points are
     /// re-dispatched verbatim to a survivor.
     job: PointJob,
+    /// Times this job has been dispatched (1 = original submit; each
+    /// failover re-dispatch increments). The supervisor's poison-point
+    /// quarantine reads this via `dispatch_history`.
+    dispatches: u64,
+    /// The infrastructure error behind the latest re-dispatch.
+    last_error: Option<String>,
+    /// Simulation heartbeat last reported by a pending `/status` poll;
+    /// the supervisor compares successive values to detect hung workers.
+    beat: Option<u64>,
+    /// Consecutive garbled status bodies from the current worker.
+    garbles: u32,
+}
+
+/// Why a submit to one specific worker did not take.
+enum SendError {
+    /// HTTP 503: the worker is draining. Not a failure — pick another.
+    Draining,
+    /// Transport or protocol failure: the worker is gone.
+    Failed(BackendError),
 }
 
 /// A pool of `wormsim-worker` processes behind the [`WorkerBackend`]
@@ -65,7 +107,7 @@ pub struct RemoteBackend {
 fn rpc(addr: &str, method: &str, target: &str, body: &str) -> Result<(u16, String), BackendError> {
     let mut last = String::new();
     for attempt in 1..=RPC_ATTEMPTS {
-        match http::call(addr, method, target, body, RPC_TIMEOUT) {
+        match http::call(addr, method, target, body, rpc_timeout()) {
             Ok(response) => return Ok(response),
             Err(err) => last = err,
         }
@@ -138,11 +180,16 @@ impl RemoteBackend {
                 });
             }
             let slots = get_u64(&value, "threads", &addr)?.max(1) as usize;
+            let draining = value
+                .get("draining")
+                .and_then(json::Value::as_bool)
+                .unwrap_or(false);
             workers.push(Worker {
                 addr,
                 slots,
                 in_flight: 0,
                 dead: false,
+                draining,
             });
         }
         if workers.is_empty() {
@@ -186,29 +233,35 @@ impl RemoteBackend {
         }
     }
 
-    /// The next submit target: a live worker with a free slot, or — when
-    /// `oversubscribe` (failover re-dispatch, where the dead worker's
-    /// points can exceed the survivors' free slots) — the least-loaded
-    /// live worker. `None` when every worker is dead (or, strict case,
-    /// merely full).
+    /// The next submit target among live, non-draining workers: the one
+    /// with the most free slots (ties go to the first index), so
+    /// heterogeneous workers drain proportionally instead of the first
+    /// address soaking up every job. When `oversubscribe` (failover
+    /// re-dispatch, where the dead worker's points can exceed the
+    /// survivors' free slots), falls back to the least-loaded live
+    /// worker. `None` when every worker is dead or draining (or, strict
+    /// case, merely full).
     fn pick_live(&self, oversubscribe: bool) -> Option<usize> {
         let free = self
             .workers
             .iter()
-            .position(|w| !w.dead && w.in_flight < w.slots);
+            .enumerate()
+            .filter(|(_, w)| !w.dead && !w.draining && w.in_flight < w.slots)
+            .max_by_key(|(i, w)| (w.slots - w.in_flight, self.workers.len() - i))
+            .map(|(i, _)| i);
         if free.is_some() || !oversubscribe {
             return free;
         }
         self.workers
             .iter()
             .enumerate()
-            .filter(|(_, w)| !w.dead)
+            .filter(|(_, w)| !w.dead && !w.draining)
             .min_by_key(|(_, w)| w.in_flight)
             .map(|(i, _)| i)
     }
 
     /// POSTs one job to one worker; counts it in flight on success.
-    fn send_job(&mut self, slot: usize, id: u64, job: &PointJob) -> Result<(), BackendError> {
+    fn send_job(&mut self, slot: usize, id: u64, job: &PointJob) -> Result<(), SendError> {
         let mut body = String::new();
         let mut obj = JsonObject::begin(&mut body);
         obj.field_str("digest", &self.digest);
@@ -221,12 +274,25 @@ impl RemoteBackend {
         obj.field_raw("experiment", &job.experiment.to_wire_json());
         obj.finish();
         let addr = self.workers[slot].addr.clone();
-        let (status, response) = rpc(&addr, "POST", "/submit", &body)?;
+        let (status, response) = rpc(&addr, "POST", "/submit", &body).map_err(SendError::Failed)?;
+        if status == 503 {
+            // The worker is shutting down gracefully: no new jobs, but
+            // everything it already has will finish. Retire it from the
+            // pool without the failover fanfare.
+            if !self.workers[slot].draining {
+                self.workers[slot].draining = true;
+                eprintln!(
+                    "worker {} is draining; sending no further jobs",
+                    self.workers[slot].addr
+                );
+            }
+            return Err(SendError::Draining);
+        }
         if status != 200 {
-            return Err(BackendError {
+            return Err(SendError::Failed(BackendError {
                 worker: addr,
                 message: format!("submit returned HTTP {status}: {response}"),
-            });
+            }));
         }
         self.workers[slot].in_flight += 1;
         Ok(())
@@ -260,18 +326,86 @@ impl RemoteBackend {
             };
             match self.send_job(target, id, &job) {
                 Ok(()) => {
-                    self.jobs
-                        .get_mut(&id)
-                        .expect("caller verified the handle")
-                        .worker = target;
+                    let in_flight = self.jobs.get_mut(&id).expect("caller verified the handle");
+                    in_flight.worker = target;
+                    in_flight.dispatches += 1;
+                    in_flight.last_error = Some(cause.message.clone());
+                    in_flight.beat = None;
+                    in_flight.garbles = 0;
                     return Ok(PointStatus::Pending);
                 }
-                Err(err) => {
+                Err(SendError::Draining) => {
+                    // Marked draining inside send_job; try the next one.
+                }
+                Err(SendError::Failed(err)) => {
                     self.mark_dead(target, &err);
                     cause = err;
                 }
             }
         }
+    }
+}
+
+/// A fully decoded `/status` body. Decoding is separated from transport
+/// so a *garbled* body (chaos corruption, a flaky link) can be treated as
+/// a strike against the worker rather than a fatal protocol error.
+enum StatusBody {
+    Pending {
+        heartbeat: Option<u64>,
+        draining: bool,
+    },
+    Done {
+        result: RunResult,
+        attempts: u64,
+        retry_decision: Option<String>,
+    },
+    Failed {
+        message: String,
+        attempts: u64,
+    },
+}
+
+fn decode_status(body: &str) -> Result<StatusBody, String> {
+    let value = json::from_str(body).map_err(|err| format!("unparseable response body: {err}"))?;
+    let state = value.get("state").and_then(|v| v.as_str()).unwrap_or("");
+    let attempts = || {
+        value
+            .get("attempts")
+            .and_then(json::Value::as_u64)
+            .ok_or_else(|| "status missing integer field `attempts`".to_owned())
+    };
+    match state {
+        "pending" => Ok(StatusBody::Pending {
+            heartbeat: value.get("heartbeat").and_then(json::Value::as_u64),
+            draining: value
+                .get("draining")
+                .and_then(json::Value::as_bool)
+                .unwrap_or(false),
+        }),
+        "done" => {
+            let result_value = value
+                .get("result")
+                .ok_or_else(|| "done status missing `result`".to_owned())?;
+            let result = RunResult::from_json(result_value)
+                .map_err(|err| format!("undecodable result: {err}"))?;
+            Ok(StatusBody::Done {
+                result,
+                attempts: attempts()?,
+                retry_decision: value
+                    .get("retry_decision")
+                    .and_then(|v| v.as_str())
+                    .map(str::to_owned),
+            })
+        }
+        "failed" => Ok(StatusBody::Failed {
+            message: value
+                .get("error")
+                .and_then(|v| v.as_str())
+                .unwrap_or("unspecified worker failure")
+                .to_owned(),
+            attempts: attempts()?,
+        }),
+        other => Err(format!("unknown job state {other:?} in: {body}")),
     }
 }
 
@@ -294,10 +428,24 @@ impl WorkerBackend for RemoteBackend {
             };
             match self.send_job(slot, id, &job) {
                 Ok(()) => {
-                    self.jobs.insert(id, InFlight { worker: slot, job });
+                    self.jobs.insert(
+                        id,
+                        InFlight {
+                            worker: slot,
+                            job,
+                            dispatches: 1,
+                            last_error: None,
+                            beat: None,
+                            garbles: 0,
+                        },
+                    );
                     return Ok(WorkHandle(id));
                 }
-                Err(err) => {
+                Err(SendError::Draining) => {
+                    // Marked draining inside send_job; the next pick
+                    // skips it.
+                }
+                Err(SendError::Failed(err)) => {
                     self.mark_dead(slot, &err);
                     cause = err;
                     oversubscribe = true;
@@ -338,36 +486,54 @@ impl WorkerBackend for RemoteBackend {
             };
             return self.fail_over(handle.0, cause);
         }
-        let value = parse_body(&body, &addr)?;
-        let state = value.get("state").and_then(|v| v.as_str()).unwrap_or("");
-        match state {
-            "pending" => Ok(PointStatus::Pending),
-            "done" => {
-                let attempts = get_u64(&value, "attempts", &addr)?;
-                let result_value = value.get("result").ok_or_else(|| BackendError {
-                    worker: addr.clone(),
-                    message: "done status missing `result`".to_owned(),
-                })?;
-                let result = RunResult::from_json(result_value).map_err(|err| BackendError {
-                    worker: addr.clone(),
-                    message: format!("undecodable result: {err}"),
-                })?;
+        match decode_status(&body) {
+            Err(garble) => {
+                // The transport delivered bytes, but not the protocol's.
+                // Tolerate a few (a corrupted response costs nothing —
+                // the next poll asks again) before treating the worker
+                // as lost.
+                let in_flight = self.jobs.get_mut(&handle.0).expect("handle checked above");
+                in_flight.garbles += 1;
+                if in_flight.garbles < GARBLE_STRIKES {
+                    return Ok(PointStatus::Pending);
+                }
+                let cause = BackendError {
+                    worker: addr,
+                    message: format!("{GARBLE_STRIKES} garbled status responses; last: {garble}"),
+                };
+                self.fail_over(handle.0, cause)
+            }
+            Ok(StatusBody::Pending {
+                heartbeat,
+                draining,
+            }) => {
+                let in_flight = self.jobs.get_mut(&handle.0).expect("handle checked above");
+                in_flight.garbles = 0;
+                if let Some(beat) = heartbeat {
+                    in_flight.beat = Some(beat);
+                }
+                if draining && !self.workers[slot].draining {
+                    self.workers[slot].draining = true;
+                    eprintln!("worker {addr} is draining; sending no further jobs");
+                }
+                Ok(PointStatus::Pending)
+            }
+            Ok(StatusBody::Done {
+                result,
+                attempts,
+                retry_decision,
+            }) => {
                 self.jobs.remove(&handle.0);
-                self.workers[slot].in_flight -= 1;
+                self.workers[slot].in_flight = self.workers[slot].in_flight.saturating_sub(1);
                 Ok(PointStatus::Done {
                     result: Ok(result),
                     attempts,
+                    retry_decision,
                 })
             }
-            "failed" => {
-                let attempts = get_u64(&value, "attempts", &addr)?;
-                let message = value
-                    .get("error")
-                    .and_then(|v| v.as_str())
-                    .unwrap_or("unspecified worker failure")
-                    .to_owned();
+            Ok(StatusBody::Failed { message, attempts }) => {
                 let in_flight = self.jobs.remove(&handle.0).expect("handle checked above");
-                self.workers[slot].in_flight -= 1;
+                self.workers[slot].in_flight = self.workers[slot].in_flight.saturating_sub(1);
                 Ok(PointStatus::Done {
                     result: Err(Self::rederive_error(
                         &in_flight.job.experiment,
@@ -375,19 +541,16 @@ impl WorkerBackend for RemoteBackend {
                         &addr,
                     )),
                     attempts,
+                    retry_decision: None,
                 })
             }
-            other => Err(BackendError {
-                worker: addr,
-                message: format!("unknown job state {other:?} in: {body}"),
-            }),
         }
     }
 
     fn capacity(&self) -> usize {
         self.workers
             .iter()
-            .filter(|w| !w.dead)
+            .filter(|w| !w.dead && !w.draining)
             .map(|w| w.slots)
             .sum()
     }
@@ -404,6 +567,36 @@ impl WorkerBackend for RemoteBackend {
         // HTTP polls are orders of magnitude costlier than a mutex peek;
         // back off accordingly.
         Duration::from_millis(25)
+    }
+
+    fn heartbeat(&mut self, handle: WorkHandle) -> Option<u64> {
+        self.jobs.get(&handle.0).and_then(|j| j.beat)
+    }
+
+    fn dispatch_history(&self, handle: WorkHandle) -> (u64, Option<String>) {
+        self.jobs
+            .get(&handle.0)
+            .map_or((1, None), |j| (j.dispatches, j.last_error.clone()))
+    }
+
+    fn write_off(&mut self, handle: WorkHandle) {
+        let Some(slot) = self.jobs.get(&handle.0).map(|j| j.worker) else {
+            return;
+        };
+        let cause = BackendError {
+            worker: self.workers[slot].addr.clone(),
+            message: "written off by the supervisor: simulation heartbeat frozen".to_owned(),
+        };
+        self.mark_dead(slot, &cause);
+    }
+
+    fn forget(&mut self, handle: WorkHandle) {
+        if let Some(in_flight) = self.jobs.remove(&handle.0) {
+            let worker = &mut self.workers[in_flight.worker];
+            if !worker.dead {
+                worker.in_flight = worker.in_flight.saturating_sub(1);
+            }
+        }
     }
 }
 
@@ -435,7 +628,9 @@ mod tests {
             assert!(Instant::now() < deadline, "remote worker hung");
             match backend.poll(handle).expect("poll") {
                 PointStatus::Pending => std::thread::sleep(Duration::from_millis(10)),
-                PointStatus::Done { result, attempts } => return (result, attempts),
+                PointStatus::Done {
+                    result, attempts, ..
+                } => return (result, attempts),
             }
         }
     }
@@ -512,6 +707,37 @@ mod tests {
             backend.capacity(),
             1,
             "the dead worker must drop out of the capacity count"
+        );
+    }
+
+    #[test]
+    fn garbling_worker_is_cut_loose_and_the_point_lands_on_the_survivor() {
+        // Every response body (except the chaos-exempt handshake) is
+        // corrupted: valid HTTP framing, broken JSON. The backend must
+        // write the worker off instead of trusting a byte of it.
+        let garbler =
+            crate::worker::spawn_chaotic(1, crate::chaos::ChaosPlan::parse("corrupt=1").unwrap());
+        let survivor = spawn_local(1);
+        let mut backend = RemoteBackend::connect(&[garbler.to_string(), survivor.to_string()])
+            .expect("handshake is exempt from response corruption");
+        assert_eq!(backend.capacity(), 2);
+        let experiment = Experiment::new(Topology::torus(&[6, 6]), AlgorithmKind::PositiveHop)
+            .offered_load(0.2)
+            .quick()
+            .seed(1993);
+        let local = experiment.clone().run().expect("local reference run");
+        let handle = backend.submit(job_for(experiment, 0)).expect("submit");
+        let (result, _) = wait_done(&mut backend, handle);
+        let remote = result.expect("the point must land on the survivor");
+        assert_eq!(
+            remote.latency.mean().to_bits(),
+            local.latency.mean().to_bits(),
+            "the survivor must reproduce the local result bit for bit"
+        );
+        assert_eq!(
+            backend.capacity(),
+            1,
+            "the garbling worker must be written off"
         );
     }
 

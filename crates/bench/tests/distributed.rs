@@ -162,7 +162,7 @@ fn worker_crash_mid_sweep_fails_over_and_stays_byte_identical() {
     let doomed = WorkerProc::spawn(1);
     let survivor = WorkerProc::spawn(2);
     let remote_dir = temp_dir("failover-remote");
-    let mut sweep = Command::new(SWEEP)
+    let sweep = Command::new(SWEEP)
         .args(failover_sweep_args(&remote_dir))
         .args(["--backend", "remote"])
         .args(["--worker", &doomed.addr])

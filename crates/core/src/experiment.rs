@@ -543,6 +543,13 @@ impl Experiment {
         self.offered_load
     }
 
+    /// The configured cycle budget, if any. Retry policies read this to
+    /// raise the budget on a final attempt after a `budget_artifact`
+    /// stall triage.
+    pub fn cycle_budget_value(&self) -> Option<u64> {
+        self.cycle_budget
+    }
+
     /// Checks the configuration for nonsensical combinations without
     /// building or running the simulator. [`run`](Self::run) calls this
     /// first, so misconfiguration fails with a named error before any

@@ -9,11 +9,26 @@
 //! finishing a multi-minute measurement nobody will read. Checking the
 //! token never mutates simulation state: two runs with the same seed are
 //! bit-identical up to the cycle where one of them is cut short.
+//!
+//! The token doubles as a **heartbeat**: on the same stride the engine
+//! publishes its current cycle through [`CancelToken::beat`], so whoever
+//! holds a clone can distinguish a simulation that is *slow* (heartbeat
+//! advancing) from one that is *hung* (heartbeat frozen). A worker serving
+//! remote sweep points reports this counter from `/status`, and the sweep
+//! supervisor writes off executors whose heartbeat stops. Like the
+//! cancellation check, beating only touches the shared counter — it never
+//! feeds back into simulation state.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// A clonable, thread-safe cancellation flag.
+#[derive(Debug, Default)]
+struct Flags {
+    cancelled: AtomicBool,
+    heartbeat: AtomicU64,
+}
+
+/// A clonable, thread-safe cancellation flag with a progress heartbeat.
 ///
 /// Clones share the flag: cancelling any clone cancels them all. The token
 /// is latching — once cancelled it stays cancelled.
@@ -30,22 +45,37 @@ use std::sync::Arc;
 /// assert!(worker.is_cancelled());
 /// ```
 #[derive(Clone, Debug, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken(Arc<Flags>);
 
 impl CancelToken {
-    /// A fresh, un-cancelled token.
+    /// A fresh, un-cancelled token with a zero heartbeat.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Trips the flag. Safe to call from multiple threads; idempotent.
     pub fn cancel(&self) {
-        self.0.store(true, Ordering::Release);
+        self.0.cancelled.store(true, Ordering::Release);
     }
 
     /// Whether the flag has been tripped.
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Acquire)
+        self.0.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Publishes simulation progress: monotone non-decreasing under the
+    /// engine's use (it reports the current cycle, offset by one so the
+    /// very first beat is distinguishable from "never ran").
+    pub fn beat(&self, cycle: u64) {
+        self.0
+            .heartbeat
+            .store(cycle.saturating_add(1), Ordering::Release);
+    }
+
+    /// The last published heartbeat; `0` means the simulation has not
+    /// reached its first beat yet.
+    pub fn heartbeat(&self) -> u64 {
+        self.0.heartbeat.load(Ordering::Acquire)
     }
 }
 
@@ -68,5 +98,16 @@ mod tests {
         // Latching: cancelling again changes nothing.
         a.cancel();
         assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_heartbeat() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert_eq!(b.heartbeat(), 0, "fresh token has no heartbeat");
+        a.beat(0);
+        assert_eq!(b.heartbeat(), 1, "cycle 0 beats as 1, not 0");
+        a.beat(4096);
+        assert_eq!(b.heartbeat(), 4097);
     }
 }

@@ -995,13 +995,25 @@ impl Network {
             .is_some_and(crate::CancelToken::is_cancelled)
     }
 
+    /// Publishes the current cycle through the installed token's heartbeat
+    /// (a no-op without a token). Called on the same stride as the
+    /// cancellation check; reads simulation state, never writes it.
+    fn beat(&self) {
+        if let Some(token) = &self.cancel {
+            token.beat(self.cycle);
+        }
+    }
+
     /// Runs `cycles` simulation steps, stopping early if an installed
     /// [`CancelToken`](crate::CancelToken) trips (checked on a stride, so
     /// at most a stride's worth of extra cycles run after cancellation).
     pub fn run(&mut self, cycles: u64) {
         for n in 0..cycles {
-            if n % crate::cancel::CANCEL_CHECK_STRIDE == 0 && self.is_cancelled() {
-                break;
+            if n % crate::cancel::CANCEL_CHECK_STRIDE == 0 {
+                self.beat();
+                if self.is_cancelled() {
+                    break;
+                }
             }
             self.step();
         }
@@ -1024,8 +1036,11 @@ impl Network {
             if self.flits_in_flight == 0 {
                 return true;
             }
-            if n % crate::cancel::CANCEL_CHECK_STRIDE == 0 && self.is_cancelled() {
-                break;
+            if n % crate::cancel::CANCEL_CHECK_STRIDE == 0 {
+                self.beat();
+                if self.is_cancelled() {
+                    break;
+                }
             }
             self.step();
         }

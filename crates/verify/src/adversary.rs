@@ -14,50 +14,77 @@
 //! [`search_faults`] plays the adversary:
 //!
 //! 1. **Enumerate fault plans.** Exhaustively, every combination of up to
-//!    [`AdversaryConfig::max_faults`] static link faults (the empty plan
-//!    included — it is what refutes a `Guaranteed` claim on a broken
-//!    algorithm); beyond that, [`AdversaryConfig::random_plans`]
-//!    seeded-random plans of [`AdversaryConfig::random_faults`] links via
-//!    [`FaultPlan::random_links`].
+//!    [`AdversaryConfig::max_faults`] static faults drawn from the target
+//!    pool — every unidirectional link, plus every whole node when
+//!    [`AdversaryConfig::node_faults`] is set (the empty plan included —
+//!    it is what refutes a `Guaranteed` claim on a broken algorithm).
+//!    Beyond that, [`AdversaryConfig::random_plans`] seeded-random static
+//!    link plans via [`FaultPlan::random_links`], and
+//!    [`AdversaryConfig::transient_plans`] seeded-random *transient*
+//!    plans: staggered fail/repair windows over the same target pool.
 //! 2. **Admit.** A plan counts only if it validates against the topology
 //!    and the simulator's own [`Reachability`] would still generate
-//!    traffic for it (at least one routable pair) — the adversary may not
-//!    claim victory on a network the simulator would refuse to run.
-//! 3. **Refute.** For each admitted plan whose claim is not `Unsupported`,
-//!    run the masked CDG *and* the bounded checker
-//!    ([`crate::checker::check_masked`]) on the surviving subgraph. A
-//!    [`SafetyVerdict::Deadlock`] refutes the claim.
+//!    traffic under *every* epoch mask (at least one routable pair) — the
+//!    adversary may not claim victory on a network the simulator would
+//!    refuse to run.
+//! 3. **Refute.** A plan's mask is piecewise-constant in time; each
+//!    *epoch* (cycle 0 plus every [`FaultPlan::transition_cycles`] point)
+//!    gets the masked CDG *and* the bounded checker
+//!    ([`crate::checker::check_masked`]) on its surviving subgraph. A
+//!    [`SafetyVerdict::Deadlock`] under any epoch whose claim is not
+//!    `Unsupported` refutes the plan: the adversary chooses the schedule,
+//!    so a configuration that deadlocks while a window is active can be
+//!    held deadlocked for as long as the adversary stretches that window.
+//!    (Whether a *particular* finite window dissolves on repair is the
+//!    runtime question [`crate::triage`] answers; the claim being checked
+//!    here is about the mask, and the mask refutes it.) Static plans have
+//!    exactly one epoch, so their verdict is unchanged from the
+//!    link-only searcher.
 //! 4. **Minimize.** Greedily drop faults from a refuting plan while it
 //!    still refutes (and is still admitted), until no single fault can be
 //!    removed — a locally minimal counterexample, small enough to read.
 //!
-//! Everything is deterministic: plans are enumerated in channel order,
-//! random plans come off a dedicated RNG stream of
-//! [`AdversaryConfig::seed`], and minimization scans faults left-to-right,
-//! so the same refutation plans come out on every run and can be pinned
-//! in goldens.
+//! Everything is deterministic: plans are enumerated in pool order (links
+//! in channel order, then nodes), random and transient plans come off
+//! dedicated RNG streams of [`AdversaryConfig::seed`], and minimization
+//! scans faults left-to-right, so the same refutation plans come out on
+//! every run and can be pinned in goldens.
 //!
 //! [`RoutingAlgorithm::fault_tolerance`]: wormsim_routing::RoutingAlgorithm::fault_tolerance
 //! [`Reachability`]: wormsim_faults::Reachability
 
 use crate::checker::{check_masked, CheckReport, DeadlockWitness, SafetyVerdict};
 use crate::VerifyError;
-use wormsim_faults::{FaultPlan, FaultRegion, Reachability};
+use wormsim_faults::{Fault, FaultPlan, FaultRegion, FaultTarget, Reachability};
 use wormsim_routing::deadlock::analyze_masked;
 use wormsim_routing::{FaultTolerance, RoutingAlgorithm};
-use wormsim_topology::{ChannelMask, Direction, NodeId, Topology};
+use wormsim_topology::{ChannelMask, Direction, Topology};
+use wormsim_traffic::SimRng;
 
 /// Search-space knobs for [`search_faults`].
 #[derive(Clone, Debug)]
 pub struct AdversaryConfig {
     /// Exhaustively enumerate every combination of up to this many static
-    /// link faults (0 still tries the empty plan).
+    /// faults (0 still tries the empty plan).
     pub max_faults: usize,
-    /// Seeded-random plans to try beyond the exhaustive tier.
+    /// Include whole-node faults in the exhaustive pool (after the links,
+    /// so link-only plan orders — and pinned goldens — are unchanged when
+    /// this is off).
+    pub node_faults: bool,
+    /// Seeded-random static link plans to try beyond the exhaustive tier.
     pub random_plans: usize,
     /// Link faults per random plan.
     pub random_faults: usize,
-    /// Seed for the random tier (stream-isolated; reuse the sweep seed).
+    /// Seeded-random transient fail/repair plans to try.
+    pub transient_plans: usize,
+    /// Faults per transient plan, each with its own staggered window.
+    pub transient_faults: usize,
+    /// Window length in cycles for transient faults; fault *j* of a plan
+    /// fails at `j * window / 2` and repairs a full window later, so
+    /// adjacent windows overlap and the epochs sweep one-fault and
+    /// two-fault masks plus the all-repaired tail.
+    pub transient_window: u64,
+    /// Seed for the random tiers (stream-isolated; reuse the sweep seed).
     pub seed: u64,
     /// Keep at most this many refutations in the report (the count of
     /// refuting plans is always exact; storing thousands of witnesses is
@@ -69,8 +96,12 @@ impl Default for AdversaryConfig {
     fn default() -> Self {
         AdversaryConfig {
             max_faults: 2,
+            node_faults: false,
             random_plans: 0,
             random_faults: 3,
+            transient_plans: 0,
+            transient_faults: 2,
+            transient_window: 64,
             seed: 1993,
             max_stored: 4,
         }
@@ -80,12 +111,16 @@ impl Default for AdversaryConfig {
 /// One refuted claim: the minimized plan and the evidence.
 #[derive(Clone, Debug)]
 pub struct Refutation {
-    /// The claim the algorithm made for the *original* plan's mask.
+    /// The claim the algorithm made for the refuting epoch's mask.
     pub claim: FaultTolerance,
     /// The minimized fault plan (still admitted, still refuting).
     pub plan: FaultPlan,
     /// Fault count before minimization.
     pub original_len: usize,
+    /// The cycle whose mask the witness deadlocks under — always 0 for a
+    /// static plan; for a transient plan, the start of the deadlocking
+    /// fault window.
+    pub epoch: u64,
     /// Whether the masked CDG was already cyclic under the minimized plan
     /// (`false` means the CDG alone would have missed this — the
     /// stranded-holder failure mode only the bounded checker sees).
@@ -106,14 +141,15 @@ pub struct AdversaryReport {
     ///
     /// [`RoutingAlgorithm::name`]: wormsim_routing::RoutingAlgorithm::name
     pub algorithm: String,
-    /// Plans generated (exhaustive + random).
+    /// Plans generated (exhaustive + random + transient).
     pub plans_tried: u64,
-    /// Plans admitted (valid + reachability-routable).
+    /// Plans admitted (valid + reachability-routable at every epoch).
     pub plans_admitted: u64,
-    /// Admitted plans the algorithm declared `Unsupported` (claim
-    /// vacuously holds; not checked further).
+    /// Admitted plans the algorithm declared `Unsupported` at every epoch
+    /// (claim vacuously holds; not checked further).
     pub plans_unsupported: u64,
-    /// Admitted, claimed plans the bounded checker proved safe.
+    /// Admitted, claimed plans the bounded checker proved safe at every
+    /// claimed epoch.
     pub plans_proven_free: u64,
     /// Admitted, claimed plans the bounded checker refuted (exact count).
     pub plans_refuted: u64,
@@ -151,32 +187,50 @@ pub fn search_faults(
         plans_refuted: 0,
         refutations: Vec::new(),
     };
-    // The link pool, in (node, direction) enumeration order — the same
-    // order `FaultPlan::random_links` samples from.
-    let pool: Vec<(NodeId, Direction)> = topo
+    // The target pool: links in (node, direction) enumeration order — the
+    // same order `FaultPlan::random_links` samples from — then whole
+    // nodes when enabled, so link-only plan orders are stable.
+    let mut pool: Vec<FaultTarget> = topo
         .nodes()
         .flat_map(|node| {
             Direction::all(topo.num_dims())
                 .filter(move |&dir| topo.has_channel(node, dir))
-                .map(move |dir| (node, dir))
+                .map(move |direction| FaultTarget::Link { node, direction })
         })
         .collect();
-    // Exhaustive tier: all combinations of 0..=max_faults links, in
+    if config.node_faults {
+        pool.extend(topo.nodes().map(|node| FaultTarget::Node { node }));
+    }
+    // Exhaustive tier: all combinations of 0..=max_faults targets, in
     // lexicographic index order.
     let mut combo: Vec<usize> = Vec::new();
-    try_plan(topo, algo, &combo, &pool, config, &mut report, true)?;
+    try_plan(
+        topo,
+        algo,
+        &materialize(&combo, &pool),
+        config,
+        &mut report,
+        true,
+    )?;
     for k in 1..=config.max_faults.min(pool.len()) {
         combo.clear();
         combo.extend(0..k);
         loop {
-            try_plan(topo, algo, &combo, &pool, config, &mut report, true)?;
+            try_plan(
+                topo,
+                algo,
+                &materialize(&combo, &pool),
+                config,
+                &mut report,
+                true,
+            )?;
             if !next_combination(&mut combo, pool.len()) {
                 break;
             }
         }
     }
-    // Random tier: plans bigger than the exhaustive horizon, one fresh
-    // derived seed each so plans differ.
+    // Random tier: static link plans bigger than the exhaustive horizon,
+    // one fresh derived seed each so plans differ.
     for r in 0..config.random_plans {
         let plan = FaultPlan::random_links(
             topo,
@@ -184,17 +238,28 @@ pub fn search_faults(
             config.seed.wrapping_add(r as u64),
             &FaultRegion::Anywhere,
         );
-        let indices: Vec<usize> = plan
-            .faults()
-            .iter()
-            .filter_map(|f| match f.target {
-                wormsim_faults::FaultTarget::Link { node, direction } => {
-                    pool.iter().position(|&(n, d)| n == node && d == direction)
-                }
-                wormsim_faults::FaultTarget::Node { .. } => None,
-            })
-            .collect();
-        try_plan(topo, algo, &indices, &pool, config, &mut report, false)?;
+        try_plan(topo, algo, plan.faults(), config, &mut report, false)?;
+    }
+    // Transient tier: staggered fail/repair windows over the pool, on a
+    // dedicated RNG stream so the draw is independent of every simulation
+    // stream and of the static random tier.
+    let mut rng = SimRng::stream(config.seed, 0xAD);
+    for _ in 0..config.transient_plans {
+        let count = config.transient_faults.min(pool.len());
+        let window = config.transient_window.max(2);
+        let mut indices: Vec<usize> = (0..pool.len()).collect();
+        let mut faults = Vec::with_capacity(count);
+        for j in 0..count {
+            let pick = j + rng.uniform_below((indices.len() - j) as u32) as usize;
+            indices.swap(j, pick);
+            let fail_at = j as u64 * (window / 2);
+            faults.push(Fault {
+                target: pool[indices[j]],
+                fail_at,
+                repair_at: Some(fail_at + window),
+            });
+        }
+        try_plan(topo, algo, &faults, config, &mut report, false)?;
     }
     Ok(report)
 }
@@ -217,43 +282,103 @@ fn next_combination(combo: &mut [usize], n: usize) -> bool {
     false
 }
 
-/// Materializes a plan from pool indices, admits it, checks the claim,
-/// and (on refutation) minimizes + records it.
-#[allow(clippy::too_many_arguments)]
+/// Static faults for a set of pool indices.
+fn materialize(indices: &[usize], pool: &[FaultTarget]) -> Vec<Fault> {
+    indices
+        .iter()
+        .map(|&i| Fault {
+            target: pool[i],
+            fail_at: 0,
+            repair_at: None,
+        })
+        .collect()
+}
+
+/// Builds a [`FaultPlan`] from a fault list.
+fn plan_of(faults: &[Fault]) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for &fault in faults {
+        plan.push(fault);
+    }
+    plan
+}
+
+/// What checking every epoch of one admitted plan concluded.
+enum PlanOutcome {
+    /// Every epoch's claim was `Unsupported`; nothing to check.
+    Unsupported,
+    /// Every claimed epoch was proven free.
+    ProvenFree,
+    /// Some claimed epoch deadlocked.
+    Refuted {
+        claim: FaultTolerance,
+        epoch: u64,
+        checked: CheckReport,
+    },
+}
+
+/// Admits a plan, checks its claim at every epoch, and (on refutation)
+/// minimizes + records it.
 fn try_plan(
     topo: &Topology,
     algo: &dyn RoutingAlgorithm,
-    indices: &[usize],
-    pool: &[(NodeId, Direction)],
+    faults: &[Fault],
     config: &AdversaryConfig,
     report: &mut AdversaryReport,
     exhaustive: bool,
 ) -> Result<(), VerifyError> {
     report.plans_tried += 1;
-    let plan = materialize(indices, pool);
-    let Some((mask, _)) = admit(topo, &plan, exhaustive)? else {
+    let plan = plan_of(faults);
+    let Some(epochs) = admit(topo, &plan, exhaustive)? else {
         return Ok(());
     };
     report.plans_admitted += 1;
-    let claim = algo.fault_tolerance(topo, &mask);
-    if claim == FaultTolerance::Unsupported {
-        report.plans_unsupported += 1;
-        return Ok(());
-    }
-    let checked = check_masked(topo, &mask, algo)?;
-    match checked.verdict {
-        SafetyVerdict::ProvenFree => {
-            report.plans_proven_free += 1;
-        }
-        SafetyVerdict::Deadlock(_) => {
+    match check_epochs(topo, algo, &epochs)? {
+        PlanOutcome::Unsupported => report.plans_unsupported += 1,
+        PlanOutcome::ProvenFree => report.plans_proven_free += 1,
+        PlanOutcome::Refuted {
+            claim,
+            epoch,
+            checked,
+        } => {
             report.plans_refuted += 1;
             if report.refutations.len() < config.max_stored {
-                let refutation = minimize(topo, algo, indices, pool, claim, checked)?;
+                let refutation = minimize(topo, algo, faults, claim, epoch, checked)?;
                 report.refutations.push(refutation);
             }
         }
     }
     Ok(())
+}
+
+/// Runs the bounded checker over every epoch mask whose claim is not
+/// `Unsupported`, stopping at the first deadlock.
+fn check_epochs(
+    topo: &Topology,
+    algo: &dyn RoutingAlgorithm,
+    epochs: &[(u64, ChannelMask)],
+) -> Result<PlanOutcome, VerifyError> {
+    let mut any_claimed = false;
+    for (cycle, mask) in epochs {
+        let claim = algo.fault_tolerance(topo, mask);
+        if claim == FaultTolerance::Unsupported {
+            continue;
+        }
+        any_claimed = true;
+        let checked = check_masked(topo, mask, algo)?;
+        if let SafetyVerdict::Deadlock(_) = checked.verdict {
+            return Ok(PlanOutcome::Refuted {
+                claim,
+                epoch: *cycle,
+                checked,
+            });
+        }
+    }
+    Ok(if any_claimed {
+        PlanOutcome::ProvenFree
+    } else {
+        PlanOutcome::Unsupported
+    })
 }
 
 /// Greedy fault-removal shrinking: scan left-to-right, drop any fault
@@ -262,14 +387,14 @@ fn try_plan(
 fn minimize(
     topo: &Topology,
     algo: &dyn RoutingAlgorithm,
-    indices: &[usize],
-    pool: &[(NodeId, Direction)],
+    faults: &[Fault],
     claim: FaultTolerance,
+    epoch: u64,
     full_check: CheckReport,
 ) -> Result<Refutation, VerifyError> {
-    let original_len = indices.len();
-    let mut kept: Vec<usize> = indices.to_vec();
-    let mut best = full_check;
+    let original_len = faults.len();
+    let mut kept: Vec<Fault> = faults.to_vec();
+    let mut best = (claim, epoch, full_check);
     let mut changed = true;
     while changed && !kept.is_empty() {
         changed = false;
@@ -277,72 +402,72 @@ fn minimize(
         while i < kept.len() {
             let mut candidate = kept.clone();
             candidate.remove(i);
-            let plan = materialize(&candidate, pool);
+            let plan = plan_of(&candidate);
             // Dropping a fault from an admitted plan keeps it valid, but
             // re-check admission (reachability can only improve).
-            if let Some((mask, _)) = admit(topo, &plan, true)? {
-                if algo.fault_tolerance(topo, &mask) != FaultTolerance::Unsupported {
-                    let checked = check_masked(topo, &mask, algo)?;
-                    if let SafetyVerdict::Deadlock(_) = checked.verdict {
-                        kept = candidate;
-                        best = checked;
-                        changed = true;
-                        continue; // same i now names the next fault
-                    }
+            if let Some(epochs) = admit(topo, &plan, true)? {
+                if let PlanOutcome::Refuted {
+                    claim,
+                    epoch,
+                    checked,
+                } = check_epochs(topo, algo, &epochs)?
+                {
+                    kept = candidate;
+                    best = (claim, epoch, checked);
+                    changed = true;
+                    continue; // same i now names the next fault
                 }
             }
             i += 1;
         }
     }
-    let plan = materialize(&kept, pool);
-    let mask = plan.mask_at(topo, 0);
+    let (claim, epoch, checked) = best;
+    let plan = plan_of(&kept);
+    let mask = plan.mask_at(topo, epoch);
     let masked_cyclic = !analyze_masked(topo, &mask, algo).report.is_acyclic();
-    let SafetyVerdict::Deadlock(witness) = best.verdict else {
+    let SafetyVerdict::Deadlock(witness) = checked.verdict else {
         unreachable!("minimize only keeps refuting plans");
     };
     Ok(Refutation {
         claim,
         plan,
         original_len,
+        epoch,
         masked_cyclic,
-        stranded: best.stranded,
-        survivors: best.survivors,
+        stranded: checked.stranded,
+        survivors: checked.survivors,
         witness,
     })
 }
 
-/// Builds the static link-fault plan for a set of pool indices.
-fn materialize(indices: &[usize], pool: &[(NodeId, Direction)]) -> FaultPlan {
-    let mut plan = FaultPlan::new();
-    for &i in indices {
-        let (node, direction) = pool[i];
-        plan.push_dead_link(node, direction);
-    }
-    plan
-}
-
 /// Admission: the plan must validate and the simulator's reachability
-/// analysis must leave at least one routable pair. Returns the static mask
-/// and the reachability analysis for admitted plans, `None` for rejected
-/// ones. An invalid plan is an enumeration bug when `exhaustive` (error),
-/// a silent rejection for externally supplied index sets.
+/// analysis must leave at least one routable pair under *every* epoch
+/// mask. Returns the `(cycle, mask)` epochs for admitted plans (a static
+/// plan has exactly one, at cycle 0), `None` for rejected ones. An
+/// invalid plan is an enumeration bug when `exhaustive` (error), a silent
+/// rejection for externally supplied fault lists.
 fn admit(
     topo: &Topology,
     plan: &FaultPlan,
     exhaustive: bool,
-) -> Result<Option<(ChannelMask, Reachability)>, VerifyError> {
+) -> Result<Option<Vec<(u64, ChannelMask)>>, VerifyError> {
     if let Err(e) = plan.validate(topo) {
         if exhaustive {
             return Err(VerifyError::InvalidPlan(e.to_string()));
         }
         return Ok(None);
     }
-    let mask = plan.mask_at(topo, 0);
-    let reach = Reachability::compute(topo, &mask);
-    if reach.routable_pairs() == 0 {
-        return Ok(None);
+    let mut cycles = vec![0u64];
+    cycles.extend(plan.transition_cycles());
+    let mut epochs = Vec::with_capacity(cycles.len());
+    for cycle in cycles {
+        let mask = plan.mask_at(topo, cycle);
+        if Reachability::compute(topo, &mask).routable_pairs() == 0 {
+            return Ok(None);
+        }
+        epochs.push((cycle, mask));
     }
-    Ok(Some((mask, reach)))
+    Ok(Some(epochs))
 }
 
 #[cfg(test)]
@@ -364,6 +489,7 @@ mod tests {
         let refutation = &report.refutations[0];
         assert!(refutation.plan.is_empty(), "empty plan must stay empty");
         assert_eq!(refutation.claim, FaultTolerance::Guaranteed);
+        assert_eq!(refutation.epoch, 0);
         assert!(!refutation.witness.worms.is_empty());
     }
 
@@ -392,6 +518,87 @@ mod tests {
             !refutation.masked_cyclic || refutation.stranded > 0,
             "refutation must carry evidence the CDG alone lacks or confirm its cycle"
         );
+    }
+
+    /// Pinned node-fault result on the 4×4 torus: the pool grows to
+    /// 64 links + 16 nodes, every single-link plan still refutes PHop's
+    /// best-effort claim (stranding), but every single-*node* plan is
+    /// PROVEN FREE — on a 4-ring the only worm with a unique minimal
+    /// candidate into the dead node is one whose *destination is the dead
+    /// node*, and those pairs leave the traffic population with it; every
+    /// other worm keeps a live minimal alternative. Dead links strand,
+    /// dead nodes do not — a distinction the link-only adversary could
+    /// never state.
+    #[test]
+    fn single_node_fault_is_proven_free_for_phop_on_torus() {
+        let topo = Topology::torus(&[4, 4]);
+        let algo = AlgorithmKind::PositiveHop.build(&topo).unwrap();
+        let config = AdversaryConfig {
+            max_faults: 1,
+            node_faults: true,
+            max_stored: usize::MAX,
+            ..AdversaryConfig::default()
+        };
+        let report = search_faults(&topo, algo.as_ref(), &config).unwrap();
+        // 1 empty + 64 single-link + 16 single-node plans.
+        assert_eq!(report.plans_tried, 81);
+        assert_eq!(report.plans_admitted, 81);
+        // Every link plan refutes; the empty plan and all 16 node plans
+        // are proven free.
+        assert_eq!(report.plans_refuted, 64);
+        assert_eq!(report.plans_proven_free, 17);
+        assert_eq!(report.plans_unsupported, 0);
+        assert!(
+            report.refutations.iter().all(|r| {
+                r.plan
+                    .faults()
+                    .iter()
+                    .all(|f| matches!(f.target, FaultTarget::Link { .. }))
+            }),
+            "no dead-node plan may strand PHop on the 4x4 torus"
+        );
+    }
+
+    /// Pinned transient result on the 4×4 torus: a seeded fail/repair
+    /// schedule refutes PHop's claim *during* a fault window — the epoch
+    /// is inside the window, the plan is not static, and the healthy
+    /// epochs (before the first failure, after the last repair) are not
+    /// what refutes it.
+    #[test]
+    fn transient_window_refutes_phop_while_the_fault_is_active() {
+        let topo = Topology::torus(&[4, 4]);
+        let algo = AlgorithmKind::PositiveHop.build(&topo).unwrap();
+        let config = AdversaryConfig {
+            max_faults: 0,
+            transient_plans: 4,
+            transient_faults: 2,
+            transient_window: 64,
+            seed: 1993,
+            max_stored: 8,
+            ..AdversaryConfig::default()
+        };
+        let report = search_faults(&topo, algo.as_ref(), &config).unwrap();
+        // 1 empty + 4 transient plans.
+        assert_eq!(report.plans_tried, 5);
+        assert!(report.plans_refuted > 0, "{report:?}");
+        let refutation = report
+            .refutations
+            .iter()
+            .find(|r| !r.plan.is_static())
+            .expect("a transient refutation must survive minimization");
+        assert!(
+            refutation.epoch > 0 || refutation.plan.faults().iter().any(|f| f.fail_at == 0),
+            "the refuting epoch must sit inside a fault window"
+        );
+        assert!(
+            refutation
+                .plan
+                .faults()
+                .iter()
+                .any(|f| f.active_at(refutation.epoch)),
+            "some fault must be active at the refuting epoch"
+        );
+        assert!(refutation.stranded > 0, "stranding is the failure mode");
     }
 
     /// CI's exhaustive verification tier (release-only, run with
@@ -445,6 +652,7 @@ mod tests {
             random_faults: 2,
             seed: 1993,
             max_stored: 8,
+            ..AdversaryConfig::default()
         };
         let a = search_faults(&topo, algo.as_ref(), &config).unwrap();
         let b = search_faults(&topo, algo.as_ref(), &config).unwrap();
@@ -453,5 +661,30 @@ mod tests {
         let plans_a: Vec<_> = a.refutations.iter().map(|r| r.plan.clone()).collect();
         let plans_b: Vec<_> = b.refutations.iter().map(|r| r.plan.clone()).collect();
         assert_eq!(plans_a, plans_b);
+    }
+
+    #[test]
+    fn transient_tier_is_deterministic() {
+        let topo = Topology::torus(&[4, 4]);
+        let algo = AlgorithmKind::PositiveHop.build(&topo).unwrap();
+        let config = AdversaryConfig {
+            max_faults: 0,
+            node_faults: true,
+            transient_plans: 3,
+            transient_faults: 2,
+            seed: 1993,
+            max_stored: 8,
+            ..AdversaryConfig::default()
+        };
+        let a = search_faults(&topo, algo.as_ref(), &config).unwrap();
+        let b = search_faults(&topo, algo.as_ref(), &config).unwrap();
+        assert_eq!(a.plans_tried, b.plans_tried);
+        assert_eq!(a.plans_refuted, b.plans_refuted);
+        let plans_a: Vec<_> = a.refutations.iter().map(|r| r.plan.clone()).collect();
+        let plans_b: Vec<_> = b.refutations.iter().map(|r| r.plan.clone()).collect();
+        assert_eq!(plans_a, plans_b);
+        let epochs_a: Vec<u64> = a.refutations.iter().map(|r| r.epoch).collect();
+        let epochs_b: Vec<u64> = b.refutations.iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs_a, epochs_b);
     }
 }
